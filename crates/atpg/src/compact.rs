@@ -1,0 +1,146 @@
+//! Static test-set compaction by reverse-order fault simulation.
+//!
+//! The classic observation: vectors generated late (deterministic top-ups)
+//! each target specific hard faults, while early random vectors detect
+//! overlapping easy sets. Fault-simulating the sequence in *reverse* and
+//! keeping only vectors that detect something still-undetected drops most
+//! of the redundant prefix while preserving coverage exactly.
+
+use dlp_circuit::Netlist;
+use dlp_sim::ppsfp;
+use dlp_sim::stuck_at::StuckAtFault;
+
+/// The result of compaction.
+#[derive(Debug, Clone)]
+pub struct CompactionResult {
+    /// The surviving vectors, in their original relative order.
+    pub vectors: Vec<Vec<bool>>,
+    /// Indices (into the original sequence) of the survivors.
+    pub kept: Vec<usize>,
+}
+
+/// Compacts `vectors` against `faults` with reverse-order fault
+/// simulation. The returned set detects exactly the same faults.
+///
+/// # Panics
+///
+/// Panics if vector widths mismatch the netlist (see
+/// [`ppsfp::simulate`]).
+///
+/// # Example
+///
+/// ```
+/// use dlp_atpg::compact::compact;
+/// use dlp_circuit::generators;
+/// use dlp_sim::{detection, stuck_at};
+///
+/// let c17 = generators::c17();
+/// let faults = stuck_at::enumerate(&c17).collapse();
+/// let vectors = detection::random_vectors(5, 128, 3);
+/// let compacted = compact(&c17, faults.faults(), &vectors);
+/// assert!(compacted.vectors.len() < vectors.len() / 2);
+/// ```
+pub fn compact(
+    netlist: &Netlist,
+    faults: &[StuckAtFault],
+    vectors: &[Vec<bool>],
+) -> CompactionResult {
+    // Which faults does the full sequence detect at all?
+    let full = ppsfp::simulate(netlist, faults, vectors);
+    let mut remaining: Vec<usize> = full
+        .first_detect()
+        .iter()
+        .enumerate()
+        .filter_map(|(j, d)| d.map(|_| j))
+        .collect();
+
+    let mut kept_rev: Vec<usize> = Vec::new();
+    for idx in (0..vectors.len()).rev() {
+        if remaining.is_empty() {
+            break;
+        }
+        let live: Vec<StuckAtFault> = remaining.iter().map(|&j| faults[j]).collect();
+        let rec = ppsfp::simulate(netlist, &live, std::slice::from_ref(&vectors[idx]));
+        let detected: Vec<usize> = rec
+            .first_detect()
+            .iter()
+            .enumerate()
+            .filter_map(|(pos, d)| d.map(|_| pos))
+            .collect();
+        if detected.is_empty() {
+            continue;
+        }
+        kept_rev.push(idx);
+        // Remove the newly covered faults (indices into `remaining`).
+        let mut keep_mask = vec![true; remaining.len()];
+        for &pos in &detected {
+            keep_mask[pos] = false;
+        }
+        remaining = remaining
+            .into_iter()
+            .zip(keep_mask)
+            .filter_map(|(j, keep)| keep.then_some(j))
+            .collect();
+    }
+    kept_rev.reverse();
+    CompactionResult {
+        vectors: kept_rev.iter().map(|&i| vectors[i].clone()).collect(),
+        kept: kept_rev,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlp_circuit::generators;
+    use dlp_sim::{detection, stuck_at};
+
+    #[test]
+    fn coverage_is_preserved_exactly() {
+        let nl = generators::c432_class();
+        let faults = stuck_at::enumerate(&nl).collapse();
+        let vectors = detection::random_vectors(36, 512, 17);
+        let before = ppsfp::simulate(&nl, faults.faults(), &vectors).detected_count();
+        let compacted = compact(&nl, faults.faults(), &vectors);
+        let after = ppsfp::simulate(&nl, faults.faults(), &compacted.vectors).detected_count();
+        assert_eq!(before, after);
+        assert!(compacted.vectors.len() < vectors.len());
+    }
+
+    #[test]
+    fn kept_indices_are_sorted_and_valid() {
+        let nl = generators::ripple_adder(4);
+        let faults = stuck_at::enumerate(&nl).collapse();
+        let vectors = detection::random_vectors(9, 200, 5);
+        let compacted = compact(&nl, faults.faults(), &vectors);
+        assert!(compacted.kept.windows(2).all(|w| w[0] < w[1]));
+        assert!(compacted.kept.iter().all(|&i| i < vectors.len()));
+        for (pos, &i) in compacted.kept.iter().enumerate() {
+            assert_eq!(compacted.vectors[pos], vectors[i]);
+        }
+    }
+
+    #[test]
+    fn compacting_a_compact_set_is_stable() {
+        let nl = generators::c17();
+        let faults = stuck_at::enumerate(&nl).collapse();
+        let vectors = detection::random_vectors(5, 64, 7);
+        let once = compact(&nl, faults.faults(), &vectors);
+        let twice = compact(&nl, faults.faults(), &once.vectors);
+        // A second pass may reorder marginally but never grows.
+        assert!(twice.vectors.len() <= once.vectors.len());
+        let cov_once = ppsfp::simulate(&nl, faults.faults(), &once.vectors).detected_count();
+        let cov_twice = ppsfp::simulate(&nl, faults.faults(), &twice.vectors).detected_count();
+        assert_eq!(cov_once, cov_twice);
+    }
+
+    #[test]
+    fn empty_inputs_are_handled() {
+        let nl = generators::c17();
+        let faults = stuck_at::enumerate(&nl).collapse();
+        let r = compact(&nl, faults.faults(), &[]);
+        assert!(r.vectors.is_empty());
+        let r = compact(&nl, &[], &detection::random_vectors(5, 8, 1));
+        assert!(r.vectors.is_empty());
+    }
+}

@@ -1,0 +1,419 @@
+//! PODEM: path-oriented decision making with SCOAP-guided backtrace.
+//!
+//! The search branches on primary-input assignments only (Goel's key
+//! insight), guided by two objectives — activate the fault, then advance
+//! the D-frontier — and a controllability-driven backtrace that picks the
+//! *easiest* input when any input suffices and the *hardest* first when all
+//! are needed (the cost discipline FAN applies to its head lines). A
+//! backtrack limit bounds the search; exhausting the space without a test
+//! proves the fault redundant.
+
+use dlp_circuit::{GateKind, Netlist, NodeId};
+use dlp_sim::stuck_at::{FaultSite, StuckAtFault};
+use dlp_sim::switchlevel::Logic;
+
+use crate::logic3::{simulate_composite, Composite};
+use crate::scoap::Controllability;
+
+/// Result of a PODEM run for one fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PodemOutcome {
+    /// A test cube: one entry per primary input, `None` meaning
+    /// don't-care.
+    Test(Vec<Option<bool>>),
+    /// The search space was exhausted: the fault is undetectable
+    /// (redundant).
+    Redundant,
+    /// The backtrack limit was hit before a verdict.
+    Aborted,
+}
+
+/// PODEM search engine bound to one netlist.
+#[derive(Debug)]
+pub struct Podem<'a> {
+    netlist: &'a Netlist,
+    cc: Controllability,
+    backtrack_limit: usize,
+}
+
+impl<'a> Podem<'a> {
+    /// Prepares the engine (computes SCOAP measures once).
+    pub fn new(netlist: &'a Netlist, backtrack_limit: usize) -> Self {
+        Podem {
+            netlist,
+            cc: Controllability::compute(netlist),
+            backtrack_limit,
+        }
+    }
+
+    /// Attempts to generate a test for `fault`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dlp_atpg::podem::{Podem, PodemOutcome};
+    /// use dlp_circuit::generators;
+    /// use dlp_sim::stuck_at;
+    ///
+    /// let c17 = generators::c17();
+    /// let engine = Podem::new(&c17, 1000);
+    /// let faults = stuck_at::enumerate(&c17);
+    /// let outcome = engine.generate(&faults.faults()[0]);
+    /// assert!(matches!(outcome, PodemOutcome::Test(_)));
+    /// ```
+    pub fn generate(&self, fault: &StuckAtFault) -> PodemOutcome {
+        let n_pi = self.netlist.inputs().len();
+        let mut pi_values = vec![Logic::X; n_pi];
+        // Decision stack: (pi index, value tried, alternative exhausted).
+        let mut stack: Vec<(usize, bool, bool)> = Vec::new();
+        let mut backtracks = 0usize;
+
+        loop {
+            let values = simulate_composite(self.netlist, fault, &pi_values);
+            if self.detected(&values) {
+                return PodemOutcome::Test(
+                    pi_values
+                        .iter()
+                        .map(|&v| match v {
+                            Logic::Zero => Some(false),
+                            Logic::One => Some(true),
+                            Logic::X => None,
+                        })
+                        .collect(),
+                );
+            }
+
+            let objective = self.pick_objective(fault, &values);
+            let decision = objective.and_then(|(node, val)| self.backtrace(&values, node, val));
+
+            match decision {
+                Some((pi_idx, val)) => {
+                    pi_values[pi_idx] = Logic::from_bool(val);
+                    stack.push((pi_idx, val, false));
+                }
+                None => {
+                    // Dead end: flip the most recent unexhausted decision.
+                    backtracks += 1;
+                    if backtracks > self.backtrack_limit {
+                        return PodemOutcome::Aborted;
+                    }
+                    loop {
+                        match stack.pop() {
+                            None => return PodemOutcome::Redundant,
+                            Some((pi, val, true)) => {
+                                let _ = (pi, val);
+                                // Both values tried: keep unwinding.
+                                pi_values[pi] = Logic::X;
+                            }
+                            Some((pi, val, false)) => {
+                                pi_values[pi] = Logic::from_bool(!val);
+                                stack.push((pi, !val, true));
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn detected(&self, values: &[Composite]) -> bool {
+        self.netlist
+            .outputs()
+            .iter()
+            .any(|&o| values[o.index()].is_d())
+    }
+
+    /// The activation line and required value for a fault.
+    fn activation(&self, fault: &StuckAtFault) -> (NodeId, bool) {
+        let line = match fault.site {
+            FaultSite::Stem(n) => n,
+            FaultSite::Branch { gate, pin } => self.netlist.fanin(gate)[pin],
+        };
+        (line, !fault.stuck_at_one)
+    }
+
+    /// Chooses the next objective: activate if not yet activated,
+    /// otherwise advance the lowest-level D-frontier gate. `None` means the
+    /// current assignment can never detect the fault.
+    fn pick_objective(&self, fault: &StuckAtFault, values: &[Composite]) -> Option<(NodeId, bool)> {
+        let (line, needed) = self.activation(fault);
+        match values[line.index()].good {
+            Logic::X => return Some((line, needed)),
+            v if v != Logic::from_bool(needed) => return None, // can't activate
+            _ => {}
+        }
+
+        // Fault is activated; find the D-frontier, restricted to gates
+        // from which an X-path (a chain of lines still carrying X) reaches
+        // a primary output — the classic X-path check that prunes hopeless
+        // propagation early.
+        let xreach = self.x_reachable(values);
+        let stuck = Logic::from_bool(fault.stuck_at_one);
+        for id in self.netlist.node_ids() {
+            let kind = self.netlist.kind(id);
+            if kind == GateKind::Input {
+                continue;
+            }
+            if !values[id.index()].has_x() || !xreach[id.index()] {
+                continue;
+            }
+            let mut has_d = false;
+            let mut x_pins: Vec<NodeId> = Vec::new();
+            for (pin, &f) in self.netlist.fanin(id).iter().enumerate() {
+                let mut v = values[f.index()];
+                if fault.site == (FaultSite::Branch { gate: id, pin }) {
+                    v.faulty = stuck;
+                }
+                if v.is_d() {
+                    has_d = true;
+                } else if v.good == Logic::X {
+                    x_pins.push(f);
+                }
+            }
+            if !has_d || x_pins.is_empty() {
+                continue;
+            }
+            // Objective: set one X input to the non-controlling value (any
+            // value for XOR-family — pick the cheaper).
+            let target = match kind.controlling_value() {
+                Some(c) => !c,
+                None => {
+                    let pin = x_pins[0];
+                    return Some((
+                        pin,
+                        self.cc.cc0(pin) > self.cc.cc1(pin), // cheaper side
+                    ));
+                }
+            };
+            // Easiest X input first for a single non-controlling need.
+            let pin = *x_pins
+                .iter()
+                .min_by_key(|&&p| self.cc.cost(p, target))
+                .expect("non-empty");
+            return Some((pin, target));
+        }
+        None
+    }
+
+    /// Nodes from which a primary output is reachable through lines whose
+    /// composite value still has an X (so a D could travel there).
+    fn x_reachable(&self, values: &[Composite]) -> Vec<bool> {
+        let n = self.netlist.node_count();
+        let mut reach = vec![false; n];
+        // Reverse topological sweep: node IDs are topological.
+        for idx in (0..n).rev() {
+            let id = NodeId::from_index(idx);
+            if !values[idx].has_x() {
+                continue;
+            }
+            if self.netlist.is_output(id)
+                || self.netlist.fanout(id).iter().any(|s| reach[s.index()])
+            {
+                reach[idx] = true;
+            }
+        }
+        reach
+    }
+
+    /// Maps an objective to a primary-input assignment by walking back
+    /// through X-valued lines.
+    fn backtrace(
+        &self,
+        values: &[Composite],
+        mut node: NodeId,
+        mut value: bool,
+    ) -> Option<(usize, bool)> {
+        loop {
+            let kind = self.netlist.kind(node);
+            if kind == GateKind::Input {
+                let pi_idx = self
+                    .netlist
+                    .inputs()
+                    .iter()
+                    .position(|&p| p == node)
+                    .expect("input node is a primary input");
+                return Some((pi_idx, value));
+            }
+            let fanin = self.netlist.fanin(node);
+            let x_pins: Vec<NodeId> = fanin
+                .iter()
+                .copied()
+                .filter(|f| values[f.index()].good == Logic::X)
+                .collect();
+            if x_pins.is_empty() {
+                return None; // objective line fully implied: dead end
+            }
+            match kind {
+                GateKind::Buf => node = fanin[0],
+                GateKind::Not => {
+                    node = fanin[0];
+                    value = !value;
+                }
+                GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                    let inverting = kind.is_inverting();
+                    let core_needed = value ^ inverting;
+                    // AND-core: output 1 needs all 1 (hardest first);
+                    // output 0 needs any 0 (easiest). OR-core is the dual.
+                    let and_like = matches!(kind, GateKind::And | GateKind::Nand);
+                    let (target, pick_hardest) = if and_like {
+                        if core_needed {
+                            (true, true)
+                        } else {
+                            (false, false)
+                        }
+                    } else if core_needed {
+                        (true, false)
+                    } else {
+                        (false, true)
+                    };
+                    let chosen = if pick_hardest {
+                        x_pins.iter().max_by_key(|&&p| self.cc.cost(p, target))
+                    } else {
+                        x_pins.iter().min_by_key(|&&p| self.cc.cost(p, target))
+                    };
+                    node = *chosen.expect("non-empty");
+                    value = target;
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    // Parity: choose the first X input; its value is the
+                    // required parity corrected by the other known inputs
+                    // (X inputs other than the chosen one are treated as 0
+                    // — a heuristic, corrected by implication).
+                    let required = value ^ (kind == GateKind::Xnor);
+                    let chosen = x_pins[0];
+                    let mut parity = false;
+                    for &f in fanin {
+                        if f != chosen && values[f.index()].good == Logic::One {
+                            parity = !parity;
+                        }
+                    }
+                    node = chosen;
+                    value = required ^ parity;
+                }
+                GateKind::Input => unreachable!(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlp_circuit::generators;
+    use dlp_sim::stuck_at;
+
+    /// Verifies a test cube truly detects the fault (binary simulation of
+    /// good vs faulty with don't-cares filled with 0).
+    fn cube_detects(netlist: &Netlist, fault: &StuckAtFault, cube: &[Option<bool>]) -> bool {
+        let pis: Vec<Logic> = cube
+            .iter()
+            .map(|c| Logic::from_bool(c.unwrap_or(false)))
+            .collect();
+        let values = simulate_composite(netlist, fault, &pis);
+        netlist.outputs().iter().any(|&o| values[o.index()].is_d())
+    }
+
+    #[test]
+    fn c17_all_faults_get_verified_tests() {
+        let c17 = generators::c17();
+        let engine = Podem::new(&c17, 1000);
+        for fault in stuck_at::enumerate(&c17).faults() {
+            match engine.generate(fault) {
+                PodemOutcome::Test(cube) => {
+                    assert!(
+                        cube_detects(&c17, fault, &cube),
+                        "cube fails for {}",
+                        fault.describe(&c17)
+                    );
+                }
+                other => panic!("{}: {:?}", fault.describe(&c17), other),
+            }
+        }
+    }
+
+    #[test]
+    fn detects_redundant_fault() {
+        // z = OR(a, NOT a) is constant 1: z/SA1 is undetectable.
+        let mut n = Netlist::new("red");
+        let a = n.add_input("a").unwrap();
+        let na = n.add_gate("na", GateKind::Not, vec![a]).unwrap();
+        let z = n.add_gate("z", GateKind::Or, vec![a, na]).unwrap();
+        n.mark_output(z);
+        n.freeze();
+        let engine = Podem::new(&n, 1000);
+        let fault = StuckAtFault {
+            site: FaultSite::Stem(z),
+            stuck_at_one: true,
+        };
+        assert_eq!(engine.generate(&fault), PodemOutcome::Redundant);
+        // The SA0 twin is trivially testable.
+        let fault0 = StuckAtFault {
+            site: FaultSite::Stem(z),
+            stuck_at_one: false,
+        };
+        assert!(matches!(engine.generate(&fault0), PodemOutcome::Test(_)));
+    }
+
+    #[test]
+    fn xor_heavy_circuit_is_handled() {
+        let nl = generators::ripple_adder(4);
+        let engine = Podem::new(&nl, 2000);
+        let mut tested = 0;
+        for fault in stuck_at::enumerate(&nl).collapse().faults() {
+            match engine.generate(fault) {
+                PodemOutcome::Test(cube) => {
+                    assert!(cube_detects(&nl, fault, &cube), "{}", fault.describe(&nl));
+                    tested += 1;
+                }
+                PodemOutcome::Redundant => {}
+                PodemOutcome::Aborted => panic!("aborted on {}", fault.describe(&nl)),
+            }
+        }
+        assert!(tested > 0);
+    }
+
+    #[test]
+    fn branch_faults_get_tests() {
+        let c17 = generators::c17();
+        let engine = Podem::new(&c17, 1000);
+        let g16 = c17.find("16").unwrap();
+        for (pin, sa1) in [(0, true), (0, false), (1, true), (1, false)] {
+            let fault = StuckAtFault {
+                site: FaultSite::Branch { gate: g16, pin },
+                stuck_at_one: sa1,
+            };
+            match engine.generate(&fault) {
+                PodemOutcome::Test(cube) => {
+                    assert!(
+                        cube_detects(&c17, &fault, &cube),
+                        "{}",
+                        fault.describe(&c17)
+                    );
+                }
+                other => panic!("{}: {:?}", fault.describe(&c17), other),
+            }
+        }
+    }
+
+    #[test]
+    fn cubes_leave_dont_cares() {
+        // For an easy fault in a wide circuit most PIs should stay X.
+        let nl = generators::c432_class();
+        let engine = Podem::new(&nl, 2000);
+        let pi0 = nl.inputs()[0];
+        let fault = StuckAtFault {
+            site: FaultSite::Stem(pi0),
+            stuck_at_one: true,
+        };
+        if let PodemOutcome::Test(cube) = engine.generate(&fault) {
+            let assigned = cube.iter().filter(|c| c.is_some()).count();
+            assert!(
+                assigned < nl.inputs().len(),
+                "PODEM should not assign every PI"
+            );
+        } else {
+            panic!("PI fault must be testable");
+        }
+    }
+}

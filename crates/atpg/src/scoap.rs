@@ -1,0 +1,175 @@
+//! SCOAP testability measures (Goldstein's controllability).
+//!
+//! `CC0(l)` / `CC1(l)` estimate the effort (number of line assignments) to
+//! set line `l` to 0 / 1. PODEM's backtrace uses them to pick the easiest
+//! input when one suffices and the hardest when all are needed — the same
+//! cost guidance FAN applies to its head lines.
+
+use dlp_circuit::{GateKind, Netlist, NodeId};
+
+/// Controllability of every line of a netlist.
+#[derive(Debug, Clone)]
+pub struct Controllability {
+    cc0: Vec<u32>,
+    cc1: Vec<u32>,
+}
+
+impl Controllability {
+    /// Computes SCOAP combinational controllabilities in one topological
+    /// sweep.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dlp_atpg::scoap::Controllability;
+    /// use dlp_circuit::generators;
+    ///
+    /// let c17 = generators::c17();
+    /// let cc = Controllability::compute(&c17);
+    /// let pi = c17.inputs()[0];
+    /// assert_eq!(cc.cc0(pi), 1);
+    /// assert_eq!(cc.cc1(pi), 1);
+    /// ```
+    pub fn compute(netlist: &Netlist) -> Self {
+        let n = netlist.node_count();
+        let mut cc0 = vec![0u32; n];
+        let mut cc1 = vec![0u32; n];
+        for id in netlist.node_ids() {
+            let i = id.index();
+            let fanin = netlist.fanin(id);
+            let f0 = |x: NodeId| cc0[x.index()];
+            let f1 = |x: NodeId| cc1[x.index()];
+            let (c0, c1) = match netlist.kind(id) {
+                GateKind::Input => (1, 1),
+                GateKind::Buf => (f0(fanin[0]) + 1, f1(fanin[0]) + 1),
+                GateKind::Not => (f1(fanin[0]) + 1, f0(fanin[0]) + 1),
+                GateKind::And => (
+                    fanin.iter().map(|&x| f0(x)).min().unwrap() + 1,
+                    fanin.iter().map(|&x| f1(x)).sum::<u32>() + 1,
+                ),
+                GateKind::Nand => (
+                    fanin.iter().map(|&x| f1(x)).sum::<u32>() + 1,
+                    fanin.iter().map(|&x| f0(x)).min().unwrap() + 1,
+                ),
+                GateKind::Or => (
+                    fanin.iter().map(|&x| f0(x)).sum::<u32>() + 1,
+                    fanin.iter().map(|&x| f1(x)).min().unwrap() + 1,
+                ),
+                GateKind::Nor => (
+                    fanin.iter().map(|&x| f1(x)).min().unwrap() + 1,
+                    fanin.iter().map(|&x| f0(x)).sum::<u32>() + 1,
+                ),
+                GateKind::Xor | GateKind::Xnor => {
+                    // Fold pairwise: cost of parity-0 / parity-1 over the
+                    // inputs so far.
+                    let mut p0 = f0(fanin[0]);
+                    let mut p1 = f1(fanin[0]);
+                    for &x in &fanin[1..] {
+                        let (q0, q1) = (f0(x), f1(x));
+                        let n0 = (p0 + q0).min(p1 + q1);
+                        let n1 = (p0 + q1).min(p1 + q0);
+                        p0 = n0;
+                        p1 = n1;
+                    }
+                    if netlist.kind(id) == GateKind::Xor {
+                        (p0 + 1, p1 + 1)
+                    } else {
+                        (p1 + 1, p0 + 1)
+                    }
+                }
+            };
+            cc0[i] = c0;
+            cc1[i] = c1;
+        }
+        Controllability { cc0, cc1 }
+    }
+
+    /// Cost of driving the line to 0.
+    pub fn cc0(&self, id: NodeId) -> u32 {
+        self.cc0[id.index()]
+    }
+
+    /// Cost of driving the line to 1.
+    pub fn cc1(&self, id: NodeId) -> u32 {
+        self.cc1[id.index()]
+    }
+
+    /// Cost of driving the line to the given value.
+    pub fn cost(&self, id: NodeId, value: bool) -> u32 {
+        if value {
+            self.cc1(id)
+        } else {
+            self.cc0(id)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlp_circuit::generators;
+    use dlp_circuit::Netlist;
+
+    #[test]
+    fn primary_inputs_cost_one() {
+        let c17 = generators::c17();
+        let cc = Controllability::compute(&c17);
+        for &pi in c17.inputs() {
+            assert_eq!(cc.cc0(pi), 1);
+            assert_eq!(cc.cc1(pi), 1);
+        }
+    }
+
+    #[test]
+    fn and_gate_asymmetry() {
+        let mut n = Netlist::new("and3");
+        let a = n.add_input("a").unwrap();
+        let b = n.add_input("b").unwrap();
+        let c = n.add_input("c").unwrap();
+        let g = n.add_gate("g", GateKind::And, vec![a, b, c]).unwrap();
+        n.freeze();
+        let cc = Controllability::compute(&n);
+        assert_eq!(cc.cc0(g), 2, "one controlling 0 suffices");
+        assert_eq!(cc.cc1(g), 4, "all three inputs must be 1");
+    }
+
+    #[test]
+    fn inverter_swaps_costs() {
+        let mut n = Netlist::new("chain");
+        let a = n.add_input("a").unwrap();
+        let b = n.add_gate("b", GateKind::And, vec![a, a]).unwrap();
+        let inv = n.add_gate("i", GateKind::Not, vec![b]).unwrap();
+        n.freeze();
+        let cc = Controllability::compute(&n);
+        assert_eq!(cc.cc0(inv), cc.cc1(b) + 1);
+        assert_eq!(cc.cc1(inv), cc.cc0(b) + 1);
+    }
+
+    #[test]
+    fn xor_controllability_is_balanced() {
+        let mut n = Netlist::new("x");
+        let a = n.add_input("a").unwrap();
+        let b = n.add_input("b").unwrap();
+        let g = n.add_gate("g", GateKind::Xor, vec![a, b]).unwrap();
+        n.freeze();
+        let cc = Controllability::compute(&n);
+        assert_eq!(cc.cc0(g), 3); // 1+1 (00 or 11) + 1
+        assert_eq!(cc.cc1(g), 3);
+    }
+
+    #[test]
+    fn deeper_lines_cost_more() {
+        let nl = generators::ripple_adder(8);
+        let cc = Controllability::compute(&nl);
+        // CC0 of the carry chain grows along the ripple (an OR's CC0 sums
+        // its inputs' CC0s), so the MSB carry is harder to zero than c0.
+        let c0 = nl.find("c0").unwrap();
+        let c7 = nl.find("c7").unwrap();
+        assert!(
+            cc.cc0(c7) > cc.cc0(c0),
+            "c7 CC0 {} vs c0 CC0 {}",
+            cc.cc0(c7),
+            cc.cc0(c0)
+        );
+    }
+}

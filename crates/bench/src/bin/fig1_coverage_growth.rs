@@ -1,0 +1,63 @@
+//! Figure 1 of the paper: the analytic coverage-growth curves
+//! `T(k) = 1 − e^(−ln k / ln τ_T)` (eq. 7) and
+//! `θ(k) = θ_max (1 − e^(−ln k / ln τ_θ))` (eq. 8) for the paper's
+//! illustration parameters `τ_T = e³`, `τ_θ = e²`, `θ_max = 0.96`,
+//! k = 1 … 10⁶.
+//!
+//! Expected shape: θ(k) rises *faster* (lower susceptibility — the
+//! weighted realistic faults are dominated by easy bridges) but saturates
+//! at θ_max < 1, while T(k) grinds on toward 1; the curves cross.
+
+use dlp_bench::{ascii_plot, print_table, to_csv, Series};
+use dlp_core::coverage::CoverageGrowth;
+
+fn main() -> Result<(), dlp_core::ModelError> {
+    let tau_t = 3.0f64.exp();
+    let tau_theta = 2.0f64.exp();
+    let theta_max = 0.96;
+    let t = CoverageGrowth::new(tau_t, 1.0)?;
+    let th = CoverageGrowth::new(tau_theta, theta_max)?;
+
+    let ks: Vec<u64> = (0..=24)
+        .map(|e| (10f64.powf(e as f64 / 4.0)) as u64)
+        .collect();
+    let t_series = Series::new(
+        "T(k)",
+        ks.iter().map(|&k| ((k as f64).log10(), t.at(k))).collect(),
+    );
+    let th_series = Series::new(
+        "theta(k)",
+        ks.iter().map(|&k| ((k as f64).log10(), th.at(k))).collect(),
+    );
+
+    println!("Fig. 1 — coverage growth under random vectors");
+    println!("parameters: tau_T = e^3, tau_theta = e^2, theta_max = 0.96\n");
+    let rows: Vec<Vec<String>> = ks
+        .iter()
+        .map(|&k| {
+            vec![
+                format!("{k}"),
+                format!("{:.4}", t.at(k)),
+                format!("{:.4}", th.at(k)),
+            ]
+        })
+        .collect();
+    print_table(&["k", "T(k)", "theta(k)"], &rows);
+
+    println!(
+        "\n{}",
+        ascii_plot(&[t_series.clone(), th_series.clone()], 72, 18)
+    );
+    println!("(x axis: log10 k)");
+    println!("\nCSV:\n{}", to_csv(&[t_series, th_series]));
+
+    // Shape assertions (the acceptance criteria of DESIGN.md §4).
+    assert!(th.at(10) > t.at(10), "theta leads at small k");
+    assert!(
+        t.at(1_000_000) > th.at(1_000_000),
+        "T overtakes at saturation"
+    );
+    assert!(th.at(1_000_000) <= theta_max + 1e-12);
+    println!("shape checks passed: theta leads early, T overtakes near saturation.");
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Figure 2 of the paper: `DL(T)` for the Williams–Brown model against the
+//! new model (eq. 11) with `R = 2`, `θ_max = 0.96` at `Y = 0.75` — the
+//! "typical case" plot showing the concave deviation observed in real
+//! fallout data.
+
+use dlp_bench::{ascii_plot, print_table, to_csv, Series};
+use dlp_core::sousa::SousaModel;
+
+fn main() -> Result<(), dlp_core::ModelError> {
+    let y = 0.75;
+    let wb = SousaModel::williams_brown(y)?;
+    let sousa = SousaModel::new(y, 2.0, 0.96)?;
+
+    let samples = 40usize;
+    let wb_series = Series::new("Williams-Brown", wb.curve(samples).into_iter().collect());
+    let sousa_series = Series::new(
+        "eq.11 (R=2, theta_max=0.96)",
+        sousa.curve(samples).into_iter().collect(),
+    );
+
+    println!("Fig. 2 — DL(T) at Y = {y}\n");
+    let rows: Vec<Vec<String>> = (0..=10)
+        .map(|i| {
+            let t = i as f64 / 10.0;
+            vec![
+                format!("{:.0}", 100.0 * t),
+                format!("{:.0}", 1e6 * wb.defect_level(t).unwrap()),
+                format!("{:.0}", 1e6 * sousa.defect_level(t).unwrap()),
+            ]
+        })
+        .collect();
+    print_table(&["T %", "WB ppm", "eq.11 ppm"], &rows);
+
+    println!(
+        "\n{}",
+        ascii_plot(&[wb_series.clone(), sousa_series.clone()], 72, 18)
+    );
+    println!("CSV:\n{}", to_csv(&[wb_series, sousa_series]));
+
+    // Shape assertions: below WB at mid coverage, above at full coverage,
+    // with the residual floor 1 - Y^(1-theta_max).
+    let mid = sousa.defect_level(0.5)?;
+    let mid_wb = wb.defect_level(0.5)?;
+    assert!(mid < mid_wb, "eq.11 dips below WB mid-range");
+    assert!(sousa.defect_level(1.0)? > 0.0, "residual floor at T = 1");
+    println!(
+        "shape checks passed: concave dip below WB, residual floor {:.0} ppm.",
+        1e6 * sousa.residual_defect_level()
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! The paper's two worked numeric examples (§2), reproduced exactly.
+//!
+//! * **Example 1**: `Y = 0.75`, `θ_max = 1`, `R = 2.1`, target
+//!   `DL = 100 ppm` → required coverage `T = 97.7 %` (the Williams–Brown
+//!   model would demand `99.97 %`).
+//! * **Example 2**: `Y = 0.75`, `T = 100 %`, `θ_max = 0.99`, `R = 1` →
+//!   a residual defect level in the thousands of ppm where Williams–Brown
+//!   predicts zero. Eq. 11 evaluates to 2873 ppm; the paper prints
+//!   2279 ppm (see `EXPERIMENTS.md` for the discrepancy note).
+
+use dlp_bench::print_table;
+use dlp_core::sousa::SousaModel;
+use dlp_core::{williams_brown, Ppm};
+
+fn main() -> Result<(), dlp_core::ModelError> {
+    println!("Worked examples of Sousa et al. §2 (Y = 0.75)\n");
+
+    // Example 1.
+    let m1 = SousaModel::new(0.75, 2.1, 1.0)?;
+    let t_eq11 = m1.required_coverage(100e-6)?;
+    let t_wb = williams_brown::required_coverage(0.75, 100e-6)?;
+    // Example 2.
+    let m2 = SousaModel::new(0.75, 1.0, 0.99)?;
+    let dl_eq11 = m2.defect_level(1.0)?;
+    let dl_wb = williams_brown::defect_level(0.75, 1.0)?;
+
+    print_table(
+        &["example", "quantity", "eq. 11", "Williams-Brown", "paper"],
+        &[
+            vec![
+                "1".into(),
+                "T needed for DL = 100 ppm".into(),
+                format!("{:.2} %", 100.0 * t_eq11),
+                format!("{:.2} %", 100.0 * t_wb),
+                "97.7 % / 99.97 %".into(),
+            ],
+            vec![
+                "2".into(),
+                "DL at T = 100 %".into(),
+                format!("{}", Ppm::from_fraction(dl_eq11)),
+                format!("{}", Ppm::from_fraction(dl_wb)),
+                "2279 ppm / 0".into(),
+            ],
+        ],
+    );
+
+    // Exact agreement on Example 1; Example 2 shape agreement (non-zero
+    // residual), with the numeric delta recorded in EXPERIMENTS.md.
+    assert!((t_eq11 - 0.977).abs() < 5e-4);
+    assert!((t_wb - 0.9997).abs() < 5e-5);
+    assert!(dl_eq11 > 2000e-6 && dl_eq11 < 3000e-6);
+    assert_eq!(dl_wb, 0.0);
+    println!("\nchecks passed: Example 1 exact; Example 2 residual floor reproduced");
+    println!(
+        "(our eq. 11 value {:.0} ppm vs the paper's printed 2279 ppm — see",
+        1e6 * dl_eq11
+    );
+    println!("EXPERIMENTS.md; the formula admits no parameter choice giving 2279");
+    println!("at theta_max = 0.99 exactly, so we record both).");
+    Ok(())
+}

@@ -1,0 +1,151 @@
+//! The shared experimental pipeline behind Figs. 3–6: layout → extraction
+//! → ATPG → gate- and switch-level fault simulation, with the paper's
+//! yield scaling. Each figure binary runs the stages it needs.
+
+use dlp_atpg::generate::{generate_tests, AtpgConfig, PodemVerdict};
+use dlp_circuit::{generators, switch, Netlist};
+use dlp_core::weighted::FaultWeights;
+use dlp_extract::defects::DefectStatistics;
+use dlp_extract::extractor;
+use dlp_extract::faults::{FaultSet, OpenLevelModel};
+use dlp_layout::chip::ChipLayout;
+use dlp_sim::detection::DetectionRecord;
+use dlp_sim::switchlevel::{SwitchConfig, SwitchSimulator};
+use dlp_sim::{ppsfp, stuck_at};
+
+/// The paper's yield operating point.
+pub const PAPER_YIELD: f64 = 0.75;
+
+/// Stage 1 output: the physical design and its extracted fault list.
+pub struct Extraction {
+    /// The benchmark netlist.
+    pub netlist: Netlist,
+    /// Its standard-cell layout.
+    pub chip: ChipLayout,
+    /// The weighted realistic fault list (pruned of negligible weights).
+    pub faults: FaultSet,
+    /// The weights scaled so that `Y = 0.75` (eq. 5 / §3 of the paper).
+    pub weights: FaultWeights,
+}
+
+/// Builds the c432-class chip and extracts faults under the given defect
+/// statistics.
+///
+/// # Panics
+///
+/// Panics if layout generation fails (a tuning bug, not an input
+/// condition).
+pub fn extract_c432(stats: &DefectStatistics) -> Extraction {
+    extract_netlist(generators::c432_class(), stats)
+}
+
+/// Same pipeline for an arbitrary netlist.
+///
+/// # Panics
+///
+/// See [`extract_c432`].
+pub fn extract_netlist(netlist: Netlist, stats: &DefectStatistics) -> Extraction {
+    let chip = ChipLayout::generate(&netlist, &Default::default()).expect("layout generates");
+    assert_eq!(
+        chip.verify_connectivity().len(),
+        0,
+        "layout has geometric shorts"
+    );
+    let mut faults = extractor::extract(&chip, stats);
+    faults.prune_below(1e-5);
+    let weights = FaultWeights::new(faults.weights())
+        .expect("non-empty fault list")
+        .scaled_to_yield(PAPER_YIELD)
+        .expect("valid yield");
+    Extraction {
+        netlist,
+        chip,
+        faults,
+        weights,
+    }
+}
+
+/// Stage 2 output: vectors and both fault-simulation records.
+pub struct SimulationRun {
+    /// The applied vector sequence (random prefix + deterministic tail).
+    pub vectors: Vec<Vec<bool>>,
+    /// Length of the random prefix.
+    pub random_prefix: usize,
+    /// Gate-level stuck-at record over *testable* faults (`T(k)`).
+    pub record_t: DetectionRecord,
+    /// Switch-level record over the realistic faults (`θ(k)`, `Γ(k)`).
+    pub record_theta: DetectionRecord,
+    /// Number of stuck-at faults proven redundant (excluded from `T`).
+    pub redundant: usize,
+}
+
+/// Runs ATPG and both simulators for an extraction.
+///
+/// # Panics
+///
+/// Panics on internal inconsistencies only.
+pub fn simulate(extraction: &Extraction, seed: u64) -> SimulationRun {
+    let netlist = &extraction.netlist;
+    let sa = stuck_at::enumerate(netlist).collapse();
+    let atpg = generate_tests(
+        netlist,
+        sa.faults(),
+        &AtpgConfig {
+            random_budget: 1024,
+            random_stall: 192,
+            seed,
+            ..Default::default()
+        },
+    );
+    let redundant: Vec<_> = atpg
+        .undetected
+        .iter()
+        .filter(|(_, v)| *v == PodemVerdict::Redundant)
+        .map(|(f, _)| *f)
+        .collect();
+    let testable: Vec<_> = sa
+        .faults()
+        .iter()
+        .copied()
+        .filter(|f| !redundant.contains(f))
+        .collect();
+
+    let record_t = ppsfp::simulate(netlist, &testable, &atpg.vectors);
+
+    let sw = switch::expand(netlist).expect("expandable");
+    let sim = SwitchSimulator::new(sw, SwitchConfig::default());
+    let lowered =
+        extraction
+            .faults
+            .to_switch_faults(netlist, sim.netlist(), &OpenLevelModel::default());
+    let record_theta = sim.detect(&lowered, &atpg.vectors);
+
+    SimulationRun {
+        vectors: atpg.vectors,
+        random_prefix: atpg.random_prefix_len,
+        record_t,
+        record_theta,
+        redundant: redundant.len(),
+    }
+}
+
+/// The `(T(k), θ(k), Γ(k), DL(θ(k)))` samples at logarithmic test lengths.
+pub fn curve_samples(
+    extraction: &Extraction,
+    run: &SimulationRun,
+) -> Vec<(usize, f64, f64, f64, f64)> {
+    let w = extraction.faults.weights();
+    crate::log_lengths(run.vectors.len())
+        .into_iter()
+        .map(|k| {
+            let t = run.record_t.coverage_after(k);
+            let theta = run.record_theta.weighted_coverage_after(k, &w);
+            let gamma = run.record_theta.coverage_after(k);
+            let dl = extraction
+                .weights
+                .defect_level(theta)
+                .expect("theta in range");
+            (k, t, theta, gamma, dl)
+        })
+        .collect()
+}

@@ -1,0 +1,302 @@
+//! Reader and writer for the ISCAS-85 `.bench` netlist format.
+//!
+//! The format is line-oriented:
+//!
+//! ```text
+//! # comment
+//! INPUT(a)
+//! OUTPUT(z)
+//! z = NAND(a, b)
+//! ```
+//!
+//! Gate definitions may reference signals defined later in the file (the
+//! original ISCAS distributions are not topologically sorted), so parsing is
+//! two-phase: collect, then emit in dependency order.
+
+use std::collections::HashMap;
+
+use crate::{GateKind, Netlist, NetlistError, NodeId};
+
+/// Parses a `.bench` document into a [`Netlist`].
+///
+/// # Errors
+///
+/// [`NetlistError::Parse`] for malformed lines, plus the usual construction
+/// errors (duplicate names, unknown signals, bad arity). A combinational
+/// cycle in the input is reported as [`NetlistError::Cycle`].
+///
+/// # Example
+///
+/// ```
+/// use dlp_circuit::bench;
+///
+/// # fn main() -> Result<(), dlp_circuit::NetlistError> {
+/// let n = bench::parse("c17-mini", "
+///     INPUT(a)
+///     INPUT(b)
+///     OUTPUT(z)
+///     z = NAND(a, b)
+/// ")?;
+/// assert_eq!(n.gate_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(name: &str, text: &str) -> Result<Netlist, NetlistError> {
+    struct RawGate {
+        name: String,
+        kind: GateKind,
+        fanin: Vec<String>,
+        line: usize,
+    }
+
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut gates: Vec<RawGate> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(sig) = parse_directive(line, "INPUT") {
+            inputs.push(sig.to_string());
+        } else if let Some(sig) = parse_directive(line, "OUTPUT") {
+            outputs.push(sig.to_string());
+        } else if let Some((lhs, rhs)) = line.split_once('=') {
+            let lhs = lhs.trim().to_string();
+            let rhs = rhs.trim();
+            let open = rhs.find('(').ok_or_else(|| NetlistError::Parse {
+                line: lineno,
+                message: format!("expected `kind(args)` on the right of `=`, got `{rhs}`"),
+            })?;
+            if !rhs.ends_with(')') {
+                return Err(NetlistError::Parse {
+                    line: lineno,
+                    message: "missing closing parenthesis".into(),
+                });
+            }
+            let kw = rhs[..open].trim();
+            let kind = GateKind::from_keyword(kw).ok_or_else(|| NetlistError::Parse {
+                line: lineno,
+                message: format!("unknown gate kind `{kw}`"),
+            })?;
+            let args = &rhs[open + 1..rhs.len() - 1];
+            let fanin: Vec<String> = args
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            gates.push(RawGate {
+                name: lhs,
+                kind,
+                fanin,
+                line: lineno,
+            });
+        } else {
+            return Err(NetlistError::Parse {
+                line: lineno,
+                message: format!("unrecognised line `{line}`"),
+            });
+        }
+    }
+
+    // Topologically order gate definitions (inputs are level 0).
+    let mut netlist = Netlist::new(name);
+    let mut resolved: HashMap<String, NodeId> = HashMap::new();
+    for i in &inputs {
+        let id = netlist.add_input(i.clone())?;
+        resolved.insert(i.clone(), id);
+    }
+
+    let mut remaining: Vec<RawGate> = gates;
+    while !remaining.is_empty() {
+        let mut progressed = false;
+        let mut next = Vec::with_capacity(remaining.len());
+        for g in remaining {
+            if g.fanin.iter().all(|f| resolved.contains_key(f)) {
+                let fanin_ids = g.fanin.iter().map(|f| resolved[f]).collect();
+                let id = netlist.add_gate(g.name.clone(), g.kind, fanin_ids)?;
+                resolved.insert(g.name, id);
+                progressed = true;
+            } else {
+                next.push(g);
+            }
+        }
+        if !progressed {
+            // Either a reference to a missing signal or a genuine cycle.
+            let g = &next[0];
+            for f in &g.fanin {
+                if !resolved.contains_key(f) && !next.iter().any(|o| o.name == *f) {
+                    return Err(NetlistError::Parse {
+                        line: g.line,
+                        message: format!("gate `{}` references undeclared signal `{f}`", g.name),
+                    });
+                }
+            }
+            return Err(NetlistError::Cycle(next[0].name.clone()));
+        }
+        remaining = next;
+    }
+
+    for o in &outputs {
+        let id = resolved
+            .get(o)
+            .copied()
+            .ok_or_else(|| NetlistError::UndrivenOutput(o.clone()))?;
+        netlist.mark_output(id);
+    }
+    netlist.freeze();
+    netlist.validate()?;
+    Ok(netlist)
+}
+
+fn parse_directive<'a>(line: &'a str, kw: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(kw)?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let rest = rest.strip_suffix(')')?;
+    Some(rest.trim())
+}
+
+/// Serialises a [`Netlist`] to `.bench` text. The output is topologically
+/// sorted and re-parses to an equivalent netlist.
+///
+/// # Example
+///
+/// ```
+/// use dlp_circuit::{bench, generators};
+///
+/// let c17 = generators::c17();
+/// let text = bench::write(&c17);
+/// let back = bench::parse("c17", &text).unwrap();
+/// assert_eq!(back.gate_count(), c17.gate_count());
+/// ```
+pub fn write(netlist: &Netlist) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", netlist.name());
+    for &i in netlist.inputs() {
+        let _ = writeln!(out, "INPUT({})", netlist.node_name(i));
+    }
+    for &o in netlist.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", netlist.node_name(o));
+    }
+    for id in netlist.node_ids() {
+        let kind = netlist.kind(id);
+        if kind == GateKind::Input {
+            continue;
+        }
+        let fanin: Vec<&str> = netlist
+            .fanin(id)
+            .iter()
+            .map(|&f| netlist.node_name(f))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{} = {}({})",
+            netlist.node_name(id),
+            kind.keyword(),
+            fanin.join(", ")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C17: &str = "
+        # c17 ISCAS-85
+        INPUT(1)  INPUT-like comment is not allowed; see below
+    ";
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(parse("bad", C17), Err(NetlistError::Parse { .. })));
+    }
+
+    #[test]
+    fn parses_out_of_order_definitions() {
+        let n = parse(
+            "ooo",
+            "INPUT(a)\nOUTPUT(z)\nz = NOT(y)\ny = NAND(a, a2)\nINPUT(a2)\n",
+        )
+        .unwrap();
+        assert_eq!(n.gate_count(), 2);
+        assert_eq!(n.depth(), 2);
+    }
+
+    #[test]
+    fn detects_cycles() {
+        let err = parse("cyc", "INPUT(a)\nx = NAND(a, y)\ny = NAND(a, x)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Cycle(_)), "{err}");
+    }
+
+    #[test]
+    fn reports_missing_signal_with_line() {
+        let err = parse("miss", "INPUT(a)\nz = NAND(a, ghost)\n").unwrap_err();
+        match err {
+            NetlistError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("ghost"));
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn reports_undriven_output() {
+        let err = parse("u", "INPUT(a)\nOUTPUT(z)\n").unwrap_err();
+        assert_eq!(err, NetlistError::UndrivenOutput("z".into()));
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let n = parse(
+            "c",
+            "# header\n\nINPUT(a) # trailing\nOUTPUT(b)\nb = NOT(a)\n",
+        )
+        .unwrap();
+        assert_eq!(n.gate_count(), 1);
+    }
+
+    #[test]
+    fn round_trip_preserves_structure_and_function() {
+        let n = crate::generators::c17();
+        let text = write(&n);
+        let back = parse("c17", &text).unwrap();
+        assert_eq!(back.inputs().len(), n.inputs().len());
+        assert_eq!(back.outputs().len(), n.outputs().len());
+        assert_eq!(back.gate_count(), n.gate_count());
+        // Exhaustive functional equivalence over all 32 input patterns.
+        let words: Vec<u64> = (0..5)
+            .map(|i| {
+                let mut w = 0u64;
+                for p in 0..32u64 {
+                    if p >> i & 1 == 1 {
+                        w |= 1 << p;
+                    }
+                }
+                w
+            })
+            .collect();
+        let mask = (1u64 << 32) - 1;
+        let a = n.eval_words(&words);
+        let b = back.eval_words(&words);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x & mask, y & mask);
+        }
+    }
+
+    #[test]
+    fn keyword_case_insensitive_and_buff_alias() {
+        let n = parse("k", "INPUT(a)\nOUTPUT(z)\nz = buff(a)\n").unwrap();
+        assert_eq!(n.kind(n.find("z").unwrap()), GateKind::Buf);
+    }
+}

@@ -1,0 +1,79 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or parsing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A node name was declared twice.
+    DuplicateName(String),
+    /// A gate referenced a signal that was never declared.
+    UnknownSignal(String),
+    /// A gate was built with an arity its kind does not support.
+    BadArity {
+        /// The offending gate's name.
+        gate: String,
+        /// Number of fanins supplied.
+        got: usize,
+        /// Human-readable description of what the kind accepts.
+        expected: &'static str,
+    },
+    /// The netlist contains a combinational cycle through the named node.
+    Cycle(String),
+    /// A `.bench` line could not be parsed.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// An output was declared for a signal that is never defined.
+    UndrivenOutput(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateName(n) => write!(f, "duplicate signal name `{n}`"),
+            NetlistError::UnknownSignal(n) => write!(f, "reference to undeclared signal `{n}`"),
+            NetlistError::BadArity {
+                gate,
+                got,
+                expected,
+            } => {
+                write!(f, "gate `{gate}` has {got} fanins, expected {expected}")
+            }
+            NetlistError::Cycle(n) => write!(f, "combinational cycle through `{n}`"),
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::UndrivenOutput(n) => {
+                write!(f, "output `{n}` is never driven by an input or gate")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = NetlistError::BadArity {
+            gate: "g1".into(),
+            got: 1,
+            expected: "at least 2",
+        };
+        assert_eq!(e.to_string(), "gate `g1` has 1 fanins, expected at least 2");
+        assert!(NetlistError::Cycle("x".into()).to_string().contains("`x`"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<NetlistError>();
+    }
+}

@@ -1,0 +1,86 @@
+//! Benchmark circuit generators.
+//!
+//! Everything here is built from scratch so the toolkit carries its own
+//! workloads:
+//!
+//! * [`c17`] — the 6-gate ISCAS-85 `c17`, embedded verbatim,
+//! * [`c432_class`] — a 36-input / 7-output 27-channel interrupt controller
+//!   of the same class as ISCAS-85 `c432` (see `DESIGN.md` for the
+//!   substitution rationale),
+//! * arithmetic and datapath blocks ([`ripple_adder`], [`comparator`],
+//!   [`alu_slice`]),
+//! * regular structures ([`decoder`], [`parity_tree`], [`mux_tree`]),
+//! * [`random_logic`] — seeded random combinational networks for scaling
+//!   experiments.
+//!
+//! All generators return frozen, validated [`Netlist`]s.
+
+mod arith;
+mod interrupt;
+mod random;
+mod regular;
+
+pub use arith::{alu_slice, comparator, ripple_adder};
+pub use interrupt::c432_class;
+pub use random::{random_logic, RandomLogicConfig};
+pub use regular::{decoder, mux_tree, parity_tree};
+
+use crate::{bench, Netlist};
+
+/// The ISCAS-85 `c17` benchmark (5 inputs, 2 outputs, 6 NAND2 gates),
+/// embedded verbatim from the Brglez–Fujiwara distribution.
+///
+/// # Example
+///
+/// ```
+/// let c17 = dlp_circuit::generators::c17();
+/// assert_eq!(c17.gate_count(), 6);
+/// assert_eq!(c17.inputs().len(), 5);
+/// ```
+pub fn c17() -> Netlist {
+    const TEXT: &str = "\
+# c17 (ISCAS-85)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+    bench::parse("c17", TEXT).expect("embedded c17 parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c17_structure() {
+        let c = c17();
+        assert_eq!(c.node_count(), 11);
+        assert_eq!(c.outputs().len(), 2);
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn c17_known_response() {
+        let c = c17();
+        // All-zero inputs: 10 = 1, 11 = 1, 16 = 1, 19 = 1 -> 22 = 0, 23 = 0.
+        let out = c.eval_words(&[0, 0, 0, 0, 0]);
+        assert_eq!(out[0] & 1, 0);
+        assert_eq!(out[1] & 1, 0);
+        // Inputs 1=0,2=0,3=0,6=0,7=0 with bit1 pattern all-ones:
+        let out = c.eval_words(&[u64::MAX; 5]);
+        // 10 = nand(1,1)=0, 11 = 0, 16 = nand(1,0)=1, 19 = nand(0,1)=1,
+        // 22 = nand(0,1)=1, 23 = nand(1,1)=0.
+        assert_eq!(out[0] & 1, 1);
+        assert_eq!(out[1] & 1, 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Seeded random combinational logic, for scaling and robustness tests.
+
+use crate::{GateKind, Netlist, NodeId};
+
+/// Shape parameters for [`random_logic`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandomLogicConfig {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of gates to generate.
+    pub gates: usize,
+    /// Number of primary outputs (drawn from the last gates).
+    pub outputs: usize,
+    /// RNG seed; identical seeds give identical netlists.
+    pub seed: u64,
+}
+
+impl Default for RandomLogicConfig {
+    fn default() -> Self {
+        RandomLogicConfig {
+            inputs: 16,
+            gates: 100,
+            outputs: 8,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a random combinational netlist.
+///
+/// Gates draw 1–4 fanins from a sliding recency window (biasing toward
+/// recent signals keeps depth and fanout realistic instead of degenerating
+/// into a flat OR of inputs). The generator is deterministic in the seed.
+///
+/// # Panics
+///
+/// Panics if `inputs == 0`, `gates == 0`, or `outputs` exceeds `gates`.
+///
+/// # Example
+///
+/// ```
+/// use dlp_circuit::generators::{random_logic, RandomLogicConfig};
+///
+/// let a = random_logic(&RandomLogicConfig::default());
+/// let b = random_logic(&RandomLogicConfig::default());
+/// assert_eq!(dlp_circuit::bench::write(&a), dlp_circuit::bench::write(&b));
+/// ```
+pub fn random_logic(config: &RandomLogicConfig) -> Netlist {
+    assert!(config.inputs > 0, "need at least one input");
+    assert!(config.gates > 0, "need at least one gate");
+    assert!(config.outputs <= config.gates, "more outputs than gates");
+
+    let mut state = config.seed | 1;
+    let mut next = move || {
+        // xorshift64*; deterministic and dependency-free.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+
+    let mut nl = Netlist::new(format!("rand_{}_{}", config.gates, config.seed));
+    let mut pool: Vec<NodeId> = (0..config.inputs)
+        .map(|i| nl.add_input(format!("i{i}")).unwrap())
+        .collect();
+
+    const KINDS: [GateKind; 8] = [
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+        GateKind::Nand,
+    ];
+    for g in 0..config.gates {
+        let r = next();
+        let kind = KINDS[(r % 8) as usize];
+        let arity = if matches!(kind, GateKind::Not) {
+            1
+        } else {
+            2 + (r >> (8 % 3)) as usize % 3
+        };
+        // Recency window: last 3*inputs signals.
+        let window = pool.len().min(3 * config.inputs);
+        let base = pool.len() - window;
+        let mut fanin = Vec::with_capacity(arity);
+        let mut attempts = 0;
+        while fanin.len() < arity && attempts < 64 {
+            let pick = pool[base + (next() as usize % window)];
+            attempts += 1;
+            if !fanin.contains(&pick) {
+                fanin.push(pick);
+            }
+        }
+        while fanin.len() < arity {
+            // Window exhausted of distinct signals (tiny configs): walk the
+            // whole pool deterministically.
+            let pick = pool[fanin.len() % pool.len()];
+            if !fanin.contains(&pick) {
+                fanin.push(pick);
+            } else {
+                break;
+            }
+        }
+        let kind = if fanin.len() == 1 {
+            GateKind::Not
+        } else {
+            kind
+        };
+        let id = nl.add_gate(format!("g{g}"), kind, fanin).unwrap();
+        pool.push(id);
+    }
+    for k in 0..config.outputs {
+        nl.mark_output(pool[pool.len() - 1 - k]);
+    }
+    nl.freeze();
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = RandomLogicConfig {
+            inputs: 8,
+            gates: 50,
+            outputs: 4,
+            seed: 7,
+        };
+        let a = crate::bench::write(&random_logic(&cfg));
+        let b = crate::bench::write(&random_logic(&cfg));
+        assert_eq!(a, b);
+        let c = crate::bench::write(&random_logic(&RandomLogicConfig { seed: 8, ..cfg }));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn respects_shape() {
+        let cfg = RandomLogicConfig {
+            inputs: 12,
+            gates: 200,
+            outputs: 6,
+            seed: 99,
+        };
+        let nl = random_logic(&cfg);
+        assert_eq!(nl.inputs().len(), 12);
+        assert_eq!(nl.gate_count(), 200);
+        assert_eq!(nl.outputs().len(), 6);
+        assert!(nl.depth() > 3, "recency window should create depth");
+    }
+
+    #[test]
+    fn tiny_configs_work() {
+        let nl = random_logic(&RandomLogicConfig {
+            inputs: 1,
+            gates: 3,
+            outputs: 1,
+            seed: 1,
+        });
+        assert_eq!(nl.gate_count(), 3);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn never_panics_and_validates(
+            inputs in 1usize..20,
+            gates in 1usize..120,
+            seed in 0u64..1000,
+        ) {
+            let outputs = gates.min(4);
+            let nl = random_logic(&RandomLogicConfig { inputs, gates, outputs, seed });
+            proptest::prop_assert!(nl.validate().is_ok());
+            proptest::prop_assert_eq!(nl.gate_count(), gates);
+            // Evaluation must not panic.
+            let words = vec![0u64; inputs];
+            let out = nl.eval_words(&words);
+            proptest::prop_assert_eq!(out.len(), outputs);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Regular-structure benchmark generators: decoders, parity trees, muxes.
+
+use crate::{GateKind, Netlist, NodeId};
+
+/// An `n`-to-2ⁿ line decoder with an enable input. Output `y{k}` goes high
+/// when the binary input selects `k` and `en` is high.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 6` (64 outputs is plenty for a benchmark).
+pub fn decoder(n: usize) -> Netlist {
+    assert!((1..=6).contains(&n), "decoder width must be in 1..=6");
+    let mut nl = Netlist::new(format!("dec{n}"));
+    let sel: Vec<NodeId> = (0..n)
+        .map(|i| nl.add_input(format!("s{i}")).unwrap())
+        .collect();
+    let en = nl.add_input("en").unwrap();
+    let nsel: Vec<NodeId> = (0..n)
+        .map(|i| {
+            nl.add_gate(format!("ns{i}"), GateKind::Not, vec![sel[i]])
+                .unwrap()
+        })
+        .collect();
+    for k in 0..1usize << n {
+        let mut fanin = vec![en];
+        for i in 0..n {
+            fanin.push(if k >> i & 1 == 1 { sel[i] } else { nsel[i] });
+        }
+        let y = nl.add_gate(format!("y{k}"), GateKind::And, fanin).unwrap();
+        nl.mark_output(y);
+    }
+    nl.freeze();
+    nl
+}
+
+/// An `n`-input XOR parity tree (balanced), output `parity`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn parity_tree(n: usize) -> Netlist {
+    assert!(n >= 2, "parity tree needs at least 2 inputs");
+    let mut nl = Netlist::new(format!("par{n}"));
+    let mut layer: Vec<NodeId> = (0..n)
+        .map(|i| nl.add_input(format!("x{i}")).unwrap())
+        .collect();
+    let mut fresh = 0;
+    while layer.len() > 1 {
+        let mut next = Vec::new();
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                fresh += 1;
+                next.push(
+                    nl.add_gate(format!("p{fresh}"), GateKind::Xor, pair.to_vec())
+                        .unwrap(),
+                );
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    nl.mark_output(layer[0]);
+    nl.freeze();
+    nl
+}
+
+/// A 2ⁿ-to-1 multiplexer tree: `n` select inputs, `2^n` data inputs,
+/// one output `y`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 5`.
+pub fn mux_tree(n: usize) -> Netlist {
+    assert!((1..=5).contains(&n), "mux select width must be in 1..=5");
+    let mut nl = Netlist::new(format!("mux{n}"));
+    let sel: Vec<NodeId> = (0..n)
+        .map(|i| nl.add_input(format!("s{i}")).unwrap())
+        .collect();
+    let mut layer: Vec<NodeId> = (0..1usize << n)
+        .map(|i| nl.add_input(format!("d{i}")).unwrap())
+        .collect();
+    for (lvl, &s) in sel.iter().enumerate() {
+        let ns = nl
+            .add_gate(format!("ns{lvl}"), GateKind::Not, vec![s])
+            .unwrap();
+        let mut next = Vec::new();
+        for (j, pair) in layer.chunks(2).enumerate() {
+            let a = nl
+                .add_gate(format!("a{lvl}_{j}"), GateKind::And, vec![pair[0], ns])
+                .unwrap();
+            let b = nl
+                .add_gate(format!("b{lvl}_{j}"), GateKind::And, vec![pair[1], s])
+                .unwrap();
+            next.push(
+                nl.add_gate(format!("m{lvl}_{j}"), GateKind::Or, vec![a, b])
+                    .unwrap(),
+            );
+        }
+        layer = next;
+    }
+    nl.mark_output(layer[0]);
+    nl.freeze();
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_bits(nl: &Netlist, bits: &[bool]) -> Vec<bool> {
+        let words: Vec<u64> = bits.iter().map(|&b| if b { 1 } else { 0 }).collect();
+        nl.eval_words(&words).iter().map(|&w| w & 1 == 1).collect()
+    }
+
+    #[test]
+    fn decoder_one_hot() {
+        let nl = decoder(3);
+        for k in 0..8u32 {
+            for en in [false, true] {
+                let mut bits: Vec<bool> = (0..3).map(|i| k >> i & 1 == 1).collect();
+                bits.push(en);
+                let out = eval_bits(&nl, &bits);
+                for (j, &o) in out.iter().enumerate() {
+                    assert_eq!(o, en && j as u32 == k, "k={k} en={en} out{j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parity_tree_is_odd_parity() {
+        for n in [2usize, 3, 5, 8, 13] {
+            let nl = parity_tree(n);
+            assert_eq!(nl.outputs().len(), 1);
+            for trial in 0..32u64 {
+                let bits: Vec<bool> = (0..n)
+                    .map(|i| (trial.wrapping_mul(0x9E37) >> i) & 1 == 1)
+                    .collect();
+                let expect = bits.iter().filter(|&&b| b).count() % 2 == 1;
+                assert_eq!(eval_bits(&nl, &bits)[0], expect, "n={n} trial={trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn mux_selects_correct_input() {
+        let nl = mux_tree(3);
+        for sel in 0..8usize {
+            for data in [0u32, 0xAA, 0x55, 0xF0, 0xFF] {
+                let mut bits: Vec<bool> = (0..3).map(|i| sel >> i & 1 == 1).collect();
+                bits.extend((0..8).map(|i| data >> i & 1 == 1));
+                let out = eval_bits(&nl, &bits)[0];
+                assert_eq!(out, data >> sel & 1 == 1, "sel={sel} data={data:02x}");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_depth_is_logarithmic() {
+        let nl = parity_tree(16);
+        assert_eq!(nl.depth(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=6")]
+    fn oversized_decoder_panics() {
+        let _ = decoder(7);
+    }
+}

@@ -1,0 +1,233 @@
+/// The logic function of a netlist node.
+///
+/// `Input` marks primary inputs; all other kinds are combinational gates.
+/// Evaluation is 64-way bit-parallel: each `u64` word carries one bit per
+/// pattern, so a single [`GateKind::eval_words`] call simulates 64 input
+/// vectors at once (the basis of parallel-pattern fault simulation).
+///
+/// # Example
+///
+/// ```
+/// use dlp_circuit::GateKind;
+///
+/// let out = GateKind::Nand.eval_words(&[0b1100, 0b1010]);
+/// assert_eq!(out & 0xF, 0b0111);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GateKind {
+    /// Primary input (no logic function; its value comes from the vector).
+    Input,
+    /// Non-inverting buffer, arity 1.
+    Buf,
+    /// Inverter, arity 1.
+    Not,
+    /// AND, arity ≥ 2.
+    And,
+    /// NAND, arity ≥ 2.
+    Nand,
+    /// OR, arity ≥ 2.
+    Or,
+    /// NOR, arity ≥ 2.
+    Nor,
+    /// XOR (odd parity), arity ≥ 2.
+    Xor,
+    /// XNOR (even parity), arity ≥ 2.
+    Xnor,
+}
+
+impl GateKind {
+    /// All gate kinds, including `Input`.
+    pub const ALL: [GateKind; 9] = [
+        GateKind::Input,
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+    ];
+
+    /// Evaluates the gate over 64 patterns in parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`GateKind::Input`] or with an arity the kind
+    /// does not accept (netlist construction validates arity, so this only
+    /// fires on hand-rolled calls).
+    pub fn eval_words(self, fanin: &[u64]) -> u64 {
+        match self {
+            GateKind::Input => panic!("primary inputs have no logic function"),
+            GateKind::Buf => {
+                assert_eq!(fanin.len(), 1, "buf arity");
+                fanin[0]
+            }
+            GateKind::Not => {
+                assert_eq!(fanin.len(), 1, "not arity");
+                !fanin[0]
+            }
+            GateKind::And => fanin.iter().copied().fold(u64::MAX, |a, b| a & b),
+            GateKind::Nand => !fanin.iter().copied().fold(u64::MAX, |a, b| a & b),
+            GateKind::Or => fanin.iter().copied().fold(0, |a, b| a | b),
+            GateKind::Nor => !fanin.iter().copied().fold(0, |a, b| a | b),
+            GateKind::Xor => fanin.iter().copied().fold(0, |a, b| a ^ b),
+            GateKind::Xnor => !fanin.iter().copied().fold(0, |a, b| a ^ b),
+        }
+    }
+
+    /// Human-readable description of the accepted fanin count.
+    pub const fn arity_spec(self) -> &'static str {
+        match self {
+            GateKind::Input => "exactly 0",
+            GateKind::Buf | GateKind::Not => "exactly 1",
+            _ => "at least 2",
+        }
+    }
+
+    /// True if `n` fanins are acceptable for this kind.
+    pub const fn accepts_arity(self, n: usize) -> bool {
+        match self {
+            GateKind::Input => n == 0,
+            GateKind::Buf | GateKind::Not => n == 1,
+            _ => n >= 2,
+        }
+    }
+
+    /// True if the gate inverts (its controlled value propagates inverted):
+    /// NOT, NAND, NOR, XNOR.
+    pub const fn is_inverting(self) -> bool {
+        matches!(
+            self,
+            GateKind::Not | GateKind::Nand | GateKind::Nor | GateKind::Xnor
+        )
+    }
+
+    /// The *controlling value* of the gate, if it has one: the input value
+    /// that forces the output regardless of other inputs. XOR-family gates
+    /// and buffers have none.
+    pub const fn controlling_value(self) -> Option<bool> {
+        match self {
+            GateKind::And | GateKind::Nand => Some(false),
+            GateKind::Or | GateKind::Nor => Some(true),
+            _ => None,
+        }
+    }
+
+    /// `.bench`-style keyword for this kind.
+    pub const fn keyword(self) -> &'static str {
+        match self {
+            GateKind::Input => "INPUT",
+            GateKind::Buf => "BUF",
+            GateKind::Not => "NOT",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+        }
+    }
+
+    /// Parses a `.bench` keyword (case-insensitive). `BUFF` is accepted as
+    /// an alias for `BUF`, matching common ISCAS distributions.
+    pub fn from_keyword(kw: &str) -> Option<GateKind> {
+        let up = kw.to_ascii_uppercase();
+        Some(match up.as_str() {
+            "INPUT" => GateKind::Input,
+            "BUF" | "BUFF" => GateKind::Buf,
+            "NOT" | "INV" => GateKind::Not,
+            "AND" => GateKind::And,
+            "NAND" => GateKind::Nand,
+            "OR" => GateKind::Or,
+            "NOR" => GateKind::Nor,
+            "XOR" => GateKind::Xor,
+            "XNOR" => GateKind::Xnor,
+            _ => return None,
+        })
+    }
+}
+
+impl core::fmt::Display for GateKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_tables_two_input() {
+        let a = 0b1100u64;
+        let b = 0b1010u64;
+        let m = 0xFu64;
+        assert_eq!(GateKind::And.eval_words(&[a, b]) & m, 0b1000);
+        assert_eq!(GateKind::Nand.eval_words(&[a, b]) & m, 0b0111);
+        assert_eq!(GateKind::Or.eval_words(&[a, b]) & m, 0b1110);
+        assert_eq!(GateKind::Nor.eval_words(&[a, b]) & m, 0b0001);
+        assert_eq!(GateKind::Xor.eval_words(&[a, b]) & m, 0b0110);
+        assert_eq!(GateKind::Xnor.eval_words(&[a, b]) & m, 0b1001);
+        assert_eq!(GateKind::Buf.eval_words(&[a]) & m, a);
+        assert_eq!(GateKind::Not.eval_words(&[a]) & m, 0b0011);
+    }
+
+    #[test]
+    fn three_input_gates_fold() {
+        let v = [0b11110000u64, 0b11001100, 0b10101010];
+        assert_eq!(GateKind::And.eval_words(&v) & 0xFF, 0b10000000);
+        assert_eq!(GateKind::Or.eval_words(&v) & 0xFF, 0b11111110);
+        assert_eq!(GateKind::Xor.eval_words(&v) & 0xFF, 0b10010110);
+    }
+
+    #[test]
+    #[should_panic(expected = "no logic function")]
+    fn input_eval_panics() {
+        let _ = GateKind::Input.eval_words(&[]);
+    }
+
+    #[test]
+    fn arity_rules() {
+        assert!(GateKind::Not.accepts_arity(1));
+        assert!(!GateKind::Not.accepts_arity(2));
+        assert!(GateKind::Nand.accepts_arity(4));
+        assert!(!GateKind::Nand.accepts_arity(1));
+        assert!(GateKind::Input.accepts_arity(0));
+    }
+
+    #[test]
+    fn keyword_round_trip() {
+        for k in GateKind::ALL {
+            assert_eq!(GateKind::from_keyword(k.keyword()), Some(k));
+        }
+        assert_eq!(GateKind::from_keyword("buff"), Some(GateKind::Buf));
+        assert_eq!(GateKind::from_keyword("DFF"), None);
+    }
+
+    #[test]
+    fn controlling_values() {
+        assert_eq!(GateKind::And.controlling_value(), Some(false));
+        assert_eq!(GateKind::Nor.controlling_value(), Some(true));
+        assert_eq!(GateKind::Xor.controlling_value(), None);
+    }
+
+    #[test]
+    fn inversion_parity_matches_eval() {
+        // For each inverting kind, output with all-ones inputs differs from
+        // the non-inverting sibling.
+        let a = u64::MAX;
+        assert_eq!(
+            GateKind::Nand.eval_words(&[a, a]),
+            !GateKind::And.eval_words(&[a, a])
+        );
+        assert_eq!(
+            GateKind::Nor.eval_words(&[a, a]),
+            !GateKind::Or.eval_words(&[a, a])
+        );
+        assert_eq!(
+            GateKind::Xnor.eval_words(&[a, a]),
+            !GateKind::Xor.eval_words(&[a, a])
+        );
+    }
+}

@@ -1,0 +1,299 @@
+//! Netlist transformations and structural statistics.
+//!
+//! Utilities a flow needs around the core netlist: arity decomposition
+//! (technology mapping to a bounded cell library), dead-logic removal, and
+//! the structural statistics reports quote.
+
+use std::collections::HashMap;
+
+use crate::{GateKind, Netlist, NetlistError, NodeId};
+
+/// Structural statistics of a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Gates per kind.
+    pub gates_by_kind: Vec<(GateKind, usize)>,
+    /// Total gate count.
+    pub gates: usize,
+    /// Primary input / output counts.
+    pub inputs: usize,
+    /// Primary output count.
+    pub outputs: usize,
+    /// Logic depth.
+    pub depth: u32,
+    /// Maximum fanout of any signal.
+    pub max_fanout: usize,
+    /// Signals with fanout greater than one (stems).
+    pub multi_fanout_stems: usize,
+}
+
+/// Computes [`NetlistStats`].
+///
+/// # Example
+///
+/// ```
+/// use dlp_circuit::{generators, transform};
+///
+/// let s = transform::stats(&generators::c17());
+/// assert_eq!(s.gates, 6);
+/// assert_eq!(s.depth, 3);
+/// assert_eq!(s.max_fanout, 2);
+/// ```
+pub fn stats(netlist: &Netlist) -> NetlistStats {
+    let mut by_kind: HashMap<GateKind, usize> = HashMap::new();
+    let mut max_fanout = 0;
+    let mut stems = 0;
+    for id in netlist.node_ids() {
+        let kind = netlist.kind(id);
+        if kind != GateKind::Input {
+            *by_kind.entry(kind).or_default() += 1;
+        }
+        let fo = netlist.fanout(id).len();
+        max_fanout = max_fanout.max(fo);
+        if fo > 1 {
+            stems += 1;
+        }
+    }
+    let mut gates_by_kind: Vec<(GateKind, usize)> = by_kind.into_iter().collect();
+    gates_by_kind.sort_by_key(|&(k, _)| k);
+    NetlistStats {
+        gates_by_kind,
+        gates: netlist.gate_count(),
+        inputs: netlist.inputs().len(),
+        outputs: netlist.outputs().len(),
+        depth: netlist.depth(),
+        max_fanout,
+        multi_fanout_stems: stems,
+    }
+}
+
+/// Rewrites the netlist so no gate exceeds `max_arity` fanins, splitting
+/// wide AND/NAND/OR/NOR/XOR/XNOR gates into balanced trees of the
+/// non-inverting kind capped by one gate of the original kind. The result
+/// is functionally equivalent.
+///
+/// # Errors
+///
+/// [`NetlistError::BadArity`] if `max_arity < 2`.
+///
+/// # Example
+///
+/// ```
+/// use dlp_circuit::{transform, GateKind, Netlist};
+///
+/// # fn main() -> Result<(), dlp_circuit::NetlistError> {
+/// let mut n = Netlist::new("wide");
+/// let ins: Vec<_> = (0..6).map(|i| n.add_input(format!("i{i}")).unwrap()).collect();
+/// let g = n.add_gate("g", GateKind::Nand, ins)?;
+/// n.mark_output(g);
+/// n.freeze();
+/// let narrow = transform::decompose_to_max_arity(&n, 2)?;
+/// assert!(narrow.node_ids().all(|id| narrow.fanin(id).len() <= 2));
+/// # Ok(())
+/// # }
+/// ```
+pub fn decompose_to_max_arity(
+    netlist: &Netlist,
+    max_arity: usize,
+) -> Result<Netlist, NetlistError> {
+    if max_arity < 2 {
+        return Err(NetlistError::BadArity {
+            gate: "<decompose>".into(),
+            got: max_arity,
+            expected: "at least 2",
+        });
+    }
+    let mut out = Netlist::new(format!("{}_a{max_arity}", netlist.name()));
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut fresh = 0usize;
+
+    for id in netlist.node_ids() {
+        let kind = netlist.kind(id);
+        if kind == GateKind::Input {
+            let new = out.add_input(netlist.node_name(id))?;
+            map.insert(id, new);
+            continue;
+        }
+        let fanin: Vec<NodeId> = netlist.fanin(id).iter().map(|f| map[f]).collect();
+        let new = if fanin.len() <= max_arity {
+            out.add_gate(netlist.node_name(id), kind, fanin)?
+        } else {
+            // Reduce with the associative non-inverting core, then apply
+            // the original kind at the root.
+            let core = match kind {
+                GateKind::And | GateKind::Nand => GateKind::And,
+                GateKind::Or | GateKind::Nor => GateKind::Or,
+                GateKind::Xor | GateKind::Xnor => GateKind::Xor,
+                _ => unreachable!("1-input kinds never exceed max_arity"),
+            };
+            let mut layer = fanin;
+            while layer.len() > max_arity {
+                let mut next = Vec::with_capacity(layer.len() / max_arity + 1);
+                for chunk in layer.chunks(max_arity) {
+                    if chunk.len() == 1 {
+                        next.push(chunk[0]);
+                    } else {
+                        fresh += 1;
+                        next.push(out.add_gate(
+                            format!("{}~d{fresh}", netlist.node_name(id)),
+                            core,
+                            chunk.to_vec(),
+                        )?);
+                    }
+                }
+                layer = next;
+            }
+            out.add_gate(netlist.node_name(id), kind, layer)?
+        };
+        map.insert(id, new);
+    }
+    for &o in netlist.outputs() {
+        out.mark_output(map[&o]);
+    }
+    out.freeze();
+    out.validate()?;
+    Ok(out)
+}
+
+/// Removes gates from which no primary output is reachable. Inputs are
+/// always kept (the interface is preserved).
+///
+/// # Example
+///
+/// ```
+/// use dlp_circuit::{transform, GateKind, Netlist};
+///
+/// # fn main() -> Result<(), dlp_circuit::NetlistError> {
+/// let mut n = Netlist::new("dead");
+/// let a = n.add_input("a")?;
+/// let live = n.add_gate("live", GateKind::Not, vec![a])?;
+/// let _dead = n.add_gate("dead", GateKind::Not, vec![a])?;
+/// n.mark_output(live);
+/// n.freeze();
+/// let pruned = transform::strip_dead_logic(&n)?;
+/// assert_eq!(pruned.gate_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn strip_dead_logic(netlist: &Netlist) -> Result<Netlist, NetlistError> {
+    // Mark live cone (reverse reachability from outputs).
+    let mut live = vec![false; netlist.node_count()];
+    let mut stack: Vec<NodeId> = netlist.outputs().to_vec();
+    for &o in netlist.outputs() {
+        live[o.index()] = true;
+    }
+    while let Some(n) = stack.pop() {
+        for &f in netlist.fanin(n) {
+            if !live[f.index()] {
+                live[f.index()] = true;
+                stack.push(f);
+            }
+        }
+    }
+    let mut out = Netlist::new(netlist.name());
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    for id in netlist.node_ids() {
+        if netlist.kind(id) == GateKind::Input {
+            map.insert(id, out.add_input(netlist.node_name(id))?);
+        } else if live[id.index()] {
+            let fanin = netlist.fanin(id).iter().map(|f| map[f]).collect();
+            map.insert(
+                id,
+                out.add_gate(netlist.node_name(id), netlist.kind(id), fanin)?,
+            );
+        }
+    }
+    for &o in netlist.outputs() {
+        out.mark_output(map[&o]);
+    }
+    out.freeze();
+    out.validate()?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn equivalent(a: &Netlist, b: &Netlist, trials: usize) -> bool {
+        assert_eq!(a.inputs().len(), b.inputs().len());
+        assert_eq!(a.outputs().len(), b.outputs().len());
+        let mut seed = 0x9E37_79B9u64;
+        for _ in 0..trials {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            let words: Vec<u64> = (0..a.inputs().len())
+                .map(|i| seed.rotate_left(i as u32 * 7))
+                .collect();
+            if a.eval_words(&words) != b.eval_words(&words) {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn stats_of_c432_class() {
+        let s = stats(&generators::c432_class());
+        assert_eq!(s.inputs, 36);
+        assert_eq!(s.outputs, 7);
+        assert!(s.gates >= 150);
+        assert!(s.max_fanout >= 9, "grants fan widely");
+        assert!(s.multi_fanout_stems > 20);
+        let total: usize = s.gates_by_kind.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, s.gates);
+    }
+
+    #[test]
+    fn decomposition_preserves_function() {
+        for max_arity in [2usize, 3] {
+            for nl in [generators::decoder(4), generators::alu_slice()] {
+                let narrow = decompose_to_max_arity(&nl, max_arity).unwrap();
+                assert!(
+                    narrow
+                        .node_ids()
+                        .all(|id| narrow.fanin(id).len() <= max_arity),
+                    "arity bound violated"
+                );
+                assert!(equivalent(&nl, &narrow, 32), "function changed");
+            }
+        }
+    }
+
+    #[test]
+    fn decomposition_is_identity_when_narrow_enough() {
+        let nl = generators::c17(); // all NAND2
+        let same = decompose_to_max_arity(&nl, 2).unwrap();
+        assert_eq!(same.gate_count(), nl.gate_count());
+        assert!(equivalent(&nl, &same, 32));
+    }
+
+    #[test]
+    fn decompose_rejects_unit_arity() {
+        assert!(decompose_to_max_arity(&generators::c17(), 1).is_err());
+    }
+
+    #[test]
+    fn strip_dead_logic_keeps_function_and_drops_gates() {
+        let mut n = Netlist::new("d");
+        let a = n.add_input("a").unwrap();
+        let b = n.add_input("b").unwrap();
+        let live = n.add_gate("live", GateKind::Xor, vec![a, b]).unwrap();
+        let d1 = n.add_gate("d1", GateKind::And, vec![a, b]).unwrap();
+        let _d2 = n.add_gate("d2", GateKind::Not, vec![d1]).unwrap();
+        n.mark_output(live);
+        n.freeze();
+        let pruned = strip_dead_logic(&n).unwrap();
+        assert_eq!(pruned.gate_count(), 1);
+        assert!(equivalent(&n, &pruned, 16));
+    }
+
+    #[test]
+    fn strip_is_noop_on_fully_live_netlists() {
+        let nl = generators::ripple_adder(4);
+        let pruned = strip_dead_logic(&nl).unwrap();
+        assert_eq!(pruned.gate_count(), nl.gate_count());
+    }
+}

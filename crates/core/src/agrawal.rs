@@ -1,0 +1,148 @@
+//! The Agrawal–Seth–Agrawal defect-level model (eq. 2 of the paper).
+//!
+//! Agrawal et al. postulated a Poisson-distributed number of faults per
+//! faulty chip with mean `n₀`, which yields
+//!
+//! ```text
+//! DL = (1−T)·(1−Y)·e^−(n₀−1)T / (Y + (1−T)·(1−Y)·e^−(n₀−1)T)
+//! ```
+//!
+//! The paper uses this as the empirical-curve-fitting baseline: with a
+//! well-chosen `n₀` it matches measured fallout, but `n₀` has to be fitted
+//! *a posteriori* and the faults remain abstract. See [`crate::fit`] for
+//! fitting `n₀` to data.
+
+use crate::error::{check_open_unit, check_positive, check_unit};
+use crate::ModelError;
+
+/// The Agrawal model with average fault multiplicity `n0` on faulty chips.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgrawalModel {
+    y: f64,
+    n0: f64,
+}
+
+impl AgrawalModel {
+    /// Creates the model for yield `y` and mean faults-per-faulty-chip
+    /// `n0 ≥ 1`.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::OutOfDomain`] unless `y ∈ (0, 1)` and `n0 ≥ 1`.
+    pub fn new(y: f64, n0: f64) -> Result<Self, ModelError> {
+        let y = check_open_unit("yield", y)?;
+        let n0 = check_positive("fault multiplicity", n0)?;
+        if n0 < 1.0 {
+            return Err(ModelError::OutOfDomain {
+                parameter: "fault multiplicity",
+                value: n0,
+                range: "[1, ∞)",
+            });
+        }
+        Ok(AgrawalModel { y, n0 })
+    }
+
+    /// The yield parameter.
+    pub fn yield_value(&self) -> f64 {
+        self.y
+    }
+
+    /// The fitted mean number of faults on a faulty chip.
+    pub fn multiplicity(&self) -> f64 {
+        self.n0
+    }
+
+    /// Defect level at stuck-at coverage `t` (eq. 2).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::OutOfDomain`] unless `t ∈ [0, 1]`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dlp_core::agrawal::AgrawalModel;
+    ///
+    /// let m = AgrawalModel::new(0.75, 3.0)?;
+    /// // Multiple faults make low-coverage tests more effective than
+    /// // Williams–Brown predicts.
+    /// let wb = dlp_core::williams_brown::defect_level(0.75, 0.5)?;
+    /// assert!(m.defect_level(0.5)? < wb);
+    /// # Ok::<(), dlp_core::ModelError>(())
+    /// ```
+    pub fn defect_level(&self, t: f64) -> Result<f64, ModelError> {
+        let t = check_unit("fault coverage", t)?;
+        let esc = (1.0 - t) * (1.0 - self.y) * (-(self.n0 - 1.0) * t).exp();
+        Ok(esc / (self.y + esc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_to_simple_ratio_at_zero_coverage() {
+        // T = 0: DL = (1-Y)/(Y + 1-Y) = 1-Y.
+        let m = AgrawalModel::new(0.6, 5.0).unwrap();
+        assert!((m.defect_level(0.0).unwrap() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_coverage_ships_none() {
+        let m = AgrawalModel::new(0.6, 5.0).unwrap();
+        assert_eq!(m.defect_level(1.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn higher_multiplicity_lowers_mid_coverage_dl() {
+        let lo = AgrawalModel::new(0.75, 1.0)
+            .unwrap()
+            .defect_level(0.5)
+            .unwrap();
+        let hi = AgrawalModel::new(0.75, 6.0)
+            .unwrap()
+            .defect_level(0.5)
+            .unwrap();
+        assert!(hi < lo);
+    }
+
+    #[test]
+    fn n0_of_one_is_close_to_williams_brown_at_high_yield() {
+        // For Y -> 1 and n0 = 1, both models approach (1-T)(1-Y).
+        let y = 0.98;
+        let m = AgrawalModel::new(y, 1.0).unwrap();
+        for &t in &[0.2, 0.5, 0.9] {
+            let a = m.defect_level(t).unwrap();
+            let wb = crate::williams_brown::defect_level(y, t).unwrap();
+            assert!((a - wb).abs() < 2e-4, "t={t} a={a} wb={wb}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(AgrawalModel::new(0.75, 0.5).is_err());
+        assert!(AgrawalModel::new(1.0, 2.0).is_err());
+        assert!(AgrawalModel::new(0.75, f64::NAN).is_err());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn dl_in_unit_interval(y in 0.05f64..0.95, n0 in 1.0f64..20.0, t in 0.0f64..1.0) {
+            let m = AgrawalModel::new(y, n0).unwrap();
+            let dl = m.defect_level(t).unwrap();
+            proptest::prop_assert!((0.0..=1.0).contains(&dl));
+        }
+
+        #[test]
+        fn dl_monotone_decreasing_in_t(y in 0.05f64..0.95, n0 in 1.0f64..20.0) {
+            let m = AgrawalModel::new(y, n0).unwrap();
+            let mut prev = f64::INFINITY;
+            for i in 0..=50 {
+                let dl = m.defect_level(i as f64 / 50.0).unwrap();
+                proptest::prop_assert!(dl <= prev + 1e-12);
+                prev = dl;
+            }
+        }
+    }
+}

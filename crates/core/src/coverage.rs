@@ -1,0 +1,269 @@
+//! Random-test coverage growth laws and the susceptibility ratio
+//! (eqs. 7–10 of the paper).
+//!
+//! Under random vectors, stuck-at coverage grows as
+//! `T(k) = 1 − exp(−ln k / ln τ_T)` (eq. 7, Williams' test-length law),
+//! where `τ_T > 1` is the *fault susceptibility* — larger `τ` means
+//! harder-to-detect faults and slower growth. Weighted realistic coverage
+//! follows the same law saturating at `θ_max` (eq. 8). Eliminating `k`
+//! links the two coverages (eq. 9) through the susceptibility ratio
+//! `R = ln τ_T / ln τ_θ` (eq. 10).
+
+use crate::error::{check_positive, check_unit};
+use crate::ModelError;
+
+/// Coverage growth `c(k) = max · (1 − e^(−ln k / ln τ))` under random
+/// patterns.
+///
+/// With `max = 1` this is eq. 7 (stuck-at coverage `T(k)`); with
+/// `max = θ_max < 1` it is eq. 8 (weighted realistic coverage `θ(k)`).
+///
+/// # Example
+///
+/// ```
+/// use dlp_core::coverage::CoverageGrowth;
+///
+/// // The paper's Fig. 1 parameters: τ_T = e³ for stuck-at faults.
+/// let t = CoverageGrowth::new(3.0f64.exp(), 1.0)?;
+/// assert!(t.at(1) < 1e-12);            // one vector detects ~nothing
+/// assert!(t.at(1_000_000) > 0.98);     // a million vectors nearly all
+/// # Ok::<(), dlp_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoverageGrowth {
+    tau: f64,
+    max: f64,
+}
+
+impl CoverageGrowth {
+    /// Creates a growth law with susceptibility `tau > 1` and saturation
+    /// level `max ∈ (0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::OutOfDomain`] for parameters outside those ranges.
+    pub fn new(tau: f64, max: f64) -> Result<Self, ModelError> {
+        let tau = check_positive("susceptibility", tau)?;
+        if tau <= 1.0 {
+            return Err(ModelError::OutOfDomain {
+                parameter: "susceptibility",
+                value: tau,
+                range: "(1, ∞)",
+            });
+        }
+        let max = check_unit("saturation coverage", max)?;
+        if max == 0.0 {
+            return Err(ModelError::OutOfDomain {
+                parameter: "saturation coverage",
+                value: max,
+                range: "(0, 1]",
+            });
+        }
+        Ok(CoverageGrowth { tau, max })
+    }
+
+    /// The susceptibility `τ`.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// The saturation coverage.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Coverage after `k` random vectors. `at(0)` is defined as 0.
+    pub fn at(&self, k: u64) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        let lnk = (k as f64).ln();
+        self.max * (1.0 - (-lnk / self.tau.ln()).exp())
+    }
+
+    /// Vectors needed to reach coverage `c` (inverse of [`at`](Self::at)),
+    /// rounded up.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Unreachable`] if `c ≥ max`.
+    pub fn vectors_for(&self, c: f64) -> Result<u64, ModelError> {
+        let c = check_unit("coverage", c)?;
+        if c >= self.max {
+            return Err(ModelError::Unreachable {
+                target: "coverage",
+                requested: c,
+                limit: self.max,
+            });
+        }
+        // c = max(1 - e^(-ln k/ln tau))  =>  ln k = -ln tau * ln(1 - c/max).
+        let lnk = -self.tau.ln() * (1.0 - c / self.max).ln();
+        Ok(lnk.exp().ceil() as u64)
+    }
+}
+
+/// The susceptibility ratio `R = ln τ_T / ln τ_θ` (eq. 10).
+///
+/// `R > 1` means the realistic (weighted) faults are *easier* to detect
+/// than stuck-at faults — their coverage saturates sooner — which the paper
+/// shows is the bridge-dominated CMOS case.
+///
+/// # Errors
+///
+/// [`ModelError::OutOfDomain`] unless both susceptibilities exceed 1.
+///
+/// # Example
+///
+/// ```
+/// use dlp_core::coverage::susceptibility_ratio;
+///
+/// // Fig. 1 parameters: τ_T = e³, τ_θ = e². R = 3/2.
+/// let r = susceptibility_ratio(3.0f64.exp(), 2.0f64.exp())?;
+/// assert!((r - 1.5).abs() < 1e-12);
+/// # Ok::<(), dlp_core::ModelError>(())
+/// ```
+pub fn susceptibility_ratio(tau_t: f64, tau_theta: f64) -> Result<f64, ModelError> {
+    for (name, v) in [
+        ("stuck-at susceptibility", tau_t),
+        ("realistic susceptibility", tau_theta),
+    ] {
+        let v = check_positive(name, v)?;
+        if v <= 1.0 {
+            return Err(ModelError::OutOfDomain {
+                parameter: name,
+                value: v,
+                range: "(1, ∞)",
+            });
+        }
+    }
+    Ok(tau_t.ln() / tau_theta.ln())
+}
+
+/// Relates realistic coverage to stuck-at coverage with `k` eliminated
+/// (eq. 9): `θ(T) = θ_max · (1 − (1−T)^R)`.
+///
+/// # Errors
+///
+/// [`ModelError::OutOfDomain`] unless `t ∈ [0, 1]`, `r > 0` and
+/// `theta_max ∈ (0, 1]`.
+pub fn theta_of_t(t: f64, r: f64, theta_max: f64) -> Result<f64, ModelError> {
+    let t = check_unit("stuck-at coverage", t)?;
+    let r = check_positive("susceptibility ratio", r)?;
+    let theta_max = check_unit("theta_max", theta_max)?;
+    if theta_max == 0.0 {
+        return Err(ModelError::OutOfDomain {
+            parameter: "theta_max",
+            value: theta_max,
+            range: "(0, 1]",
+        });
+    }
+    Ok(theta_max * (1.0 - (1.0 - t).powf(r)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_is_monotone_and_saturates() {
+        let g = CoverageGrowth::new(3.0f64.exp(), 0.96).unwrap();
+        let mut prev = -1.0;
+        for e in 0..7 {
+            let k = 10u64.pow(e);
+            let c = g.at(k);
+            assert!(c >= prev);
+            assert!(c <= 0.96 + 1e-12);
+            prev = c;
+        }
+        assert!(g.at(10_000_000) > 0.9);
+    }
+
+    #[test]
+    fn single_vector_gives_zero() {
+        // ln 1 = 0, so T(1) = 0 exactly: the law calibrates "first vector
+        // detects nothing" (coverage builds with log test length).
+        let g = CoverageGrowth::new(20.0, 1.0).unwrap();
+        assert_eq!(g.at(1), 0.0);
+        assert_eq!(g.at(0), 0.0);
+    }
+
+    #[test]
+    fn vectors_for_inverts_at() {
+        let g = CoverageGrowth::new(3.0f64.exp(), 1.0).unwrap();
+        for &c in &[0.1, 0.5, 0.9, 0.99] {
+            let k = g.vectors_for(c).unwrap();
+            assert!(g.at(k) >= c, "c={c} k={k}");
+            if k > 1 {
+                assert!(g.at(k - 1) <= c + 1e-9);
+            }
+        }
+        assert!(g.vectors_for(1.0).is_err());
+    }
+
+    #[test]
+    fn fig1_parameters_reproduce_shape() {
+        // Fig. 1: τ_T = e³, τ_θ = e², θ_max = 0.96 — θ grows faster and
+        // saturates below T's limit; the curves cross where θ flattens.
+        let t = CoverageGrowth::new(3.0f64.exp(), 1.0).unwrap();
+        let th = CoverageGrowth::new(2.0f64.exp(), 0.96).unwrap();
+        assert!(th.at(10) > t.at(10), "θ leads early");
+        assert!(
+            th.at(1_000_000) < t.at(1_000_000),
+            "T overtakes at saturation"
+        );
+    }
+
+    #[test]
+    fn ratio_matches_closed_form() {
+        let r = susceptibility_ratio(3.0f64.exp(), 1.5f64.exp()).unwrap();
+        assert!((r - 2.0).abs() < 1e-12);
+        assert!(susceptibility_ratio(1.0, 2.0).is_err());
+        assert!(susceptibility_ratio(2.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn eq9_consistency_with_growth_laws() {
+        // θ(T(k)) from eq. 9 must equal θ(k) from eq. 8 for all k.
+        let tau_t = 3.0f64.exp();
+        let tau_th = 2.0f64.exp();
+        let theta_max = 0.96;
+        let r = susceptibility_ratio(tau_t, tau_th).unwrap();
+        let tg = CoverageGrowth::new(tau_t, 1.0).unwrap();
+        let thg = CoverageGrowth::new(tau_th, theta_max).unwrap();
+        for e in 1..7 {
+            let k = 10u64.pow(e);
+            let via_t = theta_of_t(tg.at(k), r, theta_max).unwrap();
+            let direct = thg.at(k);
+            assert!((via_t - direct).abs() < 1e-9, "k={k}: {via_t} vs {direct}");
+        }
+    }
+
+    #[test]
+    fn theta_of_t_boundaries() {
+        assert_eq!(theta_of_t(0.0, 2.0, 0.96).unwrap(), 0.0);
+        assert!((theta_of_t(1.0, 2.0, 0.96).unwrap() - 0.96).abs() < 1e-12);
+        assert!(theta_of_t(0.5, 0.0, 0.96).is_err());
+        assert!(theta_of_t(0.5, 2.0, 0.0).is_err());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn theta_of_t_monotone_in_t(r in 0.2f64..5.0, theta_max in 0.5f64..1.0) {
+            let mut prev = -1.0;
+            for i in 0..=40 {
+                let t = i as f64 / 40.0;
+                let th = theta_of_t(t, r, theta_max).unwrap();
+                proptest::prop_assert!(th >= prev - 1e-12);
+                proptest::prop_assert!((0.0..=theta_max + 1e-12).contains(&th));
+                prev = th;
+            }
+        }
+
+        #[test]
+        fn larger_r_means_faster_theta(t in 0.05f64..0.95) {
+            let slow = theta_of_t(t, 1.0, 1.0).unwrap();
+            let fast = theta_of_t(t, 2.5, 1.0).unwrap();
+            proptest::prop_assert!(fast >= slow);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by model construction and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A parameter fell outside its mathematical domain.
+    OutOfDomain {
+        /// The parameter name, e.g. `"yield"`.
+        parameter: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Human-readable description of the valid range.
+        range: &'static str,
+    },
+    /// A requested target is unreachable under the model (e.g. a defect
+    /// level below the residual defect level of an incomplete test set).
+    Unreachable {
+        /// What was asked for.
+        target: &'static str,
+        /// The requested value.
+        requested: f64,
+        /// The best the model can do.
+        limit: f64,
+    },
+    /// An iterative fit failed to converge.
+    FitDiverged {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// A fit was asked to run on insufficient or degenerate data.
+    BadFitData(&'static str),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::OutOfDomain {
+                parameter,
+                value,
+                range,
+            } => {
+                write!(f, "{parameter} = {value} is outside {range}")
+            }
+            ModelError::Unreachable {
+                target,
+                requested,
+                limit,
+            } => {
+                write!(f, "{target} {requested} is unreachable (limit {limit})")
+            }
+            ModelError::FitDiverged { iterations } => {
+                write!(f, "fit did not converge within {iterations} iterations")
+            }
+            ModelError::BadFitData(what) => write!(f, "cannot fit: {what}"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+/// Validates that `value` lies in `[0, 1]`.
+pub(crate) fn check_unit(parameter: &'static str, value: f64) -> Result<f64, ModelError> {
+    if (0.0..=1.0).contains(&value) {
+        Ok(value)
+    } else {
+        Err(ModelError::OutOfDomain {
+            parameter,
+            value,
+            range: "[0, 1]",
+        })
+    }
+}
+
+/// Validates that `value` lies in the open interval `(0, 1)`.
+pub(crate) fn check_open_unit(parameter: &'static str, value: f64) -> Result<f64, ModelError> {
+    if value > 0.0 && value < 1.0 {
+        Ok(value)
+    } else {
+        Err(ModelError::OutOfDomain {
+            parameter,
+            value,
+            range: "(0, 1)",
+        })
+    }
+}
+
+/// Validates that `value` is strictly positive and finite.
+pub(crate) fn check_positive(parameter: &'static str, value: f64) -> Result<f64, ModelError> {
+    if value > 0.0 && value.is_finite() {
+        Ok(value)
+    } else {
+        Err(ModelError::OutOfDomain {
+            parameter,
+            value,
+            range: "(0, ∞)",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validators() {
+        assert!(check_unit("t", 0.0).is_ok());
+        assert!(check_unit("t", 1.0).is_ok());
+        assert!(check_unit("t", -0.1).is_err());
+        assert!(check_unit("t", f64::NAN).is_err());
+        assert!(check_open_unit("y", 0.5).is_ok());
+        assert!(check_open_unit("y", 1.0).is_err());
+        assert!(check_positive("r", 2.0).is_ok());
+        assert!(check_positive("r", 0.0).is_err());
+        assert!(check_positive("r", f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::OutOfDomain {
+            parameter: "yield",
+            value: 1.5,
+            range: "(0, 1)",
+        };
+        assert_eq!(e.to_string(), "yield = 1.5 is outside (0, 1)");
+        let e = ModelError::Unreachable {
+            target: "defect level",
+            requested: 1e-6,
+            limit: 1e-3,
+        };
+        assert!(e.to_string().contains("unreachable"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<ModelError>();
+    }
+}

@@ -1,0 +1,420 @@
+//! Parameter estimation: Nelder–Mead least squares for the paper's model
+//! parameters.
+//!
+//! The paper determines `R` and `θ_max` "by experimental curve fitting"
+//! (§2) — [`fit_sousa`] does exactly that against `(T, DL)` points.
+//! [`fit_agrawal`] fits the multiplicity `n₀` of eq. 2 the same way, and
+//! [`fit_coverage_growth`] recovers a susceptibility `τ` (and optionally a
+//! saturation level) from a measured coverage-vs-test-length curve.
+
+use crate::agrawal::AgrawalModel;
+use crate::coverage::CoverageGrowth;
+use crate::sousa::SousaModel;
+use crate::ModelError;
+
+/// Options for the Nelder–Mead simplex minimiser.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NelderMeadOptions {
+    /// Maximum iterations before declaring divergence.
+    pub max_iterations: usize,
+    /// Convergence threshold on the simplex's objective spread.
+    pub tolerance: f64,
+    /// Initial simplex edge length.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions {
+            max_iterations: 2000,
+            tolerance: 1e-12,
+            initial_step: 0.5,
+        }
+    }
+}
+
+/// Minimises `f` over ℝⁿ from `x0` with the Nelder–Mead simplex method.
+/// Returns the best point and its objective value.
+///
+/// Constraints are handled by the caller through smooth reparameterisation
+/// (e.g. optimise `ln R` instead of `R`) or penalty terms in `f`.
+///
+/// # Errors
+///
+/// [`ModelError::BadFitData`] for an empty `x0`;
+/// [`ModelError::FitDiverged`] if the simplex fails to contract within
+/// `max_iterations` (the best point found so far is then discarded —
+/// callers should widen `tolerance` instead of trusting it).
+///
+/// # Example
+///
+/// ```
+/// use dlp_core::fit::{nelder_mead, NelderMeadOptions};
+///
+/// // Rosenbrock's banana, minimum at (1, 1).
+/// let (x, v) = nelder_mead(
+///     |p| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2),
+///     &[-1.2, 1.0],
+///     NelderMeadOptions { max_iterations: 5000, ..Default::default() },
+/// )?;
+/// assert!(v < 1e-8);
+/// assert!((x[0] - 1.0).abs() < 1e-3 && (x[1] - 1.0).abs() < 1e-3);
+/// # Ok::<(), dlp_core::ModelError>(())
+/// ```
+pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    x0: &[f64],
+    options: NelderMeadOptions,
+) -> Result<(Vec<f64>, f64), ModelError> {
+    let n = x0.len();
+    if n == 0 {
+        return Err(ModelError::BadFitData("empty parameter vector"));
+    }
+    // Standard coefficients.
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let v0 = f(x0);
+    simplex.push((x0.to_vec(), v0));
+    for i in 0..n {
+        let mut x = x0.to_vec();
+        x[i] += options.initial_step;
+        let v = f(&x);
+        simplex.push((x, v));
+    }
+
+    for _ in 0..options.max_iterations {
+        simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let best = simplex[0].1;
+        let worst = simplex[n].1;
+        if (worst - best).abs() <= options.tolerance * (1.0 + best.abs()) {
+            return Ok(simplex.swap_remove(0));
+        }
+
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; n];
+        for (x, _) in &simplex[..n] {
+            for (c, xi) in centroid.iter_mut().zip(x) {
+                *c += xi / n as f64;
+            }
+        }
+
+        let worst_x = simplex[n].0.clone();
+        let reflect: Vec<f64> = centroid
+            .iter()
+            .zip(&worst_x)
+            .map(|(c, w)| c + alpha * (c - w))
+            .collect();
+        let fr = f(&reflect);
+
+        if fr < simplex[0].1 {
+            // Try expanding.
+            let expand: Vec<f64> = centroid
+                .iter()
+                .zip(&reflect)
+                .map(|(c, r)| c + gamma * (r - c))
+                .collect();
+            let fe = f(&expand);
+            simplex[n] = if fe < fr { (expand, fe) } else { (reflect, fr) };
+        } else if fr < simplex[n - 1].1 {
+            simplex[n] = (reflect, fr);
+        } else {
+            // Contract toward the centroid.
+            let contract: Vec<f64> = centroid
+                .iter()
+                .zip(&worst_x)
+                .map(|(c, w)| c + rho * (w - c))
+                .collect();
+            let fc = f(&contract);
+            if fc < simplex[n].1 {
+                simplex[n] = (contract, fc);
+            } else {
+                // Shrink everything toward the best point.
+                let best_x = simplex[0].0.clone();
+                for entry in simplex.iter_mut().skip(1) {
+                    let x: Vec<f64> = best_x
+                        .iter()
+                        .zip(&entry.0)
+                        .map(|(b, e)| b + sigma * (e - b))
+                        .collect();
+                    let v = f(&x);
+                    *entry = (x, v);
+                }
+            }
+        }
+    }
+    Err(ModelError::FitDiverged {
+        iterations: options.max_iterations,
+    })
+}
+
+/// Fits the Sousa model's `(R, θ_max)` to measured `(T, DL)` points at a
+/// known yield, by least squares on `DL` (the paper's Fig. 5 fit, which
+/// produced `R = 1.9`, `θ_max = 0.96` for the c432 layout).
+///
+/// The bounds `R > 0`, `θ_max ∈ (0, 1]` are enforced by optimising
+/// `(ln R, logit θ_max)`.
+///
+/// # Errors
+///
+/// [`ModelError::BadFitData`] for fewer than 3 points or points outside
+/// `[0, 1]²`; [`ModelError::FitDiverged`] if the optimiser fails.
+pub fn fit_sousa(y: f64, points: &[(f64, f64)]) -> Result<SousaModel, ModelError> {
+    if points.len() < 3 {
+        return Err(ModelError::BadFitData("need at least 3 (T, DL) points"));
+    }
+    for &(t, dl) in points {
+        if !(0.0..=1.0).contains(&t) || !(0.0..=1.0).contains(&dl) {
+            return Err(ModelError::BadFitData("(T, DL) points must lie in [0,1]^2"));
+        }
+    }
+    // Validate yield eagerly via the model constructor.
+    SousaModel::new(y, 1.0, 1.0)?;
+
+    let objective = |p: &[f64]| -> f64 {
+        let r = p[0].exp();
+        let theta_max = 1.0 / (1.0 + (-p[1]).exp());
+        let model = match SousaModel::new(y, r, theta_max) {
+            Ok(m) => m,
+            Err(_) => return f64::INFINITY,
+        };
+        points
+            .iter()
+            .map(|&(t, dl)| {
+                let m = model.defect_level(t).unwrap_or(f64::INFINITY);
+                (m - dl) * (m - dl)
+            })
+            .sum()
+    };
+    // Start near Williams–Brown (R = 1) with a high θ_max (logit 3 ≈ 0.95).
+    let (p, _) = nelder_mead(
+        objective,
+        &[0.0, 3.0],
+        NelderMeadOptions {
+            max_iterations: 4000,
+            tolerance: 1e-16,
+            initial_step: 0.4,
+        },
+    )?;
+    SousaModel::new(y, p[0].exp(), 1.0 / (1.0 + (-p[1]).exp()))
+}
+
+/// Fits Agrawal's multiplicity `n₀ ≥ 1` to measured `(T, DL)` points at a
+/// known yield (the a-posteriori fit the paper contrasts against).
+///
+/// # Errors
+///
+/// [`ModelError::BadFitData`] for fewer than 2 points;
+/// [`ModelError::FitDiverged`] if the optimiser fails.
+pub fn fit_agrawal(y: f64, points: &[(f64, f64)]) -> Result<AgrawalModel, ModelError> {
+    if points.len() < 2 {
+        return Err(ModelError::BadFitData("need at least 2 (T, DL) points"));
+    }
+    AgrawalModel::new(y, 1.0)?;
+    let objective = |p: &[f64]| -> f64 {
+        let n0 = 1.0 + p[0].exp();
+        let model = match AgrawalModel::new(y, n0) {
+            Ok(m) => m,
+            Err(_) => return f64::INFINITY,
+        };
+        points
+            .iter()
+            .map(|&(t, dl)| {
+                let m = model.defect_level(t).unwrap_or(f64::INFINITY);
+                (m - dl) * (m - dl)
+            })
+            .sum()
+    };
+    let (p, _) = nelder_mead(objective, &[0.0], NelderMeadOptions::default())?;
+    AgrawalModel::new(y, 1.0 + p[0].exp())
+}
+
+/// Fits a [`CoverageGrowth`] law to measured `(k, coverage)` points.
+///
+/// With `fit_max = false` the saturation level is pinned to 1 (eq. 7,
+/// stuck-at coverage); with `fit_max = true` both `τ` and the saturation
+/// level are fitted (eq. 8, realistic coverage with `θ_max < 1`).
+///
+/// # Errors
+///
+/// [`ModelError::BadFitData`] for fewer than 2 points or non-positive `k`;
+/// [`ModelError::FitDiverged`] if the optimiser fails.
+pub fn fit_coverage_growth(
+    points: &[(u64, f64)],
+    fit_max: bool,
+) -> Result<CoverageGrowth, ModelError> {
+    if points.len() < 2 {
+        return Err(ModelError::BadFitData(
+            "need at least 2 (k, coverage) points",
+        ));
+    }
+    if points.iter().any(|&(k, _)| k == 0) {
+        return Err(ModelError::BadFitData("test length k must be positive"));
+    }
+    let decode = |p: &[f64]| -> (f64, f64) {
+        let tau = 1.0 + p[0].exp();
+        let max = if fit_max {
+            1.0 / (1.0 + (-p[1]).exp())
+        } else {
+            1.0
+        };
+        (tau, max)
+    };
+    let objective = |p: &[f64]| -> f64 {
+        let (tau, max) = decode(p);
+        let model = match CoverageGrowth::new(tau, max) {
+            Ok(m) => m,
+            Err(_) => return f64::INFINITY,
+        };
+        points
+            .iter()
+            .map(|&(k, c)| {
+                let m = model.at(k);
+                (m - c) * (m - c)
+            })
+            .sum()
+    };
+    let x0: Vec<f64> = if fit_max { vec![1.0, 3.0] } else { vec![1.0] };
+    let (p, _) = nelder_mead(
+        objective,
+        &x0,
+        NelderMeadOptions {
+            max_iterations: 4000,
+            ..Default::default()
+        },
+    )?;
+    let (tau, max) = decode(&p);
+    CoverageGrowth::new(tau, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nelder_mead_minimises_quadratic() {
+        let (x, v) = nelder_mead(
+            |p| (p[0] - 3.0).powi(2) + (p[1] + 2.0).powi(2) + 5.0,
+            &[0.0, 0.0],
+            NelderMeadOptions::default(),
+        )
+        .unwrap();
+        assert!((v - 5.0).abs() < 1e-8);
+        assert!((x[0] - 3.0).abs() < 1e-4);
+        assert!((x[1] + 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn nelder_mead_rejects_empty() {
+        assert!(matches!(
+            nelder_mead(|_| 0.0, &[], NelderMeadOptions::default()),
+            Err(ModelError::BadFitData(_))
+        ));
+    }
+
+    #[test]
+    fn fit_sousa_recovers_known_parameters() {
+        let truth = SousaModel::new(0.75, 1.9, 0.96).unwrap();
+        let points: Vec<(f64, f64)> = (0..=40)
+            .map(|i| {
+                let t = i as f64 / 40.0;
+                (t, truth.defect_level(t).unwrap())
+            })
+            .collect();
+        let fitted = fit_sousa(0.75, &points).unwrap();
+        assert!(
+            (fitted.susceptibility_ratio() - 1.9).abs() < 0.02,
+            "R = {}",
+            fitted.susceptibility_ratio()
+        );
+        assert!(
+            (fitted.theta_max() - 0.96).abs() < 0.005,
+            "theta_max = {}",
+            fitted.theta_max()
+        );
+    }
+
+    #[test]
+    fn fit_sousa_on_williams_brown_data_finds_r_one() {
+        let wb = SousaModel::williams_brown(0.8).unwrap();
+        let points: Vec<(f64, f64)> = (0..=20)
+            .map(|i| {
+                let t = i as f64 / 20.0;
+                (t, wb.defect_level(t).unwrap())
+            })
+            .collect();
+        let fitted = fit_sousa(0.8, &points).unwrap();
+        assert!((fitted.susceptibility_ratio() - 1.0).abs() < 0.05);
+        assert!(fitted.theta_max() > 0.99);
+    }
+
+    #[test]
+    fn fit_agrawal_recovers_multiplicity() {
+        let truth = AgrawalModel::new(0.7, 4.0).unwrap();
+        let points: Vec<(f64, f64)> = (0..=30)
+            .map(|i| {
+                let t = i as f64 / 30.0;
+                (t, truth.defect_level(t).unwrap())
+            })
+            .collect();
+        let fitted = fit_agrawal(0.7, &points).unwrap();
+        assert!(
+            (fitted.multiplicity() - 4.0).abs() < 0.1,
+            "n0 = {}",
+            fitted.multiplicity()
+        );
+    }
+
+    #[test]
+    fn fit_coverage_growth_recovers_tau_and_max() {
+        let truth = CoverageGrowth::new(3.0f64.exp(), 0.96).unwrap();
+        let points: Vec<(u64, f64)> = (0..=24)
+            .map(|e| {
+                let k = (1.7f64.powi(e) as u64).max(1) + e as u64;
+                (k, truth.at(k))
+            })
+            .collect();
+        let fitted = fit_coverage_growth(&points, true).unwrap();
+        assert!(
+            (fitted.tau().ln() - 3.0).abs() < 0.05,
+            "ln tau = {}",
+            fitted.tau().ln()
+        );
+        assert!((fitted.max() - 0.96).abs() < 0.01, "max = {}", fitted.max());
+    }
+
+    #[test]
+    fn fit_coverage_growth_pinned_max() {
+        let truth = CoverageGrowth::new(2.2f64.exp(), 1.0).unwrap();
+        let points: Vec<(u64, f64)> = (1..=20).map(|i| (1u64 << i, truth.at(1u64 << i))).collect();
+        let fitted = fit_coverage_growth(&points, false).unwrap();
+        assert_eq!(fitted.max(), 1.0);
+        assert!((fitted.tau().ln() - 2.2).abs() < 0.05);
+    }
+
+    #[test]
+    fn fits_reject_degenerate_data() {
+        assert!(fit_sousa(0.75, &[(0.0, 0.25)]).is_err());
+        assert!(fit_sousa(0.75, &[(0.0, 1.5), (0.5, 0.1), (1.0, 0.0)]).is_err());
+        assert!(fit_agrawal(0.75, &[(0.5, 0.1)]).is_err());
+        assert!(fit_coverage_growth(&[(0, 0.1), (2, 0.2)], false).is_err());
+        assert!(fit_coverage_growth(&[(1, 0.1)], false).is_err());
+    }
+
+    #[test]
+    fn fit_sousa_tolerates_noise() {
+        // Deterministic pseudo-noise on top of the true curve.
+        let truth = SousaModel::new(0.75, 2.1, 0.95).unwrap();
+        let points: Vec<(f64, f64)> = (0..=60)
+            .map(|i| {
+                let t = i as f64 / 60.0;
+                let noise = ((i as f64 * 12.9898).sin() * 43758.5453).fract() - 0.5;
+                let dl = (truth.defect_level(t).unwrap() * (1.0 + 0.05 * noise)).clamp(0.0, 1.0);
+                (t, dl)
+            })
+            .collect();
+        let fitted = fit_sousa(0.75, &points).unwrap();
+        assert!((fitted.susceptibility_ratio() - 2.1).abs() < 0.25);
+        assert!((fitted.theta_max() - 0.95).abs() < 0.02);
+    }
+}

@@ -1,0 +1,250 @@
+//! Monte Carlo fallout simulation — a statistical cross-check of the
+//! weighted defect-level formula (eq. 3).
+//!
+//! The paper's eq. 3 (`DL = 1 − Y^(1−θ)`) is derived from independent
+//! Poisson fault occurrences. This module *simulates the production line
+//! directly*: dice are rolled per die and per fault, dies failing any
+//! detected fault are scrapped, and the shipped-defective ratio is
+//! counted. The estimate must converge to eq. 3 — a strong end-to-end
+//! validation of the model implementation that needs no external data.
+
+use crate::weighted::FaultWeights;
+use crate::ModelError;
+
+/// Monte Carlo settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonteCarloConfig {
+    /// Number of dies to fabricate.
+    pub dies: usize,
+    /// RNG seed (xorshift64*; self-contained, no external dependency).
+    pub seed: u64,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        MonteCarloConfig {
+            dies: 100_000,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Counted production outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FalloutEstimate {
+    /// Dies fabricated.
+    pub fabricated: usize,
+    /// Dies with no fault at all (true yield numerator).
+    pub good: usize,
+    /// Dies passing the test (shipped).
+    pub shipped: usize,
+    /// Shipped dies that carry at least one (undetected) fault.
+    pub escapes: usize,
+}
+
+impl FalloutEstimate {
+    /// The measured yield `good / fabricated`.
+    pub fn yield_estimate(&self) -> f64 {
+        self.good as f64 / self.fabricated.max(1) as f64
+    }
+
+    /// The measured defect level `escapes / shipped`.
+    pub fn defect_level(&self) -> f64 {
+        if self.shipped == 0 {
+            0.0
+        } else {
+            self.escapes as f64 / self.shipped as f64
+        }
+    }
+}
+
+/// Simulates fabrication and test of `config.dies` dies.
+///
+/// Fault `j` strikes a die with probability `p_j = 1 − e^(−w_j)`
+/// independently; the tester scraps the die iff some struck fault is in
+/// the detected set.
+///
+/// # Errors
+///
+/// [`ModelError::BadFitData`] if `detected.len()` mismatches the fault
+/// count or `config.dies == 0`.
+///
+/// # Example
+///
+/// ```
+/// use dlp_core::montecarlo::{simulate_fallout, MonteCarloConfig};
+/// use dlp_core::weighted::FaultWeights;
+///
+/// let w = FaultWeights::new(vec![0.05; 10])?.scaled_to_yield(0.75)?;
+/// // Detect the first 7 of 10 equal faults: theta = 0.7.
+/// let detected: Vec<bool> = (0..10).map(|j| j < 7).collect();
+/// let est = simulate_fallout(&w, &detected, &MonteCarloConfig::default())?;
+/// let formula = w.defect_level(w.theta(&detected)?)?;
+/// assert!((est.defect_level() - formula).abs() < 0.01);
+/// # Ok::<(), dlp_core::ModelError>(())
+/// ```
+pub fn simulate_fallout(
+    weights: &FaultWeights,
+    detected: &[bool],
+    config: &MonteCarloConfig,
+) -> Result<FalloutEstimate, ModelError> {
+    if detected.len() != weights.len() {
+        return Err(ModelError::BadFitData("detection mask length mismatch"));
+    }
+    if config.dies == 0 {
+        return Err(ModelError::BadFitData("zero dies requested"));
+    }
+    let probabilities: Vec<f64> = (0..weights.len()).map(|j| weights.probability(j)).collect();
+
+    let mut state = config.seed | 1;
+    let mut next_unit = move || -> f64 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    };
+
+    let mut good = 0usize;
+    let mut shipped = 0usize;
+    let mut escapes = 0usize;
+    for _ in 0..config.dies {
+        let mut any_fault = false;
+        let mut any_detected = false;
+        for (j, &p) in probabilities.iter().enumerate() {
+            if next_unit() < p {
+                any_fault = true;
+                if detected[j] {
+                    any_detected = true;
+                    // Faster: once scrapped the die's remaining faults
+                    // cannot change the outcome, but we keep rolling so the
+                    // RNG stream stays aligned per die count — determinism
+                    // over micro-optimisation here.
+                }
+            }
+        }
+        if !any_fault {
+            good += 1;
+        }
+        if !any_detected {
+            shipped += 1;
+            if any_fault {
+                escapes += 1;
+            }
+        }
+    }
+    Ok(FalloutEstimate {
+        fabricated: config.dies,
+        good,
+        shipped,
+        escapes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weights(n: usize, y: f64) -> FaultWeights {
+        FaultWeights::new(vec![1.0; n])
+            .unwrap()
+            .scaled_to_yield(y)
+            .unwrap()
+    }
+
+    #[test]
+    fn yield_estimate_matches_formula() {
+        let w = weights(20, 0.75);
+        let detected = vec![false; 20];
+        let est = simulate_fallout(
+            &w,
+            &detected,
+            &MonteCarloConfig {
+                dies: 200_000,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        assert!(
+            (est.yield_estimate() - 0.75).abs() < 0.005,
+            "{}",
+            est.yield_estimate()
+        );
+        // Nothing detected: everything ships, DL = 1 - Y.
+        assert_eq!(est.shipped, est.fabricated);
+        assert!((est.defect_level() - 0.25).abs() < 0.005);
+    }
+
+    #[test]
+    fn full_detection_ships_no_escapes() {
+        let w = weights(10, 0.8);
+        let est = simulate_fallout(&w, &vec![true; 10], &MonteCarloConfig::default()).unwrap();
+        assert_eq!(est.escapes, 0);
+        assert!(est.shipped < est.fabricated, "some dies must be scrapped");
+        assert_eq!(est.defect_level(), 0.0);
+    }
+
+    #[test]
+    fn estimate_converges_to_eq3_with_skewed_weights() {
+        // Heavily skewed weights — the regime where eq. 3 differs most
+        // from the unweighted intuition.
+        let raw: Vec<f64> = (0..30).map(|j| 1.5f64.powi(j)).collect();
+        let w = FaultWeights::new(raw)
+            .unwrap()
+            .scaled_to_yield(0.7)
+            .unwrap();
+        let detected: Vec<bool> = (0..30).map(|j| j % 3 != 0).collect();
+        let theta = w.theta(&detected).unwrap();
+        let formula = w.defect_level(theta).unwrap();
+        let est = simulate_fallout(
+            &w,
+            &detected,
+            &MonteCarloConfig {
+                dies: 300_000,
+                seed: 9,
+            },
+        )
+        .unwrap();
+        assert!(
+            (est.defect_level() - formula).abs() < 0.004,
+            "MC {} vs eq.3 {}",
+            est.defect_level(),
+            formula
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let w = weights(5, 0.9);
+        let d = vec![true, false, true, false, true];
+        let cfg = MonteCarloConfig {
+            dies: 10_000,
+            seed: 42,
+        };
+        assert_eq!(
+            simulate_fallout(&w, &d, &cfg).unwrap(),
+            simulate_fallout(&w, &d, &cfg).unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let w = weights(3, 0.9);
+        assert!(simulate_fallout(&w, &[true], &MonteCarloConfig::default()).is_err());
+        assert!(simulate_fallout(&w, &[true; 3], &MonteCarloConfig { dies: 0, seed: 1 }).is_err());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+        #[test]
+        fn mc_tracks_formula(seed in 1u64..500, y in 0.5f64..0.9) {
+            let raw: Vec<f64> = (0..12).map(|j| 1.0 + (j as f64) * 0.7).collect();
+            let w = FaultWeights::new(raw).unwrap().scaled_to_yield(y).unwrap();
+            let detected: Vec<bool> = (0..12).map(|j| (seed >> (j % 8)) & 1 == 1).collect();
+            let theta = w.theta(&detected).unwrap();
+            let formula = w.defect_level(theta).unwrap();
+            let est = simulate_fallout(&w, &detected,
+                &MonteCarloConfig { dies: 60_000, seed }).unwrap();
+            proptest::prop_assert!((est.defect_level() - formula).abs() < 0.02);
+        }
+    }
+}

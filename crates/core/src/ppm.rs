@@ -1,0 +1,75 @@
+/// A defect level expressed in parts per million, for display and
+/// threshold specification.
+///
+/// Internally every model works on fractions in `[0, 1]`; `Ppm` is the
+/// human-facing unit the paper (and industry) quotes.
+///
+/// # Example
+///
+/// ```
+/// use dlp_core::Ppm;
+///
+/// let dl = Ppm::from_fraction(0.0001);
+/// assert_eq!(dl.value(), 100.0);
+/// assert_eq!(dl.to_string(), "100 ppm");
+/// assert_eq!(Ppm::new(250.0).to_fraction(), 0.00025);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd)]
+pub struct Ppm(f64);
+
+impl Ppm {
+    /// Wraps a value already in parts per million.
+    pub const fn new(ppm: f64) -> Self {
+        Ppm(ppm)
+    }
+
+    /// Converts a fraction in `[0, 1]` to ppm.
+    pub fn from_fraction(fraction: f64) -> Self {
+        Ppm(fraction * 1e6)
+    }
+
+    /// The raw ppm value.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts back to a fraction.
+    pub fn to_fraction(self) -> f64 {
+        self.0 / 1e6
+    }
+}
+
+impl From<Ppm> for f64 {
+    fn from(p: Ppm) -> f64 {
+        p.0
+    }
+}
+
+impl core::fmt::Display for Ppm {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.0 >= 10.0 || self.0 == 0.0 {
+            write!(f, "{:.0} ppm", self.0)
+        } else {
+            write!(f, "{:.2} ppm", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let p = Ppm::from_fraction(0.002279);
+        assert!((p.value() - 2279.0).abs() < 1e-9);
+        assert!((p.to_fraction() - 0.002279).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_scales_precision() {
+        assert_eq!(Ppm::new(2279.0).to_string(), "2279 ppm");
+        assert_eq!(Ppm::new(1.234).to_string(), "1.23 ppm");
+        assert_eq!(Ppm::new(0.0).to_string(), "0 ppm");
+    }
+}

@@ -1,0 +1,138 @@
+//! The Williams–Brown defect-level model (eq. 1 of the paper).
+//!
+//! `DL = 1 − Y^(1−T)`: with equally probable single stuck-at faults, a part
+//! that escapes a test set covering fraction `T` of the faults is defective
+//! with this probability. The 1994 paper's whole point is that measured
+//! fallout curves *deviate* from this law; see [`crate::sousa`].
+
+use crate::error::{check_open_unit, check_unit};
+use crate::ModelError;
+
+/// Defect level as a function of yield and stuck-at fault coverage.
+///
+/// # Errors
+///
+/// [`ModelError::OutOfDomain`] unless `y ∈ (0, 1)` and `t ∈ [0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use dlp_core::williams_brown::defect_level;
+///
+/// // A 75 %-yield part tested to 90 % coverage ships ~2.8 % defective.
+/// let dl = defect_level(0.75, 0.9)?;
+/// assert!((dl - 0.0284).abs() < 1e-3);
+/// // Full coverage ships zero defects under this model.
+/// assert_eq!(defect_level(0.75, 1.0)?, 0.0);
+/// # Ok::<(), dlp_core::ModelError>(())
+/// ```
+pub fn defect_level(y: f64, t: f64) -> Result<f64, ModelError> {
+    let y = check_open_unit("yield", y)?;
+    let t = check_unit("fault coverage", t)?;
+    Ok(1.0 - y.powf(1.0 - t))
+}
+
+/// The coverage required to reach a target defect level: the inverse of
+/// [`defect_level`] in `T`.
+///
+/// # Errors
+///
+/// [`ModelError::OutOfDomain`] for parameters outside their ranges;
+/// [`ModelError::Unreachable`] if `dl` is not achievable for this yield
+/// (i.e. `dl ≥ 1 − Y`, which needs negative coverage).
+///
+/// # Example
+///
+/// ```
+/// use dlp_core::williams_brown::required_coverage;
+///
+/// // The paper's Example 1, Williams–Brown variant: T = 99.97 %.
+/// let t = required_coverage(0.75, 100e-6)?;
+/// assert!((t - 0.9997).abs() < 5e-5);
+/// # Ok::<(), dlp_core::ModelError>(())
+/// ```
+pub fn required_coverage(y: f64, dl: f64) -> Result<f64, ModelError> {
+    let y = check_open_unit("yield", y)?;
+    let dl = check_unit("defect level", dl)?;
+    let max_dl = 1.0 - y;
+    if dl > max_dl {
+        return Err(ModelError::Unreachable {
+            target: "defect level",
+            requested: dl,
+            limit: max_dl,
+        });
+    }
+    // 1 - Y^(1-T) = DL  =>  1 - T = ln(1-DL)/ln(Y).
+    Ok(1.0 - (1.0 - dl).ln() / y.ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_coverage_ships_all_defects() {
+        // With T = 0 the defect level equals the fraction of bad parts
+        // among all parts shipped untested: 1 - Y.
+        let dl = defect_level(0.75, 0.0).unwrap();
+        assert!((dl - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_coverage_ships_none() {
+        assert_eq!(defect_level(0.3, 1.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn monotone_decreasing_in_coverage() {
+        let mut prev = 1.0;
+        for i in 0..=100 {
+            let t = i as f64 / 100.0;
+            let dl = defect_level(0.6, t).unwrap();
+            assert!(dl <= prev);
+            prev = dl;
+        }
+    }
+
+    #[test]
+    fn paper_example_1_wb_number() {
+        let t = required_coverage(0.75, 100e-6).unwrap();
+        assert!((t - 0.99965).abs() < 5e-5, "T = {t}");
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for &t in &[0.0, 0.3, 0.77, 0.999, 1.0] {
+            let dl = defect_level(0.82, t).unwrap();
+            let back = required_coverage(0.82, dl).unwrap();
+            assert!((back - t).abs() < 1e-9, "t={t} back={back}");
+        }
+    }
+
+    #[test]
+    fn domain_checks() {
+        assert!(defect_level(0.0, 0.5).is_err());
+        assert!(defect_level(1.0, 0.5).is_err());
+        assert!(defect_level(0.5, 1.1).is_err());
+        assert!(matches!(
+            required_coverage(0.9, 0.5),
+            Err(ModelError::Unreachable { .. })
+        ));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn dl_bounded_by_fallout(y in 0.01f64..0.99, t in 0.0f64..1.0) {
+            let dl = defect_level(y, t).unwrap();
+            proptest::prop_assert!(dl >= -1e-12);
+            proptest::prop_assert!(dl <= 1.0 - y + 1e-12);
+        }
+
+        #[test]
+        fn inverse_is_right_inverse(y in 0.05f64..0.95, t in 0.0f64..1.0) {
+            let dl = defect_level(y, t).unwrap();
+            let back = required_coverage(y, dl).unwrap();
+            proptest::prop_assert!((back - t).abs() < 1e-6);
+        }
+    }
+}

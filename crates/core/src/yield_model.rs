@@ -1,0 +1,133 @@
+//! Classical IC yield models (Stapper, eq. 5's Poisson form and the
+//! negative-binomial generalisation).
+//!
+//! The paper takes yield as an input (predicted "using some existing
+//! methods" — its refs [2,3]); this module supplies those methods so the
+//! toolkit can go from defect densities straight to `Y` without external
+//! data. The Poisson model is exactly what eq. 5 produces from fault
+//! weights (`Y = e^(−Σ AD)`); the negative binomial adds defect clustering.
+
+use crate::error::check_positive;
+use crate::ModelError;
+
+/// Poisson yield: `Y = exp(−λ)` for `λ` expected killer defects per die.
+///
+/// # Errors
+///
+/// [`ModelError::OutOfDomain`] if `lambda` is negative or non-finite.
+///
+/// # Example
+///
+/// ```
+/// use dlp_core::yield_model::poisson;
+///
+/// // 0.29 expected killer defects per die -> ~75 % yield.
+/// assert!((poisson(0.2877)? - 0.75).abs() < 1e-3);
+/// # Ok::<(), dlp_core::ModelError>(())
+/// ```
+pub fn poisson(lambda: f64) -> Result<f64, ModelError> {
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // rejects NaN too
+    if !(lambda >= 0.0) || !lambda.is_finite() {
+        return Err(ModelError::OutOfDomain {
+            parameter: "expected defects",
+            value: lambda,
+            range: "[0, ∞)",
+        });
+    }
+    Ok((-lambda).exp())
+}
+
+/// Negative-binomial (Stapper) yield: `Y = (1 + λ/α)^(−α)` with clustering
+/// parameter `α` (α → ∞ recovers Poisson; small α models clustered
+/// defects and predicts *higher* yield for the same λ).
+///
+/// # Errors
+///
+/// [`ModelError::OutOfDomain`] if `lambda < 0` or `alpha ≤ 0`.
+pub fn negative_binomial(lambda: f64, alpha: f64) -> Result<f64, ModelError> {
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // rejects NaN too
+    if !(lambda >= 0.0) || !lambda.is_finite() {
+        return Err(ModelError::OutOfDomain {
+            parameter: "expected defects",
+            value: lambda,
+            range: "[0, ∞)",
+        });
+    }
+    let alpha = check_positive("clustering parameter", alpha)?;
+    Ok((1.0 + lambda / alpha).powf(-alpha))
+}
+
+/// Expected killer defects from per-layer `(critical area, defect
+/// density)` pairs: `λ = Σ A_l · D_l`. Units must agree (area in cm²
+/// with density in defects/cm², or λ-units consistently).
+pub fn lambda_from_layers<I: IntoIterator<Item = (f64, f64)>>(layers: I) -> f64 {
+    layers.into_iter().map(|(a, d)| a * d).sum()
+}
+
+/// The λ that produces a target Poisson yield: `λ = −ln Y`.
+///
+/// # Errors
+///
+/// [`ModelError::OutOfDomain`] unless `y ∈ (0, 1]`.
+pub fn lambda_for_yield(y: f64) -> Result<f64, ModelError> {
+    if !(y > 0.0 && y <= 1.0) {
+        return Err(ModelError::OutOfDomain {
+            parameter: "yield",
+            value: y,
+            range: "(0, 1]",
+        });
+    }
+    Ok(-y.ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_boundaries() {
+        assert_eq!(poisson(0.0).unwrap(), 1.0);
+        assert!(poisson(-1.0).is_err());
+        assert!(poisson(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn negative_binomial_approaches_poisson_for_large_alpha() {
+        let lambda = 0.5;
+        let p = poisson(lambda).unwrap();
+        let nb = negative_binomial(lambda, 1e6).unwrap();
+        assert!((p - nb).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clustering_raises_yield() {
+        let lambda = 1.0;
+        let clustered = negative_binomial(lambda, 0.5).unwrap();
+        let spread = negative_binomial(lambda, 100.0).unwrap();
+        assert!(clustered > spread);
+    }
+
+    #[test]
+    fn lambda_round_trips_through_yield() {
+        let lambda = lambda_for_yield(0.75).unwrap();
+        assert!((poisson(lambda).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_from_layer_table() {
+        let l = lambda_from_layers([(1.0, 0.1), (2.0, 0.05), (0.5, 0.2)]);
+        assert!((l - 0.3).abs() < 1e-12);
+        assert_eq!(lambda_from_layers(std::iter::empty()), 0.0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn yields_in_unit_interval(lambda in 0.0f64..20.0, alpha in 0.01f64..100.0) {
+            let p = poisson(lambda).unwrap();
+            let nb = negative_binomial(lambda, alpha).unwrap();
+            proptest::prop_assert!((0.0..=1.0).contains(&p));
+            proptest::prop_assert!((0.0..=1.0).contains(&nb));
+            proptest::prop_assert!(nb >= p - 1e-12, "clustering never hurts yield");
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Critical-area computations (Stapper).
+//!
+//! The square-defect model is used throughout: a defect of "size" `x` is an
+//! `x × x` square of extra or missing material. Then
+//!
+//! * a **short** between shape sets A and B occurs iff the defect centre
+//!   lies in `dilate(A, x/2) ∩ dilate(B, x/2)` — computed exactly with the
+//!   scanline union machinery of `dlp-geometry`;
+//! * an **open** on a wire rectangle of width `w` and length `l` needs the
+//!   defect to sever the full width: centre area `(x − w)·l` for `x > w`
+//!   (end effects ignored — a slight underestimate, documented);
+//! * a **missing cut** of size `c` requires the defect to cover the whole
+//!   cut: centre area `(x − c)²` for `x > c`.
+
+use dlp_geometry::{Coord, Rect, Region};
+
+/// Critical area (λ²) for a short between two shape sets at defect size
+/// `x`, under the square-defect model.
+///
+/// # Example
+///
+/// ```
+/// use dlp_geometry::{Layer, Rect, Region};
+/// use dlp_extract::critical_area::short_area;
+///
+/// // Two 100-long wires, 6 apart: defects of size 8 bridge them over a
+/// // band of height 2.
+/// let a = Region::from_rects(Layer::Metal1, [Rect::new(0, 0, 100, 4)]);
+/// let b = Region::from_rects(Layer::Metal1, [Rect::new(0, 10, 100, 14)]);
+/// assert_eq!(short_area(&a, &b, 6), 0); // just touches: zero area
+/// assert!(short_area(&a, &b, 8) > 0);
+/// ```
+pub fn short_area(a: &Region, b: &Region, x: Coord) -> i64 {
+    if x <= 0 {
+        return 0;
+    }
+    // Dilation by x/2 on each side: use halves that sum to x so odd sizes
+    // don't lose a λ.
+    let ha = x / 2;
+    let hb = x - ha;
+    a.dilated(ha).overlap_area(&b.dilated(hb))
+}
+
+/// Critical area (λ²) for an open severing a single wire rectangle at
+/// defect size `x`.
+pub fn open_area(wire: &Rect, x: Coord) -> i64 {
+    let w = wire.short_side();
+    let l = wire.long_side();
+    if x <= w {
+        0
+    } else {
+        (x - w) * l
+    }
+}
+
+/// Critical area (λ²) for a missing cut (contact/via) of the given drawn
+/// rectangle at defect size `x`.
+pub fn missing_cut_area(cut: &Rect, x: Coord) -> i64 {
+    let c = cut.long_side();
+    if x <= c {
+        0
+    } else {
+        (x - c) * (x - c)
+    }
+}
+
+/// Weighted critical area: folds a per-size geometry function over the
+/// discretised defect size distribution (`(size, density)` pairs from
+/// [`DefectClass::size_samples`]), returning the expected defect count per
+/// 10⁶ λ² — i.e. the fault weight contribution before global scaling.
+///
+/// [`DefectClass::size_samples`]: crate::defects::DefectClass::size_samples
+pub fn weighted<F: FnMut(Coord) -> i64>(samples: &[(Coord, f64)], mut area_at: F) -> f64 {
+    samples
+        .iter()
+        .map(|&(x, density)| area_at(x) as f64 * density / 1e6)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlp_geometry::Layer;
+
+    fn wire(y0: Coord, y1: Coord) -> Region {
+        Region::from_rects(Layer::Metal1, [Rect::new(0, y0, 100, y1)])
+    }
+
+    #[test]
+    fn short_area_grows_with_defect_size() {
+        let a = wire(0, 4);
+        let b = wire(10, 14);
+        let mut prev = 0;
+        for x in [6, 8, 10, 14] {
+            let area = short_area(&a, &b, x);
+            assert!(area >= prev, "x={x}");
+            prev = area;
+        }
+        assert_eq!(short_area(&a, &b, 0), 0);
+    }
+
+    #[test]
+    fn short_area_matches_parallel_wire_formula() {
+        // Parallel wires, separation s, length l: A(x) ≈ (x − s)(l + x).
+        let s = 6;
+        let a = wire(0, 4);
+        let b = wire(4 + s, 8 + s);
+        for x in [8, 10, 12] {
+            let expect = (x - s) * (100 + x);
+            assert_eq!(short_area(&a, &b, x), expect, "x={x}");
+        }
+    }
+
+    #[test]
+    fn open_area_formula() {
+        let w = Rect::new(0, 0, 50, 3);
+        assert_eq!(open_area(&w, 3), 0);
+        assert_eq!(open_area(&w, 5), 2 * 50);
+        // Orientation-independent.
+        let v = Rect::new(0, 0, 3, 50);
+        assert_eq!(open_area(&v, 5), 2 * 50);
+    }
+
+    #[test]
+    fn missing_cut_formula() {
+        let c = Rect::new(0, 0, 2, 2);
+        assert_eq!(missing_cut_area(&c, 2), 0);
+        assert_eq!(missing_cut_area(&c, 5), 9);
+    }
+
+    #[test]
+    fn weighted_folds_distribution() {
+        let samples = [(4i64, 2.0), (8, 1.0)];
+        // area_at(x) = x: w = (4*2 + 8*1)/1e6.
+        let w = weighted(&samples, |x| x);
+        assert!((w - 16.0 / 1e6).abs() < 1e-15);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn short_area_symmetric(sep in 1i64..20, x in 1i64..30) {
+            let a = wire(0, 4);
+            let b = wire(4 + sep, 8 + sep);
+            proptest::prop_assert_eq!(short_area(&a, &b, x), short_area(&b, &a, x));
+        }
+
+        #[test]
+        fn open_area_monotone(w in 1i64..6, l in 1i64..100) {
+            let r = Rect::with_size(0, 0, l.max(w), w.min(l));
+            let mut prev = 0;
+            for x in 1..20 {
+                let area = open_area(&r, x);
+                proptest::prop_assert!(area >= prev);
+                prev = area;
+            }
+        }
+    }
+}

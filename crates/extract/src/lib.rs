@@ -1,0 +1,43 @@
+//! Layout fault extraction — the reproduction's stand-in for the paper's
+//! `lift` tool.
+//!
+//! Given a tagged [`ChipLayout`](dlp_layout::chip::ChipLayout) and a
+//! process [`DefectStatistics`](defects::DefectStatistics), the extractor
+//! produces a **weighted realistic fault list**: every fault is caused by a
+//! likely physical defect, and its weight `w = Σ_x A_crit(x)·D(x)` is the
+//! expected number of defects inducing it (critical area × defect density,
+//! eq. 4 of the paper).
+//!
+//! * [`defects`] — defect classes, densities and the `1/x³` size law,
+//! * [`critical_area`] — geometric critical-area computations,
+//! * [`faults`] — the realistic fault taxonomy (bridges, breaks,
+//!   transistor stuck-opens/ons) and mapping onto simulator faults,
+//! * [`extractor`] — the end-to-end extraction pass,
+//! * [`report`] — weight breakdowns per family and layer,
+//! * [`sampling`] — Monte Carlo defect injection cross-checking the
+//!   critical-area analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use dlp_circuit::generators;
+//! use dlp_extract::{defects::DefectStatistics, extractor};
+//! use dlp_layout::chip::ChipLayout;
+//!
+//! let c17 = generators::c17();
+//! let chip = ChipLayout::generate(&c17, &Default::default())?;
+//! let faults = extractor::extract(&chip, &DefectStatistics::maly_cmos());
+//! assert!(faults.len() > 50);
+//! assert!(faults.weights().iter().all(|&w| w > 0.0));
+//! # Ok::<(), dlp_layout::LayoutError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod critical_area;
+pub mod defects;
+pub mod extractor;
+pub mod faults;
+pub mod report;
+pub mod sampling;

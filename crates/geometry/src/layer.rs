@@ -1,0 +1,155 @@
+/// Mask layers of a generic 2-metal CMOS process.
+///
+/// The set mirrors what the paper's experimental vehicle used: a 2-metal
+/// CMOS standard-cell layout. Conductor layers carry signal nets and are the
+/// ones the fault extractor analyses for bridges and opens; the remaining
+/// layers shape devices.
+///
+/// # Example
+///
+/// ```
+/// use dlp_geometry::Layer;
+///
+/// assert!(Layer::Metal1.is_conductor());
+/// assert!(!Layer::Nwell.is_conductor());
+/// assert_eq!(Layer::ALL.len(), 9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Layer {
+    /// N-well (PMOS bulk).
+    Nwell,
+    /// Active (diffusion) area, N-type.
+    Ndiff,
+    /// Active (diffusion) area, P-type.
+    Pdiff,
+    /// Polysilicon (gates and short local interconnect).
+    Poly,
+    /// Contact cut between metal1 and poly/diffusion.
+    Contact,
+    /// First-level metal.
+    Metal1,
+    /// Via cut between metal1 and metal2.
+    Via,
+    /// Second-level metal.
+    Metal2,
+    /// Gate oxide marker (thin oxide under poly over active); used only for
+    /// pinhole-defect extraction.
+    GateOxide,
+}
+
+/// Broad electrical role of a layer, used to pick defect mechanisms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LayerClass {
+    /// Routes signal nets: poly, diffusion, metal1, metal2.
+    Conductor,
+    /// Vertical connection cut: contact, via.
+    Cut,
+    /// Device-forming layer: wells, gate oxide.
+    Device,
+}
+
+impl Layer {
+    /// All layers in a fixed, deterministic order.
+    pub const ALL: [Layer; 9] = [
+        Layer::Nwell,
+        Layer::Ndiff,
+        Layer::Pdiff,
+        Layer::Poly,
+        Layer::Contact,
+        Layer::Metal1,
+        Layer::Via,
+        Layer::Metal2,
+        Layer::GateOxide,
+    ];
+
+    /// The conductor layers, on which shorts and opens are extracted.
+    pub const CONDUCTORS: [Layer; 4] = [Layer::Ndiff, Layer::Poly, Layer::Metal1, Layer::Metal2];
+
+    /// Broad electrical role of this layer.
+    pub const fn class(self) -> LayerClass {
+        match self {
+            Layer::Ndiff | Layer::Pdiff | Layer::Poly | Layer::Metal1 | Layer::Metal2 => {
+                LayerClass::Conductor
+            }
+            Layer::Contact | Layer::Via => LayerClass::Cut,
+            Layer::Nwell | Layer::GateOxide => LayerClass::Device,
+        }
+    }
+
+    /// True if the layer routes signal nets.
+    pub const fn is_conductor(self) -> bool {
+        matches!(self.class(), LayerClass::Conductor)
+    }
+
+    /// True if the layer is a contact/via cut.
+    pub const fn is_cut(self) -> bool {
+        matches!(self.class(), LayerClass::Cut)
+    }
+
+    /// Short lowercase mnemonic, stable across versions (used in fault
+    /// identifiers and reports).
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            Layer::Nwell => "nw",
+            Layer::Ndiff => "nd",
+            Layer::Pdiff => "pd",
+            Layer::Poly => "po",
+            Layer::Contact => "co",
+            Layer::Metal1 => "m1",
+            Layer::Via => "vi",
+            Layer::Metal2 => "m2",
+            Layer::GateOxide => "ox",
+        }
+    }
+
+    /// Index of this layer within [`Layer::ALL`] (dense, for table lookups).
+    pub fn index(self) -> usize {
+        Layer::ALL
+            .iter()
+            .position(|&l| l == self)
+            .expect("layer in ALL")
+    }
+}
+
+impl core::fmt::Display for Layer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_layers_have_unique_mnemonics() {
+        let mut seen = std::collections::BTreeSet::new();
+        for l in Layer::ALL {
+            assert!(seen.insert(l.mnemonic()), "duplicate mnemonic {}", l);
+        }
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, l) in Layer::ALL.iter().enumerate() {
+            assert_eq!(l.index(), i);
+        }
+    }
+
+    #[test]
+    fn conductor_classification() {
+        for l in Layer::CONDUCTORS {
+            assert!(l.is_conductor());
+        }
+        assert!(Layer::Pdiff.is_conductor());
+        assert!(Layer::Contact.is_cut());
+        assert!(Layer::Via.is_cut());
+        assert_eq!(Layer::Nwell.class(), LayerClass::Device);
+        assert_eq!(Layer::GateOxide.class(), LayerClass::Device);
+    }
+
+    #[test]
+    fn display_uses_mnemonic() {
+        assert_eq!(Layer::Metal2.to_string(), "m2");
+    }
+}

@@ -1,0 +1,51 @@
+//! Manhattan geometry substrate for IC layout processing.
+//!
+//! This crate provides the low-level geometric machinery used by the layout
+//! generator ([`dlp-layout`]) and the layout fault extractor ([`dlp-extract`]):
+//!
+//! * [`Point`] and [`Rect`] — integer-coordinate primitives in database
+//!   units (a technology decides how many database units make one λ),
+//! * [`Layer`] — the mask layers of a generic 2-metal CMOS process,
+//! * [`Region`] — a bag of rectangles on a single layer with Boolean-ish
+//!   operations (dilation, union area, pairwise interaction area),
+//! * [`sweep`] — scanline algorithms for exact union area of rectangle sets.
+//!
+//! All coordinates are `i64` database units; areas are returned as `i64`
+//! (square database units) or `f64` where integration demands it. Integer
+//! coordinates keep the geometry exactly representable and hashable, which
+//! the extractor relies on for deterministic fault identities.
+//!
+//! # Example
+//!
+//! ```
+//! use dlp_geometry::{Rect, Region, Layer};
+//!
+//! let mut m1 = Region::new(Layer::Metal1);
+//! m1.push(Rect::new(0, 0, 100, 4));   // a horizontal wire, 4 units wide
+//! m1.push(Rect::new(0, 10, 100, 14)); // a parallel wire 6 units away
+//! assert_eq!(m1.area(), 2 * 100 * 4);
+//! ```
+//!
+//! [`dlp-layout`]: https://example.invalid/dlp
+//! [`dlp-extract`]: https://example.invalid/dlp
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod layer;
+mod point;
+mod rect;
+mod region;
+pub mod sweep;
+
+pub use layer::{Layer, LayerClass};
+pub use point::Point;
+pub use rect::Rect;
+pub use region::Region;
+
+/// Coordinate type used throughout the geometry crate: database units.
+///
+/// A [`Technology`](https://example.invalid) in `dlp-layout` maps database
+/// units to λ (typically 2 database units per λ so half-λ rules stay
+/// integral).
+pub type Coord = i64;

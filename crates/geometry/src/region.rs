@@ -1,0 +1,217 @@
+use crate::{sweep, Coord, Layer, Rect};
+
+/// A collection of rectangles on one mask layer.
+///
+/// `Region` is the unit the layout generator emits per (net, layer) and the
+/// unit the extractor consumes. It deliberately stays a *bag* of rectangles
+/// (possibly overlapping) — union semantics are applied by the area queries,
+/// so callers can push wire segments naively.
+///
+/// # Example
+///
+/// ```
+/// use dlp_geometry::{Layer, Rect, Region};
+///
+/// let mut r = Region::new(Layer::Poly);
+/// r.push(Rect::new(0, 0, 10, 2));
+/// r.push(Rect::new(8, 0, 18, 2)); // overlaps the first by 2x2
+/// assert_eq!(r.area(), 10 * 2 + 10 * 2 - 4);
+/// assert_eq!(r.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Region {
+    layer: Layer,
+    rects: Vec<Rect>,
+}
+
+impl Region {
+    /// Creates an empty region on `layer`.
+    pub fn new(layer: Layer) -> Self {
+        Region {
+            layer,
+            rects: Vec::new(),
+        }
+    }
+
+    /// Creates a region on `layer` from an iterator of rectangles.
+    pub fn from_rects<I: IntoIterator<Item = Rect>>(layer: Layer, rects: I) -> Self {
+        Region {
+            layer,
+            rects: rects.into_iter().collect(),
+        }
+    }
+
+    /// The mask layer this region lives on.
+    pub fn layer(&self) -> Layer {
+        self.layer
+    }
+
+    /// Adds a rectangle. Degenerate rectangles are kept (they may mark
+    /// pin locations) but contribute no area.
+    pub fn push(&mut self, r: Rect) {
+        self.rects.push(r);
+    }
+
+    /// The rectangles in insertion order.
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Number of rectangles (not merged).
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// True if the region holds no rectangles.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// Exact union area of the region.
+    pub fn area(&self) -> i64 {
+        sweep::union_area(&self.rects)
+    }
+
+    /// Bounding box, or `None` for an empty region.
+    pub fn bbox(&self) -> Option<Rect> {
+        self.rects.iter().copied().reduce(|a, b| a.union_bbox(&b))
+    }
+
+    /// Returns a region with every rectangle dilated by `d`.
+    ///
+    /// Dilation by `x/2` turns "defect of size `x` centred here causes a
+    /// short" into a plain intersection test — the core trick of critical
+    /// area analysis.
+    #[must_use]
+    pub fn dilated(&self, d: Coord) -> Region {
+        Region {
+            layer: self.layer,
+            rects: self.rects.iter().map(|r| r.dilated(d)).collect(),
+        }
+    }
+
+    /// Returns this region translated by `(dx, dy)`.
+    #[must_use]
+    pub fn translated(&self, dx: Coord, dy: Coord) -> Region {
+        Region {
+            layer: self.layer,
+            rects: self.rects.iter().map(|r| r.translated(dx, dy)).collect(),
+        }
+    }
+
+    /// Exact area of the overlap between two regions (union semantics on
+    /// both sides). Layers need not match — the caller decides whether a
+    /// cross-layer interaction is meaningful.
+    pub fn overlap_area(&self, other: &Region) -> i64 {
+        sweep::intersection_area(&self.rects, &other.rects)
+    }
+
+    /// Minimum L∞ separation to another region (0 if they touch/overlap),
+    /// or `None` if either region is empty.
+    pub fn linf_separation(&self, other: &Region) -> Option<Coord> {
+        if self.is_empty() || other.is_empty() {
+            return None;
+        }
+        let mut best = Coord::MAX;
+        for a in &self.rects {
+            for b in &other.rects {
+                best = best.min(a.linf_separation(b));
+                if best == 0 {
+                    return Some(0);
+                }
+            }
+        }
+        Some(best)
+    }
+
+    /// True if any rectangle of `self` shares a point with any rectangle of
+    /// `other` (electrical connectivity test on a single layer).
+    pub fn touches(&self, other: &Region) -> bool {
+        self.rects
+            .iter()
+            .any(|a| other.rects.iter().any(|b| a.touches(b)))
+    }
+}
+
+impl Extend<Rect> for Region {
+    fn extend<I: IntoIterator<Item = Rect>>(&mut self, iter: I) {
+        self.rects.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Region {
+    type Item = &'a Rect;
+    type IntoIter = core::slice::Iter<'a, Rect>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rects.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(layer: Layer, rs: &[(i64, i64, i64, i64)]) -> Region {
+        Region::from_rects(layer, rs.iter().map(|&(a, b, c, d)| Rect::new(a, b, c, d)))
+    }
+
+    #[test]
+    fn empty_region_basics() {
+        let r = Region::new(Layer::Metal1);
+        assert!(r.is_empty());
+        assert_eq!(r.area(), 0);
+        assert_eq!(r.bbox(), None);
+        assert_eq!(r.linf_separation(&r), None);
+    }
+
+    #[test]
+    fn area_uses_union_semantics() {
+        let r = region(Layer::Metal1, &[(0, 0, 10, 10), (0, 0, 10, 10)]);
+        assert_eq!(r.area(), 100);
+    }
+
+    #[test]
+    fn bbox_covers_all_rects() {
+        let r = region(Layer::Poly, &[(0, 0, 1, 1), (10, -5, 12, 0)]);
+        assert_eq!(r.bbox(), Some(Rect::new(0, -5, 12, 1)));
+    }
+
+    #[test]
+    fn dilation_then_overlap_models_shorts() {
+        // Two wires 6 apart; a defect of size 8 (dilate both by 4) bridges.
+        let a = region(Layer::Metal1, &[(0, 0, 100, 4)]);
+        let b = region(Layer::Metal1, &[(0, 10, 100, 14)]);
+        assert_eq!(a.overlap_area(&b), 0);
+        let ov = a.dilated(4).overlap_area(&b.dilated(4));
+        // Bands: a grows to y in [-4,8], b to [6,18] -> overlap y in [6,8],
+        // x in [-4,104]: 108 * 2.
+        assert_eq!(ov, 216);
+    }
+
+    #[test]
+    fn separation_between_regions() {
+        let a = region(Layer::Metal1, &[(0, 0, 100, 4)]);
+        let b = region(Layer::Metal1, &[(0, 10, 100, 14), (0, 30, 100, 34)]);
+        assert_eq!(a.linf_separation(&b), Some(6));
+        assert!(!a.touches(&b));
+        let c = region(Layer::Metal1, &[(50, 4, 60, 10)]);
+        assert!(a.touches(&c));
+        assert_eq!(a.linf_separation(&c), Some(0));
+    }
+
+    #[test]
+    fn translation_preserves_area() {
+        let r = region(Layer::Metal2, &[(0, 0, 7, 3), (5, 0, 12, 3)]);
+        assert_eq!(r.translated(100, -50).area(), r.area());
+    }
+
+    #[test]
+    fn extend_and_iter() {
+        let mut r = Region::new(Layer::Ndiff);
+        r.extend([Rect::new(0, 0, 2, 2), Rect::new(3, 3, 4, 4)]);
+        assert_eq!(r.len(), 2);
+        let total: i64 = (&r).into_iter().map(Rect::area).sum();
+        assert_eq!(total, 5);
+    }
+}

@@ -1,0 +1,236 @@
+//! Scanline algorithms over rectangle sets.
+//!
+//! The extractor needs *exact* union areas (critical areas of dilated
+//! shapes overlap heavily, so summing rectangle areas would overcount).
+//! [`union_area`] implements the classic coordinate-compressed sweep:
+//! O(n log n) events, O(n) strip accounting per event — plenty for the
+//! tens of thousands of rectangles a standard-cell block produces.
+
+use crate::Rect;
+
+/// Exact area of the union of `rects`, ignoring degenerate rectangles.
+///
+/// Runs a vertical scanline over x-sorted edge events; at each strip the
+/// covered y-length is computed from the active interval set.
+///
+/// # Example
+///
+/// ```
+/// use dlp_geometry::{Rect, sweep::union_area};
+///
+/// // Two 10x10 squares overlapping in a 5x10 band: 100 + 100 - 50.
+/// let area = union_area(&[Rect::new(0, 0, 10, 10), Rect::new(5, 0, 15, 10)]);
+/// assert_eq!(area, 150);
+/// ```
+pub fn union_area(rects: &[Rect]) -> i64 {
+    let mut events: Vec<(i64, bool, i64, i64)> = Vec::with_capacity(rects.len() * 2);
+    for r in rects {
+        if r.is_degenerate() {
+            continue;
+        }
+        events.push((r.x0(), true, r.y0(), r.y1()));
+        events.push((r.x1(), false, r.y0(), r.y1()));
+    }
+    if events.is_empty() {
+        return 0;
+    }
+    events.sort_unstable();
+
+    // Active y-intervals, kept as a simple Vec (removal by value). The
+    // interval population at any instant is bounded by the number of
+    // rectangles crossing the scanline, which is small for layout data
+    // (channel-shaped geometry).
+    let mut active: Vec<(i64, i64)> = Vec::new();
+    let mut area: i64 = 0;
+    let mut prev_x = events[0].0;
+
+    for (x, is_open, y0, y1) in events {
+        if x > prev_x && !active.is_empty() {
+            area += (x - prev_x) * covered_length(&mut active);
+            prev_x = x;
+        } else if active.is_empty() {
+            prev_x = x;
+        }
+        if is_open {
+            active.push((y0, y1));
+        } else {
+            let pos = active
+                .iter()
+                .position(|&iv| iv == (y0, y1))
+                .expect("close event matches an open interval");
+            active.swap_remove(pos);
+        }
+    }
+    area
+}
+
+/// Total y-length covered by the union of the given intervals.
+/// Sorts `intervals` in place as a side effect.
+fn covered_length(intervals: &mut [(i64, i64)]) -> i64 {
+    intervals.sort_unstable();
+    let mut total = 0;
+    let mut cur: Option<(i64, i64)> = None;
+    for &(a, b) in intervals.iter() {
+        match cur {
+            None => cur = Some((a, b)),
+            Some((ca, cb)) => {
+                if a <= cb {
+                    cur = Some((ca, cb.max(b)));
+                } else {
+                    total += cb - ca;
+                    cur = Some((a, b));
+                }
+            }
+        }
+    }
+    if let Some((ca, cb)) = cur {
+        total += cb - ca;
+    }
+    total
+}
+
+/// Exact area of `union(a) ∩ union(b)`: pairwise-intersect then union.
+///
+/// Used for short critical areas: dilate net A's shapes, dilate net B's
+/// shapes, and measure where both dilations overlap.
+///
+/// # Example
+///
+/// ```
+/// use dlp_geometry::{Rect, sweep::intersection_area};
+///
+/// let a = [Rect::new(0, 0, 10, 10)];
+/// let b = [Rect::new(5, 5, 15, 15), Rect::new(-5, -5, 2, 2)];
+/// assert_eq!(intersection_area(&a, &b), 25 + 4);
+/// ```
+pub fn intersection_area(a: &[Rect], b: &[Rect]) -> i64 {
+    let mut pieces = Vec::new();
+    for ra in a {
+        for rb in b {
+            if let Some(i) = ra.intersection(rb) {
+                if !i.is_degenerate() {
+                    pieces.push(i);
+                }
+            }
+        }
+    }
+    union_area(&pieces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(union_area(&[]), 0);
+        assert_eq!(union_area(&[Rect::new(0, 0, 0, 10)]), 0);
+    }
+
+    #[test]
+    fn single_rect() {
+        assert_eq!(union_area(&[Rect::new(1, 2, 4, 7)]), 15);
+    }
+
+    #[test]
+    fn disjoint_rects_sum() {
+        let rs = [Rect::new(0, 0, 2, 2), Rect::new(10, 10, 13, 12)];
+        assert_eq!(union_area(&rs), 4 + 6);
+    }
+
+    #[test]
+    fn identical_rects_count_once() {
+        let r = Rect::new(0, 0, 5, 5);
+        assert_eq!(union_area(&[r, r, r]), 25);
+    }
+
+    #[test]
+    fn nested_rects_count_outer() {
+        let rs = [Rect::new(0, 0, 10, 10), Rect::new(3, 3, 6, 6)];
+        assert_eq!(union_area(&rs), 100);
+    }
+
+    #[test]
+    fn cross_shape() {
+        // Horizontal bar 20x4 and vertical bar 4x20 crossing: 80+80-16.
+        let rs = [Rect::new(0, 8, 20, 12), Rect::new(8, 0, 12, 20)];
+        assert_eq!(union_area(&rs), 144);
+    }
+
+    #[test]
+    fn abutting_rects_do_not_overlap() {
+        let rs = [Rect::new(0, 0, 5, 5), Rect::new(5, 0, 10, 5)];
+        assert_eq!(union_area(&rs), 50);
+    }
+
+    #[test]
+    fn intersection_area_disjoint_sets() {
+        let a = [Rect::new(0, 0, 1, 1)];
+        let b = [Rect::new(5, 5, 6, 6)];
+        assert_eq!(intersection_area(&a, &b), 0);
+    }
+
+    #[test]
+    fn intersection_area_handles_internal_overlap() {
+        // Both pieces of `b` overlap the same region of `a`; the overlap
+        // must be counted once.
+        let a = [Rect::new(0, 0, 10, 10)];
+        let b = [Rect::new(2, 2, 8, 8), Rect::new(4, 4, 12, 12)];
+        // union(b) ∩ a = union of (2,2,8,8) and (4,4,10,10): 36 + 36 - 16 = 56
+        assert_eq!(intersection_area(&a, &b), 56);
+    }
+
+    proptest::proptest! {
+        /// Union area never exceeds the sum of areas and never undercuts
+        /// the largest member.
+        #[test]
+        fn union_area_bounds(rects in proptest::collection::vec(
+            (0i64..50, 0i64..50, 1i64..20, 1i64..20), 1..40)) {
+            let rs: Vec<Rect> = rects
+                .iter()
+                .map(|&(x, y, w, h)| Rect::with_size(x, y, w, h))
+                .collect();
+            let ua = union_area(&rs);
+            let sum: i64 = rs.iter().map(Rect::area).sum();
+            let max = rs.iter().map(Rect::area).max().unwrap();
+            proptest::prop_assert!(ua <= sum);
+            proptest::prop_assert!(ua >= max);
+        }
+
+        /// Union area agrees with a brute-force unit-cell rasterization on
+        /// small canvases.
+        #[test]
+        fn union_area_matches_raster(rects in proptest::collection::vec(
+            (0i64..12, 0i64..12, 1i64..6, 1i64..6), 1..10)) {
+            let rs: Vec<Rect> = rects
+                .iter()
+                .map(|&(x, y, w, h)| Rect::with_size(x, y, w, h))
+                .collect();
+            let mut grid = [[false; 20]; 20];
+            for r in &rs {
+                for gx in r.x0()..r.x1() {
+                    for gy in r.y0()..r.y1() {
+                        grid[gx as usize][gy as usize] = true;
+                    }
+                }
+            }
+            let raster: i64 = grid.iter().flatten().filter(|&&b| b).count() as i64;
+            proptest::prop_assert_eq!(union_area(&rs), raster);
+        }
+
+        /// intersection_area is symmetric and bounded by either union.
+        #[test]
+        fn intersection_area_symmetric(
+            a in proptest::collection::vec((0i64..30, 0i64..30, 1i64..10, 1i64..10), 1..8),
+            b in proptest::collection::vec((0i64..30, 0i64..30, 1i64..10, 1i64..10), 1..8),
+        ) {
+            let ra: Vec<Rect> = a.iter().map(|&(x, y, w, h)| Rect::with_size(x, y, w, h)).collect();
+            let rb: Vec<Rect> = b.iter().map(|&(x, y, w, h)| Rect::with_size(x, y, w, h)).collect();
+            let iab = intersection_area(&ra, &rb);
+            let iba = intersection_area(&rb, &ra);
+            proptest::prop_assert_eq!(iab, iba);
+            proptest::prop_assert!(iab <= union_area(&ra));
+            proptest::prop_assert!(iab <= union_area(&rb));
+        }
+    }
+}

@@ -1,0 +1,457 @@
+//! Standard-cell polygon generation from the shared CMOS templates.
+//!
+//! A cell is drawn as a left-to-right sequence of its template's stages.
+//! Each stage contributes one poly column per transistor-pair leaf (the
+//! column gates the NMOS device where it crosses the N-diffusion strip and
+//! the PMOS device where it crosses the P-diffusion strip) plus one m1
+//! *strap* column carrying the stage output.
+//!
+//! Every column exposes a **pin** in the cell's mid-lane; the global router
+//! connects them — including the internal nets of multi-stage cells (BUF,
+//! AND/OR, XOR...), which are routed like ordinary nets. This keeps cell
+//! geometry free of same-layer crossings by construction and is
+//! electrically equivalent; `DESIGN.md` records the substitution.
+
+use dlp_circuit::cells::{CellTemplate, StageSignal};
+use dlp_circuit::switch::TransKind;
+use dlp_geometry::{Coord, Layer, Rect};
+
+use crate::tech::Technology;
+
+/// A signal visible at a cell's boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CellSignal {
+    /// Cell input pin `i`.
+    Input(usize),
+    /// Output of stage `s` (the last stage is the cell's output).
+    Stage(usize),
+}
+
+impl CellSignal {
+    fn from_stage_signal(s: StageSignal) -> CellSignal {
+        match s {
+            StageSignal::Pin(i) => CellSignal::Input(i),
+            StageSignal::Stage(j) => CellSignal::Stage(j),
+        }
+    }
+}
+
+/// Electrical meaning of a cell-local shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalRole {
+    /// Carries a boundary signal (poly column, pin pad, strap).
+    Signal(CellSignal),
+    /// Part of a stage's shared diffusion strip.
+    StageDiff {
+        /// Stage index within the cell.
+        stage: usize,
+        /// Which device row.
+        kind: TransKind,
+    },
+    /// Power (`true`) or ground (`false`) geometry.
+    Rail(bool),
+}
+
+/// A rectangle of cell geometry with its electrical role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalShape {
+    /// Mask layer.
+    pub layer: Layer,
+    /// Geometry in cell-local coordinates (origin at lower-left).
+    pub rect: Rect,
+    /// Electrical role.
+    pub role: LocalRole,
+}
+
+/// A connection point the router must reach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalPin {
+    /// What the pin carries.
+    pub signal: CellSignal,
+    /// True if this pin *drives* its signal (a stage output strap); false
+    /// for consuming pins (poly gate columns).
+    pub is_driver: bool,
+    /// Pin centre x (on the routing grid when the cell origin is).
+    pub x: Coord,
+    /// Pin centre y.
+    pub y: Coord,
+}
+
+/// A transistor's drawn channel, with the ordinal contract of
+/// [`dlp_circuit::switch::expand`]: per stage, NMOS devices come first in
+/// pull-down leaf order, then PMOS devices in the same order; stages are
+/// sequential.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransistorSite {
+    /// Index of this device among the cell's devices, matching the order
+    /// `expand` emits transistors for the owning gate.
+    pub ordinal: usize,
+    /// Device polarity.
+    pub kind: TransKind,
+    /// Stage index.
+    pub stage: usize,
+    /// The drawn channel (poly ∩ diffusion), cell-local.
+    pub channel: Rect,
+    /// The signal gating this device.
+    pub gate_signal: CellSignal,
+}
+
+/// The drawn layout of one standard cell.
+#[derive(Debug, Clone)]
+pub struct CellLayout {
+    name: String,
+    width: Coord,
+    shapes: Vec<LocalShape>,
+    pins: Vec<LocalPin>,
+    transistor_sites: Vec<TransistorSite>,
+}
+
+impl CellLayout {
+    /// The library cell name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Cell width (a multiple of the column pitch).
+    pub fn width(&self) -> Coord {
+        self.width
+    }
+
+    /// All geometry.
+    pub fn shapes(&self) -> &[LocalShape] {
+        &self.shapes
+    }
+
+    /// Router connection points.
+    pub fn pins(&self) -> &[LocalPin] {
+        &self.pins
+    }
+
+    /// Drawn transistor channels in `expand` ordinal order.
+    pub fn transistor_sites(&self) -> &[TransistorSite] {
+        &self.transistor_sites
+    }
+
+    /// Generates the layout of `template` under `tech` rules.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dlp_circuit::cells;
+    /// use dlp_circuit::GateKind;
+    /// use dlp_layout::cell::CellLayout;
+    /// use dlp_layout::tech::Technology;
+    ///
+    /// let nand2 = cells::template_for(GateKind::Nand, 2)?;
+    /// let layout = CellLayout::generate(&nand2, &Technology::default());
+    /// // 2 leaf columns + 1 strap column.
+    /// assert_eq!(layout.width(), 3 * 16);
+    /// assert_eq!(layout.transistor_sites().len(), 4);
+    /// # Ok::<(), dlp_circuit::NetlistError>(())
+    /// ```
+    pub fn generate(template: &CellTemplate, tech: &Technology) -> CellLayout {
+        let mut shapes = Vec::new();
+        let mut pins = Vec::new();
+        let mut sites = Vec::new();
+
+        // Vertical geography (cell-local y in λ).
+        let rail_h = tech.rail_height;
+        let ndiff_y0 = rail_h + 4;
+        // cell_height 42: gnd 0..4, ndiff 8..14, pins 17..20, pdiff 26..34,
+        // vdd 38..42 under the default rules.
+        let ndiff_y1 = ndiff_y0 + tech.ndiff_height;
+        let pdiff_y1 = tech.cell_height - rail_h - 4;
+        let pdiff_y0 = pdiff_y1 - tech.pdiff_height;
+        let pin_y0 = ndiff_y1 + 3;
+        let pin_y1 = pin_y0 + 3;
+        let pin_y = (pin_y0 + pin_y1) / 2;
+        let poly_y0 = ndiff_y0 - 2;
+        let poly_y1 = pdiff_y1 + 2;
+
+        let pitch = tech.column_pitch;
+        let half_poly = tech.poly_width / 2;
+        let half_m1 = tech.m1_width / 2;
+        let cut = tech.cut_size;
+
+        let mut col = 0usize; // running column index
+        let mut ordinal_base = 0usize;
+        let stage_count = template.stages().len();
+        for (s, stage) in template.stages().iter().enumerate() {
+            let leaves = stage.pdn.leaves();
+            let first_col = col;
+
+            for (j, &leaf) in leaves.iter().enumerate() {
+                let cx = pitch / 2 + pitch * col as Coord;
+                let signal = CellSignal::from_stage_signal(leaf);
+                // Poly column gating both device rows.
+                shapes.push(LocalShape {
+                    layer: Layer::Poly,
+                    rect: Rect::new(cx - half_poly, poly_y0, cx + half_poly, poly_y1),
+                    role: LocalRole::Signal(signal),
+                });
+                // Gate oxide markers under the channels (pinhole targets).
+                for (kind, (y0, y1)) in [
+                    (TransKind::Nmos, (ndiff_y0, ndiff_y1)),
+                    (TransKind::Pmos, (pdiff_y0, pdiff_y1)),
+                ] {
+                    let channel = Rect::new(cx - half_poly, y0, cx + half_poly, y1);
+                    shapes.push(LocalShape {
+                        layer: Layer::GateOxide,
+                        rect: channel,
+                        role: LocalRole::StageDiff { stage: s, kind },
+                    });
+                    let ordinal = match kind {
+                        TransKind::Nmos => ordinal_base + j,
+                        TransKind::Pmos => ordinal_base + leaves.len() + j,
+                    };
+                    sites.push(TransistorSite {
+                        ordinal,
+                        kind,
+                        stage: s,
+                        channel,
+                        gate_signal: signal,
+                    });
+                }
+                // Pin pad (m1) in the mid-lane, contacted to the poly.
+                shapes.push(LocalShape {
+                    layer: Layer::Metal1,
+                    rect: Rect::new(cx - half_m1, pin_y0, cx + half_m1, pin_y1),
+                    role: LocalRole::Signal(signal),
+                });
+                shapes.push(LocalShape {
+                    layer: Layer::Contact,
+                    rect: Rect::new(cx - cut / 2, pin_y - cut / 2, cx + cut / 2, pin_y + cut / 2),
+                    role: LocalRole::Signal(signal),
+                });
+                pins.push(LocalPin {
+                    signal,
+                    is_driver: false,
+                    x: cx,
+                    y: pin_y,
+                });
+                col += 1;
+            }
+
+            // Output strap column.
+            let sx = pitch / 2 + pitch * col as Coord;
+            let out_signal = CellSignal::Stage(s);
+            shapes.push(LocalShape {
+                layer: Layer::Metal1,
+                rect: Rect::new(sx - half_m1, ndiff_y0 + 1, sx + half_m1, pdiff_y1 - 1),
+                role: LocalRole::Signal(out_signal),
+            });
+            for y in [ndiff_y0 + 2, pdiff_y1 - 4] {
+                shapes.push(LocalShape {
+                    layer: Layer::Contact,
+                    rect: Rect::new(sx - cut / 2, y, sx + cut / 2, y + cut),
+                    role: LocalRole::Signal(out_signal),
+                });
+            }
+            pins.push(LocalPin {
+                signal: out_signal,
+                is_driver: true,
+                x: sx,
+                y: pin_y,
+            });
+            col += 1;
+
+            // Diffusion strips spanning the stage's columns and strap.
+            let x0 = pitch / 2 + pitch * first_col as Coord - 5;
+            let x1 = sx + 3;
+            shapes.push(LocalShape {
+                layer: Layer::Ndiff,
+                rect: Rect::new(x0, ndiff_y0, x1, ndiff_y1),
+                role: LocalRole::StageDiff {
+                    stage: s,
+                    kind: TransKind::Nmos,
+                },
+            });
+            shapes.push(LocalShape {
+                layer: Layer::Pdiff,
+                rect: Rect::new(x0, pdiff_y0, x1, pdiff_y1),
+                role: LocalRole::StageDiff {
+                    stage: s,
+                    kind: TransKind::Pmos,
+                },
+            });
+            // N-well over the PMOS row for this stage.
+            shapes.push(LocalShape {
+                layer: Layer::Nwell,
+                rect: Rect::new(x0 - 2, pdiff_y0 - 3, x1 + 2, tech.cell_height),
+                role: LocalRole::Rail(true),
+            });
+
+            // Rail taps (m1 + contact) at the stage's left edge.
+            shapes.push(LocalShape {
+                layer: Layer::Metal1,
+                rect: Rect::new(x0 - 3, 0, x0 - 1, ndiff_y0 + 2),
+                role: LocalRole::Rail(false),
+            });
+            shapes.push(LocalShape {
+                layer: Layer::Metal1,
+                rect: Rect::new(x0 - 3, pdiff_y1 - 2, x0 - 1, tech.cell_height),
+                role: LocalRole::Rail(true),
+            });
+
+            ordinal_base += 2 * leaves.len();
+            let _ = stage_count;
+        }
+
+        let width = pitch * col as Coord;
+        // Power rails across the whole cell.
+        shapes.push(LocalShape {
+            layer: Layer::Metal1,
+            rect: Rect::new(0, 0, width, rail_h),
+            role: LocalRole::Rail(false),
+        });
+        shapes.push(LocalShape {
+            layer: Layer::Metal1,
+            rect: Rect::new(0, tech.cell_height - rail_h, width, tech.cell_height),
+            role: LocalRole::Rail(true),
+        });
+
+        CellLayout {
+            name: template.name().to_string(),
+            width,
+            shapes,
+            pins,
+            transistor_sites: sites,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlp_circuit::cells::template_for;
+    use dlp_circuit::{GateKind, Netlist};
+
+    fn layout(kind: GateKind, arity: usize) -> CellLayout {
+        CellLayout::generate(&template_for(kind, arity).unwrap(), &Technology::default())
+    }
+
+    #[test]
+    fn inverter_structure() {
+        let inv = layout(GateKind::Not, 1);
+        assert_eq!(inv.width(), 32);
+        assert_eq!(inv.transistor_sites().len(), 2);
+        assert_eq!(inv.pins().len(), 2); // input column + output strap
+        assert!(inv.pins().iter().any(|p| p.signal == CellSignal::Input(0)));
+        assert!(inv.pins().iter().any(|p| p.signal == CellSignal::Stage(0)));
+    }
+
+    #[test]
+    fn transistor_ordinals_match_expand_order() {
+        // Build a tiny netlist per kind and compare kinds per ordinal.
+        for (kind, arity) in [
+            (GateKind::Not, 1),
+            (GateKind::Nand, 3),
+            (GateKind::Nor, 2),
+            (GateKind::And, 2),
+            (GateKind::Xor, 2),
+            (GateKind::Buf, 1),
+        ] {
+            let mut nl = Netlist::new("t");
+            let ins: Vec<_> = (0..arity)
+                .map(|i| nl.add_input(format!("i{i}")).unwrap())
+                .collect();
+            let g = nl.add_gate("g", kind, ins).unwrap();
+            nl.mark_output(g);
+            nl.freeze();
+            let sw = dlp_circuit::switch::expand(&nl).unwrap();
+            let cl = layout(kind, arity);
+            let devices: Vec<_> = sw.transistors().iter().filter(|t| t.owner == g).collect();
+            assert_eq!(devices.len(), cl.transistor_sites().len(), "{kind}{arity}");
+            for site in cl.transistor_sites() {
+                assert_eq!(
+                    devices[site.ordinal].kind, site.kind,
+                    "{kind}{arity} ordinal {}",
+                    site.ordinal
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pins_sit_on_the_routing_grid() {
+        let tech = Technology::default();
+        for cl in [layout(GateKind::Nand, 4), layout(GateKind::Xor, 2)] {
+            for pin in cl.pins() {
+                assert_eq!(pin.x % tech.grid_pitch, 0, "pin off grid in {}", cl.name());
+            }
+        }
+    }
+
+    #[test]
+    fn no_same_layer_touching_between_different_signals() {
+        // The invariant that makes routing-free cells safe: within a cell,
+        // shapes on the same conductor layer with different signal roles
+        // never touch.
+        for cl in [
+            layout(GateKind::Nand, 3),
+            layout(GateKind::Xor, 2),
+            layout(GateKind::Or, 4),
+            layout(GateKind::Xnor, 3),
+        ] {
+            let shapes = cl.shapes();
+            for (i, a) in shapes.iter().enumerate() {
+                for b in &shapes[i + 1..] {
+                    if a.layer != b.layer || !a.layer.is_conductor() {
+                        continue;
+                    }
+                    let same_signal = match (a.role, b.role) {
+                        (LocalRole::Signal(x), LocalRole::Signal(y)) => x == y,
+                        (LocalRole::Rail(x), LocalRole::Rail(y)) => x == y,
+                        (
+                            LocalRole::StageDiff {
+                                stage: s1,
+                                kind: k1,
+                            },
+                            LocalRole::StageDiff {
+                                stage: s2,
+                                kind: k2,
+                            },
+                        ) => s1 == s2 && k1 == k2,
+                        // Diffusion strips legitimately touch rail taps and
+                        // straps (that is the contact structure).
+                        (LocalRole::StageDiff { .. }, _) | (_, LocalRole::StageDiff { .. }) => {
+                            continue;
+                        }
+                        _ => false,
+                    };
+                    if !same_signal && a.rect.touches(&b.rect) {
+                        panic!(
+                            "{}: {:?} {:?} touches {:?} {:?}",
+                            cl.name(),
+                            a.role,
+                            a.rect,
+                            b.role,
+                            b.rect
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xor2_has_four_stages_of_pins() {
+        let x = layout(GateKind::Xor, 2);
+        // 4 stages: 8 leaf pins + 4 strap pins.
+        assert_eq!(x.pins().len(), 12);
+        let straps = x.pins().iter().filter(|p| p.is_driver).count();
+        assert_eq!(straps, 4);
+        assert_eq!(x.transistor_sites().len(), 16);
+    }
+
+    #[test]
+    fn rails_span_cell_width() {
+        let cl = layout(GateKind::Nor, 2);
+        let rails: Vec<_> = cl
+            .shapes()
+            .iter()
+            .filter(|s| s.layer == Layer::Metal1 && matches!(s.role, LocalRole::Rail(_)))
+            .collect();
+        assert!(rails.iter().any(|s| s.rect.width() == cl.width()));
+    }
+}

@@ -1,0 +1,714 @@
+//! A two-layer gridded Lee router.
+//!
+//! The routing fabric is a uniform grid (pitch [`Technology::grid_pitch`]):
+//! metal-1 runs horizontally (channel-bound), metal-2 vertically
+//! (everywhere, with over-cell columns restricted to the feedthrough
+//! class), and vias switch layers at a node. Every grid node stores at most
+//! one owner per layer, so routed geometry is *short-free by construction*
+//! — grid exclusivity subsumes the spacing rules (the pitch exceeds
+//! width + space for both metals).
+//!
+//! Nets are routed terminal by terminal with a breadth-first wave from the
+//! new terminal to any node the net already owns; each claimed node
+//! remembers which terminal pulled it in, which is what gives the fault
+//! extractor its per-branch open semantics.
+//!
+//! [`Technology::grid_pitch`]: crate::tech::Technology::grid_pitch
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dlp_geometry::Coord;
+
+/// A grid node coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GridPoint {
+    /// Column index (x = `gx * pitch`).
+    pub gx: usize,
+    /// Row index (y = `gy * pitch`).
+    pub gy: usize,
+}
+
+/// Routing layer selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RouteLayer {
+    /// Metal-1, horizontal.
+    M1,
+    /// Metal-2, vertical.
+    M2,
+}
+
+/// One step of a routed path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathNode {
+    /// Where.
+    pub at: GridPoint,
+    /// On which layer.
+    pub layer: RouteLayer,
+}
+
+/// A path claimed for one terminal of a net.
+#[derive(Debug, Clone)]
+pub struct RoutedPath {
+    /// The terminal index (within the net's terminal list) this path was
+    /// routed for.
+    pub terminal: usize,
+    /// Nodes from the terminal to the join point with the existing net.
+    pub nodes: Vec<PathNode>,
+}
+
+const FREE: u32 = u32::MAX;
+
+/// The routing grid: per-node, per-layer availability and ownership.
+#[derive(Debug, Clone)]
+pub struct RoutingGrid {
+    cols: usize,
+    rows: usize,
+    pitch: Coord,
+    m1_ok: Vec<bool>,
+    m2_ok: Vec<bool>,
+    owner_m1: Vec<u32>,
+    owner_m2: Vec<u32>,
+    /// Permanent claims (terminal landings, pads) survive [`release`].
+    ///
+    /// [`release`]: RoutingGrid::release
+    perm_m1: Vec<bool>,
+    perm_m2: Vec<bool>,
+    /// PathFinder-style history cost per (node, layer) state: congested
+    /// spots accumulate penalties so rerouted nets learn to detour.
+    history: Vec<u16>,
+}
+
+impl RoutingGrid {
+    /// Creates a grid of `cols × rows` nodes; all nodes start unusable on
+    /// m1 and usable on m2 (callers carve channels and blockages).
+    pub fn new(cols: usize, rows: usize, pitch: Coord) -> Self {
+        let n = cols * rows;
+        RoutingGrid {
+            cols,
+            rows,
+            pitch,
+            m1_ok: vec![false; n],
+            m2_ok: vec![true; n],
+            owner_m1: vec![FREE; n],
+            owner_m2: vec![FREE; n],
+            perm_m1: vec![false; n],
+            perm_m2: vec![false; n],
+            history: vec![0; n * 2],
+        }
+    }
+
+    /// Grid width in nodes.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Grid height in nodes.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Node pitch in λ.
+    pub fn pitch(&self) -> Coord {
+        self.pitch
+    }
+
+    /// The λ coordinates of a node.
+    pub fn position(&self, p: GridPoint) -> (Coord, Coord) {
+        (p.gx as Coord * self.pitch, p.gy as Coord * self.pitch)
+    }
+
+    fn idx(&self, p: GridPoint) -> usize {
+        debug_assert!(p.gx < self.cols && p.gy < self.rows);
+        p.gy * self.cols + p.gx
+    }
+
+    /// Marks a node usable (or not) for m1.
+    pub fn set_m1_ok(&mut self, p: GridPoint, ok: bool) {
+        let i = self.idx(p);
+        self.m1_ok[i] = ok;
+    }
+
+    /// Marks a node usable (or not) for m2.
+    pub fn set_m2_ok(&mut self, p: GridPoint, ok: bool) {
+        let i = self.idx(p);
+        self.m2_ok[i] = ok;
+    }
+
+    /// Claims a node's layer for a net without routing (used for pin
+    /// escapes and pads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is unusable on that layer or already owned by a
+    /// different net.
+    pub fn claim(&mut self, p: GridPoint, layer: RouteLayer, net: u32) {
+        let i = self.idx(p);
+        let (ok, owner) = match layer {
+            RouteLayer::M1 => (self.m1_ok[i], &mut self.owner_m1[i]),
+            RouteLayer::M2 => (self.m2_ok[i], &mut self.owner_m2[i]),
+        };
+        assert!(ok, "claiming an unusable node {p:?} {layer:?}");
+        assert!(
+            *owner == FREE || *owner == net,
+            "node {p:?} {layer:?} already owned by net {owner}"
+        );
+        *owner = net;
+    }
+
+    /// Like [`claim`](Self::claim), but the claim survives
+    /// [`release`](Self::release) — used for terminal landings and pads
+    /// whose geometry is drawn eagerly.
+    ///
+    /// # Panics
+    ///
+    /// As [`claim`](Self::claim).
+    pub fn claim_permanent(&mut self, p: GridPoint, layer: RouteLayer, net: u32) {
+        self.claim(p, layer, net);
+        let i = self.idx(p);
+        match layer {
+            RouteLayer::M1 => self.perm_m1[i] = true,
+            RouteLayer::M2 => self.perm_m2[i] = true,
+        }
+    }
+
+    /// Frees every non-permanent node owned by `net` (rip-up for
+    /// rerouting). Permanent claims (terminals, pads) stay.
+    pub fn release(&mut self, net: u32) {
+        for i in 0..self.owner_m1.len() {
+            if self.owner_m1[i] == net && !self.perm_m1[i] {
+                self.owner_m1[i] = FREE;
+            }
+            if self.owner_m2[i] == net && !self.perm_m2[i] {
+                self.owner_m2[i] = FREE;
+            }
+        }
+    }
+
+    /// Adds `amount` of history cost to both layers of every node within
+    /// Manhattan radius `r` of `p`. Called around walled-in terminals so
+    /// the negotiation converges instead of replaying the same paths.
+    pub fn add_history(&mut self, p: GridPoint, r: usize, amount: u16) {
+        let (gx, gy) = (p.gx as isize, p.gy as isize);
+        for dy in -(r as isize)..=r as isize {
+            for dx in -(r as isize)..=r as isize {
+                if dx.abs() + dy.abs() > r as isize {
+                    continue;
+                }
+                let (nx, ny) = (gx + dx, gy + dy);
+                if nx < 0 || ny < 0 || nx as usize >= self.cols || ny as usize >= self.rows {
+                    continue;
+                }
+                let i = (ny as usize * self.cols + nx as usize) * 2;
+                self.history[i] = self.history[i].saturating_add(amount);
+                self.history[i + 1] = self.history[i + 1].saturating_add(amount);
+            }
+        }
+    }
+
+    /// Owners of all nodes (both layers) within Manhattan radius `r` of
+    /// `p`, excluding `exclude` — the rip-up victim set around a walled
+    /// terminal.
+    pub fn owners_near(&self, p: GridPoint, r: usize, exclude: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        let (gx, gy) = (p.gx as isize, p.gy as isize);
+        for dy in -(r as isize)..=r as isize {
+            for dx in -(r as isize)..=r as isize {
+                if dx.abs() + dy.abs() > r as isize {
+                    continue;
+                }
+                let (nx, ny) = (gx + dx, gy + dy);
+                if nx < 0 || ny < 0 || nx as usize >= self.cols || ny as usize >= self.rows {
+                    continue;
+                }
+                let q = GridPoint {
+                    gx: nx as usize,
+                    gy: ny as usize,
+                };
+                for l in [RouteLayer::M1, RouteLayer::M2] {
+                    if let Some(o) = self.owner(q, l) {
+                        if o != exclude && !out.contains(&o) {
+                            out.push(o);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The owner of a node's layer, if any.
+    pub fn owner(&self, p: GridPoint, layer: RouteLayer) -> Option<u32> {
+        let i = self.idx(p);
+        let o = match layer {
+            RouteLayer::M1 => self.owner_m1[i],
+            RouteLayer::M2 => self.owner_m2[i],
+        };
+        (o != FREE).then_some(o)
+    }
+
+    fn usable(&self, p: GridPoint, layer: RouteLayer, net: u32) -> bool {
+        let i = self.idx(p);
+        match layer {
+            RouteLayer::M1 => {
+                self.m1_ok[i] && (self.owner_m1[i] == FREE || self.owner_m1[i] == net)
+            }
+            RouteLayer::M2 => {
+                self.m2_ok[i] && (self.owner_m2[i] == FREE || self.owner_m2[i] == net)
+            }
+        }
+    }
+
+    /// Traversal cost class for PathFinder search: `None` = hard blocked,
+    /// `Some(0)` = free or own, `Some(k)` = foreign non-permanent claim
+    /// that may be stolen at penalty `k`.
+    fn traverse_cost(&self, p: GridPoint, layer: RouteLayer, net: u32) -> Option<u32> {
+        let i = self.idx(p);
+        let (ok, owner, perm) = match layer {
+            RouteLayer::M1 => (self.m1_ok[i], self.owner_m1[i], self.perm_m1[i]),
+            RouteLayer::M2 => (self.m2_ok[i], self.owner_m2[i], self.perm_m2[i]),
+        };
+        if !ok {
+            return None;
+        }
+        if owner == FREE || owner == net {
+            Some(0)
+        } else if perm {
+            None
+        } else {
+            Some(3000)
+        }
+    }
+
+    /// Takes ownership of a node's layer regardless of a previous
+    /// non-permanent owner, returning the evicted net if any.
+    fn steal(&mut self, p: GridPoint, layer: RouteLayer, net: u32) -> Option<u32> {
+        let i = self.idx(p);
+        let (owner, perm) = match layer {
+            RouteLayer::M1 => (&mut self.owner_m1[i], self.perm_m1[i]),
+            RouteLayer::M2 => (&mut self.owner_m2[i], self.perm_m2[i]),
+        };
+        let prev = *owner;
+        assert!(
+            prev == FREE || prev == net || !perm,
+            "cannot steal a permanent claim at {p:?}"
+        );
+        *owner = net;
+        (prev != FREE && prev != net).then_some(prev)
+    }
+
+    /// Routes `net` by connecting each terminal (after the first) to the
+    /// already-claimed portion of the net with a BFS wave. Terminals must
+    /// have been [`claim`](Self::claim)ed beforehand.
+    ///
+    /// Returns the claimed paths (one per terminal beyond the first, plus
+    /// a trivial path for terminal 0), or `None` if some terminal is
+    /// unreachable.
+    pub fn route_net(
+        &mut self,
+        net: u32,
+        terminals: &[(GridPoint, RouteLayer)],
+        allow_steal: bool,
+    ) -> (Vec<RoutedPath>, Vec<u32>, usize) {
+        if terminals.is_empty() {
+            return (Vec::new(), Vec::new(), 0);
+        }
+        let mut victims: Vec<u32> = Vec::new();
+        let mut skipped = 0usize;
+        let cols = self.cols;
+        let state = move |p: GridPoint, l: RouteLayer| -> usize {
+            (p.gy * cols + p.gx) * 2 + if l == RouteLayer::M1 { 0 } else { 1 }
+        };
+        // Nodes already wired into the growing route tree. Terminals are
+        // *claimed* up front but only become connected when a path lands —
+        // joining a not-yet-routed terminal's claim would leave islands.
+        let mut connected = vec![false; self.cols * self.rows * 2];
+        connected[state(terminals[0].0, terminals[0].1)] = true;
+        // Bounding box of the connected set, for the A* heuristic.
+        let mut bbox = (
+            terminals[0].0.gx,
+            terminals[0].0.gx,
+            terminals[0].0.gy,
+            terminals[0].0.gy,
+        );
+        let mut paths = vec![RoutedPath {
+            terminal: 0,
+            nodes: vec![PathNode {
+                at: terminals[0].0,
+                layer: terminals[0].1,
+            }],
+        }];
+        for (t, &(start, start_layer)) in terminals.iter().enumerate().skip(1) {
+            if connected[state(start, start_layer)] {
+                // A previous path already ran through this terminal.
+                paths.push(RoutedPath {
+                    terminal: t,
+                    nodes: vec![PathNode {
+                        at: start,
+                        layer: start_layer,
+                    }],
+                });
+                continue;
+            }
+            let path = match self.wave(net, start, start_layer, &connected, bbox, allow_steal) {
+                Some(p) => p,
+                None => {
+                    // Hard-walled terminal: leave the branch open and
+                    // count it (graceful degradation under congestion).
+                    skipped += 1;
+                    continue;
+                }
+            };
+            for n in &path {
+                if let Some(victim) = self.steal(n.at, n.layer, net) {
+                    if !victims.contains(&victim) {
+                        victims.push(victim);
+                    }
+                    // Congestion memory: stolen spots get pricier.
+                    let i = state(n.at, n.layer);
+                    self.history[i] = self.history[i].saturating_add(24);
+                }
+                connected[state(n.at, n.layer)] = true;
+                bbox.0 = bbox.0.min(n.at.gx);
+                bbox.1 = bbox.1.max(n.at.gx);
+                bbox.2 = bbox.2.min(n.at.gy);
+                bbox.3 = bbox.3.max(n.at.gy);
+            }
+            paths.push(RoutedPath {
+                terminal: t,
+                nodes: path,
+            });
+        }
+        (paths, victims, skipped)
+    }
+
+    /// Cheapest-path search from `start` to any node already `connected`
+    /// to the net's route tree. Cost = steps + accumulated history
+    /// penalties (+ a small via cost), so congested regions are avoided.
+    fn wave(
+        &self,
+        net: u32,
+        start: GridPoint,
+        start_layer: RouteLayer,
+        connected: &[bool],
+        bbox: (usize, usize, usize, usize),
+        allow_steal: bool,
+    ) -> Option<Vec<PathNode>> {
+        // A* heuristic: Manhattan distance to the connected set's bounding
+        // box. Consistent for the unit step cost, so the first pop of a
+        // connected state is optimal up to steal/history inflation.
+        let h = |p: GridPoint| -> u32 {
+            let dx = if p.gx < bbox.0 {
+                bbox.0 - p.gx
+            } else {
+                p.gx.saturating_sub(bbox.1)
+            };
+            let dy = if p.gy < bbox.2 {
+                bbox.2 - p.gy
+            } else {
+                p.gy.saturating_sub(bbox.3)
+            };
+            (dx + dy) as u32
+        };
+        let state = |p: GridPoint, l: RouteLayer| -> usize {
+            self.idx(p) * 2 + if l == RouteLayer::M1 { 0 } else { 1 }
+        };
+        let n_states = self.cols * self.rows * 2;
+        let mut best = vec![u32::MAX; n_states];
+        let mut prev: Vec<u32> = vec![u32::MAX; n_states];
+        let decode = |s: usize| -> PathNode {
+            let l = if s.is_multiple_of(2) {
+                RouteLayer::M1
+            } else {
+                RouteLayer::M2
+            };
+            let node = s / 2;
+            PathNode {
+                at: GridPoint {
+                    gx: node % self.cols,
+                    gy: node / self.cols,
+                },
+                layer: l,
+            }
+        };
+
+        let s0 = state(start, start_layer);
+        let mut heap: BinaryHeap<Reverse<(u32, usize)>> = BinaryHeap::new();
+        best[s0] = 0;
+        prev[s0] = s0 as u32;
+        heap.push(Reverse((h(start), s0)));
+
+        while let Some(Reverse((fcost, s))) = heap.pop() {
+            let here0 = decode(s);
+            let cost = fcost - h(here0.at);
+            if cost > best[s] {
+                continue;
+            }
+            if connected[s] {
+                let mut path = Vec::new();
+                let mut cur = s;
+                loop {
+                    path.push(decode(cur));
+                    let p = prev[cur] as usize;
+                    if p == cur {
+                        break;
+                    }
+                    cur = p;
+                }
+                return Some(path);
+            }
+            let here = decode(s);
+            let mut push = |p: GridPoint, l: RouteLayer, extra: u32| {
+                let st = state(p, l);
+                let Some(steal_cost) = self.traverse_cost(p, l, net) else {
+                    return;
+                };
+                if steal_cost > 0 && !allow_steal {
+                    return;
+                }
+                let c = cost + 1 + extra + steal_cost + self.history[st] as u32;
+                if c < best[st] {
+                    best[st] = c;
+                    prev[st] = s as u32;
+                    heap.push(Reverse((c + h(p), st)));
+                }
+            };
+            if here.at.gx > 0 {
+                push(
+                    GridPoint {
+                        gx: here.at.gx - 1,
+                        gy: here.at.gy,
+                    },
+                    here.layer,
+                    0,
+                );
+            }
+            if here.at.gx + 1 < self.cols {
+                push(
+                    GridPoint {
+                        gx: here.at.gx + 1,
+                        gy: here.at.gy,
+                    },
+                    here.layer,
+                    0,
+                );
+            }
+            if here.at.gy > 0 {
+                push(
+                    GridPoint {
+                        gx: here.at.gx,
+                        gy: here.at.gy - 1,
+                    },
+                    here.layer,
+                    0,
+                );
+            }
+            if here.at.gy + 1 < self.rows {
+                push(
+                    GridPoint {
+                        gx: here.at.gx,
+                        gy: here.at.gy + 1,
+                    },
+                    here.layer,
+                    0,
+                );
+            }
+            match here.layer {
+                RouteLayer::M1 => push(here.at, RouteLayer::M2, 2),
+                RouteLayer::M2 => push(here.at, RouteLayer::M1, 2),
+            }
+        }
+        if std::env::var_os("DLP_ROUTE_DEBUG").is_some() {
+            let visited = best.iter().filter(|&&b| b != u32::MAX).count();
+            let targets: Vec<String> = connected
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c)
+                .map(|(s, _)| {
+                    let pn = decode(s);
+                    format!(
+                        "({},{}) {:?} usable={} best={}",
+                        pn.at.gx,
+                        pn.at.gy,
+                        pn.layer,
+                        self.usable(pn.at, pn.layer, net),
+                        if best[s] == u32::MAX {
+                            -1i64
+                        } else {
+                            best[s] as i64
+                        }
+                    )
+                })
+                .collect();
+            eprintln!(
+                "wave from ({}, {}) {:?} exhausted (net {net}); visited {visited}; targets: {}",
+                start.gx,
+                start.gy,
+                start_layer,
+                targets.join(", ")
+            );
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open_grid(cols: usize, rows: usize) -> RoutingGrid {
+        let mut g = RoutingGrid::new(cols, rows, 6);
+        for gy in 0..rows {
+            for gx in 0..cols {
+                g.set_m1_ok(GridPoint { gx, gy }, true);
+            }
+        }
+        g
+    }
+
+    fn claim_terminals(g: &mut RoutingGrid, net: u32, ts: &[(GridPoint, RouteLayer)]) {
+        for &(p, l) in ts {
+            g.claim(p, l, net);
+        }
+    }
+
+    #[test]
+    fn straight_line_route() {
+        let mut g = open_grid(10, 10);
+        let ts = [
+            (GridPoint { gx: 1, gy: 5 }, RouteLayer::M2),
+            (GridPoint { gx: 8, gy: 5 }, RouteLayer::M2),
+        ];
+        claim_terminals(&mut g, 0, &ts);
+        let (paths, _, skipped) = g.route_net(0, &ts, true);
+        assert_eq!(skipped, 0, "routable");
+        assert_eq!(paths.len(), 2);
+        // The second path must join terminal 0's position.
+        let joined = paths[1].nodes.iter().any(|n| n.at == ts[0].0);
+        assert!(joined);
+    }
+
+    #[test]
+    fn routes_around_obstacles() {
+        let mut g = open_grid(10, 10);
+        // Wall of foreign *permanent* ownership across column 5.
+        for gy in 0..10 {
+            let p = GridPoint { gx: 5, gy };
+            g.claim_permanent(p, RouteLayer::M2, 99);
+            g.claim_permanent(p, RouteLayer::M1, 99);
+        }
+        let ts = [
+            (GridPoint { gx: 2, gy: 2 }, RouteLayer::M2),
+            (GridPoint { gx: 8, gy: 2 }, RouteLayer::M2),
+        ];
+        claim_terminals(&mut g, 0, &ts);
+        let (_, _, sk) = g.route_net(0, &ts, true);
+        assert!(sk > 0, "full wall blocks everything");
+
+        // Open one crossing point on m1 only: the router must thread it.
+        let mut g = open_grid(10, 10);
+        for gy in 0..10 {
+            let p = GridPoint { gx: 5, gy };
+            g.claim_permanent(p, RouteLayer::M2, 99);
+            if gy != 7 {
+                g.claim_permanent(p, RouteLayer::M1, 99);
+            }
+        }
+        claim_terminals(&mut g, 0, &ts);
+        let (paths, _, skipped) = g.route_net(0, &ts, true);
+        assert_eq!(skipped, 0, "threads the gap");
+        assert!(paths[1]
+            .nodes
+            .iter()
+            .any(|n| n.at == GridPoint { gx: 5, gy: 7 } && n.layer == RouteLayer::M1));
+    }
+
+    #[test]
+    fn different_layers_share_a_node() {
+        let mut g = open_grid(5, 5);
+        let p = GridPoint { gx: 2, gy: 2 };
+        g.claim(p, RouteLayer::M1, 1);
+        g.claim(p, RouteLayer::M2, 2);
+        assert_eq!(g.owner(p, RouteLayer::M1), Some(1));
+        assert_eq!(g.owner(p, RouteLayer::M2), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "already owned")]
+    fn double_claim_panics() {
+        let mut g = open_grid(3, 3);
+        let p = GridPoint { gx: 1, gy: 1 };
+        g.claim(p, RouteLayer::M2, 1);
+        g.claim(p, RouteLayer::M2, 2);
+    }
+
+    #[test]
+    fn multi_terminal_net_builds_a_tree() {
+        let mut g = open_grid(12, 12);
+        let ts = [
+            (GridPoint { gx: 1, gy: 1 }, RouteLayer::M2),
+            (GridPoint { gx: 10, gy: 1 }, RouteLayer::M2),
+            (GridPoint { gx: 5, gy: 10 }, RouteLayer::M2),
+            (GridPoint { gx: 10, gy: 10 }, RouteLayer::M2),
+        ];
+        claim_terminals(&mut g, 7, &ts);
+        let (paths, _, skipped) = g.route_net(7, &ts, true);
+        assert_eq!(skipped, 0, "routable");
+        assert_eq!(paths.len(), 4);
+        // All path nodes now belong to net 7.
+        for path in &paths {
+            for n in &path.nodes {
+                assert_eq!(g.owner(n.at, n.layer), Some(7));
+            }
+        }
+    }
+
+    #[test]
+    fn m1_disallowed_region_is_respected() {
+        // m1 nowhere usable, and a full m2 wall between the terminals: no
+        // path may sneak through the m1 plane.
+        let mut g = RoutingGrid::new(8, 8, 6);
+        for gy in 0..8 {
+            g.claim_permanent(GridPoint { gx: 4, gy }, RouteLayer::M2, 99);
+        }
+        let ts = [
+            (GridPoint { gx: 1, gy: 1 }, RouteLayer::M2),
+            (GridPoint { gx: 6, gy: 1 }, RouteLayer::M2),
+        ];
+        claim_terminals(&mut g, 0, &ts);
+        let (_, _, sk) = g.route_net(0, &ts, true);
+        assert!(sk > 0);
+    }
+
+    #[test]
+    fn nets_cannot_cross_each_other() {
+        let mut g = open_grid(10, 3);
+        let a = [
+            (GridPoint { gx: 0, gy: 1 }, RouteLayer::M1),
+            (GridPoint { gx: 9, gy: 1 }, RouteLayer::M1),
+        ];
+        claim_terminals(&mut g, 1, &a);
+        let (_, _, sk) = g.route_net(1, &a, true);
+        assert_eq!(sk, 0, "first net routes straight");
+        // A second net crossing the same m1 row must use m2/another row.
+        let b = [
+            (GridPoint { gx: 4, gy: 0 }, RouteLayer::M2),
+            (GridPoint { gx: 4, gy: 2 }, RouteLayer::M2),
+        ];
+        claim_terminals(&mut g, 2, &b);
+        let (paths, victims, sk) = g.route_net(2, &b, true);
+        assert_eq!(sk, 0, "crosses on the other layer");
+        // Either the route crossed on m2 (no victims) or it stole net 1's
+        // m1 — in which case net 1 is reported for rerouting. Never both
+        // silent and overlapping.
+        if victims.is_empty() {
+            for n in &paths[1].nodes {
+                if n.layer == RouteLayer::M1 {
+                    assert_ne!(g.owner(n.at, RouteLayer::M1), Some(1));
+                }
+            }
+        } else {
+            assert_eq!(victims, vec![1]);
+        }
+    }
+}

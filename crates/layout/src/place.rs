@@ -1,0 +1,195 @@
+//! Row placement: gates snake through standard-cell rows in topological
+//! order, which keeps connected cells near each other without a full
+//! placer (adequate for the channel statistics the extractor needs).
+
+use std::collections::HashMap;
+
+use dlp_circuit::{GateKind, Netlist, NodeId};
+use dlp_geometry::Coord;
+
+use crate::cell::CellLayout;
+use crate::tech::Technology;
+use crate::LayoutError;
+
+/// A gate bound to a library cell at a row position.
+#[derive(Debug, Clone)]
+pub struct PlacedGate {
+    /// The gate.
+    pub node: NodeId,
+    /// Index into the placement's cell library.
+    pub cell: usize,
+    /// Row index (0 = bottom).
+    pub row: usize,
+    /// Cell origin x.
+    pub x: Coord,
+}
+
+/// The result of placement: a cell library plus placed gates.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    library: Vec<CellLayout>,
+    gates: Vec<PlacedGate>,
+    rows: usize,
+    row_width: Coord,
+}
+
+impl Placement {
+    /// The distinct cell layouts used by the design.
+    pub fn library(&self) -> &[CellLayout] {
+        &self.library
+    }
+
+    /// Placed gates (one per non-input netlist node).
+    pub fn gates(&self) -> &[PlacedGate] {
+        &self.gates
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Width of the widest row (the chip core width).
+    pub fn row_width(&self) -> Coord {
+        self.row_width
+    }
+
+    /// Places every gate of `netlist` into rows of roughly equal width.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::Cell`] if a gate has no realisable standard cell.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dlp_circuit::generators;
+    /// use dlp_layout::{place::Placement, tech::Technology};
+    ///
+    /// let c17 = generators::c17();
+    /// let p = Placement::place(&c17, &Technology::default())?;
+    /// assert_eq!(p.gates().len(), 6);
+    /// # Ok::<(), dlp_layout::LayoutError>(())
+    /// ```
+    pub fn place(netlist: &Netlist, tech: &Technology) -> Result<Placement, LayoutError> {
+        // Build the library lazily, one entry per distinct (kind, arity).
+        let mut library: Vec<CellLayout> = Vec::new();
+        let mut by_key: HashMap<(GateKind, usize), usize> = HashMap::new();
+
+        let mut order: Vec<NodeId> = netlist
+            .node_ids()
+            .filter(|&id| netlist.kind(id) != GateKind::Input)
+            .collect();
+        order.sort_by_key(|&id| (netlist.level(id), id));
+
+        let mut widths = Vec::with_capacity(order.len());
+        let mut cells = Vec::with_capacity(order.len());
+        let mut total_width: Coord = 0;
+        for &id in &order {
+            let key = (netlist.kind(id), netlist.fanin(id).len());
+            let cell = match by_key.get(&key) {
+                Some(&c) => c,
+                None => {
+                    let template = dlp_circuit::cells::template_for(key.0, key.1)?;
+                    library.push(CellLayout::generate(&template, tech));
+                    let c = library.len() - 1;
+                    by_key.insert(key, c);
+                    c
+                }
+            };
+            let w = library[cell].width() + tech.cell_gap;
+            widths.push(w);
+            cells.push(cell);
+            total_width += w;
+        }
+
+        // Aim for a roughly square core: rows × row_width with
+        // row_width ≈ rows × row_pitch.
+        let row_pitch = tech.row_pitch() as f64;
+        let rows = ((total_width as f64 / row_pitch).sqrt().ceil() as usize).max(1);
+        let target = total_width / rows as Coord + tech.column_pitch;
+
+        let mut gates = Vec::with_capacity(order.len());
+        let mut row = 0usize;
+        let mut x: Coord = 0;
+        let mut row_width: Coord = 0;
+        for (i, &id) in order.iter().enumerate() {
+            if x > target && row + 1 < rows {
+                row_width = row_width.max(x);
+                row += 1;
+                x = 0;
+            }
+            gates.push(PlacedGate {
+                node: id,
+                cell: cells[i],
+                row,
+                x,
+            });
+            x += widths[i];
+        }
+        row_width = row_width.max(x);
+
+        Ok(Placement {
+            library,
+            gates,
+            rows: row + 1,
+            row_width,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlp_circuit::generators;
+
+    #[test]
+    fn c17_placement_is_single_row_or_two() {
+        let p = Placement::place(&generators::c17(), &Technology::default()).unwrap();
+        assert_eq!(p.gates().len(), 6);
+        assert!(p.rows() <= 2);
+        // One library cell: NAND2.
+        assert_eq!(p.library().len(), 1);
+        assert_eq!(p.library()[0].name(), "NAND2");
+    }
+
+    #[test]
+    fn cells_do_not_overlap_within_rows() {
+        let p = Placement::place(&generators::c432_class(), &Technology::default()).unwrap();
+        let mut by_row: Vec<Vec<&PlacedGate>> = vec![Vec::new(); p.rows()];
+        for g in p.gates() {
+            by_row[g.row].push(g);
+        }
+        for row in &by_row {
+            let mut sorted: Vec<_> = row.to_vec();
+            sorted.sort_by_key(|g| g.x);
+            for pair in sorted.windows(2) {
+                let end = pair[0].x + p.library()[pair[0].cell].width();
+                assert!(end <= pair[1].x, "cells overlap in a row");
+            }
+        }
+    }
+
+    #[test]
+    fn rows_are_roughly_balanced() {
+        let p = Placement::place(&generators::c432_class(), &Technology::default()).unwrap();
+        assert!(p.rows() >= 2, "c432-class should need multiple rows");
+        let mut per_row: Vec<Coord> = vec![0; p.rows()];
+        for g in p.gates() {
+            per_row[g.row] += p.library()[g.cell].width();
+        }
+        let max = *per_row.iter().max().unwrap();
+        let min = *per_row.iter().min().unwrap();
+        assert!(
+            min * 3 >= max || max - min < 200,
+            "rows badly unbalanced: {per_row:?}"
+        );
+    }
+
+    #[test]
+    fn library_is_deduplicated() {
+        let p = Placement::place(&generators::ripple_adder(8), &Technology::default()).unwrap();
+        // XOR2, AND2, OR2 only.
+        assert_eq!(p.library().len(), 3);
+    }
+}

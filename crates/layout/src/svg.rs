@@ -1,0 +1,131 @@
+//! SVG rendering of chip layouts, for visual inspection of placement,
+//! routing and the extractor's defect neighbourhoods.
+//!
+//! The output is a plain standalone SVG: one `<rect>` per shape, colored
+//! by layer with conventional mask hues, rails emphasised. Conductor
+//! layers are translucent so crossings stay readable.
+
+use std::fmt::Write as _;
+
+use dlp_geometry::Layer;
+
+use crate::chip::{ChipLayout, ElecRole};
+
+/// Fill color and opacity per layer (SVG named/hex colors).
+fn style(layer: Layer) -> (&'static str, &'static str) {
+    match layer {
+        Layer::Nwell => ("#f2e8c9", "0.5"),
+        Layer::Ndiff => ("#2e8b57", "0.8"),
+        Layer::Pdiff => ("#8b5a2b", "0.8"),
+        Layer::Poly => ("#d02020", "0.8"),
+        Layer::Contact => ("#111111", "1.0"),
+        Layer::Metal1 => ("#1f6fd0", "0.55"),
+        Layer::Via => ("#000000", "1.0"),
+        Layer::Metal2 => ("#b030b0", "0.55"),
+        Layer::GateOxide => ("#ffd700", "0.4"),
+    }
+}
+
+/// Renders the chip as an SVG document.
+///
+/// # Example
+///
+/// ```
+/// use dlp_circuit::generators;
+/// use dlp_layout::{chip::ChipLayout, svg};
+///
+/// let chip = ChipLayout::generate(&generators::c17(), &Default::default())?;
+/// let doc = svg::render(&chip);
+/// assert!(doc.starts_with("<svg"));
+/// assert!(doc.contains("metal1"));
+/// # Ok::<(), dlp_layout::LayoutError>(())
+/// ```
+pub fn render(chip: &ChipLayout) -> String {
+    let bbox = chip.bbox();
+    let (w, h) = (bbox.width(), bbox.height());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {w} {h}" width="{w}" height="{h}">"#
+    );
+    let _ = writeln!(
+        out,
+        r##"<rect x="0" y="0" width="{w}" height="{h}" fill="#101018"/>"##
+    );
+    // Draw in mask order so metals sit on top.
+    for layer in Layer::ALL {
+        let (fill, opacity) = style(layer);
+        let _ = writeln!(
+            out,
+            r#"<g id="{}" fill="{fill}" fill-opacity="{opacity}">"#,
+            group_name(layer)
+        );
+        for s in chip.shapes() {
+            if s.layer != layer {
+                continue;
+            }
+            // SVG y grows downward; flip so the bottom channel is at the
+            // bottom of the image.
+            let y = h - s.rect.y1();
+            let extra = match s.role {
+                ElecRole::Vdd => r##" stroke="#ff8080" stroke-width="0.5""##,
+                ElecRole::Gnd => r##" stroke="#80ff80" stroke-width="0.5""##,
+                _ => "",
+            };
+            let _ = writeln!(
+                out,
+                r#"<rect x="{}" y="{}" width="{}" height="{}"{extra}/>"#,
+                s.rect.x0(),
+                y,
+                s.rect.width(),
+                s.rect.height(),
+            );
+        }
+        let _ = writeln!(out, "</g>");
+    }
+    let _ = writeln!(out, "</svg>");
+    out
+}
+
+fn group_name(layer: Layer) -> &'static str {
+    match layer {
+        Layer::Nwell => "nwell",
+        Layer::Ndiff => "ndiff",
+        Layer::Pdiff => "pdiff",
+        Layer::Poly => "poly",
+        Layer::Contact => "contact",
+        Layer::Metal1 => "metal1",
+        Layer::Via => "via",
+        Layer::Metal2 => "metal2",
+        Layer::GateOxide => "gateoxide",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::Technology;
+    use dlp_circuit::generators;
+
+    #[test]
+    fn renders_valid_skeleton() {
+        let chip = ChipLayout::generate(&generators::c17(), &Technology::default()).unwrap();
+        let doc = render(&chip);
+        assert!(doc.starts_with("<svg"));
+        assert!(doc.trim_end().ends_with("</svg>"));
+        // One rect per shape plus the background.
+        let rects = doc.matches("<rect").count();
+        assert_eq!(rects, chip.shapes().len() + 1);
+        for g in ["poly", "metal1", "metal2", "contact", "via"] {
+            assert!(doc.contains(&format!(r#"id="{g}""#)), "missing group {g}");
+        }
+    }
+
+    #[test]
+    fn rails_are_outlined() {
+        let chip = ChipLayout::generate(&generators::c17(), &Technology::default()).unwrap();
+        let doc = render(&chip);
+        assert!(doc.contains("#ff8080"), "VDD outline present");
+        assert!(doc.contains("#80ff80"), "GND outline present");
+    }
+}

@@ -1,0 +1,130 @@
+//! The λ design rules of the generic 2-metal CMOS process.
+//!
+//! All dimensions are in λ, and the geometry database uses 1 database unit
+//! per λ. The values are classic MOSIS-style scalable rules, rounded to the
+//! routing grid used by [`crate::grid`].
+
+use dlp_geometry::Coord;
+
+/// Process dimensions and routing-grid constants.
+///
+/// # Example
+///
+/// ```
+/// let t = dlp_layout::tech::Technology::default();
+/// assert_eq!(t.cell_height, 48);
+/// assert!(t.grid_pitch >= t.m1_width + t.m1_space);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Technology {
+    /// Standard-cell height.
+    pub cell_height: Coord,
+    /// Poly gate width (drawn channel length).
+    pub poly_width: Coord,
+    /// Pitch between poly columns inside a cell (also the pin pitch).
+    pub column_pitch: Coord,
+    /// NMOS diffusion strip height.
+    pub ndiff_height: Coord,
+    /// PMOS diffusion strip height.
+    pub pdiff_height: Coord,
+    /// Metal-1 wire width.
+    pub m1_width: Coord,
+    /// Metal-1 minimum spacing.
+    pub m1_space: Coord,
+    /// Metal-2 wire width.
+    pub m2_width: Coord,
+    /// Metal-2 minimum spacing.
+    pub m2_space: Coord,
+    /// Poly minimum spacing.
+    pub poly_space: Coord,
+    /// Contact / via cut size (square).
+    pub cut_size: Coord,
+    /// Power/ground rail height (m1).
+    pub rail_height: Coord,
+    /// Routing grid pitch (both directions); must be ≥ wire width + space
+    /// of both metals so grid exclusivity implies spacing-rule cleanliness.
+    pub grid_pitch: Coord,
+    /// Height of a routing channel, in grid rows.
+    pub channel_rows: usize,
+    /// Horizontal gap between adjacent cells in a row (free feedthrough
+    /// columns; must be a multiple of the column pitch).
+    pub cell_gap: Coord,
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology {
+            cell_height: 48,
+            poly_width: 2,
+            column_pitch: 16,
+            ndiff_height: 6,
+            pdiff_height: 8,
+            m1_width: 4,
+            m1_space: 4,
+            m2_width: 4,
+            m2_space: 4,
+            poly_space: 3,
+            cut_size: 2,
+            rail_height: 4,
+            grid_pitch: 8,
+            channel_rows: 16,
+            cell_gap: 32,
+        }
+    }
+}
+
+impl Technology {
+    /// Height of one routing channel in λ.
+    pub fn channel_height(&self) -> Coord {
+        self.channel_rows as Coord * self.grid_pitch
+    }
+
+    /// Vertical pitch of a row slot (channel + cell row).
+    pub fn row_pitch(&self) -> Coord {
+        self.channel_height() + self.cell_height
+    }
+
+    /// Checks internal consistency of the rule set: the routing grid must
+    /// be able to carry both metals without violating their own spacing,
+    /// and cell rows must tile onto the grid.
+    pub fn validate(&self) -> bool {
+        self.grid_pitch >= self.m1_width + self.m1_space
+            && self.grid_pitch >= self.m2_width + self.m2_space
+            && self.column_pitch % self.grid_pitch == 0
+            && self.cell_height % self.grid_pitch == 0
+            && self.cell_height > self.ndiff_height + self.pdiff_height + 2 * self.rail_height
+            && self.channel_rows >= 2
+            && self.cell_gap % self.column_pitch == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_rules_are_consistent() {
+        assert!(Technology::default().validate());
+    }
+
+    #[test]
+    fn derived_dimensions() {
+        let t = Technology::default();
+        assert_eq!(t.channel_height(), 128);
+        assert_eq!(t.row_pitch(), 176);
+    }
+
+    #[test]
+    fn bad_rules_detected() {
+        let t = Technology {
+            grid_pitch: 4,
+            ..Default::default()
+        };
+        assert!(!t.validate(), "grid too tight for m1 pitch");
+        let t = Technology {
+            column_pitch: 12,
+            ..Default::default()
+        };
+        assert!(!t.validate(), "pins off the routing grid");
+    }
+}

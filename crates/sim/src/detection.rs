@@ -1,0 +1,175 @@
+//! Shared detection bookkeeping: vector generation, first-detection
+//! records, and coverage curves.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `count` uniformly random input vectors of width `width`,
+/// deterministically from `seed`.
+///
+/// # Example
+///
+/// ```
+/// let v = dlp_sim::detection::random_vectors(5, 10, 42);
+/// assert_eq!(v.len(), 10);
+/// assert_eq!(v[0].len(), 5);
+/// assert_eq!(v, dlp_sim::detection::random_vectors(5, 10, 42));
+/// ```
+pub fn random_vectors(width: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| (0..width).map(|_| rng.gen()).collect())
+        .collect()
+}
+
+/// First-detection records for a fault list simulated against a vector
+/// sequence: `first_detect[j]` is the (0-based) index of the first vector
+/// that detects fault `j`, or `None` if the sequence never detects it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectionRecord {
+    first_detect: Vec<Option<usize>>,
+    vector_count: usize,
+}
+
+impl DetectionRecord {
+    /// Wraps raw first-detection data.
+    pub fn new(first_detect: Vec<Option<usize>>, vector_count: usize) -> Self {
+        DetectionRecord {
+            first_detect,
+            vector_count,
+        }
+    }
+
+    /// Per-fault first detection indices.
+    pub fn first_detect(&self) -> &[Option<usize>] {
+        &self.first_detect
+    }
+
+    /// Number of faults tracked.
+    pub fn fault_count(&self) -> usize {
+        self.first_detect.len()
+    }
+
+    /// Number of vectors that were simulated.
+    pub fn vector_count(&self) -> usize {
+        self.vector_count
+    }
+
+    /// Number of faults detected by the full sequence.
+    pub fn detected_count(&self) -> usize {
+        self.first_detect.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Detection mask after the first `k` vectors: `mask[j]` is true iff
+    /// fault `j` is detected by some vector with index `< k`.
+    pub fn detected_after(&self, k: usize) -> Vec<bool> {
+        self.first_detect
+            .iter()
+            .map(|d| matches!(d, Some(i) if *i < k))
+            .collect()
+    }
+
+    /// Unweighted coverage after `k` vectors.
+    pub fn coverage_after(&self, k: usize) -> f64 {
+        if self.first_detect.is_empty() {
+            return 0.0;
+        }
+        self.detected_after(k).iter().filter(|&&b| b).count() as f64
+            / self.first_detect.len() as f64
+    }
+
+    /// The full unweighted coverage curve, sampled at every vector count
+    /// `k = 0..=vector_count`.
+    pub fn coverage_curve(&self) -> Vec<f64> {
+        let mut per_k = vec![0usize; self.vector_count + 1];
+        for d in self.first_detect.iter().flatten() {
+            per_k[d + 1] += 1;
+        }
+        let n = self.first_detect.len().max(1) as f64;
+        let mut acc = 0usize;
+        per_k
+            .iter()
+            .map(|&c| {
+                acc += c;
+                acc as f64 / n
+            })
+            .collect()
+    }
+
+    /// Weighted coverage after `k` vectors, given per-fault weights
+    /// (the `θ(k)` of the paper when weights are fault weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len()` differs from the fault count.
+    pub fn weighted_coverage_after(&self, k: usize, weights: &[f64]) -> f64 {
+        assert_eq!(
+            weights.len(),
+            self.first_detect.len(),
+            "one weight per fault"
+        );
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let covered: f64 = self
+            .first_detect
+            .iter()
+            .zip(weights)
+            .filter(|(d, _)| matches!(d, Some(i) if *i < k))
+            .map(|(_, w)| w)
+            .sum();
+        covered / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> DetectionRecord {
+        DetectionRecord::new(vec![Some(0), Some(2), None, Some(2)], 4)
+    }
+
+    #[test]
+    fn counting() {
+        let r = record();
+        assert_eq!(r.fault_count(), 4);
+        assert_eq!(r.vector_count(), 4);
+        assert_eq!(r.detected_count(), 3);
+    }
+
+    #[test]
+    fn masks_and_coverage() {
+        let r = record();
+        assert_eq!(r.detected_after(0), vec![false; 4]);
+        assert_eq!(r.detected_after(1), vec![true, false, false, false]);
+        assert_eq!(r.detected_after(3), vec![true, true, false, true]);
+        assert!((r.coverage_after(3) - 0.75).abs() < 1e-12);
+        assert_eq!(r.coverage_curve(), vec![0.0, 0.25, 0.25, 0.75, 0.75]);
+    }
+
+    #[test]
+    fn weighted_coverage() {
+        let r = record();
+        let w = [1.0, 2.0, 3.0, 4.0];
+        // After 3 vectors faults 0, 1, 3 are detected: (1+2+4)/10.
+        assert!((r.weighted_coverage_after(3, &w) - 0.7).abs() < 1e-12);
+        assert_eq!(r.weighted_coverage_after(0, &w), 0.0);
+    }
+
+    #[test]
+    fn vectors_are_deterministic_and_shaped() {
+        let a = random_vectors(7, 3, 1);
+        assert_eq!(a.len(), 3);
+        assert!(a.iter().all(|v| v.len() == 7));
+        assert_ne!(random_vectors(7, 3, 1), random_vectors(7, 3, 2));
+    }
+
+    #[test]
+    fn empty_record_is_safe() {
+        let r = DetectionRecord::new(vec![], 0);
+        assert_eq!(r.coverage_after(0), 0.0);
+        assert_eq!(r.coverage_curve(), vec![0.0]);
+    }
+}

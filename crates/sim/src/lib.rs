@@ -1,0 +1,41 @@
+//! Fault simulation: gate-level stuck-at (parallel-pattern) and
+//! switch-level realistic faults.
+//!
+//! This crate is the toolkit's stand-in for the paper's internal `swift`
+//! simulator plus a conventional gate-level fault simulator:
+//!
+//! * [`stuck_at`] — the single-stuck-at fault universe (stem and branch
+//!   faults) with equivalence collapsing,
+//! * [`ppsfp`] — 64-way parallel-pattern single-fault-propagation stuck-at
+//!   simulation producing `T(k)` curves,
+//! * [`switchlevel`] — a strength-based switch-level simulator with charge
+//!   retention and an I_DDQ observation mode, simulating bridging faults,
+//!   transistor stuck-opens/ons and floating (open-interconnect) inputs —
+//!   producing `θ(k)` and `Γ(k)`,
+//! * [`transition`] — two-pattern gate-delay (transition) fault simulation
+//!   (the paper's other "more sophisticated" test technique),
+//! * [`detection`] — shared bookkeeping: first-detection records and
+//!   coverage curves.
+//!
+//! # Example
+//!
+//! ```
+//! use dlp_circuit::generators;
+//! use dlp_sim::{ppsfp, stuck_at};
+//!
+//! let c17 = generators::c17();
+//! let faults = stuck_at::enumerate(&c17).collapse();
+//! let vectors = dlp_sim::detection::random_vectors(c17.inputs().len(), 64, 7);
+//! let result = ppsfp::simulate(&c17, faults.faults(), &vectors);
+//! // c17 is fully testable: 64 random vectors cover everything.
+//! assert_eq!(result.detected_count(), faults.faults().len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detection;
+pub mod ppsfp;
+pub mod stuck_at;
+pub mod switchlevel;
+pub mod transition;

@@ -1,0 +1,277 @@
+//! Parallel-pattern single-fault-propagation (PPSFP) stuck-at simulation.
+//!
+//! Vectors are processed in blocks of 64 (one bit per pattern). For each
+//! block the fault-free circuit is evaluated once; each still-undetected
+//! fault is then injected and only its fanout cone re-evaluated. A fault is
+//! detected when any primary-output word differs from the fault-free word;
+//! detected faults are dropped from subsequent blocks.
+
+use dlp_circuit::{GateKind, Netlist, NodeId};
+
+use crate::detection::DetectionRecord;
+use crate::stuck_at::{FaultSite, StuckAtFault};
+
+/// Simulates `faults` against `vectors` and reports first detections.
+///
+/// # Panics
+///
+/// Panics if a vector's width differs from the netlist's input count or if
+/// a fault references a node outside the netlist.
+///
+/// # Example
+///
+/// ```
+/// use dlp_circuit::generators;
+/// use dlp_sim::{detection, ppsfp, stuck_at};
+///
+/// let c17 = generators::c17();
+/// let faults = stuck_at::enumerate(&c17).collapse();
+/// let vectors = detection::random_vectors(5, 32, 3);
+/// let record = ppsfp::simulate(&c17, faults.faults(), &vectors);
+/// assert!(record.coverage_after(32) > 0.9);
+/// ```
+pub fn simulate(
+    netlist: &Netlist,
+    faults: &[StuckAtFault],
+    vectors: &[Vec<bool>],
+) -> DetectionRecord {
+    let n_in = netlist.inputs().len();
+    let mut first_detect: Vec<Option<usize>> = vec![None; faults.len()];
+    let mut live: Vec<usize> = (0..faults.len()).collect();
+
+    // Precompute fanout cones (sorted in topological order because node
+    // IDs are topological) for each distinct fault seed node.
+    let mut cones: std::collections::HashMap<NodeId, Vec<NodeId>> =
+        std::collections::HashMap::new();
+    let cone_seed = |f: &StuckAtFault| match f.site {
+        FaultSite::Stem(n) => n,
+        FaultSite::Branch { gate, .. } => gate,
+    };
+    for f in faults {
+        let seed = cone_seed(f);
+        cones
+            .entry(seed)
+            .or_insert_with(|| netlist.fanout_cone(seed));
+    }
+
+    let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
+    for (block_idx, block) in vectors.chunks(64).enumerate() {
+        if live.is_empty() {
+            break;
+        }
+        // Pack the block: word i = input i across patterns.
+        let mut input_words = vec![0u64; n_in];
+        for (p, v) in block.iter().enumerate() {
+            assert_eq!(v.len(), n_in, "vector width mismatch");
+            for (i, &bit) in v.iter().enumerate() {
+                if bit {
+                    input_words[i] |= 1 << p;
+                }
+            }
+        }
+        let used_mask: u64 = if block.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << block.len()) - 1
+        };
+
+        let good = netlist.eval_words_all(&input_words);
+        let mut faulty = good.clone();
+
+        live.retain(|&fi| {
+            let fault = &faults[fi];
+            let seed = cone_seed(fault);
+            let cone = &cones[&seed];
+
+            // Inject and propagate through the cone only.
+            let mut diff_word_at_outputs = 0u64;
+            for &node in cone {
+                let kind = netlist.kind(node);
+                let mut value = if kind == GateKind::Input {
+                    good[node.index()]
+                } else {
+                    fanin_buf.clear();
+                    for (pin, &f) in netlist.fanin(node).iter().enumerate() {
+                        let mut v = faulty[f.index()];
+                        if let FaultSite::Branch { gate, pin: fpin } = fault.site {
+                            if gate == node && fpin == pin {
+                                v = if fault.stuck_at_one { u64::MAX } else { 0 };
+                            }
+                        }
+                        fanin_buf.push(v);
+                    }
+                    kind.eval_words(&fanin_buf)
+                };
+                if fault.site == FaultSite::Stem(node) {
+                    value = if fault.stuck_at_one { u64::MAX } else { 0 };
+                }
+                faulty[node.index()] = value;
+                if netlist.is_output(node) {
+                    diff_word_at_outputs |= (value ^ good[node.index()]) & used_mask;
+                }
+            }
+            // Restore the scratch array for the next fault.
+            for &node in cone {
+                faulty[node.index()] = good[node.index()];
+            }
+
+            if diff_word_at_outputs != 0 {
+                let first_bit = diff_word_at_outputs.trailing_zeros() as usize;
+                first_detect[fi] = Some(block_idx * 64 + first_bit);
+                false // drop
+            } else {
+                true // keep
+            }
+        });
+    }
+
+    DetectionRecord::new(first_detect, vectors.len())
+}
+
+/// Convenience wrapper: stuck-at coverage after the whole sequence.
+///
+/// # Panics
+///
+/// See [`simulate`].
+pub fn coverage(netlist: &Netlist, faults: &[StuckAtFault], vectors: &[Vec<bool>]) -> f64 {
+    simulate(netlist, faults, vectors).coverage_after(vectors.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detection::random_vectors;
+    use crate::stuck_at;
+    use dlp_circuit::generators;
+
+    /// Brute-force single-pattern fault simulation for cross-checking.
+    fn naive_detects(netlist: &Netlist, fault: &StuckAtFault, vector: &[bool]) -> bool {
+        let words: Vec<u64> = vector.iter().map(|&b| if b { 1 } else { 0 }).collect();
+        let good = netlist.eval_words_all(&words);
+        // Faulty evaluation, full circuit, 1-bit patterns.
+        let mut faulty = vec![0u64; netlist.node_count()];
+        for id in netlist.node_ids() {
+            let kind = netlist.kind(id);
+            let mut v = if kind == GateKind::Input {
+                words[netlist.inputs().iter().position(|&x| x == id).unwrap()]
+            } else {
+                let fan: Vec<u64> = netlist
+                    .fanin(id)
+                    .iter()
+                    .enumerate()
+                    .map(|(pin, &f)| {
+                        if fault.site == (FaultSite::Branch { gate: id, pin }) {
+                            if fault.stuck_at_one {
+                                u64::MAX
+                            } else {
+                                0
+                            }
+                        } else {
+                            faulty[f.index()]
+                        }
+                    })
+                    .collect();
+                kind.eval_words(&fan)
+            };
+            if fault.site == FaultSite::Stem(id) {
+                v = if fault.stuck_at_one { u64::MAX } else { 0 };
+            }
+            faulty[id.index()] = v;
+        }
+        netlist
+            .outputs()
+            .iter()
+            .any(|o| (faulty[o.index()] ^ good[o.index()]) & 1 != 0)
+    }
+
+    #[test]
+    fn agrees_with_naive_simulation_on_c17() {
+        let c17 = generators::c17();
+        let faults = stuck_at::enumerate(&c17);
+        let vectors = random_vectors(5, 100, 11);
+        let record = simulate(&c17, faults.faults(), &vectors);
+        for (fi, fault) in faults.faults().iter().enumerate() {
+            let expected = vectors.iter().position(|v| naive_detects(&c17, fault, v));
+            assert_eq!(
+                record.first_detect()[fi],
+                expected,
+                "fault {}",
+                fault.describe(&c17)
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_naive_on_c432_class_sampled() {
+        let nl = generators::c432_class();
+        let faults = stuck_at::enumerate(&nl).collapse();
+        let vectors = random_vectors(36, 96, 5);
+        let record = simulate(&nl, faults.faults(), &vectors);
+        // Spot-check every 7th fault against the naive simulator.
+        for (fi, fault) in faults.faults().iter().enumerate().step_by(7) {
+            let expected = vectors.iter().position(|v| naive_detects(&nl, fault, v));
+            assert_eq!(
+                record.first_detect()[fi],
+                expected,
+                "fault {}",
+                fault.describe(&nl)
+            );
+        }
+    }
+
+    #[test]
+    fn c17_full_coverage_with_random_vectors() {
+        let c17 = generators::c17();
+        let faults = stuck_at::enumerate(&c17).collapse();
+        let vectors = random_vectors(5, 64, 7);
+        let record = simulate(&c17, faults.faults(), &vectors);
+        assert_eq!(
+            record.detected_count(),
+            faults.len(),
+            "c17 has no redundant faults"
+        );
+    }
+
+    #[test]
+    fn coverage_curve_is_monotone() {
+        let nl = generators::c432_class();
+        let faults = stuck_at::enumerate(&nl).collapse();
+        let vectors = random_vectors(36, 1024, 9);
+        let record = simulate(&nl, faults.faults(), &vectors);
+        let curve = record.coverage_curve();
+        assert!(curve.windows(2).all(|w| w[1] >= w[0]));
+        // The paper observes >80 % stuck-at coverage from random vectors.
+        assert!(
+            record.coverage_after(1024) > 0.8,
+            "random coverage {}",
+            record.coverage_after(1024)
+        );
+    }
+
+    #[test]
+    fn detected_fault_is_dropped_not_reused() {
+        // A fault detected in block 0 must keep its first-detect index even
+        // if later vectors also detect it.
+        let c17 = generators::c17();
+        let faults = stuck_at::enumerate(&c17);
+        let mut vectors = random_vectors(5, 64, 3);
+        vectors.extend(random_vectors(5, 64, 3)); // repeat the same block
+        let record = simulate(&c17, faults.faults(), &vectors);
+        for d in record.first_detect().iter().flatten() {
+            assert!(*d < 64, "first detection must come from the first block");
+        }
+    }
+
+    #[test]
+    fn partial_final_block_is_masked() {
+        let c17 = generators::c17();
+        let faults = stuck_at::enumerate(&c17);
+        // 70 vectors: final block has 6 patterns; detections must never
+        // report an index >= 70.
+        let vectors = random_vectors(5, 70, 13);
+        let record = simulate(&c17, faults.faults(), &vectors);
+        for d in record.first_detect().iter().flatten() {
+            assert!(*d < 70);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! The single-stuck-at fault universe and equivalence collapsing.
+//!
+//! Faults are placed on every *stem* (a node's output signal) and on every
+//! *branch* (a gate input pin fed by a multi-fanout stem) — the standard
+//! complete single-stuck-at set. [`FaultList::collapse`] removes
+//! structurally equivalent faults using the classic gate-local rules
+//! (e.g. any input SA0 of an AND is equivalent to its output SA0).
+
+use dlp_circuit::{GateKind, Netlist, NodeId};
+
+/// Where a stuck-at fault sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultSite {
+    /// On the output signal of `node` (stem fault).
+    Stem(NodeId),
+    /// On input pin `pin` of `gate` (branch fault).
+    Branch {
+        /// The consuming gate.
+        gate: NodeId,
+        /// The pin index within the gate's fanin list.
+        pin: usize,
+    },
+}
+
+/// A single stuck-at fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StuckAtFault {
+    /// Where the fault sits.
+    pub site: FaultSite,
+    /// The stuck value: `true` for stuck-at-1.
+    pub stuck_at_one: bool,
+}
+
+impl StuckAtFault {
+    /// Human-readable identity like `n7/SA1` or `n9.in2/SA0`.
+    pub fn describe(&self, netlist: &Netlist) -> String {
+        let v = if self.stuck_at_one { 1 } else { 0 };
+        match self.site {
+            FaultSite::Stem(n) => format!("{}/SA{v}", netlist.node_name(n)),
+            FaultSite::Branch { gate, pin } => {
+                format!("{}.in{pin}/SA{v}", netlist.node_name(gate))
+            }
+        }
+    }
+}
+
+/// A fault list bound to the netlist it was enumerated from.
+///
+/// The netlist is stored by clone to keep `FaultList` free of lifetimes
+/// (fault lists outlive analysis scopes in the harness binaries); netlists
+/// are cheap to clone relative to simulation cost.
+#[derive(Debug, Clone)]
+pub struct FaultList {
+    faults: Vec<StuckAtFault>,
+    total_uncollapsed: usize,
+    netlist: Netlist,
+}
+
+impl FaultList {
+    /// The faults currently in the list.
+    pub fn faults(&self) -> &[StuckAtFault] {
+        &self.faults
+    }
+
+    /// Number of faults before any collapsing.
+    pub fn total_uncollapsed(&self) -> usize {
+        self.total_uncollapsed
+    }
+
+    /// Number of faults in the list.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True if the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Collapses structurally equivalent faults, keeping one representative
+    /// per equivalence class. Rules applied (locally, per gate):
+    ///
+    /// * AND/NAND: every input SA0 ≡ output SA0 (AND) / SA1 (NAND);
+    /// * OR/NOR: every input SA1 ≡ output SA1 (OR) / SA0 (NOR);
+    /// * NOT/BUF: input faults ≡ (inverted/same) output faults;
+    /// * a branch fault on a fanout-free stem ≡ the stem fault.
+    ///
+    /// The representative kept is always the one closest to the primary
+    /// inputs (the stem / the dominated side), matching checkpoint-theorem
+    /// practice.
+    #[must_use]
+    pub fn collapse(mut self) -> FaultList {
+        // A branch fault (gate, pin, v) is dropped when it is equivalent to
+        // the stem fault of its source; a *stem* fault of a gate output is
+        // dropped when it is equivalent to one of its input faults (we keep
+        // input-side representatives).
+        let keep: Vec<StuckAtFault> = self
+            .faults
+            .iter()
+            .copied()
+            .filter(|&f| !is_collapsible(&self.netlist, f))
+            .collect();
+        self.faults = keep;
+        self
+    }
+
+    /// The netlist this fault list was enumerated from.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+}
+
+fn is_collapsible(netlist: &Netlist, f: StuckAtFault) -> bool {
+    match f.site {
+        FaultSite::Branch { gate, pin } => {
+            let src = netlist.fanin(gate)[pin];
+            // Fanout-free stem: branch ≡ stem, drop the branch fault.
+            netlist.fanout(src).len() == 1
+        }
+        FaultSite::Stem(node) => {
+            let kind = netlist.kind(node);
+            match kind {
+                // Output faults of these gates are equivalent to input
+                // faults that remain in the list.
+                GateKind::And => !f.stuck_at_one,
+                GateKind::Nand => f.stuck_at_one,
+                GateKind::Or => f.stuck_at_one,
+                GateKind::Nor => !f.stuck_at_one,
+                GateKind::Buf | GateKind::Not => true,
+                _ => false,
+            }
+        }
+    }
+}
+
+/// Enumerates the complete single-stuck-at fault set of `netlist`:
+/// two stem faults per node plus two branch faults per gate input pin.
+///
+/// # Example
+///
+/// ```
+/// use dlp_circuit::generators;
+/// use dlp_sim::stuck_at;
+///
+/// let c17 = generators::c17();
+/// let all = stuck_at::enumerate(&c17);
+/// // 11 stems * 2 + 12 gate input pins * 2 = 46.
+/// assert_eq!(all.len(), 46);
+/// let collapsed = all.collapse();
+/// assert!(collapsed.len() < 46);
+/// ```
+pub fn enumerate(netlist: &Netlist) -> FaultList {
+    let mut faults = Vec::new();
+    for id in netlist.node_ids() {
+        for stuck_at_one in [false, true] {
+            faults.push(StuckAtFault {
+                site: FaultSite::Stem(id),
+                stuck_at_one,
+            });
+        }
+        for pin in 0..netlist.fanin(id).len() {
+            for stuck_at_one in [false, true] {
+                faults.push(StuckAtFault {
+                    site: FaultSite::Branch { gate: id, pin },
+                    stuck_at_one,
+                });
+            }
+        }
+    }
+    let total = faults.len();
+    FaultList {
+        faults,
+        total_uncollapsed: total,
+        netlist: netlist.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlp_circuit::generators;
+
+    #[test]
+    fn enumeration_counts() {
+        let c17 = generators::c17();
+        let fl = enumerate(&c17);
+        // Stems: 11 nodes. Pins: 6 gates * 2 = 12. (11 + 12) * 2 = 46.
+        assert_eq!(fl.len(), 46);
+        assert_eq!(fl.total_uncollapsed(), 46);
+        assert!(!fl.is_empty());
+    }
+
+    #[test]
+    fn collapse_shrinks_but_keeps_pi_faults() {
+        let c17 = generators::c17();
+        let collapsed = enumerate(&c17).collapse();
+        assert!(collapsed.len() < 46, "collapsed to {}", collapsed.len());
+        // Primary-input stem faults always survive (checkpoints).
+        for &pi in c17.inputs() {
+            for v in [false, true] {
+                assert!(
+                    collapsed
+                        .faults()
+                        .iter()
+                        .any(|f| f.site == FaultSite::Stem(pi) && f.stuck_at_one == v),
+                    "missing PI fault on {}",
+                    c17.node_name(pi)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nand_output_sa1_is_collapsed() {
+        let c17 = generators::c17();
+        let collapsed = enumerate(&c17).collapse();
+        // Every gate in c17 is a NAND; its output SA1 is equivalent to any
+        // input SA0 and must be gone; output SA0 must remain.
+        for id in c17.node_ids() {
+            if c17.kind(id) == GateKind::Nand {
+                assert!(!collapsed
+                    .faults()
+                    .iter()
+                    .any(|f| f.site == FaultSite::Stem(id) && f.stuck_at_one));
+                assert!(collapsed
+                    .faults()
+                    .iter()
+                    .any(|f| f.site == FaultSite::Stem(id) && !f.stuck_at_one));
+            }
+        }
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        let c17 = generators::c17();
+        let fl = enumerate(&c17);
+        let d = fl.faults()[1].describe(&c17);
+        assert!(d.ends_with("/SA1"), "{d}");
+    }
+}

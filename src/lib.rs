@@ -1,0 +1,47 @@
+//! # dlp — defect level projections for digital ICs
+//!
+//! A from-scratch reproduction of *Sousa, Gonçalves, Teixeira, Williams,
+//! "Fault Modeling and Defect Level Projections in Digital ICs" (DATE
+//! 1994)*: layout fault extraction, switch-level realistic-fault
+//! simulation, stuck-at ATPG, and the defect-level models that tie them
+//! together.
+//!
+//! This facade crate re-exports the workspace members under one roof:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `dlp-core` | the DL(T) models (Williams–Brown, Agrawal, eq. 11), coverage laws, fitting |
+//! | [`geometry`] | `dlp-geometry` | Manhattan geometry and scanline sweeps |
+//! | [`circuit`] | `dlp-circuit` | netlists, `.bench` I/O, generators, CMOS expansion |
+//! | [`layout`] | `dlp-layout` | standard cells, placement, routing, tagged chips |
+//! | [`extract`] | `dlp-extract` | defect statistics, critical areas, weighted fault lists |
+//! | [`sim`] | `dlp-sim` | PPSFP stuck-at and switch-level fault simulation |
+//! | [`atpg`] | `dlp-atpg` | PODEM with FAN-style guidance, the random+deterministic pipeline |
+//!
+//! # Quickstart
+//!
+//! The paper's Example 1 in four lines — how much stuck-at coverage a
+//! 75 %-yield chip needs for 100 ppm when realistic faults are easier to
+//! detect than stuck-at faults:
+//!
+//! ```
+//! use dlp::core::sousa::SousaModel;
+//!
+//! let model = SousaModel::new(0.75, 2.1, 1.0)?;
+//! let t = model.required_coverage(100e-6)?;
+//! assert!((t - 0.977).abs() < 5e-4);
+//! # Ok::<(), dlp::core::ModelError>(())
+//! ```
+//!
+//! For the full physical flow (netlist → layout → extraction → switch-level
+//! simulation → DL(T) projection), see `examples/full_flow_c432.rs`.
+
+#![forbid(unsafe_code)]
+
+pub use dlp_atpg as atpg;
+pub use dlp_circuit as circuit;
+pub use dlp_core as core;
+pub use dlp_extract as extract;
+pub use dlp_geometry as geometry;
+pub use dlp_layout as layout;
+pub use dlp_sim as sim;

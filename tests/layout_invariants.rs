@@ -1,0 +1,158 @@
+//! Layout-level invariants across a spread of circuits: the contracts the
+//! extractor relies on must hold for *every* design the generators can
+//! produce, not just the benchmarks the figures use.
+
+use dlp::circuit::{generators, switch, Netlist};
+use dlp::geometry::Layer;
+use dlp::layout::chip::{ChipLayout, ElecRole, TerminalKind};
+use dlp::layout::svg;
+use dlp::layout::tech::Technology;
+
+fn circuits() -> Vec<Netlist> {
+    vec![
+        generators::c17(),
+        generators::ripple_adder(2),
+        generators::comparator(2),
+        generators::decoder(2),
+        generators::parity_tree(4),
+        generators::alu_slice(),
+        generators::random_logic(&generators::RandomLogicConfig {
+            inputs: 6,
+            gates: 30,
+            outputs: 4,
+            seed: 3,
+        }),
+    ]
+}
+
+/// Short-freedom and full routing for every generator circuit.
+#[test]
+fn all_circuits_route_clean() {
+    for netlist in circuits() {
+        let chip = ChipLayout::generate(&netlist, &Technology::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", netlist.name()));
+        assert_eq!(
+            chip.unrouted(),
+            0,
+            "{} has unrouted branches",
+            netlist.name()
+        );
+        let violations = chip.verify_connectivity();
+        assert!(
+            violations.is_empty(),
+            "{}: {} violations, first {:?}",
+            netlist.name(),
+            violations.len(),
+            violations.first()
+        );
+    }
+}
+
+/// Transistor placement mirrors the switch-level expansion exactly —
+/// per-owner counts, ordinals and kinds — for every circuit.
+#[test]
+fn transistors_match_expansion_everywhere() {
+    for netlist in circuits() {
+        let chip = ChipLayout::generate(&netlist, &Technology::default()).expect("layout");
+        let sw = switch::expand(&netlist).expect("expand");
+        assert_eq!(
+            chip.transistors().len(),
+            sw.transistors().len(),
+            "{}",
+            netlist.name()
+        );
+        let mut base: std::collections::HashMap<_, usize> = Default::default();
+        for (i, t) in sw.transistors().iter().enumerate() {
+            base.entry(t.owner).or_insert(i);
+        }
+        for placed in chip.transistors() {
+            let expanded = &sw.transistors()[base[&placed.owner] + placed.ordinal];
+            assert_eq!(expanded.owner, placed.owner);
+            assert_eq!(expanded.kind, placed.kind, "{}", netlist.name());
+        }
+    }
+}
+
+/// Every net has exactly one driver terminal and it is terminal 0.
+#[test]
+fn terminal_discipline() {
+    for netlist in circuits() {
+        let chip = ChipLayout::generate(&netlist, &Technology::default()).expect("layout");
+        for net in chip.nets() {
+            let drivers = net
+                .terminals
+                .iter()
+                .filter(|t| matches!(t, TerminalKind::Driver))
+                .count();
+            assert_eq!(
+                drivers,
+                1,
+                "{}: {:?} has {drivers} drivers",
+                netlist.name(),
+                net.net
+            );
+            assert!(matches!(net.terminals[0], TerminalKind::Driver));
+        }
+    }
+}
+
+/// Geometry sanity: shapes stay inside the die, conductor areas are
+/// positive on every routed layer, and rails exist on metal1.
+#[test]
+fn geometry_sanity() {
+    for netlist in circuits() {
+        let chip = ChipLayout::generate(&netlist, &Technology::default()).expect("layout");
+        let bbox = chip.bbox();
+        for s in chip.shapes() {
+            assert!(
+                bbox.contains_rect(&s.rect),
+                "{}: shape outside die: {:?}",
+                netlist.name(),
+                s
+            );
+        }
+        for layer in [Layer::Poly, Layer::Metal1, Layer::Metal2, Layer::Ndiff] {
+            assert!(
+                chip.conductor_area(layer) > 0,
+                "{}: {layer} empty",
+                netlist.name()
+            );
+        }
+        assert!(chip
+            .shapes()
+            .iter()
+            .any(|s| s.layer == Layer::Metal1 && matches!(s.role, ElecRole::Vdd)));
+        assert!(chip
+            .shapes()
+            .iter()
+            .any(|s| s.layer == Layer::Metal1 && matches!(s.role, ElecRole::Gnd)));
+    }
+}
+
+/// SVG rendering stays consistent with the shape list for every design.
+#[test]
+fn svg_renders_every_circuit() {
+    for netlist in circuits() {
+        let chip = ChipLayout::generate(&netlist, &Technology::default()).expect("layout");
+        let doc = svg::render(&chip);
+        assert_eq!(
+            doc.matches("<rect").count(),
+            chip.shapes().len() + 1,
+            "{}",
+            netlist.name()
+        );
+    }
+}
+
+/// Determinism: two generations of the same design are identical (the
+/// whole flow is seed-free and must not depend on hash-map iteration).
+#[test]
+fn layout_generation_is_deterministic() {
+    let netlist = generators::ripple_adder(3);
+    let a = ChipLayout::generate(&netlist, &Technology::default()).expect("layout");
+    let b = ChipLayout::generate(&netlist, &Technology::default()).expect("layout");
+    assert_eq!(a.shapes().len(), b.shapes().len());
+    for (x, y) in a.shapes().iter().zip(b.shapes()) {
+        assert_eq!(x, y);
+    }
+}
