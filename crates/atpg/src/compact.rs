@@ -10,6 +10,8 @@ use dlp_circuit::Netlist;
 use dlp_sim::ppsfp;
 use dlp_sim::stuck_at::StuckAtFault;
 
+use crate::AtpgError;
+
 /// The result of compaction.
 #[derive(Debug, Clone)]
 pub struct CompactionResult {
@@ -22,9 +24,9 @@ pub struct CompactionResult {
 /// Compacts `vectors` against `faults` with reverse-order fault
 /// simulation. The returned set detects exactly the same faults.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if vector widths mismatch the netlist (see
+/// [`AtpgError::Sim`] if vector widths mismatch the netlist (see
 /// [`ppsfp::simulate`]).
 ///
 /// # Example
@@ -37,16 +39,17 @@ pub struct CompactionResult {
 /// let c17 = generators::c17();
 /// let faults = stuck_at::enumerate(&c17).collapse();
 /// let vectors = detection::random_vectors(5, 128, 3);
-/// let compacted = compact(&c17, faults.faults(), &vectors);
+/// let compacted = compact(&c17, faults.faults(), &vectors)?;
 /// assert!(compacted.vectors.len() < vectors.len() / 2);
+/// # Ok::<(), dlp_atpg::AtpgError>(())
 /// ```
 pub fn compact(
     netlist: &Netlist,
     faults: &[StuckAtFault],
     vectors: &[Vec<bool>],
-) -> CompactionResult {
+) -> Result<CompactionResult, AtpgError> {
     // Which faults does the full sequence detect at all?
-    let full = ppsfp::simulate(netlist, faults, vectors);
+    let full = ppsfp::simulate(netlist, faults, vectors)?;
     let mut remaining: Vec<usize> = full
         .first_detect()
         .iter()
@@ -60,7 +63,7 @@ pub fn compact(
             break;
         }
         let live: Vec<StuckAtFault> = remaining.iter().map(|&j| faults[j]).collect();
-        let rec = ppsfp::simulate(netlist, &live, std::slice::from_ref(&vectors[idx]));
+        let rec = ppsfp::simulate(netlist, &live, std::slice::from_ref(&vectors[idx]))?;
         let detected: Vec<usize> = rec
             .first_detect()
             .iter()
@@ -83,10 +86,10 @@ pub fn compact(
             .collect();
     }
     kept_rev.reverse();
-    CompactionResult {
+    Ok(CompactionResult {
         vectors: kept_rev.iter().map(|&i| vectors[i].clone()).collect(),
         kept: kept_rev,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -100,9 +103,9 @@ mod tests {
         let nl = generators::c432_class();
         let faults = stuck_at::enumerate(&nl).collapse();
         let vectors = detection::random_vectors(36, 512, 17);
-        let before = ppsfp::simulate(&nl, faults.faults(), &vectors).detected_count();
-        let compacted = compact(&nl, faults.faults(), &vectors);
-        let after = ppsfp::simulate(&nl, faults.faults(), &compacted.vectors).detected_count();
+        let before = ppsfp::simulate(&nl, faults.faults(), &vectors).unwrap().detected_count();
+        let compacted = compact(&nl, faults.faults(), &vectors).unwrap();
+        let after = ppsfp::simulate(&nl, faults.faults(), &compacted.vectors).unwrap().detected_count();
         assert_eq!(before, after);
         assert!(compacted.vectors.len() < vectors.len());
     }
@@ -112,7 +115,7 @@ mod tests {
         let nl = generators::ripple_adder(4);
         let faults = stuck_at::enumerate(&nl).collapse();
         let vectors = detection::random_vectors(9, 200, 5);
-        let compacted = compact(&nl, faults.faults(), &vectors);
+        let compacted = compact(&nl, faults.faults(), &vectors).unwrap();
         assert!(compacted.kept.windows(2).all(|w| w[0] < w[1]));
         assert!(compacted.kept.iter().all(|&i| i < vectors.len()));
         for (pos, &i) in compacted.kept.iter().enumerate() {
@@ -125,12 +128,12 @@ mod tests {
         let nl = generators::c17();
         let faults = stuck_at::enumerate(&nl).collapse();
         let vectors = detection::random_vectors(5, 64, 7);
-        let once = compact(&nl, faults.faults(), &vectors);
-        let twice = compact(&nl, faults.faults(), &once.vectors);
+        let once = compact(&nl, faults.faults(), &vectors).unwrap();
+        let twice = compact(&nl, faults.faults(), &once.vectors).unwrap();
         // A second pass may reorder marginally but never grows.
         assert!(twice.vectors.len() <= once.vectors.len());
-        let cov_once = ppsfp::simulate(&nl, faults.faults(), &once.vectors).detected_count();
-        let cov_twice = ppsfp::simulate(&nl, faults.faults(), &twice.vectors).detected_count();
+        let cov_once = ppsfp::simulate(&nl, faults.faults(), &once.vectors).unwrap().detected_count();
+        let cov_twice = ppsfp::simulate(&nl, faults.faults(), &twice.vectors).unwrap().detected_count();
         assert_eq!(cov_once, cov_twice);
     }
 
@@ -138,9 +141,9 @@ mod tests {
     fn empty_inputs_are_handled() {
         let nl = generators::c17();
         let faults = stuck_at::enumerate(&nl).collapse();
-        let r = compact(&nl, faults.faults(), &[]);
+        let r = compact(&nl, faults.faults(), &[]).unwrap();
         assert!(r.vectors.is_empty());
-        let r = compact(&nl, &[], &detection::random_vectors(5, 8, 1));
+        let r = compact(&nl, &[], &detection::random_vectors(5, 8, 1)).unwrap();
         assert!(r.vectors.is_empty());
     }
 }

@@ -3,14 +3,13 @@
 //! first vectors are random vectors, being the last vectors
 //! deterministically generated").
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use dlp_circuit::Netlist;
+use dlp_core::rng::Xorshift64Star;
 use dlp_sim::ppsfp;
 use dlp_sim::stuck_at::StuckAtFault;
 
 use crate::podem::{Podem, PodemOutcome};
+use crate::AtpgError;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,9 +69,10 @@ pub enum PodemVerdict {
 /// is appended (don't-cares randomly filled) and fault-simulated so one
 /// deterministic vector can retire several faults.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `faults` reference nodes outside `netlist`.
+/// [`AtpgError::ForeignFault`] if a fault references a node outside
+/// `netlist`; [`AtpgError::Sim`] if fault simulation rejects its inputs.
 ///
 /// # Example
 ///
@@ -83,15 +83,25 @@ pub enum PodemVerdict {
 ///
 /// let adder = generators::ripple_adder(4);
 /// let faults = stuck_at::enumerate(&adder).collapse();
-/// let result = generate_tests(&adder, faults.faults(), &AtpgConfig::default());
+/// let result = generate_tests(&adder, faults.faults(), &AtpgConfig::default())?;
 /// assert!(result.coverage > 0.99);
+/// # Ok::<(), dlp_atpg::AtpgError>(())
 /// ```
 pub fn generate_tests(
     netlist: &Netlist,
     faults: &[StuckAtFault],
     config: &AtpgConfig,
-) -> AtpgResult {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+) -> Result<AtpgResult, AtpgError> {
+    for (index, f) in faults.iter().enumerate() {
+        let node = match f.site {
+            dlp_sim::stuck_at::FaultSite::Stem(n) => n,
+            dlp_sim::stuck_at::FaultSite::Branch { gate, .. } => gate,
+        };
+        if node.index() >= netlist.node_count() {
+            return Err(AtpgError::ForeignFault { index });
+        }
+    }
+    let mut rng = Xorshift64Star::new(config.seed);
     let n_in = netlist.inputs().len();
 
     // Random phase, chunked so stalling can cut it short.
@@ -101,12 +111,12 @@ pub fn generate_tests(
     let mut barren = 0usize;
     while vectors.len() < config.random_budget && barren < config.random_stall {
         let block: Vec<Vec<bool>> = (0..chunk)
-            .map(|_| (0..n_in).map(|_| rng.gen()).collect())
+            .map(|_| (0..n_in).map(|_| rng.next_bool()).collect())
             .collect();
         // Simulate only the still-live faults against this block.
         let live: Vec<usize> = (0..faults.len()).filter(|&i| !detected[i]).collect();
         let live_faults: Vec<StuckAtFault> = live.iter().map(|&i| faults[i]).collect();
-        let record = ppsfp::simulate(netlist, &live_faults, &block);
+        let record = ppsfp::simulate(netlist, &live_faults, &block)?;
         let mut newly = 0;
         for (j, d) in record.first_detect().iter().enumerate() {
             if d.is_some() {
@@ -135,12 +145,12 @@ pub fn generate_tests(
             PodemOutcome::Test(cube) => {
                 let vector: Vec<bool> = cube
                     .iter()
-                    .map(|c| c.unwrap_or_else(|| rng.gen()))
+                    .map(|c| c.unwrap_or_else(|| rng.next_bool()))
                     .collect();
                 // Fault-simulate the new vector against all live faults.
                 let live: Vec<usize> = (0..faults.len()).filter(|&j| !detected[j]).collect();
                 let live_faults: Vec<StuckAtFault> = live.iter().map(|&j| faults[j]).collect();
-                let record = ppsfp::simulate(netlist, &live_faults, std::slice::from_ref(&vector));
+                let record = ppsfp::simulate(netlist, &live_faults, std::slice::from_ref(&vector))?;
                 let mut confirmed = false;
                 for (j, d) in record.first_detect().iter().enumerate() {
                     if d.is_some() {
@@ -170,12 +180,12 @@ pub fn generate_tests(
     vectors.extend(extra);
 
     let covered = detected.iter().filter(|&&d| d).count();
-    AtpgResult {
+    Ok(AtpgResult {
         vectors,
         random_prefix_len,
         undetected,
         coverage: covered as f64 / faults.len().max(1) as f64,
-    }
+    })
 }
 
 /// Convenience: the paper's vector recipe for a netlist, over its full
@@ -183,14 +193,19 @@ pub fn generate_tests(
 ///
 /// # Example
 ///
+/// # Errors
+///
+/// See [`generate_tests`].
+///
 /// ```
 /// use dlp_circuit::generators;
 ///
 /// let c17 = generators::c17();
-/// let result = dlp_atpg::generate::for_netlist(&c17, 7);
+/// let result = dlp_atpg::generate::for_netlist(&c17, 7)?;
 /// assert_eq!(result.coverage, 1.0);
+/// # Ok::<(), dlp_atpg::AtpgError>(())
 /// ```
-pub fn for_netlist(netlist: &Netlist, seed: u64) -> AtpgResult {
+pub fn for_netlist(netlist: &Netlist, seed: u64) -> Result<AtpgResult, AtpgError> {
     let faults = dlp_sim::stuck_at::enumerate(netlist).collapse();
     generate_tests(
         netlist,
@@ -212,7 +227,7 @@ mod tests {
     fn c17_reaches_full_coverage() {
         let c17 = generators::c17();
         let faults = stuck_at::enumerate(&c17).collapse();
-        let result = generate_tests(&c17, faults.faults(), &AtpgConfig::default());
+        let result = generate_tests(&c17, faults.faults(), &AtpgConfig::default()).unwrap();
         assert_eq!(result.coverage, 1.0);
         assert!(result.undetected.is_empty());
         assert!(result.random_prefix_len > 0);
@@ -227,7 +242,7 @@ mod tests {
             random_stall: 192,
             ..Default::default()
         };
-        let result = generate_tests(&nl, faults.faults(), &config);
+        let result = generate_tests(&nl, faults.faults(), &config).unwrap();
         assert!(result.coverage > 0.94, "coverage {}", result.coverage);
         // Anything left must be proven redundant or an explicit abort —
         // never an unconfirmed cube.
@@ -250,7 +265,7 @@ mod tests {
             random_stall: 64,
             ..Default::default()
         };
-        let result = generate_tests(&nl, faults.faults(), &config);
+        let result = generate_tests(&nl, faults.faults(), &config).unwrap();
         assert!(result.vectors.len() >= result.random_prefix_len);
         assert!(
             result.vectors.len() > result.random_prefix_len,
@@ -266,8 +281,8 @@ mod tests {
             seed: 99,
             ..Default::default()
         };
-        let a = generate_tests(&nl, faults.faults(), &cfg);
-        let b = generate_tests(&nl, faults.faults(), &cfg);
+        let a = generate_tests(&nl, faults.faults(), &cfg).unwrap();
+        let b = generate_tests(&nl, faults.faults(), &cfg).unwrap();
         assert_eq!(a.vectors, b.vectors);
         assert_eq!(a.coverage, b.coverage);
     }
@@ -282,7 +297,7 @@ mod tests {
         n.mark_output(z);
         n.freeze();
         let faults = stuck_at::enumerate(&n);
-        let result = generate_tests(&n, faults.faults(), &AtpgConfig::default());
+        let result = generate_tests(&n, faults.faults(), &AtpgConfig::default()).unwrap();
         assert!(result
             .undetected
             .iter()

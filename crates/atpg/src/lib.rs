@@ -22,15 +22,19 @@
 //!
 //! let c17 = generators::c17();
 //! let faults = stuck_at::enumerate(&c17).collapse();
-//! let result = generate_tests(&c17, faults.faults(), &AtpgConfig::default());
+//! let result = generate_tests(&c17, faults.faults(), &AtpgConfig::default())?;
 //! assert_eq!(result.undetected.len(), 0); // c17 is fully testable
+//! # Ok::<(), dlp_atpg::AtpgError>(())
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod compact;
+mod error;
 pub mod generate;
 pub mod logic3;
 pub mod podem;
 pub mod scoap;
+
+pub use error::AtpgError;

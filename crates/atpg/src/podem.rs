@@ -187,10 +187,9 @@ impl<'a> Podem<'a> {
                 }
             };
             // Easiest X input first for a single non-controlling need.
-            let pin = *x_pins
-                .iter()
-                .min_by_key(|&&p| self.cc.cost(p, target))
-                .expect("non-empty");
+            let Some(&pin) = x_pins.iter().min_by_key(|&&p| self.cc.cost(p, target)) else {
+                continue; // x_pins checked non-empty above; stay total
+            };
             return Some((pin, target));
         }
         None
@@ -227,12 +226,9 @@ impl<'a> Podem<'a> {
         loop {
             let kind = self.netlist.kind(node);
             if kind == GateKind::Input {
-                let pi_idx = self
-                    .netlist
-                    .inputs()
-                    .iter()
-                    .position(|&p| p == node)
-                    .expect("input node is a primary input");
+                // An Input node is always in `inputs()`; treat a miss as a
+                // dead end rather than a panic.
+                let pi_idx = self.netlist.inputs().iter().position(|&p| p == node)?;
                 return Some((pi_idx, value));
             }
             let fanin = self.netlist.fanin(node);
@@ -272,7 +268,9 @@ impl<'a> Podem<'a> {
                     } else {
                         x_pins.iter().min_by_key(|&&p| self.cc.cost(p, target))
                     };
-                    node = *chosen.expect("non-empty");
+                    // x_pins is non-empty here; a miss is a dead end, not
+                    // a panic.
+                    node = *chosen?;
                     value = target;
                 }
                 GateKind::Xor | GateKind::Xnor => {

@@ -44,19 +44,19 @@ impl Controllability {
                 GateKind::Buf => (f0(fanin[0]) + 1, f1(fanin[0]) + 1),
                 GateKind::Not => (f1(fanin[0]) + 1, f0(fanin[0]) + 1),
                 GateKind::And => (
-                    fanin.iter().map(|&x| f0(x)).min().unwrap() + 1,
+                    fanin.iter().map(|&x| f0(x)).min().unwrap_or(0) + 1,
                     fanin.iter().map(|&x| f1(x)).sum::<u32>() + 1,
                 ),
                 GateKind::Nand => (
                     fanin.iter().map(|&x| f1(x)).sum::<u32>() + 1,
-                    fanin.iter().map(|&x| f0(x)).min().unwrap() + 1,
+                    fanin.iter().map(|&x| f0(x)).min().unwrap_or(0) + 1,
                 ),
                 GateKind::Or => (
                     fanin.iter().map(|&x| f0(x)).sum::<u32>() + 1,
-                    fanin.iter().map(|&x| f1(x)).min().unwrap() + 1,
+                    fanin.iter().map(|&x| f1(x)).min().unwrap_or(0) + 1,
                 ),
                 GateKind::Nor => (
-                    fanin.iter().map(|&x| f1(x)).min().unwrap() + 1,
+                    fanin.iter().map(|&x| f1(x)).min().unwrap_or(0) + 1,
                     fanin.iter().map(|&x| f0(x)).sum::<u32>() + 1,
                 ),
                 GateKind::Xor | GateKind::Xnor => {

@@ -1,44 +1,36 @@
-//! Criterion bench: critical-area extraction cost versus the defect-size
+//! Bench: critical-area extraction cost versus the defect-size
 //! integration resolution — the accuracy/runtime ablation called out in
 //! `DESIGN.md` §5.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dlp_circuit::generators;
 use dlp_extract::defects::DefectStatistics;
 use dlp_extract::extractor::{extract_with, ExtractionConfig};
 use dlp_layout::chip::ChipLayout;
 
-fn bench_extraction(c: &mut Criterion) {
+#[path = "harness/mod.rs"]
+mod harness;
+
+fn main() {
     let netlist = generators::ripple_adder(4);
     let chip = ChipLayout::generate(&netlist, &Default::default()).expect("layout");
     let stats = DefectStatistics::maly_cmos();
 
-    let mut group = c.benchmark_group("critical_area");
-    group.sample_size(10);
     for samples in [2usize, 6, 12] {
-        group.bench_with_input(
-            BenchmarkId::new("size_samples", samples),
-            &samples,
-            |b, &samples| {
-                let config = ExtractionConfig {
-                    size_samples: samples,
-                    ..Default::default()
-                };
-                b.iter(|| extract_with(&chip, &stats, &config).len());
-            },
-        );
-    }
-    for bin in [32i64, 64, 128] {
-        group.bench_with_input(BenchmarkId::new("bin_size", bin), &bin, |b, &bin| {
-            let config = ExtractionConfig {
-                bin,
-                ..Default::default()
-            };
-            b.iter(|| extract_with(&chip, &stats, &config).len());
+        let config = ExtractionConfig {
+            size_samples: samples,
+            ..Default::default()
+        };
+        harness::bench(&format!("critical_area/size_samples/{samples}"), || {
+            extract_with(&chip, &stats, &config).expect("extract").len()
         });
     }
-    group.finish();
+    for bin in [32i64, 64, 128] {
+        let config = ExtractionConfig {
+            bin,
+            ..Default::default()
+        };
+        harness::bench(&format!("critical_area/bin_size/{bin}"), || {
+            extract_with(&chip, &stats, &config).expect("extract").len()
+        });
+    }
 }
-
-criterion_group!(benches, bench_extraction);
-criterion_main!(benches);

@@ -1,42 +1,36 @@
-//! Criterion bench: PPSFP stuck-at fault simulation throughput — the
+//! Bench: PPSFP stuck-at fault simulation throughput — the
 //! word-parallelism payoff (vectors are processed 64 at a time).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dlp_circuit::generators;
 use dlp_sim::{detection, ppsfp, stuck_at};
 
-fn bench_ppsfp(c: &mut Criterion) {
+#[path = "harness/mod.rs"]
+mod harness;
+
+fn main() {
     let netlist = generators::c432_class();
     let faults = stuck_at::enumerate(&netlist).collapse();
 
-    let mut group = c.benchmark_group("ppsfp");
     for vectors in [64usize, 256, 1024] {
         let vs = detection::random_vectors(netlist.inputs().len(), vectors, 7);
-        group.throughput(Throughput::Elements(vectors as u64));
-        group.bench_with_input(BenchmarkId::new("c432_class", vectors), &vs, |b, vs| {
-            b.iter(|| ppsfp::simulate(&netlist, faults.faults(), vs).detected_count());
+        harness::bench(&format!("ppsfp/c432_class/{vectors}"), || {
+            ppsfp::simulate(&netlist, faults.faults(), &vs).unwrap().detected_count()
         });
     }
-    group.finish();
 
     // Scaling with circuit size on random logic.
-    let mut group = c.benchmark_group("ppsfp_scaling");
-    group.sample_size(10);
     for gates in [100usize, 400, 1600] {
         let nl = generators::random_logic(&dlp_circuit::generators::RandomLogicConfig {
             inputs: 32,
             gates,
             outputs: 16,
             seed: 5,
-        });
+        })
+        .expect("valid shape");
         let fl = stuck_at::enumerate(&nl).collapse();
         let vs = detection::random_vectors(32, 256, 11);
-        group.bench_with_input(BenchmarkId::new("gates", gates), &gates, |b, _| {
-            b.iter(|| ppsfp::simulate(&nl, fl.faults(), &vs).detected_count());
+        harness::bench(&format!("ppsfp_scaling/gates/{gates}"), || {
+            ppsfp::simulate(&nl, fl.faults(), &vs).unwrap().detected_count()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ppsfp);
-criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Minimal self-contained bench harness (the workspace builds offline, so
+//! no criterion). Each measurement warms up, then reports the median of a
+//! few timed batches as ns/iter. Invoked through `cargo bench` via the
+//! `harness = false` targets.
+
+use std::time::Instant;
+
+/// Times `f`, printing `name: <median> ns/iter (<batches> batches of <iters>)`.
+pub fn bench<R, F: FnMut() -> R>(name: &str, mut f: F) {
+    // Warm-up and batch sizing: grow the batch until it takes ≥ 10 ms.
+    let mut iters = 1usize;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let dt = t0.elapsed();
+        if dt.as_millis() >= 10 || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+    }
+    const BATCHES: usize = 5;
+    let mut samples = [0f64; BATCHES];
+    for s in &mut samples {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        *s = t0.elapsed().as_nanos() as f64 / iters as f64;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    println!(
+        "{name}: {:.0} ns/iter ({BATCHES} batches of {iters})",
+        samples[BATCHES / 2]
+    );
+}

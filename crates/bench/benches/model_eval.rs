@@ -1,31 +1,31 @@
-//! Criterion bench: defect-level model evaluation and fitting — the cheap
+//! Bench: defect-level model evaluation and fitting — the cheap
 //! closed-form evaluations (eqs. 1, 2, 11) versus the Nelder–Mead fits.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dlp_core::agrawal::AgrawalModel;
 use dlp_core::fit;
 use dlp_core::sousa::SousaModel;
 use dlp_core::williams_brown;
 
-fn bench_models(c: &mut Criterion) {
+#[path = "harness/mod.rs"]
+mod harness;
+
+fn main() {
     let sousa = SousaModel::new(0.75, 1.9, 0.96).expect("model");
     let agrawal = AgrawalModel::new(0.75, 3.0).expect("model");
 
-    c.bench_function("eval_williams_brown", |b| {
-        b.iter(|| williams_brown::defect_level(std::hint::black_box(0.75), 0.9).unwrap());
+    harness::bench("eval_williams_brown", || {
+        williams_brown::defect_level(std::hint::black_box(0.75), 0.9).unwrap()
     });
-    c.bench_function("eval_sousa_eq11", |b| {
-        b.iter(|| sousa.defect_level(std::hint::black_box(0.9)).unwrap());
+    harness::bench("eval_sousa_eq11", || {
+        sousa.defect_level(std::hint::black_box(0.9)).unwrap()
     });
-    c.bench_function("eval_agrawal_eq2", |b| {
-        b.iter(|| agrawal.defect_level(std::hint::black_box(0.9)).unwrap());
+    harness::bench("eval_agrawal_eq2", || {
+        agrawal.defect_level(std::hint::black_box(0.9)).unwrap()
     });
-    c.bench_function("inverse_required_coverage", |b| {
-        b.iter(|| {
-            sousa
-                .required_coverage(std::hint::black_box(100e-6))
-                .unwrap()
-        });
+    harness::bench("inverse_required_coverage", || {
+        sousa
+            .required_coverage(std::hint::black_box(100e-6))
+            .unwrap()
     });
 
     let points: Vec<(f64, f64)> = (0..=40)
@@ -34,17 +34,12 @@ fn bench_models(c: &mut Criterion) {
             (t, sousa.defect_level(t).unwrap())
         })
         .collect();
-    c.bench_function("fit_sousa_41pts", |b| {
-        b.iter(|| {
-            fit::fit_sousa(0.75, &points)
-                .unwrap()
-                .susceptibility_ratio()
-        });
+    harness::bench("fit_sousa_41pts", || {
+        fit::fit_sousa(0.75, &points)
+            .unwrap()
+            .susceptibility_ratio()
     });
-    c.bench_function("fit_agrawal_41pts", |b| {
-        b.iter(|| fit::fit_agrawal(0.75, &points).unwrap().multiplicity());
+    harness::bench("fit_agrawal_41pts", || {
+        fit::fit_agrawal(0.75, &points).unwrap().multiplicity()
     });
 }
-
-criterion_group!(benches, bench_models);
-criterion_main!(benches);

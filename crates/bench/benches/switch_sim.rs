@@ -1,24 +1,21 @@
-//! Criterion bench: switch-level simulation — good-circuit evaluation and
+//! Bench: switch-level simulation — good-circuit evaluation and
 //! per-fault detection cost (the event-driven component scheduling is what
 //! keeps the Fig. 4–6 pipeline affordable).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dlp_circuit::{generators, switch};
 use dlp_sim::detection::random_vectors;
 use dlp_sim::switchlevel::{SwitchConfig, SwitchFault, SwitchSimulator};
 
-fn bench_switch(c: &mut Criterion) {
+#[path = "harness/mod.rs"]
+mod harness;
+
+fn main() {
     let netlist = generators::c432_class();
     let sw = switch::expand(&netlist).expect("expand");
     let sim = SwitchSimulator::new(sw, SwitchConfig::default());
     let vectors = random_vectors(netlist.inputs().len(), 256, 3);
 
-    let mut group = c.benchmark_group("switch_sim");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(vectors.len() as u64));
-    group.bench_function("good_c432_256v", |b| {
-        b.iter(|| sim.run_good(&vectors).len());
-    });
+    harness::bench("switch_sim/good_c432_256v", || sim.run_good(&vectors).len());
 
     // One fault of each family, detection over the full sequence.
     let n10 = sim
@@ -43,15 +40,10 @@ fn bench_switch(c: &mut Criterion) {
         ),
     ];
     for (name, fault) in faults {
-        group.bench_with_input(BenchmarkId::new("detect", name), &fault, |b, fault| {
-            b.iter(|| {
-                sim.detect(std::slice::from_ref(fault), &vectors)
-                    .detected_count()
-            });
+        harness::bench(&format!("switch_sim/detect/{name}"), || {
+            sim.detect(std::slice::from_ref(&fault), &vectors)
+                .unwrap()
+                .detected_count()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_switch);
-criterion_main!(benches);

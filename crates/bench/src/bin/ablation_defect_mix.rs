@@ -11,26 +11,34 @@ use dlp_bench::print_table;
 use dlp_core::fit;
 use dlp_extract::defects::DefectStatistics;
 
-fn run_line(name: &str, stats: &DefectStatistics) -> (String, f64, f64, f64) {
+fn run_line(
+    name: &str,
+    stats: &DefectStatistics,
+) -> Result<(String, f64, f64, f64), dlp_core::PipelineError> {
     eprintln!("pipeline ({name} line)...");
-    let ex = pipeline::extract_c432(stats);
-    let run = pipeline::simulate(&ex, 1994);
-    let samples = pipeline::curve_samples(&ex, &run);
+    let ex = pipeline::extract_c432(stats)?;
+    dlp_bench::report_diagnostics(&ex.diagnostics);
+    let run = pipeline::simulate(&ex, 1994)?;
+    let samples = pipeline::curve_samples(&ex, &run)?;
     let points: Vec<(f64, f64)> = samples.iter().map(|&(_, t, _, _, dl)| (t, dl)).collect();
-    let fitted = fit::fit_sousa(PAPER_YIELD, &points).expect("fit");
+    let fitted = fit::fit_sousa(PAPER_YIELD, &points)?;
     let share = ex.faults.bridge_weight() / (ex.faults.bridge_weight() + ex.faults.open_weight());
-    (
+    Ok((
         name.to_string(),
         share,
         fitted.susceptibility_ratio(),
         fitted.theta_max(),
-    )
+    ))
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    dlp_bench::run_main(run)
+}
+
+fn run() -> Result<(), dlp_core::PipelineError> {
     let lines = [
-        run_line("bridge-heavy (Maly)", &DefectStatistics::maly_cmos()),
-        run_line("open-heavy (ablation)", &DefectStatistics::open_heavy()),
+        run_line("bridge-heavy (Maly)", &DefectStatistics::maly_cmos())?,
+        run_line("open-heavy (ablation)", &DefectStatistics::open_heavy())?,
     ];
     println!("\nAblation: defect mix vs fitted (R, theta_max), c432-class, Y = 0.75\n");
     let rows: Vec<Vec<String>> = lines
@@ -54,4 +62,5 @@ fn main() {
         "bridge dominance must raise the susceptibility ratio"
     );
     println!("ablation check passed: R tracks the physical defect mix.");
+    Ok(())
 }

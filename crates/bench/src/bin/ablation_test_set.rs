@@ -13,17 +13,22 @@ use dlp_extract::faults::OpenLevelModel;
 use dlp_sim::switchlevel::{SwitchConfig, SwitchSimulator};
 use dlp_sim::{detection, ppsfp, stuck_at};
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    dlp_bench::run_main(run)
+}
+
+fn run() -> Result<(), dlp_core::PipelineError> {
     eprintln!("layout + extraction (c432-class)...");
-    let ex = pipeline::extract_c432(&DefectStatistics::maly_cmos());
+    let ex = pipeline::extract_c432(&DefectStatistics::maly_cmos())?;
+    dlp_bench::report_diagnostics(&ex.diagnostics);
     let netlist = &ex.netlist;
     let w = ex.faults.weights();
 
-    let sw = dlp_circuit::switch::expand(netlist).expect("expand");
+    let sw = dlp_circuit::switch::expand(netlist)?;
     let sim = SwitchSimulator::new(sw, SwitchConfig::default());
     let lowered = ex
         .faults
-        .to_switch_faults(netlist, sim.netlist(), &OpenLevelModel::default());
+        .to_switch_faults(netlist, sim.netlist(), &OpenLevelModel::default())?;
     let sa = stuck_at::enumerate(netlist).collapse();
 
     let mut rows = Vec::new();
@@ -31,9 +36,9 @@ fn main() {
     for &n in &[256usize, 1024, 4096] {
         eprintln!("random-only, {n} vectors...");
         let vectors = detection::random_vectors(36, n, 1994);
-        let t = ppsfp::simulate(netlist, sa.faults(), &vectors).coverage_after(n);
-        let rec = sim.detect(&lowered, &vectors);
-        let theta = rec.weighted_coverage_after(n, &w);
+        let t = ppsfp::simulate(netlist, sa.faults(), &vectors)?.coverage_after(n);
+        let rec = sim.detect(&lowered, &vectors)?;
+        let theta = rec.weighted_coverage_after(n, &w)?;
         rows.push(vec![
             format!("random x{n}"),
             format!("{:.4}", t),
@@ -41,12 +46,12 @@ fn main() {
         ]);
     }
     eprintln!("random + deterministic (full ATPG)...");
-    let run = pipeline::simulate(&ex, 1994);
+    let run = pipeline::simulate(&ex, 1994)?;
     let k = run.vectors.len();
     rows.push(vec![
         format!("ATPG x{k}"),
         format!("{:.4}", run.record_t.coverage_after(k)),
-        format!("{:.4}", run.record_theta.weighted_coverage_after(k, &w)),
+        format!("{:.4}", run.record_theta.weighted_coverage_after(k, &w)?),
     ]);
 
     println!("\nAblation: test-set composition vs coverages, c432-class\n");
@@ -55,4 +60,5 @@ fn main() {
     println!("stuck-at tests moves T far more than theta — the theta ceiling is");
     println!("set by the voltage detection technique, exactly the paper's point");
     println!("about needing IDDQ/delay tests for a zero-defect strategy.");
+    Ok(())
 }

@@ -10,11 +10,16 @@ use dlp_bench::print_table;
 use dlp_core::sousa::SousaModel;
 use dlp_extract::defects::DefectStatistics;
 
-fn main() -> Result<(), dlp_core::ModelError> {
+fn main() -> std::process::ExitCode {
+    dlp_bench::run_main(run)
+}
+
+fn run() -> Result<(), dlp_core::PipelineError> {
     eprintln!("pipeline (c432-class)...");
-    let ex = pipeline::extract_c432(&DefectStatistics::maly_cmos());
-    let run = pipeline::simulate(&ex, 1994);
-    let samples = pipeline::curve_samples(&ex, &run);
+    let ex = pipeline::extract_c432(&DefectStatistics::maly_cmos())?;
+    dlp_bench::report_diagnostics(&ex.diagnostics);
+    let run = pipeline::simulate(&ex, 1994)?;
+    let samples = pipeline::curve_samples(&ex, &run)?;
     let naive = SousaModel::williams_brown(PAPER_YIELD)?;
 
     println!("Ablation: weighted DL(theta) vs unweighted prediction 1-Y^(1-Gamma)\n");

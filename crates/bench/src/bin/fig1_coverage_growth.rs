@@ -11,7 +11,11 @@
 use dlp_bench::{ascii_plot, print_table, to_csv, Series};
 use dlp_core::coverage::CoverageGrowth;
 
-fn main() -> Result<(), dlp_core::ModelError> {
+fn main() -> std::process::ExitCode {
+    dlp_bench::run_main(run)
+}
+
+fn run() -> Result<(), dlp_core::PipelineError> {
     let tau_t = 3.0f64.exp();
     let tau_theta = 2.0f64.exp();
     let theta_max = 0.96;

@@ -6,7 +6,11 @@
 use dlp_bench::{ascii_plot, print_table, to_csv, Series};
 use dlp_core::sousa::SousaModel;
 
-fn main() -> Result<(), dlp_core::ModelError> {
+fn main() -> std::process::ExitCode {
+    dlp_bench::run_main(run)
+}
+
+fn run() -> Result<(), dlp_core::PipelineError> {
     let y = 0.75;
     let wb = SousaModel::williams_brown(y)?;
     let sousa = SousaModel::new(y, 2.0, 0.96)?;

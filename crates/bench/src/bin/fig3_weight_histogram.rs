@@ -11,9 +11,14 @@ use dlp_bench::print_table;
 use dlp_core::weighted::FaultWeights;
 use dlp_extract::defects::DefectStatistics;
 
-fn main() -> Result<(), dlp_core::ModelError> {
+fn main() -> std::process::ExitCode {
+    dlp_bench::run_main(run)
+}
+
+fn run() -> Result<(), dlp_core::PipelineError> {
     eprintln!("building layout and extracting faults (c432-class)...");
-    let ex = pipeline::extract_c432(&DefectStatistics::maly_cmos());
+    let ex = pipeline::extract_c432(&DefectStatistics::maly_cmos())?;
+    dlp_bench::report_diagnostics(&ex.diagnostics);
     println!(
         "chip: {} x {} λ, {} shapes; {} weighted faults (bridge share {:.1} %)",
         ex.chip.bbox().width(),

@@ -12,15 +12,20 @@ use dlp_bench::{ascii_plot, print_table, to_csv, Series};
 use dlp_core::fit;
 use dlp_extract::defects::DefectStatistics;
 
-fn main() -> Result<(), dlp_core::ModelError> {
+fn main() -> std::process::ExitCode {
+    dlp_bench::run_main(run)
+}
+
+fn run() -> Result<(), dlp_core::PipelineError> {
     eprintln!("stage 1: layout + extraction...");
-    let ex = pipeline::extract_c432(&DefectStatistics::maly_cmos());
+    let ex = pipeline::extract_c432(&DefectStatistics::maly_cmos())?;
+    dlp_bench::report_diagnostics(&ex.diagnostics);
     eprintln!(
         "stage 2: ATPG + fault simulation ({} realistic faults)...",
         ex.faults.len()
     );
-    let run = pipeline::simulate(&ex, 1994);
-    let samples = pipeline::curve_samples(&ex, &run);
+    let run = pipeline::simulate(&ex, 1994)?;
+    let samples = pipeline::curve_samples(&ex, &run)?;
 
     println!(
         "Fig. 4 — coverage vs test length, c432-class ({} vectors: {} random + {} deterministic)\n",

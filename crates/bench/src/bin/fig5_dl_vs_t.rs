@@ -14,12 +14,17 @@ use dlp_core::fit;
 use dlp_core::sousa::SousaModel;
 use dlp_extract::defects::DefectStatistics;
 
-fn main() -> Result<(), dlp_core::ModelError> {
+fn main() -> std::process::ExitCode {
+    dlp_bench::run_main(run)
+}
+
+fn run() -> Result<(), dlp_core::PipelineError> {
     eprintln!("stage 1: layout + extraction...");
-    let ex = pipeline::extract_c432(&DefectStatistics::maly_cmos());
+    let ex = pipeline::extract_c432(&DefectStatistics::maly_cmos())?;
+    dlp_bench::report_diagnostics(&ex.diagnostics);
     eprintln!("stage 2: ATPG + fault simulation...");
-    let run = pipeline::simulate(&ex, 1994);
-    let samples = pipeline::curve_samples(&ex, &run);
+    let run = pipeline::simulate(&ex, 1994)?;
+    let samples = pipeline::curve_samples(&ex, &run)?;
 
     let points: Vec<(f64, f64)> = samples.iter().map(|&(_, t, _, _, dl)| (t, dl)).collect();
     let fitted = fit::fit_sousa(PAPER_YIELD, &points)?;

@@ -11,12 +11,17 @@ use dlp_bench::{ascii_plot, print_table, to_csv, Series};
 use dlp_core::sousa::SousaModel;
 use dlp_extract::defects::DefectStatistics;
 
-fn main() -> Result<(), dlp_core::ModelError> {
+fn main() -> std::process::ExitCode {
+    dlp_bench::run_main(run)
+}
+
+fn run() -> Result<(), dlp_core::PipelineError> {
     eprintln!("stage 1: layout + extraction...");
-    let ex = pipeline::extract_c432(&DefectStatistics::maly_cmos());
+    let ex = pipeline::extract_c432(&DefectStatistics::maly_cmos())?;
+    dlp_bench::report_diagnostics(&ex.diagnostics);
     eprintln!("stage 2: ATPG + fault simulation...");
-    let run = pipeline::simulate(&ex, 1994);
-    let samples = pipeline::curve_samples(&ex, &run);
+    let run = pipeline::simulate(&ex, 1994)?;
+    let samples = pipeline::curve_samples(&ex, &run)?;
 
     let naive = SousaModel::williams_brown(PAPER_YIELD)?; // DL = 1 - Y^(1-Gamma)
 

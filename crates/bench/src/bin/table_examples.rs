@@ -12,7 +12,11 @@ use dlp_bench::print_table;
 use dlp_core::sousa::SousaModel;
 use dlp_core::{williams_brown, Ppm};
 
-fn main() -> Result<(), dlp_core::ModelError> {
+fn main() -> std::process::ExitCode {
+    dlp_bench::run_main(run)
+}
+
+fn run() -> Result<(), dlp_core::PipelineError> {
     println!("Worked examples of Sousa et al. §2 (Y = 0.75)\n");
 
     // Example 1.

@@ -15,19 +15,24 @@ use dlp_extract::defects::DefectStatistics;
 use dlp_extract::faults::OpenLevelModel;
 use dlp_sim::switchlevel::{DetectionMode, SwitchConfig, SwitchSimulator};
 
-fn main() -> Result<(), dlp_core::ModelError> {
+fn main() -> std::process::ExitCode {
+    dlp_bench::run_main(run)
+}
+
+fn run() -> Result<(), dlp_core::PipelineError> {
     eprintln!("layout + extraction (c432-class)...");
-    let ex = pipeline::extract_c432(&DefectStatistics::maly_cmos());
+    let ex = pipeline::extract_c432(&DefectStatistics::maly_cmos())?;
+    dlp_bench::report_diagnostics(&ex.diagnostics);
     eprintln!("ATPG...");
-    let run = pipeline::simulate(&ex, 1994);
+    let run = pipeline::simulate(&ex, 1994)?;
     let w = ex.faults.weights();
     let k = run.vectors.len();
 
-    let sw = switch::expand(&ex.netlist).expect("expand");
+    let sw = switch::expand(&ex.netlist)?;
     let sim = SwitchSimulator::new(sw, SwitchConfig::default());
     let lowered =
         ex.faults
-            .to_switch_faults(&ex.netlist, sim.netlist(), &OpenLevelModel::default());
+            .to_switch_faults(&ex.netlist, sim.netlist(), &OpenLevelModel::default())?;
 
     let mut rows = Vec::new();
     let mut thetas = Vec::new();
@@ -37,8 +42,8 @@ fn main() -> Result<(), dlp_core::ModelError> {
         ("voltage + IDDQ", DetectionMode::VoltageAndIddq),
     ] {
         eprintln!("detection: {name}...");
-        let record = sim.detect_with(&lowered, &run.vectors, mode);
-        let theta = record.weighted_coverage_after(k, &w);
+        let record = sim.detect_with(&lowered, &run.vectors, mode)?;
+        let theta = record.weighted_coverage_after(k, &w)?;
         let dl = ex.weights.defect_level(theta)?;
         thetas.push(theta);
         rows.push(vec![

@@ -12,6 +12,31 @@ pub mod pipeline;
 
 use std::fmt::Write as _;
 
+use dlp_core::{Diagnostics, PipelineError};
+
+/// Prints graceful-degradation warnings (if any) to stderr, so a figure
+/// binary surfaces partial-result caveats without aborting.
+pub fn report_diagnostics(diags: &Diagnostics) {
+    if !diags.is_empty() {
+        eprintln!("warnings (degraded stages):\n{diags}");
+    }
+}
+
+/// Runs a figure binary's fallible body: a stage-tagged error is rendered
+/// to stderr and the process exits nonzero, instead of unwinding through
+/// a panic.
+pub fn run_main(
+    body: impl FnOnce() -> Result<(), PipelineError>,
+) -> std::process::ExitCode {
+    match body() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
 /// A named data series of `(x, y)` points.
 #[derive(Debug, Clone)]
 pub struct Series {
@@ -135,7 +160,7 @@ pub fn log_lengths(max: usize) -> Vec<usize> {
     while (k as usize) < max {
         k *= 1.5;
         let v = (k as usize).min(max);
-        if *out.last().unwrap() != v {
+        if out.last() != Some(&v) {
             out.push(v);
         }
     }

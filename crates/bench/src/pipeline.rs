@@ -5,6 +5,7 @@
 use dlp_atpg::generate::{generate_tests, AtpgConfig, PodemVerdict};
 use dlp_circuit::{generators, switch, Netlist};
 use dlp_core::weighted::FaultWeights;
+use dlp_core::{Diagnostics, PipelineError, Stage};
 use dlp_extract::defects::DefectStatistics;
 use dlp_extract::extractor;
 use dlp_extract::faults::{FaultSet, OpenLevelModel};
@@ -26,43 +27,80 @@ pub struct Extraction {
     pub faults: FaultSet,
     /// The weights scaled so that `Y = 0.75` (eq. 5 / §3 of the paper).
     pub weights: FaultWeights,
+    /// Warnings from stages that degraded gracefully (connectivity
+    /// violations, pruning anomalies). Empty on a clean run.
+    pub diagnostics: Diagnostics,
 }
 
 /// Builds the c432-class chip and extracts faults under the given defect
 /// statistics.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if layout generation fails (a tuning bug, not an input
-/// condition).
-pub fn extract_c432(stats: &DefectStatistics) -> Extraction {
+/// See [`extract_netlist`].
+pub fn extract_c432(stats: &DefectStatistics) -> Result<Extraction, PipelineError> {
     extract_netlist(generators::c432_class(), stats)
 }
 
 /// Same pipeline for an arbitrary netlist.
 ///
-/// # Panics
+/// Recoverable anomalies degrade gracefully instead of aborting: layout
+/// connectivity violations and a prune that would drop every fault are
+/// recorded as [`Diagnostics`] warnings on the returned [`Extraction`],
+/// which still carries usable partial results.
 ///
-/// See [`extract_c432`].
-pub fn extract_netlist(netlist: Netlist, stats: &DefectStatistics) -> Extraction {
-    let chip = ChipLayout::generate(&netlist, &Default::default()).expect("layout generates");
-    assert_eq!(
-        chip.verify_connectivity().len(),
-        0,
-        "layout has geometric shorts"
-    );
-    let mut faults = extractor::extract(&chip, stats);
-    faults.prune_below(1e-5);
+/// # Errors
+///
+/// A stage-tagged [`PipelineError`] when a stage cannot produce a result
+/// at all: layout generation fails, the defect statistics are unusable,
+/// or extraction finds no faults (so no weights exist to scale).
+pub fn extract_netlist(
+    netlist: Netlist,
+    stats: &DefectStatistics,
+) -> Result<Extraction, PipelineError> {
+    let mut diagnostics = Diagnostics::new();
+    let chip = ChipLayout::generate(&netlist, &Default::default())
+        .map_err(|e| PipelineError::from(e).context(netlist.name().to_string()))?;
+    let violations = chip.verify_connectivity();
+    if !violations.is_empty() {
+        diagnostics.warn(
+            Stage::Layout,
+            format!(
+                "{} connectivity violations (first: {:?}); \
+                 critical areas may be distorted",
+                violations.len(),
+                violations[0]
+            ),
+        );
+    }
+    let mut faults = extractor::extract(&chip, stats)?;
+    let before = faults.len();
+    let dropped = faults.prune_below(1e-5);
+    if faults.is_empty() && before > 0 {
+        diagnostics.warn(
+            Stage::Extraction,
+            format!(
+                "pruning would drop all {before} faults; keeping the unpruned list"
+            ),
+        );
+        faults = extractor::extract(&chip, stats)?;
+    } else if dropped > 0 && dropped * 4 > before {
+        diagnostics.warn(
+            Stage::Extraction,
+            format!("pruning dropped {dropped} of {before} faults"),
+        );
+    }
     let weights = FaultWeights::new(faults.weights())
-        .expect("non-empty fault list")
+        .map_err(|e| PipelineError::from(e).context("building fault weights"))?
         .scaled_to_yield(PAPER_YIELD)
-        .expect("valid yield");
-    Extraction {
+        .map_err(|e| PipelineError::from(e).context("scaling weights to the paper yield"))?;
+    Ok(Extraction {
         netlist,
         chip,
         faults,
         weights,
-    }
+        diagnostics,
+    })
 }
 
 /// Stage 2 output: vectors and both fault-simulation records.
@@ -81,10 +119,11 @@ pub struct SimulationRun {
 
 /// Runs ATPG and both simulators for an extraction.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on internal inconsistencies only.
-pub fn simulate(extraction: &Extraction, seed: u64) -> SimulationRun {
+/// A stage-tagged [`PipelineError`] when the netlist cannot be expanded
+/// to switch level or the fault list cannot be lowered onto it.
+pub fn simulate(extraction: &Extraction, seed: u64) -> Result<SimulationRun, PipelineError> {
     let netlist = &extraction.netlist;
     let sa = stuck_at::enumerate(netlist).collapse();
     let atpg = generate_tests(
@@ -96,7 +135,7 @@ pub fn simulate(extraction: &Extraction, seed: u64) -> SimulationRun {
             seed,
             ..Default::default()
         },
-    );
+    )?;
     let redundant: Vec<_> = atpg
         .undetected
         .iter()
@@ -110,42 +149,52 @@ pub fn simulate(extraction: &Extraction, seed: u64) -> SimulationRun {
         .filter(|f| !redundant.contains(f))
         .collect();
 
-    let record_t = ppsfp::simulate(netlist, &testable, &atpg.vectors);
+    let record_t = ppsfp::simulate(netlist, &testable, &atpg.vectors)?;
 
-    let sw = switch::expand(netlist).expect("expandable");
+    let sw = switch::expand(netlist)
+        .map_err(|e| PipelineError::from(e).context("expanding to switch level"))?;
     let sim = SwitchSimulator::new(sw, SwitchConfig::default());
-    let lowered =
-        extraction
-            .faults
-            .to_switch_faults(netlist, sim.netlist(), &OpenLevelModel::default());
-    let record_theta = sim.detect(&lowered, &atpg.vectors);
+    let lowered = extraction.faults.to_switch_faults(
+        netlist,
+        sim.netlist(),
+        &OpenLevelModel::default(),
+    )?;
+    let record_theta = sim.detect(&lowered, &atpg.vectors)?;
 
-    SimulationRun {
+    Ok(SimulationRun {
         vectors: atpg.vectors,
         random_prefix: atpg.random_prefix_len,
         record_t,
         record_theta,
         redundant: redundant.len(),
-    }
+    })
 }
 
+/// One curve sample: `(k, T(k), θ(k), Γ(k), DL(θ(k)))`.
+pub type CurveSample = (usize, f64, f64, f64, f64);
+
 /// The `(T(k), θ(k), Γ(k), DL(θ(k)))` samples at logarithmic test lengths.
+///
+/// # Errors
+///
+/// [`PipelineError`] (model stage) if a coverage sample falls outside
+/// `[0, 1]` — a simulator-record inconsistency, not an input condition.
 pub fn curve_samples(
     extraction: &Extraction,
     run: &SimulationRun,
-) -> Vec<(usize, f64, f64, f64, f64)> {
+) -> Result<Vec<CurveSample>, PipelineError> {
     let w = extraction.faults.weights();
     crate::log_lengths(run.vectors.len())
         .into_iter()
         .map(|k| {
             let t = run.record_t.coverage_after(k);
-            let theta = run.record_theta.weighted_coverage_after(k, &w);
+            let theta = run.record_theta.weighted_coverage_after(k, &w)?;
             let gamma = run.record_theta.coverage_after(k);
             let dl = extraction
                 .weights
                 .defect_level(theta)
-                .expect("theta in range");
-            (k, t, theta, gamma, dl)
+                .map_err(|e| PipelineError::from(e).context(format!("DL at k = {k}")))?;
+            Ok((k, t, theta, gamma, dl))
         })
         .collect()
 }

@@ -160,14 +160,16 @@ impl CellTemplate {
     pub fn eval(&self, pins: &[bool]) -> bool {
         assert_eq!(pins.len(), self.pin_count, "one value per pin");
         let mut stage_out = Vec::with_capacity(self.stages.len());
+        let mut last = false;
         for stage in &self.stages {
             let v = stage.eval(&|s| match s {
                 StageSignal::Pin(i) => pins[i],
                 StageSignal::Stage(j) => stage_out[j],
             });
             stage_out.push(v);
+            last = v;
         }
-        *stage_out.last().expect("cell has at least one stage")
+        last
     }
 }
 

@@ -1,6 +1,8 @@
 use std::error::Error;
 use std::fmt;
 
+use dlp_core::{PipelineError, Stage};
+
 /// Errors raised while building or parsing a netlist.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -29,6 +31,9 @@ pub enum NetlistError {
     },
     /// An output was declared for a signal that is never defined.
     UndrivenOutput(String),
+    /// A generator was asked for a degenerate circuit shape (zero inputs,
+    /// zero gates, more outputs than gates, ...).
+    BadShape(&'static str),
 }
 
 impl fmt::Display for NetlistError {
@@ -50,11 +55,18 @@ impl fmt::Display for NetlistError {
             NetlistError::UndrivenOutput(n) => {
                 write!(f, "output `{n}` is never driven by an input or gate")
             }
+            NetlistError::BadShape(what) => write!(f, "degenerate circuit shape: {what}"),
         }
     }
 }
 
 impl Error for NetlistError {}
+
+impl From<NetlistError> for PipelineError {
+    fn from(e: NetlistError) -> Self {
+        PipelineError::with_source(Stage::Netlist, e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -1,5 +1,6 @@
 //! Arithmetic and datapath benchmark generators.
 
+use crate::must::MustExt;
 use crate::{GateKind, Netlist, NodeId};
 
 /// An `n`-bit ripple-carry adder: inputs `a0..`, `b0..`, `cin`; outputs
@@ -21,28 +22,28 @@ pub fn ripple_adder(n: usize) -> Netlist {
     assert!(n > 0, "adder width must be positive");
     let mut nl = Netlist::new(format!("rca{n}"));
     let a: Vec<NodeId> = (0..n)
-        .map(|i| nl.add_input(format!("a{i}")).unwrap())
+        .map(|i| nl.add_input(format!("a{i}")).must())
         .collect();
     let b: Vec<NodeId> = (0..n)
-        .map(|i| nl.add_input(format!("b{i}")).unwrap())
+        .map(|i| nl.add_input(format!("b{i}")).must())
         .collect();
-    let mut carry = nl.add_input("cin").unwrap();
+    let mut carry = nl.add_input("cin").must();
     for i in 0..n {
         let p = nl
             .add_gate(format!("p{i}"), GateKind::Xor, vec![a[i], b[i]])
-            .unwrap();
+            .must();
         let s = nl
             .add_gate(format!("s{i}"), GateKind::Xor, vec![p, carry])
-            .unwrap();
+            .must();
         let g = nl
             .add_gate(format!("g{i}"), GateKind::And, vec![a[i], b[i]])
-            .unwrap();
+            .must();
         let t = nl
             .add_gate(format!("t{i}"), GateKind::And, vec![p, carry])
-            .unwrap();
+            .must();
         let c = nl
             .add_gate(format!("c{i}"), GateKind::Or, vec![g, t])
-            .unwrap();
+            .must();
         nl.mark_output(s);
         carry = c;
     }
@@ -61,17 +62,17 @@ pub fn comparator(n: usize) -> Netlist {
     assert!(n > 0, "comparator width must be positive");
     let mut nl = Netlist::new(format!("cmp{n}"));
     let a: Vec<NodeId> = (0..n)
-        .map(|i| nl.add_input(format!("a{i}")).unwrap())
+        .map(|i| nl.add_input(format!("a{i}")).must())
         .collect();
     let b: Vec<NodeId> = (0..n)
-        .map(|i| nl.add_input(format!("b{i}")).unwrap())
+        .map(|i| nl.add_input(format!("b{i}")).must())
         .collect();
     // Bitwise equality, then a prefix-AND walked from the MSB down:
     // entering iteration i, `prefix` holds "bits i+1..n-1 all equal".
     let eqs: Vec<NodeId> = (0..n)
         .map(|i| {
             nl.add_gate(format!("eq{i}"), GateKind::Xnor, vec![a[i], b[i]])
-                .unwrap()
+                .must()
         })
         .collect();
     let mut prefix: Option<NodeId> = None;
@@ -79,32 +80,32 @@ pub fn comparator(n: usize) -> Netlist {
     for i in (0..n).rev() {
         let nb = nl
             .add_gate(format!("nb{i}"), GateKind::Not, vec![b[i]])
-            .unwrap();
+            .must();
         let here = match prefix {
             None => nl
                 .add_gate(format!("gt{i}"), GateKind::And, vec![a[i], nb])
-                .unwrap(),
+                .must(),
             Some(p) => {
                 // a[i] > b[i] and all higher bits equal.
                 nl.add_gate(format!("gt{i}"), GateKind::And, vec![a[i], nb, p])
-                    .unwrap()
+                    .must()
             }
         };
         gt = Some(match gt {
             None => here,
             Some(acc) => nl
                 .add_gate(format!("go{i}"), GateKind::Or, vec![acc, here])
-                .unwrap(),
+                .must(),
         });
         prefix = Some(match prefix {
             None => eqs[i],
             Some(p) => nl
                 .add_gate(format!("ea{i}"), GateKind::And, vec![p, eqs[i]])
-                .unwrap(),
+                .must(),
         });
     }
-    nl.mark_output(prefix.expect("n > 0"));
-    nl.mark_output(gt.expect("n > 0"));
+    nl.mark_output(prefix.must());
+    nl.mark_output(gt.must());
     nl.freeze();
     nl
 }
@@ -114,37 +115,37 @@ pub fn comparator(n: usize) -> Netlist {
 /// exercises every gate kind.
 pub fn alu_slice() -> Netlist {
     let mut nl = Netlist::new("alu_slice");
-    let a = nl.add_input("a").unwrap();
-    let b = nl.add_input("b").unwrap();
-    let cin = nl.add_input("cin").unwrap();
-    let s0 = nl.add_input("s0").unwrap();
-    let s1 = nl.add_input("s1").unwrap();
+    let a = nl.add_input("a").must();
+    let b = nl.add_input("b").must();
+    let cin = nl.add_input("cin").must();
+    let s0 = nl.add_input("s0").must();
+    let s1 = nl.add_input("s1").must();
 
-    let and_ab = nl.add_gate("and_ab", GateKind::And, vec![a, b]).unwrap();
-    let or_ab = nl.add_gate("or_ab", GateKind::Or, vec![a, b]).unwrap();
-    let xor_ab = nl.add_gate("xor_ab", GateKind::Xor, vec![a, b]).unwrap();
+    let and_ab = nl.add_gate("and_ab", GateKind::And, vec![a, b]).must();
+    let or_ab = nl.add_gate("or_ab", GateKind::Or, vec![a, b]).must();
+    let xor_ab = nl.add_gate("xor_ab", GateKind::Xor, vec![a, b]).must();
     let sum = nl
         .add_gate("sum", GateKind::Xor, vec![xor_ab, cin])
-        .unwrap();
-    let t = nl.add_gate("t", GateKind::And, vec![xor_ab, cin]).unwrap();
-    let cout = nl.add_gate("cout", GateKind::Or, vec![and_ab, t]).unwrap();
+        .must();
+    let t = nl.add_gate("t", GateKind::And, vec![xor_ab, cin]).must();
+    let cout = nl.add_gate("cout", GateKind::Or, vec![and_ab, t]).must();
 
     // 4:1 mux on (s1, s0): 00=and, 01=or, 10=xor, 11=sum.
-    let ns0 = nl.add_gate("ns0", GateKind::Not, vec![s0]).unwrap();
-    let ns1 = nl.add_gate("ns1", GateKind::Not, vec![s1]).unwrap();
+    let ns0 = nl.add_gate("ns0", GateKind::Not, vec![s0]).must();
+    let ns1 = nl.add_gate("ns1", GateKind::Not, vec![s1]).must();
     let m0 = nl
         .add_gate("m0", GateKind::And, vec![and_ab, ns1, ns0])
-        .unwrap();
+        .must();
     let m1 = nl
         .add_gate("m1", GateKind::And, vec![or_ab, ns1, s0])
-        .unwrap();
+        .must();
     let m2 = nl
         .add_gate("m2", GateKind::And, vec![xor_ab, s1, ns0])
-        .unwrap();
-    let m3 = nl.add_gate("m3", GateKind::And, vec![sum, s1, s0]).unwrap();
+        .must();
+    let m3 = nl.add_gate("m3", GateKind::And, vec![sum, s1, s0]).must();
     let y = nl
         .add_gate("y", GateKind::Or, vec![m0, m1, m2, m3])
-        .unwrap();
+        .must();
 
     nl.mark_output(y);
     nl.mark_output(cout);
@@ -177,8 +178,8 @@ mod tests {
                     bits.push(cin == 1);
                     let out = eval_bits(&nl, &bits);
                     let expect = a + b + cin;
-                    for i in 0..4 {
-                        assert_eq!(out[i], expect >> i & 1 == 1, "a={a} b={b} cin={cin} s{i}");
+                    for (i, &bit) in out.iter().enumerate().take(4) {
+                        assert_eq!(bit, expect >> i & 1 == 1, "a={a} b={b} cin={cin} s{i}");
                     }
                     assert_eq!(out[4], expect >> 4 & 1 == 1, "a={a} b={b} cin={cin} cout");
                 }

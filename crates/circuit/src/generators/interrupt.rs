@@ -10,6 +10,7 @@
 //! range with XOR content and reconvergent fanout (the properties the
 //! defect-level experiment actually exercises).
 
+use crate::must::MustExt;
 use crate::{GateKind, Netlist, NodeId};
 
 /// Builds the c432-class interrupt controller.
@@ -34,16 +35,16 @@ use crate::{GateKind, Netlist, NodeId};
 pub fn c432_class() -> Netlist {
     let mut n = Netlist::new("c432_class");
     let a: Vec<NodeId> = (0..9)
-        .map(|i| n.add_input(format!("a{i}")).unwrap())
+        .map(|i| n.add_input(format!("a{i}")).must())
         .collect();
     let b: Vec<NodeId> = (0..9)
-        .map(|i| n.add_input(format!("b{i}")).unwrap())
+        .map(|i| n.add_input(format!("b{i}")).must())
         .collect();
     let c: Vec<NodeId> = (0..9)
-        .map(|i| n.add_input(format!("c{i}")).unwrap())
+        .map(|i| n.add_input(format!("c{i}")).must())
         .collect();
     let e: Vec<NodeId> = (0..9)
-        .map(|i| n.add_input(format!("e{i}")).unwrap())
+        .map(|i| n.add_input(format!("e{i}")).must())
         .collect();
 
     // All logic is emitted as 2-input gates (plus NOT/BUF), matching the
@@ -52,7 +53,7 @@ pub fn c432_class() -> Netlist {
     let mut gate = |n: &mut Netlist, kind: GateKind, fanin: Vec<NodeId>| -> NodeId {
         fresh += 1;
         n.add_gate(format!("g{fresh}"), kind, fanin)
-            .expect("generator is well-formed")
+            .must()
     };
     /// Balanced tree of 2-input `kind` gates (kind must be associative).
     fn tree(
@@ -168,7 +169,7 @@ pub fn c432_class() -> Netlist {
     let idx_par = gate(&mut n, GateKind::Xor, vec![z0, z1]);
     let idx_par2 = gate(&mut n, GateKind::Xor, vec![idx_par, z2]);
     let idx_par3 = gate(&mut n, GateKind::Xnor, vec![idx_par2, z3]);
-    let consistent = gate(&mut n, GateKind::Xnor, vec![par.unwrap(), idx_par3]);
+    let consistent = gate(&mut n, GateKind::Xnor, vec![par.must(), idx_par3]);
 
     // Fold the consistency bit into the PA grant with an XNOR. XOR-family
     // gates mask nothing, so the parity chains stay observable; and PA
@@ -181,7 +182,7 @@ pub fn c432_class() -> Netlist {
         n.mark_output(o);
     }
     n.freeze();
-    n.validate().expect("generator output is valid");
+    n.validate().must();
     n
 }
 

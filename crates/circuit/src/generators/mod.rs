@@ -25,6 +25,7 @@ pub use interrupt::c432_class;
 pub use random::{random_logic, RandomLogicConfig};
 pub use regular::{decoder, mux_tree, parity_tree};
 
+use crate::must::MustExt;
 use crate::{bench, Netlist};
 
 /// The ISCAS-85 `c17` benchmark (5 inputs, 2 outputs, 6 NAND2 gates),
@@ -54,7 +55,7 @@ OUTPUT(23)
 22 = NAND(10, 16)
 23 = NAND(16, 19)
 ";
-    bench::parse("c17", TEXT).expect("embedded c17 parses")
+    bench::parse("c17", TEXT).must()
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! Regular-structure benchmark generators: decoders, parity trees, muxes.
 
+use crate::must::MustExt;
 use crate::{GateKind, Netlist, NodeId};
 
 /// An `n`-to-2ⁿ line decoder with an enable input. Output `y{k}` goes high
@@ -12,13 +13,13 @@ pub fn decoder(n: usize) -> Netlist {
     assert!((1..=6).contains(&n), "decoder width must be in 1..=6");
     let mut nl = Netlist::new(format!("dec{n}"));
     let sel: Vec<NodeId> = (0..n)
-        .map(|i| nl.add_input(format!("s{i}")).unwrap())
+        .map(|i| nl.add_input(format!("s{i}")).must())
         .collect();
-    let en = nl.add_input("en").unwrap();
+    let en = nl.add_input("en").must();
     let nsel: Vec<NodeId> = (0..n)
         .map(|i| {
             nl.add_gate(format!("ns{i}"), GateKind::Not, vec![sel[i]])
-                .unwrap()
+                .must()
         })
         .collect();
     for k in 0..1usize << n {
@@ -26,7 +27,7 @@ pub fn decoder(n: usize) -> Netlist {
         for i in 0..n {
             fanin.push(if k >> i & 1 == 1 { sel[i] } else { nsel[i] });
         }
-        let y = nl.add_gate(format!("y{k}"), GateKind::And, fanin).unwrap();
+        let y = nl.add_gate(format!("y{k}"), GateKind::And, fanin).must();
         nl.mark_output(y);
     }
     nl.freeze();
@@ -42,7 +43,7 @@ pub fn parity_tree(n: usize) -> Netlist {
     assert!(n >= 2, "parity tree needs at least 2 inputs");
     let mut nl = Netlist::new(format!("par{n}"));
     let mut layer: Vec<NodeId> = (0..n)
-        .map(|i| nl.add_input(format!("x{i}")).unwrap())
+        .map(|i| nl.add_input(format!("x{i}")).must())
         .collect();
     let mut fresh = 0;
     while layer.len() > 1 {
@@ -52,7 +53,7 @@ pub fn parity_tree(n: usize) -> Netlist {
                 fresh += 1;
                 next.push(
                     nl.add_gate(format!("p{fresh}"), GateKind::Xor, pair.to_vec())
-                        .unwrap(),
+                        .must(),
                 );
             } else {
                 next.push(pair[0]);
@@ -75,26 +76,26 @@ pub fn mux_tree(n: usize) -> Netlist {
     assert!((1..=5).contains(&n), "mux select width must be in 1..=5");
     let mut nl = Netlist::new(format!("mux{n}"));
     let sel: Vec<NodeId> = (0..n)
-        .map(|i| nl.add_input(format!("s{i}")).unwrap())
+        .map(|i| nl.add_input(format!("s{i}")).must())
         .collect();
     let mut layer: Vec<NodeId> = (0..1usize << n)
-        .map(|i| nl.add_input(format!("d{i}")).unwrap())
+        .map(|i| nl.add_input(format!("d{i}")).must())
         .collect();
     for (lvl, &s) in sel.iter().enumerate() {
         let ns = nl
             .add_gate(format!("ns{lvl}"), GateKind::Not, vec![s])
-            .unwrap();
+            .must();
         let mut next = Vec::new();
         for (j, pair) in layer.chunks(2).enumerate() {
             let a = nl
                 .add_gate(format!("a{lvl}_{j}"), GateKind::And, vec![pair[0], ns])
-                .unwrap();
+                .must();
             let b = nl
                 .add_gate(format!("b{lvl}_{j}"), GateKind::And, vec![pair[1], s])
-                .unwrap();
+                .must();
             next.push(
                 nl.add_gate(format!("m{lvl}_{j}"), GateKind::Or, vec![a, b])
-                    .unwrap(),
+                    .must(),
             );
         }
         layer = next;

@@ -46,6 +46,7 @@ pub mod cells;
 mod error;
 pub mod generators;
 mod kind;
+mod must;
 mod netlist;
 pub mod switch;
 pub mod transform;

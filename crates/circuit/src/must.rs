@@ -1,0 +1,40 @@
+//! Crate-private unwrapping for *statically-valid* construction.
+//!
+//! The benchmark generators build netlists whose validity is an invariant
+//! of the generator itself (fresh names, acyclic wiring, realisable
+//! arities); a failure is a bug in the generator, not a data error, so
+//! panicking is the documented and correct response. Routing those sites
+//! through [`MustExt::must`] instead of `unwrap`/`expect` keeps the
+//! workspace-wide `clippy::unwrap_used`/`clippy::expect_used` lints
+//! meaningful: any *new* unwrap in library code is a lint error, while
+//! generator invariants stay loud.
+
+use core::fmt;
+
+pub(crate) trait MustExt<T> {
+    /// Unwraps a construction step whose success is a static invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the underlying error, when there is one) if the
+    /// invariant is violated — i.e. on a generator bug.
+    fn must(self) -> T;
+}
+
+impl<T, E: fmt::Display> MustExt<T> for Result<T, E> {
+    fn must(self) -> T {
+        match self {
+            Ok(v) => v,
+            Err(e) => panic!("generator invariant violated: {e}"),
+        }
+    }
+}
+
+impl<T> MustExt<T> for Option<T> {
+    fn must(self) -> T {
+        match self {
+            Some(v) => v,
+            None => panic!("generator invariant violated: value absent"),
+        }
+    }
+}

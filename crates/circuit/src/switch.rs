@@ -335,7 +335,10 @@ pub fn reference_eval(netlist: &Netlist, pattern: &[bool]) -> HashMap<NodeId, bo
             continue;
         }
         let fanin = netlist.fanin(id);
-        let template = cells::template_for(kind, fanin.len()).expect("realisable gate");
+        let template = match cells::template_for(kind, fanin.len()) {
+            Ok(t) => t,
+            Err(e) => panic!("netlist gate is not realisable as a cell: {e}"),
+        };
         let pins: Vec<bool> = fanin.iter().map(|f| values[f]).collect();
         values.insert(id, template.eval(&pins));
     }

@@ -246,24 +246,31 @@ mod tests {
         assert!(theta_of_t(0.5, 2.0, 0.0).is_err());
     }
 
-    proptest::proptest! {
-        #[test]
-        fn theta_of_t_monotone_in_t(r in 0.2f64..5.0, theta_max in 0.5f64..1.0) {
-            let mut prev = -1.0;
-            for i in 0..=40 {
-                let t = i as f64 / 40.0;
-                let th = theta_of_t(t, r, theta_max).unwrap();
-                proptest::prop_assert!(th >= prev - 1e-12);
-                proptest::prop_assert!((0.0..=theta_max + 1e-12).contains(&th));
-                prev = th;
+    #[test]
+    fn theta_of_t_monotone_in_t() {
+        for ri in 0..10 {
+            let r = 0.2 + 4.8 * ri as f64 / 9.0;
+            for mi in 0..5 {
+                let theta_max = 0.5 + 0.5 * mi as f64 / 5.0;
+                let mut prev = -1.0;
+                for i in 0..=40 {
+                    let t = i as f64 / 40.0;
+                    let th = theta_of_t(t, r, theta_max).unwrap();
+                    assert!(th >= prev - 1e-12, "r={r} theta_max={theta_max} t={t}");
+                    assert!((0.0..=theta_max + 1e-12).contains(&th));
+                    prev = th;
+                }
             }
         }
+    }
 
-        #[test]
-        fn larger_r_means_faster_theta(t in 0.05f64..0.95) {
+    #[test]
+    fn larger_r_means_faster_theta() {
+        for i in 1..19 {
+            let t = 0.05 * i as f64;
             let slow = theta_of_t(t, 1.0, 1.0).unwrap();
             let fast = theta_of_t(t, 2.5, 1.0).unwrap();
-            proptest::prop_assert!(fast >= slow);
+            assert!(fast >= slow, "t={t}");
         }
     }
 }

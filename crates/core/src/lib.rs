@@ -44,11 +44,14 @@ pub mod coverage;
 mod error;
 pub mod fit;
 pub mod montecarlo;
+mod pipeline;
 mod ppm;
+pub mod rng;
 pub mod sousa;
 pub mod weighted;
 pub mod williams_brown;
 pub mod yield_model;
 
 pub use error::ModelError;
+pub use pipeline::{Diagnostic, Diagnostics, PipelineError, Stage};
 pub use ppm::Ppm;

@@ -96,13 +96,8 @@ pub fn simulate_fallout(
     }
     let probabilities: Vec<f64> = (0..weights.len()).map(|j| weights.probability(j)).collect();
 
-    let mut state = config.seed | 1;
-    let mut next_unit = move || -> f64 {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
-    };
+    let mut rng = crate::rng::Xorshift64Star::new(config.seed);
+    let mut next_unit = move || -> f64 { rng.next_f64() };
 
     let mut good = 0usize;
     let mut shipped = 0usize;
@@ -177,7 +172,7 @@ mod tests {
     #[test]
     fn full_detection_ships_no_escapes() {
         let w = weights(10, 0.8);
-        let est = simulate_fallout(&w, &vec![true; 10], &MonteCarloConfig::default()).unwrap();
+        let est = simulate_fallout(&w, &[true; 10], &MonteCarloConfig::default()).unwrap();
         assert_eq!(est.escapes, 0);
         assert!(est.shipped < est.fabricated, "some dies must be scrapped");
         assert_eq!(est.defect_level(), 0.0);
@@ -233,18 +228,22 @@ mod tests {
         assert!(simulate_fallout(&w, &[true; 3], &MonteCarloConfig { dies: 0, seed: 1 }).is_err());
     }
 
-    proptest::proptest! {
-        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
-        #[test]
-        fn mc_tracks_formula(seed in 1u64..500, y in 0.5f64..0.9) {
+    #[test]
+    fn mc_tracks_formula() {
+        for (seed, y) in [(3u64, 0.55), (77, 0.62), (191, 0.7), (260, 0.78), (333, 0.82), (401, 0.86), (449, 0.88), (499, 0.58)] {
             let raw: Vec<f64> = (0..12).map(|j| 1.0 + (j as f64) * 0.7).collect();
             let w = FaultWeights::new(raw).unwrap().scaled_to_yield(y).unwrap();
             let detected: Vec<bool> = (0..12).map(|j| (seed >> (j % 8)) & 1 == 1).collect();
             let theta = w.theta(&detected).unwrap();
             let formula = w.defect_level(theta).unwrap();
-            let est = simulate_fallout(&w, &detected,
-                &MonteCarloConfig { dies: 60_000, seed }).unwrap();
-            proptest::prop_assert!((est.defect_level() - formula).abs() < 0.02);
+            let est = simulate_fallout(&w, &detected, &MonteCarloConfig { dies: 60_000, seed })
+                .unwrap();
+            assert!(
+                (est.defect_level() - formula).abs() < 0.02,
+                "seed={seed} y={y}: MC {} vs eq.3 {}",
+                est.defect_level(),
+                formula
+            );
         }
     }
 }

@@ -8,6 +8,8 @@
 
 use dlp_geometry::{Coord, Layer};
 
+use crate::ExtractError;
+
 /// The physical mechanism of a defect class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Mechanism {
@@ -38,18 +40,51 @@ pub struct DefectClass {
 }
 
 impl DefectClass {
+    /// Checks the class is usable: a finite, positive density and a
+    /// non-degenerate size range.
+    ///
+    /// # Errors
+    ///
+    /// [`ExtractError::BadDefectStatistics`] with the failing reason.
+    pub fn validate(&self) -> Result<(), ExtractError> {
+        let bad = |reason| ExtractError::BadDefectStatistics {
+            layer: self.layer,
+            reason,
+        };
+        if self.density.is_nan() {
+            return Err(bad("density is NaN"));
+        }
+        if !self.density.is_finite() {
+            return Err(bad("density is infinite"));
+        }
+        if self.density <= 0.0 {
+            return Err(bad("density must be positive"));
+        }
+        if self.x_min < 1 {
+            return Err(bad("x_min must be at least 1"));
+        }
+        if self.x_max < self.x_min {
+            return Err(bad("x_max must be >= x_min"));
+        }
+        Ok(())
+    }
+
     /// Discretises the `1/x³` size law into `samples` sizes with their
     /// per-size densities (defects per 10⁶ λ², summing to
     /// [`density`](Self::density)).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `samples == 0` or the size range is degenerate.
-    pub fn size_samples(&self, samples: usize) -> Vec<(Coord, f64)> {
-        assert!(samples > 0, "need at least one size sample");
-        assert!(self.x_max >= self.x_min && self.x_min > 0, "bad size range");
+    /// [`ExtractError::NoSizeSamples`] for `samples == 0`;
+    /// [`ExtractError::BadDefectStatistics`] if the class itself is
+    /// unusable (see [`validate`](Self::validate)).
+    pub fn size_samples(&self, samples: usize) -> Result<Vec<(Coord, f64)>, ExtractError> {
+        if samples == 0 {
+            return Err(ExtractError::NoSizeSamples);
+        }
+        self.validate()?;
         if self.x_min == self.x_max {
-            return vec![(self.x_min, self.density)];
+            return Ok(vec![(self.x_min, self.density)]);
         }
         // Integrate 1/x^3 over each bin: ∫ x^-3 dx = -x^-2 / 2.
         let cdf = |x: f64| -> f64 { -1.0 / (2.0 * x * x) };
@@ -64,7 +99,7 @@ impl DefectClass {
             let x = ((lo + hi) / 2.0).round() as Coord;
             out.push((x.max(1), self.density * mass));
         }
-        out
+        Ok(out)
     }
 }
 
@@ -83,6 +118,16 @@ impl DefectStatistics {
     /// The defect classes.
     pub fn classes(&self) -> &[DefectClass] {
         &self.classes
+    }
+
+    /// Checks every class is usable (finite positive densities, sane size
+    /// ranges). The extractor runs this before touching any geometry.
+    ///
+    /// # Errors
+    ///
+    /// The first class's [`ExtractError::BadDefectStatistics`].
+    pub fn validate(&self) -> Result<(), ExtractError> {
+        self.classes.iter().try_for_each(DefectClass::validate)
     }
 
     /// The largest defect diameter across all classes (bounds the bridge
@@ -165,7 +210,12 @@ mod tests {
             x_max: 24,
         };
         for samples in [1, 4, 11] {
-            let total: f64 = c.size_samples(samples).iter().map(|&(_, d)| d).sum();
+            let total: f64 = c
+                .size_samples(samples)
+                .unwrap()
+                .iter()
+                .map(|&(_, d)| d)
+                .sum();
             assert!(
                 (total - 10.0).abs() < 1e-9,
                 "samples={samples} total={total}"
@@ -182,7 +232,7 @@ mod tests {
             x_min: 2,
             x_max: 20,
         };
-        let s = c.size_samples(9);
+        let s = c.size_samples(9).unwrap();
         assert!(s[0].1 > s[1].1);
         assert!(s[1].1 > s.last().unwrap().1);
         // The 1/x³ law concentrates most mass near x_min.
@@ -198,7 +248,42 @@ mod tests {
             x_min: 1,
             x_max: 1,
         };
-        assert_eq!(c.size_samples(5), vec![(1, 0.4)]);
+        assert_eq!(c.size_samples(5).unwrap(), vec![(1, 0.4)]);
+    }
+
+    #[test]
+    fn degenerate_statistics_are_typed_errors() {
+        let good = DefectClass {
+            layer: Layer::Metal1,
+            mechanism: Mechanism::ExtraMaterial,
+            density: 1.0,
+            x_min: 2,
+            x_max: 8,
+        };
+        assert!(good.validate().is_ok());
+        for (bad, reason) in [
+            (DefectClass { density: f64::NAN, ..good.clone() }, "NaN"),
+            (DefectClass { density: f64::INFINITY, ..good.clone() }, "infinite"),
+            (DefectClass { density: 0.0, ..good.clone() }, "positive"),
+            (DefectClass { density: -2.0, ..good.clone() }, "positive"),
+            (DefectClass { x_min: 0, ..good.clone() }, "x_min"),
+            (DefectClass { x_max: 1, ..good.clone() }, "x_max"),
+        ] {
+            let err = bad.validate().unwrap_err();
+            assert!(err.to_string().contains(reason), "{err}");
+            assert!(bad.size_samples(4).is_err());
+        }
+        assert!(matches!(
+            good.size_samples(0),
+            Err(crate::ExtractError::NoSizeSamples)
+        ));
+        let stats = DefectStatistics::new(vec![
+            good.clone(),
+            DefectClass { density: f64::NAN, ..good },
+        ]);
+        assert!(stats.validate().is_err());
+        assert!(DefectStatistics::maly_cmos().validate().is_ok());
+        assert!(DefectStatistics::open_heavy().validate().is_ok());
     }
 
     #[test]

@@ -25,6 +25,7 @@ use dlp_layout::chip::{ChipLayout, ElecNet, ElecRole, ShapeOrigin, TerminalKind}
 use crate::critical_area::{missing_cut_area, open_area, short_area, weighted};
 use crate::defects::{DefectStatistics, Mechanism};
 use crate::faults::{Detached, FaultKind, FaultSet, RealisticFault};
+use crate::ExtractError;
 
 /// Extraction tuning.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,21 +58,39 @@ enum BridgeId {
 }
 
 /// Runs extraction with default tuning.
-pub fn extract(chip: &ChipLayout, stats: &DefectStatistics) -> FaultSet {
+///
+/// # Errors
+///
+/// See [`extract_with`].
+pub fn extract(chip: &ChipLayout, stats: &DefectStatistics) -> Result<FaultSet, ExtractError> {
     extract_with(chip, stats, &ExtractionConfig::default())
 }
 
 /// Runs extraction.
 ///
-/// # Panics
+/// Inputs are validated before any geometry is touched, so adversarial
+/// defect statistics (NaN/infinite/zero densities, inverted size ranges)
+/// and degenerate configs are rejected up front with a typed error rather
+/// than contaminating fault weights.
 ///
-/// Panics if the chip's tagged geometry is inconsistent with its netlist
-/// (cannot happen for layouts produced by `ChipLayout::generate`).
+/// # Errors
+///
+/// * [`ExtractError::BadDefectStatistics`] — a class has a non-finite or
+///   non-positive density, `x_min < 1`, or `x_max < x_min`;
+/// * [`ExtractError::NoSizeSamples`] — `config.size_samples == 0`;
+/// * [`ExtractError::MissingOutputNet`] — the chip's tagged geometry is
+///   inconsistent with its netlist (cannot happen for layouts produced by
+///   `ChipLayout::generate`).
 pub fn extract_with(
     chip: &ChipLayout,
     stats: &DefectStatistics,
     config: &ExtractionConfig,
-) -> FaultSet {
+) -> Result<FaultSet, ExtractError> {
+    if config.size_samples == 0 {
+        return Err(ExtractError::NoSizeSamples);
+    }
+    stats.validate()?;
+
     let mut acc: HashMap<FaultKind, (f64, String)> = HashMap::new();
     let mut add = |kind: FaultKind, weight: f64, label: String| {
         if weight <= 0.0 {
@@ -81,9 +100,9 @@ pub fn extract_with(
         entry.0 += weight;
     };
 
-    extract_bridges(chip, stats, config, &mut add);
-    extract_opens(chip, stats, config, &mut add);
-    extract_cut_and_device_defects(chip, stats, config, &mut add);
+    extract_bridges(chip, stats, config, &mut add)?;
+    extract_opens(chip, stats, config, &mut add)?;
+    extract_cut_and_device_defects(chip, stats, config, &mut add)?;
 
     let mut faults: Vec<RealisticFault> = acc
         .into_iter()
@@ -94,7 +113,7 @@ pub fn extract_with(
         })
         .collect();
     faults.sort_by(|a, b| a.label.cmp(&b.label));
-    FaultSet::new(faults)
+    Ok(FaultSet::new(faults))
 }
 
 /// Stage-output net of `(gate, stage)` (the last stage is the gate's own
@@ -133,13 +152,13 @@ fn extract_bridges(
     stats: &DefectStatistics,
     config: &ExtractionConfig,
     add: &mut dyn FnMut(FaultKind, f64, String),
-) {
+) -> Result<(), ExtractError> {
     let max_x = stats.max_defect_size();
     for class in stats.classes() {
         if class.mechanism != Mechanism::ExtraMaterial {
             continue;
         }
-        let samples = class.size_samples(config.size_samples);
+        let samples = class.size_samples(config.size_samples)?;
         // Gather shapes of this layer grouped by identity.
         let mut regions: HashMap<BridgeId, Vec<Rect>> = HashMap::new();
         for s in chip.shapes() {
@@ -251,6 +270,7 @@ fn extract_bridges(
             add(kind, w, label);
         }
     }
+    Ok(())
 }
 
 fn extract_opens(
@@ -258,13 +278,13 @@ fn extract_opens(
     stats: &DefectStatistics,
     config: &ExtractionConfig,
     add: &mut dyn FnMut(FaultKind, f64, String),
-) {
+) -> Result<(), ExtractError> {
     let poly_w = chip.tech().poly_width;
     for class in stats.classes() {
         if class.mechanism != Mechanism::MissingMaterial {
             continue;
         }
-        let samples = class.size_samples(config.size_samples);
+        let samples = class.size_samples(config.size_samples)?;
         for s in chip.shapes() {
             if s.layer != class.layer {
                 continue;
@@ -290,7 +310,11 @@ fn extract_opens(
                                 .outputs()
                                 .iter()
                                 .position(|o| o == n)
-                                .expect("output pad net is a PO");
+                                .ok_or_else(|| {
+                                    ExtractError::MissingOutputNet(
+                                        chip.netlist().node_name(*n).to_string(),
+                                    )
+                                })?;
                             Detached::Observation(oi)
                         }
                     };
@@ -377,6 +401,7 @@ fn extract_opens(
         }
     }
     let _ = poly_w;
+    Ok(())
 }
 
 fn extract_cut_and_device_defects(
@@ -384,12 +409,12 @@ fn extract_cut_and_device_defects(
     stats: &DefectStatistics,
     config: &ExtractionConfig,
     add: &mut dyn FnMut(FaultKind, f64, String),
-) {
+) -> Result<(), ExtractError> {
     let poly_w = chip.tech().poly_width;
     for class in stats.classes() {
         match class.mechanism {
             Mechanism::MissingCut => {
-                let samples = class.size_samples(config.size_samples);
+                let samples = class.size_samples(config.size_samples)?;
                 for s in chip.shapes() {
                     if s.layer != class.layer {
                         continue;
@@ -414,7 +439,11 @@ fn extract_cut_and_device_defects(
                                         .outputs()
                                         .iter()
                                         .position(|o| o == n)
-                                        .expect("output pad net is a PO");
+                                        .ok_or_else(|| {
+                                            ExtractError::MissingOutputNet(
+                                                chip.netlist().node_name(*n).to_string(),
+                                            )
+                                        })?;
                                     Detached::Observation(oi)
                                 }
                             };
@@ -524,7 +553,7 @@ fn extract_cut_and_device_defects(
                 if !matches!(class.layer, Layer::Ndiff | Layer::Pdiff) {
                     continue;
                 }
-                let samples = class.size_samples(config.size_samples);
+                let samples = class.size_samples(config.size_samples)?;
                 let want = if class.layer == Layer::Ndiff {
                     TransKind::Nmos
                 } else {
@@ -560,6 +589,7 @@ fn extract_cut_and_device_defects(
             _ => {}
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -572,7 +602,7 @@ mod tests {
     fn c17_faults() -> (dlp_circuit::Netlist, ChipLayout, FaultSet) {
         let nl = generators::c17();
         let chip = ChipLayout::generate(&nl, &Default::default()).unwrap();
-        let faults = extract(&chip, &DefectStatistics::maly_cmos());
+        let faults = extract(&chip, &DefectStatistics::maly_cmos()).unwrap();
         (nl, chip, faults)
     }
 
@@ -616,7 +646,7 @@ mod tests {
         // block (the effect is stronger still on the c432-class chip).
         let nl = generators::ripple_adder(4);
         let chip = ChipLayout::generate(&nl, &Default::default()).unwrap();
-        let faults = extract(&chip, &DefectStatistics::maly_cmos());
+        let faults = extract(&chip, &DefectStatistics::maly_cmos()).unwrap();
         assert!(
             faults.bridge_weight() > faults.open_weight(),
             "bridge {} vs open {}",
@@ -624,7 +654,7 @@ mod tests {
             faults.open_weight()
         );
         // And the open-heavy ablation line flips it.
-        let open_faults = extract(&chip, &DefectStatistics::open_heavy());
+        let open_faults = extract(&chip, &DefectStatistics::open_heavy()).unwrap();
         assert!(open_faults.open_weight() > open_faults.bridge_weight());
     }
 
@@ -632,7 +662,9 @@ mod tests {
     fn all_faults_lower_onto_switch_netlist() {
         let (nl, _, faults) = c17_faults();
         let sw = switch::expand(&nl).unwrap();
-        let lowered = faults.to_switch_faults(&nl, &sw, &OpenLevelModel::default());
+        let lowered = faults
+            .to_switch_faults(&nl, &sw, &OpenLevelModel::default())
+            .unwrap();
         assert_eq!(lowered.len(), faults.len());
     }
 
@@ -650,8 +682,8 @@ mod tests {
     fn extraction_is_deterministic() {
         let nl = generators::c17();
         let chip = ChipLayout::generate(&nl, &Default::default()).unwrap();
-        let a = extract(&chip, &DefectStatistics::maly_cmos());
-        let b = extract(&chip, &DefectStatistics::maly_cmos());
+        let a = extract(&chip, &DefectStatistics::maly_cmos()).unwrap();
+        let b = extract(&chip, &DefectStatistics::maly_cmos()).unwrap();
         assert_eq!(a.len(), b.len());
         for (x, y) in a.faults().iter().zip(b.faults()) {
             assert_eq!(x.label, y.label);

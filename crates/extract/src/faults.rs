@@ -13,6 +13,8 @@ use dlp_circuit::{Netlist, NodeId};
 use dlp_layout::chip::ElecNet;
 use dlp_sim::switchlevel::{Logic, SwitchFault};
 
+use crate::ExtractError;
+
 /// What an interconnect break detaches.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Detached {
@@ -182,85 +184,111 @@ impl FaultSet {
     ///
     /// The returned vector is parallel to [`faults`](Self::faults).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the switch netlist does not correspond to the same
-    /// gate-level netlist the chip was generated from (unknown nodes or
-    /// ordinals).
+    /// [`ExtractError::MissingStageNode`],
+    /// [`ExtractError::RailBridgeWithoutLevel`] or
+    /// [`ExtractError::UnknownTransistor`] when the switch netlist does
+    /// not correspond to the gate-level netlist the chip was generated
+    /// from (or the fault set was built against a different design).
     pub fn to_switch_faults(
         &self,
         netlist: &Netlist,
         sw: &SwitchNetlist,
         open_model: &OpenLevelModel,
-    ) -> Vec<SwitchFault> {
+    ) -> Result<Vec<SwitchFault>, ExtractError> {
         // Per-owner transistor index base: expansion order is per-gate
         // contiguous, so (owner, ordinal) -> global index is base + ordinal.
         let mut base: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
+        let mut counts: std::collections::HashMap<NodeId, usize> =
+            std::collections::HashMap::new();
         for (i, t) in sw.transistors().iter().enumerate() {
             base.entry(t.owner).or_insert(i);
+            *counts.entry(t.owner).or_insert(0) += 1;
         }
         let node_of = |net: &ElecNet| match net {
-            ElecNet::Signal(n) => sw.node_of_net(*n),
+            ElecNet::Signal(n) => Ok(sw.node_of_net(*n)),
             ElecNet::Stage(g, s) => {
                 let name = format!("{}#s{}", netlist.node_name(*g), s);
                 sw.node_by_name(&name)
-                    .unwrap_or_else(|| panic!("missing stage node {name}"))
+                    .ok_or(ExtractError::MissingStageNode(name))
+            }
+        };
+        let device_of = |owner: &NodeId, ordinal: usize| {
+            match (base.get(owner), counts.get(owner)) {
+                (Some(&b), Some(&n)) if ordinal < n => Ok(b + ordinal),
+                _ => Err(ExtractError::UnknownTransistor {
+                    owner: netlist.node_name(*owner).to_string(),
+                    ordinal,
+                }),
             }
         };
         self.faults
             .iter()
-            .map(|f| match &f.kind {
-                FaultKind::Bridge { a, b: Some(b), .. } => SwitchFault::Bridge {
-                    a: node_of(a),
-                    b: node_of(b),
-                },
-                FaultKind::Bridge { a, b: None, rail } => SwitchFault::Bridge {
-                    a: node_of(a),
-                    b: if rail.expect("rail bridge has a level") {
-                        dlp_circuit::switch::SwitchNodeId::VDD
-                    } else {
-                        dlp_circuit::switch::SwitchNodeId::GND
+            .map(|f| {
+                Ok(match &f.kind {
+                    FaultKind::Bridge { a, b: Some(b), .. } => SwitchFault::Bridge {
+                        a: node_of(a)?,
+                        b: node_of(b)?,
                     },
-                },
-                FaultKind::Break { net, detached } => match detached {
-                    Detached::Observation(oi) => SwitchFault::OutputRead {
-                        output: *oi,
-                        level: open_model.sample(&f.label),
+                    FaultKind::Bridge { a, b: None, rail } => SwitchFault::Bridge {
+                        a: node_of(a)?,
+                        b: match rail {
+                            Some(true) => dlp_circuit::switch::SwitchNodeId::VDD,
+                            Some(false) => dlp_circuit::switch::SwitchNodeId::GND,
+                            None => {
+                                return Err(ExtractError::RailBridgeWithoutLevel(
+                                    f.label.clone(),
+                                ))
+                            }
+                        },
                     },
-                    Detached::Sink(g) => SwitchFault::FloatingInput {
-                        net: node_of(net),
-                        owners: vec![*g],
-                        level: open_model.sample(&f.label),
-                    },
-                    Detached::All => {
-                        let owners: Vec<NodeId> = match net {
-                            ElecNet::Signal(n) => netlist.fanout(*n).to_vec(),
-                            ElecNet::Stage(g, _) => vec![*g],
-                        };
-                        SwitchFault::FloatingInput {
-                            net: node_of(net),
-                            owners,
+                    FaultKind::Break { net, detached } => match detached {
+                        Detached::Observation(oi) => SwitchFault::OutputRead {
+                            output: *oi,
                             level: open_model.sample(&f.label),
+                        },
+                        Detached::Sink(g) => SwitchFault::FloatingInput {
+                            net: node_of(net)?,
+                            owners: vec![*g],
+                            level: open_model.sample(&f.label),
+                        },
+                        Detached::All => {
+                            let owners: Vec<NodeId> = match net {
+                                ElecNet::Signal(n) => netlist.fanout(*n).to_vec(),
+                                ElecNet::Stage(g, _) => vec![*g],
+                            };
+                            SwitchFault::FloatingInput {
+                                net: node_of(net)?,
+                                owners,
+                                level: open_model.sample(&f.label),
+                            }
                         }
-                    }
-                },
-                FaultKind::StuckOpen { owner, ordinal } => SwitchFault::StuckOpen {
-                    transistor: base[owner] + ordinal,
-                },
-                FaultKind::StuckOn { owner, ordinal } => SwitchFault::StuckOn {
-                    transistor: base[owner] + ordinal,
-                },
+                    },
+                    FaultKind::StuckOpen { owner, ordinal } => SwitchFault::StuckOpen {
+                        transistor: device_of(owner, *ordinal)?,
+                    },
+                    FaultKind::StuckOn { owner, ordinal } => SwitchFault::StuckOn {
+                        transistor: device_of(owner, *ordinal)?,
+                    },
+                })
             })
             .collect()
     }
 
     /// The stage count of a gate's cell — a helper for resolving the last
     /// stage's net during extraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unmappable gate. Extraction only sees gates that were
+    /// already placed by `ChipLayout::generate`, which propagates the
+    /// mapping failure as a typed `LayoutError` first.
     pub fn stage_count(netlist: &Netlist, gate: NodeId) -> usize {
-        dlp_circuit::cells::template_for(netlist.kind(gate), netlist.fanin(gate).len())
-            .expect("mappable gate")
-            .stages()
-            .len()
+        match dlp_circuit::cells::template_for(netlist.kind(gate), netlist.fanin(gate).len()) {
+            Ok(t) => t.stages().len(),
+            Err(e) => panic!("placed gate lost its cell template: {e}"),
+        }
     }
 
     /// Drops faults with negligible weight (below `threshold` of the total
@@ -341,7 +369,7 @@ mod tests {
                 label: "op:10:all".into(),
             },
         ]);
-        let lowered = set.to_switch_faults(&nl, &sw, &OpenLevelModel::default());
+        let lowered = set.to_switch_faults(&nl, &sw, &OpenLevelModel::default()).unwrap();
         assert_eq!(lowered.len(), 4);
         assert!(matches!(lowered[0], SwitchFault::Bridge { .. }));
         match &lowered[1] {
@@ -375,7 +403,7 @@ mod tests {
             weight: 1e-6,
             label: "so:16:1".into(),
         }]);
-        let lowered = set.to_switch_faults(&nl, &sw, &OpenLevelModel::default());
+        let lowered = set.to_switch_faults(&nl, &sw, &OpenLevelModel::default()).unwrap();
         match lowered[0] {
             SwitchFault::StuckOpen { transistor } => {
                 assert_eq!(sw.transistors()[transistor].owner, g);
@@ -387,6 +415,53 @@ mod tests {
             }
             ref other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn lowering_mismatched_netlists_is_a_typed_error() {
+        let nl = generators::c17();
+        let sw = switch::expand(&nl).unwrap();
+        let g = nl.find("16").unwrap();
+        // Device ordinal past the owner's expansion.
+        let set = FaultSet::new(vec![RealisticFault {
+            kind: FaultKind::StuckOpen {
+                owner: g,
+                ordinal: 999,
+            },
+            weight: 1e-6,
+            label: "so:16:999".into(),
+        }]);
+        let err = set
+            .to_switch_faults(&nl, &sw, &OpenLevelModel::default())
+            .unwrap_err();
+        assert!(matches!(err, ExtractError::UnknownTransistor { .. }), "{err}");
+        // Rail bridge missing its level.
+        let set = FaultSet::new(vec![RealisticFault {
+            kind: FaultKind::Bridge {
+                a: ElecNet::Signal(g),
+                b: None,
+                rail: None,
+            },
+            weight: 1e-6,
+            label: "br:bad".into(),
+        }]);
+        let err = set
+            .to_switch_faults(&nl, &sw, &OpenLevelModel::default())
+            .unwrap_err();
+        assert!(matches!(err, ExtractError::RailBridgeWithoutLevel(_)), "{err}");
+        // Stage net that the switch netlist does not know.
+        let set = FaultSet::new(vec![RealisticFault {
+            kind: FaultKind::Break {
+                net: ElecNet::Stage(g, 7),
+                detached: Detached::All,
+            },
+            weight: 1e-6,
+            label: "op:bad".into(),
+        }]);
+        let err = set
+            .to_switch_faults(&nl, &sw, &OpenLevelModel::default())
+            .unwrap_err();
+        assert!(matches!(err, ExtractError::MissingStageNode(_)), "{err}");
     }
 
     #[test]

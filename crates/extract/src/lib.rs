@@ -26,10 +26,10 @@
 //!
 //! let c17 = generators::c17();
 //! let chip = ChipLayout::generate(&c17, &Default::default())?;
-//! let faults = extractor::extract(&chip, &DefectStatistics::maly_cmos());
+//! let faults = extractor::extract(&chip, &DefectStatistics::maly_cmos())?;
 //! assert!(faults.len() > 50);
 //! assert!(faults.weights().iter().all(|&w| w > 0.0));
-//! # Ok::<(), dlp_layout::LayoutError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -37,7 +37,10 @@
 
 pub mod critical_area;
 pub mod defects;
+mod error;
 pub mod extractor;
 pub mod faults;
 pub mod report;
 pub mod sampling;
+
+pub use error::ExtractError;

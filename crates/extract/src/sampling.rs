@@ -29,6 +29,7 @@ use dlp_geometry::{Coord, Layer, Rect};
 use dlp_layout::chip::{ChipLayout, ElecNet, ElecRole};
 
 use crate::defects::{DefectStatistics, Mechanism};
+use crate::ExtractError;
 
 /// A sampled extra-material defect and its electrical consequence.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,9 +72,11 @@ fn identity_label(chip: &ChipLayout, role: &ElecRole) -> Option<String> {
 /// Throws `count` extra-material defects on `layer` and classifies each by
 /// exact geometry. Deterministic in `seed`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the statistics contain no extra-material class for `layer`.
+/// [`ExtractError::NoExtraMaterialClass`] if the statistics have no
+/// extra-material class for `layer`;
+/// [`ExtractError::BadDefectStatistics`] if that class is unusable.
 ///
 /// # Example
 ///
@@ -86,10 +89,10 @@ fn identity_label(chip: &ChipLayout, role: &ElecRole) -> Option<String> {
 /// let chip = ChipLayout::generate(&generators::c17(), &Default::default())?;
 /// let report = sampling::throw_defects(
 ///     &chip, &DefectStatistics::maly_cmos(), Layer::Metal1, 2_000, 7,
-/// );
+/// )?;
 /// assert_eq!(report.thrown, 2_000);
 /// assert!(report.bridging > 0, "some defects must land between nets");
-/// # Ok::<(), dlp_layout::LayoutError>(())
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn throw_defects(
     chip: &ChipLayout,
@@ -97,12 +100,13 @@ pub fn throw_defects(
     layer: Layer,
     count: usize,
     seed: u64,
-) -> SamplingReport {
+) -> Result<SamplingReport, ExtractError> {
     let class = stats
         .classes()
         .iter()
         .find(|c| c.layer == layer && c.mechanism == Mechanism::ExtraMaterial)
-        .expect("extra-material class for the layer");
+        .ok_or(ExtractError::NoExtraMaterialClass(layer))?;
+    class.validate()?;
 
     // Inverse-CDF sampling of the 1/x^3 law on [x_min, x_max]:
     // F(x) = (1/x_min^2 - 1/x^2) / (1/x_min^2 - 1/x_max^2).
@@ -163,12 +167,12 @@ pub fn throw_defects(
             }
         }
     }
-    SamplingReport {
+    Ok(SamplingReport {
         thrown: count,
         bridging,
         pair_counts,
         multi,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -179,11 +183,25 @@ mod tests {
     use dlp_circuit::generators;
 
     #[test]
+    fn missing_class_is_a_typed_error() {
+        let chip = ChipLayout::generate(&generators::c17(), &Default::default()).unwrap();
+        let err = throw_defects(
+            &chip,
+            &DefectStatistics::new(vec![]),
+            Layer::Metal1,
+            100,
+            3,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExtractError::NoExtraMaterialClass(_)), "{err}");
+    }
+
+    #[test]
     fn sampling_is_deterministic() {
         let chip = ChipLayout::generate(&generators::c17(), &Default::default()).unwrap();
         let stats = DefectStatistics::maly_cmos();
-        let a = throw_defects(&chip, &stats, Layer::Metal1, 500, 3);
-        let b = throw_defects(&chip, &stats, Layer::Metal1, 500, 3);
+        let a = throw_defects(&chip, &stats, Layer::Metal1, 500, 3).unwrap();
+        let b = throw_defects(&chip, &stats, Layer::Metal1, 500, 3).unwrap();
         assert_eq!(a.pair_counts, b.pair_counts);
         assert_eq!(a.bridging, b.bridging);
     }
@@ -199,7 +217,8 @@ mod tests {
             Layer::Metal1,
             4_000,
             11,
-        );
+        )
+        .unwrap();
         assert!(
             report.bridging * 2 < report.thrown,
             "{} bridge",
@@ -217,7 +236,7 @@ mod tests {
         //     overestimate), within Poisson slack.
         let chip = ChipLayout::generate(&generators::c17(), &Default::default()).unwrap();
         let stats = DefectStatistics::maly_cmos();
-        let faults = extractor::extract(&chip, &stats);
+        let faults = extractor::extract(&chip, &stats).unwrap();
         let mut analytic: HashMap<String, f64> = HashMap::new();
         for f in faults.faults() {
             if let FaultKind::Bridge { .. } = f.kind {
@@ -233,7 +252,7 @@ mod tests {
             }
         }
         let thrown = 60_000usize;
-        let report = throw_defects(&chip, &stats, Layer::Metal1, thrown, 1994);
+        let report = throw_defects(&chip, &stats, Layer::Metal1, thrown, 1994).unwrap();
 
         // Expected-hit conversion: analytic weight w (defects/die at
         // density D per 1e6 λ²) over the m1 ExtraMaterial density and die

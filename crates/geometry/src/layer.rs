@@ -103,11 +103,18 @@ impl Layer {
     }
 
     /// Index of this layer within [`Layer::ALL`] (dense, for table lookups).
-    pub fn index(self) -> usize {
-        Layer::ALL
-            .iter()
-            .position(|&l| l == self)
-            .expect("layer in ALL")
+    pub const fn index(self) -> usize {
+        match self {
+            Layer::Nwell => 0,
+            Layer::Ndiff => 1,
+            Layer::Pdiff => 2,
+            Layer::Poly => 3,
+            Layer::Contact => 4,
+            Layer::Metal1 => 5,
+            Layer::Via => 6,
+            Layer::Metal2 => 7,
+            Layer::GateOxide => 8,
+        }
     }
 }
 

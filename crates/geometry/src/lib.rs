@@ -37,6 +37,8 @@ mod point;
 mod rect;
 mod region;
 pub mod sweep;
+#[cfg(test)]
+pub(crate) mod test_rng;
 
 pub use layer::{Layer, LayerClass};
 pub use point::Point;

@@ -363,67 +363,87 @@ mod tests {
 #[cfg(test)]
 mod property_tests {
     use super::*;
-    use proptest::prelude::*;
 
-    fn arb_rect() -> impl Strategy<Value = Rect> {
-        (-50i64..50, -50i64..50, 0i64..40, 0i64..40)
-            .prop_map(|(x, y, w, h)| Rect::with_size(x, y, w, h))
+    /// Deterministic stream of rectangles (xorshift64* driven) replacing
+    /// the former proptest strategies so the crate builds offline.
+    fn rect_stream(seed: u64, count: usize) -> Vec<Rect> {
+        let mut rng = crate::test_rng::TestRng::new(seed);
+        (0..count)
+            .map(|_| {
+                let x = rng.range(-50, 50);
+                let y = rng.range(-50, 50);
+                let w = rng.range(0, 40);
+                let h = rng.range(0, 40);
+                Rect::with_size(x, y, w, h)
+            })
+            .collect()
     }
 
-    proptest! {
-        /// Dilation by the L∞ separation makes two rectangles touch, and
-        /// by one less never does — the exactness the critical-area
-        /// engine's short model depends on.
-        #[test]
-        fn linf_separation_is_tight(a in arb_rect(), b in arb_rect()) {
-            let s = a.linf_separation(&b);
+    /// Dilation by the L∞ separation makes two rectangles touch, and
+    /// by one less never does — the exactness the critical-area
+    /// engine's short model depends on.
+    #[test]
+    fn linf_separation_is_tight() {
+        let rects_a = rect_stream(1, 300);
+        let rects_b = rect_stream(2, 300);
+        for (a, b) in rects_a.iter().zip(&rects_b) {
+            let s = a.linf_separation(b);
             if s > 0 {
                 // Split the dilation so the halves sum to s.
                 let ha = s / 2;
                 let hb = s - ha;
-                prop_assert!(a.dilated(ha).touches(&b.dilated(hb)));
+                assert!(a.dilated(ha).touches(&b.dilated(hb)), "{a} {b}");
                 if s > 1 {
                     let ha = (s - 1) / 2;
                     let hb = (s - 1) - ha;
-                    prop_assert!(!a.dilated(ha).touches(&b.dilated(hb)));
+                    assert!(!a.dilated(ha).touches(&b.dilated(hb)), "{a} {b}");
                 }
             } else {
-                prop_assert!(a.touches(&b));
+                assert!(a.touches(b), "{a} {b}");
             }
         }
+    }
 
-        /// Intersection is commutative and contained in both operands.
-        #[test]
-        fn intersection_properties(a in arb_rect(), b in arb_rect()) {
-            prop_assert_eq!(a.intersection(&b), b.intersection(&a));
-            if let Some(i) = a.intersection(&b) {
-                prop_assert!(a.contains_rect(&i));
-                prop_assert!(b.contains_rect(&i));
-                prop_assert!(i.area() <= a.area().min(b.area()));
+    /// Intersection is commutative and contained in both operands.
+    #[test]
+    fn intersection_properties() {
+        let rects_a = rect_stream(3, 300);
+        let rects_b = rect_stream(4, 300);
+        for (a, b) in rects_a.iter().zip(&rects_b) {
+            assert_eq!(a.intersection(b), b.intersection(a));
+            if let Some(i) = a.intersection(b) {
+                assert!(a.contains_rect(&i));
+                assert!(b.contains_rect(&i));
+                assert!(i.area() <= a.area().min(b.area()));
             }
         }
+    }
 
-        /// Dilation distributes over translation.
-        #[test]
-        fn dilation_commutes_with_translation(
-            r in arb_rect(), d in 0i64..10, dx in -20i64..20, dy in -20i64..20,
-        ) {
-            prop_assert_eq!(
-                r.translated(dx, dy).dilated(d),
-                r.dilated(d).translated(dx, dy)
-            );
+    /// Dilation distributes over translation.
+    #[test]
+    fn dilation_commutes_with_translation() {
+        let mut rng = crate::test_rng::TestRng::new(5);
+        for r in rect_stream(6, 300) {
+            let d = rng.range(0, 10);
+            let dx = rng.range(-20, 20);
+            let dy = rng.range(-20, 20);
+            assert_eq!(r.translated(dx, dy).dilated(d), r.dilated(d).translated(dx, dy));
         }
+    }
 
-        /// union_bbox is the smallest rectangle containing both.
-        #[test]
-        fn union_bbox_is_minimal(a in arb_rect(), b in arb_rect()) {
-            let u = a.union_bbox(&b);
-            prop_assert!(u.contains_rect(&a));
-            prop_assert!(u.contains_rect(&b));
+    /// union_bbox is the smallest rectangle containing both.
+    #[test]
+    fn union_bbox_is_minimal() {
+        let rects_a = rect_stream(7, 300);
+        let rects_b = rect_stream(8, 300);
+        for (a, b) in rects_a.iter().zip(&rects_b) {
+            let u = a.union_bbox(b);
+            assert!(u.contains_rect(a));
+            assert!(u.contains_rect(b));
             // Shrinking any side loses one operand.
             if u.width() > 0 {
                 let shrunk = Rect::new(u.x0() + 1, u.y0(), u.x1(), u.y1());
-                prop_assert!(!(shrunk.contains_rect(&a) && shrunk.contains_rect(&b)));
+                assert!(!(shrunk.contains_rect(a) && shrunk.contains_rect(b)));
             }
         }
     }

@@ -1,0 +1,26 @@
+//! Minimal deterministic RNG for randomized tests (xorshift64*), so the
+//! crate's property-style tests need no external dependency.
+
+pub(crate) struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub(crate) fn new(seed: u64) -> Self {
+        TestRng { state: seed | 1 }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        self.state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform `i64` in `[lo, hi)`.
+    pub(crate) fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo < hi);
+        let span = (hi - lo) as u64;
+        lo + (self.next_u64() % span) as i64
+    }
+}

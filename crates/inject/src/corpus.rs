@@ -1,0 +1,529 @@
+//! The adversarial input corpus: one [`Case`] per corruption mode.
+//!
+//! Every case is deterministic (fixed seeds, literal inputs) and drives a
+//! *public entry point* of one pipeline stage with an input that violates
+//! that stage's contract. The expected outcome is always the same: a typed
+//! error tagged with the case's [`Stage`] — see [`crate::harness`].
+
+use dlp_atpg::generate::{generate_tests, AtpgConfig};
+use dlp_circuit::switch::SwitchNodeId;
+use dlp_circuit::{bench, generators, switch, NodeId};
+use dlp_core::montecarlo::{simulate_fallout, MonteCarloConfig};
+use dlp_core::weighted::FaultWeights;
+use dlp_core::{fit, PipelineError, Stage};
+use dlp_extract::defects::{DefectClass, DefectStatistics, Mechanism};
+use dlp_extract::extractor::{self, ExtractionConfig};
+use dlp_extract::faults::{FaultKind, FaultSet, OpenLevelModel, RealisticFault};
+use dlp_geometry::Layer;
+use dlp_layout::chip::{ChipLayout, ElecNet};
+use dlp_layout::tech::Technology;
+use dlp_sim::switchlevel::{SwitchConfig, SwitchFault, SwitchSimulator};
+use dlp_sim::{ppsfp, stuck_at};
+
+/// One adversarial input and the stage whose typed error it must produce.
+pub struct Case {
+    /// Unique, kebab-case identifier.
+    pub name: &'static str,
+    /// The pipeline stage whose contract the input violates.
+    pub stage: Stage,
+    /// What is wrong with the input.
+    pub corruption: &'static str,
+    /// Drives the stage; must return `Err` with a `stage()` matching
+    /// [`Case::stage`], and must not panic.
+    pub run: fn() -> Result<(), PipelineError>,
+}
+
+/// The full corpus, spanning every pipeline stage.
+pub fn corpus() -> Vec<Case> {
+    macro_rules! case {
+        ($name:literal, $stage:ident, $corruption:literal, $f:ident) => {
+            Case {
+                name: $name,
+                stage: Stage::$stage,
+                corruption: $corruption,
+                run: $f,
+            }
+        };
+    }
+    vec![
+        // -- netlist ----------------------------------------------------
+        case!(
+            "netlist-dangling-net",
+            Netlist,
+            "gate fanin references a signal that is never declared",
+            netlist_dangling_net
+        ),
+        case!(
+            "netlist-combinational-loop",
+            Netlist,
+            "two gates feed each other, forming a combinational cycle",
+            netlist_combinational_loop
+        ),
+        case!(
+            "netlist-duplicate-gate-id",
+            Netlist,
+            "the same signal name is defined twice",
+            netlist_duplicate_gate_id
+        ),
+        case!(
+            "netlist-undriven-output",
+            Netlist,
+            "an OUTPUT declaration names a signal nothing drives",
+            netlist_undriven_output
+        ),
+        case!(
+            "netlist-bad-arity",
+            Netlist,
+            "an inverter is given two fanins",
+            netlist_bad_arity
+        ),
+        case!(
+            "netlist-garbage-line",
+            Netlist,
+            "a line that is not .bench syntax at all",
+            netlist_garbage_line
+        ),
+        // -- layout -----------------------------------------------------
+        case!(
+            "layout-inconsistent-technology",
+            Layout,
+            "routing grid pitch smaller than wire width + spacing",
+            layout_inconsistent_technology
+        ),
+        case!(
+            "layout-zero-height-cells",
+            Layout,
+            "cell height too small to hold diffusions and rails",
+            layout_zero_height_cells
+        ),
+        // -- defect statistics / extraction ------------------------------
+        case!(
+            "defect-density-nan",
+            Extraction,
+            "a defect class with density = NaN",
+            defect_density_nan
+        ),
+        case!(
+            "defect-density-infinite",
+            Extraction,
+            "a defect class with density = +inf",
+            defect_density_infinite
+        ),
+        case!(
+            "defect-density-nonpositive",
+            Extraction,
+            "a defect class with density = 0",
+            defect_density_nonpositive
+        ),
+        case!(
+            "defect-density-negative",
+            Extraction,
+            "a defect class with density < 0",
+            defect_density_negative
+        ),
+        case!(
+            "defect-size-range-inverted",
+            Extraction,
+            "a defect class with x_max < x_min",
+            defect_size_range_inverted
+        ),
+        case!(
+            "defect-size-zero-minimum",
+            Extraction,
+            "a defect class with x_min = 0",
+            defect_size_zero_minimum
+        ),
+        case!(
+            "extract-zero-size-samples",
+            Extraction,
+            "extraction config requesting zero defect-size samples",
+            extract_zero_size_samples
+        ),
+        case!(
+            "faultset-mismatched-lowering",
+            Extraction,
+            "a fault naming a transistor ordinal its owner gate lacks",
+            faultset_mismatched_lowering
+        ),
+        case!(
+            "faultset-rail-bridge-without-level",
+            Extraction,
+            "a rail bridge with neither a partner net nor a rail level",
+            faultset_rail_bridge_without_level
+        ),
+        // -- simulation ---------------------------------------------------
+        case!(
+            "sim-vector-width-mismatch",
+            Simulation,
+            "test vectors narrower than the circuit's input count",
+            sim_vector_width_mismatch
+        ),
+        case!(
+            "sim-transistor-out-of-range",
+            Simulation,
+            "a stuck-open fault naming a transistor the netlist lacks",
+            sim_transistor_out_of_range
+        ),
+        case!(
+            "sim-bridge-node-out-of-range",
+            Simulation,
+            "a bridge fault naming switch nodes beyond the netlist",
+            sim_bridge_node_out_of_range
+        ),
+        case!(
+            "sim-weight-count-mismatch",
+            Simulation,
+            "a weight vector shorter than the tracked fault list",
+            sim_weight_count_mismatch
+        ),
+        // -- atpg ---------------------------------------------------------
+        case!(
+            "atpg-foreign-fault",
+            Atpg,
+            "a target fault sited on a node outside the netlist",
+            atpg_foreign_fault
+        ),
+        // -- model --------------------------------------------------------
+        case!(
+            "model-empty-fault-set",
+            Model,
+            "fault weights built from an empty fault list",
+            model_empty_fault_set
+        ),
+        case!(
+            "model-negative-weight",
+            Model,
+            "a fault list containing a negative weight",
+            model_negative_weight
+        ),
+        case!(
+            "model-yield-nan",
+            Model,
+            "weights rescaled to a NaN target yield",
+            model_yield_nan
+        ),
+        case!(
+            "model-yield-zero",
+            Model,
+            "weights rescaled to target yield 0 (log-divergent)",
+            model_yield_zero
+        ),
+        case!(
+            "model-yield-one",
+            Model,
+            "weights rescaled to target yield 1 (no defects to weight)",
+            model_yield_one
+        ),
+        case!(
+            "model-montecarlo-zero-dies",
+            Model,
+            "a Monte Carlo run over zero fabricated dies",
+            model_montecarlo_zero_dies
+        ),
+        case!(
+            "model-montecarlo-mask-mismatch",
+            Model,
+            "a detection mask shorter than the fault list",
+            model_montecarlo_mask_mismatch
+        ),
+        case!(
+            "model-fit-insufficient-points",
+            Model,
+            "a Sousa-model fit on fewer than three (T, DL) points",
+            model_fit_insufficient_points
+        ),
+        case!(
+            "model-fit-nan-point",
+            Model,
+            "a Sousa-model fit on a (NaN, NaN) data point",
+            model_fit_nan_point
+        ),
+    ]
+}
+
+// -- netlist --------------------------------------------------------------
+
+fn netlist_dangling_net() -> Result<(), PipelineError> {
+    bench::parse(
+        "dangling",
+        "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n",
+    )?;
+    Ok(())
+}
+
+fn netlist_combinational_loop() -> Result<(), PipelineError> {
+    bench::parse(
+        "loop",
+        "INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = NOT(y)\n",
+    )?;
+    Ok(())
+}
+
+fn netlist_duplicate_gate_id() -> Result<(), PipelineError> {
+    bench::parse(
+        "duplicate",
+        "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\ny = OR(a, b)\n",
+    )?;
+    Ok(())
+}
+
+fn netlist_undriven_output() -> Result<(), PipelineError> {
+    bench::parse("undriven", "INPUT(a)\nOUTPUT(y)\n")?;
+    Ok(())
+}
+
+fn netlist_bad_arity() -> Result<(), PipelineError> {
+    bench::parse(
+        "arity",
+        "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOT(a, b)\n",
+    )?;
+    Ok(())
+}
+
+fn netlist_garbage_line() -> Result<(), PipelineError> {
+    bench::parse("garbage", "INPUT(a)\nOUTPUT(y)\ny == AND(\n")?;
+    Ok(())
+}
+
+// -- layout ---------------------------------------------------------------
+
+fn layout_inconsistent_technology() -> Result<(), PipelineError> {
+    let tech = Technology {
+        grid_pitch: 1,
+        ..Technology::default()
+    };
+    ChipLayout::generate(&generators::c17(), &tech)?;
+    Ok(())
+}
+
+fn layout_zero_height_cells() -> Result<(), PipelineError> {
+    let tech = Technology {
+        cell_height: 8,
+        ..Technology::default()
+    };
+    ChipLayout::generate(&generators::c17(), &tech)?;
+    Ok(())
+}
+
+// -- defect statistics / extraction ---------------------------------------
+
+fn c17_chip() -> Result<ChipLayout, PipelineError> {
+    Ok(ChipLayout::generate(
+        &generators::c17(),
+        &Technology::default(),
+    )?)
+}
+
+fn bad_density_class(density: f64) -> DefectStatistics {
+    DefectStatistics::new(vec![DefectClass {
+        layer: Layer::Metal1,
+        mechanism: Mechanism::ExtraMaterial,
+        density,
+        x_min: 2,
+        x_max: 20,
+    }])
+}
+
+fn extract_with_stats(stats: &DefectStatistics) -> Result<(), PipelineError> {
+    extractor::extract(&c17_chip()?, stats)?;
+    Ok(())
+}
+
+fn defect_density_nan() -> Result<(), PipelineError> {
+    extract_with_stats(&bad_density_class(f64::NAN))
+}
+
+fn defect_density_infinite() -> Result<(), PipelineError> {
+    extract_with_stats(&bad_density_class(f64::INFINITY))
+}
+
+fn defect_density_nonpositive() -> Result<(), PipelineError> {
+    extract_with_stats(&bad_density_class(0.0))
+}
+
+fn defect_density_negative() -> Result<(), PipelineError> {
+    extract_with_stats(&bad_density_class(-2.5))
+}
+
+fn defect_size_range_inverted() -> Result<(), PipelineError> {
+    extract_with_stats(&DefectStatistics::new(vec![DefectClass {
+        layer: Layer::Metal1,
+        mechanism: Mechanism::ExtraMaterial,
+        density: 1.0,
+        x_min: 20,
+        x_max: 2,
+    }]))
+}
+
+fn defect_size_zero_minimum() -> Result<(), PipelineError> {
+    extract_with_stats(&DefectStatistics::new(vec![DefectClass {
+        layer: Layer::Metal1,
+        mechanism: Mechanism::ExtraMaterial,
+        density: 1.0,
+        x_min: 0,
+        x_max: 20,
+    }]))
+}
+
+fn extract_zero_size_samples() -> Result<(), PipelineError> {
+    extractor::extract_with(
+        &c17_chip()?,
+        &DefectStatistics::maly_cmos(),
+        &ExtractionConfig {
+            size_samples: 0,
+            ..ExtractionConfig::default()
+        },
+    )?;
+    Ok(())
+}
+
+fn first_gate(netlist: &dlp_circuit::Netlist) -> NodeId {
+    netlist
+        .node_ids()
+        .find(|&id| !netlist.inputs().contains(&id))
+        .unwrap_or_else(|| NodeId::from_index(0))
+}
+
+fn lower_single(kind: FaultKind) -> Result<(), PipelineError> {
+    let nl = generators::c17();
+    let sw = switch::expand(&nl)?;
+    let set = FaultSet::new(vec![RealisticFault {
+        kind,
+        weight: 1e-6,
+        label: "injected".into(),
+    }]);
+    set.to_switch_faults(&nl, &sw, &OpenLevelModel::default())?;
+    Ok(())
+}
+
+fn faultset_mismatched_lowering() -> Result<(), PipelineError> {
+    let owner = first_gate(&generators::c17());
+    lower_single(FaultKind::StuckOpen { owner, ordinal: 999 })
+}
+
+fn faultset_rail_bridge_without_level() -> Result<(), PipelineError> {
+    let net = first_gate(&generators::c17());
+    lower_single(FaultKind::Bridge {
+        a: ElecNet::Signal(net),
+        b: None,
+        rail: None,
+    })
+}
+
+// -- simulation -----------------------------------------------------------
+
+fn sim_vector_width_mismatch() -> Result<(), PipelineError> {
+    let c17 = generators::c17();
+    let faults = stuck_at::enumerate(&c17).collapse();
+    // c17 has 5 inputs; these vectors have 3 bits.
+    ppsfp::simulate(&c17, faults.faults(), &[vec![true; 3]])?;
+    Ok(())
+}
+
+fn c17_switch_sim() -> Result<SwitchSimulator, PipelineError> {
+    let sw = switch::expand(&generators::c17())?;
+    Ok(SwitchSimulator::new(sw, SwitchConfig::default()))
+}
+
+fn sim_transistor_out_of_range() -> Result<(), PipelineError> {
+    let sim = c17_switch_sim()?;
+    let width = sim.netlist().input_nodes().len();
+    sim.detect(
+        &[SwitchFault::StuckOpen { transistor: 10_000 }],
+        &[vec![false; width]],
+    )?;
+    Ok(())
+}
+
+fn sim_bridge_node_out_of_range() -> Result<(), PipelineError> {
+    let sim = c17_switch_sim()?;
+    let width = sim.netlist().input_nodes().len();
+    sim.detect(
+        &[SwitchFault::Bridge {
+            a: SwitchNodeId::from_index(40_000),
+            b: SwitchNodeId::from_index(40_001),
+        }],
+        &[vec![true; width]],
+    )?;
+    Ok(())
+}
+
+fn sim_weight_count_mismatch() -> Result<(), PipelineError> {
+    let c17 = generators::c17();
+    let faults = stuck_at::enumerate(&c17).collapse();
+    let vectors = vec![vec![false; 5], vec![true; 5]];
+    let record = ppsfp::simulate(&c17, faults.faults(), &vectors)?;
+    // One weight for a multi-fault record.
+    record.weighted_coverage_after(2, &[1.0])?;
+    Ok(())
+}
+
+// -- atpg -----------------------------------------------------------------
+
+fn atpg_foreign_fault() -> Result<(), PipelineError> {
+    let c17 = generators::c17();
+    let foreign = stuck_at::StuckAtFault {
+        site: stuck_at::FaultSite::Stem(NodeId::from_index(9_999)),
+        stuck_at_one: true,
+    };
+    generate_tests(&c17, &[foreign], &AtpgConfig::default())?;
+    Ok(())
+}
+
+// -- model ----------------------------------------------------------------
+
+fn model_empty_fault_set() -> Result<(), PipelineError> {
+    FaultWeights::new(Vec::new())?;
+    Ok(())
+}
+
+fn model_negative_weight() -> Result<(), PipelineError> {
+    FaultWeights::new(vec![0.2, -0.1, 0.3])?;
+    Ok(())
+}
+
+fn scaled_to(target: f64) -> Result<(), PipelineError> {
+    FaultWeights::new(vec![0.1, 0.4])?.scaled_to_yield(target)?;
+    Ok(())
+}
+
+fn model_yield_nan() -> Result<(), PipelineError> {
+    scaled_to(f64::NAN)
+}
+
+fn model_yield_zero() -> Result<(), PipelineError> {
+    scaled_to(0.0)
+}
+
+fn model_yield_one() -> Result<(), PipelineError> {
+    scaled_to(1.0)
+}
+
+fn model_montecarlo_zero_dies() -> Result<(), PipelineError> {
+    let w = FaultWeights::new(vec![0.05; 4])?;
+    simulate_fallout(
+        &w,
+        &[true; 4],
+        &MonteCarloConfig {
+            dies: 0,
+            ..MonteCarloConfig::default()
+        },
+    )?;
+    Ok(())
+}
+
+fn model_montecarlo_mask_mismatch() -> Result<(), PipelineError> {
+    let w = FaultWeights::new(vec![0.05; 4])?;
+    simulate_fallout(&w, &[true; 3], &MonteCarloConfig::default())?;
+    Ok(())
+}
+
+fn model_fit_insufficient_points() -> Result<(), PipelineError> {
+    fit::fit_sousa(0.75, &[(0.5, 0.1), (0.9, 0.02)])?;
+    Ok(())
+}
+
+fn model_fit_nan_point() -> Result<(), PipelineError> {
+    fit::fit_sousa(0.75, &[(0.1, 0.2), (f64::NAN, f64::NAN), (0.9, 0.02)])?;
+    Ok(())
+}

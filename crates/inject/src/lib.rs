@@ -1,0 +1,38 @@
+//! Adversarial fault-injection harness for the defect-level pipeline.
+//!
+//! The pipeline's robustness contract (`DESIGN.md` §"Error handling") says
+//! that *corrupted inputs at a stage boundary produce a stage-tagged
+//! [`PipelineError`](dlp_core::PipelineError) — never a panic and never a
+//! silent `NaN`*. This crate enforces that contract mechanically:
+//!
+//! * [`corpus`] — a deterministic catalogue of corrupted inputs, one
+//!   [`Case`](corpus::Case) per failure mode, spanning every pipeline
+//!   stage: malformed netlists (dangling nets, combinational loops,
+//!   duplicate ids), inconsistent layout technologies, degenerate defect
+//!   statistics (NaN / infinite / non-positive densities, inverted size
+//!   ranges), empty fault sets and mismatched lowerings, malformed
+//!   simulator inputs, foreign ATPG faults, and out-of-domain model
+//!   parameters.
+//! * [`harness`] — runs each case under `std::panic::catch_unwind` and
+//!   classifies the outcome: the case passes only if the stage returned a
+//!   typed error tagged with the expected [`Stage`](dlp_core::Stage).
+//!
+//! The integration test `tests/adversarial.rs` drives the whole corpus
+//! under `cargo test`; adding a new failure mode means adding one case
+//! function and one line to [`corpus::corpus`].
+//!
+//! # Example
+//!
+//! ```
+//! let report = dlp_inject::harness::verify_all(&dlp_inject::corpus::corpus());
+//! assert!(report.failures().next().is_none(), "{report}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod harness;
+
+pub use corpus::{corpus, Case};
+pub use harness::{verify, verify_all, Outcome, Report};

@@ -138,11 +138,14 @@ impl ChipLayout {
     ///
     /// # Errors
     ///
+    /// [`LayoutError::BadTechnology`] for inconsistent design rules,
     /// [`LayoutError::Cell`] for unmappable gates and
     /// [`LayoutError::Unroutable`] if the router runs out of resources
     /// (raise [`Technology::channel_rows`] in that case).
     pub fn generate(netlist: &Netlist, tech: &Technology) -> Result<ChipLayout, LayoutError> {
-        assert!(tech.validate(), "inconsistent technology rules");
+        if !tech.validate() {
+            return Err(LayoutError::BadTechnology);
+        }
         Builder::new(netlist.clone(), tech.clone())?.run()
     }
 
@@ -318,11 +321,13 @@ impl Builder {
 
     fn stage_count(&self, gate: NodeId) -> usize {
         // The cell library caches one layout per (kind, arity); stage count
-        // equals the template's.
-        dlp_circuit::cells::template_for(self.netlist.kind(gate), self.netlist.fanin(gate).len())
-            .expect("placed gates are mappable")
-            .stages()
-            .len()
+        // equals the template's. Placement already template-mapped every
+        // gate (propagating LayoutError::Cell), so failure here is a bug.
+        match dlp_circuit::cells::template_for(self.netlist.kind(gate), self.netlist.fanin(gate).len())
+        {
+            Ok(t) => t.stages().len(),
+            Err(e) => panic!("placed gate lost its cell template: {e}"),
+        }
     }
 
     fn run(mut self) -> Result<ChipLayout, LayoutError> {

@@ -2,6 +2,7 @@ use std::error::Error;
 use std::fmt;
 
 use dlp_circuit::NetlistError;
+use dlp_core::{PipelineError, Stage};
 
 /// Errors raised during layout generation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,6 +20,9 @@ pub enum LayoutError {
         /// Cells that did not fit.
         overflow: usize,
     },
+    /// The technology's design rules are mutually inconsistent
+    /// (see [`crate::tech::Technology::validate`]).
+    BadTechnology,
 }
 
 impl fmt::Display for LayoutError {
@@ -29,6 +33,7 @@ impl fmt::Display for LayoutError {
             LayoutError::FloorplanTooSmall { overflow } => {
                 write!(f, "floorplan too small: {overflow} cells left over")
             }
+            LayoutError::BadTechnology => write!(f, "inconsistent technology design rules"),
         }
     }
 }
@@ -39,6 +44,12 @@ impl Error for LayoutError {
             LayoutError::Cell(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<LayoutError> for PipelineError {
+    fn from(e: LayoutError) -> Self {
+        PipelineError::with_source(Stage::Layout, e)
     }
 }
 

@@ -1,11 +1,12 @@
 //! Shared detection bookkeeping: vector generation, first-detection
 //! records, and coverage curves.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dlp_core::rng::Xorshift64Star;
+
+use crate::SimError;
 
 /// Generates `count` uniformly random input vectors of width `width`,
-/// deterministically from `seed`.
+/// deterministically from `seed` (self-contained xorshift64* stream).
 ///
 /// # Example
 ///
@@ -16,9 +17,9 @@ use rand::{Rng, SeedableRng};
 /// assert_eq!(v, dlp_sim::detection::random_vectors(5, 10, 42));
 /// ```
 pub fn random_vectors(width: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xorshift64Star::new(seed);
     (0..count)
-        .map(|_| (0..width).map(|_| rng.gen()).collect())
+        .map(|_| (0..width).map(|_| rng.next_bool()).collect())
         .collect()
 }
 
@@ -99,18 +100,23 @@ impl DetectionRecord {
     /// Weighted coverage after `k` vectors, given per-fault weights
     /// (the `θ(k)` of the paper when weights are fault weights).
     ///
-    /// # Panics
+    /// A non-positive total weight yields `Ok(0.0)` — by convention the
+    /// coverage of nothing is zero, never NaN.
     ///
-    /// Panics if `weights.len()` differs from the fault count.
-    pub fn weighted_coverage_after(&self, k: usize, weights: &[f64]) -> f64 {
-        assert_eq!(
-            weights.len(),
-            self.first_detect.len(),
-            "one weight per fault"
-        );
+    /// # Errors
+    ///
+    /// [`SimError::WeightCountMismatch`] if `weights.len()` differs from
+    /// the fault count.
+    pub fn weighted_coverage_after(&self, k: usize, weights: &[f64]) -> Result<f64, SimError> {
+        if weights.len() != self.first_detect.len() {
+            return Err(SimError::WeightCountMismatch {
+                weights: weights.len(),
+                faults: self.first_detect.len(),
+            });
+        }
         let total: f64 = weights.iter().sum();
         if total <= 0.0 {
-            return 0.0;
+            return Ok(0.0);
         }
         let covered: f64 = self
             .first_detect
@@ -119,7 +125,7 @@ impl DetectionRecord {
             .filter(|(d, _)| matches!(d, Some(i) if *i < k))
             .map(|(_, w)| w)
             .sum();
-        covered / total
+        Ok(covered / total)
     }
 }
 
@@ -154,8 +160,13 @@ mod tests {
         let r = record();
         let w = [1.0, 2.0, 3.0, 4.0];
         // After 3 vectors faults 0, 1, 3 are detected: (1+2+4)/10.
-        assert!((r.weighted_coverage_after(3, &w) - 0.7).abs() < 1e-12);
-        assert_eq!(r.weighted_coverage_after(0, &w), 0.0);
+        assert!((r.weighted_coverage_after(3, &w).unwrap() - 0.7).abs() < 1e-12);
+        assert_eq!(r.weighted_coverage_after(0, &w).unwrap(), 0.0);
+        assert!(matches!(
+            r.weighted_coverage_after(3, &[1.0]),
+            Err(SimError::WeightCountMismatch { .. })
+        ));
+        assert_eq!(r.weighted_coverage_after(3, &[0.0; 4]).unwrap(), 0.0);
     }
 
     #[test]

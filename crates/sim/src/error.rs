@@ -1,0 +1,110 @@
+use std::error::Error;
+use std::fmt;
+
+use dlp_core::{PipelineError, Stage};
+
+/// Errors raised by the fault simulators' input validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A test vector's width differs from the circuit's input count.
+    VectorWidthMismatch {
+        /// Index of the offending vector in the sequence.
+        index: usize,
+        /// The circuit's primary-input count.
+        expected: usize,
+        /// The vector's actual width.
+        got: usize,
+    },
+    /// A weight vector's length differs from the tracked fault count.
+    WeightCountMismatch {
+        /// Number of weights supplied.
+        weights: usize,
+        /// Number of faults in the detection record.
+        faults: usize,
+    },
+    /// A switch-level fault references a transistor, node, or output the
+    /// netlist does not have.
+    FaultOutOfRange {
+        /// Index of the fault in the supplied list.
+        fault: usize,
+        /// Which reference is out of range.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::VectorWidthMismatch {
+                index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "vector {index} has width {got}, circuit has {expected} inputs"
+            ),
+            SimError::WeightCountMismatch { weights, faults } => {
+                write!(f, "{weights} weights for {faults} faults")
+            }
+            SimError::FaultOutOfRange { fault, what } => {
+                write!(f, "fault {fault} references a {what} outside the netlist")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<SimError> for PipelineError {
+    fn from(e: SimError) -> Self {
+        PipelineError::with_source(Stage::Simulation, e)
+    }
+}
+
+/// Validates that every vector in `vectors` has width `expected`.
+pub(crate) fn check_widths(vectors: &[Vec<bool>], expected: usize) -> Result<(), SimError> {
+    for (index, v) in vectors.iter().enumerate() {
+        if v.len() != expected {
+            return Err(SimError::VectorWidthMismatch {
+                index,
+                expected,
+                got: v.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offender() {
+        let e = SimError::VectorWidthMismatch {
+            index: 3,
+            expected: 5,
+            got: 4,
+        };
+        assert!(e.to_string().contains("vector 3"));
+        assert_eq!(
+            PipelineError::from(e).stage(),
+            Stage::Simulation
+        );
+    }
+
+    #[test]
+    fn check_widths_finds_first_bad_vector() {
+        let vs = vec![vec![true; 2], vec![false; 3]];
+        assert_eq!(
+            check_widths(&vs, 2),
+            Err(SimError::VectorWidthMismatch {
+                index: 1,
+                expected: 2,
+                got: 3,
+            })
+        );
+        assert!(check_widths(&vs[..1], 2).is_ok());
+    }
+}

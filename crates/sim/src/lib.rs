@@ -26,16 +26,20 @@
 //! let c17 = generators::c17();
 //! let faults = stuck_at::enumerate(&c17).collapse();
 //! let vectors = dlp_sim::detection::random_vectors(c17.inputs().len(), 64, 7);
-//! let result = ppsfp::simulate(&c17, faults.faults(), &vectors);
+//! let result = ppsfp::simulate(&c17, faults.faults(), &vectors)?;
 //! // c17 is fully testable: 64 random vectors cover everything.
 //! assert_eq!(result.detected_count(), faults.faults().len());
+//! # Ok::<(), dlp_sim::SimError>(())
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod detection;
+mod error;
 pub mod ppsfp;
 pub mod stuck_at;
 pub mod switchlevel;
 pub mod transition;
+
+pub use error::SimError;

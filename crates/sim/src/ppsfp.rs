@@ -9,14 +9,19 @@
 use dlp_circuit::{GateKind, Netlist, NodeId};
 
 use crate::detection::DetectionRecord;
+use crate::SimError;
 use crate::stuck_at::{FaultSite, StuckAtFault};
 
 /// Simulates `faults` against `vectors` and reports first detections.
 ///
+/// # Errors
+///
+/// [`SimError::VectorWidthMismatch`] if a vector's width differs from the
+/// netlist's input count.
+///
 /// # Panics
 ///
-/// Panics if a vector's width differs from the netlist's input count or if
-/// a fault references a node outside the netlist.
+/// Panics if a fault references a node outside the netlist.
 ///
 /// # Example
 ///
@@ -27,15 +32,17 @@ use crate::stuck_at::{FaultSite, StuckAtFault};
 /// let c17 = generators::c17();
 /// let faults = stuck_at::enumerate(&c17).collapse();
 /// let vectors = detection::random_vectors(5, 32, 3);
-/// let record = ppsfp::simulate(&c17, faults.faults(), &vectors);
+/// let record = ppsfp::simulate(&c17, faults.faults(), &vectors)?;
 /// assert!(record.coverage_after(32) > 0.9);
+/// # Ok::<(), dlp_sim::SimError>(())
 /// ```
 pub fn simulate(
     netlist: &Netlist,
     faults: &[StuckAtFault],
     vectors: &[Vec<bool>],
-) -> DetectionRecord {
+) -> Result<DetectionRecord, SimError> {
     let n_in = netlist.inputs().len();
+    crate::error::check_widths(vectors, n_in)?;
     let mut first_detect: Vec<Option<usize>> = vec![None; faults.len()];
     let mut live: Vec<usize> = (0..faults.len()).collect();
 
@@ -62,7 +69,6 @@ pub fn simulate(
         // Pack the block: word i = input i across patterns.
         let mut input_words = vec![0u64; n_in];
         for (p, v) in block.iter().enumerate() {
-            assert_eq!(v.len(), n_in, "vector width mismatch");
             for (i, &bit) in v.iter().enumerate() {
                 if bit {
                     input_words[i] |= 1 << p;
@@ -125,16 +131,20 @@ pub fn simulate(
         });
     }
 
-    DetectionRecord::new(first_detect, vectors.len())
+    Ok(DetectionRecord::new(first_detect, vectors.len()))
 }
 
 /// Convenience wrapper: stuck-at coverage after the whole sequence.
 ///
-/// # Panics
+/// # Errors
 ///
 /// See [`simulate`].
-pub fn coverage(netlist: &Netlist, faults: &[StuckAtFault], vectors: &[Vec<bool>]) -> f64 {
-    simulate(netlist, faults, vectors).coverage_after(vectors.len())
+pub fn coverage(
+    netlist: &Netlist,
+    faults: &[StuckAtFault],
+    vectors: &[Vec<bool>],
+) -> Result<f64, SimError> {
+    Ok(simulate(netlist, faults, vectors)?.coverage_after(vectors.len()))
 }
 
 #[cfg(test)]
@@ -189,7 +199,7 @@ mod tests {
         let c17 = generators::c17();
         let faults = stuck_at::enumerate(&c17);
         let vectors = random_vectors(5, 100, 11);
-        let record = simulate(&c17, faults.faults(), &vectors);
+        let record = simulate(&c17, faults.faults(), &vectors).unwrap();
         for (fi, fault) in faults.faults().iter().enumerate() {
             let expected = vectors.iter().position(|v| naive_detects(&c17, fault, v));
             assert_eq!(
@@ -206,7 +216,7 @@ mod tests {
         let nl = generators::c432_class();
         let faults = stuck_at::enumerate(&nl).collapse();
         let vectors = random_vectors(36, 96, 5);
-        let record = simulate(&nl, faults.faults(), &vectors);
+        let record = simulate(&nl, faults.faults(), &vectors).unwrap();
         // Spot-check every 7th fault against the naive simulator.
         for (fi, fault) in faults.faults().iter().enumerate().step_by(7) {
             let expected = vectors.iter().position(|v| naive_detects(&nl, fault, v));
@@ -224,7 +234,7 @@ mod tests {
         let c17 = generators::c17();
         let faults = stuck_at::enumerate(&c17).collapse();
         let vectors = random_vectors(5, 64, 7);
-        let record = simulate(&c17, faults.faults(), &vectors);
+        let record = simulate(&c17, faults.faults(), &vectors).unwrap();
         assert_eq!(
             record.detected_count(),
             faults.len(),
@@ -237,7 +247,7 @@ mod tests {
         let nl = generators::c432_class();
         let faults = stuck_at::enumerate(&nl).collapse();
         let vectors = random_vectors(36, 1024, 9);
-        let record = simulate(&nl, faults.faults(), &vectors);
+        let record = simulate(&nl, faults.faults(), &vectors).unwrap();
         let curve = record.coverage_curve();
         assert!(curve.windows(2).all(|w| w[1] >= w[0]));
         // The paper observes >80 % stuck-at coverage from random vectors.
@@ -256,7 +266,7 @@ mod tests {
         let faults = stuck_at::enumerate(&c17);
         let mut vectors = random_vectors(5, 64, 3);
         vectors.extend(random_vectors(5, 64, 3)); // repeat the same block
-        let record = simulate(&c17, faults.faults(), &vectors);
+        let record = simulate(&c17, faults.faults(), &vectors).unwrap();
         for d in record.first_detect().iter().flatten() {
             assert!(*d < 64, "first detection must come from the first block");
         }
@@ -269,7 +279,7 @@ mod tests {
         // 70 vectors: final block has 6 patterns; detections must never
         // report an index >= 70.
         let vectors = random_vectors(5, 70, 13);
-        let record = simulate(&c17, faults.faults(), &vectors);
+        let record = simulate(&c17, faults.faults(), &vectors).unwrap();
         for d in record.first_detect().iter().flatten() {
             assert!(*d < 70);
         }

@@ -29,6 +29,7 @@ use dlp_circuit::switch::{SwitchNetlist, SwitchNodeId, TransKind, Transistor};
 use dlp_circuit::NodeId;
 
 use crate::detection::DetectionRecord;
+use crate::SimError;
 
 /// A three-valued logic level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -352,10 +353,14 @@ impl SwitchSimulator {
     ///
     /// Detected faults are dropped from further simulation.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// See [`run`](Self::run).
-    pub fn detect(&self, faults: &[SwitchFault], vectors: &[Vec<bool>]) -> DetectionRecord {
+    /// See [`detect_with`](Self::detect_with).
+    pub fn detect(
+        &self,
+        faults: &[SwitchFault],
+        vectors: &[Vec<bool>],
+    ) -> Result<DetectionRecord, SimError> {
         self.detect_with(faults, vectors, DetectionMode::Voltage)
     }
 
@@ -366,15 +371,21 @@ impl SwitchSimulator {
     /// circuit is a detection (the tester compares against a clean
     /// threshold, not against a reference simulation).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// See [`run`](Self::run).
+    /// [`SimError::VectorWidthMismatch`] for a vector whose width differs
+    /// from the input count; [`SimError::FaultOutOfRange`] for a fault
+    /// referencing transistors, nodes, or outputs the netlist lacks.
     pub fn detect_with(
         &self,
         faults: &[SwitchFault],
         vectors: &[Vec<bool>],
         mode: DetectionMode,
-    ) -> DetectionRecord {
+    ) -> Result<DetectionRecord, SimError> {
+        crate::error::check_widths(vectors, self.netlist.input_nodes().len())?;
+        for (i, f) in faults.iter().enumerate() {
+            self.check_fault(i, f)?;
+        }
         let good = self.run_good(vectors);
         let mut first_detect = vec![None; faults.len()];
         for (fi, fault) in faults.iter().enumerate() {
@@ -406,7 +417,36 @@ impl SwitchSimulator {
                 }
             }
         }
-        DetectionRecord::new(first_detect, vectors.len())
+        Ok(DetectionRecord::new(first_detect, vectors.len()))
+    }
+
+    /// Validates one fault's references against the netlist.
+    fn check_fault(&self, index: usize, fault: &SwitchFault) -> Result<(), SimError> {
+        let bad = |what| SimError::FaultOutOfRange { fault: index, what };
+        let node_ok = |n: &SwitchNodeId| n.index() < self.netlist.node_count();
+        match fault {
+            SwitchFault::Bridge { a, b } => {
+                if !node_ok(a) || !node_ok(b) {
+                    return Err(bad("node"));
+                }
+            }
+            SwitchFault::StuckOpen { transistor } | SwitchFault::StuckOn { transistor } => {
+                if *transistor >= self.netlist.transistors().len() {
+                    return Err(bad("transistor"));
+                }
+            }
+            SwitchFault::FloatingInput { net, .. } => {
+                if !node_ok(net) {
+                    return Err(bad("node"));
+                }
+            }
+            SwitchFault::OutputRead { output, .. } => {
+                if *output >= self.netlist.output_nodes().len() {
+                    return Err(bad("output"));
+                }
+            }
+        }
+        Ok(())
     }
 
     fn compile_fault(&self, fault: &SwitchFault) -> CompiledFault {
@@ -1021,7 +1061,7 @@ mod tests {
             b: sw.node_of_net(n19),
         };
         let vectors = random_vectors(5, 64, 23);
-        let record = sim.detect(&[fault], &vectors);
+        let record = sim.detect(&[fault], &vectors).unwrap();
         assert!(
             record.first_detect()[0].is_some(),
             "an internal bridge must be detectable"
@@ -1061,7 +1101,7 @@ mod tests {
                 transistor: nmos_idx,
             }],
             &[vec![false], vec![true]],
-        );
+        ).unwrap();
         assert_eq!(record.first_detect()[0], Some(1));
     }
 
@@ -1127,7 +1167,7 @@ mod tests {
             owners: vec![z],
             level: Logic::X,
         };
-        let record = sim.detect(&[fault_x], &random_vectors(2, 16, 1));
+        let record = sim.detect(&[fault_x], &random_vectors(2, 16, 1)).unwrap();
         assert_eq!(
             record.first_detect()[0],
             None,
@@ -1180,7 +1220,7 @@ mod tests {
         let sim = simulator(&nl);
         for pattern in 0..16u32 {
             let v: Vec<bool> = (0..4).map(|i| pattern >> i & 1 == 1).collect();
-            let outs = sim.run_good(&[v.clone()]);
+            let outs = sim.run_good(std::slice::from_ref(&v));
             let expect = v.iter().filter(|&&b| b).count() % 2 == 1;
             assert_eq!(
                 outs[0][0],
@@ -1230,7 +1270,7 @@ mod input_bridge_tests {
         // Vector with input1 = 1, input2 = 0, input3 = 1:
         // good: 10 = NAND(1,3) = 0; faulty: receivers of "1" see 0 -> 10 = 1.
         let v = vec![true, false, true, false, false];
-        let good = sim.run_good(&[v.clone()]);
+        let good = sim.run_good(std::slice::from_ref(&v));
         let faulty = sim.run(Some(&fault), &[v]);
         assert_ne!(
             good[0], faulty[0],
@@ -1238,7 +1278,7 @@ mod input_bridge_tests {
         );
         // With equal pad values the short is silent.
         let v_eq = vec![true, true, true, false, false];
-        let good = sim.run_good(&[v_eq.clone()]);
+        let good = sim.run_good(std::slice::from_ref(&v_eq));
         let faulty = sim.run(Some(&fault), &[v_eq]);
         assert_eq!(good[0], faulty[0]);
     }
@@ -1253,7 +1293,7 @@ mod input_bridge_tests {
         let record = sim.detect(
             &[SwitchFault::Bridge { a, b }],
             &crate::detection::random_vectors(5, 64, 9),
-        );
+        ).unwrap();
         assert!(record.first_detect()[0].is_some());
     }
 }
@@ -1291,7 +1331,7 @@ mod iddq_tests {
             &[SwitchFault::StuckOpen { transistor: 0 }],
             &random_vectors(1, 16, 3),
             DetectionMode::Iddq,
-        );
+        ).unwrap();
         assert_eq!(rec.first_detect()[0], None);
         let _ = sim;
     }
@@ -1321,9 +1361,9 @@ mod iddq_tests {
         // a=1, b=0: x=0, y=1 -> fight. Wired-AND gives (0,0); good (0,1).
         // z good = AND(0,1)=0, faulty = AND(0,0)=0: voltage-silent.
         let v = vec![vec![true, false]];
-        let volt = sim.detect_with(std::slice::from_ref(&fault), &v, DetectionMode::Voltage);
+        let volt = sim.detect_with(std::slice::from_ref(&fault), &v, DetectionMode::Voltage).unwrap();
         assert_eq!(volt.first_detect()[0], None, "voltage test is blind here");
-        let iddq = sim.detect_with(std::slice::from_ref(&fault), &v, DetectionMode::Iddq);
+        let iddq = sim.detect_with(std::slice::from_ref(&fault), &v, DetectionMode::Iddq).unwrap();
         assert_eq!(iddq.first_detect()[0], Some(0), "IDDQ sees the fight");
     }
 
@@ -1345,9 +1385,9 @@ mod iddq_tests {
         // fight); IDDQ catches it on the first a=1 vector.
         let fault = SwitchFault::StuckOn { transistor: pmos };
         let vs = vec![vec![false], vec![true]];
-        let volt = sim.detect_with(std::slice::from_ref(&fault), &vs, DetectionMode::Voltage);
+        let volt = sim.detect_with(std::slice::from_ref(&fault), &vs, DetectionMode::Voltage).unwrap();
         assert_eq!(volt.first_detect()[0], None);
-        let iddq = sim.detect_with(std::slice::from_ref(&fault), &vs, DetectionMode::Iddq);
+        let iddq = sim.detect_with(std::slice::from_ref(&fault), &vs, DetectionMode::Iddq).unwrap();
         assert_eq!(iddq.first_detect()[0], Some(1));
     }
 
@@ -1368,13 +1408,13 @@ mod iddq_tests {
             level: Logic::X,
         };
         let vs = random_vectors(1, 8, 5);
-        let volt = sim.detect_with(std::slice::from_ref(&fault), &vs, DetectionMode::Voltage);
+        let volt = sim.detect_with(std::slice::from_ref(&fault), &vs, DetectionMode::Voltage).unwrap();
         assert_eq!(
             volt.first_detect()[0],
             None,
             "intermediate level: voltage-blind"
         );
-        let iddq = sim.detect_with(std::slice::from_ref(&fault), &vs, DetectionMode::Iddq);
+        let iddq = sim.detect_with(std::slice::from_ref(&fault), &vs, DetectionMode::Iddq).unwrap();
         assert_eq!(
             iddq.first_detect()[0],
             Some(0),
@@ -1394,9 +1434,9 @@ mod iddq_tests {
             SwitchFault::StuckOn { transistor: 2 },
         ];
         let vs = random_vectors(5, 64, 11);
-        let v = sim.detect_with(&faults, &vs, DetectionMode::Voltage);
-        let i = sim.detect_with(&faults, &vs, DetectionMode::Iddq);
-        let c = sim.detect_with(&faults, &vs, DetectionMode::VoltageAndIddq);
+        let v = sim.detect_with(&faults, &vs, DetectionMode::Voltage).unwrap();
+        let i = sim.detect_with(&faults, &vs, DetectionMode::Iddq).unwrap();
+        let c = sim.detect_with(&faults, &vs, DetectionMode::VoltageAndIddq).unwrap();
         assert!(c.detected_count() >= v.detected_count());
         assert!(c.detected_count() >= i.detected_count());
         // Combined first detection is never later than either alone.

@@ -17,6 +17,7 @@
 use dlp_circuit::{GateKind, Netlist, NodeId};
 
 use crate::detection::DetectionRecord;
+use crate::SimError;
 
 /// A transition fault at a node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -82,19 +83,26 @@ pub fn enumerate(netlist: &Netlist) -> Vec<TransitionFault> {
 /// let c17 = generators::c17();
 /// let faults = transition::enumerate(&c17);
 /// let vectors = detection::random_vectors(5, 256, 3);
-/// let record = transition::simulate(&c17, &faults, &vectors);
+/// let record = transition::simulate(&c17, &faults, &vectors)?;
 /// // Random sequences two-pattern-test most of tiny c17.
 /// assert!(record.coverage_after(256) > 0.8);
+/// # Ok::<(), dlp_sim::SimError>(())
 /// ```
+///
+/// # Errors
+///
+/// [`SimError::VectorWidthMismatch`] if a vector's width differs from the
+/// netlist's input count.
 pub fn simulate(
     netlist: &Netlist,
     faults: &[TransitionFault],
     vectors: &[Vec<bool>],
-) -> DetectionRecord {
+) -> Result<DetectionRecord, SimError> {
     let n_in = netlist.inputs().len();
+    crate::error::check_widths(vectors, n_in)?;
     let mut first_detect: Vec<Option<usize>> = vec![None; faults.len()];
     if vectors.len() < 2 {
-        return DetectionRecord::new(first_detect, vectors.len());
+        return Ok(DetectionRecord::new(first_detect, vectors.len()));
     }
     let mut live: Vec<usize> = (0..faults.len()).collect();
 
@@ -117,7 +125,6 @@ pub fn simulate(
         }
         let mut input_words = vec![0u64; n_in];
         for (p, v) in block.iter().enumerate() {
-            assert_eq!(v.len(), n_in, "vector width mismatch");
             for (i, &bit) in v.iter().enumerate() {
                 if bit {
                     input_words[i] |= 1 << p;
@@ -205,7 +212,7 @@ pub fn simulate(
         );
     }
 
-    DetectionRecord::new(first_detect, vectors.len())
+    Ok(DetectionRecord::new(first_detect, vectors.len()))
 }
 
 #[cfg(test)]
@@ -274,7 +281,7 @@ mod tests {
         let c17 = generators::c17();
         let faults = enumerate(&c17);
         let vectors = random_vectors(5, 150, 21);
-        let record = simulate(&c17, &faults, &vectors);
+        let record = simulate(&c17, &faults, &vectors).unwrap();
         for (fi, fault) in faults.iter().enumerate() {
             let expect = naive_first_detect(&c17, fault, &vectors);
             assert_eq!(
@@ -291,7 +298,7 @@ mod tests {
         let nl = generators::ripple_adder(3);
         let faults = enumerate(&nl);
         let vectors = random_vectors(7, 130, 5);
-        let record = simulate(&nl, &faults, &vectors);
+        let record = simulate(&nl, &faults, &vectors).unwrap();
         for (fi, fault) in faults.iter().enumerate().step_by(3) {
             let expect = naive_first_detect(&nl, fault, &vectors);
             assert_eq!(record.first_detect()[fi], expect, "{}", fault.describe(&nl));
@@ -303,7 +310,7 @@ mod tests {
         let c17 = generators::c17();
         let faults = enumerate(&c17);
         let vectors = random_vectors(5, 64, 2);
-        let record = simulate(&c17, &faults, &vectors);
+        let record = simulate(&c17, &faults, &vectors).unwrap();
         for d in record.first_detect().iter().flatten() {
             assert!(*d >= 1, "two-pattern tests need a predecessor");
         }
@@ -315,7 +322,7 @@ mod tests {
         let c17 = generators::c17();
         let faults = enumerate(&c17);
         let vectors = vec![vec![true, false, true, false, true]; 20];
-        let record = simulate(&c17, &faults, &vectors);
+        let record = simulate(&c17, &faults, &vectors).unwrap();
         assert_eq!(record.detected_count(), 0);
     }
 
@@ -326,9 +333,9 @@ mod tests {
         let nl = generators::c432_class();
         let vectors = random_vectors(36, 256, 13);
         let tf = enumerate(&nl);
-        let t_rec = simulate(&nl, &tf, &vectors);
+        let t_rec = simulate(&nl, &tf, &vectors).unwrap();
         let sa = crate::stuck_at::enumerate(&nl);
-        let sa_rec = crate::ppsfp::simulate(&nl, sa.faults(), &vectors);
+        let sa_rec = crate::ppsfp::simulate(&nl, sa.faults(), &vectors).unwrap();
         assert!(
             t_rec.coverage_after(256) < sa_rec.coverage_after(256),
             "transition {} vs stuck-at {}",

@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         random_stall: 256,
         ..Default::default()
     };
-    let result = generate_tests(&netlist, faults.faults(), &config);
+    let result = generate_tests(&netlist, faults.faults(), &config)?;
     println!(
         "ATPG: {} vectors ({} random + {} deterministic), coverage {:.2} %",
         result.vectors.len(),
@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Measure T(k) with the PPSFP simulator and fit the growth law.
-    let record = ppsfp::simulate(&netlist, faults.faults(), &result.vectors);
+    let record = ppsfp::simulate(&netlist, faults.faults(), &result.vectors)?;
     let points: Vec<(u64, f64)> = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
         .iter()
         .filter(|&&k| k <= result.vectors.len())

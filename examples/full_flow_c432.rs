@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("[2/5] fault extraction...");
-    let mut faults = extractor::extract(&chip, &DefectStatistics::maly_cmos());
+    let mut faults = extractor::extract(&chip, &DefectStatistics::maly_cmos())?;
     let dropped = faults.prune_below(1e-5);
     println!(
         "      {} weighted faults ({} negligible pruned), bridge share {:.1} %",
@@ -61,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             random_stall: 192,
             ..Default::default()
         },
-    );
+    )?;
     // The analysis measures coverage over *testable* faults (the paper
     // neglects redundant faults; eq. 7 assumes T -> 1).
     let redundant: Vec<_> = atpg
@@ -85,11 +85,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("[4/5] fault simulation (gate-level T(k), switch-level theta(k))...");
-    let record_t = ppsfp::simulate(&netlist, &testable, &atpg.vectors);
+    let record_t = ppsfp::simulate(&netlist, &testable, &atpg.vectors)?;
     let sw = switch::expand(&netlist)?;
     let sim = SwitchSimulator::new(sw, SwitchConfig::default());
-    let lowered = faults.to_switch_faults(&netlist, sim.netlist(), &OpenLevelModel::default());
-    let record_th = sim.detect(&lowered, &atpg.vectors);
+    let lowered = faults.to_switch_faults(&netlist, sim.netlist(), &OpenLevelModel::default())?;
+    let record_th = sim.detect(&lowered, &atpg.vectors)?;
 
     let ks: Vec<usize> = [
         1,
@@ -116,7 +116,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut fit_points = Vec::new();
     for &k in &ks {
         let t = record_t.coverage_after(k);
-        let theta = record_th.weighted_coverage_after(k, &w);
+        let theta = record_th.weighted_coverage_after(k, &w)?;
         let gamma = record_th.coverage_after(k);
         let dl = weights.defect_level(theta)?;
         println!(

@@ -18,13 +18,13 @@ use dlp::sim::switchlevel::{DetectionMode, SwitchConfig, SwitchSimulator};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let netlist = generators::ripple_adder(4);
     let chip = ChipLayout::generate(&netlist, &Default::default())?;
-    let faults = extractor::extract(&chip, &DefectStatistics::maly_cmos());
+    let faults = extractor::extract(&chip, &DefectStatistics::maly_cmos())?;
     println!("{}\n", ExtractionReport::new(&faults));
 
     let weights = FaultWeights::new(faults.weights())?.scaled_to_yield(0.75)?;
     let sw = switch::expand(&netlist)?;
     let sim = SwitchSimulator::new(sw, SwitchConfig::default());
-    let lowered = faults.to_switch_faults(&netlist, sim.netlist(), &OpenLevelModel::default());
+    let lowered = faults.to_switch_faults(&netlist, sim.netlist(), &OpenLevelModel::default())?;
     let vectors = random_vectors(netlist.inputs().len(), 512, 2026);
     let k = vectors.len();
     let w = faults.weights();
@@ -38,8 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("IDDQ", DetectionMode::Iddq),
         ("voltage+IDDQ", DetectionMode::VoltageAndIddq),
     ] {
-        let record = sim.detect_with(&lowered, &vectors, mode);
-        let theta = record.weighted_coverage_after(k, &w);
+        let record = sim.detect_with(&lowered, &vectors, mode)?;
+        let theta = record.weighted_coverage_after(k, &w)?;
         let gamma = record.coverage_after(k);
         let dl = weights.defect_level(theta)?;
         println!(

@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  wrote rca4_layout.svg (open in a browser to inspect)");
 
     let stats = DefectStatistics::maly_cmos();
-    let faults = extractor::extract(&chip, &stats);
+    let faults = extractor::extract(&chip, &stats)?;
     println!("\nextracted {} weighted realistic faults", faults.len());
 
     let mut per_kind = std::collections::BTreeMap::new();

@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Full robustness gate: lint, build, test.
+#
+# The clippy pass denies `unwrap`/`expect` in all library code — the
+# panic-free contract of DESIGN.md §7. Test modules, benches, and examples
+# are exempt (panicking there is idiomatic), which is why the lint runs
+# per-crate on --lib targets only.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== clippy: deny unwrap/expect in library code"
+for crate in dlp-geometry dlp-circuit dlp-core dlp-sim dlp-layout \
+             dlp-extract dlp-atpg dlp-bench dlp-inject dlp; do
+    echo "   $crate"
+    cargo clippy -p "$crate" --lib -q -- \
+        -D warnings \
+        -D clippy::unwrap_used \
+        -D clippy::expect_used
+done
+
+echo "== clippy: all targets (warnings only denied)"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "== build: release, all targets"
+cargo build --workspace --all-targets --release -q
+
+echo "== test: full workspace (includes the dlp-inject adversarial sweep)"
+cargo test --workspace -q
+
+echo "All checks passed."

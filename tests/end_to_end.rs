@@ -24,7 +24,7 @@ fn c17_full_physical_flow() {
     assert_eq!(chip.verify_connectivity().len(), 0, "no geometric shorts");
     assert_eq!(chip.unrouted(), 0, "fully routed");
 
-    let faults = extractor::extract(&chip, &DefectStatistics::maly_cmos());
+    let faults = extractor::extract(&chip, &DefectStatistics::maly_cmos()).expect("extract");
     assert!(
         faults.len() > 80,
         "meaningful fault list, got {}",
@@ -39,16 +39,18 @@ fn c17_full_physical_flow() {
 
     // Test generation reaches full stuck-at coverage on c17.
     let sa = stuck_at::enumerate(&netlist).collapse();
-    let atpg = generate_tests(&netlist, sa.faults(), &AtpgConfig::default());
+    let atpg = generate_tests(&netlist, sa.faults(), &AtpgConfig::default()).unwrap();
     assert_eq!(atpg.coverage, 1.0);
 
     // Switch-level detection of the realistic faults.
     let sw = switch::expand(&netlist).expect("expand");
     let sim = SwitchSimulator::new(sw, SwitchConfig::default());
-    let lowered = faults.to_switch_faults(&netlist, sim.netlist(), &OpenLevelModel::default());
-    let record = sim.detect(&lowered, &atpg.vectors);
+    let lowered = faults
+        .to_switch_faults(&netlist, sim.netlist(), &OpenLevelModel::default())
+        .expect("lowering");
+    let record = sim.detect(&lowered, &atpg.vectors).expect("detect");
 
-    let theta = record.weighted_coverage_after(atpg.vectors.len(), &faults.weights());
+    let theta = record.weighted_coverage_after(atpg.vectors.len(), &faults.weights()).unwrap();
     let gamma = record.coverage_after(atpg.vectors.len());
     assert!(theta > 0.6, "theta = {theta}");
     assert!(gamma > 0.5, "gamma = {gamma}");
@@ -66,27 +68,29 @@ fn c17_full_physical_flow() {
 fn theta_leads_gamma_in_bridge_heavy_line() {
     let netlist = generators::ripple_adder(3);
     let chip = ChipLayout::generate(&netlist, &Default::default()).expect("layout");
-    let faults = extractor::extract(&chip, &DefectStatistics::maly_cmos());
+    let faults = extractor::extract(&chip, &DefectStatistics::maly_cmos()).expect("extract");
     let sw = switch::expand(&netlist).expect("expand");
     let sim = SwitchSimulator::new(sw, SwitchConfig::default());
-    let lowered = faults.to_switch_faults(&netlist, sim.netlist(), &OpenLevelModel::default());
+    let lowered = faults
+        .to_switch_faults(&netlist, sim.netlist(), &OpenLevelModel::default())
+        .expect("lowering");
     let vectors = detection::random_vectors(netlist.inputs().len(), 96, 42);
-    let record = sim.detect(&lowered, &vectors);
+    let record = sim.detect(&lowered, &vectors).expect("detect");
     let w = faults.weights();
     // The paper's Fig. 1 / Fig. 4 shape: the weighted curve leads early
     // (heavy bridges retire fast), then saturates below the unweighted one
     // (voltage-invisible opens count more per-fault than per-weight), so
     // the curves cross.
-    let early_theta = record.weighted_coverage_after(4, &w);
+    let early_theta = record.weighted_coverage_after(4, &w).unwrap();
     let early_gamma = record.coverage_after(4);
     assert!(
         early_theta > early_gamma,
         "theta must lead early: {early_theta:.4} vs {early_gamma:.4}"
     );
-    let late_theta = record.weighted_coverage_after(96, &w);
+    let late_theta = record.weighted_coverage_after(96, &w).unwrap();
     let late_gamma = record.coverage_after(96);
     assert!(late_theta < 1.0 && late_gamma < 1.0);
-    let flat = record.weighted_coverage_after(48, &w);
+    let flat = record.weighted_coverage_after(48, &w).unwrap();
     assert!(
         (late_theta - flat).abs() < 0.02,
         "theta saturates: {flat:.4} -> {late_theta:.4}"
@@ -173,7 +177,7 @@ fn coverage_to_defect_level_monotone() {
     let netlist = generators::c432_class();
     let faults = stuck_at::enumerate(&netlist).collapse();
     let vectors = detection::random_vectors(36, 256, 3);
-    let record = ppsfp::simulate(&netlist, faults.faults(), &vectors);
+    let record = ppsfp::simulate(&netlist, faults.faults(), &vectors).expect("sim");
     let model = SousaModel::new(0.75, 1.9, 0.96).expect("model");
     let mut prev = f64::INFINITY;
     for k in [1usize, 4, 16, 64, 256] {

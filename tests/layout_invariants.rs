@@ -21,7 +21,8 @@ fn circuits() -> Vec<Netlist> {
             gates: 30,
             outputs: 4,
             seed: 3,
-        }),
+        })
+        .expect("valid shape"),
     ]
 }
 

@@ -21,7 +21,7 @@ use dlp::sim::switchlevel::{SwitchConfig, SwitchSimulator};
 fn monte_carlo_agrees_with_eq3_on_extracted_faults() {
     let netlist = generators::c17();
     let chip = ChipLayout::generate(&netlist, &Default::default()).expect("layout");
-    let faults = extractor::extract(&chip, &DefectStatistics::maly_cmos());
+    let faults = extractor::extract(&chip, &DefectStatistics::maly_cmos()).expect("extract");
     let weights = FaultWeights::new(faults.weights())
         .expect("weights")
         .scaled_to_yield(0.8)
@@ -29,9 +29,11 @@ fn monte_carlo_agrees_with_eq3_on_extracted_faults() {
 
     let sw = switch::expand(&netlist).expect("expand");
     let sim = SwitchSimulator::new(sw, SwitchConfig::default());
-    let lowered = faults.to_switch_faults(&netlist, sim.netlist(), &OpenLevelModel::default());
+    let lowered = faults
+        .to_switch_faults(&netlist, sim.netlist(), &OpenLevelModel::default())
+        .expect("lowering");
     let vectors = random_vectors(5, 64, 77);
-    let record = sim.detect(&lowered, &vectors);
+    let record = sim.detect(&lowered, &vectors).expect("detect");
     let mask = record.detected_after(vectors.len());
 
     let theta = weights.theta(&mask).expect("theta");
@@ -118,7 +120,7 @@ fn planning_consistency_across_models() {
         let model = SousaModel::new(0.8, r, theta_max).expect("model");
         let floor = model.residual_defect_level();
         for target_factor in [1.5, 3.0, 10.0] {
-            let target = (floor * target_factor).max(50e-6).min(0.19);
+            let target = (floor * target_factor).clamp(50e-6, 0.19);
             if target < floor {
                 continue;
             }
