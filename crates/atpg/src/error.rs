@@ -5,7 +5,7 @@ use dlp_core::{PipelineError, Stage};
 use dlp_sim::SimError;
 
 /// Errors raised by test generation and compaction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum AtpgError {
     /// A target fault references a node outside the netlist.

@@ -1,16 +1,19 @@
 //! Bench: critical-area extraction cost versus the defect-size
 //! integration resolution — the accuracy/runtime ablation called out in
-//! `DESIGN.md` §5.
+//! `DESIGN.md` §5 — plus the serial-vs-parallel comparison of the
+//! bridge-pair integration.
 
 use dlp_circuit::generators;
+use dlp_core::par::ThreadCount;
 use dlp_extract::defects::DefectStatistics;
-use dlp_extract::extractor::{extract_with, ExtractionConfig};
+use dlp_extract::extractor::{extract_with, extract_with_threads, ExtractionConfig};
 use dlp_layout::chip::ChipLayout;
 
 #[path = "harness/mod.rs"]
 mod harness;
 
 fn main() {
+    let mut report = harness::Report::new("critical_area");
     let netlist = generators::ripple_adder(4);
     let chip = ChipLayout::generate(&netlist, &Default::default()).expect("layout");
     let stats = DefectStatistics::maly_cmos();
@@ -20,7 +23,7 @@ fn main() {
             size_samples: samples,
             ..Default::default()
         };
-        harness::bench(&format!("critical_area/size_samples/{samples}"), || {
+        report.bench(&format!("critical_area/size_samples/{samples}"), || {
             extract_with(&chip, &stats, &config).expect("extract").len()
         });
     }
@@ -29,8 +32,30 @@ fn main() {
             bin,
             ..Default::default()
         };
-        harness::bench(&format!("critical_area/bin_size/{bin}"), || {
+        report.bench(&format!("critical_area/bin_size/{bin}"), || {
             extract_with(&chip, &stats, &config).expect("extract").len()
         });
     }
+
+    // Serial vs parallel bridge-pair integration at high resolution (the
+    // extraction hot path; the fault set is bit-identical either way).
+    let config = ExtractionConfig {
+        size_samples: 12,
+        ..Default::default()
+    };
+    let mut serial = f64::NAN;
+    for workers in [1usize, 2, 4] {
+        let threads = ThreadCount::fixed(workers).unwrap();
+        let ns = report.bench(&format!("critical_area/s12/threads{workers}"), || {
+            extract_with_threads(&chip, &stats, &config, threads)
+                .expect("extract")
+                .len()
+        });
+        if workers == 1 {
+            serial = ns;
+        } else {
+            report.record(&format!("critical_area/s12/speedup_t{workers}"), serial / ns);
+        }
+    }
+    report.write();
 }

@@ -1,21 +1,48 @@
 //! Bench: PPSFP stuck-at fault simulation throughput — the
-//! word-parallelism payoff (vectors are processed 64 at a time).
+//! word-parallelism payoff (vectors are processed 64 at a time), plus the
+//! serial-vs-parallel comparison of the thread layer.
 
 use dlp_circuit::generators;
+use dlp_core::par::ThreadCount;
 use dlp_sim::{detection, ppsfp, stuck_at};
 
 #[path = "harness/mod.rs"]
 mod harness;
 
 fn main() {
+    let mut report = harness::Report::new("fault_sim");
     let netlist = generators::c432_class();
     let faults = stuck_at::enumerate(&netlist).collapse();
 
     for vectors in [64usize, 256, 1024] {
         let vs = detection::random_vectors(netlist.inputs().len(), vectors, 7);
-        harness::bench(&format!("ppsfp/c432_class/{vectors}"), || {
-            ppsfp::simulate(&netlist, faults.faults(), &vs).unwrap().detected_count()
+        report.bench(&format!("ppsfp/c432_class/{vectors}"), || {
+            ppsfp::simulate(&netlist, faults.faults(), &vs)
+                .unwrap()
+                .detected_count()
         });
+    }
+
+    // Serial vs parallel on the acceptance workload (c432-class, 1024
+    // vectors). Results are bit-identical across thread counts; only the
+    // wall clock may differ.
+    let vs = detection::random_vectors(netlist.inputs().len(), 1024, 7);
+    let mut serial = f64::NAN;
+    for workers in [1usize, 2, 4] {
+        let threads = ThreadCount::fixed(workers).unwrap();
+        let ns = report.bench(&format!("ppsfp/c432_class/1024/threads{workers}"), || {
+            ppsfp::simulate_with(&netlist, faults.faults(), &vs, threads)
+                .unwrap()
+                .detected_count()
+        });
+        if workers == 1 {
+            serial = ns;
+        } else {
+            report.record(
+                &format!("ppsfp/c432_class/1024/speedup_t{workers}"),
+                serial / ns,
+            );
+        }
     }
 
     // Scaling with circuit size on random logic.
@@ -29,8 +56,9 @@ fn main() {
         .expect("valid shape");
         let fl = stuck_at::enumerate(&nl).collapse();
         let vs = detection::random_vectors(32, 256, 11);
-        harness::bench(&format!("ppsfp_scaling/gates/{gates}"), || {
+        report.bench(&format!("ppsfp_scaling/gates/{gates}"), || {
             ppsfp::simulate(&nl, fl.faults(), &vs).unwrap().detected_count()
         });
     }
+    report.write();
 }

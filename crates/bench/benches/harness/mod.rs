@@ -2,11 +2,20 @@
 //! no criterion). Each measurement warms up, then reports the median of a
 //! few timed batches as ns/iter. Invoked through `cargo bench` via the
 //! `harness = false` targets.
+//!
+//! Measurements can additionally be collected into a [`Report`] that lands
+//! as `BENCH_<name>.json` at the workspace root, so serial-vs-parallel
+//! comparisons survive the run.
+
+// Each `harness = false` target includes this file separately and uses a
+// subset of it.
+#![allow(dead_code)]
 
 use std::time::Instant;
 
-/// Times `f`, printing `name: <median> ns/iter (<batches> batches of <iters>)`.
-pub fn bench<R, F: FnMut() -> R>(name: &str, mut f: F) {
+/// Times `f`, printing `name: <median> ns/iter (<batches> batches of
+/// <iters>)`, and returns the median ns/iter.
+pub fn bench<R, F: FnMut() -> R>(name: &str, mut f: F) -> f64 {
     // Warm-up and batch sizing: grow the batch until it takes ≥ 10 ms.
     let mut iters = 1usize;
     loop {
@@ -30,8 +39,56 @@ pub fn bench<R, F: FnMut() -> R>(name: &str, mut f: F) {
         *s = t0.elapsed().as_nanos() as f64 / iters as f64;
     }
     samples.sort_by(|a, b| a.total_cmp(b));
-    println!(
-        "{name}: {:.0} ns/iter ({BATCHES} batches of {iters})",
-        samples[BATCHES / 2]
-    );
+    let median = samples[BATCHES / 2];
+    println!("{name}: {median:.0} ns/iter ({BATCHES} batches of {iters})");
+    median
+}
+
+/// Collects `(label, ns/iter)` entries and writes them as
+/// `BENCH_<name>.json` at the workspace root.
+pub struct Report {
+    name: &'static str,
+    entries: Vec<(String, f64)>,
+}
+
+impl Report {
+    /// An empty report named `name` (the `BENCH_<name>.json` stem).
+    pub fn new(name: &'static str) -> Self {
+        Report {
+            name,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Runs [`bench`] and records its median under `label`.
+    pub fn bench<R, F: FnMut() -> R>(&mut self, label: &str, f: F) -> f64 {
+        let median = bench(label, f);
+        self.record(label, median);
+        median
+    }
+
+    /// Records an already-measured value (e.g. a derived speedup ratio).
+    pub fn record(&mut self, label: &str, value: f64) {
+        self.entries.push((label.to_string(), value));
+    }
+
+    /// Writes `BENCH_<name>.json` at the workspace root. Failures are
+    /// reported but non-fatal — a read-only checkout still benches.
+    pub fn write(&self) {
+        let path = format!(
+            "{}/../../BENCH_{}.json",
+            env!("CARGO_MANIFEST_DIR"),
+            self.name
+        );
+        let mut body = String::from("{\n");
+        for (i, (label, value)) in self.entries.iter().enumerate() {
+            let sep = if i + 1 == self.entries.len() { "" } else { "," };
+            body.push_str(&format!("  \"{label}\": {value:.1}{sep}\n"));
+        }
+        body.push_str("}\n");
+        match std::fs::write(&path, body) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
 }

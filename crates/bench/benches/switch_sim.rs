@@ -1,21 +1,24 @@
 //! Bench: switch-level simulation — good-circuit evaluation and
 //! per-fault detection cost (the event-driven component scheduling is what
-//! keeps the Fig. 4–6 pipeline affordable).
+//! keeps the Fig. 4–6 pipeline affordable), plus the serial-vs-parallel
+//! comparison of fanning a fault list across workers.
 
 use dlp_circuit::{generators, switch};
+use dlp_core::par::ThreadCount;
 use dlp_sim::detection::random_vectors;
-use dlp_sim::switchlevel::{SwitchConfig, SwitchFault, SwitchSimulator};
+use dlp_sim::switchlevel::{DetectionMode, SwitchConfig, SwitchFault, SwitchSimulator};
 
 #[path = "harness/mod.rs"]
 mod harness;
 
 fn main() {
+    let mut report = harness::Report::new("switch_sim");
     let netlist = generators::c432_class();
     let sw = switch::expand(&netlist).expect("expand");
     let sim = SwitchSimulator::new(sw, SwitchConfig::default());
     let vectors = random_vectors(netlist.inputs().len(), 256, 3);
 
-    harness::bench("switch_sim/good_c432_256v", || sim.run_good(&vectors).len());
+    report.bench("switch_sim/good_c432_256v", || sim.run_good(&vectors).len());
 
     // One fault of each family, detection over the full sequence.
     let n10 = sim
@@ -39,11 +42,36 @@ fn main() {
             },
         ),
     ];
-    for (name, fault) in faults {
-        harness::bench(&format!("switch_sim/detect/{name}"), || {
-            sim.detect(std::slice::from_ref(&fault), &vectors)
+    for (name, fault) in &faults {
+        report.bench(&format!("switch_sim/detect/{name}"), || {
+            sim.detect(std::slice::from_ref(fault), &vectors)
                 .unwrap()
                 .detected_count()
         });
     }
+
+    // Serial vs parallel over a fault list fanned across workers (the
+    // per-fault simulations are independent; the record is bit-identical).
+    let fanned: Vec<SwitchFault> = (0..16)
+        .map(|i| SwitchFault::StuckOpen { transistor: i * 7 })
+        .collect();
+    let short = random_vectors(netlist.inputs().len(), 64, 3);
+    let mut serial = f64::NAN;
+    for workers in [1usize, 2, 4] {
+        let threads = ThreadCount::fixed(workers).unwrap();
+        let ns = report.bench(&format!("switch_sim/detect16/threads{workers}"), || {
+            sim.detect_with_threads(&fanned, &short, DetectionMode::Voltage, threads)
+                .unwrap()
+                .detected_count()
+        });
+        if workers == 1 {
+            serial = ns;
+        } else {
+            report.record(
+                &format!("switch_sim/detect16/speedup_t{workers}"),
+                serial / ns,
+            );
+        }
+    }
+    report.write();
 }

@@ -1,0 +1,93 @@
+//! Parallel-speedup measurement: PPSFP stuck-at simulation of the
+//! c432-class circuit over ≥1024 random vectors, serial (1 worker) versus
+//! 4 workers.
+//!
+//! Asserts the `DetectionRecord`s are bit-identical — the determinism
+//! contract of the parallel execution layer — and writes the measured
+//! wall-clock numbers to `BENCH_parallel_speedup.json` at the workspace
+//! root. The ≥2× speedup criterion can only manifest on a machine with
+//! ≥4 hardware threads; the JSON records the machine's parallelism so a
+//! single-core result is interpretable.
+
+use std::time::Instant;
+
+use dlp_circuit::generators;
+use dlp_core::par::ThreadCount;
+use dlp_core::PipelineError;
+use dlp_sim::{detection, ppsfp, stuck_at};
+
+const VECTORS: usize = 1024;
+const REPEATS: usize = 5;
+
+fn main() -> std::process::ExitCode {
+    dlp_bench::run_main(run)
+}
+
+/// Median wall-clock seconds of `REPEATS` runs of `f`.
+fn median_secs<R>(mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..REPEATS)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[REPEATS / 2]
+}
+
+fn run() -> Result<(), PipelineError> {
+    let netlist = generators::c432_class();
+    let faults = stuck_at::enumerate(&netlist).collapse();
+    let vectors = detection::random_vectors(netlist.inputs().len(), VECTORS, 7);
+    let t1 = ThreadCount::fixed(1).map_err(dlp_sim::SimError::from)?;
+    let t4 = ThreadCount::fixed(4).map_err(dlp_sim::SimError::from)?;
+
+    let serial = ppsfp::simulate_with(&netlist, faults.faults(), &vectors, t1)?;
+    let parallel = ppsfp::simulate_with(&netlist, faults.faults(), &vectors, t4)?;
+    assert_eq!(
+        serial, parallel,
+        "DetectionRecord must be bit-identical across thread counts"
+    );
+
+    let secs_t1 = median_secs(|| {
+        ppsfp::simulate_with(&netlist, faults.faults(), &vectors, t1).map(|r| r.detected_count())
+    });
+    let secs_t4 = median_secs(|| {
+        ppsfp::simulate_with(&netlist, faults.faults(), &vectors, t4).map(|r| r.detected_count())
+    });
+    let speedup = secs_t1 / secs_t4;
+    let hw = std::thread::available_parallelism().map_or(1, usize::from);
+
+    println!("parallel speedup — ppsfp/c432_class/{VECTORS} vectors");
+    println!("  hardware threads : {hw}");
+    println!("  DLP_THREADS=1    : {:.3} ms", secs_t1 * 1e3);
+    println!("  DLP_THREADS=4    : {:.3} ms", secs_t4 * 1e3);
+    println!("  speedup          : {speedup:.2}x");
+    println!("  records identical: yes ({} faults)", faults.len());
+    if hw >= 4 && speedup < 2.0 {
+        eprintln!("warning: <2x speedup despite {hw} hardware threads");
+    }
+
+    let path = format!(
+        "{}/../../BENCH_parallel_speedup.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let body = format!(
+        "{{\n  \"workload\": \"ppsfp/c432_class/{VECTORS}\",\n  \
+         \"hardware_threads\": {hw},\n  \
+         \"seconds_threads1\": {secs_t1:.6},\n  \
+         \"seconds_threads4\": {secs_t4:.6},\n  \
+         \"speedup\": {speedup:.3},\n  \
+         \"records_bit_identical\": true\n}}\n"
+    );
+    std::fs::write(&path, body).map_err(|e| {
+        PipelineError::with_source(
+            dlp_core::Stage::Model,
+            dlp_core::ModelError::BadFitData("cannot write BENCH_parallel_speedup.json"),
+        )
+        .context(e.to_string())
+    })?;
+    println!("wrote {path}");
+    Ok(())
+}

@@ -31,6 +31,8 @@ pub enum ModelError {
     },
     /// A fit was asked to run on insufficient or degenerate data.
     BadFitData(&'static str),
+    /// The `DLP_THREADS` override is not a positive thread count.
+    BadThreadCount(crate::par::ParError),
 }
 
 impl fmt::Display for ModelError {
@@ -54,11 +56,18 @@ impl fmt::Display for ModelError {
                 write!(f, "fit did not converge within {iterations} iterations")
             }
             ModelError::BadFitData(what) => write!(f, "cannot fit: {what}"),
+            ModelError::BadThreadCount(e) => e.fmt(f),
         }
     }
 }
 
 impl Error for ModelError {}
+
+impl From<crate::par::ParError> for ModelError {
+    fn from(e: crate::par::ParError) -> Self {
+        ModelError::BadThreadCount(e)
+    }
+}
 
 /// Validates that `value` lies in `[0, 1]`.
 pub(crate) fn check_unit(parameter: &'static str, value: f64) -> Result<f64, ModelError> {

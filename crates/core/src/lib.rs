@@ -16,7 +16,10 @@
 //! * [`fit`] — Nelder–Mead least-squares fitting of `(R, θ_max)`, of
 //!   Agrawal's `n`, and of susceptibilities `τ` from measured curves,
 //! * [`montecarlo`] — direct production-line simulation validating eq. 3
-//!   statistically.
+//!   statistically,
+//! * [`par`] — the dependency-free scoped thread pool behind the
+//!   simulation and Monte-Carlo hot paths (`DLP_THREADS` override,
+//!   deterministic chunked work distribution).
 //!
 //! All quantities are dimensionless: yields, coverages and defect levels in
 //! `[0, 1]` (use [`Ppm`] for parts-per-million display), susceptibilities
@@ -44,6 +47,7 @@ pub mod coverage;
 mod error;
 pub mod fit;
 pub mod montecarlo;
+pub mod par;
 mod pipeline;
 mod ppm;
 pub mod rng;

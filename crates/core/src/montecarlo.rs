@@ -8,8 +8,16 @@
 //! counted. The estimate must converge to eq. 3 — a strong end-to-end
 //! validation of the model implementation that needs no external data.
 
+use crate::par::{self, ThreadCount};
 use crate::weighted::FaultWeights;
 use crate::ModelError;
+
+/// Dies per RNG shard. Shard `s` always covers dies
+/// `[s · SHARD_DIES, (s+1) · SHARD_DIES)` and draws from the stream
+/// `Xorshift64Star::split(seed, s)`, so the decomposition — and the
+/// counted outcome — is a function of `(dies, seed)` alone, never of the
+/// worker count.
+const SHARD_DIES: usize = 4096;
 
 /// Monte Carlo settings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,10 +72,17 @@ impl FalloutEstimate {
 /// independently; the tester scraps the die iff some struck fault is in
 /// the detected set.
 ///
+/// Dies are processed in fixed-size shards with per-shard RNG streams
+/// split deterministically from `config.seed`, spread over the worker
+/// count resolved from `DLP_THREADS` (default: available parallelism).
+/// The counted outcome is bit-identical for every thread count; see
+/// [`simulate_fallout_with`] for explicit thread control.
+///
 /// # Errors
 ///
 /// [`ModelError::BadFitData`] if `detected.len()` mismatches the fault
-/// count or `config.dies == 0`.
+/// count or `config.dies == 0`; [`ModelError::BadThreadCount`] if the
+/// `DLP_THREADS` environment variable is set to `0` or garbage.
 ///
 /// # Example
 ///
@@ -88,6 +103,21 @@ pub fn simulate_fallout(
     detected: &[bool],
     config: &MonteCarloConfig,
 ) -> Result<FalloutEstimate, ModelError> {
+    simulate_fallout_with(weights, detected, config, ThreadCount::from_env()?)
+}
+
+/// [`simulate_fallout`] with an explicit worker count.
+///
+/// # Errors
+///
+/// [`ModelError::BadFitData`] if `detected.len()` mismatches the fault
+/// count or `config.dies == 0`.
+pub fn simulate_fallout_with(
+    weights: &FaultWeights,
+    detected: &[bool],
+    config: &MonteCarloConfig,
+    threads: ThreadCount,
+) -> Result<FalloutEstimate, ModelError> {
     if detected.len() != weights.len() {
         return Err(ModelError::BadFitData("detection mask length mismatch"));
     }
@@ -96,36 +126,53 @@ pub fn simulate_fallout(
     }
     let probabilities: Vec<f64> = (0..weights.len()).map(|j| weights.probability(j)).collect();
 
-    let mut rng = crate::rng::Xorshift64Star::new(config.seed);
-    let mut next_unit = move || -> f64 { rng.next_f64() };
-
-    let mut good = 0usize;
-    let mut shipped = 0usize;
-    let mut escapes = 0usize;
-    for _ in 0..config.dies {
-        let mut any_fault = false;
-        let mut any_detected = false;
-        for (j, &p) in probabilities.iter().enumerate() {
-            if next_unit() < p {
-                any_fault = true;
-                if detected[j] {
-                    any_detected = true;
-                    // Faster: once scrapped the die's remaining faults
-                    // cannot change the outcome, but we keep rolling so the
-                    // RNG stream stays aligned per die count — determinism
-                    // over micro-optimisation here.
+    // Shard descriptors: (stream index, dies in shard). The last shard
+    // takes the remainder.
+    let shards: Vec<(u64, usize)> = (0..config.dies.div_ceil(SHARD_DIES))
+        .map(|s| (s as u64, SHARD_DIES.min(config.dies - s * SHARD_DIES)))
+        .collect();
+    let parts = par::map_chunks(threads.get(), &shards, shards.len(), |_, shard| {
+        let mut good = 0usize;
+        let mut shipped = 0usize;
+        let mut escapes = 0usize;
+        for &(stream, dies) in shard {
+            let mut rng = crate::rng::Xorshift64Star::split(config.seed, stream);
+            for _ in 0..dies {
+                let mut any_fault = false;
+                let mut any_detected = false;
+                for (j, &p) in probabilities.iter().enumerate() {
+                    if rng.next_f64() < p {
+                        any_fault = true;
+                        if detected[j] {
+                            any_detected = true;
+                            // Faster: once scrapped the die's remaining
+                            // faults cannot change the outcome, but we keep
+                            // rolling so the shard's RNG stream stays
+                            // aligned per die count — determinism over
+                            // micro-optimisation here.
+                        }
+                    }
+                }
+                if !any_fault {
+                    good += 1;
+                }
+                if !any_detected {
+                    shipped += 1;
+                    if any_fault {
+                        escapes += 1;
+                    }
                 }
             }
         }
-        if !any_fault {
-            good += 1;
-        }
-        if !any_detected {
-            shipped += 1;
-            if any_fault {
-                escapes += 1;
-            }
-        }
+        (good, shipped, escapes)
+    });
+    let mut good = 0usize;
+    let mut shipped = 0usize;
+    let mut escapes = 0usize;
+    for (g, s, e) in parts {
+        good += g;
+        shipped += s;
+        escapes += e;
     }
     Ok(FalloutEstimate {
         fabricated: config.dies,
@@ -219,6 +266,26 @@ mod tests {
             simulate_fallout(&w, &d, &cfg).unwrap(),
             simulate_fallout(&w, &d, &cfg).unwrap()
         );
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let w = weights(8, 0.7);
+        let d = vec![true, true, false, true, false, false, true, true];
+        // Straddle a shard boundary (dies not a multiple of SHARD_DIES).
+        let cfg = MonteCarloConfig {
+            dies: 3 * SHARD_DIES + 57,
+            seed: 0xFEED,
+        };
+        let reference =
+            simulate_fallout_with(&w, &d, &cfg, ThreadCount::fixed(1).unwrap()).unwrap();
+        for t in [2usize, 4] {
+            assert_eq!(
+                simulate_fallout_with(&w, &d, &cfg, ThreadCount::fixed(t).unwrap()).unwrap(),
+                reference,
+                "threads={t}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,289 @@
+//! Dependency-free scoped parallel execution for the simulation and
+//! Monte-Carlo hot paths.
+//!
+//! The workspace builds offline, so there is no rayon: workers are plain
+//! `std::thread::scope` threads pulling chunk indices from an atomic
+//! counter. Two properties are load-bearing for the reproduction:
+//!
+//! * **Determinism.** [`map_chunks`] decomposes the input into contiguous
+//!   chunks whose boundaries depend only on the item count and the
+//!   requested chunk count — never on the worker count — and returns the
+//!   per-chunk results in chunk order. Any reduction folded over the
+//!   result is therefore bit-identical for every thread count, so
+//!   parallelism cannot perturb a reproduced figure.
+//! * **Explicit thread control.** [`ThreadCount`] resolves the worker
+//!   count from the `DLP_THREADS` environment variable (default: the
+//!   machine's available parallelism; `1` forces the serial in-line
+//!   path). An unusable setting (`0`, garbage) is a typed [`ParError`]
+//!   that the pipeline stages surface through their own error enums —
+//!   never a panic.
+
+use std::env;
+use std::error::Error;
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The environment variable that overrides the worker count.
+pub const THREADS_ENV: &str = "DLP_THREADS";
+
+/// An unusable thread-count setting (`DLP_THREADS=0` or non-numeric).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParError {
+    value: String,
+}
+
+impl ParError {
+    /// The rejected setting, verbatim.
+    pub fn value(&self) -> &str {
+        &self.value
+    }
+}
+
+impl fmt::Display for ParError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{THREADS_ENV}=\"{}\" is not a positive thread count",
+            self.value
+        )
+    }
+}
+
+impl Error for ParError {}
+
+/// How many worker threads a parallel stage may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadCount {
+    /// Use the machine's available parallelism.
+    Auto,
+    /// Use exactly this many workers (`1` forces the serial path).
+    Fixed(NonZeroUsize),
+}
+
+impl ThreadCount {
+    /// Resolves the `DLP_THREADS` environment variable.
+    ///
+    /// Unset or empty means [`ThreadCount::Auto`].
+    ///
+    /// # Errors
+    ///
+    /// [`ParError`] if the variable is set to `0` or to anything that is
+    /// not a positive integer.
+    pub fn from_env() -> Result<ThreadCount, ParError> {
+        Self::from_setting(env::var(THREADS_ENV).ok().as_deref())
+    }
+
+    /// Parses an explicit `DLP_THREADS`-style setting (`None` = unset).
+    ///
+    /// # Errors
+    ///
+    /// [`ParError`] for `0` or a non-numeric value.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dlp_core::par::ThreadCount;
+    ///
+    /// assert_eq!(ThreadCount::from_setting(None), Ok(ThreadCount::Auto));
+    /// assert_eq!(ThreadCount::from_setting(Some("4")), ThreadCount::fixed(4));
+    /// assert!(ThreadCount::from_setting(Some("0")).is_err());
+    /// assert!(ThreadCount::from_setting(Some("many")).is_err());
+    /// ```
+    pub fn from_setting(setting: Option<&str>) -> Result<ThreadCount, ParError> {
+        match setting.map(str::trim) {
+            None | Some("") => Ok(ThreadCount::Auto),
+            Some(s) => s
+                .parse::<usize>()
+                .ok()
+                .and_then(NonZeroUsize::new)
+                .map(ThreadCount::Fixed)
+                .ok_or_else(|| ParError {
+                    value: s.to_string(),
+                }),
+        }
+    }
+
+    /// An explicit worker count.
+    ///
+    /// # Errors
+    ///
+    /// [`ParError`] for `threads == 0`.
+    pub fn fixed(threads: usize) -> Result<ThreadCount, ParError> {
+        NonZeroUsize::new(threads)
+            .map(ThreadCount::Fixed)
+            .ok_or_else(|| ParError {
+                value: threads.to_string(),
+            })
+    }
+
+    /// The resolved worker count (`Auto` falls back to `1` if the
+    /// platform cannot report its parallelism).
+    pub fn get(self) -> usize {
+        match self {
+            ThreadCount::Auto => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+            ThreadCount::Fixed(n) => n.get(),
+        }
+    }
+}
+
+/// Contiguous `(start, end)` chunk bounds: as even as possible, the
+/// remainder spread over the leading chunks. Depends only on `len` and
+/// `chunks`, never on the worker count.
+fn chunk_bounds(len: usize, chunks: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let n = chunks.clamp(1, len);
+    let base = len / n;
+    let rem = len % n;
+    let mut bounds = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let size = base + usize::from(i < rem);
+        bounds.push((start, start + size));
+        start += size;
+    }
+    bounds
+}
+
+fn lock_or_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Deterministic parallel map over contiguous chunks of `items`.
+///
+/// `items` is split into (at most) `chunks` contiguous slices — see
+/// [`chunk_bounds`] — and `f(chunk_index, chunk)` is evaluated for each,
+/// by `threads` scoped workers pulling chunks from a shared counter.
+/// Results come back **in chunk order**, so folding them sequentially is
+/// bit-identical for every thread count. With `threads <= 1` (or a single
+/// chunk) everything runs inline on the caller's thread — no spawn at all.
+///
+/// # Example
+///
+/// ```
+/// let items: Vec<u64> = (0..100).collect();
+/// let sums = dlp_core::par::map_chunks(4, &items, 8, |_, c| c.iter().sum::<u64>());
+/// assert_eq!(sums.iter().sum::<u64>(), 4950);
+/// ```
+pub fn map_chunks<T, R, F>(threads: usize, items: &[T], chunks: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let bounds = chunk_bounds(items.len(), chunks);
+    let n = bounds.len();
+    if threads <= 1 || n <= 1 {
+        return bounds
+            .iter()
+            .enumerate()
+            .map(|(i, &(lo, hi))| f(i, &items[lo..hi]))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let (lo, hi) = bounds[i];
+                let r = f(i, &items[lo..hi]);
+                *lock_or_recover(&slots[i]) = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            lock_or_recover(&slot)
+                .take()
+                .unwrap_or_else(|| unreachable!("scoped worker exited without storing its chunk"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_count_parsing() {
+        assert_eq!(ThreadCount::from_setting(None), Ok(ThreadCount::Auto));
+        assert_eq!(ThreadCount::from_setting(Some("")), Ok(ThreadCount::Auto));
+        assert_eq!(
+            ThreadCount::from_setting(Some("  2 ")),
+            ThreadCount::fixed(2)
+        );
+        for bad in ["0", "-1", "1.5", "four", "4x"] {
+            let err = ThreadCount::from_setting(Some(bad)).unwrap_err();
+            assert_eq!(err.value(), bad.trim());
+            assert!(err.to_string().contains("DLP_THREADS"), "{err}");
+        }
+        assert!(ThreadCount::fixed(0).is_err());
+        assert!(ThreadCount::Auto.get() >= 1);
+        assert_eq!(ThreadCount::fixed(3).map(ThreadCount::get), Ok(3));
+    }
+
+    #[test]
+    fn chunk_bounds_cover_exactly_once() {
+        for len in [0usize, 1, 2, 7, 64, 70, 100] {
+            for chunks in [1usize, 2, 3, 4, 8, 100] {
+                let bounds = chunk_bounds(len, chunks);
+                if len == 0 {
+                    assert!(bounds.is_empty());
+                    continue;
+                }
+                assert_eq!(bounds.len(), chunks.min(len));
+                assert_eq!(bounds[0].0, 0);
+                assert_eq!(bounds[bounds.len() - 1].1, len);
+                for w in bounds.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "contiguous");
+                    assert!(w[0].1 > w[0].0, "non-empty");
+                }
+                // Even split: sizes differ by at most one.
+                let sizes: Vec<usize> = bounds.iter().map(|&(a, b)| b - a).collect();
+                let min = sizes.iter().min().copied().unwrap_or(0);
+                let max = sizes.iter().max().copied().unwrap_or(0);
+                assert!(max - min <= 1, "len={len} chunks={chunks} {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_chunks_is_thread_count_invariant() {
+        let items: Vec<u64> = (0..1000).map(|i| i * 7 + 3).collect();
+        let reference = map_chunks(1, &items, 16, |ci, c| (ci, c.iter().sum::<u64>()));
+        for threads in [2usize, 3, 4, 8] {
+            assert_eq!(
+                map_chunks(threads, &items, 16, |ci, c| (ci, c.iter().sum::<u64>())),
+                reference,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn map_chunks_handles_degenerate_shapes() {
+        let empty: &[u8] = &[];
+        assert!(map_chunks(4, empty, 8, |_, c| c.len()).is_empty());
+        assert_eq!(map_chunks(4, &[42u8], 8, |_, c| c[0]), vec![42]);
+        // More chunks than items: one chunk per item.
+        let out = map_chunks(2, &[1u8, 2, 3], 100, |_, c| c.to_vec());
+        assert_eq!(out, vec![vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn map_chunks_passes_chunk_indices_in_order() {
+        let items: Vec<u8> = vec![0; 37];
+        let indices = map_chunks(4, &items, 5, |ci, _| ci);
+        assert_eq!(indices, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -35,6 +35,8 @@ pub enum ExtractError {
     RailBridgeWithoutLevel(String),
     /// Defect sampling was asked for a layer with no extra-material class.
     NoExtraMaterialClass(Layer),
+    /// The `DLP_THREADS` override is not a positive thread count.
+    BadThreadCount(dlp_core::par::ParError),
 }
 
 impl fmt::Display for ExtractError {
@@ -64,11 +66,18 @@ impl fmt::Display for ExtractError {
             ExtractError::NoExtraMaterialClass(layer) => {
                 write!(f, "no extra-material defect class on layer {layer}")
             }
+            ExtractError::BadThreadCount(e) => e.fmt(f),
         }
     }
 }
 
 impl Error for ExtractError {}
+
+impl From<dlp_core::par::ParError> for ExtractError {
+    fn from(e: dlp_core::par::ParError) -> Self {
+        ExtractError::BadThreadCount(e)
+    }
+}
 
 impl From<ExtractError> for PipelineError {
     fn from(e: ExtractError) -> Self {

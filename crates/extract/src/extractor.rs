@@ -19,6 +19,7 @@
 use std::collections::HashMap;
 
 use dlp_circuit::switch::TransKind;
+use dlp_core::par::{self, ThreadCount};
 use dlp_geometry::{Coord, Layer, Rect, Region};
 use dlp_layout::chip::{ChipLayout, ElecNet, ElecRole, ShapeOrigin, TerminalKind};
 
@@ -73,6 +74,11 @@ pub fn extract(chip: &ChipLayout, stats: &DefectStatistics) -> Result<FaultSet, 
 /// and degenerate configs are rejected up front with a typed error rather
 /// than contaminating fault weights.
 ///
+/// The bridge critical-area integration — the extraction hot path — is
+/// spread across the workers resolved from `DLP_THREADS` (default:
+/// available parallelism); the extracted fault set is bit-identical for
+/// every thread count. See [`extract_with_threads`] for explicit control.
+///
 /// # Errors
 ///
 /// * [`ExtractError::BadDefectStatistics`] — a class has a non-finite or
@@ -80,11 +86,27 @@ pub fn extract(chip: &ChipLayout, stats: &DefectStatistics) -> Result<FaultSet, 
 /// * [`ExtractError::NoSizeSamples`] — `config.size_samples == 0`;
 /// * [`ExtractError::MissingOutputNet`] — the chip's tagged geometry is
 ///   inconsistent with its netlist (cannot happen for layouts produced by
-///   `ChipLayout::generate`).
+///   `ChipLayout::generate`);
+/// * [`ExtractError::BadThreadCount`] — the `DLP_THREADS` environment
+///   variable is set to `0` or garbage.
 pub fn extract_with(
     chip: &ChipLayout,
     stats: &DefectStatistics,
     config: &ExtractionConfig,
+) -> Result<FaultSet, ExtractError> {
+    extract_with_threads(chip, stats, config, ThreadCount::from_env()?)
+}
+
+/// [`extract_with`] with an explicit worker count.
+///
+/// # Errors
+///
+/// See [`extract_with`] (minus the environment lookup).
+pub fn extract_with_threads(
+    chip: &ChipLayout,
+    stats: &DefectStatistics,
+    config: &ExtractionConfig,
+    threads: ThreadCount,
 ) -> Result<FaultSet, ExtractError> {
     if config.size_samples == 0 {
         return Err(ExtractError::NoSizeSamples);
@@ -100,7 +122,7 @@ pub fn extract_with(
         entry.0 += weight;
     };
 
-    extract_bridges(chip, stats, config, &mut add)?;
+    extract_bridges(chip, stats, config, threads.get(), &mut add)?;
     extract_opens(chip, stats, config, &mut add)?;
     extract_cut_and_device_defects(chip, stats, config, &mut add)?;
 
@@ -151,6 +173,7 @@ fn extract_bridges(
     chip: &ChipLayout,
     stats: &DefectStatistics,
     config: &ExtractionConfig,
+    workers: usize,
     add: &mut dyn FnMut(FaultKind, f64, String),
 ) -> Result<(), ExtractError> {
     let max_x = stats.max_defect_size();
@@ -194,15 +217,23 @@ fn extract_bridges(
                 }
             }
         }
-        for (a, b) in pairs {
+        // Sorted pair list: the work decomposition and the accumulation
+        // order stay a function of the geometry alone, never of hash or
+        // thread scheduling.
+        let mut pairs: Vec<(BridgeId, BridgeId)> = pairs.into_iter().collect();
+        pairs.sort_unstable();
+
+        // Per-pair critical-area integration — the extraction hot path —
+        // is pure, so fanning pairs across workers cannot change weights.
+        let pair_fault = |a: BridgeId, b: BridgeId| -> Option<(FaultKind, f64, String)> {
             if matches!((a, b), (BridgeId::Rail(_), BridgeId::Rail(_))) {
-                continue;
+                return None;
             }
             let ra = Region::from_rects(class.layer, regions[&a].iter().copied());
             let rb = Region::from_rects(class.layer, regions[&b].iter().copied());
             let w = weighted(&samples, |x| short_area(&ra, &rb, x));
             if w <= 0.0 {
-                continue;
+                return None;
             }
             let (kind, label) = match (a, b) {
                 (BridgeId::Net(x), BridgeId::Net(y)) => (
@@ -248,7 +279,7 @@ fn extract_bridges(
                     let na = stage_net(chip, g1, s1);
                     let nb = stage_net(chip, g2, s2);
                     if na == nb {
-                        continue;
+                        return None;
                     }
                     (
                         FaultKind::Bridge {
@@ -265,8 +296,17 @@ fn extract_bridges(
                     )
                 }
                 // Diffusion strips never share a layer with nets or rails.
-                _ => continue,
+                _ => return None,
             };
+            Some((kind, w, label))
+        };
+        let found = par::map_chunks(workers, &pairs, workers, |_, chunk| {
+            chunk
+                .iter()
+                .filter_map(|&(a, b)| pair_fault(a, b))
+                .collect::<Vec<_>>()
+        });
+        for (kind, w, label) in found.into_iter().flatten() {
             add(kind, w, label);
         }
     }
@@ -688,6 +728,31 @@ mod tests {
         for (x, y) in a.faults().iter().zip(b.faults()) {
             assert_eq!(x.label, y.label);
             assert!((x.weight - y.weight).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn extraction_is_thread_count_invariant() {
+        let nl = generators::c17();
+        let chip = ChipLayout::generate(&nl, &Default::default()).unwrap();
+        let stats = DefectStatistics::maly_cmos();
+        let cfg = ExtractionConfig::default();
+        let reference =
+            extract_with_threads(&chip, &stats, &cfg, ThreadCount::fixed(1).unwrap()).unwrap();
+        for t in [2usize, 4] {
+            let got =
+                extract_with_threads(&chip, &stats, &cfg, ThreadCount::fixed(t).unwrap()).unwrap();
+            assert_eq!(got.len(), reference.len(), "threads={t}");
+            for (x, y) in got.faults().iter().zip(reference.faults()) {
+                assert_eq!(x.label, y.label, "threads={t}");
+                assert_eq!(x.kind, y.kind, "threads={t}");
+                assert!(
+                    x.weight.to_bits() == y.weight.to_bits(),
+                    "threads={t}: weight {} vs {}",
+                    x.weight,
+                    y.weight
+                );
+            }
         }
     }
 }

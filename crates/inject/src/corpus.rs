@@ -9,6 +9,7 @@ use dlp_atpg::generate::{generate_tests, AtpgConfig};
 use dlp_circuit::switch::SwitchNodeId;
 use dlp_circuit::{bench, generators, switch, NodeId};
 use dlp_core::montecarlo::{simulate_fallout, MonteCarloConfig};
+use dlp_core::par::ThreadCount;
 use dlp_core::weighted::FaultWeights;
 use dlp_core::{fit, PipelineError, Stage};
 use dlp_extract::defects::{DefectClass, DefectStatistics, Mechanism};
@@ -175,6 +176,30 @@ pub fn corpus() -> Vec<Case> {
             Simulation,
             "a weight vector shorter than the tracked fault list",
             sim_weight_count_mismatch
+        ),
+        case!(
+            "sim-stuckat-node-out-of-range",
+            Simulation,
+            "a stuck-at fault sited on a node the netlist lacks",
+            sim_stuckat_node_out_of_range
+        ),
+        case!(
+            "sim-stuckat-pin-out-of-range",
+            Simulation,
+            "a branch stuck-at fault naming a pin past its gate's fanin",
+            sim_stuckat_pin_out_of_range
+        ),
+        case!(
+            "sim-threads-zero",
+            Simulation,
+            "a DLP_THREADS-style setting of 0 worker threads",
+            sim_threads_zero
+        ),
+        case!(
+            "sim-threads-garbage",
+            Simulation,
+            "a non-numeric DLP_THREADS-style setting",
+            sim_threads_garbage
         ),
         // -- atpg ---------------------------------------------------------
         case!(
@@ -456,6 +481,48 @@ fn sim_weight_count_mismatch() -> Result<(), PipelineError> {
     // One weight for a multi-fault record.
     record.weighted_coverage_after(2, &[1.0])?;
     Ok(())
+}
+
+fn sim_stuckat_node_out_of_range() -> Result<(), PipelineError> {
+    let c17 = generators::c17();
+    let fault = stuck_at::StuckAtFault {
+        site: stuck_at::FaultSite::Stem(NodeId::from_index(9_999)),
+        stuck_at_one: false,
+    };
+    ppsfp::simulate(&c17, &[fault], &[vec![false; 5]])?;
+    Ok(())
+}
+
+fn sim_stuckat_pin_out_of_range() -> Result<(), PipelineError> {
+    let c17 = generators::c17();
+    let fault = stuck_at::StuckAtFault {
+        site: stuck_at::FaultSite::Branch {
+            gate: first_gate(&c17),
+            pin: 99,
+        },
+        stuck_at_one: true,
+    };
+    ppsfp::simulate(&c17, &[fault], &[vec![true; 5]])?;
+    Ok(())
+}
+
+/// Stages a `DLP_THREADS`-style setting exactly as the simulators' env
+/// entry points do — without mutating the process environment, because the
+/// adversarial tests run concurrently in one process.
+fn sim_with_thread_setting(setting: &'static str) -> Result<(), PipelineError> {
+    let threads = ThreadCount::from_setting(Some(setting)).map_err(dlp_sim::SimError::from)?;
+    let c17 = generators::c17();
+    let faults = stuck_at::enumerate(&c17).collapse();
+    ppsfp::simulate_with(&c17, faults.faults(), &[vec![false; 5]], threads)?;
+    Ok(())
+}
+
+fn sim_threads_zero() -> Result<(), PipelineError> {
+    sim_with_thread_setting("0")
+}
+
+fn sim_threads_garbage() -> Result<(), PipelineError> {
+    sim_with_thread_setting("lots")
 }
 
 // -- atpg -----------------------------------------------------------------

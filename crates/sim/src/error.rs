@@ -4,7 +4,7 @@ use std::fmt;
 use dlp_core::{PipelineError, Stage};
 
 /// Errors raised by the fault simulators' input validation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum SimError {
     /// A test vector's width differs from the circuit's input count.
@@ -31,6 +31,8 @@ pub enum SimError {
         /// Which reference is out of range.
         what: &'static str,
     },
+    /// The `DLP_THREADS` override is not a positive thread count.
+    BadThreadCount(dlp_core::par::ParError),
 }
 
 impl fmt::Display for SimError {
@@ -50,11 +52,18 @@ impl fmt::Display for SimError {
             SimError::FaultOutOfRange { fault, what } => {
                 write!(f, "fault {fault} references a {what} outside the netlist")
             }
+            SimError::BadThreadCount(e) => e.fmt(f),
         }
     }
 }
 
 impl Error for SimError {}
+
+impl From<dlp_core::par::ParError> for SimError {
+    fn from(e: dlp_core::par::ParError) -> Self {
+        SimError::BadThreadCount(e)
+    }
+}
 
 impl From<SimError> for PipelineError {
     fn from(e: SimError) -> Self {

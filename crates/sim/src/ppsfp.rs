@@ -7,21 +7,52 @@
 //! detected faults are dropped from subsequent blocks.
 
 use dlp_circuit::{GateKind, Netlist, NodeId};
+use dlp_core::par::{self, ThreadCount};
 
 use crate::detection::DetectionRecord;
 use crate::SimError;
 use crate::stuck_at::{FaultSite, StuckAtFault};
 
+/// Validates every fault site against the netlist: the stem node, or the
+/// branch's gate and pin index, must exist.
+fn validate_faults(netlist: &Netlist, faults: &[StuckAtFault]) -> Result<(), SimError> {
+    let n = netlist.node_count();
+    for (fi, f) in faults.iter().enumerate() {
+        let bad = |what| SimError::FaultOutOfRange { fault: fi, what };
+        match f.site {
+            FaultSite::Stem(node) => {
+                if node.index() >= n {
+                    return Err(bad("node"));
+                }
+            }
+            FaultSite::Branch { gate, pin } => {
+                if gate.index() >= n {
+                    return Err(bad("gate"));
+                }
+                if pin >= netlist.fanin(gate).len() {
+                    return Err(bad("input pin"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Simulates `faults` against `vectors` and reports first detections.
+///
+/// Within each 64-pattern block the still-live faults are partitioned
+/// across the workers resolved from `DLP_THREADS` (default: available
+/// parallelism; `1` forces the serial path). Each fault's detection word
+/// depends only on the fault and the block, so the record is bit-identical
+/// for every thread count; see [`simulate_with`] for explicit control.
 ///
 /// # Errors
 ///
 /// [`SimError::VectorWidthMismatch`] if a vector's width differs from the
-/// netlist's input count.
-///
-/// # Panics
-///
-/// Panics if a fault references a node outside the netlist.
+/// netlist's input count; [`SimError::FaultOutOfRange`] if a fault
+/// references a node, gate, or input pin the netlist does not have;
+/// [`SimError::BadThreadCount`] if the `DLP_THREADS` environment variable
+/// is set to `0` or garbage.
 ///
 /// # Example
 ///
@@ -41,8 +72,26 @@ pub fn simulate(
     faults: &[StuckAtFault],
     vectors: &[Vec<bool>],
 ) -> Result<DetectionRecord, SimError> {
+    simulate_with(netlist, faults, vectors, ThreadCount::from_env()?)
+}
+
+/// [`simulate`] with an explicit worker count.
+///
+/// # Errors
+///
+/// [`SimError::VectorWidthMismatch`] if a vector's width differs from the
+/// netlist's input count; [`SimError::FaultOutOfRange`] if a fault
+/// references a node, gate, or input pin the netlist does not have.
+pub fn simulate_with(
+    netlist: &Netlist,
+    faults: &[StuckAtFault],
+    vectors: &[Vec<bool>],
+    threads: ThreadCount,
+) -> Result<DetectionRecord, SimError> {
     let n_in = netlist.inputs().len();
     crate::error::check_widths(vectors, n_in)?;
+    validate_faults(netlist, faults)?;
+    let workers = threads.get();
     let mut first_detect: Vec<Option<usize>> = vec![None; faults.len()];
     let mut live: Vec<usize> = (0..faults.len()).collect();
 
@@ -61,7 +110,6 @@ pub fn simulate(
             .or_insert_with(|| netlist.fanout_cone(seed));
     }
 
-    let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
     for (block_idx, block) in vectors.chunks(64).enumerate() {
         if live.is_empty() {
             break;
@@ -82,53 +130,69 @@ pub fn simulate(
         };
 
         let good = netlist.eval_words_all(&input_words);
-        let mut faulty = good.clone();
 
-        live.retain(|&fi| {
-            let fault = &faults[fi];
-            let seed = cone_seed(fault);
-            let cone = &cones[&seed];
+        // Partition the live-fault list across the workers. Each worker
+        // owns its scratch `faulty` array; a fault's detection word is a
+        // pure function of (fault, block), so the merged outcome cannot
+        // depend on the partition. Detections come back in chunk order as
+        // (fault index, masked output-difference word) pairs.
+        let detections = par::map_chunks(workers, &live, workers, |_, chunk| {
+            let mut faulty = good.clone();
+            let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
+            let mut found: Vec<(usize, u64)> = Vec::new();
+            for &fi in chunk {
+                let fault = &faults[fi];
+                let seed = cone_seed(fault);
+                let cone = &cones[&seed];
 
-            // Inject and propagate through the cone only.
-            let mut diff_word_at_outputs = 0u64;
-            for &node in cone {
-                let kind = netlist.kind(node);
-                let mut value = if kind == GateKind::Input {
-                    good[node.index()]
-                } else {
-                    fanin_buf.clear();
-                    for (pin, &f) in netlist.fanin(node).iter().enumerate() {
-                        let mut v = faulty[f.index()];
-                        if let FaultSite::Branch { gate, pin: fpin } = fault.site {
-                            if gate == node && fpin == pin {
-                                v = if fault.stuck_at_one { u64::MAX } else { 0 };
+                // Inject and propagate through the cone only.
+                let mut diff_word_at_outputs = 0u64;
+                for &node in cone {
+                    let kind = netlist.kind(node);
+                    let mut value = if kind == GateKind::Input {
+                        good[node.index()]
+                    } else {
+                        fanin_buf.clear();
+                        for (pin, &f) in netlist.fanin(node).iter().enumerate() {
+                            let mut v = faulty[f.index()];
+                            if let FaultSite::Branch { gate, pin: fpin } = fault.site {
+                                if gate == node && fpin == pin {
+                                    v = if fault.stuck_at_one { u64::MAX } else { 0 };
+                                }
                             }
+                            fanin_buf.push(v);
                         }
-                        fanin_buf.push(v);
+                        kind.eval_words(&fanin_buf)
+                    };
+                    if fault.site == FaultSite::Stem(node) {
+                        value = if fault.stuck_at_one { u64::MAX } else { 0 };
                     }
-                    kind.eval_words(&fanin_buf)
-                };
-                if fault.site == FaultSite::Stem(node) {
-                    value = if fault.stuck_at_one { u64::MAX } else { 0 };
+                    faulty[node.index()] = value;
+                    if netlist.is_output(node) {
+                        diff_word_at_outputs |= (value ^ good[node.index()]) & used_mask;
+                    }
                 }
-                faulty[node.index()] = value;
-                if netlist.is_output(node) {
-                    diff_word_at_outputs |= (value ^ good[node.index()]) & used_mask;
+                // Restore the scratch array for the next fault.
+                for &node in cone {
+                    faulty[node.index()] = good[node.index()];
                 }
-            }
-            // Restore the scratch array for the next fault.
-            for &node in cone {
-                faulty[node.index()] = good[node.index()];
-            }
 
-            if diff_word_at_outputs != 0 {
-                let first_bit = diff_word_at_outputs.trailing_zeros() as usize;
-                first_detect[fi] = Some(block_idx * 64 + first_bit);
-                false // drop
-            } else {
-                true // keep
+                if diff_word_at_outputs != 0 {
+                    found.push((fi, diff_word_at_outputs));
+                }
             }
+            found
         });
+
+        // Deterministic merge: the difference word is already masked to the
+        // block's used patterns, so the first set bit gives the earliest
+        // detecting pattern *globally* — `block_idx * 64` plus the bit
+        // index — never a worker-local offset.
+        for (fi, diff) in detections.into_iter().flatten() {
+            let first_bit = diff.trailing_zeros() as usize;
+            first_detect[fi] = Some(block_idx * 64 + first_bit);
+        }
+        live.retain(|&fi| first_detect[fi].is_none());
     }
 
     Ok(DetectionRecord::new(first_detect, vectors.len()))
@@ -282,6 +346,101 @@ mod tests {
         let record = simulate(&c17, faults.faults(), &vectors).unwrap();
         for d in record.first_detect().iter().flatten() {
             assert!(*d < 70);
+        }
+    }
+
+    #[test]
+    fn out_of_range_fault_sites_are_typed_errors() {
+        use dlp_circuit::NodeId;
+
+        let c17 = generators::c17();
+        let beyond = NodeId::from_index(c17.node_count());
+        let stem = StuckAtFault {
+            site: FaultSite::Stem(beyond),
+            stuck_at_one: true,
+        };
+        let vectors = random_vectors(5, 8, 1);
+        assert_eq!(
+            simulate(&c17, &[stem], &vectors),
+            Err(SimError::FaultOutOfRange {
+                fault: 0,
+                what: "node"
+            })
+        );
+        let branch_gate = StuckAtFault {
+            site: FaultSite::Branch {
+                gate: beyond,
+                pin: 0,
+            },
+            stuck_at_one: false,
+        };
+        // Put a valid fault first so the reported index is the offender's.
+        let valid = StuckAtFault {
+            site: FaultSite::Stem(NodeId::from_index(0)),
+            stuck_at_one: false,
+        };
+        assert_eq!(
+            simulate(&c17, &[valid, branch_gate], &vectors),
+            Err(SimError::FaultOutOfRange {
+                fault: 1,
+                what: "gate"
+            })
+        );
+        // A real gate, but a pin past its fanin.
+        let gate = c17.node_ids().find(|&n| !c17.fanin(n).is_empty()).unwrap();
+        let branch_pin = StuckAtFault {
+            site: FaultSite::Branch {
+                gate,
+                pin: c17.fanin(gate).len(),
+            },
+            stuck_at_one: true,
+        };
+        assert_eq!(
+            simulate(&c17, &[valid, branch_pin], &vectors),
+            Err(SimError::FaultOutOfRange {
+                fault: 1,
+                what: "input pin"
+            })
+        );
+    }
+
+    #[test]
+    fn partial_block_first_detect_is_global_with_parallel_merge() {
+        use dlp_core::par::ThreadCount;
+
+        // 70 vectors (partial final block) with 3 workers: the regression
+        // the audit asks for — every first-detect index must be the global
+        // minimum, never a worker-local bit index, and the whole record
+        // must match the serial path bit for bit.
+        let c17 = generators::c17();
+        let faults = stuck_at::enumerate(&c17);
+        let vectors = random_vectors(5, 70, 13);
+        let serial = simulate_with(
+            &c17,
+            faults.faults(),
+            &vectors,
+            ThreadCount::fixed(1).unwrap(),
+        )
+        .unwrap();
+        let parallel = simulate_with(
+            &c17,
+            faults.faults(),
+            &vectors,
+            ThreadCount::fixed(3).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(serial, parallel);
+        for (fi, fault) in faults.faults().iter().enumerate() {
+            let expected = vectors.iter().position(|v| naive_detects(&c17, fault, v));
+            assert_eq!(
+                parallel.first_detect()[fi],
+                expected,
+                "fault {}",
+                fault.describe(&c17)
+            );
+            if let Some(d) = parallel.first_detect()[fi] {
+                assert!(d < 70, "index past the 70 used patterns");
+            }
         }
     }
 }

@@ -27,6 +27,7 @@
 
 use dlp_circuit::switch::{SwitchNetlist, SwitchNodeId, TransKind, Transistor};
 use dlp_circuit::NodeId;
+use dlp_core::par::{self, ThreadCount};
 
 use crate::detection::DetectionRecord;
 use crate::SimError;
@@ -371,53 +372,99 @@ impl SwitchSimulator {
     /// circuit is a detection (the tester compares against a clean
     /// threshold, not against a reference simulation).
     ///
+    /// Faults are fanned across the workers resolved from `DLP_THREADS`;
+    /// see [`detect_with_threads`](Self::detect_with_threads).
+    ///
     /// # Errors
     ///
     /// [`SimError::VectorWidthMismatch`] for a vector whose width differs
     /// from the input count; [`SimError::FaultOutOfRange`] for a fault
-    /// referencing transistors, nodes, or outputs the netlist lacks.
+    /// referencing transistors, nodes, or outputs the netlist lacks;
+    /// [`SimError::BadThreadCount`] if the `DLP_THREADS` environment
+    /// variable is set to `0` or garbage.
     pub fn detect_with(
         &self,
         faults: &[SwitchFault],
         vectors: &[Vec<bool>],
         mode: DetectionMode,
     ) -> Result<DetectionRecord, SimError> {
+        self.detect_with_threads(faults, vectors, mode, ThreadCount::from_env()?)
+    }
+
+    /// [`detect_with`](Self::detect_with) with an explicit worker count.
+    ///
+    /// Each fault is simulated independently against the whole sequence
+    /// (its own [`SimState`], the shared fault-free reference computed
+    /// once), so fanning the fault list across workers cannot change any
+    /// first-detection index: the record is bit-identical for every thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::VectorWidthMismatch`] for a vector whose width differs
+    /// from the input count; [`SimError::FaultOutOfRange`] for a fault
+    /// referencing transistors, nodes, or outputs the netlist lacks.
+    pub fn detect_with_threads(
+        &self,
+        faults: &[SwitchFault],
+        vectors: &[Vec<bool>],
+        mode: DetectionMode,
+        threads: ThreadCount,
+    ) -> Result<DetectionRecord, SimError> {
         crate::error::check_widths(vectors, self.netlist.input_nodes().len())?;
         for (i, f) in faults.iter().enumerate() {
             self.check_fault(i, f)?;
         }
         let good = self.run_good(vectors);
-        let mut first_detect = vec![None; faults.len()];
-        for (fi, fault) in faults.iter().enumerate() {
-            let compiled = self.compile_fault(fault);
-            let mut state = SimState::new(self.netlist.node_count());
-            for (k, v) in vectors.iter().enumerate() {
-                self.step(&mut state, v, Some(&compiled));
-                let voltage = || {
-                    self.netlist
-                        .output_nodes()
-                        .iter()
-                        .enumerate()
-                        .any(|(oi, &o)| {
-                            let fv = match compiled.output_read {
-                                Some((ro, level)) if ro == oi => level,
-                                _ => state.values[o.index()],
-                            };
-                            fv.is_known() && good[k][oi].is_known() && fv != good[k][oi]
-                        })
-                };
-                let detected = match mode {
-                    DetectionMode::Voltage => voltage(),
-                    DetectionMode::Iddq => state.draws_static_current(),
-                    DetectionMode::VoltageAndIddq => state.draws_static_current() || voltage(),
-                };
-                if detected {
-                    first_detect[fi] = Some(k);
-                    break;
-                }
+        let workers = threads.get();
+        let first_detect: Vec<Option<usize>> = par::map_chunks(workers, faults, workers, |_, chunk| {
+            chunk
+                .iter()
+                .map(|fault| self.first_detection(fault, vectors, &good, mode))
+                .collect::<Vec<Option<usize>>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        Ok(DetectionRecord::new(first_detect, vectors.len()))
+    }
+
+    /// Simulates one fault over the whole sequence and returns the index
+    /// of the first detecting vector, if any.
+    fn first_detection(
+        &self,
+        fault: &SwitchFault,
+        vectors: &[Vec<bool>],
+        good: &[Vec<Logic>],
+        mode: DetectionMode,
+    ) -> Option<usize> {
+        let compiled = self.compile_fault(fault);
+        let mut state = SimState::new(self.netlist.node_count());
+        for (k, v) in vectors.iter().enumerate() {
+            self.step(&mut state, v, Some(&compiled));
+            let voltage = || {
+                self.netlist
+                    .output_nodes()
+                    .iter()
+                    .enumerate()
+                    .any(|(oi, &o)| {
+                        let fv = match compiled.output_read {
+                            Some((ro, level)) if ro == oi => level,
+                            _ => state.values[o.index()],
+                        };
+                        fv.is_known() && good[k][oi].is_known() && fv != good[k][oi]
+                    })
+            };
+            let detected = match mode {
+                DetectionMode::Voltage => voltage(),
+                DetectionMode::Iddq => state.draws_static_current(),
+                DetectionMode::VoltageAndIddq => state.draws_static_current() || voltage(),
+            };
+            if detected {
+                return Some(k);
             }
         }
-        Ok(DetectionRecord::new(first_detect, vectors.len()))
+        None
     }
 
     /// Validates one fault's references against the netlist.

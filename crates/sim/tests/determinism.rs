@@ -1,0 +1,96 @@
+//! Thread-count invariance: the parallel execution layer must be
+//! bit-identical to the serial path for every worker count.
+//!
+//! These are the issue's determinism property tests: PPSFP stuck-at
+//! simulation and switch-level fault detection produce the same
+//! `DetectionRecord` for `DLP_THREADS` ∈ {1, 2, 4} on c17 and the
+//! c432-class circuit. (The Monte-Carlo counterpart lives next to
+//! `dlp_core::montecarlo`.)
+
+use dlp_circuit::{generators, switch, Netlist};
+use dlp_core::par::ThreadCount;
+use dlp_sim::detection::random_vectors;
+use dlp_sim::switchlevel::{
+    DetectionMode, SwitchConfig, SwitchFault, SwitchSimulator,
+};
+use dlp_sim::{ppsfp, stuck_at};
+
+fn threads(n: usize) -> ThreadCount {
+    ThreadCount::fixed(n).expect("positive")
+}
+
+fn assert_ppsfp_invariant(netlist: &Netlist, n_vectors: usize, seed: u64) {
+    let faults = stuck_at::enumerate(netlist).collapse();
+    let vectors = random_vectors(netlist.inputs().len(), n_vectors, seed);
+    let reference = ppsfp::simulate_with(netlist, faults.faults(), &vectors, threads(1))
+        .expect("serial PPSFP");
+    for t in [2usize, 4] {
+        let got = ppsfp::simulate_with(netlist, faults.faults(), &vectors, threads(t))
+            .expect("parallel PPSFP");
+        assert_eq!(got, reference, "{} with {t} workers", netlist.name());
+    }
+}
+
+#[test]
+fn ppsfp_is_thread_count_invariant_on_c17() {
+    // 70 vectors: the partial final block (70 % 64 = 6 patterns) rides
+    // through the parallel merge.
+    assert_ppsfp_invariant(&generators::c17(), 70, 21);
+}
+
+#[test]
+fn ppsfp_is_thread_count_invariant_on_c432_class() {
+    assert_ppsfp_invariant(&generators::c432_class(), 256, 33);
+}
+
+fn switch_faults_sample(sim: &SwitchSimulator) -> Vec<SwitchFault> {
+    // A handful of each family, spread across the netlist.
+    let n_trans = sim.netlist().transistors().len();
+    let mut faults: Vec<SwitchFault> = (0..n_trans)
+        .step_by((n_trans / 6).max(1))
+        .flat_map(|t| {
+            [
+                SwitchFault::StuckOpen { transistor: t },
+                SwitchFault::StuckOn { transistor: t },
+            ]
+        })
+        .collect();
+    let outs = sim.netlist().output_nodes();
+    faults.push(SwitchFault::Bridge {
+        a: outs[0],
+        b: outs[outs.len() - 1],
+    });
+    faults
+}
+
+fn assert_switch_invariant(netlist: &Netlist, n_vectors: usize, seed: u64) {
+    let sw = switch::expand(netlist).expect("switch expansion");
+    let sim = SwitchSimulator::new(sw, SwitchConfig::default());
+    let faults = switch_faults_sample(&sim);
+    let vectors = random_vectors(netlist.inputs().len(), n_vectors, seed);
+    for mode in [DetectionMode::Voltage, DetectionMode::VoltageAndIddq] {
+        let reference = sim
+            .detect_with_threads(&faults, &vectors, mode, threads(1))
+            .expect("serial switch-level");
+        for t in [2usize, 4] {
+            let got = sim
+                .detect_with_threads(&faults, &vectors, mode, threads(t))
+                .expect("parallel switch-level");
+            assert_eq!(
+                got, reference,
+                "{} with {t} workers ({mode:?})",
+                netlist.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn switch_level_is_thread_count_invariant_on_c17() {
+    assert_switch_invariant(&generators::c17(), 48, 17);
+}
+
+#[test]
+fn switch_level_is_thread_count_invariant_on_c432_class() {
+    assert_switch_invariant(&generators::c432_class(), 24, 29);
+}

@@ -1,0 +1,46 @@
+//! `DLP_THREADS` environment handling, exercised through the simulator's
+//! env-reading entry point.
+//!
+//! Kept in its own integration-test binary — and as a single test
+//! function — because it mutates the process environment: in-process
+//! concurrency would race any other test that reads `DLP_THREADS`.
+
+use dlp_circuit::generators;
+use dlp_sim::{ppsfp, stuck_at, SimError};
+
+#[test]
+fn env_override_is_honoured_and_garbage_is_a_typed_error() {
+    let saved = std::env::var("DLP_THREADS").ok();
+    let restore = |v: &Option<String>| match v {
+        Some(s) => std::env::set_var("DLP_THREADS", s),
+        None => std::env::remove_var("DLP_THREADS"),
+    };
+
+    let c17 = generators::c17();
+    let faults = stuck_at::enumerate(&c17).collapse();
+    let vectors = dlp_sim::detection::random_vectors(5, 70, 7);
+
+    // A valid override runs and matches the unset (auto) result.
+    std::env::remove_var("DLP_THREADS");
+    let auto = ppsfp::simulate(&c17, faults.faults(), &vectors);
+    std::env::set_var("DLP_THREADS", "2");
+    let two = ppsfp::simulate(&c17, faults.faults(), &vectors);
+    assert_eq!(auto, two, "DLP_THREADS=2 must not change the record");
+
+    // Unusable settings surface as typed errors, never panics.
+    for bad in ["0", "garbage", "-3"] {
+        std::env::set_var("DLP_THREADS", bad);
+        match ppsfp::simulate(&c17, faults.faults(), &vectors) {
+            Err(SimError::BadThreadCount(e)) => {
+                assert_eq!(e.value(), bad);
+                assert!(e.to_string().contains("DLP_THREADS"), "{e}");
+            }
+            other => {
+                restore(&saved);
+                panic!("DLP_THREADS={bad}: expected BadThreadCount, got {other:?}");
+            }
+        }
+    }
+
+    restore(&saved);
+}

@@ -25,7 +25,14 @@ cargo clippy --workspace --all-targets -q -- -D warnings
 echo "== build: release, all targets"
 cargo build --workspace --all-targets --release -q
 
-echo "== test: full workspace (includes the dlp-inject adversarial sweep)"
-cargo test --workspace -q
+# The suite runs twice — forced-serial and 4 workers — so the
+# determinism contract of DESIGN.md §8 (bit-identical results for every
+# thread count) is exercised end to end, not just in the dedicated
+# determinism tests.
+echo "== test: full workspace, DLP_THREADS=1 (includes the dlp-inject adversarial sweep)"
+DLP_THREADS=1 cargo test --workspace -q
+
+echo "== test: full workspace, DLP_THREADS=4"
+DLP_THREADS=4 cargo test --workspace -q
 
 echo "All checks passed."
