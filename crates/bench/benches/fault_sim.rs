@@ -1,8 +1,10 @@
 //! Bench: PPSFP stuck-at fault simulation throughput — the
 //! word-parallelism payoff (vectors are processed 64 at a time), plus the
-//! serial-vs-parallel comparison of the thread layer.
+//! serial-vs-parallel comparison of the thread layer and the overhead of
+//! the observability recorder (noop vs enabled vs untraced).
 
 use dlp_circuit::generators;
+use dlp_core::obs::Recorder;
 use dlp_core::par::ThreadCount;
 use dlp_sim::{detection, ppsfp, stuck_at};
 
@@ -44,6 +46,31 @@ fn main() {
             );
         }
     }
+
+    // Observability overhead on the same workload: the untraced entry
+    // point, an explicit no-op recorder, and a fully enabled recorder.
+    // The tracing-off contract is near-zero overhead (a single bool
+    // check per record call), so untraced/noop should be within noise;
+    // the enabled ratio documents the price of a traced run.
+    let threads = ThreadCount::fixed(1).unwrap();
+    let untraced = report.bench("ppsfp/c432_class/1024/obs_off", || {
+        ppsfp::simulate_with(&netlist, faults.faults(), &vs, threads)
+            .unwrap()
+            .detected_count()
+    });
+    let noop = report.bench("ppsfp/c432_class/1024/obs_noop", || {
+        ppsfp::simulate_obs(&netlist, faults.faults(), &vs, threads, Recorder::noop())
+            .unwrap()
+            .detected_count()
+    });
+    let traced = report.bench("ppsfp/c432_class/1024/obs_on", || {
+        let obs = Recorder::enabled();
+        ppsfp::simulate_obs(&netlist, faults.faults(), &vs, threads, &obs)
+            .unwrap()
+            .detected_count()
+    });
+    report.record("ppsfp/c432_class/1024/obs_noop_ratio", noop / untraced);
+    report.record("ppsfp/c432_class/1024/obs_on_ratio", traced / untraced);
 
     // Scaling with circuit size on random logic.
     for gates in [100usize, 400, 1600] {

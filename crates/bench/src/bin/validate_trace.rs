@@ -1,0 +1,128 @@
+//! CI validator for observability run reports.
+//!
+//! Usage: `validate_trace <report.json>`. Parses the report with the
+//! in-tree JSON parser and checks that every pipeline stage left a span
+//! and that the load-bearing counters are nonzero — the check.sh gate
+//! that keeps the `DLP_TRACE` path honest.
+
+use std::process::ExitCode;
+
+use dlp_core::obs::Json;
+
+/// Spans every full-flow run must produce.
+const REQUIRED_SPANS: &[&str] = &[
+    "layout",
+    "extract",
+    "atpg",
+    "sim.gate",
+    "sim.switch",
+    "montecarlo",
+    "model.fit",
+];
+
+/// Counters that must exist and be nonzero.
+const REQUIRED_COUNTERS: &[&str] = &[
+    "extract.defect_classes",
+    "extract.bridge_pairs",
+    "extract.faults",
+    "atpg.vectors",
+    "sim.gate.faults",
+    "sim.gate.blocks",
+    "sim.gate.detected",
+    "sim.switch.faults",
+    "mc.shards",
+    "mc.dies",
+];
+
+fn check(report: &Json) -> Result<(), String> {
+    let spans = report
+        .get("spans")
+        .and_then(Json::as_object)
+        .ok_or("report has no spans object")?;
+    for name in REQUIRED_SPANS {
+        let span = spans
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing span {name:?}"))?;
+        let nanos = span
+            .get("nanos")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("span {name:?} has no nanos"))?;
+        let count = span
+            .get("count")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("span {name:?} has no count"))?;
+        if count < 1.0 {
+            return Err(format!("span {name:?} never entered"));
+        }
+        if nanos < 0.0 {
+            return Err(format!("span {name:?} has negative time"));
+        }
+    }
+    let counters = report
+        .get("counters")
+        .and_then(Json::as_object)
+        .ok_or("report has no counters object")?;
+    for name in REQUIRED_COUNTERS {
+        let value = counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_f64())
+            .ok_or_else(|| format!("missing counter {name:?}"))?;
+        if value <= 0.0 {
+            return Err(format!("counter {name:?} is zero"));
+        }
+    }
+    // Per-worker tallies must account for every gate-level fault
+    // simulation: their sum equals the sum of the live-per-block series.
+    let worker_sum: f64 = counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("sim.gate.worker") && k.ends_with(".items"))
+        .filter_map(|(_, v)| v.as_f64())
+        .sum();
+    let live_sum: f64 = report
+        .get("series")
+        .and_then(|s| s.get("sim.gate.live_per_block"))
+        .and_then(Json::as_array)
+        .map(|xs| xs.iter().filter_map(Json::as_f64).sum())
+        .ok_or("missing series sim.gate.live_per_block")?;
+    if worker_sum != live_sum {
+        return Err(format!(
+            "sim.gate worker tallies sum to {worker_sum}, \
+             but {live_sum} fault simulations were performed"
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: validate_trace <report.json>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate_trace: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match Json::parse(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("validate_trace: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&report) {
+        Ok(()) => {
+            println!("validate_trace: {path} OK");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("validate_trace: {path}: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

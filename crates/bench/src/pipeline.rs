@@ -4,11 +4,14 @@
 
 use dlp_atpg::generate::{generate_tests, AtpgConfig, PodemVerdict};
 use dlp_circuit::{generators, switch, Netlist};
+use dlp_core::obs::{Recorder, RunReport, TraceSetting};
+use dlp_core::par::ThreadCount;
 use dlp_core::weighted::FaultWeights;
 use dlp_core::{Diagnostics, PipelineError, Stage};
 use dlp_extract::defects::DefectStatistics;
 use dlp_extract::extractor;
 use dlp_extract::faults::{FaultSet, OpenLevelModel};
+use dlp_extract::ExtractError;
 use dlp_layout::chip::ChipLayout;
 use dlp_sim::detection::DetectionRecord;
 use dlp_sim::switchlevel::{SwitchConfig, SwitchSimulator};
@@ -42,6 +45,19 @@ pub fn extract_c432(stats: &DefectStatistics) -> Result<Extraction, PipelineErro
     extract_netlist(generators::c432_class(), stats)
 }
 
+/// [`extract_c432`] with an observability [`Recorder`]; see
+/// [`extract_netlist_obs`].
+///
+/// # Errors
+///
+/// See [`extract_netlist`].
+pub fn extract_c432_obs(
+    stats: &DefectStatistics,
+    obs: &Recorder,
+) -> Result<Extraction, PipelineError> {
+    extract_netlist_obs(generators::c432_class(), stats, obs)
+}
+
 /// Same pipeline for an arbitrary netlist.
 ///
 /// Recoverable anomalies degrade gracefully instead of aborting: layout
@@ -58,10 +74,31 @@ pub fn extract_netlist(
     netlist: Netlist,
     stats: &DefectStatistics,
 ) -> Result<Extraction, PipelineError> {
+    extract_netlist_obs(netlist, stats, Recorder::noop())
+}
+
+/// [`extract_netlist`] with an observability [`Recorder`].
+///
+/// Adds `layout` and `extract` spans, layout shape / pruning counters,
+/// and the extraction-stage counters and gauges recorded by
+/// [`extractor::extract_obs`]. Tracing never changes the extraction.
+///
+/// # Errors
+///
+/// See [`extract_netlist`].
+pub fn extract_netlist_obs(
+    netlist: Netlist,
+    stats: &DefectStatistics,
+    obs: &Recorder,
+) -> Result<Extraction, PipelineError> {
     let mut diagnostics = Diagnostics::new();
-    let chip = ChipLayout::generate(&netlist, &Default::default())
-        .map_err(|e| PipelineError::from(e).context(netlist.name().to_string()))?;
+    let chip = {
+        let _span = obs.span("layout");
+        ChipLayout::generate(&netlist, &Default::default())
+            .map_err(|e| PipelineError::from(e).context(netlist.name().to_string()))?
+    };
     let violations = chip.verify_connectivity();
+    obs.add("layout.violations", violations.len() as u64);
     if !violations.is_empty() {
         diagnostics.warn(
             Stage::Layout,
@@ -73,9 +110,12 @@ pub fn extract_netlist(
             ),
         );
     }
-    let mut faults = extractor::extract(&chip, stats)?;
+    let threads = ThreadCount::from_env().map_err(ExtractError::from)?;
+    let config = dlp_extract::extractor::ExtractionConfig::default();
+    let mut faults = extractor::extract_obs(&chip, stats, &config, threads, obs)?;
     let before = faults.len();
     let dropped = faults.prune_below(1e-5);
+    obs.add("extract.pruned", dropped as u64);
     if faults.is_empty() && before > 0 {
         diagnostics.warn(
             Stage::Extraction,
@@ -83,7 +123,7 @@ pub fn extract_netlist(
                 "pruning would drop all {before} faults; keeping the unpruned list"
             ),
         );
-        faults = extractor::extract(&chip, stats)?;
+        faults = extractor::extract_obs(&chip, stats, &config, threads, obs)?;
     } else if dropped > 0 && dropped * 4 > before {
         diagnostics.warn(
             Stage::Extraction,
@@ -94,6 +134,7 @@ pub fn extract_netlist(
         .map_err(|e| PipelineError::from(e).context("building fault weights"))?
         .scaled_to_yield(PAPER_YIELD)
         .map_err(|e| PipelineError::from(e).context("scaling weights to the paper yield"))?;
+    obs.gauge("weights.yield", PAPER_YIELD);
     Ok(Extraction {
         netlist,
         chip,
@@ -124,18 +165,40 @@ pub struct SimulationRun {
 /// A stage-tagged [`PipelineError`] when the netlist cannot be expanded
 /// to switch level or the fault list cannot be lowered onto it.
 pub fn simulate(extraction: &Extraction, seed: u64) -> Result<SimulationRun, PipelineError> {
+    simulate_obs(extraction, seed, Recorder::noop())
+}
+
+/// [`simulate`] with an observability [`Recorder`].
+///
+/// Adds an `atpg` span and vector/redundancy counters, then runs the
+/// gate-level simulator via [`ppsfp::simulate_obs`] (scope `sim.gate`)
+/// and the switch-level simulator via
+/// [`SwitchSimulator::detect_obs`] (scope `sim.switch`). Tracing never
+/// changes either record.
+///
+/// # Errors
+///
+/// See [`simulate`].
+pub fn simulate_obs(
+    extraction: &Extraction,
+    seed: u64,
+    obs: &Recorder,
+) -> Result<SimulationRun, PipelineError> {
     let netlist = &extraction.netlist;
     let sa = stuck_at::enumerate(netlist).collapse();
-    let atpg = generate_tests(
-        netlist,
-        sa.faults(),
-        &AtpgConfig {
-            random_budget: 1024,
-            random_stall: 192,
-            seed,
-            ..Default::default()
-        },
-    )?;
+    let atpg = {
+        let _span = obs.span("atpg");
+        generate_tests(
+            netlist,
+            sa.faults(),
+            &AtpgConfig {
+                random_budget: 1024,
+                random_stall: 192,
+                seed,
+                ..Default::default()
+            },
+        )?
+    };
     let redundant: Vec<_> = atpg
         .undetected
         .iter()
@@ -148,8 +211,12 @@ pub fn simulate(extraction: &Extraction, seed: u64) -> Result<SimulationRun, Pip
         .copied()
         .filter(|f| !redundant.contains(f))
         .collect();
+    obs.add("atpg.vectors", atpg.vectors.len() as u64);
+    obs.add("atpg.random_prefix", atpg.random_prefix_len as u64);
+    obs.add("atpg.redundant", redundant.len() as u64);
 
-    let record_t = ppsfp::simulate(netlist, &testable, &atpg.vectors)?;
+    let threads = ThreadCount::from_env().map_err(dlp_core::ModelError::from)?;
+    let record_t = ppsfp::simulate_obs(netlist, &testable, &atpg.vectors, threads, obs)?;
 
     let sw = switch::expand(netlist)
         .map_err(|e| PipelineError::from(e).context("expanding to switch level"))?;
@@ -159,7 +226,13 @@ pub fn simulate(extraction: &Extraction, seed: u64) -> Result<SimulationRun, Pip
         sim.netlist(),
         &OpenLevelModel::default(),
     )?;
-    let record_theta = sim.detect(&lowered, &atpg.vectors)?;
+    let record_theta = sim.detect_obs(
+        &lowered,
+        &atpg.vectors,
+        dlp_sim::switchlevel::DetectionMode::Voltage,
+        threads,
+        obs,
+    )?;
 
     Ok(SimulationRun {
         vectors: atpg.vectors,
@@ -168,6 +241,41 @@ pub fn simulate(extraction: &Extraction, seed: u64) -> Result<SimulationRun, Pip
         record_theta,
         redundant: redundant.len(),
     })
+}
+
+/// Builds a [`Recorder`] from the `DLP_TRACE` environment variable:
+/// enabled when tracing is requested (`DLP_TRACE=1` or an explicit
+/// path), a no-op recorder otherwise.
+pub fn recorder_from_env() -> Recorder {
+    Recorder::from_setting(&TraceSetting::from_env())
+}
+
+/// Writes the recorder's [`RunReport`] to the path requested by
+/// `DLP_TRACE`, next to the `BENCH_*.json` files at the workspace root.
+///
+/// `DLP_TRACE=1` selects the default path `TRACE_<name>.json`; any other
+/// non-empty, non-`"0"` value is used as the path verbatim. Returns the
+/// written path, or `None` when tracing is off (including a disabled
+/// recorder, so callers can pass the recorder straight through).
+///
+/// # Errors
+///
+/// Propagates the I/O error if the report file cannot be written.
+pub fn write_run_report(obs: &Recorder, name: &str) -> std::io::Result<Option<String>> {
+    let setting = TraceSetting::from_env();
+    if !obs.is_enabled() || !setting.is_on() {
+        return Ok(None);
+    }
+    let default = format!(
+        "{}/../../TRACE_{name}.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let Some(path) = setting.resolve(&default) else {
+        return Ok(None);
+    };
+    let report: RunReport = obs.report(name);
+    report.write_to(&path)?;
+    Ok(Some(path))
 }
 
 /// One curve sample: `(k, T(k), θ(k), Γ(k), DL(θ(k)))`.

@@ -84,9 +84,17 @@ impl CoverageGrowth {
     /// Vectors needed to reach coverage `c` (inverse of [`at`](Self::at)),
     /// rounded up.
     ///
+    /// The returned count is *sufficient*: `at(vectors_for(c)?) >= c`
+    /// holds exactly (a bounded upward correction absorbs the
+    /// floating-point noise of the log/exp round trip).
+    ///
     /// # Errors
     ///
-    /// [`ModelError::Unreachable`] if `c ≥ max`.
+    /// [`ModelError::Unreachable`] if `c ≥ max`;
+    /// [`ModelError::VectorCountOverflow`] if the required count
+    /// exceeds `u64::MAX` (high-susceptibility laws near saturation) —
+    /// previously this saturated silently to `u64::MAX`, returning a
+    /// wrong count as if it were meaningful.
     pub fn vectors_for(&self, c: f64) -> Result<u64, ModelError> {
         let c = check_unit("coverage", c)?;
         if c >= self.max {
@@ -98,7 +106,29 @@ impl CoverageGrowth {
         }
         // c = max(1 - e^(-ln k/ln tau))  =>  ln k = -ln tau * ln(1 - c/max).
         let lnk = -self.tau.ln() * (1.0 - c / self.max).ln();
-        Ok(lnk.exp().ceil() as u64)
+        let k_real = lnk.exp();
+        if !k_real.is_finite() || k_real >= u64::MAX as f64 {
+            return Err(ModelError::VectorCountOverflow {
+                coverage: c,
+                ln_vectors: lnk,
+            });
+        }
+        let mut k = k_real.ceil() as u64;
+        // Sufficiency guarantee: walk k up through the few counts the
+        // exp/ln rounding can leave short (geometrically growing steps
+        // keep the loop bounded even in flat regions).
+        let mut step = 1u64;
+        for _ in 0..64 {
+            if self.at(k) >= c {
+                return Ok(k);
+            }
+            k = k.saturating_add(step);
+            step = step.saturating_mul(2);
+        }
+        Err(ModelError::VectorCountOverflow {
+            coverage: c,
+            ln_vectors: lnk,
+        })
     }
 }
 
@@ -198,6 +228,31 @@ mod tests {
             }
         }
         assert!(g.vectors_for(1.0).is_err());
+    }
+
+    #[test]
+    fn vectors_for_overflow_is_a_typed_error_not_a_saturated_count() {
+        // τ = e^700: even modest coverages need e^(700·…) vectors. The
+        // old code returned u64::MAX as if it were a real count.
+        let g = CoverageGrowth::new(700.0f64.exp(), 1.0).unwrap();
+        match g.vectors_for(0.5) {
+            Err(ModelError::VectorCountOverflow {
+                coverage,
+                ln_vectors,
+            }) => {
+                assert_eq!(coverage, 0.5);
+                assert!(ln_vectors > 400.0, "ln k = {ln_vectors}");
+            }
+            other => panic!("expected VectorCountOverflow, got {other:?}"),
+        }
+        // A saturating-but-representable case still succeeds…
+        let g = CoverageGrowth::new(3.0f64.exp(), 1.0).unwrap();
+        assert!(g.vectors_for(0.999999).is_ok());
+        // …and c >= max keeps its Unreachable error.
+        assert!(matches!(
+            g.vectors_for(1.0),
+            Err(ModelError::Unreachable { .. })
+        ));
     }
 
     #[test]

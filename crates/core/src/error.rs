@@ -31,6 +31,15 @@ pub enum ModelError {
     },
     /// A fit was asked to run on insufficient or degenerate data.
     BadFitData(&'static str),
+    /// A required random-vector count exceeds what a `u64` can hold —
+    /// the target coverage sits so close to the saturation level that
+    /// the growth law needs an astronomical test length.
+    VectorCountOverflow {
+        /// The requested coverage.
+        coverage: f64,
+        /// Natural log of the (unrepresentable) required vector count.
+        ln_vectors: f64,
+    },
     /// The `DLP_THREADS` override is not a positive thread count.
     BadThreadCount(crate::par::ParError),
 }
@@ -56,6 +65,16 @@ impl fmt::Display for ModelError {
                 write!(f, "fit did not converge within {iterations} iterations")
             }
             ModelError::BadFitData(what) => write!(f, "cannot fit: {what}"),
+            ModelError::VectorCountOverflow {
+                coverage,
+                ln_vectors,
+            } => {
+                write!(
+                    f,
+                    "coverage {coverage} needs e^{ln_vectors:.1} random vectors, \
+                     which overflows a u64 count"
+                )
+            }
             ModelError::BadThreadCount(e) => e.fmt(f),
         }
     }

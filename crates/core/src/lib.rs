@@ -19,7 +19,9 @@
 //!   statistically,
 //! * [`par`] — the dependency-free scoped thread pool behind the
 //!   simulation and Monte-Carlo hot paths (`DLP_THREADS` override,
-//!   deterministic chunked work distribution).
+//!   deterministic chunked work distribution),
+//! * [`obs`] — the observability layer: stage spans, counters, gauges,
+//!   and the JSON `RunReport` behind the `DLP_TRACE` contract.
 //!
 //! All quantities are dimensionless: yields, coverages and defect levels in
 //! `[0, 1]` (use [`Ppm`] for parts-per-million display), susceptibilities
@@ -47,6 +49,7 @@ pub mod coverage;
 mod error;
 pub mod fit;
 pub mod montecarlo;
+pub mod obs;
 pub mod par;
 mod pipeline;
 mod ppm;

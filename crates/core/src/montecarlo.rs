@@ -8,6 +8,7 @@
 //! counted. The estimate must converge to eq. 3 — a strong end-to-end
 //! validation of the model implementation that needs no external data.
 
+use crate::obs::Recorder;
 use crate::par::{self, ThreadCount};
 use crate::weighted::FaultWeights;
 use crate::ModelError;
@@ -118,6 +119,29 @@ pub fn simulate_fallout_with(
     config: &MonteCarloConfig,
     threads: ThreadCount,
 ) -> Result<FalloutEstimate, ModelError> {
+    simulate_fallout_obs(weights, detected, config, threads, Recorder::noop())
+}
+
+/// [`simulate_fallout_with`] with observability: records the
+/// `montecarlo` span, shard/die counters, fallout tallies
+/// (`mc.good` / `mc.shipped` / `mc.escapes`), and per-worker shard
+/// throughput (`mc.worker<i>.items`) into `obs`.
+///
+/// Recording is observation-only: the counted [`FalloutEstimate`] is
+/// bit-identical to [`simulate_fallout_with`] for every thread count,
+/// with tracing on or off.
+///
+/// # Errors
+///
+/// See [`simulate_fallout_with`].
+pub fn simulate_fallout_obs(
+    weights: &FaultWeights,
+    detected: &[bool],
+    config: &MonteCarloConfig,
+    threads: ThreadCount,
+    obs: &Recorder,
+) -> Result<FalloutEstimate, ModelError> {
+    let _span = obs.span("montecarlo");
     if detected.len() != weights.len() {
         return Err(ModelError::BadFitData("detection mask length mismatch"));
     }
@@ -131,7 +155,10 @@ pub fn simulate_fallout_with(
     let shards: Vec<(u64, usize)> = (0..config.dies.div_ceil(SHARD_DIES))
         .map(|s| (s as u64, SHARD_DIES.min(config.dies - s * SHARD_DIES)))
         .collect();
-    let parts = par::map_chunks(threads.get(), &shards, shards.len(), |_, shard| {
+    obs.add("mc.shards", shards.len() as u64);
+    obs.add("mc.dies", config.dies as u64);
+    obs.add("mc.faults", weights.len() as u64);
+    let parts = par::map_chunks_counted(threads.get(), &shards, shards.len(), obs, "mc", |_, shard| {
         let mut good = 0usize;
         let mut shipped = 0usize;
         let mut escapes = 0usize;
@@ -174,6 +201,9 @@ pub fn simulate_fallout_with(
         shipped += s;
         escapes += e;
     }
+    obs.add("mc.good", good as u64);
+    obs.add("mc.shipped", shipped as u64);
+    obs.add("mc.escapes", escapes as u64);
     Ok(FalloutEstimate {
         fabricated: config.dies,
         good,
@@ -285,6 +315,37 @@ mod tests {
                 reference,
                 "threads={t}"
             );
+        }
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_the_estimate() {
+        let w = weights(8, 0.7);
+        let d = vec![true, true, false, true, false, false, true, true];
+        let cfg = MonteCarloConfig {
+            dies: 2 * SHARD_DIES + 19,
+            seed: 0xACE,
+        };
+        let plain = simulate_fallout_with(&w, &d, &cfg, ThreadCount::fixed(1).unwrap()).unwrap();
+        for t in [1usize, 4] {
+            let obs = Recorder::enabled();
+            let traced =
+                simulate_fallout_obs(&w, &d, &cfg, ThreadCount::fixed(t).unwrap(), &obs).unwrap();
+            assert_eq!(traced, plain, "threads={t}");
+            let report = obs.report("mc");
+            assert_eq!(report.counter("mc.dies"), Some(cfg.dies as u64));
+            assert_eq!(report.counter("mc.shards"), Some(3));
+            assert_eq!(report.counter("mc.good"), Some(plain.good as u64));
+            assert_eq!(report.counter("mc.shipped"), Some(plain.shipped as u64));
+            assert_eq!(report.counter("mc.escapes"), Some(plain.escapes as u64));
+            assert!(report.span_nanos("montecarlo").is_some());
+            let worker_total: u64 = report
+                .counters
+                .iter()
+                .filter(|(n, _)| n.starts_with("mc.worker"))
+                .map(|&(_, v)| v)
+                .sum();
+            assert_eq!(worker_total, 3, "every shard attributed to a worker");
         }
     }
 

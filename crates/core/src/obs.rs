@@ -1,0 +1,972 @@
+//! Dependency-free pipeline observability: stage-scoped spans, named
+//! counters/gauges/series, and a JSON [`RunReport`].
+//!
+//! The extract → simulate → fit pipeline is exactly the kind of
+//! multi-stage flow where silent data loss hides: a surprising `DL(T)`
+//! curve gives no hint of *which* stage dropped faults or ate the
+//! wall-clock. This module gives every stage a [`Recorder`] to write
+//! into:
+//!
+//! * **spans** — monotonic wall-clock timing of a named scope
+//!   ([`Recorder::span`] returns an RAII guard; nested/repeated spans
+//!   accumulate `nanos` and `count`);
+//! * **counters** — named monotonic `u64` tallies ([`Recorder::add`],
+//!   [`Recorder::incr`]) such as faults enumerated or dies simulated;
+//! * **gauges** — last-write-wins `f64` observations
+//!   ([`Recorder::gauge`]) such as critical-area totals;
+//! * **series** — append-only `f64` sequences ([`Recorder::push`]) such
+//!   as the live-fault count per 64-pattern simulation block.
+//!
+//! A snapshot of everything recorded is a [`RunReport`], which
+//! serialises to the same hand-rolled JSON style as the bench harness's
+//! `BENCH_*.json` files and parses back with the minimal [`Json`]
+//! reader (used by CI to validate emitted reports).
+//!
+//! # The `DLP_TRACE` contract
+//!
+//! Tracing defaults to **off**: the pipeline entry points take a
+//! [`Recorder`] and callers that do not care pass [`Recorder::noop`],
+//! whose methods return before touching any state (a branch on one
+//! `bool` — no clock reads, no allocation, no locking). Binaries that
+//! honour tracing resolve [`TraceSetting::from_env`]: `DLP_TRACE`
+//! unset, empty, or `0` is off; `1` means "write the report to the
+//! caller's default path"; anything else is the report path itself.
+//!
+//! # Determinism
+//!
+//! Recording never feeds back into computation: an enabled recorder
+//! observes the pipeline but cannot perturb it, so results stay
+//! bit-identical for every `DLP_THREADS` setting with tracing on or
+//! off. The *report contents* are deterministic too, with one
+//! documented exception: per-worker item tallies
+//! (`<scope>.worker<i>.items`) depend on which worker won which chunk
+//! and may vary run to run — their sum is invariant.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The environment variable that enables trace reports.
+pub const TRACE_ENV: &str = "DLP_TRACE";
+
+/// Resolution of the `DLP_TRACE` environment variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceSetting {
+    /// Tracing disabled (unset, empty, or `0`).
+    Off,
+    /// Tracing enabled; write the report to the caller's default path
+    /// (`DLP_TRACE=1`).
+    Default,
+    /// Tracing enabled; write the report to this path.
+    Path(String),
+}
+
+impl TraceSetting {
+    /// Reads [`TRACE_ENV`] from the environment.
+    pub fn from_env() -> TraceSetting {
+        Self::from_setting(std::env::var(TRACE_ENV).ok().as_deref())
+    }
+
+    /// Parses an explicit `DLP_TRACE`-style setting (`None` = unset).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dlp_core::obs::TraceSetting;
+    ///
+    /// assert_eq!(TraceSetting::from_setting(None), TraceSetting::Off);
+    /// assert_eq!(TraceSetting::from_setting(Some("0")), TraceSetting::Off);
+    /// assert_eq!(TraceSetting::from_setting(Some("1")), TraceSetting::Default);
+    /// assert_eq!(
+    ///     TraceSetting::from_setting(Some("out/trace.json")),
+    ///     TraceSetting::Path("out/trace.json".into())
+    /// );
+    /// ```
+    pub fn from_setting(setting: Option<&str>) -> TraceSetting {
+        match setting.map(str::trim) {
+            None | Some("") | Some("0") => TraceSetting::Off,
+            Some("1") => TraceSetting::Default,
+            Some(path) => TraceSetting::Path(path.to_string()),
+        }
+    }
+
+    /// Whether tracing is enabled at all.
+    pub fn is_on(&self) -> bool {
+        *self != TraceSetting::Off
+    }
+
+    /// The report path: `default` under [`TraceSetting::Default`], the
+    /// explicit path under [`TraceSetting::Path`], `None` when off.
+    pub fn resolve(&self, default: &str) -> Option<String> {
+        match self {
+            TraceSetting::Off => None,
+            TraceSetting::Default => Some(default.to_string()),
+            TraceSetting::Path(p) => Some(p.clone()),
+        }
+    }
+}
+
+/// Accumulated timing of one span name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct SpanStats {
+    nanos: u64,
+    count: u64,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    spans: BTreeMap<String, SpanStats>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    series: BTreeMap<String, Vec<f64>>,
+}
+
+impl State {
+    const fn new() -> State {
+        State {
+            spans: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            series: BTreeMap::new(),
+        }
+    }
+}
+
+fn lock_or_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The shared no-op recorder behind [`Recorder::noop`].
+static NOOP: Recorder = Recorder::disabled();
+
+/// Collects spans, counters, gauges, and series for one pipeline run.
+///
+/// `Recorder` is `Sync`: parallel workers may record concurrently (the
+/// state sits behind a mutex). A disabled recorder ([`Recorder::noop`] /
+/// [`Recorder::disabled`]) short-circuits every method on a single
+/// `bool` — the overhead contract the benches verify.
+///
+/// # Example
+///
+/// ```
+/// use dlp_core::obs::Recorder;
+///
+/// let obs = Recorder::enabled();
+/// {
+///     let _span = obs.span("extract");
+///     obs.add("extract.faults", 128);
+///     obs.gauge("extract.weight.total", 0.29);
+///     obs.push("sim.live_per_block", 128.0);
+/// }
+/// let report = obs.report("demo");
+/// assert_eq!(report.counter("extract.faults"), Some(128));
+/// assert!(report.span_nanos("extract").is_some());
+/// ```
+#[derive(Debug)]
+pub struct Recorder {
+    enabled: bool,
+    state: Mutex<State>,
+}
+
+impl Recorder {
+    /// A recorder that collects everything.
+    pub const fn enabled() -> Recorder {
+        Recorder {
+            enabled: true,
+            state: Mutex::new(State::new()),
+        }
+    }
+
+    /// A recorder whose every method is a no-op.
+    pub const fn disabled() -> Recorder {
+        Recorder {
+            enabled: false,
+            state: Mutex::new(State::new()),
+        }
+    }
+
+    /// The process-wide shared no-op recorder, for callers that do not
+    /// trace.
+    pub fn noop() -> &'static Recorder {
+        &NOOP
+    }
+
+    /// A recorder matching a [`TraceSetting`]: collecting when the
+    /// setting is on, no-op otherwise.
+    pub fn from_setting(setting: &TraceSetting) -> Recorder {
+        if setting.is_on() {
+            Recorder::enabled()
+        } else {
+            Recorder::disabled()
+        }
+    }
+
+    /// Whether this recorder collects anything. Use to skip building
+    /// expensive labels (e.g. `format!`ed counter names) up front.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Starts a named span; the returned guard records the elapsed
+    /// wall-clock time into the span's totals when dropped.
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        Span {
+            recorder: self,
+            name,
+            start: self.enabled.then(Instant::now),
+        }
+    }
+
+    /// Adds `delta` to the named monotonic counter (created at 0).
+    pub fn add(&self, name: &str, delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut state = lock_or_recover(&self.state);
+        if let Some(c) = state.counters.get_mut(name) {
+            *c = c.saturating_add(delta);
+        } else {
+            state.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Increments the named counter by one.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Sets the named gauge (last write wins).
+    pub fn gauge(&self, name: &str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        let mut state = lock_or_recover(&self.state);
+        if let Some(g) = state.gauges.get_mut(name) {
+            *g = value;
+        } else {
+            state.gauges.insert(name.to_string(), value);
+        }
+    }
+
+    /// Appends `value` to the named series.
+    pub fn push(&self, name: &str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        let mut state = lock_or_recover(&self.state);
+        if let Some(s) = state.series.get_mut(name) {
+            s.push(value);
+        } else {
+            state.series.insert(name.to_string(), vec![value]);
+        }
+    }
+
+    fn record_span(&self, name: &'static str, nanos: u64) {
+        let mut state = lock_or_recover(&self.state);
+        let stats = state.spans.entry(name.to_string()).or_default();
+        stats.nanos = stats.nanos.saturating_add(nanos);
+        stats.count += 1;
+    }
+
+    /// Snapshots everything recorded so far into a [`RunReport`].
+    pub fn report(&self, name: &str) -> RunReport {
+        let state = lock_or_recover(&self.state);
+        RunReport {
+            name: name.to_string(),
+            spans: state
+                .spans
+                .iter()
+                .map(|(n, s)| SpanEntry {
+                    name: n.clone(),
+                    nanos: s.nanos,
+                    count: s.count,
+                })
+                .collect(),
+            counters: state
+                .counters
+                .iter()
+                .map(|(n, &v)| (n.clone(), v))
+                .collect(),
+            gauges: state.gauges.iter().map(|(n, &v)| (n.clone(), v)).collect(),
+            series: state
+                .series
+                .iter()
+                .map(|(n, v)| (n.clone(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// RAII span guard from [`Recorder::span`]; records on drop.
+#[derive(Debug)]
+pub struct Span<'a> {
+    recorder: &'a Recorder,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.recorder.record_span(self.name, nanos);
+        }
+    }
+}
+
+/// Accumulated timing of one named span in a [`RunReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEntry {
+    /// The span name.
+    pub name: String,
+    /// Total wall-clock nanoseconds across all executions.
+    pub nanos: u64,
+    /// How many times the span ran.
+    pub count: u64,
+}
+
+/// An immutable snapshot of a [`Recorder`], serialisable to JSON.
+///
+/// The JSON shape (hand-rolled, like the bench harness reports):
+///
+/// ```json
+/// {
+///   "name": "full_flow_c432",
+///   "spans": { "extract": { "nanos": 91342011, "count": 1 } },
+///   "counters": { "extract.faults": 1182 },
+///   "gauges": { "extract.weight.total": 0.2876 },
+///   "series": { "sim.gate.live_per_block": [864, 131, 42] }
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// The run name (the `TRACE_<name>.json` stem by convention).
+    pub name: String,
+    /// Per-span accumulated timings, sorted by name.
+    pub spans: Vec<SpanEntry>,
+    /// Monotonic counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Series, sorted by name.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+impl RunReport {
+    /// Total nanoseconds of the named span, if recorded.
+    pub fn span_nanos(&self, name: &str) -> Option<u64> {
+        self.spans
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.nanos)
+    }
+
+    /// The named counter's value, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The named gauge's value, if recorded.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The named series, if recorded.
+    pub fn series(&self, name: &str) -> Option<&[f64]> {
+        self.series
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// Serialises the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"name\": {},\n", json_string(&self.name)));
+        out.push_str("  \"spans\": {");
+        for (i, s) in self.spans.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {}: {{ \"nanos\": {}, \"count\": {} }}",
+                json_string(&s.name),
+                s.nanos,
+                s.count
+            ));
+        }
+        out.push_str(if self.spans.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"counters\": {");
+        for (i, (n, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!("    {}: {v}", json_string(n)));
+        }
+        out.push_str(if self.counters.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"gauges\": {");
+        for (i, (n, v)) in self.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!("    {}: {}", json_string(n), json_number(*v)));
+        }
+        out.push_str(if self.gauges.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"series\": {");
+        for (i, (n, vs)) in self.series.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let body: Vec<String> = vs.iter().map(|&v| json_number(v)).collect();
+            out.push_str(&format!("    {}: [{}]", json_string(n), body.join(", ")));
+        }
+        out.push_str(if self.series.is_empty() { "}\n" } else { "\n  }\n" });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes [`to_json`](Self::to_json) to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from creating or writing the file.
+    pub fn write_to(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Escapes a string as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON value (`null` for non-finite inputs,
+/// which JSON cannot represent as numbers).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `Display` omits the fraction for integral floats; keep the
+        // value round-trippable as a float.
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A malformed JSON document, with the byte offset of the offence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What was wrong.
+    pub message: &'static str,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// A minimal parsed JSON value — just enough for CI to validate emitted
+/// [`RunReport`]s without external dependencies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (also produced for non-finite gauge values).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, in source order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a complete JSON document (trailing whitespace allowed).
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] with the byte offset of the first malformed token.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dlp_core::obs::Json;
+    ///
+    /// let v = Json::parse(r#"{"counters": {"faults": 42}}"#)?;
+    /// let faults = v.get("counters").and_then(|c| c.get("faults"));
+    /// assert_eq!(faults.and_then(Json::as_f64), Some(42.0));
+    /// # Ok::<(), dlp_core::obs::JsonError>(())
+    /// ```
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError {
+                offset: pos,
+                message: "trailing content after the document",
+            });
+        }
+        Ok(value)
+    }
+
+    /// Object member lookup; `None` on non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object members, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect_byte(bytes: &[u8], pos: &mut usize, byte: u8, message: &'static str) -> Result<(), JsonError> {
+    if *pos < bytes.len() && bytes[*pos] == byte {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(JsonError {
+            offset: *pos,
+            message,
+        })
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        _ => Err(JsonError {
+            offset: *pos,
+            message: "expected a JSON value",
+        }),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &'static str,
+    value: Json,
+) -> Result<Json, JsonError> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(JsonError {
+            offset: *pos,
+            message: "malformed literal",
+        })
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && (bytes[*pos].is_ascii_digit()
+            || matches!(bytes[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|n| n.is_finite())
+        .map(Json::Number)
+        .ok_or(JsonError {
+            offset: start,
+            message: "malformed number",
+        })
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect_byte(bytes, pos, b'"', "expected '\"'")?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => {
+                return Err(JsonError {
+                    offset: *pos,
+                    message: "unterminated string",
+                })
+            }
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .and_then(char::from_u32)
+                            .ok_or(JsonError {
+                                offset: *pos,
+                                message: "malformed \\u escape",
+                            })?;
+                        out.push(hex);
+                        *pos += 4;
+                    }
+                    _ => {
+                        return Err(JsonError {
+                            offset: *pos,
+                            message: "unknown escape",
+                        })
+                    }
+                }
+                *pos += 1;
+            }
+            Some(&byte) if byte < 0x20 => {
+                return Err(JsonError {
+                    offset: *pos,
+                    message: "unescaped control character",
+                })
+            }
+            Some(&byte) => {
+                // Copy one UTF-8 scalar. The input came from a &str, so
+                // the lead byte determines the sequence length and the
+                // bytes are valid UTF-8 by construction.
+                let len = utf8_len(byte);
+                let chunk = bytes.get(*pos..*pos + len).ok_or(JsonError {
+                    offset: *pos,
+                    message: "truncated UTF-8 sequence",
+                })?;
+                let s = std::str::from_utf8(chunk).map_err(|_| JsonError {
+                    offset: *pos,
+                    message: "invalid UTF-8",
+                })?;
+                out.push_str(s);
+                *pos += len;
+            }
+        }
+    }
+}
+
+fn utf8_len(lead: u8) -> usize {
+    if lead < 0x80 {
+        1
+    } else if lead < 0xE0 {
+        2
+    } else if lead < 0xF0 {
+        3
+    } else {
+        4
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect_byte(bytes, pos, b'[', "expected '['")?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => {
+                return Err(JsonError {
+                    offset: *pos,
+                    message: "expected ',' or ']'",
+                })
+            }
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect_byte(bytes, pos, b'{', "expected '{'")?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect_byte(bytes, pos, b':', "expected ':'")?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(members));
+            }
+            _ => {
+                return Err(JsonError {
+                    offset: *pos,
+                    message: "expected ',' or '}'",
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_setting_parses() {
+        assert_eq!(TraceSetting::from_setting(None), TraceSetting::Off);
+        assert_eq!(TraceSetting::from_setting(Some("")), TraceSetting::Off);
+        assert_eq!(TraceSetting::from_setting(Some(" 0 ")), TraceSetting::Off);
+        assert_eq!(TraceSetting::from_setting(Some("1")), TraceSetting::Default);
+        assert_eq!(
+            TraceSetting::from_setting(Some("a/b.json")),
+            TraceSetting::Path("a/b.json".to_string())
+        );
+        assert_eq!(TraceSetting::Off.resolve("x.json"), None);
+        assert_eq!(
+            TraceSetting::Default.resolve("x.json"),
+            Some("x.json".to_string())
+        );
+        assert_eq!(
+            TraceSetting::Path("y.json".to_string()).resolve("x.json"),
+            Some("y.json".to_string())
+        );
+        assert!(!TraceSetting::Off.is_on());
+        assert!(TraceSetting::Default.is_on());
+    }
+
+    #[test]
+    fn noop_recorder_records_nothing() {
+        let obs = Recorder::noop();
+        assert!(!obs.is_enabled());
+        {
+            let _span = obs.span("stage");
+            obs.add("c", 3);
+            obs.gauge("g", 1.5);
+            obs.push("s", 2.0);
+        }
+        let report = obs.report("noop");
+        assert!(report.spans.is_empty());
+        assert!(report.counters.is_empty());
+        assert!(report.gauges.is_empty());
+        assert!(report.series.is_empty());
+    }
+
+    #[test]
+    fn enabled_recorder_accumulates() {
+        let obs = Recorder::enabled();
+        for _ in 0..3 {
+            let _span = obs.span("stage");
+            obs.add("c", 2);
+            obs.push("s", 1.0);
+        }
+        obs.incr("c");
+        obs.gauge("g", 1.0);
+        obs.gauge("g", 2.5);
+        let report = obs.report("run");
+        assert_eq!(report.name, "run");
+        assert_eq!(report.counter("c"), Some(7));
+        assert_eq!(report.gauge("g"), Some(2.5));
+        assert_eq!(report.series("s"), Some(&[1.0, 1.0, 1.0][..]));
+        let span = &report.spans[0];
+        assert_eq!(span.name, "stage");
+        assert_eq!(span.count, 3);
+        assert_eq!(report.span_nanos("stage"), Some(span.nanos));
+        assert_eq!(report.counter("missing"), None);
+    }
+
+    #[test]
+    fn recorder_is_sync_across_threads() {
+        let obs = Recorder::enabled();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        obs.incr("hits");
+                    }
+                });
+            }
+        });
+        assert_eq!(obs.report("t").counter("hits"), Some(400));
+    }
+
+    #[test]
+    fn report_json_round_trips_through_parser() {
+        let obs = Recorder::enabled();
+        {
+            let _span = obs.span("extract");
+            obs.add("extract.faults", 42);
+            obs.gauge("weight", 0.25);
+            obs.gauge("bad", f64::NAN);
+            obs.push("live", 10.0);
+            obs.push("live", 7.0);
+        }
+        let report = obs.report("unit \"quoted\"");
+        let json = Json::parse(&report.to_json()).expect("report must parse");
+        assert_eq!(
+            json.get("name"),
+            Some(&Json::String("unit \"quoted\"".to_string()))
+        );
+        let counters = json.get("counters").expect("counters");
+        assert_eq!(
+            counters.get("extract.faults").and_then(Json::as_f64),
+            Some(42.0)
+        );
+        assert_eq!(
+            json.get("gauges").and_then(|g| g.get("weight")).and_then(Json::as_f64),
+            Some(0.25)
+        );
+        // Non-finite gauges serialise as null.
+        assert_eq!(
+            json.get("gauges").and_then(|g| g.get("bad")),
+            Some(&Json::Null)
+        );
+        let live = json
+            .get("series")
+            .and_then(|s| s.get("live"))
+            .and_then(Json::as_array)
+            .expect("series array");
+        assert_eq!(live.len(), 2);
+        let spans = json.get("spans").and_then(|s| s.get("extract")).expect("span");
+        assert!(spans.get("nanos").and_then(Json::as_f64).is_some());
+        assert_eq!(spans.get("count").and_then(Json::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn empty_report_is_valid_json() {
+        let report = Recorder::enabled().report("empty");
+        let json = Json::parse(&report.to_json()).expect("parses");
+        assert_eq!(json.get("counters"), Some(&Json::Object(Vec::new())));
+    }
+
+    #[test]
+    fn parser_accepts_standard_documents() {
+        let v = Json::parse(r#" {"a": [1, -2.5, 1e3], "b": {"c": true, "d": null}, "e": "x\ny"} "#)
+            .expect("parses");
+        assert_eq!(
+            v.get("a").and_then(Json::as_array).map(<[Json]>::len),
+            Some(3)
+        );
+        assert_eq!(
+            v.get("a").and_then(|a| a.as_array()).and_then(|a| a[2].as_f64()),
+            Some(1000.0)
+        );
+        assert_eq!(v.get("b").and_then(|b| b.get("c")), Some(&Json::Bool(true)));
+        assert_eq!(v.get("b").and_then(|b| b.get("d")), Some(&Json::Null));
+        assert_eq!(
+            v.get("e"),
+            Some(&Json::String("x\ny".to_string()))
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\": }",
+            "[1, 2",
+            "{\"a\": 1} trailing",
+            "\"unterminated",
+            "{\"a\": 01x}",
+            "nul",
+            "{\"a\" 1}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+        let err = Json::parse("{\"a\": ?}").expect_err("bad value");
+        assert!(err.to_string().contains("byte"), "{err}");
+    }
+
+    #[test]
+    fn json_number_formatting() {
+        assert_eq!(json_number(1.5), "1.5");
+        assert_eq!(json_number(3.0), "3.0");
+        assert_eq!(json_number(f64::INFINITY), "null");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -176,27 +176,67 @@ where
     R: Send,
     F: Fn(usize, &[T]) -> R + Sync,
 {
+    map_chunks_counted(threads, items, chunks, crate::obs::Recorder::noop(), "par", f)
+}
+
+/// [`map_chunks`] with per-worker observability.
+///
+/// Identical result semantics to [`map_chunks`] — chunk decomposition
+/// and result order never depend on the worker count — but when `obs`
+/// is enabled each worker's processed item total is recorded as the
+/// counter `<scope>.worker<i>.items`. Which worker wins which chunk is
+/// a scheduling race, so the per-worker split may vary between runs;
+/// the sum across workers always equals `items.len()`, and the mapped
+/// *results* stay bit-identical regardless.
+pub fn map_chunks_counted<T, R, F>(
+    threads: usize,
+    items: &[T],
+    chunks: usize,
+    obs: &crate::obs::Recorder,
+    scope: &str,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
     let bounds = chunk_bounds(items.len(), chunks);
     let n = bounds.len();
     if threads <= 1 || n <= 1 {
-        return bounds
+        let out = bounds
             .iter()
             .enumerate()
             .map(|(i, &(lo, hi))| f(i, &items[lo..hi]))
             .collect();
+        if obs.is_enabled() && !items.is_empty() {
+            obs.add(&format!("{scope}.worker0.items"), items.len() as u64);
+        }
+        return out;
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(n) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+    std::thread::scope(|thread_scope| {
+        for w in 0..threads.min(n) {
+            let next = &next;
+            let slots = &slots;
+            let bounds = &bounds;
+            let f = &f;
+            thread_scope.spawn(move || {
+                let mut processed = 0u64;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let (lo, hi) = bounds[i];
+                    processed += (hi - lo) as u64;
+                    let r = f(i, &items[lo..hi]);
+                    *lock_or_recover(&slots[i]) = Some(r);
                 }
-                let (lo, hi) = bounds[i];
-                let r = f(i, &items[lo..hi]);
-                *lock_or_recover(&slots[i]) = Some(r);
+                if obs.is_enabled() && processed > 0 {
+                    obs.add(&format!("{scope}.worker{w}.items"), processed);
+                }
             });
         }
     });
@@ -278,6 +318,30 @@ mod tests {
         // More chunks than items: one chunk per item.
         let out = map_chunks(2, &[1u8, 2, 3], 100, |_, c| c.to_vec());
         assert_eq!(out, vec![vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn counted_map_matches_plain_and_tallies_all_items() {
+        use crate::obs::Recorder;
+
+        let items: Vec<u32> = (0..500).collect();
+        let reference = map_chunks(1, &items, 8, |_, c| c.iter().sum::<u32>());
+        let obs = Recorder::enabled();
+        let got = map_chunks_counted(3, &items, 8, &obs, "t", |_, c| c.iter().sum::<u32>());
+        assert_eq!(got, reference);
+        let report = obs.report("par");
+        let total: u64 = report
+            .counters
+            .iter()
+            .filter(|(n, _)| n.starts_with("t.worker"))
+            .map(|&(_, v)| v)
+            .sum();
+        assert_eq!(total, 500, "per-worker tallies must cover every item");
+
+        // The serial path attributes everything to worker 0.
+        let serial_obs = Recorder::enabled();
+        let _ = map_chunks_counted(1, &items, 8, &serial_obs, "s", |_, c| c.len());
+        assert_eq!(serial_obs.report("x").counter("s.worker0.items"), Some(500));
     }
 
     #[test]

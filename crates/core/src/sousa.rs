@@ -109,6 +109,19 @@ impl SousaModel {
     /// inverse of [`defect_level`](Self::defect_level) (the paper's
     /// Example 1 computation).
     ///
+    /// # Guarantee
+    ///
+    /// The returned coverage is *sufficient*:
+    /// `defect_level(required_coverage(dl)?)? <= dl` holds exactly, for
+    /// every reachable `dl` — including values barely above
+    /// [`residual_defect_level`](Self::residual_defect_level), where
+    /// the algebraic inversion alone can come back a few ulps short
+    /// (the `powf(1/R)`/`powf(R)` round trip loses precision exactly
+    /// where `DL(T)` is flattest, so a tiny coverage deficit used to
+    /// turn into a defect-level excess well above f64 noise). A bounded
+    /// upward correction absorbs that error; the result overshoots the
+    /// minimal coverage by at most a few ulps.
+    ///
     /// # Errors
     ///
     /// [`ModelError::OutOfDomain`] unless `dl ∈ [0, 1]`;
@@ -135,13 +148,28 @@ impl SousaModel {
         // Invert eq. 11:
         //   1 - theta = ln(1-DL)/ln(Y)
         //   (1-T)^R = 1 - theta/theta_max
+        // `inner` is clamped to the same [0, 1] range the forward
+        // direction produces, so rounding in theta cannot leak a
+        // negative base into powf.
         let theta = 1.0 - (1.0 - dl).ln() / self.y.ln();
-        let inner = 1.0 - theta / self.theta_max;
-        if inner <= 0.0 {
+        let inner = (1.0 - theta / self.theta_max).clamp(0.0, 1.0);
+        if inner == 0.0 {
             // Exactly at (or numerically below) the residual floor.
             return Ok(1.0);
         }
-        Ok(1.0 - inner.powf(1.0 / self.r))
+        let mut t = (1.0 - inner.powf(1.0 / self.r)).clamp(0.0, 1.0);
+        // Enforce the sufficiency guarantee: walk the coverage up
+        // through the few ulps the powf round trip can leave short.
+        let mut step = f64::EPSILON;
+        for _ in 0..64 {
+            if self.defect_level(t)? <= dl {
+                return Ok(t);
+            }
+            t = (t + step).min(1.0);
+            step *= 2.0;
+        }
+        // T = 1 always satisfies the guarantee (DL(1) = residual <= dl).
+        Ok(1.0)
     }
 
     /// Samples `DL(T)` on `points + 1` evenly spaced coverages in
@@ -239,6 +267,40 @@ mod tests {
         // At the floor itself, full coverage is the answer.
         let t = m.required_coverage(res).unwrap();
         assert!((t - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn round_trip_near_the_residual_floor_never_overshoots() {
+        // The regression: for dl barely above the residual floor the
+        // powf(1/R)/powf(R) round trip used to return a coverage whose
+        // forward defect level *exceeded* dl by far more than f64
+        // noise. The guarantee is now DL(required_coverage(dl)) <= dl.
+        for (y, r, theta_max) in [
+            (0.75, 1.9, 0.96),
+            (0.75, 0.37, 0.96),
+            (0.31, 3.4, 0.83),
+            (0.9, 0.5, 0.999),
+        ] {
+            let m = SousaModel::new(y, r, theta_max).unwrap();
+            let residual = m.residual_defect_level();
+            let fallout = 1.0 - y;
+            for exp in 1..=15 {
+                let dl = residual + (fallout - residual) * 10f64.powi(-exp);
+                let t = m.required_coverage(dl).unwrap();
+                assert!((0.0..=1.0).contains(&t), "y={y} r={r} exp={exp}");
+                let back = m.defect_level(t).unwrap();
+                assert!(
+                    back <= dl,
+                    "y={y} r={r} tm={theta_max} exp={exp}: DL({t}) = {back} > {dl}"
+                );
+            }
+            // The next representable value above the floor itself.
+            let dl = f64::from_bits(residual.to_bits() + 1);
+            if dl <= fallout {
+                let t = m.required_coverage(dl).unwrap();
+                assert!(m.defect_level(t).unwrap() <= dl);
+            }
+        }
     }
 
     #[test]

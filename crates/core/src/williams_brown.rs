@@ -62,8 +62,10 @@ pub fn required_coverage(y: f64, dl: f64) -> Result<f64, ModelError> {
             limit: max_dl,
         });
     }
-    // 1 - Y^(1-T) = DL  =>  1 - T = ln(1-DL)/ln(Y).
-    Ok(1.0 - (1.0 - dl).ln() / y.ln())
+    // 1 - Y^(1-T) = DL  =>  1 - T = ln(1-DL)/ln(Y). Clamp: at the
+    // fallout limit the quotient can round to just above 1, which
+    // would return a (domain-invalid) negative coverage.
+    Ok((1.0 - (1.0 - dl).ln() / y.ln()).clamp(0.0, 1.0))
 }
 
 #[cfg(test)]

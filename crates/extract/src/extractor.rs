@@ -19,6 +19,7 @@
 use std::collections::HashMap;
 
 use dlp_circuit::switch::TransKind;
+use dlp_core::obs::Recorder;
 use dlp_core::par::{self, ThreadCount};
 use dlp_geometry::{Coord, Layer, Rect, Region};
 use dlp_layout::chip::{ChipLayout, ElecNet, ElecRole, ShapeOrigin, TerminalKind};
@@ -108,10 +109,35 @@ pub fn extract_with_threads(
     config: &ExtractionConfig,
     threads: ThreadCount,
 ) -> Result<FaultSet, ExtractError> {
+    extract_obs(chip, stats, config, threads, Recorder::noop())
+}
+
+/// [`extract_with_threads`] with an observability [`Recorder`].
+///
+/// When the recorder is enabled, the run is traced under the `extract`
+/// scope: a span over the whole pass (plus sub-spans for the bridge,
+/// open, and cut/device sweeps), counters for defect classes / candidate
+/// bridge pairs / extracted faults, gauges for the bridge / open /
+/// total critical-area weight, and per-worker item tallies from the
+/// parallel bridge integration. Tracing never changes the fault set.
+///
+/// # Errors
+///
+/// See [`extract_with`] (minus the environment lookup).
+pub fn extract_obs(
+    chip: &ChipLayout,
+    stats: &DefectStatistics,
+    config: &ExtractionConfig,
+    threads: ThreadCount,
+    obs: &Recorder,
+) -> Result<FaultSet, ExtractError> {
+    let _span = obs.span("extract");
     if config.size_samples == 0 {
         return Err(ExtractError::NoSizeSamples);
     }
     stats.validate()?;
+    obs.add("extract.defect_classes", stats.classes().len() as u64);
+    obs.add("extract.shapes", chip.shapes().len() as u64);
 
     let mut acc: HashMap<FaultKind, (f64, String)> = HashMap::new();
     let mut add = |kind: FaultKind, weight: f64, label: String| {
@@ -122,9 +148,18 @@ pub fn extract_with_threads(
         entry.0 += weight;
     };
 
-    extract_bridges(chip, stats, config, threads.get(), &mut add)?;
-    extract_opens(chip, stats, config, &mut add)?;
-    extract_cut_and_device_defects(chip, stats, config, &mut add)?;
+    {
+        let _s = obs.span("extract.bridges");
+        extract_bridges(chip, stats, config, threads.get(), obs, &mut add)?;
+    }
+    {
+        let _s = obs.span("extract.opens");
+        extract_opens(chip, stats, config, &mut add)?;
+    }
+    {
+        let _s = obs.span("extract.cuts");
+        extract_cut_and_device_defects(chip, stats, config, &mut add)?;
+    }
 
     let mut faults: Vec<RealisticFault> = acc
         .into_iter()
@@ -135,7 +170,12 @@ pub fn extract_with_threads(
         })
         .collect();
     faults.sort_by(|a, b| a.label.cmp(&b.label));
-    Ok(FaultSet::new(faults))
+    let set = FaultSet::new(faults);
+    obs.add("extract.faults", set.len() as u64);
+    obs.gauge("extract.bridge_weight", set.bridge_weight());
+    obs.gauge("extract.open_weight", set.open_weight());
+    obs.gauge("extract.total_weight", set.weights().iter().sum());
+    Ok(set)
 }
 
 /// Stage-output net of `(gate, stage)` (the last stage is the gate's own
@@ -174,6 +214,7 @@ fn extract_bridges(
     stats: &DefectStatistics,
     config: &ExtractionConfig,
     workers: usize,
+    obs: &Recorder,
     add: &mut dyn FnMut(FaultKind, f64, String),
 ) -> Result<(), ExtractError> {
     let max_x = stats.max_defect_size();
@@ -222,6 +263,7 @@ fn extract_bridges(
         // thread scheduling.
         let mut pairs: Vec<(BridgeId, BridgeId)> = pairs.into_iter().collect();
         pairs.sort_unstable();
+        obs.add("extract.bridge_pairs", pairs.len() as u64);
 
         // Per-pair critical-area integration — the extraction hot path —
         // is pure, so fanning pairs across workers cannot change weights.
@@ -300,7 +342,7 @@ fn extract_bridges(
             };
             Some((kind, w, label))
         };
-        let found = par::map_chunks(workers, &pairs, workers, |_, chunk| {
+        let found = par::map_chunks_counted(workers, &pairs, workers, obs, "extract", |_, chunk| {
             chunk
                 .iter()
                 .filter_map(|&(a, b)| pair_fault(a, b))

@@ -7,6 +7,7 @@
 //! detected faults are dropped from subsequent blocks.
 
 use dlp_circuit::{GateKind, Netlist, NodeId};
+use dlp_core::obs::Recorder;
 use dlp_core::par::{self, ThreadCount};
 
 use crate::detection::DetectionRecord;
@@ -88,10 +89,36 @@ pub fn simulate_with(
     vectors: &[Vec<bool>],
     threads: ThreadCount,
 ) -> Result<DetectionRecord, SimError> {
+    simulate_obs(netlist, faults, vectors, threads, Recorder::noop())
+}
+
+/// [`simulate_with`] with an observability [`Recorder`].
+///
+/// When the recorder is enabled, the run is traced under the `sim.gate`
+/// scope: a span over the whole simulation, counters for faults /
+/// vectors / blocks / detections, the live-fault count entering each
+/// 64-pattern block (`sim.gate.live_per_block`), the per-block detection
+/// histogram (`sim.gate.detects_per_block`), and per-worker item tallies
+/// from the parallel layer. Tracing never perturbs the result: the
+/// record is bit-identical with tracing on or off, at any thread count.
+///
+/// # Errors
+///
+/// See [`simulate_with`].
+pub fn simulate_obs(
+    netlist: &Netlist,
+    faults: &[StuckAtFault],
+    vectors: &[Vec<bool>],
+    threads: ThreadCount,
+    obs: &Recorder,
+) -> Result<DetectionRecord, SimError> {
+    let _span = obs.span("sim.gate");
     let n_in = netlist.inputs().len();
     crate::error::check_widths(vectors, n_in)?;
     validate_faults(netlist, faults)?;
     let workers = threads.get();
+    obs.add("sim.gate.faults", faults.len() as u64);
+    obs.add("sim.gate.vectors", vectors.len() as u64);
     let mut first_detect: Vec<Option<usize>> = vec![None; faults.len()];
     let mut live: Vec<usize> = (0..faults.len()).collect();
 
@@ -114,6 +141,8 @@ pub fn simulate_with(
         if live.is_empty() {
             break;
         }
+        obs.incr("sim.gate.blocks");
+        obs.push("sim.gate.live_per_block", live.len() as f64);
         // Pack the block: word i = input i across patterns.
         let mut input_words = vec![0u64; n_in];
         for (p, v) in block.iter().enumerate() {
@@ -136,7 +165,7 @@ pub fn simulate_with(
         // pure function of (fault, block), so the merged outcome cannot
         // depend on the partition. Detections come back in chunk order as
         // (fault index, masked output-difference word) pairs.
-        let detections = par::map_chunks(workers, &live, workers, |_, chunk| {
+        let detections = par::map_chunks_counted(workers, &live, workers, obs, "sim.gate", |_, chunk| {
             let mut faulty = good.clone();
             let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
             let mut found: Vec<(usize, u64)> = Vec::new();
@@ -188,13 +217,22 @@ pub fn simulate_with(
         // block's used patterns, so the first set bit gives the earliest
         // detecting pattern *globally* — `block_idx * 64` plus the bit
         // index — never a worker-local offset.
+        let live_before = live.len();
         for (fi, diff) in detections.into_iter().flatten() {
             let first_bit = diff.trailing_zeros() as usize;
             first_detect[fi] = Some(block_idx * 64 + first_bit);
         }
         live.retain(|&fi| first_detect[fi].is_none());
+        obs.push(
+            "sim.gate.detects_per_block",
+            (live_before - live.len()) as f64,
+        );
     }
 
+    obs.add(
+        "sim.gate.detected",
+        first_detect.iter().filter(|d| d.is_some()).count() as u64,
+    );
     Ok(DetectionRecord::new(first_detect, vectors.len()))
 }
 

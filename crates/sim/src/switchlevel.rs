@@ -27,6 +27,7 @@
 
 use dlp_circuit::switch::{SwitchNetlist, SwitchNodeId, TransKind, Transistor};
 use dlp_circuit::NodeId;
+use dlp_core::obs::Recorder;
 use dlp_core::par::{self, ThreadCount};
 
 use crate::detection::DetectionRecord;
@@ -411,21 +412,51 @@ impl SwitchSimulator {
         mode: DetectionMode,
         threads: ThreadCount,
     ) -> Result<DetectionRecord, SimError> {
+        self.detect_obs(faults, vectors, mode, threads, Recorder::noop())
+    }
+
+    /// [`detect_with_threads`](Self::detect_with_threads) with an
+    /// observability [`Recorder`].
+    ///
+    /// When the recorder is enabled, the run is traced under the
+    /// `sim.switch` scope: a span over the whole detection pass, counters
+    /// for faults / vectors / detections, and per-worker item tallies
+    /// from the parallel layer. Tracing never changes the record.
+    ///
+    /// # Errors
+    ///
+    /// See [`detect_with_threads`](Self::detect_with_threads).
+    pub fn detect_obs(
+        &self,
+        faults: &[SwitchFault],
+        vectors: &[Vec<bool>],
+        mode: DetectionMode,
+        threads: ThreadCount,
+        obs: &Recorder,
+    ) -> Result<DetectionRecord, SimError> {
+        let _span = obs.span("sim.switch");
         crate::error::check_widths(vectors, self.netlist.input_nodes().len())?;
         for (i, f) in faults.iter().enumerate() {
             self.check_fault(i, f)?;
         }
+        obs.add("sim.switch.faults", faults.len() as u64);
+        obs.add("sim.switch.vectors", vectors.len() as u64);
         let good = self.run_good(vectors);
         let workers = threads.get();
-        let first_detect: Vec<Option<usize>> = par::map_chunks(workers, faults, workers, |_, chunk| {
-            chunk
-                .iter()
-                .map(|fault| self.first_detection(fault, vectors, &good, mode))
-                .collect::<Vec<Option<usize>>>()
-        })
-        .into_iter()
-        .flatten()
-        .collect();
+        let first_detect: Vec<Option<usize>> =
+            par::map_chunks_counted(workers, faults, workers, obs, "sim.switch", |_, chunk| {
+                chunk
+                    .iter()
+                    .map(|fault| self.first_detection(fault, vectors, &good, mode))
+                    .collect::<Vec<Option<usize>>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        obs.add(
+            "sim.switch.detected",
+            first_detect.iter().filter(|d| d.is_some()).count() as u64,
+        );
         Ok(DetectionRecord::new(first_detect, vectors.len()))
     }
 

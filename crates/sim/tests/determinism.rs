@@ -8,6 +8,7 @@
 //! `dlp_core::montecarlo`.)
 
 use dlp_circuit::{generators, switch, Netlist};
+use dlp_core::obs::Recorder;
 use dlp_core::par::ThreadCount;
 use dlp_sim::detection::random_vectors;
 use dlp_sim::switchlevel::{
@@ -88,6 +89,83 @@ fn assert_switch_invariant(netlist: &Netlist, n_vectors: usize, seed: u64) {
 #[test]
 fn switch_level_is_thread_count_invariant_on_c17() {
     assert_switch_invariant(&generators::c17(), 48, 17);
+}
+
+#[test]
+fn tracing_does_not_perturb_either_simulator() {
+    // An *enabled* recorder at several thread counts: the records must
+    // stay bit-identical to the untraced serial reference, and the
+    // trace's own invariant counters (fault/vector totals, per-worker
+    // item sums) must agree across thread counts even though the
+    // per-worker split itself is scheduling-dependent.
+    let netlist = generators::c17();
+    let faults = stuck_at::enumerate(&netlist).collapse();
+    let vectors = random_vectors(netlist.inputs().len(), 70, 21);
+    let reference = ppsfp::simulate_with(&netlist, faults.faults(), &vectors, threads(1))
+        .expect("untraced serial PPSFP");
+    for t in [1usize, 2, 4] {
+        let obs = Recorder::enabled();
+        let got = ppsfp::simulate_obs(&netlist, faults.faults(), &vectors, threads(t), &obs)
+            .expect("traced PPSFP");
+        assert_eq!(got, reference, "traced PPSFP with {t} workers");
+        let report = obs.report("t");
+        assert_eq!(report.counter("sim.gate.faults"), Some(faults.len() as u64));
+        assert_eq!(report.counter("sim.gate.vectors"), Some(70));
+        assert_eq!(
+            report.counter("sim.gate.detected"),
+            Some(reference.detected_count() as u64)
+        );
+        let worker_sum: u64 = (0..t)
+            .map(|w| {
+                report
+                    .counter(&format!("sim.gate.worker{w}.items"))
+                    .unwrap_or(0)
+            })
+            .sum();
+        let live_sum: f64 = report
+            .series("sim.gate.live_per_block")
+            .expect("live series")
+            .iter()
+            .sum();
+        assert_eq!(
+            worker_sum, live_sum as u64,
+            "worker tallies must sum to the fault-simulations performed"
+        );
+    }
+
+    let sw = switch::expand(&netlist).expect("switch expansion");
+    let sim = SwitchSimulator::new(sw, SwitchConfig::default());
+    let sw_faults = switch_faults_sample(&sim);
+    let sw_vectors = random_vectors(netlist.inputs().len(), 48, 17);
+    let reference = sim
+        .detect_with_threads(&sw_faults, &sw_vectors, DetectionMode::Voltage, threads(1))
+        .expect("untraced serial switch-level");
+    for t in [1usize, 2, 4] {
+        let obs = Recorder::enabled();
+        let got = sim
+            .detect_obs(
+                &sw_faults,
+                &sw_vectors,
+                DetectionMode::Voltage,
+                threads(t),
+                &obs,
+            )
+            .expect("traced switch-level");
+        assert_eq!(got, reference, "traced switch-level with {t} workers");
+        let report = obs.report("t");
+        assert_eq!(
+            report.counter("sim.switch.faults"),
+            Some(sw_faults.len() as u64)
+        );
+        let worker_sum: u64 = (0..t)
+            .map(|w| {
+                report
+                    .counter(&format!("sim.switch.worker{w}.items"))
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(worker_sum, sw_faults.len() as u64);
+    }
 }
 
 #[test]

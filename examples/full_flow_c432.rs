@@ -1,124 +1,75 @@
 //! The paper's full experimental flow on the c432-class benchmark:
 //!
-//! 1. generate the 2-metal standard-cell layout,
-//! 2. extract the weighted realistic fault list (the paper's `lift`),
-//! 3. generate stuck-at test vectors (random + deterministic),
-//! 4. fault-simulate: gate-level `T(k)`, switch-level `θ(k)` and `Γ(k)`
+//! 1. generate the 2-metal standard-cell layout and extract the weighted
+//!    realistic fault list (the paper's `lift`),
+//! 2. generate stuck-at test vectors (random + deterministic),
+//! 3. fault-simulate: gate-level `T(k)`, switch-level `θ(k)` and `Γ(k)`
 //!    (the paper's `swift`),
+//! 4. Monte-Carlo cross-check: fabricate virtual dies and count escapes,
 //! 5. fit eq. 11's `(R, θ_max)` to the simulated `(T, DL(θ))` points.
 //!
 //! This reproduces the shape results of the paper's §4 end to end. It is
 //! compute-heavy; run with `--release`:
 //! `cargo run --release --example full_flow_c432`.
+//!
+//! Set `DLP_TRACE=1` (default path) or `DLP_TRACE=<path>` to write a JSON
+//! run report — stage spans, counters, and per-block series — next to the
+//! `BENCH_*.json` files. Tracing is off by default and never changes any
+//! number the flow prints.
 
-use dlp::atpg::generate::{generate_tests, AtpgConfig, PodemVerdict};
-use dlp::circuit::{generators, switch};
-use dlp::core::weighted::FaultWeights;
+use dlp::bench::pipeline;
+use dlp::core::montecarlo::{simulate_fallout_obs, MonteCarloConfig};
+use dlp::core::par::ThreadCount;
 use dlp::core::{fit, sousa::SousaModel};
 use dlp::extract::defects::DefectStatistics;
-use dlp::extract::extractor;
-use dlp::extract::faults::OpenLevelModel;
-use dlp::layout::chip::ChipLayout;
-use dlp::sim::switchlevel::{SwitchConfig, SwitchSimulator};
-use dlp::sim::{ppsfp, stuck_at};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let netlist = generators::c432_class();
+    let obs = pipeline::recorder_from_env();
+
+    println!("[1/5] layout + fault extraction of the c432-class chip...");
+    let extraction = pipeline::extract_c432_obs(&DefectStatistics::maly_cmos(), &obs)?;
+    for warning in extraction.diagnostics.iter() {
+        println!("      warning: {warning}");
+    }
     println!(
-        "[1/5] layout of {} ({} gates)...",
-        netlist.name(),
-        netlist.gate_count()
+        "      {} x {} λ, {} shapes; {} weighted faults, bridge share {:.1} %",
+        extraction.chip.bbox().width(),
+        extraction.chip.bbox().height(),
+        extraction.chip.shapes().len(),
+        extraction.faults.len(),
+        100.0 * extraction.faults.bridge_weight()
+            / (extraction.faults.bridge_weight() + extraction.faults.open_weight())
     );
-    let chip = ChipLayout::generate(&netlist, &Default::default())?;
     println!(
-        "      {} x {} λ, {} shapes; connectivity violations: {}",
-        chip.bbox().width(),
-        chip.bbox().height(),
-        chip.shapes().len(),
-        chip.verify_connectivity().len()
+        "      yield scaled: Y = {:.3}",
+        extraction.weights.yield_value()
     );
 
-    println!("[2/5] fault extraction...");
-    let mut faults = extractor::extract(&chip, &DefectStatistics::maly_cmos())?;
-    let dropped = faults.prune_below(1e-5);
+    println!("[2/5] ATPG (random + PODEM)...");
+    println!("[3/5] fault simulation (gate-level T(k), switch-level theta(k))...");
+    let run = pipeline::simulate_obs(&extraction, 1, &obs)?;
     println!(
-        "      {} weighted faults ({} negligible pruned), bridge share {:.1} %",
-        faults.len(),
-        dropped,
-        100.0 * faults.bridge_weight() / (faults.bridge_weight() + faults.open_weight())
+        "      {} vectors ({} random), {} stuck-at faults proven redundant",
+        run.vectors.len(),
+        run.random_prefix,
+        run.redundant
     );
-    // Scale to the paper's Y = 0.75.
-    let weights = FaultWeights::new(faults.weights())?.scaled_to_yield(0.75)?;
-    println!("      yield scaled: Y = {:.3}", weights.yield_value());
 
-    println!("[3/5] ATPG (random + PODEM)...");
-    let sa_faults = stuck_at::enumerate(&netlist).collapse();
-    let atpg = generate_tests(
-        &netlist,
-        sa_faults.faults(),
-        &AtpgConfig {
-            random_budget: 1024,
-            random_stall: 192,
-            ..Default::default()
-        },
-    )?;
-    // The analysis measures coverage over *testable* faults (the paper
-    // neglects redundant faults; eq. 7 assumes T -> 1).
-    let redundant: Vec<_> = atpg
-        .undetected
-        .iter()
-        .filter(|(_, v)| *v == PodemVerdict::Redundant)
-        .map(|(f, _)| *f)
+    let ks: Vec<usize> = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, run.vectors.len()]
+        .into_iter()
+        .filter(|&k| k <= run.vectors.len())
         .collect();
-    let testable: Vec<_> = sa_faults
-        .faults()
-        .iter()
-        .copied()
-        .filter(|f| !redundant.contains(f))
-        .collect();
-    println!(
-        "      {} vectors ({} random), {} testable stuck-at faults ({} proven redundant)",
-        atpg.vectors.len(),
-        atpg.random_prefix_len,
-        testable.len(),
-        redundant.len()
-    );
-
-    println!("[4/5] fault simulation (gate-level T(k), switch-level theta(k))...");
-    let record_t = ppsfp::simulate(&netlist, &testable, &atpg.vectors)?;
-    let sw = switch::expand(&netlist)?;
-    let sim = SwitchSimulator::new(sw, SwitchConfig::default());
-    let lowered = faults.to_switch_faults(&netlist, sim.netlist(), &OpenLevelModel::default())?;
-    let record_th = sim.detect(&lowered, &atpg.vectors)?;
-
-    let ks: Vec<usize> = [
-        1,
-        2,
-        4,
-        8,
-        16,
-        32,
-        64,
-        128,
-        256,
-        512,
-        1024,
-        atpg.vectors.len(),
-    ]
-    .into_iter()
-    .filter(|&k| k <= atpg.vectors.len())
-    .collect();
-    let w = faults.weights();
+    let w = extraction.faults.weights();
     println!(
         "      {:>6} {:>9} {:>9} {:>9} {:>12}",
         "k", "T(k)", "theta(k)", "Gamma(k)", "DL(theta) ppm"
     );
     let mut fit_points = Vec::new();
     for &k in &ks {
-        let t = record_t.coverage_after(k);
-        let theta = record_th.weighted_coverage_after(k, &w)?;
-        let gamma = record_th.coverage_after(k);
-        let dl = weights.defect_level(theta)?;
+        let t = run.record_t.coverage_after(k);
+        let theta = run.record_theta.weighted_coverage_after(k, &w)?;
+        let gamma = run.record_theta.coverage_after(k);
+        let dl = extraction.weights.defect_level(theta)?;
         println!(
             "      {k:>6} {t:>9.4} {theta:>9.4} {gamma:>9.4} {:>12.0}",
             1e6 * dl
@@ -126,8 +77,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fit_points.push((t, dl));
     }
 
+    println!("[4/5] Monte-Carlo cross-check (50 000 virtual dies)...");
+    let detected: Vec<bool> = run
+        .record_theta
+        .first_detect()
+        .iter()
+        .map(|d| d.is_some())
+        .collect();
+    let mc = simulate_fallout_obs(
+        &extraction.weights,
+        &detected,
+        &MonteCarloConfig {
+            dies: 50_000,
+            seed: 0x5EED,
+        },
+        ThreadCount::from_env()?,
+        &obs,
+    )?;
+    let theta_full = run
+        .record_theta
+        .weighted_coverage_after(run.vectors.len(), &w)?;
+    println!(
+        "      yield {:.3} (analytic {:.3}), defect level {:.0} ppm (analytic {:.0} ppm)",
+        mc.yield_estimate(),
+        extraction.weights.yield_value(),
+        1e6 * mc.defect_level(),
+        1e6 * extraction.weights.defect_level(theta_full)?
+    );
+
     println!("[5/5] fitting eq. 11 to the simulated (T, DL) points...");
-    let fitted = fit::fit_sousa(0.75, &fit_points)?;
+    let fitted = {
+        let _span = obs.span("model.fit");
+        fit::fit_sousa(0.75, &fit_points)?
+    };
     println!(
         "      R = {:.2}, theta_max = {:.3}  (paper, real c432 layout: R = 1.9, theta_max = 0.96)",
         fitted.susceptibility_ratio(),
@@ -146,5 +128,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "      shape check: theta_max < 1 (voltage test incomplete): {}",
         fitted.theta_max() < 1.0
     );
+
+    if let Some(path) = pipeline::write_run_report(&obs, "full_flow_c432")? {
+        println!("trace: run report written to {path}");
+    }
     Ok(())
 }

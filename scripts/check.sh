@@ -35,4 +35,13 @@ DLP_THREADS=1 cargo test --workspace -q
 echo "== test: full workspace, DLP_THREADS=4"
 DLP_THREADS=4 cargo test --workspace -q
 
+# Observability gate (DESIGN.md §9): a traced full-flow run must produce
+# a run report that parses with the in-tree JSON parser and carries a
+# span for every stage plus nonzero work counters.
+echo "== trace: full flow under DLP_TRACE, then validate the run report"
+DLP_TRACE=TRACE_full_flow_c432.json \
+    cargo run --release -q --example full_flow_c432 > /dev/null
+cargo run --release -q -p dlp-bench --bin validate_trace -- \
+    TRACE_full_flow_c432.json
+
 echo "All checks passed."

@@ -17,6 +17,7 @@
 //! | [`extract`] | `dlp-extract` | defect statistics, critical areas, weighted fault lists |
 //! | [`sim`] | `dlp-sim` | PPSFP stuck-at and switch-level fault simulation |
 //! | [`atpg`] | `dlp-atpg` | PODEM with FAN-style guidance, the random+deterministic pipeline |
+//! | [`bench`] | `dlp-bench` | the shared experimental pipeline behind the paper's figures, with `DLP_TRACE` run reports |
 //!
 //! # Quickstart
 //!
@@ -39,6 +40,7 @@
 #![forbid(unsafe_code)]
 
 pub use dlp_atpg as atpg;
+pub use dlp_bench as bench;
 pub use dlp_circuit as circuit;
 pub use dlp_core as core;
 pub use dlp_extract as extract;
