@@ -92,6 +92,83 @@ pub fn compact(
     })
 }
 
+/// n-detect-aware compaction: reverse-order fault simulation that
+/// preserves detection *counts*, not just the detected set.
+///
+/// Every fault the full sequence detects `c` times keeps at least
+/// `min(c, n)` detections in the compacted set: scanning the vectors in
+/// reverse, a vector is kept iff it detects a fault whose kept-detection
+/// tally is still below its requirement. With `n = 1` this degenerates to
+/// [`compact`]'s discipline (the kept set may differ where several vectors
+/// tie, because the counted requirement credits every kept detection).
+///
+/// # Errors
+///
+/// [`AtpgError::Sim`] if vector widths mismatch the netlist, a fault site
+/// is out of range, or `n` is not in
+/// `1..=`[`dlp_sim::ppsfp::MAX_DETECTION_CAP`] (see
+/// [`ppsfp::simulate_counted`]).
+///
+/// # Example
+///
+/// ```
+/// use dlp_atpg::compact::compact_counted;
+/// use dlp_circuit::generators;
+/// use dlp_sim::{detection, ppsfp, stuck_at};
+///
+/// let c17 = generators::c17();
+/// let faults = stuck_at::enumerate(&c17).collapse();
+/// let vectors = detection::random_vectors(5, 128, 3);
+/// let n = 3;
+/// let compacted = compact_counted(&c17, faults.faults(), &vectors, n)?;
+/// assert!(compacted.vectors.len() < vectors.len() / 2);
+/// // Every fault keeps at least min(original count, 3) detections.
+/// let before = ppsfp::simulate_counted(&c17, faults.faults(), &vectors, n)?;
+/// let after = ppsfp::simulate_counted(&c17, faults.faults(), &compacted.vectors, n)?;
+/// assert!(after.counts().iter().zip(before.counts()).all(|(a, b)| a >= &b));
+/// # Ok::<(), dlp_atpg::AtpgError>(())
+/// ```
+pub fn compact_counted(
+    netlist: &Netlist,
+    faults: &[StuckAtFault],
+    vectors: &[Vec<bool>],
+    n: usize,
+) -> Result<CompactionResult, AtpgError> {
+    // How many detections (capped at n) does the full sequence give each
+    // fault? That is the requirement the compacted set must preserve.
+    let full = ppsfp::simulate_counted(netlist, faults, vectors, n)?;
+    let mut required: Vec<usize> = full.counts();
+    let mut open: usize = required.iter().filter(|&&r| r > 0).count();
+
+    let mut kept_rev: Vec<usize> = Vec::new();
+    for idx in (0..vectors.len()).rev() {
+        if open == 0 {
+            break;
+        }
+        let live: Vec<usize> = (0..faults.len()).filter(|&j| required[j] > 0).collect();
+        let live_faults: Vec<StuckAtFault> = live.iter().map(|&j| faults[j]).collect();
+        let rec = ppsfp::simulate(netlist, &live_faults, std::slice::from_ref(&vectors[idx]))?;
+        let mut keeps = false;
+        for (pos, d) in rec.first_detect().iter().enumerate() {
+            if d.is_some() {
+                keeps = true;
+                required[live[pos]] -= 1;
+                if required[live[pos]] == 0 {
+                    open -= 1;
+                }
+            }
+        }
+        if keeps {
+            kept_rev.push(idx);
+        }
+    }
+    kept_rev.reverse();
+    Ok(CompactionResult {
+        vectors: kept_rev.iter().map(|&i| vectors[i].clone()).collect(),
+        kept: kept_rev,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,5 +222,62 @@ mod tests {
         assert!(r.vectors.is_empty());
         let r = compact(&nl, &[], &detection::random_vectors(5, 8, 1)).unwrap();
         assert!(r.vectors.is_empty());
+    }
+
+    #[test]
+    fn counted_compaction_preserves_counts() {
+        let nl = generators::c432_class();
+        let faults = stuck_at::enumerate(&nl).collapse();
+        let vectors = detection::random_vectors(36, 512, 17);
+        for n in [1usize, 2, 4] {
+            let before = ppsfp::simulate_counted(&nl, faults.faults(), &vectors, n).unwrap();
+            let compacted = compact_counted(&nl, faults.faults(), &vectors, n).unwrap();
+            assert!(compacted.vectors.len() < vectors.len());
+            let after =
+                ppsfp::simulate_counted(&nl, faults.faults(), &compacted.vectors, n).unwrap();
+            for j in 0..faults.len() {
+                assert!(
+                    after.count(j) >= before.count(j),
+                    "fault {j} dropped from {} to {} detections at n = {n}",
+                    before.count(j),
+                    after.count(j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counted_sets_grow_with_n() {
+        // A deeper requirement can only need more (or equally many)
+        // vectors, and every kept index must be valid and ordered.
+        let nl = generators::ripple_adder(4);
+        let faults = stuck_at::enumerate(&nl).collapse();
+        let vectors = detection::random_vectors(9, 256, 5);
+        let mut prev = 0usize;
+        for n in 1..=4 {
+            let c = compact_counted(&nl, faults.faults(), &vectors, n).unwrap();
+            assert!(c.kept.windows(2).all(|w| w[0] < w[1]));
+            assert!(c.kept.iter().all(|&i| i < vectors.len()));
+            assert!(
+                c.vectors.len() >= prev,
+                "n = {n} kept {} < {} vectors",
+                c.vectors.len(),
+                prev
+            );
+            prev = c.vectors.len();
+        }
+    }
+
+    #[test]
+    fn counted_compaction_rejects_bad_caps() {
+        let nl = generators::c17();
+        let faults = stuck_at::enumerate(&nl).collapse();
+        let vectors = detection::random_vectors(5, 16, 1);
+        for n in [0usize, usize::MAX] {
+            assert!(matches!(
+                compact_counted(&nl, faults.faults(), &vectors, n),
+                Err(AtpgError::Sim(dlp_sim::SimError::BadDetectionCap { .. }))
+            ));
+        }
     }
 }

@@ -1,0 +1,182 @@
+//! DL versus n-detection target: the defect-level payoff of requiring
+//! every stuck-at fault to be detected `n` times instead of once.
+//!
+//! For the c432-class chip at the paper's `Y = 0.75` operating point, an
+//! incremental n-detect schedule is built for targets `n = 1..=8`
+//! (greedy pool selection + per-rank PODEM top-ups). Because the test
+//! set for target `n` is a *prefix* of the set for `n + 1`, one
+//! switch-level realistic-fault simulation over the full sequence yields
+//! every θ(n) = weighted realistic coverage at prefix `len_at[n]`, and
+//! `DL(n) = 1 − Y^(1−θ(n))` (eq. 3) is monotone non-increasing in `n` by
+//! construction. The measured `(n, θ(n))` points are then fitted with the
+//! saturating growth law `θ(n) = θ_max·(1 − ρ^n)` from
+//! `dlp_core::ndetect`.
+//!
+//! Writes `BENCH_ndetect.json` at the workspace root (see
+//! EXPERIMENTS.md, "DL vs n").
+
+use dlp_bench::pipeline::{self, PAPER_YIELD};
+use dlp_core::ndetect::fit_ndetect_growth;
+use dlp_core::par::ThreadCount;
+use dlp_core::{PipelineError, Ppm, Stage};
+use dlp_extract::defects::DefectStatistics;
+use dlp_extract::faults::OpenLevelModel;
+use dlp_ndetect::{build_schedule, NDetectConfig};
+use dlp_sim::switchlevel::{DetectionMode, SwitchConfig, SwitchSimulator};
+use dlp_sim::stuck_at;
+use dlp_circuit::switch;
+use std::fmt::Write as _;
+
+const MAX_N: usize = 8;
+
+fn main() -> std::process::ExitCode {
+    dlp_bench::run_main(run)
+}
+
+fn run() -> Result<(), PipelineError> {
+    let obs = pipeline::recorder_from_env();
+    let extraction = pipeline::extract_c432_obs(&DefectStatistics::maly_cmos(), &obs)?;
+    dlp_bench::report_diagnostics(&extraction.diagnostics);
+    let netlist = &extraction.netlist;
+    let sa = stuck_at::enumerate(netlist).collapse();
+
+    // Build the incremental n-detect schedule for the largest target;
+    // every smaller target's test set is one of its prefixes.
+    let schedule = {
+        let _span = obs.span("ndetect.build");
+        build_schedule(netlist, sa.faults(), MAX_N, &NDetectConfig::default())?
+    };
+    obs.add("ndetect.vectors", schedule.vectors.len() as u64);
+    obs.add("ndetect.pool_selected", schedule.pool_selected as u64);
+    obs.add("ndetect.below_target", schedule.below_target.len() as u64);
+
+    // One switch-level realistic-fault simulation over the full sequence
+    // covers every prefix measurement.
+    let threads = ThreadCount::from_env().map_err(dlp_core::ModelError::from)?;
+    let sw = switch::expand(netlist)
+        .map_err(|e| PipelineError::from(e).context("expanding to switch level"))?;
+    let sim = SwitchSimulator::new(sw, SwitchConfig::default());
+    let lowered = extraction.faults.to_switch_faults(
+        netlist,
+        sim.netlist(),
+        &OpenLevelModel::default(),
+    )?;
+    let record_theta = sim.detect_obs(
+        &lowered,
+        &schedule.vectors,
+        DetectionMode::Voltage,
+        threads,
+        &obs,
+    )?;
+    let w = extraction.faults.weights();
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut samples: Vec<(usize, usize, f64, f64, f64)> = Vec::new(); // (n, k, θ, Γ, DL)
+    let mut theta_points: Vec<(u32, f64)> = Vec::new();
+    for n in 1..=MAX_N {
+        let k = schedule.len_at[n - 1];
+        let theta = record_theta.weighted_coverage_after(k, &w)?;
+        let gamma = record_theta.coverage_after(k);
+        let dl = extraction
+            .weights
+            .defect_level(theta)
+            .map_err(|e| PipelineError::from(e).context(format!("DL at n = {n}")))?;
+        theta_points.push((n as u32, theta));
+        rows.push(vec![
+            n.to_string(),
+            k.to_string(),
+            format!("{theta:.4}"),
+            format!("{gamma:.4}"),
+            format!("{:.1}", Ppm::from_fraction(dl).value()),
+        ]);
+        samples.push((n, k, theta, gamma, dl));
+    }
+
+    // The measured-DL monotonicity contract: prefixes only grow, so a
+    // violation here is a schedule or record inconsistency, not noise.
+    for pair in samples.windows(2) {
+        let (n0, _, _, _, dl0) = pair[0];
+        let (n1, _, _, _, dl1) = pair[1];
+        if dl1 > dl0 {
+            return Err(PipelineError::with_source(
+                Stage::Model,
+                dlp_core::ModelError::BadFitData(
+                    "measured DL(n) increased with n on a prefix schedule",
+                ),
+            )
+            .context(format!("DL({n0}) = {dl0:.6e} < DL({n1}) = {dl1:.6e}")));
+        }
+    }
+
+    let growth = fit_ndetect_growth(&theta_points)
+        .map_err(|e| PipelineError::from(e).context("fitting the θ(n) growth law"))?;
+
+    println!(
+        "DL vs n-detection target — c432-class, Y = {PAPER_YIELD}, \
+         {} realistic faults, {} stuck-at faults",
+        lowered.len(),
+        sa.len()
+    );
+    println!(
+        "schedule: {} vectors ({} from the pool), {} fault(s) below target {MAX_N}",
+        schedule.vectors.len(),
+        schedule.pool_selected,
+        schedule.below_target.len()
+    );
+    dlp_bench::print_table(
+        &["n", "|T(n)|", "theta(n)", "gamma(n)", "DL ppm"],
+        &rows,
+    );
+    println!(
+        "fitted growth law: theta_max = {:.4}, theta_1 = {:.4}, miss ratio rho = {:.4}",
+        growth.theta_max(),
+        growth.theta1(),
+        growth.miss_ratio()
+    );
+
+    let mut json_rows = String::new();
+    for (i, &(n, k, theta, gamma, dl)) in samples.iter().enumerate() {
+        let sep = if i + 1 == samples.len() { "" } else { "," };
+        let _ = write!(
+            json_rows,
+            "\n    {{\"n\": {n}, \"vectors\": {k}, \"theta\": {theta:.6}, \
+             \"gamma\": {gamma:.6}, \"defect_level\": {dl:.6e}}}{sep}"
+        );
+    }
+    let path = format!("{}/../../BENCH_ndetect.json", env!("CARGO_MANIFEST_DIR"));
+    let body = format!(
+        "{{\n  \"workload\": \"ndetect/c432_class/max_n{MAX_N}\",\n  \
+         \"yield\": {PAPER_YIELD},\n  \
+         \"total_vectors\": {},\n  \
+         \"pool_selected\": {},\n  \
+         \"below_target\": {},\n  \
+         \"fit_theta_max\": {:.6},\n  \
+         \"fit_theta_1\": {:.6},\n  \
+         \"fit_miss_ratio\": {:.6},\n  \
+         \"samples\": [{json_rows}\n  ]\n}}\n",
+        schedule.vectors.len(),
+        schedule.pool_selected,
+        schedule.below_target.len(),
+        growth.theta_max(),
+        growth.theta1(),
+        growth.miss_ratio(),
+    );
+    std::fs::write(&path, body).map_err(|e| {
+        PipelineError::with_source(
+            Stage::Model,
+            dlp_core::ModelError::BadFitData("cannot write BENCH_ndetect.json"),
+        )
+        .context(e.to_string())
+    })?;
+    println!("wrote {path}");
+    if let Some(trace) = pipeline::write_run_report(&obs, "ndetect").map_err(|e| {
+        PipelineError::with_source(
+            Stage::Model,
+            dlp_core::ModelError::BadFitData("cannot write the ndetect trace report"),
+        )
+        .context(e.to_string())
+    })? {
+        println!("wrote {trace}");
+    }
+    Ok(())
+}

@@ -17,6 +17,8 @@
 //!   Agrawal's `n`, and of susceptibilities `τ` from measured curves,
 //! * [`montecarlo`] — direct production-line simulation validating eq. 3
 //!   statistically,
+//! * [`ndetect`] — the DL(n) layer for n-detection test sets: the
+//!   saturating `θ(n)` growth law and its least-squares fit,
 //! * [`par`] — the dependency-free scoped thread pool behind the
 //!   simulation and Monte-Carlo hot paths (`DLP_THREADS` override,
 //!   deterministic chunked work distribution),
@@ -49,6 +51,7 @@ pub mod coverage;
 mod error;
 pub mod fit;
 pub mod montecarlo;
+pub mod ndetect;
 pub mod obs;
 pub mod par;
 mod pipeline;

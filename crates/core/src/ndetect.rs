@@ -1,0 +1,265 @@
+//! The DL(n) model layer for *n-detection* test sets.
+//!
+//! An n-detect test set detects every stuck-at fault at least `n` times,
+//! so unmodeled realistic faults sharing those sites are caught
+//! incidentally (Pomeranz & Reddy). Measuring the weighted realistic
+//! coverage `θ(n)` of each set and feeding it through the paper's eq. 3
+//! (`DL = 1 − Y^(1−θ)`) turns the detection multiplicity into a defect
+//! level projection.
+//!
+//! Empirically `θ(n)` saturates: each extra required detection excites a
+//! site under more distinct conditions, but the reachable realistic
+//! coverage is bounded by `θ_max` (the analogue of eq. 11's saturation).
+//! [`NDetectGrowth`] is the matching two-parameter law
+//!
+//! ```text
+//! θ(n) = θ_max · (1 − ρ^n),   ρ = 1 − θ_1 / θ_max
+//! ```
+//!
+//! anchored so that `θ(1) = θ_1`, and [`fit_ndetect_growth`] recovers
+//! `(θ_1, θ_max)` from measured `(n, θ)` points by Nelder–Mead least
+//! squares with the same smooth reparameterisation idiom as
+//! [`crate::fit::fit_sousa`].
+
+use crate::error::{check_open_unit, check_unit};
+use crate::fit::{nelder_mead, NelderMeadOptions};
+use crate::ModelError;
+
+/// The saturating growth law `θ(n) = θ_max (1 − (1 − θ_1/θ_max)^n)`.
+///
+/// # Example
+///
+/// ```
+/// use dlp_core::ndetect::NDetectGrowth;
+///
+/// let g = NDetectGrowth::new(0.6, 0.9)?;
+/// assert!((g.at(1) - 0.6).abs() < 1e-12); // anchored at θ(1) = θ_1
+/// assert!(g.at(8) < 0.9);                 // approaches θ_max from below
+/// assert!(g.at(8) > g.at(2));             // monotone in n
+/// # Ok::<(), dlp_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NDetectGrowth {
+    theta1: f64,
+    theta_max: f64,
+}
+
+impl NDetectGrowth {
+    /// Builds the law from its anchor `θ_1 = θ(1)` and saturation level
+    /// `θ_max`.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::OutOfDomain`] unless `0 < θ_1 ≤ θ_max ≤ 1`.
+    pub fn new(theta1: f64, theta_max: f64) -> Result<Self, ModelError> {
+        let theta_max = check_unit("theta_max", theta_max)?;
+        if !(theta1 > 0.0 && theta1 <= theta_max) {
+            return Err(ModelError::OutOfDomain {
+                parameter: "theta_1",
+                value: theta1,
+                range: "(0, theta_max]",
+            });
+        }
+        Ok(NDetectGrowth { theta1, theta_max })
+    }
+
+    /// The single-detection coverage `θ(1)`.
+    pub fn theta1(&self) -> f64 {
+        self.theta1
+    }
+
+    /// The saturation coverage `θ_max = lim θ(n)`.
+    pub fn theta_max(&self) -> f64 {
+        self.theta_max
+    }
+
+    /// The per-rank miss ratio `ρ = 1 − θ_1/θ_max`: the fraction of the
+    /// reachable coverage still missing after each extra detection.
+    pub fn miss_ratio(&self) -> f64 {
+        1.0 - self.theta1 / self.theta_max
+    }
+
+    /// Evaluates `θ(n)`. `θ(0) = 0` by construction.
+    pub fn at(&self, n: u32) -> f64 {
+        self.theta_max * (1.0 - self.miss_ratio().powi(n as i32))
+    }
+
+    /// The projected defect level `DL(n) = 1 − Y^(1−θ(n))` (eq. 3) at
+    /// process yield `y`.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::OutOfDomain`] unless `y ∈ (0, 1)`.
+    pub fn defect_level(&self, y: f64, n: u32) -> Result<f64, ModelError> {
+        let y = check_open_unit("yield", y)?;
+        Ok(1.0 - y.powf(1.0 - self.at(n)))
+    }
+}
+
+/// Fits [`NDetectGrowth`] to measured `(n, θ(n))` points by Nelder–Mead
+/// least squares.
+///
+/// Constraints are enforced by smooth reparameterisation: the simplex
+/// walks `(logit θ_max, logit(θ_1/θ_max))`, so every candidate satisfies
+/// `0 < θ_1 ≤ θ_max < 1` by construction.
+///
+/// # Errors
+///
+/// [`ModelError::BadFitData`] for fewer than two points, a duplicate or
+/// zero `n`, or a `θ` outside `[0, 1]`; [`ModelError::FitDiverged`] if
+/// the simplex fails to contract.
+///
+/// # Example
+///
+/// ```
+/// use dlp_core::ndetect::{fit_ndetect_growth, NDetectGrowth};
+///
+/// let truth = NDetectGrowth::new(0.55, 0.85)?;
+/// let points: Vec<(u32, f64)> = (1..=8).map(|n| (n, truth.at(n))).collect();
+/// let fitted = fit_ndetect_growth(&points)?;
+/// assert!((fitted.theta1() - 0.55).abs() < 1e-4);
+/// assert!((fitted.theta_max() - 0.85).abs() < 1e-4);
+/// # Ok::<(), dlp_core::ModelError>(())
+/// ```
+pub fn fit_ndetect_growth(points: &[(u32, f64)]) -> Result<NDetectGrowth, ModelError> {
+    if points.len() < 2 {
+        return Err(ModelError::BadFitData(
+            "need at least two (n, theta) points",
+        ));
+    }
+    for &(n, theta) in points {
+        if n == 0 {
+            return Err(ModelError::BadFitData("n = 0 is not a test set"));
+        }
+        if !(0.0..=1.0).contains(&theta) {
+            return Err(ModelError::BadFitData("theta outside [0, 1]"));
+        }
+    }
+    for (i, &(n, _)) in points.iter().enumerate() {
+        if points[i + 1..].iter().any(|&(m, _)| m == n) {
+            return Err(ModelError::BadFitData("duplicate n in fit data"));
+        }
+    }
+
+    let objective = |p: &[f64]| {
+        let theta_max = 1.0 / (1.0 + (-p[0]).exp());
+        let ratio = 1.0 / (1.0 + (-p[1]).exp());
+        let Ok(model) = NDetectGrowth::new(ratio * theta_max, theta_max) else {
+            return f64::INFINITY;
+        };
+        points
+            .iter()
+            .map(|&(n, theta)| {
+                let r = model.at(n) - theta;
+                r * r
+            })
+            .sum()
+    };
+
+    // Start from the first measured point as both anchor and a mid-range
+    // saturation guess (logits of clamped values keep the start finite).
+    let clamp = |x: f64| x.clamp(1e-6, 1.0 - 1e-6);
+    let theta_last = clamp(points[points.len() - 1].1.max(0.5));
+    let x0 = [
+        (theta_last / (1.0 - theta_last)).ln(),
+        0.0, // ratio 0.5
+    ];
+    let (p, _) = nelder_mead(
+        objective,
+        &x0,
+        NelderMeadOptions {
+            max_iterations: 4000,
+            ..Default::default()
+        },
+    )?;
+    let theta_max = 1.0 / (1.0 + (-p[0]).exp());
+    let ratio = 1.0 / (1.0 + (-p[1]).exp());
+    NDetectGrowth::new(ratio * theta_max, theta_max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn law_is_anchored_monotone_and_saturating() {
+        let g = NDetectGrowth::new(0.5, 0.8).unwrap();
+        assert!((g.at(1) - 0.5).abs() < 1e-12);
+        assert_eq!(g.at(0), 0.0);
+        let mut prev = 0.0;
+        for n in 1..=64 {
+            let t = g.at(n);
+            assert!(t >= prev - 1e-15, "θ(n) must not shrink at n = {n}");
+            assert!(t <= 0.8 + 1e-12);
+            prev = t;
+        }
+        assert!((g.at(64) - 0.8).abs() < 1e-6, "θ(n) must approach θ_max");
+    }
+
+    #[test]
+    fn degenerate_flat_law_is_legal() {
+        // θ_1 = θ_max: the first detection already reaches saturation.
+        let g = NDetectGrowth::new(0.7, 0.7).unwrap();
+        assert_eq!(g.miss_ratio(), 0.0);
+        assert!((g.at(1) - 0.7).abs() < 1e-12);
+        assert!((g.at(5) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constructor_rejects_bad_parameters() {
+        assert!(NDetectGrowth::new(0.0, 0.5).is_err());
+        assert!(NDetectGrowth::new(-0.1, 0.5).is_err());
+        assert!(NDetectGrowth::new(0.6, 0.5).is_err());
+        assert!(NDetectGrowth::new(0.5, 1.1).is_err());
+        assert!(NDetectGrowth::new(f64::NAN, 0.5).is_err());
+        assert!(NDetectGrowth::new(0.5, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn defect_level_is_monotone_nonincreasing_in_n() {
+        let g = NDetectGrowth::new(0.55, 0.92).unwrap();
+        let mut prev = f64::INFINITY;
+        for n in 1..=16 {
+            let dl = g.defect_level(0.75, n).unwrap();
+            assert!((0.0..=1.0).contains(&dl));
+            assert!(dl <= prev + 1e-15, "DL must not rise with n = {n}");
+            prev = dl;
+        }
+        assert!(g.defect_level(0.0, 1).is_err());
+        assert!(g.defect_level(1.0, 1).is_err());
+    }
+
+    #[test]
+    fn fit_recovers_known_parameters() {
+        let truth = NDetectGrowth::new(0.48, 0.9).unwrap();
+        let points: Vec<(u32, f64)> = (1..=8).map(|n| (n, truth.at(n))).collect();
+        let fitted = fit_ndetect_growth(&points).unwrap();
+        assert!((fitted.theta1() - truth.theta1()).abs() < 1e-4);
+        assert!((fitted.theta_max() - truth.theta_max()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fit_survives_noisy_points() {
+        let truth = NDetectGrowth::new(0.6, 0.85).unwrap();
+        // Deterministic ±0.005 perturbation.
+        let points: Vec<(u32, f64)> = (1..=8)
+            .map(|n| {
+                let noise = if n % 2 == 0 { 0.005 } else { -0.005 };
+                (n, (truth.at(n) + noise).clamp(0.0, 1.0))
+            })
+            .collect();
+        let fitted = fit_ndetect_growth(&points).unwrap();
+        assert!((fitted.theta1() - truth.theta1()).abs() < 0.05);
+        assert!((fitted.theta_max() - truth.theta_max()).abs() < 0.05);
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_data() {
+        assert!(fit_ndetect_growth(&[]).is_err());
+        assert!(fit_ndetect_growth(&[(1, 0.5)]).is_err());
+        assert!(fit_ndetect_growth(&[(0, 0.1), (1, 0.5)]).is_err());
+        assert!(fit_ndetect_growth(&[(1, 0.5), (1, 0.6)]).is_err());
+        assert!(fit_ndetect_growth(&[(1, 0.5), (2, 1.5)]).is_err());
+        assert!(fit_ndetect_growth(&[(1, f64::NAN), (2, 0.5)]).is_err());
+    }
+}

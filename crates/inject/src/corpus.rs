@@ -201,12 +201,42 @@ pub fn corpus() -> Vec<Case> {
             "a non-numeric DLP_THREADS-style setting",
             sim_threads_garbage
         ),
+        case!(
+            "sim-ndetect-cap-zero",
+            Simulation,
+            "a count-capped simulation with detection cap 0",
+            sim_ndetect_cap_zero
+        ),
+        case!(
+            "sim-ndetect-cap-absurd",
+            Simulation,
+            "a count-capped simulation with detection cap usize::MAX",
+            sim_ndetect_cap_absurd
+        ),
+        case!(
+            "sim-counted-fault-out-of-range",
+            Simulation,
+            "a count-capped simulation of a fault site the netlist lacks",
+            sim_counted_fault_out_of_range
+        ),
+        case!(
+            "sim-nonfinite-weight",
+            Simulation,
+            "a weighted coverage query with a NaN fault weight",
+            sim_nonfinite_weight
+        ),
         // -- atpg ---------------------------------------------------------
         case!(
             "atpg-foreign-fault",
             Atpg,
             "a target fault sited on a node outside the netlist",
             atpg_foreign_fault
+        ),
+        case!(
+            "atpg-ndetect-zero-target",
+            Atpg,
+            "an n-detect schedule requested for target n = 0",
+            atpg_ndetect_zero_target
         ),
         // -- model --------------------------------------------------------
         case!(
@@ -525,6 +555,41 @@ fn sim_threads_garbage() -> Result<(), PipelineError> {
     sim_with_thread_setting("lots")
 }
 
+fn counted_with_cap(n_cap: usize) -> Result<(), PipelineError> {
+    let c17 = generators::c17();
+    let faults = stuck_at::enumerate(&c17).collapse();
+    ppsfp::simulate_counted(&c17, faults.faults(), &[vec![false; 5]], n_cap)?;
+    Ok(())
+}
+
+fn sim_ndetect_cap_zero() -> Result<(), PipelineError> {
+    counted_with_cap(0)
+}
+
+fn sim_ndetect_cap_absurd() -> Result<(), PipelineError> {
+    counted_with_cap(usize::MAX)
+}
+
+fn sim_counted_fault_out_of_range() -> Result<(), PipelineError> {
+    let c17 = generators::c17();
+    let fault = stuck_at::StuckAtFault {
+        site: stuck_at::FaultSite::Stem(NodeId::from_index(9_999)),
+        stuck_at_one: false,
+    };
+    ppsfp::simulate_counted(&c17, &[fault], &[vec![false; 5]], 2)?;
+    Ok(())
+}
+
+fn sim_nonfinite_weight() -> Result<(), PipelineError> {
+    let c17 = generators::c17();
+    let faults = stuck_at::enumerate(&c17).collapse();
+    let record = ppsfp::simulate(&c17, faults.faults(), &[vec![true; 5]])?;
+    let mut weights = vec![1.0; faults.len()];
+    weights[0] = f64::NAN;
+    record.weighted_coverage_after(1, &weights)?;
+    Ok(())
+}
+
 // -- atpg -----------------------------------------------------------------
 
 fn atpg_foreign_fault() -> Result<(), PipelineError> {
@@ -534,6 +599,18 @@ fn atpg_foreign_fault() -> Result<(), PipelineError> {
         stuck_at_one: true,
     };
     generate_tests(&c17, &[foreign], &AtpgConfig::default())?;
+    Ok(())
+}
+
+fn atpg_ndetect_zero_target() -> Result<(), PipelineError> {
+    let c17 = generators::c17();
+    let faults = stuck_at::enumerate(&c17).collapse();
+    dlp_ndetect::build_schedule(
+        &c17,
+        faults.faults(),
+        0,
+        &dlp_ndetect::NDetectConfig::default(),
+    )?;
     Ok(())
 }
 

@@ -1,0 +1,79 @@
+use std::error::Error;
+use std::fmt;
+
+use dlp_atpg::AtpgError;
+use dlp_core::{PipelineError, Stage};
+use dlp_sim::SimError;
+
+/// Errors raised by n-detect test-set construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NDetectError {
+    /// The detection target is unusable: zero (there is no 0-detect test
+    /// set) or beyond [`dlp_sim::ppsfp::MAX_DETECTION_CAP`].
+    BadTarget {
+        /// The requested target.
+        n: usize,
+    },
+    /// Fault simulation rejected its inputs.
+    Sim(SimError),
+    /// Test generation rejected its inputs.
+    Atpg(AtpgError),
+}
+
+impl fmt::Display for NDetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NDetectError::BadTarget { n } => write!(
+                f,
+                "n-detect target {n} is outside 1..={}",
+                dlp_sim::ppsfp::MAX_DETECTION_CAP
+            ),
+            NDetectError::Sim(e) => write!(f, "fault simulation: {e}"),
+            NDetectError::Atpg(e) => write!(f, "test generation: {e}"),
+        }
+    }
+}
+
+impl Error for NDetectError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NDetectError::Sim(e) => Some(e),
+            NDetectError::Atpg(e) => Some(e),
+            NDetectError::BadTarget { .. } => None,
+        }
+    }
+}
+
+impl From<SimError> for NDetectError {
+    fn from(e: SimError) -> Self {
+        NDetectError::Sim(e)
+    }
+}
+
+impl From<AtpgError> for NDetectError {
+    fn from(e: AtpgError) -> Self {
+        NDetectError::Atpg(e)
+    }
+}
+
+impl From<NDetectError> for PipelineError {
+    fn from(e: NDetectError) -> Self {
+        PipelineError::with_source(Stage::Atpg, e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_stage() {
+        let e = NDetectError::BadTarget { n: 0 };
+        assert!(e.to_string().contains("target 0"));
+        assert_eq!(PipelineError::from(e).stage(), Stage::Atpg);
+        let wrapped = NDetectError::from(SimError::BadDetectionCap { cap: 0 });
+        assert!(wrapped.to_string().contains("fault simulation"));
+        assert!(wrapped.source().is_some());
+    }
+}

@@ -1,0 +1,47 @@
+//! n-detection test sets over the stuck-at fault universe.
+//!
+//! A single-detection test set leaves realistic (bridge/open) faults at a
+//! detected site untested under most excitation conditions — the gap the
+//! paper's `R`/`θ_max` model quantifies. The classic industrial response
+//! is *n-detection* (Pomeranz & Reddy): require every stuck-at fault to be
+//! detected `n` times, so unmodeled faults sharing those sites are caught
+//! incidentally.
+//!
+//! This crate builds such sets on top of the count-capped simulator
+//! [`dlp_sim::ppsfp::simulate_counted`]:
+//!
+//! * [`builder::build_schedule`] — greedy forward selection over a random
+//!   vector pool, then PODEM top-ups (a distinct don't-care fill stream
+//!   per fault and rank) for faults the pool cannot lift to `n`. The
+//!   result is an *incremental schedule*: the test set for target `n` is
+//!   a prefix of the set for `n + 1`, so coverage and DL(n) measurements
+//!   are monotone by construction.
+//! * [`dlp_atpg::compact::compact_counted`] is the matching compaction
+//!   (kept in `dlp-atpg` next to the single-detect `compact`).
+//! * The DL(n) model lives in [`dlp_core::ndetect`].
+//!
+//! # Example
+//!
+//! ```
+//! use dlp_circuit::generators;
+//! use dlp_ndetect::{build_schedule, NDetectConfig};
+//! use dlp_sim::{ppsfp, stuck_at};
+//!
+//! let c17 = generators::c17();
+//! let faults = stuck_at::enumerate(&c17).collapse();
+//! let schedule = build_schedule(&c17, faults.faults(), 3, &NDetectConfig::default())?;
+//! // The n = 3 prefix detects every fault at least 3 times.
+//! let set = schedule.test_set(3).expect("n within target");
+//! let profile = ppsfp::simulate_counted(&c17, faults.faults(), set, 3)?;
+//! assert_eq!(profile.coverage_at_least(3), 1.0);
+//! # Ok::<(), dlp_ndetect::NDetectError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+mod error;
+
+pub use builder::{build_schedule, NDetectConfig, NDetectSchedule};
+pub use error::NDetectError;

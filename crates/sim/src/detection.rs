@@ -106,13 +106,17 @@ impl DetectionRecord {
     /// # Errors
     ///
     /// [`SimError::WeightCountMismatch`] if `weights.len()` differs from
-    /// the fault count.
+    /// the fault count; [`SimError::NonFiniteWeight`] if any weight is NaN
+    /// or infinite (either would silently poison the coverage value).
     pub fn weighted_coverage_after(&self, k: usize, weights: &[f64]) -> Result<f64, SimError> {
         if weights.len() != self.first_detect.len() {
             return Err(SimError::WeightCountMismatch {
                 weights: weights.len(),
                 faults: self.first_detect.len(),
             });
+        }
+        if let Some(index) = weights.iter().position(|w| !w.is_finite()) {
+            return Err(SimError::NonFiniteWeight { index });
         }
         let total: f64 = weights.iter().sum();
         if total <= 0.0 {
@@ -126,6 +130,98 @@ impl DetectionRecord {
             .map(|(_, w)| w)
             .sum();
         Ok(covered / total)
+    }
+}
+
+/// Count-capped detection records for a fault list: for each fault, the
+/// (0-based, strictly increasing) indices of the vectors that scored its
+/// 1st..n-th detection, where `n` is the cap the simulation ran with.
+///
+/// Produced by [`crate::ppsfp::simulate_counted`]; a fault whose list is
+/// shorter than the cap was detected exactly that many times by the whole
+/// sequence, while a list of length `n_cap` means *at least* `n_cap`
+/// detections (the simulator stops counting there).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectionProfile {
+    detections: Vec<Vec<usize>>,
+    n_cap: usize,
+    vector_count: usize,
+}
+
+impl DetectionProfile {
+    /// Wraps raw rank-indexed detection data.
+    pub fn new(detections: Vec<Vec<usize>>, n_cap: usize, vector_count: usize) -> Self {
+        DetectionProfile {
+            detections,
+            n_cap,
+            vector_count,
+        }
+    }
+
+    /// The detection cap the simulation ran with.
+    pub fn n_cap(&self) -> usize {
+        self.n_cap
+    }
+
+    /// Number of faults tracked.
+    pub fn fault_count(&self) -> usize {
+        self.detections.len()
+    }
+
+    /// Number of vectors that were simulated.
+    pub fn vector_count(&self) -> usize {
+        self.vector_count
+    }
+
+    /// Detecting-vector indices of fault `j`, ascending, capped at
+    /// [`Self::n_cap`] entries.
+    pub fn detections(&self, j: usize) -> &[usize] {
+        &self.detections[j]
+    }
+
+    /// Detection count of fault `j`, saturated at the cap.
+    pub fn count(&self, j: usize) -> usize {
+        self.detections[j].len()
+    }
+
+    /// Per-fault detection counts, each saturated at the cap.
+    pub fn counts(&self) -> Vec<usize> {
+        self.detections.iter().map(Vec::len).collect()
+    }
+
+    /// Index of the vector that scored fault `j`'s `rank`-th detection
+    /// (`rank` is 1-based), or `None` if the sequence never got it there.
+    pub fn nth_detect(&self, j: usize, rank: usize) -> Option<usize> {
+        if rank == 0 {
+            return None;
+        }
+        self.detections[j].get(rank - 1).copied()
+    }
+
+    /// Projects the profile onto its rank-1 detections. With `n_cap = 1`
+    /// this is exactly the [`DetectionRecord`] of
+    /// [`crate::ppsfp::simulate`].
+    pub fn first_detect_record(&self) -> DetectionRecord {
+        DetectionRecord::new(
+            self.detections.iter().map(|d| d.first().copied()).collect(),
+            self.vector_count,
+        )
+    }
+
+    /// Detection mask at level `n`: `mask[j]` is true iff fault `j` was
+    /// detected at least `n` times (`n` is clamped into `1..=n_cap` by the
+    /// data itself — asking beyond the cap can never be true).
+    pub fn detected_at_least(&self, n: usize) -> Vec<bool> {
+        self.detections.iter().map(|d| d.len() >= n).collect()
+    }
+
+    /// Fraction of faults detected at least `n` times.
+    pub fn coverage_at_least(&self, n: usize) -> f64 {
+        if self.detections.is_empty() {
+            return 0.0;
+        }
+        self.detections.iter().filter(|d| d.len() >= n).count() as f64
+            / self.detections.len() as f64
     }
 }
 
@@ -167,6 +263,63 @@ mod tests {
             Err(SimError::WeightCountMismatch { .. })
         ));
         assert_eq!(r.weighted_coverage_after(3, &[0.0; 4]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn non_finite_weights_are_rejected() {
+        // Regression: NaN and ±∞ weights used to propagate silently into
+        // the coverage value (NaN total, or ∞/∞). They are contract
+        // violations now.
+        let r = record();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let w = [1.0, bad, 3.0, 4.0];
+            assert_eq!(
+                r.weighted_coverage_after(3, &w),
+                Err(SimError::NonFiniteWeight { index: 1 }),
+                "weight {bad} must be rejected"
+            );
+        }
+        // The reported index is the first offender.
+        let w = [f64::NAN, f64::INFINITY, 0.0, 0.0];
+        assert_eq!(
+            r.weighted_coverage_after(3, &w),
+            Err(SimError::NonFiniteWeight { index: 0 })
+        );
+    }
+
+    fn profile() -> DetectionProfile {
+        DetectionProfile::new(vec![vec![0, 2, 5], vec![1], vec![]], 3, 8)
+    }
+
+    #[test]
+    fn profile_counts_and_ranks() {
+        let p = profile();
+        assert_eq!(p.n_cap(), 3);
+        assert_eq!(p.fault_count(), 3);
+        assert_eq!(p.vector_count(), 8);
+        assert_eq!(p.counts(), vec![3, 1, 0]);
+        assert_eq!(p.count(0), 3);
+        assert_eq!(p.detections(0), &[0, 2, 5]);
+        assert_eq!(p.nth_detect(0, 1), Some(0));
+        assert_eq!(p.nth_detect(0, 3), Some(5));
+        assert_eq!(p.nth_detect(0, 4), None);
+        assert_eq!(p.nth_detect(1, 0), None, "ranks are 1-based");
+        assert_eq!(p.nth_detect(2, 1), None);
+    }
+
+    #[test]
+    fn profile_masks_and_projection() {
+        let p = profile();
+        assert_eq!(p.detected_at_least(1), vec![true, true, false]);
+        assert_eq!(p.detected_at_least(2), vec![true, false, false]);
+        assert!((p.coverage_at_least(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((p.coverage_at_least(3) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(
+            p.first_detect_record(),
+            DetectionRecord::new(vec![Some(0), Some(1), None], 8)
+        );
+        let empty = DetectionProfile::new(vec![], 2, 0);
+        assert_eq!(empty.coverage_at_least(1), 0.0);
     }
 
     #[test]

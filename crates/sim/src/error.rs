@@ -23,6 +23,12 @@ pub enum SimError {
         /// Number of faults in the detection record.
         faults: usize,
     },
+    /// A weight vector carries a NaN or infinite entry; any non-finite
+    /// weight would silently poison every coverage value computed from it.
+    NonFiniteWeight {
+        /// Index of the offending weight.
+        index: usize,
+    },
     /// A switch-level fault references a transistor, node, or output the
     /// netlist does not have.
     FaultOutOfRange {
@@ -30,6 +36,13 @@ pub enum SimError {
         fault: usize,
         /// Which reference is out of range.
         what: &'static str,
+    },
+    /// A counted simulation's detection cap is unusable: zero (nothing to
+    /// count) or beyond [`crate::ppsfp::MAX_DETECTION_CAP`] (the per-fault
+    /// index storage would be unbounded).
+    BadDetectionCap {
+        /// The requested cap.
+        cap: usize,
     },
     /// The `DLP_THREADS` override is not a positive thread count.
     BadThreadCount(dlp_core::par::ParError),
@@ -49,9 +62,17 @@ impl fmt::Display for SimError {
             SimError::WeightCountMismatch { weights, faults } => {
                 write!(f, "{weights} weights for {faults} faults")
             }
+            SimError::NonFiniteWeight { index } => {
+                write!(f, "weight {index} is NaN or infinite")
+            }
             SimError::FaultOutOfRange { fault, what } => {
                 write!(f, "fault {fault} references a {what} outside the netlist")
             }
+            SimError::BadDetectionCap { cap } => write!(
+                f,
+                "detection cap {cap} is outside 1..={}",
+                crate::ppsfp::MAX_DETECTION_CAP
+            ),
             SimError::BadThreadCount(e) => e.fmt(f),
         }
     }

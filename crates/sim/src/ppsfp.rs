@@ -10,9 +10,14 @@ use dlp_circuit::{GateKind, Netlist, NodeId};
 use dlp_core::obs::Recorder;
 use dlp_core::par::{self, ThreadCount};
 
-use crate::detection::DetectionRecord;
+use crate::detection::{DetectionProfile, DetectionRecord};
 use crate::SimError;
 use crate::stuck_at::{FaultSite, StuckAtFault};
+
+/// Upper bound on the detection cap of [`simulate_counted`]: beyond this
+/// the per-fault index storage (`faults × n_cap` vector indices) stops
+/// being a profiling structure and becomes an unbounded transcript.
+pub const MAX_DETECTION_CAP: usize = 1 << 16;
 
 /// Validates every fault site against the netlist: the stem node, or the
 /// branch's gate and pin index, must exist.
@@ -37,6 +42,133 @@ fn validate_faults(netlist: &Netlist, faults: &[StuckAtFault]) -> Result<(), Sim
         }
     }
     Ok(())
+}
+
+/// Validated per-run state shared by the first-detect and counted modes:
+/// the fault list with its precomputed fanout cones.
+struct SimSetup<'a> {
+    netlist: &'a Netlist,
+    faults: &'a [StuckAtFault],
+    cones: std::collections::HashMap<NodeId, Vec<NodeId>>,
+    n_in: usize,
+}
+
+fn cone_seed(f: &StuckAtFault) -> NodeId {
+    match f.site {
+        FaultSite::Stem(n) => n,
+        FaultSite::Branch { gate, .. } => gate,
+    }
+}
+
+impl<'a> SimSetup<'a> {
+    fn new(
+        netlist: &'a Netlist,
+        faults: &'a [StuckAtFault],
+        vectors: &[Vec<bool>],
+    ) -> Result<Self, SimError> {
+        let n_in = netlist.inputs().len();
+        crate::error::check_widths(vectors, n_in)?;
+        validate_faults(netlist, faults)?;
+        // Precompute fanout cones (sorted in topological order because
+        // node IDs are topological) for each distinct fault seed node.
+        let mut cones: std::collections::HashMap<NodeId, Vec<NodeId>> =
+            std::collections::HashMap::new();
+        for f in faults {
+            let seed = cone_seed(f);
+            cones
+                .entry(seed)
+                .or_insert_with(|| netlist.fanout_cone(seed));
+        }
+        Ok(SimSetup {
+            netlist,
+            faults,
+            cones,
+            n_in,
+        })
+    }
+
+    /// Simulates one 64-pattern block over the live faults and returns, in
+    /// chunk order, `(fault index, masked output-difference word)` pairs
+    /// for every live fault the block detects.
+    ///
+    /// The live-fault list is partitioned across the workers; each worker
+    /// owns its scratch `faulty` array. A fault's detection word is a pure
+    /// function of (fault, block), so the merged outcome cannot depend on
+    /// the partition — the bit-identical-merge foundation both simulation
+    /// modes build on.
+    fn block_detections(
+        &self,
+        block: &[Vec<bool>],
+        live: &[usize],
+        workers: usize,
+        obs: &Recorder,
+        scope: &'static str,
+    ) -> Vec<Vec<(usize, u64)>> {
+        // Pack the block: word i = input i across patterns.
+        let mut input_words = vec![0u64; self.n_in];
+        for (p, v) in block.iter().enumerate() {
+            for (i, &bit) in v.iter().enumerate() {
+                if bit {
+                    input_words[i] |= 1 << p;
+                }
+            }
+        }
+        let used_mask: u64 = if block.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << block.len()) - 1
+        };
+
+        let good = self.netlist.eval_words_all(&input_words);
+
+        par::map_chunks_counted(workers, live, workers, obs, scope, |_, chunk| {
+            let mut faulty = good.clone();
+            let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
+            let mut found: Vec<(usize, u64)> = Vec::new();
+            for &fi in chunk {
+                let fault = &self.faults[fi];
+                let seed = cone_seed(fault);
+                let cone = &self.cones[&seed];
+
+                // Inject and propagate through the cone only.
+                let mut diff_word_at_outputs = 0u64;
+                for &node in cone {
+                    let kind = self.netlist.kind(node);
+                    let mut value = if kind == GateKind::Input {
+                        good[node.index()]
+                    } else {
+                        fanin_buf.clear();
+                        for (pin, &f) in self.netlist.fanin(node).iter().enumerate() {
+                            let mut v = faulty[f.index()];
+                            if let FaultSite::Branch { gate, pin: fpin } = fault.site {
+                                if gate == node && fpin == pin {
+                                    v = if fault.stuck_at_one { u64::MAX } else { 0 };
+                                }
+                            }
+                            fanin_buf.push(v);
+                        }
+                        kind.eval_words(&fanin_buf)
+                    };
+                    if fault.site == FaultSite::Stem(node) {
+                        value = if fault.stuck_at_one { u64::MAX } else { 0 };
+                    }
+                    faulty[node.index()] = value;
+                    if self.netlist.is_output(node) {
+                        diff_word_at_outputs |= (value ^ good[node.index()]) & used_mask;
+                    }
+                }
+                // Restore the scratch array for the next fault.
+                for &node in cone {
+                    faulty[node.index()] = good[node.index()];
+                }
+
+                if diff_word_at_outputs != 0 {
+                    found.push((fi, diff_word_at_outputs));
+                }
+            }
+            found
+        })
+    }
 }
 
 /// Simulates `faults` against `vectors` and reports first detections.
@@ -113,29 +245,12 @@ pub fn simulate_obs(
     obs: &Recorder,
 ) -> Result<DetectionRecord, SimError> {
     let _span = obs.span("sim.gate");
-    let n_in = netlist.inputs().len();
-    crate::error::check_widths(vectors, n_in)?;
-    validate_faults(netlist, faults)?;
+    let setup = SimSetup::new(netlist, faults, vectors)?;
     let workers = threads.get();
     obs.add("sim.gate.faults", faults.len() as u64);
     obs.add("sim.gate.vectors", vectors.len() as u64);
     let mut first_detect: Vec<Option<usize>> = vec![None; faults.len()];
     let mut live: Vec<usize> = (0..faults.len()).collect();
-
-    // Precompute fanout cones (sorted in topological order because node
-    // IDs are topological) for each distinct fault seed node.
-    let mut cones: std::collections::HashMap<NodeId, Vec<NodeId>> =
-        std::collections::HashMap::new();
-    let cone_seed = |f: &StuckAtFault| match f.site {
-        FaultSite::Stem(n) => n,
-        FaultSite::Branch { gate, .. } => gate,
-    };
-    for f in faults {
-        let seed = cone_seed(f);
-        cones
-            .entry(seed)
-            .or_insert_with(|| netlist.fanout_cone(seed));
-    }
 
     for (block_idx, block) in vectors.chunks(64).enumerate() {
         if live.is_empty() {
@@ -143,75 +258,7 @@ pub fn simulate_obs(
         }
         obs.incr("sim.gate.blocks");
         obs.push("sim.gate.live_per_block", live.len() as f64);
-        // Pack the block: word i = input i across patterns.
-        let mut input_words = vec![0u64; n_in];
-        for (p, v) in block.iter().enumerate() {
-            for (i, &bit) in v.iter().enumerate() {
-                if bit {
-                    input_words[i] |= 1 << p;
-                }
-            }
-        }
-        let used_mask: u64 = if block.len() == 64 {
-            u64::MAX
-        } else {
-            (1u64 << block.len()) - 1
-        };
-
-        let good = netlist.eval_words_all(&input_words);
-
-        // Partition the live-fault list across the workers. Each worker
-        // owns its scratch `faulty` array; a fault's detection word is a
-        // pure function of (fault, block), so the merged outcome cannot
-        // depend on the partition. Detections come back in chunk order as
-        // (fault index, masked output-difference word) pairs.
-        let detections = par::map_chunks_counted(workers, &live, workers, obs, "sim.gate", |_, chunk| {
-            let mut faulty = good.clone();
-            let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
-            let mut found: Vec<(usize, u64)> = Vec::new();
-            for &fi in chunk {
-                let fault = &faults[fi];
-                let seed = cone_seed(fault);
-                let cone = &cones[&seed];
-
-                // Inject and propagate through the cone only.
-                let mut diff_word_at_outputs = 0u64;
-                for &node in cone {
-                    let kind = netlist.kind(node);
-                    let mut value = if kind == GateKind::Input {
-                        good[node.index()]
-                    } else {
-                        fanin_buf.clear();
-                        for (pin, &f) in netlist.fanin(node).iter().enumerate() {
-                            let mut v = faulty[f.index()];
-                            if let FaultSite::Branch { gate, pin: fpin } = fault.site {
-                                if gate == node && fpin == pin {
-                                    v = if fault.stuck_at_one { u64::MAX } else { 0 };
-                                }
-                            }
-                            fanin_buf.push(v);
-                        }
-                        kind.eval_words(&fanin_buf)
-                    };
-                    if fault.site == FaultSite::Stem(node) {
-                        value = if fault.stuck_at_one { u64::MAX } else { 0 };
-                    }
-                    faulty[node.index()] = value;
-                    if netlist.is_output(node) {
-                        diff_word_at_outputs |= (value ^ good[node.index()]) & used_mask;
-                    }
-                }
-                // Restore the scratch array for the next fault.
-                for &node in cone {
-                    faulty[node.index()] = good[node.index()];
-                }
-
-                if diff_word_at_outputs != 0 {
-                    found.push((fi, diff_word_at_outputs));
-                }
-            }
-            found
-        });
+        let detections = setup.block_detections(block, &live, workers, obs, "sim.gate");
 
         // Deterministic merge: the difference word is already masked to the
         // block's used patterns, so the first set bit gives the earliest
@@ -234,6 +281,122 @@ pub fn simulate_obs(
         first_detect.iter().filter(|d| d.is_some()).count() as u64,
     );
     Ok(DetectionRecord::new(first_detect, vectors.len()))
+}
+
+/// Count-capped simulation: like [`simulate`], but each fault stays live
+/// until it has been detected `n_cap` times, and the profile records the
+/// vector index of its 1st..`n_cap`-th detection.
+///
+/// With `n_cap = 1` the profile's rank-1 indices equal [`simulate`]'s
+/// `first_detect` exactly — the counted mode is a strict generalization.
+///
+/// # Errors
+///
+/// [`SimError::BadDetectionCap`] unless `n_cap ∈ 1..=`[`MAX_DETECTION_CAP`];
+/// otherwise as [`simulate`].
+///
+/// # Example
+///
+/// ```
+/// use dlp_circuit::generators;
+/// use dlp_sim::{detection, ppsfp, stuck_at};
+///
+/// let c17 = generators::c17();
+/// let faults = stuck_at::enumerate(&c17).collapse();
+/// let vectors = detection::random_vectors(5, 64, 7);
+/// let profile = ppsfp::simulate_counted(&c17, faults.faults(), &vectors, 3)?;
+/// // c17 is small: 64 random vectors detect every fault at least 3 times.
+/// assert_eq!(profile.coverage_at_least(3), 1.0);
+/// # Ok::<(), dlp_sim::SimError>(())
+/// ```
+pub fn simulate_counted(
+    netlist: &Netlist,
+    faults: &[StuckAtFault],
+    vectors: &[Vec<bool>],
+    n_cap: usize,
+) -> Result<DetectionProfile, SimError> {
+    simulate_counted_with(netlist, faults, vectors, n_cap, ThreadCount::from_env()?)
+}
+
+/// [`simulate_counted`] with an explicit worker count.
+///
+/// # Errors
+///
+/// See [`simulate_counted`].
+pub fn simulate_counted_with(
+    netlist: &Netlist,
+    faults: &[StuckAtFault],
+    vectors: &[Vec<bool>],
+    n_cap: usize,
+    threads: ThreadCount,
+) -> Result<DetectionProfile, SimError> {
+    simulate_counted_obs(netlist, faults, vectors, n_cap, threads, Recorder::noop())
+}
+
+/// [`simulate_counted_with`] with an observability [`Recorder`].
+///
+/// Traced under the `sim.gate.counted` scope: fault / vector / block /
+/// detected counters, the live-fault count entering each block
+/// (`sim.gate.counted.live_per_block`), the detection credits assigned per
+/// block (`sim.gate.counted.detects_per_block` — note this counts
+/// *detections*, which can exceed the number of faults retired), and
+/// per-worker item tallies. Tracing never perturbs the profile.
+///
+/// # Errors
+///
+/// See [`simulate_counted`].
+pub fn simulate_counted_obs(
+    netlist: &Netlist,
+    faults: &[StuckAtFault],
+    vectors: &[Vec<bool>],
+    n_cap: usize,
+    threads: ThreadCount,
+    obs: &Recorder,
+) -> Result<DetectionProfile, SimError> {
+    let _span = obs.span("sim.gate.counted");
+    if n_cap == 0 || n_cap > MAX_DETECTION_CAP {
+        return Err(SimError::BadDetectionCap { cap: n_cap });
+    }
+    let setup = SimSetup::new(netlist, faults, vectors)?;
+    let workers = threads.get();
+    obs.add("sim.gate.counted.faults", faults.len() as u64);
+    obs.add("sim.gate.counted.vectors", vectors.len() as u64);
+    let mut detections: Vec<Vec<usize>> = vec![Vec::new(); faults.len()];
+    let mut live: Vec<usize> = (0..faults.len()).collect();
+
+    for (block_idx, block) in vectors.chunks(64).enumerate() {
+        if live.is_empty() {
+            break;
+        }
+        obs.incr("sim.gate.counted.blocks");
+        obs.push("sim.gate.counted.live_per_block", live.len() as f64);
+        let found = setup.block_detections(block, &live, workers, obs, "sim.gate.counted");
+
+        // Count-merge determinism rule: the masked difference word is a
+        // pure function of (fault, block), and its set bits are consumed
+        // in ascending bit order, so the rank-k detection index is the
+        // global k-th smallest detecting vector index — `block_idx * 64`
+        // plus the bit — for every worker count. A fault leaves the live
+        // set only once its count reaches `n_cap`.
+        let mut credited = 0u64;
+        for (fi, mut diff) in found.into_iter().flatten() {
+            let ranks = &mut detections[fi];
+            while diff != 0 && ranks.len() < n_cap {
+                let bit = diff.trailing_zeros() as usize;
+                ranks.push(block_idx * 64 + bit);
+                diff &= diff - 1;
+                credited += 1;
+            }
+        }
+        live.retain(|&fi| detections[fi].len() < n_cap);
+        obs.push("sim.gate.counted.detects_per_block", credited as f64);
+    }
+
+    obs.add(
+        "sim.gate.counted.detected",
+        detections.iter().filter(|d| !d.is_empty()).count() as u64,
+    );
+    Ok(DetectionProfile::new(detections, n_cap, vectors.len()))
 }
 
 /// Convenience wrapper: stuck-at coverage after the whole sequence.
@@ -438,6 +601,103 @@ mod tests {
             Err(SimError::FaultOutOfRange {
                 fault: 1,
                 what: "input pin"
+            })
+        );
+    }
+
+    #[test]
+    fn counted_agrees_with_naive_simulation_on_c17() {
+        // The rank-k index must be the index of the k-th vector (in
+        // sequence order) that detects the fault, for every rank ≤ cap.
+        let c17 = generators::c17();
+        let faults = stuck_at::enumerate(&c17);
+        let vectors = random_vectors(5, 100, 11);
+        let n_cap = 4;
+        let profile = simulate_counted(&c17, faults.faults(), &vectors, n_cap).unwrap();
+        for (fi, fault) in faults.faults().iter().enumerate() {
+            let expected: Vec<usize> = vectors
+                .iter()
+                .enumerate()
+                .filter_map(|(i, v)| naive_detects(&c17, fault, v).then_some(i))
+                .take(n_cap)
+                .collect();
+            assert_eq!(
+                profile.detections(fi),
+                expected.as_slice(),
+                "fault {}",
+                fault.describe(&c17)
+            );
+        }
+    }
+
+    #[test]
+    fn counted_with_cap_one_equals_first_detect() {
+        // Acceptance criterion: n_cap = 1 rank-1 indices are exactly the
+        // first-detect record of the plain simulator.
+        for (nl, width, n, seed) in [
+            (generators::c17(), 5, 70, 13),
+            (generators::c432_class(), 36, 256, 33),
+        ] {
+            let faults = stuck_at::enumerate(&nl).collapse();
+            let vectors = random_vectors(width, n, seed);
+            let record = simulate(&nl, faults.faults(), &vectors).unwrap();
+            let profile = simulate_counted(&nl, faults.faults(), &vectors, 1).unwrap();
+            assert_eq!(profile.first_detect_record(), record, "{}", nl.name());
+        }
+    }
+
+    #[test]
+    fn counted_counts_are_monotone_in_cap_and_masked() {
+        let c17 = generators::c17();
+        let faults = stuck_at::enumerate(&c17).collapse();
+        // 70 vectors: the partial final block must not contribute
+        // phantom detections past index 69.
+        let vectors = random_vectors(5, 70, 13);
+        let mut prev: Option<Vec<usize>> = None;
+        for cap in [1usize, 2, 5, 70] {
+            let p = simulate_counted(&c17, faults.faults(), &vectors, cap).unwrap();
+            for j in 0..faults.len() {
+                assert!(p.count(j) <= cap);
+                assert!(p.detections(j).iter().all(|&i| i < 70));
+                assert!(p.detections(j).windows(2).all(|w| w[0] < w[1]));
+            }
+            if let Some(prev) = prev {
+                for (j, &c) in prev.iter().enumerate() {
+                    assert!(p.count(j) >= c, "count must not shrink as the cap grows");
+                }
+            }
+            prev = Some(p.counts());
+        }
+    }
+
+    #[test]
+    fn counted_rejects_bad_caps() {
+        let c17 = generators::c17();
+        let faults = stuck_at::enumerate(&c17).collapse();
+        let vectors = random_vectors(5, 8, 1);
+        for cap in [0usize, MAX_DETECTION_CAP + 1, usize::MAX] {
+            assert_eq!(
+                simulate_counted(&c17, faults.faults(), &vectors, cap),
+                Err(SimError::BadDetectionCap { cap })
+            );
+        }
+        assert!(simulate_counted(&c17, faults.faults(), &vectors, MAX_DETECTION_CAP).is_ok());
+    }
+
+    #[test]
+    fn counted_validates_fault_sites() {
+        use dlp_circuit::NodeId;
+
+        let c17 = generators::c17();
+        let beyond = StuckAtFault {
+            site: FaultSite::Stem(NodeId::from_index(c17.node_count())),
+            stuck_at_one: true,
+        };
+        assert_eq!(
+            simulate_counted(&c17, &[beyond], &random_vectors(5, 8, 1), 2),
+            Err(SimError::FaultOutOfRange {
+                fault: 0,
+                what: "node"
             })
         );
     }

@@ -44,6 +44,83 @@ fn ppsfp_is_thread_count_invariant_on_c432_class() {
     assert_ppsfp_invariant(&generators::c432_class(), 256, 33);
 }
 
+fn assert_counted_invariant(netlist: &Netlist, n_vectors: usize, seed: u64, n_cap: usize) {
+    let faults = stuck_at::enumerate(netlist).collapse();
+    let vectors = random_vectors(netlist.inputs().len(), n_vectors, seed);
+    let reference =
+        ppsfp::simulate_counted_with(netlist, faults.faults(), &vectors, n_cap, threads(1))
+            .expect("serial counted PPSFP");
+    for t in [2usize, 4] {
+        let got =
+            ppsfp::simulate_counted_with(netlist, faults.faults(), &vectors, n_cap, threads(t))
+                .expect("parallel counted PPSFP");
+        assert_eq!(
+            got, reference,
+            "{} with {t} workers, cap {n_cap}",
+            netlist.name()
+        );
+    }
+}
+
+#[test]
+fn counted_is_thread_count_invariant_on_c17() {
+    // 70 vectors: the partial final block (70 % 64 = 6 patterns) rides
+    // through the rank-indexed merge at several caps.
+    for n_cap in [1usize, 3, 8] {
+        assert_counted_invariant(&generators::c17(), 70, 21, n_cap);
+    }
+}
+
+#[test]
+fn counted_is_thread_count_invariant_on_c432_class() {
+    for n_cap in [1usize, 4] {
+        assert_counted_invariant(&generators::c432_class(), 256, 33, n_cap);
+    }
+}
+
+#[test]
+fn tracing_does_not_perturb_counted_simulation() {
+    // An *enabled* recorder at several thread counts: the profile must
+    // stay bit-identical to the untraced serial reference, and the
+    // invariant counters must agree across thread counts.
+    let netlist = generators::c17();
+    let faults = stuck_at::enumerate(&netlist).collapse();
+    let vectors = random_vectors(netlist.inputs().len(), 70, 21);
+    let n_cap = 3;
+    let reference =
+        ppsfp::simulate_counted_with(&netlist, faults.faults(), &vectors, n_cap, threads(1))
+            .expect("untraced serial counted PPSFP");
+    let total_credits: usize = reference.counts().iter().sum();
+    for t in [1usize, 2, 4] {
+        let obs = Recorder::enabled();
+        let got = ppsfp::simulate_counted_obs(
+            &netlist,
+            faults.faults(),
+            &vectors,
+            n_cap,
+            threads(t),
+            &obs,
+        )
+        .expect("traced counted PPSFP");
+        assert_eq!(got, reference, "traced counted PPSFP with {t} workers");
+        let report = obs.report("t");
+        assert_eq!(
+            report.counter("sim.gate.counted.faults"),
+            Some(faults.len() as u64)
+        );
+        assert_eq!(report.counter("sim.gate.counted.vectors"), Some(70));
+        let credits: f64 = report
+            .series("sim.gate.counted.detects_per_block")
+            .expect("credit series")
+            .iter()
+            .sum();
+        assert_eq!(
+            credits as usize, total_credits,
+            "per-block credits must sum to the total capped detection count"
+        );
+    }
+}
+
 fn switch_faults_sample(sim: &SwitchSimulator) -> Vec<SwitchFault> {
     // A handful of each family, spread across the netlist.
     let n_trans = sim.netlist().transistors().len();

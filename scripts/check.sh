@@ -11,7 +11,7 @@ cd "$(dirname "$0")/.."
 
 echo "== clippy: deny unwrap/expect in library code"
 for crate in dlp-geometry dlp-circuit dlp-core dlp-sim dlp-layout \
-             dlp-extract dlp-atpg dlp-bench dlp-inject dlp; do
+             dlp-extract dlp-atpg dlp-ndetect dlp-bench dlp-inject dlp; do
     echo "   $crate"
     cargo clippy -p "$crate" --lib -q -- \
         -D warnings \
@@ -43,5 +43,11 @@ DLP_TRACE=TRACE_full_flow_c432.json \
     cargo run --release -q --example full_flow_c432 > /dev/null
 cargo run --release -q -p dlp-bench --bin validate_trace -- \
     TRACE_full_flow_c432.json
+
+# DL-vs-n gate: the n-detection bench must complete and regenerate
+# BENCH_ndetect.json; it asserts internally that the measured DL(n) is
+# monotone non-increasing on its prefix schedule.
+echo "== ndetect: DL vs n table (writes BENCH_ndetect.json)"
+cargo run --release -q -p dlp-bench --bin ndetect_dl > /dev/null
 
 echo "All checks passed."

@@ -17,6 +17,7 @@
 //! | [`extract`] | `dlp-extract` | defect statistics, critical areas, weighted fault lists |
 //! | [`sim`] | `dlp-sim` | PPSFP stuck-at and switch-level fault simulation |
 //! | [`atpg`] | `dlp-atpg` | PODEM with FAN-style guidance, the random+deterministic pipeline |
+//! | [`ndetect`] | `dlp-ndetect` | n-detection test-set schedules (greedy pool + per-rank PODEM top-ups) |
 //! | [`bench`] | `dlp-bench` | the shared experimental pipeline behind the paper's figures, with `DLP_TRACE` run reports |
 //!
 //! # Quickstart
@@ -46,4 +47,5 @@ pub use dlp_core as core;
 pub use dlp_extract as extract;
 pub use dlp_geometry as geometry;
 pub use dlp_layout as layout;
+pub use dlp_ndetect as ndetect;
 pub use dlp_sim as sim;
