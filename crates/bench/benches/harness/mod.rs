@@ -3,9 +3,13 @@
 //! few timed batches as ns/iter. Invoked through `cargo bench` via the
 //! `harness = false` targets.
 //!
-//! Measurements can additionally be collected into a [`Report`] that lands
-//! as `BENCH_<name>.json` at the workspace root, so serial-vs-parallel
-//! comparisons survive the run.
+//! Measurements can additionally be collected into a [`Report`] — a thin
+//! wrapper over the versioned [`BenchReport`] schema from
+//! `dlp_core::obs` — that lands as `BENCH_<name>.json` at the workspace
+//! root, so serial-vs-parallel comparisons survive the run and
+//! `perf_regress` can compare them against a committed baseline. Every
+//! timed entry keeps its raw per-batch samples; derived ratios are
+//! recorded without samples.
 
 // Each `harness = false` target includes this file separately and uses a
 // subset of it.
@@ -13,9 +17,15 @@
 
 use std::time::Instant;
 
-/// Times `f`, printing `name: <median> ns/iter (<batches> batches of
-/// <iters>)`, and returns the median ns/iter.
-pub fn bench<R, F: FnMut() -> R>(name: &str, mut f: F) -> f64 {
+use dlp_core::obs::BenchReport;
+
+/// Number of timed batches behind every reported median.
+pub const BATCHES: usize = 5;
+
+/// Times `f` over [`BATCHES`] batches (after auto-sized warm-up),
+/// printing `name: <median> ns/iter (<batches> batches of <iters>)`, and
+/// returns every batch's ns/iter.
+pub fn bench_samples<R, F: FnMut() -> R>(name: &str, mut f: F) -> Vec<f64> {
     // Warm-up and batch sizing: grow the batch until it takes ≥ 10 ms.
     let mut iters = 1usize;
     loop {
@@ -29,8 +39,7 @@ pub fn bench<R, F: FnMut() -> R>(name: &str, mut f: F) -> f64 {
         }
         iters *= 4;
     }
-    const BATCHES: usize = 5;
-    let mut samples = [0f64; BATCHES];
+    let mut samples = vec![0f64; BATCHES];
     for s in &mut samples {
         let t0 = Instant::now();
         for _ in 0..iters {
@@ -38,38 +47,43 @@ pub fn bench<R, F: FnMut() -> R>(name: &str, mut f: F) -> f64 {
         }
         *s = t0.elapsed().as_nanos() as f64 / iters as f64;
     }
-    samples.sort_by(|a, b| a.total_cmp(b));
-    let median = samples[BATCHES / 2];
+    let median = dlp_core::obs::bench::median(&samples);
     println!("{name}: {median:.0} ns/iter ({BATCHES} batches of {iters})");
-    median
+    samples
 }
 
-/// Collects `(label, ns/iter)` entries and writes them as
+/// [`bench_samples`], reduced to the median ns/iter.
+pub fn bench<R, F: FnMut() -> R>(name: &str, f: F) -> f64 {
+    dlp_core::obs::bench::median(&bench_samples(name, f))
+}
+
+/// Collects measurements into a [`BenchReport`] and writes it as
 /// `BENCH_<name>.json` at the workspace root.
 pub struct Report {
-    name: &'static str,
-    entries: Vec<(String, f64)>,
+    inner: BenchReport,
 }
 
 impl Report {
-    /// An empty report named `name` (the `BENCH_<name>.json` stem).
+    /// An empty report named `name` (the `BENCH_<name>.json` stem),
+    /// capturing the current environment (threads, CPUs, git revision).
     pub fn new(name: &'static str) -> Self {
         Report {
-            name,
-            entries: Vec::new(),
+            inner: BenchReport::new(name),
         }
     }
 
-    /// Runs [`bench`] and records its median under `label`.
+    /// Runs [`bench_samples`] and records label, unit (`ns/iter`), the
+    /// median, and the raw batch samples. Returns the median.
     pub fn bench<R, F: FnMut() -> R>(&mut self, label: &str, f: F) -> f64 {
-        let median = bench(label, f);
-        self.record(label, median);
-        median
+        let samples = bench_samples(label, f);
+        self.inner.record_samples(label, "ns/iter", &samples);
+        dlp_core::obs::bench::median(&samples)
     }
 
-    /// Records an already-measured value (e.g. a derived speedup ratio).
+    /// Records an already-derived ratio (e.g. a speedup or overhead
+    /// ratio) — no samples, unit `ratio`.
     pub fn record(&mut self, label: &str, value: f64) {
-        self.entries.push((label.to_string(), value));
+        self.inner.record(label, "ratio", value);
     }
 
     /// Writes `BENCH_<name>.json` at the workspace root. Failures are
@@ -78,15 +92,9 @@ impl Report {
         let path = format!(
             "{}/../../BENCH_{}.json",
             env!("CARGO_MANIFEST_DIR"),
-            self.name
+            self.inner.name
         );
-        let mut body = String::from("{\n");
-        for (i, (label, value)) in self.entries.iter().enumerate() {
-            let sep = if i + 1 == self.entries.len() { "" } else { "," };
-            body.push_str(&format!("  \"{label}\": {value:.1}{sep}\n"));
-        }
-        body.push_str("}\n");
-        match std::fs::write(&path, body) {
+        match self.inner.write_to(&path) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => eprintln!("could not write {path}: {e}"),
         }

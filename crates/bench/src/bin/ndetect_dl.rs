@@ -12,11 +12,13 @@
 //! saturating growth law `θ(n) = θ_max·(1 − ρ^n)` from
 //! `dlp_core::ndetect`.
 //!
-//! Writes `BENCH_ndetect.json` at the workspace root (see
+//! Writes `BENCH_ndetect.json` at the workspace root in the versioned
+//! [`BenchReport`] schema, one entry per measured quantity (see
 //! EXPERIMENTS.md, "DL vs n").
 
 use dlp_bench::pipeline::{self, PAPER_YIELD};
 use dlp_core::ndetect::fit_ndetect_growth;
+use dlp_core::obs::BenchReport;
 use dlp_core::par::ThreadCount;
 use dlp_core::{PipelineError, Ppm, Stage};
 use dlp_extract::defects::DefectStatistics;
@@ -25,7 +27,6 @@ use dlp_ndetect::{build_schedule, NDetectConfig};
 use dlp_sim::switchlevel::{DetectionMode, SwitchConfig, SwitchSimulator};
 use dlp_sim::stuck_at;
 use dlp_circuit::switch;
-use std::fmt::Write as _;
 
 const MAX_N: usize = 8;
 
@@ -134,34 +135,35 @@ fn run() -> Result<(), PipelineError> {
         growth.miss_ratio()
     );
 
-    let mut json_rows = String::new();
-    for (i, &(n, k, theta, gamma, dl)) in samples.iter().enumerate() {
-        let sep = if i + 1 == samples.len() { "" } else { "," };
-        let _ = write!(
-            json_rows,
-            "\n    {{\"n\": {n}, \"vectors\": {k}, \"theta\": {theta:.6}, \
-             \"gamma\": {gamma:.6}, \"defect_level\": {dl:.6e}}}{sep}"
-        );
+    let mut report = BenchReport::new("ndetect");
+    let base = format!("ndetect/c432_class/max_n{MAX_N}");
+    report.record(&format!("{base}/yield"), "fraction", PAPER_YIELD);
+    report.record(
+        &format!("{base}/total_vectors"),
+        "vectors",
+        schedule.vectors.len() as f64,
+    );
+    report.record(
+        &format!("{base}/pool_selected"),
+        "vectors",
+        schedule.pool_selected as f64,
+    );
+    report.record(
+        &format!("{base}/below_target"),
+        "faults",
+        schedule.below_target.len() as f64,
+    );
+    report.record(&format!("{base}/fit_theta_max"), "fraction", growth.theta_max());
+    report.record(&format!("{base}/fit_theta_1"), "fraction", growth.theta1());
+    report.record(&format!("{base}/fit_miss_ratio"), "fraction", growth.miss_ratio());
+    for &(n, k, theta, gamma, dl) in &samples {
+        report.record(&format!("{base}/n{n}/vectors"), "vectors", k as f64);
+        report.record(&format!("{base}/n{n}/theta"), "fraction", theta);
+        report.record(&format!("{base}/n{n}/gamma"), "fraction", gamma);
+        report.record(&format!("{base}/n{n}/defect_level"), "fraction", dl);
     }
     let path = format!("{}/../../BENCH_ndetect.json", env!("CARGO_MANIFEST_DIR"));
-    let body = format!(
-        "{{\n  \"workload\": \"ndetect/c432_class/max_n{MAX_N}\",\n  \
-         \"yield\": {PAPER_YIELD},\n  \
-         \"total_vectors\": {},\n  \
-         \"pool_selected\": {},\n  \
-         \"below_target\": {},\n  \
-         \"fit_theta_max\": {:.6},\n  \
-         \"fit_theta_1\": {:.6},\n  \
-         \"fit_miss_ratio\": {:.6},\n  \
-         \"samples\": [{json_rows}\n  ]\n}}\n",
-        schedule.vectors.len(),
-        schedule.pool_selected,
-        schedule.below_target.len(),
-        growth.theta_max(),
-        growth.theta1(),
-        growth.miss_ratio(),
-    );
-    std::fs::write(&path, body).map_err(|e| {
+    report.write_to(&path).map_err(|e| {
         PipelineError::with_source(
             Stage::Model,
             dlp_core::ModelError::BadFitData("cannot write BENCH_ndetect.json"),

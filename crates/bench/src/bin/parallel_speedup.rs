@@ -5,13 +5,15 @@
 //! Asserts the `DetectionRecord`s are bit-identical — the determinism
 //! contract of the parallel execution layer — and writes the measured
 //! wall-clock numbers to `BENCH_parallel_speedup.json` at the workspace
-//! root. The ≥2× speedup criterion can only manifest on a machine with
-//! ≥4 hardware threads; the JSON records the machine's parallelism so a
+//! root using the versioned [`BenchReport`] schema. The ≥2× speedup
+//! criterion can only manifest on a machine with ≥4 hardware threads;
+//! the report's `env.cpus` records the machine's parallelism so a
 //! single-core result is interpretable.
 
 use std::time::Instant;
 
 use dlp_circuit::generators;
+use dlp_core::obs::{bench::median, BenchReport};
 use dlp_core::par::ThreadCount;
 use dlp_core::PipelineError;
 use dlp_sim::{detection, ppsfp, stuck_at};
@@ -23,17 +25,15 @@ fn main() -> std::process::ExitCode {
     dlp_bench::run_main(run)
 }
 
-/// Median wall-clock seconds of `REPEATS` runs of `f`.
-fn median_secs<R>(mut f: impl FnMut() -> R) -> f64 {
-    let mut samples: Vec<f64> = (0..REPEATS)
+/// Wall-clock seconds of `REPEATS` runs of `f`.
+fn sample_secs<R>(mut f: impl FnMut() -> R) -> Vec<f64> {
+    (0..REPEATS)
         .map(|_| {
             let t0 = Instant::now();
             std::hint::black_box(f());
             t0.elapsed().as_secs_f64()
         })
-        .collect();
-    samples.sort_by(|a, b| a.total_cmp(b));
-    samples[REPEATS / 2]
+        .collect()
 }
 
 fn run() -> Result<(), PipelineError> {
@@ -50,12 +50,14 @@ fn run() -> Result<(), PipelineError> {
         "DetectionRecord must be bit-identical across thread counts"
     );
 
-    let secs_t1 = median_secs(|| {
+    let samples_t1 = sample_secs(|| {
         ppsfp::simulate_with(&netlist, faults.faults(), &vectors, t1).map(|r| r.detected_count())
     });
-    let secs_t4 = median_secs(|| {
+    let samples_t4 = sample_secs(|| {
         ppsfp::simulate_with(&netlist, faults.faults(), &vectors, t4).map(|r| r.detected_count())
     });
+    let secs_t1 = median(&samples_t1);
+    let secs_t4 = median(&samples_t4);
     let speedup = secs_t1 / secs_t4;
     let hw = std::thread::available_parallelism().map_or(1, usize::from);
 
@@ -69,19 +71,32 @@ fn run() -> Result<(), PipelineError> {
         eprintln!("warning: <2x speedup despite {hw} hardware threads");
     }
 
+    let mut report = BenchReport::new("parallel_speedup");
+    report.record_samples(
+        &format!("ppsfp/c432_class/{VECTORS}/seconds_threads1"),
+        "s",
+        &samples_t1,
+    );
+    report.record_samples(
+        &format!("ppsfp/c432_class/{VECTORS}/seconds_threads4"),
+        "s",
+        &samples_t4,
+    );
+    report.record(
+        &format!("ppsfp/c432_class/{VECTORS}/speedup"),
+        "ratio",
+        speedup,
+    );
+    report.record(
+        &format!("ppsfp/c432_class/{VECTORS}/records_bit_identical"),
+        "bool",
+        1.0,
+    );
     let path = format!(
         "{}/../../BENCH_parallel_speedup.json",
         env!("CARGO_MANIFEST_DIR")
     );
-    let body = format!(
-        "{{\n  \"workload\": \"ppsfp/c432_class/{VECTORS}\",\n  \
-         \"hardware_threads\": {hw},\n  \
-         \"seconds_threads1\": {secs_t1:.6},\n  \
-         \"seconds_threads4\": {secs_t4:.6},\n  \
-         \"speedup\": {speedup:.3},\n  \
-         \"records_bit_identical\": true\n}}\n"
-    );
-    std::fs::write(&path, body).map_err(|e| {
+    report.write_to(&path).map_err(|e| {
         PipelineError::with_source(
             dlp_core::Stage::Model,
             dlp_core::ModelError::BadFitData("cannot write BENCH_parallel_speedup.json"),

@@ -1,0 +1,328 @@
+//! Cross-run performance regression gate.
+//!
+//! Measures a small fixed set of hot-path workloads (gate-level PPSFP,
+//! switch-level detection, critical-area extraction, Monte-Carlo
+//! fallout) plus a CPU calibration loop, and compares the
+//! calibration-normalized costs against a committed baseline
+//! (`baselines/perf_baseline.json`, versioned [`BenchReport`] schema).
+//! Normalization by the in-process calibration loop cancels machine
+//! speed, so the committed baseline stays meaningful on different
+//! hardware; see `dlp_bench::regress` for the thresholds.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_regress                   # compare against the committed baseline
+//! perf_regress --write-baseline  # measure and (re)write the baseline
+//! perf_regress --self-test       # verify the gate's own detection power
+//! perf_regress --baseline <path> # compare against a specific baseline
+//! ```
+//!
+//! `--self-test` measures once, then (a) compares the measurement
+//! against itself — must pass with unit ratios — and (b) compares it
+//! against a doctored baseline in which one workload was made 2x
+//! cheaper (equivalent to the current run being 2x slower) — the gate
+//! must fail. A gate that cannot flag a synthetic 2x slowdown would be
+//! decorative.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use dlp_bench::regress::{self, Verdict, CALIBRATION_LABEL, TIMED_UNIT};
+use dlp_circuit::{generators, switch};
+use dlp_core::montecarlo::{simulate_fallout_with, MonteCarloConfig};
+use dlp_core::obs::BenchReport;
+use dlp_core::par::ThreadCount;
+use dlp_core::weighted::FaultWeights;
+use dlp_core::PipelineError;
+use dlp_extract::defects::DefectStatistics;
+use dlp_extract::extractor::{extract_with, ExtractionConfig};
+use dlp_layout::chip::ChipLayout;
+use dlp_sim::detection::random_vectors;
+use dlp_sim::switchlevel::{DetectionMode, SwitchConfig, SwitchFault, SwitchSimulator};
+use dlp_sim::{ppsfp, stuck_at};
+
+/// Timed batches per workload; the gate compares the best one.
+const BATCHES: usize = 5;
+
+fn default_baseline_path() -> String {
+    format!(
+        "{}/../../baselines/perf_baseline.json",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+/// Times `f` over [`BATCHES`] batches after a short warm-up and returns
+/// each batch's ns/iter. Batches are auto-sized to ≥ 5 ms so the numbers
+/// are above timer noise without making the gate slow.
+fn sample_ns<R>(mut f: impl FnMut() -> R) -> Vec<f64> {
+    let mut iters = 1usize;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        if t0.elapsed().as_millis() >= 5 || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+    }
+    let mut samples = vec![0f64; BATCHES];
+    for s in &mut samples {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        *s = t0.elapsed().as_nanos() as f64 / iters as f64;
+    }
+    samples
+}
+
+/// The fixed CPU-bound calibration loop: integer xorshift, no memory
+/// traffic, so it tracks raw core speed and nothing else.
+fn calibration_spin() -> u64 {
+    let mut x = 0x9E3779B97F4A7C15u64;
+    let mut acc = 0u64;
+    for _ in 0..4096 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        acc = acc.wrapping_add(x);
+    }
+    acc
+}
+
+/// Measures every gated workload into a fresh report.
+fn measure() -> Result<BenchReport, PipelineError> {
+    let mut report = BenchReport::new("perf_regress");
+    let t1 = ThreadCount::fixed(1).map_err(dlp_core::ModelError::from)?;
+
+    report.record_samples(CALIBRATION_LABEL, TIMED_UNIT, &sample_ns(calibration_spin));
+
+    let netlist = generators::c432_class();
+    let faults = stuck_at::enumerate(&netlist).collapse();
+    let vectors = random_vectors(netlist.inputs().len(), 256, 7);
+    report.record_samples(
+        "ppsfp/c432_class/256v",
+        TIMED_UNIT,
+        &sample_ns(|| {
+            ppsfp::simulate_with(&netlist, faults.faults(), &vectors, t1)
+                .map(|r| r.detected_count())
+        }),
+    );
+
+    let c17 = generators::c17();
+    let sw = switch::expand(&c17)
+        .map_err(|e| PipelineError::from(e).context("expanding c17 to switch level"))?;
+    let sim = SwitchSimulator::new(sw, SwitchConfig::default());
+    let n_trans = sim.netlist().transistors().len();
+    let sw_faults: Vec<SwitchFault> = (0..n_trans)
+        .step_by(2)
+        .map(|t| SwitchFault::StuckOpen { transistor: t })
+        .collect();
+    let sw_vectors = random_vectors(c17.inputs().len(), 48, 17);
+    report.record_samples(
+        "switch/c17/voltage_48v",
+        TIMED_UNIT,
+        &sample_ns(|| {
+            sim.detect_with_threads(&sw_faults, &sw_vectors, DetectionMode::Voltage, t1)
+                .map(|r| r.detected_count())
+        }),
+    );
+
+    let adder = generators::ripple_adder(4);
+    let chip = ChipLayout::generate(&adder, &Default::default())
+        .map_err(|e| PipelineError::from(e).context("ripple-adder layout"))?;
+    let stats = DefectStatistics::maly_cmos();
+    let config = ExtractionConfig {
+        size_samples: 6,
+        ..Default::default()
+    };
+    report.record_samples(
+        "extract/ripple_adder4/s6",
+        TIMED_UNIT,
+        &sample_ns(|| extract_with(&chip, &stats, &config).map(|f| f.len())),
+    );
+
+    let weights = FaultWeights::new(vec![1.0; 24])
+        .map_err(PipelineError::from)?
+        .scaled_to_yield(0.75)
+        .map_err(PipelineError::from)?;
+    let detected: Vec<bool> = (0..24).map(|j| j % 4 != 0).collect();
+    let mc = MonteCarloConfig {
+        dies: 20_000,
+        seed: 0x5EED,
+    };
+    report.record_samples(
+        "montecarlo/20k_dies",
+        TIMED_UNIT,
+        &sample_ns(|| simulate_fallout_with(&weights, &detected, &mc, t1).map(|r| r.escapes)),
+    );
+
+    Ok(report)
+}
+
+fn print_comparison(cmp: &regress::Comparison) {
+    let rows: Vec<Vec<String>> = cmp
+        .findings
+        .iter()
+        .map(|f| {
+            vec![
+                f.label.clone(),
+                format!("{:.0}", f.baseline_ns),
+                format!("{:.0}", f.current_ns),
+                format!("{:.2}x", f.ratio),
+                match f.verdict {
+                    Verdict::Pass => "ok".to_string(),
+                    Verdict::Warn => "WARN".to_string(),
+                    Verdict::Fail => "FAIL".to_string(),
+                },
+            ]
+        })
+        .collect();
+    dlp_bench::print_table(
+        &["workload", "base ns", "now ns", "normalized", "verdict"],
+        &rows,
+    );
+    for label in &cmp.missing_in_baseline {
+        eprintln!("warning: {label} is not in the baseline (rewrite it with --write-baseline)");
+    }
+    for label in &cmp.missing_in_current {
+        eprintln!("warning: baseline workload {label} was not measured — coverage shrank");
+    }
+    for f in cmp.flagged() {
+        let what = if f.verdict == Verdict::Fail { "regression" } else { "drift" };
+        eprintln!(
+            "{}: {what}: {} is {:.2}x its baseline cost (warn at {:.1}x, fail at {:.1}x)",
+            if f.verdict == Verdict::Fail { "error" } else { "warning" },
+            f.label,
+            f.ratio,
+            regress::WARN_RATIO,
+            regress::FAIL_RATIO,
+        );
+    }
+}
+
+fn self_test() -> Result<bool, PipelineError> {
+    let current = measure()?;
+
+    // (a) Unchanged baseline: comparing a measurement against itself
+    // must pass with exactly unit ratios.
+    let unchanged = regress::compare(&current, &current)
+        .map_err(|e| pipeline_err(&e.to_string()))?;
+    let clean = unchanged.passed()
+        && !unchanged.findings.is_empty()
+        && unchanged
+            .findings
+            .iter()
+            .all(|f| (f.ratio - 1.0).abs() < 1e-9);
+    println!(
+        "self-test: unchanged baseline {} ({} workloads at 1.00x)",
+        if clean { "passes" } else { "FAILED" },
+        unchanged.findings.len()
+    );
+
+    // (b) Synthetic 2x slowdown: halve every baseline workload cost
+    // (calibration untouched), making the current run look 2x slower.
+    let mut doctored = current.clone();
+    for entry in &mut doctored.entries {
+        if entry.unit == TIMED_UNIT && entry.label != CALIBRATION_LABEL {
+            entry.value /= 2.0;
+            for s in &mut entry.samples {
+                *s /= 2.0;
+            }
+        }
+    }
+    let slowed = regress::compare(&doctored, &current)
+        .map_err(|e| pipeline_err(&e.to_string()))?;
+    let detected = !slowed.passed()
+        && slowed
+            .findings
+            .iter()
+            .all(|f| f.verdict == Verdict::Fail);
+    println!(
+        "self-test: synthetic 2x slowdown {} ({} workloads flagged)",
+        if detected { "detected" } else { "NOT DETECTED" },
+        slowed.flagged().len()
+    );
+    Ok(clean && detected)
+}
+
+fn pipeline_err(msg: &str) -> PipelineError {
+    PipelineError::with_source(
+        dlp_core::Stage::Model,
+        dlp_core::ModelError::BadFitData("perf_regress gate error"),
+    )
+    .context(msg.to_string())
+}
+
+fn run() -> Result<bool, PipelineError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path = default_baseline_path();
+    let mut write_baseline = false;
+    let mut want_self_test = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--write-baseline" => write_baseline = true,
+            "--self-test" => want_self_test = true,
+            "--baseline" => {
+                baseline_path = it
+                    .next()
+                    .ok_or_else(|| pipeline_err("--baseline needs a path"))?
+                    .clone();
+            }
+            other => {
+                return Err(pipeline_err(&format!(
+                    "unknown argument {other:?} \
+                     (expected --write-baseline, --self-test, or --baseline <path>)"
+                )));
+            }
+        }
+    }
+
+    if want_self_test {
+        return self_test();
+    }
+
+    if write_baseline {
+        let report = measure()?;
+        report
+            .write_to(&baseline_path)
+            .map_err(|e| pipeline_err(&format!("cannot write {baseline_path}: {e}")))?;
+        println!("wrote {baseline_path} (git_rev {})", report.env.git_rev);
+        return Ok(true);
+    }
+
+    let text = std::fs::read_to_string(&baseline_path).map_err(|e| {
+        pipeline_err(&format!(
+            "cannot read baseline {baseline_path}: {e} \
+             (create it with perf_regress --write-baseline)"
+        ))
+    })?;
+    let baseline = BenchReport::from_json(&text)
+        .map_err(|e| pipeline_err(&format!("baseline {baseline_path}: {e}")))?;
+    let current = measure()?;
+    let cmp = regress::compare(&baseline, &current)
+        .map_err(|e| pipeline_err(&e.to_string()))?;
+    println!(
+        "perf_regress: current git_rev {} vs baseline git_rev {}",
+        current.env.git_rev, baseline.env.git_rev
+    );
+    print_comparison(&cmp);
+    if cmp.passed() {
+        println!("perf_regress: OK");
+    }
+    Ok(cmp.passed())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

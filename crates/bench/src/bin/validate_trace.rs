@@ -1,13 +1,27 @@
-//! CI validator for observability run reports.
+//! CI validator for observability artifacts.
 //!
-//! Usage: `validate_trace <report.json>`. Parses the report with the
-//! in-tree JSON parser and checks that every pipeline stage left a span
-//! and that the load-bearing counters are nonzero — the check.sh gate
-//! that keeps the `DLP_TRACE` path honest.
+//! Usage:
+//!
+//! ```text
+//! validate_trace <report.json>          # run-report mode
+//! validate_trace --bench <bench.json>   # bench-report schema mode
+//! ```
+//!
+//! Run-report mode parses the report with the in-tree JSON parser and
+//! checks that every pipeline stage left a span, the load-bearing
+//! counters are nonzero, the per-worker timeline telemetry is coherent
+//! (wall/slot accounting, utilization and imbalance gauges in range),
+//! the required histograms are well-formed, and the report round-trips
+//! through [`RunReport::from_json`] into a valid OpenMetrics exposition
+//! — the check.sh gate that keeps the `DLP_TRACE` path honest.
+//!
+//! Bench mode checks a `BENCH_*.json` file against the versioned
+//! [`BenchReport`] schema (schema_version, env, entries), so the bench
+//! writers cannot silently drift back to ad-hoc maps.
 
 use std::process::ExitCode;
 
-use dlp_core::obs::Json;
+use dlp_core::obs::{openmetrics, BenchReport, Json, RunReport};
 
 /// Spans every full-flow run must produce.
 const REQUIRED_SPANS: &[&str] = &[
@@ -34,7 +48,28 @@ const REQUIRED_COUNTERS: &[&str] = &[
     "mc.dies",
 ];
 
-fn check(report: &Json) -> Result<(), String> {
+/// Histograms every full-flow run must carry. Timing histograms
+/// (`*.block_nanos`, `*.chunk_nanos`) are scheduling-dependent and so
+/// checked for shape, not content.
+const REQUIRED_HISTS: &[&str] = &[
+    "sim.gate.detects_per_block",
+    "sim.gate.chunk_nanos",
+    "mc.shard_escapes",
+    "extract.pair_weight",
+    "pipeline.fault_weight",
+];
+
+/// Parallel regions that must leave worker-timeline telemetry.
+const TIMELINE_SCOPES: &[&str] = &["sim.gate", "sim.switch", "extract", "mc"];
+
+fn counter(counters: &[(String, Json)], name: &str) -> Option<f64> {
+    counters
+        .iter()
+        .find(|(k, _)| k == name)
+        .and_then(|(_, v)| v.as_f64())
+}
+
+fn check_spans_and_counters(report: &Json) -> Result<(), String> {
     let spans = report
         .get("spans")
         .and_then(Json::as_object)
@@ -65,10 +100,7 @@ fn check(report: &Json) -> Result<(), String> {
         .and_then(Json::as_object)
         .ok_or("report has no counters object")?;
     for name in REQUIRED_COUNTERS {
-        let value = counters
-            .iter()
-            .find(|(k, _)| k == name)
-            .and_then(|(_, v)| v.as_f64())
+        let value = counter(counters, name)
             .ok_or_else(|| format!("missing counter {name:?}"))?;
         if value <= 0.0 {
             return Err(format!("counter {name:?} is zero"));
@@ -96,10 +128,167 @@ fn check(report: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Worker-timeline coherence per parallel scope: wall/slot accounting,
+/// at least one worker timeline, and both balance gauges in range.
+fn check_timelines(report: &Json) -> Result<(), String> {
+    let counters = report
+        .get("counters")
+        .and_then(Json::as_object)
+        .ok_or("report has no counters object")?;
+    let gauges = report
+        .get("gauges")
+        .and_then(Json::as_object)
+        .ok_or("report has no gauges object")?;
+    let series = report
+        .get("series")
+        .and_then(Json::as_object)
+        .ok_or("report has no series object")?;
+    for scope in TIMELINE_SCOPES {
+        let wall = counter(counters, &format!("{scope}.wall_nanos"))
+            .ok_or_else(|| format!("missing counter {scope}.wall_nanos"))?;
+        let slot = counter(counters, &format!("{scope}.slot_nanos"))
+            .ok_or_else(|| format!("missing counter {scope}.slot_nanos"))?;
+        if wall <= 0.0 || slot < wall {
+            return Err(format!(
+                "{scope}: wall {wall} / slot {slot} nanos are incoherent \
+                 (slot = wall x workers must be >= wall > 0)"
+            ));
+        }
+        let busy_sum: f64 = counters
+            .iter()
+            .filter(|(k, _)| {
+                k.starts_with(&format!("{scope}.worker")) && k.ends_with(".busy_nanos")
+            })
+            .filter_map(|(_, v)| v.as_f64())
+            .sum();
+        let timeline = series
+            .iter()
+            .find(|(k, _)| *k == format!("{scope}.worker0.timeline"))
+            .and_then(|(_, v)| v.as_array())
+            .ok_or_else(|| format!("missing series {scope}.worker0.timeline"))?;
+        if timeline.is_empty() {
+            return Err(format!("{scope}.worker0.timeline is empty"));
+        }
+        let utilization = gauges
+            .iter()
+            .find(|(k, _)| *k == format!("{scope}.utilization"))
+            .and_then(|(_, v)| v.as_f64())
+            .ok_or_else(|| format!("missing gauge {scope}.utilization"))?;
+        // Busy time is measured inside the worker loop, so Σbusy can
+        // only undershoot the slot budget (plus timer granularity).
+        if !(0.0..=1.001).contains(&utilization) || busy_sum > slot * 1.001 {
+            return Err(format!(
+                "{scope}: utilization {utilization} (busy {busy_sum} of slot {slot}) \
+                 is out of range"
+            ));
+        }
+        let imbalance = gauges
+            .iter()
+            .find(|(k, _)| *k == format!("{scope}.imbalance"))
+            .and_then(|(_, v)| v.as_f64())
+            .ok_or_else(|| format!("missing gauge {scope}.imbalance"))?;
+        if imbalance < 1.0 {
+            return Err(format!(
+                "{scope}: imbalance {imbalance} < 1 (defined as max busy / mean busy)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Histogram well-formedness: present, populated, strictly increasing
+/// bucket bounds, and bucket counts that sum to the observation count.
+fn check_hists(report: &Json) -> Result<(), String> {
+    let hists = report
+        .get("hists")
+        .and_then(Json::as_object)
+        .ok_or("report has no hists object")?;
+    for name in REQUIRED_HISTS {
+        let hist = hists
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing histogram {name:?}"))?;
+        let count = hist
+            .get("count")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("histogram {name:?} has no count"))?;
+        if count < 1.0 {
+            return Err(format!("histogram {name:?} is empty"));
+        }
+        let buckets = hist
+            .get("buckets")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("histogram {name:?} has no buckets"))?;
+        let mut total = 0.0;
+        let mut last_bound = f64::NEG_INFINITY;
+        for bucket in buckets {
+            let pair = bucket
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| format!("histogram {name:?} has a malformed bucket"))?;
+            let bound = pair[0]
+                .as_f64()
+                .ok_or_else(|| format!("histogram {name:?} has a non-numeric bound"))?;
+            if bound <= last_bound {
+                return Err(format!(
+                    "histogram {name:?} bucket bounds are not strictly increasing"
+                ));
+            }
+            last_bound = bound;
+            total += pair[1]
+                .as_f64()
+                .ok_or_else(|| format!("histogram {name:?} has a non-numeric count"))?;
+        }
+        if total != count {
+            return Err(format!(
+                "histogram {name:?}: bucket counts sum to {total}, \
+                 but count is {count}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The report must round-trip through the typed [`RunReport`] parser and
+/// render to a valid OpenMetrics exposition.
+fn check_openmetrics(text: &str) -> Result<(), String> {
+    let report = RunReport::from_json(text)
+        .map_err(|e| format!("report does not parse as a RunReport: {e}"))?;
+    let exposition = report.to_openmetrics();
+    openmetrics::validate(&exposition)
+        .map_err(|e| format!("OpenMetrics exposition is invalid: {e}"))
+}
+
+fn check(report: &Json, text: &str) -> Result<(), String> {
+    check_spans_and_counters(report)?;
+    check_timelines(report)?;
+    check_hists(report)?;
+    check_openmetrics(text)
+}
+
+fn check_bench(text: &str) -> Result<String, String> {
+    let report = BenchReport::from_json(text).map_err(|e| e.to_string())?;
+    if report.entries.is_empty() {
+        return Err("bench report has no entries".to_string());
+    }
+    Ok(format!(
+        "{} ({} entries, git_rev {})",
+        report.name,
+        report.entries.len(),
+        report.env.git_rev
+    ))
+}
+
 fn main() -> ExitCode {
-    let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: validate_trace <report.json>");
-        return ExitCode::from(2);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (bench_mode, path) = match args.as_slice() {
+        [path] => (false, path.clone()),
+        [flag, path] if flag == "--bench" => (true, path.clone()),
+        _ => {
+            eprintln!("usage: validate_trace [--bench] <report.json>");
+            return ExitCode::from(2);
+        }
     };
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
@@ -108,6 +297,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if bench_mode {
+        return match check_bench(&text) {
+            Ok(summary) => {
+                println!("validate_trace: {path} OK — {summary}");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("validate_trace: {path}: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let report = match Json::parse(&text) {
         Ok(r) => r,
         Err(e) => {
@@ -115,7 +316,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match check(&report) {
+    match check(&report, &text) {
         Ok(()) => {
             println!("validate_trace: {path} OK");
             ExitCode::SUCCESS

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod pipeline;
+pub mod regress;
 
 use std::fmt::Write as _;
 

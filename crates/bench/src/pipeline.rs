@@ -135,6 +135,13 @@ pub fn extract_netlist_obs(
         .scaled_to_yield(PAPER_YIELD)
         .map_err(|e| PipelineError::from(e).context("scaling weights to the paper yield"))?;
     obs.gauge("weights.yield", PAPER_YIELD);
+    if obs.is_enabled() {
+        // Distribution of post-prune fault weights: the tail (a few
+        // heavy bridges dominating DL) is visible as p99/max ≫ p50.
+        for &w in &faults.weights() {
+            obs.observe("pipeline.fault_weight", w);
+        }
+    }
     Ok(Extraction {
         netlist,
         chip,

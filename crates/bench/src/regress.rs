@@ -1,0 +1,326 @@
+//! Cross-run performance comparison for the `perf_regress` gate.
+//!
+//! Raw ns/iter numbers are not comparable across machines, so every
+//! [`BenchReport`] fed to this module must carry a **calibration** entry
+//! — a fixed CPU-bound workload measured in the same process as the real
+//! workloads. Comparing *calibration-normalized* costs
+//! (`workload / calibration`) cancels the machine-speed factor; what
+//! remains is the algorithmic cost, which is what a regression gate
+//! should track.
+//!
+//! Noise handling: when an entry carries raw samples, the **minimum**
+//! sample is used instead of the median — the best observed time is the
+//! least contaminated estimate of a workload's true cost (interference
+//! only ever adds time). On top of that the thresholds are deliberately
+//! loose: drift below [`WARN_RATIO`] passes silently, drift in
+//! `[WARN_RATIO, FAIL_RATIO)` is reported but non-fatal, and only a
+//! normalized slowdown of [`FAIL_RATIO`] or worse fails the gate.
+
+use dlp_core::obs::{BenchEntry, BenchReport};
+
+/// Normalized slowdown at which a finding is reported (non-fatal).
+pub const WARN_RATIO: f64 = 1.5;
+
+/// Normalized slowdown at which the gate fails.
+pub const FAIL_RATIO: f64 = 2.0;
+
+/// The entry label every comparable report must carry.
+pub const CALIBRATION_LABEL: &str = "calibration/spin";
+
+/// The unit of timed entries; only these are compared.
+pub const TIMED_UNIT: &str = "ns/iter";
+
+/// Why two reports could not be compared at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegressError {
+    /// A report is missing its calibration entry.
+    MissingCalibration {
+        /// `"baseline"` or `"current"`.
+        which: &'static str,
+    },
+    /// A calibration value was zero, negative, or non-finite.
+    BadCalibration {
+        /// `"baseline"` or `"current"`.
+        which: &'static str,
+    },
+}
+
+impl std::fmt::Display for RegressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegressError::MissingCalibration { which } => write!(
+                f,
+                "{which} report has no {CALIBRATION_LABEL:?} entry; \
+                 reports without calibration cannot be compared across machines"
+            ),
+            RegressError::BadCalibration { which } => {
+                write!(f, "{which} report's calibration value is not a positive number")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegressError {}
+
+/// Per-workload comparison outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Normalized drift below [`WARN_RATIO`].
+    Pass,
+    /// Normalized slowdown in `[WARN_RATIO, FAIL_RATIO)` — reported,
+    /// non-fatal.
+    Warn,
+    /// Normalized slowdown of [`FAIL_RATIO`] or worse.
+    Fail,
+}
+
+/// One compared workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// The workload label.
+    pub label: String,
+    /// Baseline cost in ns/iter (best sample).
+    pub baseline_ns: f64,
+    /// Current cost in ns/iter (best sample).
+    pub current_ns: f64,
+    /// Calibration-normalized slowdown: `> 1` is slower than baseline.
+    pub ratio: f64,
+    /// The verdict the thresholds assign to `ratio`.
+    pub verdict: Verdict,
+}
+
+/// The outcome of comparing a current report against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Compared workloads, in the current report's order.
+    pub findings: Vec<Finding>,
+    /// Timed workloads present now but absent from the baseline
+    /// (non-fatal: the baseline predates them).
+    pub missing_in_baseline: Vec<String>,
+    /// Timed workloads in the baseline that were not measured now
+    /// (non-fatal, but reported — silent coverage loss hides regressions).
+    pub missing_in_current: Vec<String>,
+}
+
+impl Comparison {
+    /// Whether the gate passes (warnings allowed, failures not).
+    pub fn passed(&self) -> bool {
+        self.findings.iter().all(|f| f.verdict != Verdict::Fail)
+    }
+
+    /// Findings at or above the warn threshold, worst first.
+    pub fn flagged(&self) -> Vec<&Finding> {
+        let mut out: Vec<&Finding> = self
+            .findings
+            .iter()
+            .filter(|f| f.verdict != Verdict::Pass)
+            .collect();
+        out.sort_by(|a, b| b.ratio.total_cmp(&a.ratio));
+        out
+    }
+}
+
+/// The least-noise cost estimate of an entry: the minimum sample when
+/// samples exist, the headline value otherwise.
+fn best_ns(entry: &BenchEntry) -> f64 {
+    entry
+        .samples
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min)
+        .min(if entry.samples.is_empty() {
+            entry.value
+        } else {
+            f64::INFINITY
+        })
+}
+
+fn calibration_of(report: &BenchReport, which: &'static str) -> Result<f64, RegressError> {
+    let entry = report
+        .entry(CALIBRATION_LABEL)
+        .ok_or(RegressError::MissingCalibration { which })?;
+    let value = best_ns(entry);
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(RegressError::BadCalibration { which })
+    }
+}
+
+fn verdict_for(ratio: f64) -> Verdict {
+    if !ratio.is_finite() || ratio >= FAIL_RATIO {
+        Verdict::Fail
+    } else if ratio >= WARN_RATIO {
+        Verdict::Warn
+    } else {
+        Verdict::Pass
+    }
+}
+
+/// Compares the timed (`ns/iter`) entries of `current` against
+/// `baseline`, normalizing both sides by their own calibration entry.
+///
+/// # Errors
+///
+/// [`RegressError`] when either report lacks a usable calibration entry
+/// — without it the numbers are not comparable across machines and any
+/// verdict would be noise.
+pub fn compare(baseline: &BenchReport, current: &BenchReport) -> Result<Comparison, RegressError> {
+    let base_cal = calibration_of(baseline, "baseline")?;
+    let cur_cal = calibration_of(current, "current")?;
+    let timed =
+        |e: &&BenchEntry| e.unit == TIMED_UNIT && e.label != CALIBRATION_LABEL;
+    let mut findings = Vec::new();
+    let mut missing_in_baseline = Vec::new();
+    for entry in current.entries.iter().filter(timed) {
+        let Some(base) = baseline.entry(&entry.label).filter(|e| e.unit == TIMED_UNIT)
+        else {
+            missing_in_baseline.push(entry.label.clone());
+            continue;
+        };
+        let baseline_ns = best_ns(base);
+        let current_ns = best_ns(entry);
+        let ratio = if baseline_ns > 0.0 {
+            (current_ns / cur_cal) / (baseline_ns / base_cal)
+        } else {
+            f64::INFINITY
+        };
+        findings.push(Finding {
+            label: entry.label.clone(),
+            baseline_ns,
+            current_ns,
+            ratio,
+            verdict: verdict_for(ratio),
+        });
+    }
+    let missing_in_current = baseline
+        .entries
+        .iter()
+        .filter(timed)
+        .filter(|e| current.entry(&e.label).is_none())
+        .map(|e| e.label.clone())
+        .collect();
+    Ok(Comparison {
+        findings,
+        missing_in_baseline,
+        missing_in_current,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(entries: &[(&str, f64)]) -> BenchReport {
+        let mut r = BenchReport::new("t");
+        for &(label, ns) in entries {
+            r.record_samples(label, TIMED_UNIT, &[ns, ns * 1.1]);
+        }
+        r
+    }
+
+    #[test]
+    fn identical_reports_pass_with_unit_ratios() {
+        let base = report(&[(CALIBRATION_LABEL, 100.0), ("w/a", 1000.0), ("w/b", 5000.0)]);
+        let cmp = compare(&base, &base).expect("comparable");
+        assert_eq!(cmp.findings.len(), 2, "calibration itself is not a finding");
+        for f in &cmp.findings {
+            assert!((f.ratio - 1.0).abs() < 1e-12, "{f:?}");
+            assert_eq!(f.verdict, Verdict::Pass);
+        }
+        assert!(cmp.passed());
+        assert!(cmp.flagged().is_empty());
+    }
+
+    #[test]
+    fn calibration_cancels_machine_speed() {
+        // The "new machine" is uniformly 3x slower — every workload AND
+        // the calibration loop. Normalized drift is 1.0: no regression.
+        let base = report(&[(CALIBRATION_LABEL, 100.0), ("w/a", 1000.0)]);
+        let cur = report(&[(CALIBRATION_LABEL, 300.0), ("w/a", 3000.0)]);
+        let cmp = compare(&base, &cur).expect("comparable");
+        assert!((cmp.findings[0].ratio - 1.0).abs() < 1e-12);
+        assert!(cmp.passed());
+    }
+
+    #[test]
+    fn a_2x_slowdown_fails_and_1_6x_warns() {
+        let base = report(&[(CALIBRATION_LABEL, 100.0), ("w/slow", 1000.0), ("w/meh", 1000.0)]);
+        let cur = report(&[(CALIBRATION_LABEL, 100.0), ("w/slow", 2000.0), ("w/meh", 1600.0)]);
+        let cmp = compare(&base, &cur).expect("comparable");
+        assert!(!cmp.passed());
+        let flagged = cmp.flagged();
+        assert_eq!(flagged.len(), 2);
+        assert_eq!(flagged[0].label, "w/slow", "worst first");
+        assert_eq!(flagged[0].verdict, Verdict::Fail);
+        assert_eq!(flagged[1].verdict, Verdict::Warn);
+    }
+
+    #[test]
+    fn best_sample_not_median_is_compared() {
+        // One contaminated sample (10x) must not fail the gate: the
+        // minimum sample is the cost estimate.
+        let mut base = BenchReport::new("t");
+        base.record_samples(CALIBRATION_LABEL, TIMED_UNIT, &[100.0]);
+        base.record_samples("w/a", TIMED_UNIT, &[1000.0, 1010.0, 990.0]);
+        let mut cur = BenchReport::new("t");
+        cur.record_samples(CALIBRATION_LABEL, TIMED_UNIT, &[100.0]);
+        cur.record_samples("w/a", TIMED_UNIT, &[10_000.0, 1005.0, 9900.0]);
+        let cmp = compare(&base, &cur).expect("comparable");
+        assert_eq!(cmp.findings[0].verdict, Verdict::Pass, "{:?}", cmp.findings[0]);
+    }
+
+    #[test]
+    fn coverage_drift_is_reported_not_fatal() {
+        let base = report(&[(CALIBRATION_LABEL, 100.0), ("w/old", 1000.0)]);
+        let cur = report(&[(CALIBRATION_LABEL, 100.0), ("w/new", 1000.0)]);
+        let cmp = compare(&base, &cur).expect("comparable");
+        assert!(cmp.findings.is_empty());
+        assert_eq!(cmp.missing_in_baseline, vec!["w/new".to_string()]);
+        assert_eq!(cmp.missing_in_current, vec!["w/old".to_string()]);
+        assert!(cmp.passed());
+    }
+
+    #[test]
+    fn non_timed_entries_are_ignored() {
+        let mut base = report(&[(CALIBRATION_LABEL, 100.0)]);
+        base.record("speedup", "ratio", 2.0);
+        let mut cur = report(&[(CALIBRATION_LABEL, 100.0)]);
+        cur.record("speedup", "ratio", 0.5);
+        let cmp = compare(&base, &cur).expect("comparable");
+        assert!(cmp.findings.is_empty(), "ratios are not timed workloads");
+        assert!(cmp.missing_in_baseline.is_empty());
+    }
+
+    #[test]
+    fn missing_calibration_is_a_typed_error() {
+        let base = report(&[("w/a", 1000.0)]);
+        let cur = report(&[(CALIBRATION_LABEL, 100.0), ("w/a", 1000.0)]);
+        assert_eq!(
+            compare(&base, &cur),
+            Err(RegressError::MissingCalibration { which: "baseline" })
+        );
+        assert_eq!(
+            compare(&cur, &base),
+            Err(RegressError::MissingCalibration { which: "current" })
+        );
+        let mut zero = report(&[("w/a", 1000.0)]);
+        zero.record_samples(CALIBRATION_LABEL, TIMED_UNIT, &[0.0]);
+        assert_eq!(
+            compare(&zero, &cur),
+            Err(RegressError::BadCalibration { which: "baseline" })
+        );
+        let err = RegressError::MissingCalibration { which: "baseline" };
+        assert!(err.to_string().contains("calibration"));
+    }
+
+    #[test]
+    fn vanished_baseline_cost_fails_instead_of_dividing_by_zero() {
+        let mut base = report(&[(CALIBRATION_LABEL, 100.0)]);
+        base.record_samples("w/a", TIMED_UNIT, &[0.0]);
+        let cur = report(&[(CALIBRATION_LABEL, 100.0), ("w/a", 1000.0)]);
+        let cmp = compare(&base, &cur).expect("comparable");
+        assert_eq!(cmp.findings[0].verdict, Verdict::Fail);
+        assert!(cmp.findings[0].ratio.is_infinite());
+    }
+}

@@ -124,8 +124,10 @@ pub fn simulate_fallout_with(
 
 /// [`simulate_fallout_with`] with observability: records the
 /// `montecarlo` span, shard/die counters, fallout tallies
-/// (`mc.good` / `mc.shipped` / `mc.escapes`), and per-worker shard
-/// throughput (`mc.worker<i>.items`) into `obs`.
+/// (`mc.good` / `mc.shipped` / `mc.escapes`), the per-shard escape
+/// histogram (`mc.shard_escapes` — deterministic percentiles at any
+/// thread count, since shards fold in chunk order), and per-worker
+/// timeline telemetry (`mc.worker<i>.*`) into `obs`.
 ///
 /// Recording is observation-only: the counted [`FalloutEstimate`] is
 /// bit-identical to [`simulate_fallout_with`] for every thread count,
@@ -200,6 +202,9 @@ pub fn simulate_fallout_obs(
         good += g;
         shipped += s;
         escapes += e;
+        // `parts` is in chunk order, so this per-shard escape histogram
+        // is deterministic for every thread count.
+        obs.observe("mc.shard_escapes", e as f64);
     }
     obs.add("mc.good", good as u64);
     obs.add("mc.shipped", shipped as u64);
@@ -342,7 +347,7 @@ mod tests {
             let worker_total: u64 = report
                 .counters
                 .iter()
-                .filter(|(n, _)| n.starts_with("mc.worker"))
+                .filter(|(n, _)| n.starts_with("mc.worker") && n.ends_with(".items"))
                 .map(|&(_, v)| v)
                 .sum();
             assert_eq!(worker_total, 3, "every shard attributed to a worker");

@@ -1,0 +1,371 @@
+//! Versioned benchmark-report schema (`BENCH_*.json`).
+//!
+//! The bench bins used to write ad-hoc flat JSON maps, which made
+//! cross-run comparison guesswork: a number with no unit, no sample
+//! spread, and no record of the machine that produced it. A
+//! [`BenchReport`] fixes the schema:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "name": "fault_sim",
+//!   "env": { "threads": 8, "cpus": 8, "git_rev": "941dcd8c0a2b" },
+//!   "entries": [
+//!     { "label": "ppsfp_256v_t1", "unit": "ns/iter",
+//!       "value": 1843921.0, "samples": [1840102.0, 1843921.0, 1850773.0] }
+//!   ]
+//! }
+//! ```
+//!
+//! `value` is the headline number (the **median** of `samples` when
+//! samples were taken; a derived quantity like a speedup ratio
+//! otherwise, with `samples` empty). `env` records what the regression
+//! gate needs to judge comparability: resolved worker count, machine
+//! CPU count, and the git revision that produced the report.
+//! [`BENCH_SCHEMA_VERSION`] gates parsing — `perf_regress` refuses to
+//! compare across schema versions.
+
+use super::json::{json_number, json_string, Json, JsonError};
+
+/// The bench-report schema version this crate reads and writes.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Execution environment captured alongside benchmark numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchEnv {
+    /// Resolved worker count (the `DLP_THREADS` contract).
+    pub threads: usize,
+    /// The machine's available parallelism.
+    pub cpus: usize,
+    /// Abbreviated git revision, or `"unknown"` outside a checkout.
+    pub git_rev: String,
+}
+
+impl BenchEnv {
+    /// Captures the current environment. `DLP_THREADS` parse failures
+    /// fall back to auto — capture is diagnostics, never a gate.
+    pub fn capture() -> BenchEnv {
+        let threads = crate::par::ThreadCount::from_env()
+            .unwrap_or(crate::par::ThreadCount::Auto)
+            .get();
+        let cpus = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        BenchEnv {
+            threads,
+            cpus,
+            git_rev: git_rev().unwrap_or_else(|| "unknown".to_string()),
+        }
+    }
+}
+
+/// Best-effort abbreviated git revision: walks up from the current
+/// directory to a `.git`, follows `HEAD` one level of indirection. No
+/// subprocess, no dependency.
+fn git_rev() -> Option<String> {
+    let mut dir = std::env::current_dir().ok()?;
+    let git = loop {
+        let candidate = dir.join(".git");
+        if candidate.is_dir() {
+            break candidate;
+        }
+        if !dir.pop() {
+            return None;
+        }
+    };
+    let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+    let head = head.trim();
+    let full = if let Some(reference) = head.strip_prefix("ref: ") {
+        std::fs::read_to_string(git.join(reference)).ok()?
+    } else {
+        head.to_string()
+    };
+    let full = full.trim();
+    if full.len() < 12 || !full.bytes().take(12).all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    Some(full[..12].to_string())
+}
+
+/// One measured quantity in a [`BenchReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// What was measured (e.g. `ppsfp_256v_t1`).
+    pub label: String,
+    /// The unit of `value` (e.g. `ns/iter`, `ratio`, `ppm`).
+    pub unit: String,
+    /// The headline number: median of `samples` when present.
+    pub value: f64,
+    /// The raw per-batch samples behind `value` (empty for derived
+    /// quantities such as ratios).
+    pub samples: Vec<f64>,
+}
+
+/// The median of `samples` (mean of the middle pair for even counts);
+/// `NaN` when empty.
+pub fn median(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// A versioned benchmark report — see the module docs for the schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// The report name (the `BENCH_<name>.json` stem by convention).
+    pub name: String,
+    /// The environment the numbers were measured in.
+    pub env: BenchEnv,
+    /// Measured quantities, in recording order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// An empty report for `name`, capturing the current environment.
+    pub fn new(name: &str) -> BenchReport {
+        BenchReport {
+            name: name.to_string(),
+            env: BenchEnv::capture(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Records a derived quantity (no samples).
+    pub fn record(&mut self, label: &str, unit: &str, value: f64) {
+        self.entries.push(BenchEntry {
+            label: label.to_string(),
+            unit: unit.to_string(),
+            value,
+            samples: Vec::new(),
+        });
+    }
+
+    /// Records a sampled quantity; `value` becomes the median of
+    /// `samples`.
+    pub fn record_samples(&mut self, label: &str, unit: &str, samples: &[f64]) {
+        self.entries.push(BenchEntry {
+            label: label.to_string(),
+            unit: unit.to_string(),
+            value: median(samples),
+            samples: samples.to_vec(),
+        });
+    }
+
+    /// The entry with this label, if recorded.
+    pub fn entry(&self, label: &str) -> Option<&BenchEntry> {
+        self.entries.iter().find(|e| e.label == label)
+    }
+
+    /// The headline value of the labelled entry, if recorded.
+    pub fn value(&self, label: &str) -> Option<f64> {
+        self.entry(label).map(|e| e.value)
+    }
+
+    /// Serialises the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema_version\": {BENCH_SCHEMA_VERSION},\n"));
+        out.push_str(&format!("  \"name\": {},\n", json_string(&self.name)));
+        out.push_str(&format!(
+            "  \"env\": {{ \"threads\": {}, \"cpus\": {}, \"git_rev\": {} }},\n",
+            self.env.threads,
+            self.env.cpus,
+            json_string(&self.env.git_rev)
+        ));
+        out.push_str("  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let samples: Vec<String> = e.samples.iter().map(|&s| json_number(s)).collect();
+            out.push_str(&format!(
+                "    {{ \"label\": {}, \"unit\": {}, \"value\": {}, \"samples\": [{}] }}",
+                json_string(&e.label),
+                json_string(&e.unit),
+                json_number(e.value),
+                samples.join(", ")
+            ));
+        }
+        out.push_str(if self.entries.is_empty() { "]\n" } else { "\n  ]\n" });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a report, rejecting unknown schema versions.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] for malformed JSON, a missing/mismatched
+    /// `schema_version`, or a malformed section. The offset points at
+    /// the document start for schema-level (as opposed to syntax-level)
+    /// problems.
+    pub fn from_json(text: &str) -> Result<BenchReport, JsonError> {
+        let schema_err = |message| JsonError { offset: 0, message };
+        let doc = Json::parse(text)?;
+        let version = doc
+            .get("schema_version")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| schema_err("missing schema_version"))?;
+        if version != BENCH_SCHEMA_VERSION as f64 {
+            return Err(schema_err("unsupported bench schema_version"));
+        }
+        let name = doc
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| schema_err("missing name"))?
+            .to_string();
+        let env = doc.get("env").ok_or_else(|| schema_err("missing env"))?;
+        let env_usize = |key| {
+            env.get(key)
+                .and_then(Json::as_f64)
+                .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+                .map(|v| v as usize)
+                .ok_or_else(|| schema_err("malformed env"))
+        };
+        let env = BenchEnv {
+            threads: env_usize("threads")?,
+            cpus: env_usize("cpus")?,
+            git_rev: env
+                .get("git_rev")
+                .and_then(Json::as_str)
+                .ok_or_else(|| schema_err("malformed env"))?
+                .to_string(),
+        };
+        let mut entries = Vec::new();
+        for item in doc
+            .get("entries")
+            .and_then(Json::as_array)
+            .ok_or_else(|| schema_err("missing entries"))?
+        {
+            let label = item
+                .get("label")
+                .and_then(Json::as_str)
+                .ok_or_else(|| schema_err("entry without a label"))?
+                .to_string();
+            let unit = item
+                .get("unit")
+                .and_then(Json::as_str)
+                .ok_or_else(|| schema_err("entry without a unit"))?
+                .to_string();
+            let value = match item.get("value") {
+                Some(Json::Null) => f64::NAN,
+                Some(v) => v.as_f64().ok_or_else(|| schema_err("entry without a value"))?,
+                None => return Err(schema_err("entry without a value")),
+            };
+            let samples = item
+                .get("samples")
+                .and_then(Json::as_array)
+                .ok_or_else(|| schema_err("entry without samples"))?
+                .iter()
+                .map(|s| s.as_f64().ok_or_else(|| schema_err("non-numeric sample")))
+                .collect::<Result<Vec<f64>, JsonError>>()?;
+            entries.push(BenchEntry {
+                label,
+                unit,
+                value,
+                samples,
+            });
+        }
+        Ok(BenchReport { name, env, entries })
+    }
+
+    /// Writes [`to_json`](Self::to_json) to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from creating or writing the file.
+    pub fn write_to(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_samples() {
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!(median(&[]).is_nan());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut report = BenchReport::new("unit");
+        report.record_samples("stage_a", "ns/iter", &[120.0, 100.0, 110.0]);
+        report.record("speedup_t2", "ratio", 1.7);
+        assert_eq!(report.value("stage_a"), Some(110.0), "median of samples");
+        let parsed = BenchReport::from_json(&report.to_json()).expect("round-trips");
+        assert_eq!(parsed, report);
+        assert_eq!(parsed.entry("speedup_t2").map(|e| e.unit.as_str()), Some("ratio"));
+        assert_eq!(parsed.value("missing"), None);
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let report = BenchReport::new("empty");
+        let parsed = BenchReport::from_json(&report.to_json()).expect("round-trips");
+        assert!(parsed.entries.is_empty());
+        assert!(parsed.env.cpus >= 1);
+    }
+
+    #[test]
+    fn nan_values_round_trip_as_null() {
+        let mut report = BenchReport::new("nan");
+        report.record("undefined_ratio", "ratio", f64::NAN);
+        let json = report.to_json();
+        assert!(json.contains("\"value\": null"), "{json}");
+        let parsed = BenchReport::from_json(&json).expect("parses");
+        assert!(parsed.value("undefined_ratio").is_some_and(f64::is_nan));
+    }
+
+    #[test]
+    fn schema_version_is_enforced() {
+        let report = BenchReport::new("v");
+        let future = report
+            .to_json()
+            .replace("\"schema_version\": 1", "\"schema_version\": 99");
+        let err = BenchReport::from_json(&future).expect_err("future schema rejected");
+        assert_eq!(err.message, "unsupported bench schema_version");
+        // The old flat ad-hoc shape (no schema_version at all) is rejected.
+        let err = BenchReport::from_json(r#"{"ppsfp_64v": 123.0}"#).expect_err("flat map");
+        assert_eq!(err.message, "missing schema_version");
+    }
+
+    #[test]
+    fn malformed_sections_are_typed_errors() {
+        for (doc, why) in [
+            (r#"{"schema_version": 1, "name": "x"}"#, "missing env"),
+            (
+                r#"{"schema_version": 1, "name": "x", "env": {"threads": 1, "cpus": 2, "git_rev": "r"}}"#,
+                "missing entries",
+            ),
+            (
+                r#"{"schema_version": 1, "name": "x", "env": {"threads": -1, "cpus": 2, "git_rev": "r"}, "entries": []}"#,
+                "negative threads",
+            ),
+            (
+                r#"{"schema_version": 1, "name": "x", "env": {"threads": 1, "cpus": 2, "git_rev": "r"}, "entries": [{"label": "a"}]}"#,
+                "entry missing fields",
+            ),
+        ] {
+            assert!(BenchReport::from_json(doc).is_err(), "{why}: {doc}");
+        }
+    }
+
+    #[test]
+    fn captured_env_is_sane() {
+        let env = BenchEnv::capture();
+        assert!(env.cpus >= 1);
+        assert!(env.threads >= 1);
+        assert!(!env.git_rev.is_empty());
+    }
+}

@@ -1,0 +1,1039 @@
+//! Dependency-free pipeline observability: stage-scoped spans, named
+//! counters/gauges/series, log-bucketed histograms, and a JSON
+//! [`RunReport`] with an OpenMetrics exposition.
+//!
+//! The extract → simulate → fit pipeline is exactly the kind of
+//! multi-stage flow where silent data loss hides: a surprising `DL(T)`
+//! curve gives no hint of *which* stage dropped faults or ate the
+//! wall-clock. This module gives every stage a [`Recorder`] to write
+//! into:
+//!
+//! * **spans** — monotonic wall-clock timing of a named scope
+//!   ([`Recorder::span`] returns an RAII guard; nested/repeated spans
+//!   accumulate `nanos` and `count`);
+//! * **counters** — named monotonic `u64` tallies ([`Recorder::add`],
+//!   [`Recorder::incr`]) such as faults enumerated or dies simulated;
+//! * **gauges** — last-write-wins `f64` observations
+//!   ([`Recorder::gauge`]) such as critical-area totals;
+//! * **series** — append-only `f64` sequences ([`Recorder::push`]) such
+//!   as the live-fault count per 64-pattern simulation block, bounded
+//!   at [`SERIES_CAP`] points by 2:1 decimation (see below);
+//! * **histograms** — log-bucketed value distributions
+//!   ([`Recorder::observe`], [`hist::Histogram`]) such as per-chunk
+//!   worker latencies, reported with p50/p90/p99/max.
+//!
+//! A snapshot of everything recorded is a [`RunReport`], which
+//! serialises to the same hand-rolled JSON style as the bench harness's
+//! `BENCH_*.json` files, parses back with the hardened [`Json`] reader
+//! ([`RunReport::from_json`] — used by CI to validate emitted reports),
+//! and exports as OpenMetrics text ([`RunReport::to_openmetrics`]) for
+//! scraping. The bench bins share the schema discipline through
+//! [`bench::BenchReport`].
+//!
+//! # The `DLP_TRACE` contract
+//!
+//! Tracing defaults to **off**: the pipeline entry points take a
+//! [`Recorder`] and callers that do not care pass [`Recorder::noop`],
+//! whose methods return before touching any state (a branch on one
+//! `bool` — no clock reads, no allocation, no locking). Binaries that
+//! honour tracing resolve [`TraceSetting::from_env`]: `DLP_TRACE`
+//! unset, empty, or `0` is off; `1` means "write the report to the
+//! caller's default path"; anything else is the report path itself.
+//!
+//! # Bounded series memory
+//!
+//! A long Monte-Carlo run pushes one point per shard; unbounded series
+//! would grow the trace with the workload. Each series is therefore
+//! capped at [`SERIES_CAP`] retained points: on reaching the cap the
+//! buffer is decimated 2:1 (every other point kept) and the acceptance
+//! stride doubles, so the retained points stay an approximately uniform
+//! subsample of the full sequence. Every point not retained is tallied
+//! in the `obs.series_dropped_points` counter of the emitted report —
+//! truncation is visible, never silent.
+//!
+//! # Determinism
+//!
+//! Recording never feeds back into computation: an enabled recorder
+//! observes the pipeline but cannot perturb it, so results stay
+//! bit-identical for every `DLP_THREADS` setting with tracing on or
+//! off. The *report contents* are deterministic too, with two
+//! documented exceptions: per-worker scheduling splits
+//! (`<scope>.worker<i>.*` counters/series and wall-clock timing
+//! telemetry) depend on which worker won which chunk; and histogram
+//! *timing* values vary run to run. Histograms over deterministic
+//! quantities (detections per block, shard escapes, pair weights) have
+//! identical bucket counts — and therefore identical percentiles — for
+//! every thread count, because bucket tallies are order-independent
+//! integer adds (see [`hist`]).
+
+pub mod bench;
+pub mod hist;
+pub mod json;
+pub mod openmetrics;
+
+pub use bench::{BenchEntry, BenchEnv, BenchReport, BENCH_SCHEMA_VERSION};
+pub use hist::{HistEntry, Histogram};
+pub use json::{Json, JsonError};
+pub use openmetrics::OmError;
+
+use hist::Histogram as Hist;
+use json::{json_number, json_string};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The environment variable that enables trace reports.
+pub const TRACE_ENV: &str = "DLP_TRACE";
+
+/// Maximum retained points per series; see the module docs on bounded
+/// series memory.
+pub const SERIES_CAP: usize = 4096;
+
+/// Resolution of the `DLP_TRACE` environment variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceSetting {
+    /// Tracing disabled (unset, empty, or `0`).
+    Off,
+    /// Tracing enabled; write the report to the caller's default path
+    /// (`DLP_TRACE=1`).
+    Default,
+    /// Tracing enabled; write the report to this path.
+    Path(String),
+}
+
+impl TraceSetting {
+    /// Reads [`TRACE_ENV`] from the environment.
+    pub fn from_env() -> TraceSetting {
+        Self::from_setting(std::env::var(TRACE_ENV).ok().as_deref())
+    }
+
+    /// Parses an explicit `DLP_TRACE`-style setting (`None` = unset).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dlp_core::obs::TraceSetting;
+    ///
+    /// assert_eq!(TraceSetting::from_setting(None), TraceSetting::Off);
+    /// assert_eq!(TraceSetting::from_setting(Some("0")), TraceSetting::Off);
+    /// assert_eq!(TraceSetting::from_setting(Some("1")), TraceSetting::Default);
+    /// assert_eq!(
+    ///     TraceSetting::from_setting(Some("out/trace.json")),
+    ///     TraceSetting::Path("out/trace.json".into())
+    /// );
+    /// ```
+    pub fn from_setting(setting: Option<&str>) -> TraceSetting {
+        match setting.map(str::trim) {
+            None | Some("") | Some("0") => TraceSetting::Off,
+            Some("1") => TraceSetting::Default,
+            Some(path) => TraceSetting::Path(path.to_string()),
+        }
+    }
+
+    /// Whether tracing is enabled at all.
+    pub fn is_on(&self) -> bool {
+        *self != TraceSetting::Off
+    }
+
+    /// The report path: `default` under [`TraceSetting::Default`], the
+    /// explicit path under [`TraceSetting::Path`], `None` when off.
+    pub fn resolve(&self, default: &str) -> Option<String> {
+        match self {
+            TraceSetting::Off => None,
+            TraceSetting::Default => Some(default.to_string()),
+            TraceSetting::Path(p) => Some(p.clone()),
+        }
+    }
+}
+
+/// Accumulated timing of one span name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct SpanStats {
+    nanos: u64,
+    count: u64,
+}
+
+/// One append-only series with cap-and-decimate memory bounding.
+#[derive(Debug)]
+struct SeriesBuf {
+    points: Vec<f64>,
+    /// Points to skip after each accepted point (`stride - 1`).
+    skip: u64,
+    /// Remaining skips before the next acceptance.
+    pending: u64,
+    /// Points pushed but not retained (skipped or decimated away).
+    dropped: u64,
+}
+
+impl SeriesBuf {
+    fn new() -> SeriesBuf {
+        SeriesBuf {
+            points: Vec::new(),
+            skip: 0,
+            pending: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, value: f64) {
+        if self.pending > 0 {
+            self.pending -= 1;
+            self.dropped += 1;
+            return;
+        }
+        self.points.push(value);
+        self.pending = self.skip;
+        if self.points.len() >= SERIES_CAP {
+            // 2:1 decimation: keep even indices, double the stride. The
+            // retained points remain a uniform subsample of the pushed
+            // sequence (multiples of the new stride), and `pending`
+            // already counts down to the next multiple.
+            let mut keep = 0usize;
+            for i in 0..self.points.len() {
+                if i % 2 == 0 {
+                    self.points[keep] = self.points[i];
+                    keep += 1;
+                }
+            }
+            self.dropped += (self.points.len() - keep) as u64;
+            self.points.truncate(keep);
+            self.skip = self.skip * 2 + 1;
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    spans: BTreeMap<String, SpanStats>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    series: BTreeMap<String, SeriesBuf>,
+    hists: BTreeMap<String, Hist>,
+}
+
+impl State {
+    const fn new() -> State {
+        State {
+            spans: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            series: BTreeMap::new(),
+            hists: BTreeMap::new(),
+        }
+    }
+}
+
+fn lock_or_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The shared no-op recorder behind [`Recorder::noop`].
+static NOOP: Recorder = Recorder::disabled();
+
+/// Collects spans, counters, gauges, series, and histograms for one
+/// pipeline run.
+///
+/// `Recorder` is `Sync`: parallel workers may record concurrently (the
+/// state sits behind a mutex). A disabled recorder ([`Recorder::noop`] /
+/// [`Recorder::disabled`]) short-circuits every method on a single
+/// `bool` — the overhead contract the benches verify.
+///
+/// # Example
+///
+/// ```
+/// use dlp_core::obs::Recorder;
+///
+/// let obs = Recorder::enabled();
+/// {
+///     let _span = obs.span("extract");
+///     obs.add("extract.faults", 128);
+///     obs.gauge("extract.weight.total", 0.29);
+///     obs.push("sim.live_per_block", 128.0);
+///     obs.observe("sim.detects_per_block", 17.0);
+/// }
+/// let report = obs.report("demo");
+/// assert_eq!(report.counter("extract.faults"), Some(128));
+/// assert!(report.span_nanos("extract").is_some());
+/// assert_eq!(report.hist("sim.detects_per_block").map(|h| h.count), Some(1));
+/// ```
+#[derive(Debug)]
+pub struct Recorder {
+    enabled: bool,
+    state: Mutex<State>,
+}
+
+impl Recorder {
+    /// A recorder that collects everything.
+    pub const fn enabled() -> Recorder {
+        Recorder {
+            enabled: true,
+            state: Mutex::new(State::new()),
+        }
+    }
+
+    /// A recorder whose every method is a no-op.
+    pub const fn disabled() -> Recorder {
+        Recorder {
+            enabled: false,
+            state: Mutex::new(State::new()),
+        }
+    }
+
+    /// The process-wide shared no-op recorder, for callers that do not
+    /// trace.
+    pub fn noop() -> &'static Recorder {
+        &NOOP
+    }
+
+    /// A recorder matching a [`TraceSetting`]: collecting when the
+    /// setting is on, no-op otherwise.
+    pub fn from_setting(setting: &TraceSetting) -> Recorder {
+        if setting.is_on() {
+            Recorder::enabled()
+        } else {
+            Recorder::disabled()
+        }
+    }
+
+    /// Whether this recorder collects anything. Use to skip building
+    /// expensive labels (e.g. `format!`ed counter names) up front.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Starts a named span; the returned guard records the elapsed
+    /// wall-clock time into the span's totals when dropped.
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        Span {
+            recorder: self,
+            name,
+            start: self.enabled.then(Instant::now),
+        }
+    }
+
+    /// Adds `delta` to the named monotonic counter (created at 0).
+    pub fn add(&self, name: &str, delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut state = lock_or_recover(&self.state);
+        if let Some(c) = state.counters.get_mut(name) {
+            *c = c.saturating_add(delta);
+        } else {
+            state.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Increments the named counter by one.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// The named counter's current value (`None` when disabled or never
+    /// written). Lets callers derive gauges from cumulative tallies.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        if !self.enabled {
+            return None;
+        }
+        lock_or_recover(&self.state).counters.get(name).copied()
+    }
+
+    /// All counters whose name starts with `prefix`, sorted by name
+    /// (empty when disabled).
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(String, u64)> {
+        if !self.enabled {
+            return Vec::new();
+        }
+        lock_or_recover(&self.state)
+            .counters
+            .range(prefix.to_string()..)
+            .take_while(|(n, _)| n.starts_with(prefix))
+            .map(|(n, &v)| (n.clone(), v))
+            .collect()
+    }
+
+    /// Sets the named gauge (last write wins).
+    pub fn gauge(&self, name: &str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        let mut state = lock_or_recover(&self.state);
+        if let Some(g) = state.gauges.get_mut(name) {
+            *g = value;
+        } else {
+            state.gauges.insert(name.to_string(), value);
+        }
+    }
+
+    /// Appends `value` to the named series (bounded at [`SERIES_CAP`]
+    /// retained points; see the module docs).
+    pub fn push(&self, name: &str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        let mut state = lock_or_recover(&self.state);
+        if let Some(s) = state.series.get_mut(name) {
+            s.push(value);
+        } else {
+            let mut buf = SeriesBuf::new();
+            buf.push(value);
+            state.series.insert(name.to_string(), buf);
+        }
+    }
+
+    /// Records `value` into the named histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        let mut state = lock_or_recover(&self.state);
+        if let Some(h) = state.hists.get_mut(name) {
+            h.observe(value);
+        } else {
+            let mut h = Hist::new();
+            h.observe(value);
+            state.hists.insert(name.to_string(), h);
+        }
+    }
+
+    /// Merges a locally-built histogram into the named histogram — the
+    /// low-contention path for workers that tally privately and merge
+    /// once (bucket adds commute, so merge order cannot change the
+    /// result).
+    pub fn merge_hist(&self, name: &str, h: &Hist) {
+        if !self.enabled {
+            return;
+        }
+        let mut state = lock_or_recover(&self.state);
+        if let Some(existing) = state.hists.get_mut(name) {
+            existing.merge(h);
+        } else {
+            state.hists.insert(name.to_string(), h.clone());
+        }
+    }
+
+    fn record_span(&self, name: &'static str, nanos: u64) {
+        let mut state = lock_or_recover(&self.state);
+        let stats = state.spans.entry(name.to_string()).or_default();
+        stats.nanos = stats.nanos.saturating_add(nanos);
+        stats.count += 1;
+    }
+
+    /// Snapshots everything recorded so far into a [`RunReport`].
+    pub fn report(&self, name: &str) -> RunReport {
+        let state = lock_or_recover(&self.state);
+        let mut counters = state.counters.clone();
+        let dropped: u64 = state.series.values().map(|s| s.dropped).sum();
+        if dropped > 0 {
+            let c = counters
+                .entry("obs.series_dropped_points".to_string())
+                .or_insert(0);
+            *c = c.saturating_add(dropped);
+        }
+        RunReport {
+            name: name.to_string(),
+            spans: state
+                .spans
+                .iter()
+                .map(|(n, s)| SpanEntry {
+                    name: n.clone(),
+                    nanos: s.nanos,
+                    count: s.count,
+                })
+                .collect(),
+            counters: counters.into_iter().collect(),
+            gauges: state.gauges.iter().map(|(n, &v)| (n.clone(), v)).collect(),
+            series: state
+                .series
+                .iter()
+                .map(|(n, s)| (n.clone(), s.points.clone()))
+                .collect(),
+            hists: state.hists.iter().map(|(n, h)| h.snapshot(n)).collect(),
+        }
+    }
+}
+
+/// RAII span guard from [`Recorder::span`]; records on drop.
+#[derive(Debug)]
+pub struct Span<'a> {
+    recorder: &'a Recorder,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.recorder.record_span(self.name, nanos);
+        }
+    }
+}
+
+/// Accumulated timing of one named span in a [`RunReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEntry {
+    /// The span name.
+    pub name: String,
+    /// Total wall-clock nanoseconds across all executions.
+    pub nanos: u64,
+    /// How many times the span ran.
+    pub count: u64,
+}
+
+/// An immutable snapshot of a [`Recorder`], serialisable to JSON and to
+/// OpenMetrics text.
+///
+/// The JSON shape (hand-rolled, like the bench harness reports):
+///
+/// ```json
+/// {
+///   "name": "full_flow_c432",
+///   "spans": { "extract": { "nanos": 91342011, "count": 1 } },
+///   "counters": { "extract.faults": 1182 },
+///   "gauges": { "extract.weight.total": 0.2876 },
+///   "series": { "sim.gate.live_per_block": [864, 131, 42] },
+///   "hists": {
+///     "sim.gate.detects_per_block": {
+///       "count": 3, "invalid": 0, "sum": 61.0, "min": 4.0, "max": 38.0,
+///       "buckets": [[4.5, 1], [20.0, 1], [40.0, 1]]
+///     }
+///   }
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// The run name (the `TRACE_<name>.json` stem by convention).
+    pub name: String,
+    /// Per-span accumulated timings, sorted by name.
+    pub spans: Vec<SpanEntry>,
+    /// Monotonic counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Series, sorted by name.
+    pub series: Vec<(String, Vec<f64>)>,
+    /// Histogram snapshots, sorted by name.
+    pub hists: Vec<HistEntry>,
+}
+
+impl RunReport {
+    /// Total nanoseconds of the named span, if recorded.
+    pub fn span_nanos(&self, name: &str) -> Option<u64> {
+        self.spans.iter().find(|s| s.name == name).map(|s| s.nanos)
+    }
+
+    /// The named counter's value, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The named gauge's value, if recorded.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The named series, if recorded.
+    pub fn series(&self, name: &str) -> Option<&[f64]> {
+        self.series
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// The named histogram snapshot, if recorded.
+    pub fn hist(&self, name: &str) -> Option<&HistEntry> {
+        self.hists.iter().find(|h| h.name == name)
+    }
+
+    /// Serialises the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"name\": {},\n", json_string(&self.name)));
+        out.push_str("  \"spans\": {");
+        for (i, s) in self.spans.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {}: {{ \"nanos\": {}, \"count\": {} }}",
+                json_string(&s.name),
+                s.nanos,
+                s.count
+            ));
+        }
+        out.push_str(if self.spans.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"counters\": {");
+        for (i, (n, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!("    {}: {v}", json_string(n)));
+        }
+        out.push_str(if self.counters.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"gauges\": {");
+        for (i, (n, v)) in self.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!("    {}: {}", json_string(n), json_number(*v)));
+        }
+        out.push_str(if self.gauges.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"series\": {");
+        for (i, (n, vs)) in self.series.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let body: Vec<String> = vs.iter().map(|&v| json_number(v)).collect();
+            out.push_str(&format!("    {}: [{}]", json_string(n), body.join(", ")));
+        }
+        out.push_str(if self.series.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"hists\": {");
+        for (i, h) in self.hists.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .map(|&(bound, count)| format!("[{}, {count}]", json_number(bound)))
+                .collect();
+            out.push_str(&format!(
+                "    {}: {{ \"count\": {}, \"invalid\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [{}] }}",
+                json_string(&h.name),
+                h.count,
+                h.invalid,
+                json_number(h.sum),
+                json_number(h.min),
+                json_number(h.max),
+                buckets.join(", ")
+            ));
+        }
+        out.push_str(if self.hists.is_empty() { "}\n" } else { "\n  }\n" });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a serialised report back (the inverse of
+    /// [`to_json`](Self::to_json)). Reports written before histograms
+    /// existed (no `"hists"` key) parse with empty histogram sections;
+    /// `null` numbers deserialise as the non-finite sentinels they
+    /// stood for (`NaN`, or ±∞ for an empty histogram's min/max).
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] for malformed JSON or a malformed section (offset
+    /// 0 for schema-level problems).
+    pub fn from_json(text: &str) -> Result<RunReport, JsonError> {
+        let schema_err = |message| JsonError { offset: 0, message };
+        let doc = Json::parse(text)?;
+        let name = doc
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| schema_err("missing report name"))?
+            .to_string();
+        let as_u64 = |v: &Json, message| {
+            v.as_f64()
+                .filter(|x| *x >= 0.0 && x.fract() == 0.0)
+                .map(|x| x as u64)
+                .ok_or_else(|| schema_err(message))
+        };
+        let num_or_null = |v: &Json, null_means: f64, message: &'static str| match v {
+            Json::Null => Ok(null_means),
+            v => v.as_f64().ok_or_else(|| schema_err(message)),
+        };
+        let mut spans = Vec::new();
+        for (n, v) in doc.get("spans").and_then(Json::as_object).unwrap_or(&[]) {
+            let nanos = v
+                .get("nanos")
+                .ok_or_else(|| schema_err("span without nanos"))
+                .and_then(|x| as_u64(x, "malformed span nanos"))?;
+            let count = v
+                .get("count")
+                .ok_or_else(|| schema_err("span without count"))
+                .and_then(|x| as_u64(x, "malformed span count"))?;
+            spans.push(SpanEntry {
+                name: n.clone(),
+                nanos,
+                count,
+            });
+        }
+        let mut counters = Vec::new();
+        for (n, v) in doc.get("counters").and_then(Json::as_object).unwrap_or(&[]) {
+            counters.push((n.clone(), as_u64(v, "malformed counter value")?));
+        }
+        let mut gauges = Vec::new();
+        for (n, v) in doc.get("gauges").and_then(Json::as_object).unwrap_or(&[]) {
+            gauges.push((n.clone(), num_or_null(v, f64::NAN, "malformed gauge value")?));
+        }
+        let mut series = Vec::new();
+        for (n, v) in doc.get("series").and_then(Json::as_object).unwrap_or(&[]) {
+            let points = v
+                .as_array()
+                .ok_or_else(|| schema_err("series must be an array"))?
+                .iter()
+                .map(|p| num_or_null(p, f64::NAN, "malformed series point"))
+                .collect::<Result<Vec<f64>, JsonError>>()?;
+            series.push((n.clone(), points));
+        }
+        let mut hists = Vec::new();
+        for (n, v) in doc.get("hists").and_then(Json::as_object).unwrap_or(&[]) {
+            let field = |key: &'static str, message: &'static str| {
+                v.get(key).ok_or_else(|| schema_err(message))
+            };
+            let mut buckets = Vec::new();
+            for pair in field("buckets", "hist without buckets")?
+                .as_array()
+                .ok_or_else(|| schema_err("hist buckets must be an array"))?
+            {
+                let pair = pair
+                    .as_array()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| schema_err("hist bucket must be a [bound, count] pair"))?;
+                buckets.push((
+                    pair[0]
+                        .as_f64()
+                        .ok_or_else(|| schema_err("malformed bucket bound"))?,
+                    as_u64(&pair[1], "malformed bucket count")?,
+                ));
+            }
+            hists.push(HistEntry {
+                name: n.clone(),
+                count: as_u64(field("count", "hist without count")?, "malformed hist count")?,
+                invalid: as_u64(
+                    field("invalid", "hist without invalid")?,
+                    "malformed hist invalid",
+                )?,
+                sum: num_or_null(field("sum", "hist without sum")?, f64::NAN, "malformed hist sum")?,
+                min: num_or_null(
+                    field("min", "hist without min")?,
+                    f64::INFINITY,
+                    "malformed hist min",
+                )?,
+                max: num_or_null(
+                    field("max", "hist without max")?,
+                    f64::NEG_INFINITY,
+                    "malformed hist max",
+                )?,
+                buckets,
+            });
+        }
+        Ok(RunReport {
+            name,
+            spans,
+            counters,
+            gauges,
+            series,
+            hists,
+        })
+    }
+
+    /// Renders the report as OpenMetrics text exposition (see
+    /// [`openmetrics`] for the family schema); always ends with
+    /// `# EOF`. The output satisfies [`openmetrics::validate`].
+    pub fn to_openmetrics(&self) -> String {
+        openmetrics::render(self)
+    }
+
+    /// Writes [`to_json`](Self::to_json) to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from creating or writing the file.
+    pub fn write_to(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_setting_parses() {
+        assert_eq!(TraceSetting::from_setting(None), TraceSetting::Off);
+        assert_eq!(TraceSetting::from_setting(Some("")), TraceSetting::Off);
+        assert_eq!(TraceSetting::from_setting(Some(" 0 ")), TraceSetting::Off);
+        assert_eq!(TraceSetting::from_setting(Some("1")), TraceSetting::Default);
+        assert_eq!(
+            TraceSetting::from_setting(Some("a/b.json")),
+            TraceSetting::Path("a/b.json".to_string())
+        );
+        assert_eq!(TraceSetting::Off.resolve("x.json"), None);
+        assert_eq!(
+            TraceSetting::Default.resolve("x.json"),
+            Some("x.json".to_string())
+        );
+        assert_eq!(
+            TraceSetting::Path("y.json".to_string()).resolve("x.json"),
+            Some("y.json".to_string())
+        );
+        assert!(!TraceSetting::Off.is_on());
+        assert!(TraceSetting::Default.is_on());
+    }
+
+    #[test]
+    fn noop_recorder_records_nothing() {
+        let obs = Recorder::noop();
+        assert!(!obs.is_enabled());
+        {
+            let _span = obs.span("stage");
+            obs.add("c", 3);
+            obs.gauge("g", 1.5);
+            obs.push("s", 2.0);
+            obs.observe("h", 4.0);
+        }
+        let report = obs.report("noop");
+        assert!(report.spans.is_empty());
+        assert!(report.counters.is_empty());
+        assert!(report.gauges.is_empty());
+        assert!(report.series.is_empty());
+        assert!(report.hists.is_empty());
+        assert_eq!(obs.counter_value("c"), None);
+        assert!(obs.counters_with_prefix("").is_empty());
+    }
+
+    #[test]
+    fn enabled_recorder_accumulates() {
+        let obs = Recorder::enabled();
+        for _ in 0..3 {
+            let _span = obs.span("stage");
+            obs.add("c", 2);
+            obs.push("s", 1.0);
+            obs.observe("h", 10.0);
+        }
+        obs.incr("c");
+        obs.gauge("g", 1.0);
+        obs.gauge("g", 2.5);
+        let report = obs.report("run");
+        assert_eq!(report.name, "run");
+        assert_eq!(report.counter("c"), Some(7));
+        assert_eq!(report.gauge("g"), Some(2.5));
+        assert_eq!(report.series("s"), Some(&[1.0, 1.0, 1.0][..]));
+        let h = report.hist("h").expect("histogram recorded");
+        assert_eq!(h.count, 3);
+        assert_eq!(h.p50(), Some(10.0));
+        let span = &report.spans[0];
+        assert_eq!(span.name, "stage");
+        assert_eq!(span.count, 3);
+        assert_eq!(report.span_nanos("stage"), Some(span.nanos));
+        assert_eq!(report.counter("missing"), None);
+        assert_eq!(obs.counter_value("c"), Some(7));
+    }
+
+    #[test]
+    fn counters_with_prefix_filters_and_sorts() {
+        let obs = Recorder::enabled();
+        obs.add("sim.worker1.busy", 5);
+        obs.add("sim.worker0.busy", 3);
+        obs.add("sim.wall", 9);
+        obs.add("extract.faults", 1);
+        assert_eq!(
+            obs.counters_with_prefix("sim.worker"),
+            vec![
+                ("sim.worker0.busy".to_string(), 3),
+                ("sim.worker1.busy".to_string(), 5)
+            ]
+        );
+        assert!(obs.counters_with_prefix("nothing").is_empty());
+    }
+
+    #[test]
+    fn recorder_is_sync_across_threads() {
+        let obs = Recorder::enabled();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..100 {
+                        obs.incr("hits");
+                        obs.observe("values", f64::from(i));
+                    }
+                });
+            }
+        });
+        let report = obs.report("t");
+        assert_eq!(report.counter("hits"), Some(400));
+        assert_eq!(report.hist("values").map(|h| h.count), Some(400));
+    }
+
+    #[test]
+    fn merge_hist_matches_direct_observation() {
+        let direct = Recorder::enabled();
+        let merged = Recorder::enabled();
+        let mut local = Histogram::new();
+        for v in [1.0, 5.0, 9.0, 1024.0] {
+            direct.observe("h", v);
+            local.observe(v);
+        }
+        merged.merge_hist("h", &local);
+        merged.merge_hist("h", &Histogram::new());
+        assert_eq!(
+            direct.report("a").hist("h"),
+            merged.report("b").hist("h")
+        );
+    }
+
+    #[test]
+    fn series_memory_is_bounded_with_visible_drops() {
+        const PUSHES: usize = 10_000;
+        let obs = Recorder::enabled();
+        for i in 0..PUSHES {
+            obs.push("long", i as f64);
+        }
+        let report = obs.report("bounded");
+        let points = report.series("long").expect("series recorded");
+        assert!(points.len() <= SERIES_CAP, "len = {}", points.len());
+        // After two decimations the stride is 4: the retained points are
+        // exactly the multiples of 4, a uniform subsample.
+        for (i, &p) in points.iter().enumerate() {
+            assert_eq!(p, (4 * i) as f64);
+        }
+        // Every dropped point is accounted for.
+        let dropped = report.counter("obs.series_dropped_points").unwrap_or(0);
+        assert_eq!(dropped as usize + points.len(), PUSHES);
+        // Short series are untouched and report no drop counter.
+        let short = Recorder::enabled();
+        for i in 0..100 {
+            short.push("s", f64::from(i));
+        }
+        let report = short.report("short");
+        assert_eq!(report.series("s").map(<[f64]>::len), Some(100));
+        assert_eq!(report.counter("obs.series_dropped_points"), None);
+    }
+
+    #[test]
+    fn report_json_round_trips_through_parser() {
+        let obs = Recorder::enabled();
+        {
+            let _span = obs.span("extract");
+            obs.add("extract.faults", 42);
+            obs.gauge("weight", 0.25);
+            obs.gauge("bad", f64::NAN);
+            obs.push("live", 10.0);
+            obs.push("live", 7.0);
+            obs.observe("detects", 3.0);
+            obs.observe("detects", 700.0);
+        }
+        let report = obs.report("unit \"quoted\"");
+        let json = Json::parse(&report.to_json()).expect("report must parse");
+        assert_eq!(
+            json.get("name"),
+            Some(&Json::String("unit \"quoted\"".to_string()))
+        );
+        let counters = json.get("counters").expect("counters");
+        assert_eq!(
+            counters.get("extract.faults").and_then(Json::as_f64),
+            Some(42.0)
+        );
+        assert_eq!(
+            json.get("gauges")
+                .and_then(|g| g.get("weight"))
+                .and_then(Json::as_f64),
+            Some(0.25)
+        );
+        // Non-finite gauges serialise as null.
+        assert_eq!(
+            json.get("gauges").and_then(|g| g.get("bad")),
+            Some(&Json::Null)
+        );
+        let live = json
+            .get("series")
+            .and_then(|s| s.get("live"))
+            .and_then(Json::as_array)
+            .expect("series array");
+        assert_eq!(live.len(), 2);
+        let spans = json
+            .get("spans")
+            .and_then(|s| s.get("extract"))
+            .expect("span");
+        assert!(spans.get("nanos").and_then(Json::as_f64).is_some());
+        assert_eq!(spans.get("count").and_then(Json::as_f64), Some(1.0));
+        let detects = json
+            .get("hists")
+            .and_then(|h| h.get("detects"))
+            .expect("hist");
+        assert_eq!(detects.get("count").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(detects.get("max").and_then(Json::as_f64), Some(700.0));
+    }
+
+    #[test]
+    fn non_finite_series_values_serialise_as_null() {
+        // Regression: a NaN/∞ pushed into a series must not produce the
+        // bare `NaN` / `inf` tokens `{}` formatting would emit — the
+        // report must stay parseable by obs::Json.
+        let obs = Recorder::enabled();
+        obs.push("s", 1.0);
+        obs.push("s", f64::NAN);
+        obs.push("s", f64::INFINITY);
+        obs.push("s", f64::NEG_INFINITY);
+        let text = obs.report("nonfinite").to_json();
+        let json = Json::parse(&text).expect("report with non-finite series parses");
+        let s = json
+            .get("series")
+            .and_then(|s| s.get("s"))
+            .and_then(Json::as_array)
+            .expect("series");
+        assert_eq!(s[0], Json::Number(1.0));
+        assert_eq!(&s[1..], &[Json::Null, Json::Null, Json::Null]);
+        // And the typed round-trip maps null back to NaN.
+        let parsed = RunReport::from_json(&text).expect("typed parse");
+        let points = parsed.series("s").expect("series");
+        assert_eq!(points[0], 1.0);
+        assert!(points[1..].iter().all(|p| p.is_nan()));
+    }
+
+    #[test]
+    fn report_round_trips_through_from_json() {
+        let obs = Recorder::enabled();
+        {
+            let _span = obs.span("stage");
+            obs.add("c", 12);
+            obs.gauge("g", 2.5);
+            obs.push("s", 3.0);
+            for v in [1.0, 2.0, 4.0, 900.0] {
+                obs.observe("h", v);
+            }
+        }
+        let report = obs.report("roundtrip");
+        let parsed = RunReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(parsed, report);
+        // Percentiles computed from the parsed report match.
+        assert_eq!(
+            parsed.hist("h").and_then(HistEntry::p99),
+            report.hist("h").and_then(HistEntry::p99)
+        );
+    }
+
+    #[test]
+    fn from_json_tolerates_pre_histogram_reports() {
+        // The PR-3 report shape had no "hists" key.
+        let legacy = r#"{
+  "name": "old",
+  "spans": { "extract": { "nanos": 5, "count": 1 } },
+  "counters": { "c": 2 },
+  "gauges": { "g": 1.5 },
+  "series": { "s": [1.0, 2.0] }
+}"#;
+        let parsed = RunReport::from_json(legacy).expect("legacy parses");
+        assert!(parsed.hists.is_empty());
+        assert_eq!(parsed.counter("c"), Some(2));
+        // Malformed sections are typed errors, not panics.
+        for bad in [
+            r#"{"spans": {}}"#,
+            r#"{"name": "x", "counters": {"c": -1}}"#,
+            r#"{"name": "x", "spans": {"s": {"nanos": 1}}}"#,
+            r#"{"name": "x", "series": {"s": 5}}"#,
+            r#"{"name": "x", "hists": {"h": {"count": 1}}}"#,
+        ] {
+            assert!(RunReport::from_json(bad).is_err(), "{bad} must not parse");
+        }
+    }
+
+    #[test]
+    fn empty_report_is_valid_json() {
+        let report = Recorder::enabled().report("empty");
+        let json = Json::parse(&report.to_json()).expect("parses");
+        assert_eq!(json.get("counters"), Some(&Json::Object(Vec::new())));
+        assert_eq!(json.get("hists"), Some(&Json::Object(Vec::new())));
+        assert_eq!(
+            RunReport::from_json(&report.to_json()).expect("round-trips"),
+            report
+        );
+    }
+}

@@ -179,15 +179,108 @@ where
     map_chunks_counted(threads, items, chunks, crate::obs::Recorder::noop(), "par", f)
 }
 
+/// What one worker measured about itself during a parallel region.
+#[derive(Debug, Default)]
+struct WorkerStats {
+    items: u64,
+    chunks: u64,
+    busy_nanos: u64,
+    chunk_hist: crate::obs::Histogram,
+}
+
+/// Records the per-worker timeline telemetry of one parallel region.
+///
+/// `stats[w]` is worker `w`'s measurement; `wall` is the region's
+/// wall-clock duration; `workers` is how many workers were spawned
+/// (idle workers still count — their idleness *is* the signal).
+fn record_region(
+    obs: &crate::obs::Recorder,
+    scope: &str,
+    wall: u64,
+    workers: usize,
+    stats: &[WorkerStats],
+) {
+    let mut chunk_hist = crate::obs::Histogram::new();
+    for (w, s) in stats.iter().enumerate() {
+        if s.items > 0 {
+            obs.add(&format!("{scope}.worker{w}.items"), s.items);
+        }
+        obs.add(&format!("{scope}.worker{w}.busy_nanos"), s.busy_nanos);
+        obs.add(
+            &format!("{scope}.worker{w}.wait_nanos"),
+            wall.saturating_sub(s.busy_nanos),
+        );
+        obs.add(&format!("{scope}.worker{w}.chunks"), s.chunks);
+        obs.push(&format!("{scope}.worker{w}.timeline"), s.busy_nanos as f64);
+        chunk_hist.merge(&s.chunk_hist);
+    }
+    obs.merge_hist(&format!("{scope}.chunk_nanos"), &chunk_hist);
+    obs.add(&format!("{scope}.wall_nanos"), wall);
+    obs.add(
+        &format!("{scope}.slot_nanos"),
+        wall.saturating_mul(workers as u64),
+    );
+    update_balance_gauges(obs, scope);
+}
+
+/// Recomputes the `<scope>.utilization` / `<scope>.imbalance` gauges
+/// from the cumulative per-worker counters, so repeated regions under
+/// one scope (e.g. one PPSFP call per 64-pattern block) aggregate into
+/// one run-level figure.
+fn update_balance_gauges(obs: &crate::obs::Recorder, scope: &str) {
+    let busy: Vec<u64> = obs
+        .counters_with_prefix(&format!("{scope}.worker"))
+        .into_iter()
+        .filter(|(n, _)| n.ends_with(".busy_nanos"))
+        .map(|(_, v)| v)
+        .collect();
+    let total_busy: u64 = busy.iter().sum();
+    if let Some(slot) = obs
+        .counter_value(&format!("{scope}.slot_nanos"))
+        .filter(|&s| s > 0)
+    {
+        obs.gauge(
+            &format!("{scope}.utilization"),
+            total_busy as f64 / slot as f64,
+        );
+    }
+    if !busy.is_empty() && total_busy > 0 {
+        let mean = total_busy as f64 / busy.len() as f64;
+        let max = busy.iter().max().copied().unwrap_or(0) as f64;
+        obs.gauge(&format!("{scope}.imbalance"), max / mean);
+    }
+}
+
+fn elapsed_nanos(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// [`map_chunks`] with per-worker observability.
 ///
 /// Identical result semantics to [`map_chunks`] — chunk decomposition
 /// and result order never depend on the worker count — but when `obs`
-/// is enabled each worker's processed item total is recorded as the
-/// counter `<scope>.worker<i>.items`. Which worker wins which chunk is
-/// a scheduling race, so the per-worker split may vary between runs;
-/// the sum across workers always equals `items.len()`, and the mapped
-/// *results* stay bit-identical regardless.
+/// is enabled the region's scheduling becomes diagnosable from the
+/// trace. Per worker `<i>` under the given `scope`:
+///
+/// * counters `<scope>.worker<i>.items` (processed item total, omitted
+///   when zero), `.busy_nanos` (time inside `f`), `.wait_nanos`
+///   (region wall-clock minus busy — queue wait plus idle tail), and
+///   `.chunks`;
+/// * series `<scope>.worker<i>.timeline` — one busy-nanos point per
+///   region, the worker's utilization timeline across repeated calls;
+///
+/// and per region: counters `<scope>.wall_nanos` / `<scope>.slot_nanos`
+/// (wall × workers), the histogram `<scope>.chunk_nanos` of individual
+/// chunk durations (p50/p99/max expose stragglers), and the derived
+/// gauges `<scope>.utilization` (Σ busy / slot, 1.0 = no idle time)
+/// and `<scope>.imbalance` (max worker busy / mean worker busy, 1.0 =
+/// perfectly balanced) recomputed from the cumulative counters.
+///
+/// Which worker wins which chunk is a scheduling race, so the
+/// per-worker split and all timing telemetry may vary between runs;
+/// the `.items` sum across workers always equals `items.len()`, and
+/// the mapped *results* stay bit-identical regardless. With a disabled
+/// recorder no clock is ever read.
 pub fn map_chunks_counted<T, R, F>(
     threads: usize,
     items: &[T],
@@ -201,45 +294,83 @@ where
     R: Send,
     F: Fn(usize, &[T]) -> R + Sync,
 {
+    use std::time::Instant;
+
     let bounds = chunk_bounds(items.len(), chunks);
     let n = bounds.len();
+    let recording = obs.is_enabled();
     if threads <= 1 || n <= 1 {
+        let region_start = recording.then(Instant::now);
+        let mut stats = WorkerStats::default();
         let out = bounds
             .iter()
             .enumerate()
-            .map(|(i, &(lo, hi))| f(i, &items[lo..hi]))
+            .map(|(i, &(lo, hi))| {
+                let chunk_start = recording.then(Instant::now);
+                let r = f(i, &items[lo..hi]);
+                if let Some(start) = chunk_start {
+                    let nanos = elapsed_nanos(start);
+                    stats.busy_nanos = stats.busy_nanos.saturating_add(nanos);
+                    stats.chunks += 1;
+                    stats.items += (hi - lo) as u64;
+                    stats.chunk_hist.observe(nanos as f64);
+                }
+                r
+            })
             .collect();
-        if obs.is_enabled() && !items.is_empty() {
-            obs.add(&format!("{scope}.worker0.items"), items.len() as u64);
+        if let Some(start) = region_start {
+            if n > 0 {
+                record_region(obs, scope, elapsed_nanos(start), 1, &[stats]);
+            }
         }
         return out;
     }
+    let workers = threads.min(n);
+    let region_start = recording.then(Instant::now);
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let stats_slots: Vec<Mutex<WorkerStats>> =
+        (0..workers).map(|_| Mutex::new(WorkerStats::default())).collect();
     std::thread::scope(|thread_scope| {
-        for w in 0..threads.min(n) {
+        for w in 0..workers {
             let next = &next;
             let slots = &slots;
             let bounds = &bounds;
             let f = &f;
+            let stats_slots = &stats_slots;
             thread_scope.spawn(move || {
-                let mut processed = 0u64;
+                let mut stats = WorkerStats::default();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
                     let (lo, hi) = bounds[i];
-                    processed += (hi - lo) as u64;
+                    let chunk_start = recording.then(Instant::now);
                     let r = f(i, &items[lo..hi]);
+                    if let Some(start) = chunk_start {
+                        let nanos = elapsed_nanos(start);
+                        stats.busy_nanos = stats.busy_nanos.saturating_add(nanos);
+                        stats.chunks += 1;
+                        stats.chunk_hist.observe(nanos as f64);
+                    }
+                    stats.items += (hi - lo) as u64;
                     *lock_or_recover(&slots[i]) = Some(r);
                 }
-                if obs.is_enabled() && processed > 0 {
-                    obs.add(&format!("{scope}.worker{w}.items"), processed);
+                if recording {
+                    *lock_or_recover(&stats_slots[w]) = stats;
                 }
             });
         }
     });
+    if let Some(start) = region_start {
+        let wall = elapsed_nanos(start);
+        let stats: Vec<WorkerStats> = stats_slots
+            .into_iter()
+            .map(|slot| std::mem::take(&mut *lock_or_recover(&slot)))
+            .collect();
+        record_region(obs, scope, wall, workers, &stats);
+    }
     slots
         .into_iter()
         .map(|slot| {
@@ -333,7 +464,7 @@ mod tests {
         let total: u64 = report
             .counters
             .iter()
-            .filter(|(n, _)| n.starts_with("t.worker"))
+            .filter(|(n, _)| n.starts_with("t.worker") && n.ends_with(".items"))
             .map(|&(_, v)| v)
             .sum();
         assert_eq!(total, 500, "per-worker tallies must cover every item");
@@ -342,6 +473,61 @@ mod tests {
         let serial_obs = Recorder::enabled();
         let _ = map_chunks_counted(1, &items, 8, &serial_obs, "s", |_, c| c.len());
         assert_eq!(serial_obs.report("x").counter("s.worker0.items"), Some(500));
+    }
+
+    #[test]
+    fn counted_map_records_worker_timelines() {
+        use crate::obs::Recorder;
+
+        let items: Vec<u32> = (0..400).collect();
+        let obs = Recorder::enabled();
+        // Two regions under one scope, as the PPSFP per-block loop does.
+        for _ in 0..2 {
+            let _ = map_chunks_counted(4, &items, 8, &obs, "t", |_, c| {
+                c.iter().map(|&x| u64::from(x) * 3).sum::<u64>()
+            });
+        }
+        let report = obs.report("par");
+        // Chunk accounting: 8 chunks per region, every chunk timed.
+        let chunks: u64 = report
+            .counters
+            .iter()
+            .filter(|(n, _)| n.starts_with("t.worker") && n.ends_with(".chunks"))
+            .map(|&(_, v)| v)
+            .sum();
+        assert_eq!(chunks, 16);
+        let hist = report.hist("t.chunk_nanos").expect("chunk duration hist");
+        assert_eq!(hist.count, 16);
+        assert!(hist.p50().is_some());
+        // Region accounting: wall and slot totals, derived gauges.
+        let wall = report.counter("t.wall_nanos").expect("wall counter");
+        assert_eq!(report.counter("t.slot_nanos"), Some(wall * 4));
+        let utilization = report.gauge("t.utilization").expect("utilization");
+        assert!(utilization > 0.0 && utilization <= 1.0, "{utilization}");
+        let imbalance = report.gauge("t.imbalance").expect("imbalance");
+        assert!(imbalance >= 1.0, "{imbalance}");
+        // Every spawned worker has a timeline point per region, busy or
+        // idle — idleness is the signal the gauges summarise.
+        for w in 0..4 {
+            let timeline = report
+                .series(&format!("t.worker{w}.timeline"))
+                .unwrap_or_else(|| panic!("worker{w} timeline"));
+            assert_eq!(timeline.len(), 2);
+            assert!(report
+                .counter(&format!("t.worker{w}.wait_nanos"))
+                .is_some());
+        }
+        // The serial path reports a single fully-utilised worker.
+        let serial = Recorder::enabled();
+        let _ = map_chunks_counted(1, &items, 8, &serial, "s", |_, c| c.len());
+        let report = serial.report("serial");
+        assert_eq!(report.counter("s.slot_nanos"), report.counter("s.wall_nanos"));
+        assert_eq!(report.hist("s.chunk_nanos").map(|h| h.count), Some(8));
+        assert_eq!(report.gauge("s.imbalance"), Some(1.0));
+        // A disabled recorder gets no telemetry at all.
+        let noop = Recorder::noop();
+        let _ = map_chunks_counted(4, &items, 8, noop, "n", |_, c| c.len());
+        assert!(noop.report("n").counters.is_empty());
     }
 
     #[test]

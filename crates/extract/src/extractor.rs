@@ -118,8 +118,10 @@ pub fn extract_with_threads(
 /// scope: a span over the whole pass (plus sub-spans for the bridge,
 /// open, and cut/device sweeps), counters for defect classes / candidate
 /// bridge pairs / extracted faults, gauges for the bridge / open /
-/// total critical-area weight, and per-worker item tallies from the
-/// parallel bridge integration. Tracing never changes the fault set.
+/// total critical-area weight, the bridge pair-weight histogram
+/// (`extract.pair_weight` — deterministic percentiles at any thread
+/// count), and per-worker timeline telemetry from the parallel bridge
+/// integration. Tracing never changes the fault set.
 ///
 /// # Errors
 ///
@@ -349,6 +351,9 @@ fn extract_bridges(
                 .collect::<Vec<_>>()
         });
         for (kind, w, label) in found.into_iter().flatten() {
+            // Chunk order is deterministic, so the weight distribution's
+            // percentiles are thread-count invariant.
+            obs.observe("extract.pair_weight", w);
             add(kind, w, label);
         }
     }

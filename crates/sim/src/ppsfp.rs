@@ -230,9 +230,12 @@ pub fn simulate_with(
 /// scope: a span over the whole simulation, counters for faults /
 /// vectors / blocks / detections, the live-fault count entering each
 /// 64-pattern block (`sim.gate.live_per_block`), the per-block detection
-/// histogram (`sim.gate.detects_per_block`), and per-worker item tallies
-/// from the parallel layer. Tracing never perturbs the result: the
-/// record is bit-identical with tracing on or off, at any thread count.
+/// series and histogram (`sim.gate.detects_per_block` — the histogram's
+/// percentiles are identical at every thread count), the per-block
+/// timing histogram (`sim.gate.block_nanos`), and per-worker timeline
+/// telemetry from the parallel layer. Tracing never perturbs the
+/// result: the record is bit-identical with tracing on or off, at any
+/// thread count.
 ///
 /// # Errors
 ///
@@ -256,6 +259,7 @@ pub fn simulate_obs(
         if live.is_empty() {
             break;
         }
+        let block_start = obs.is_enabled().then(std::time::Instant::now);
         obs.incr("sim.gate.blocks");
         obs.push("sim.gate.live_per_block", live.len() as f64);
         let detections = setup.block_detections(block, &live, workers, obs, "sim.gate");
@@ -270,10 +274,17 @@ pub fn simulate_obs(
             first_detect[fi] = Some(block_idx * 64 + first_bit);
         }
         live.retain(|&fi| first_detect[fi].is_none());
-        obs.push(
-            "sim.gate.detects_per_block",
-            (live_before - live.len()) as f64,
-        );
+        let detects = (live_before - live.len()) as f64;
+        obs.push("sim.gate.detects_per_block", detects);
+        // The histogram twin of the series: deterministic percentiles
+        // at any thread count (bucket adds commute).
+        obs.observe("sim.gate.detects_per_block", detects);
+        if let Some(start) = block_start {
+            obs.observe(
+                "sim.gate.block_nanos",
+                start.elapsed().as_nanos() as f64,
+            );
+        }
     }
 
     obs.add(
@@ -338,9 +349,11 @@ pub fn simulate_counted_with(
 /// Traced under the `sim.gate.counted` scope: fault / vector / block /
 /// detected counters, the live-fault count entering each block
 /// (`sim.gate.counted.live_per_block`), the detection credits assigned per
-/// block (`sim.gate.counted.detects_per_block` — note this counts
-/// *detections*, which can exceed the number of faults retired), and
-/// per-worker item tallies. Tracing never perturbs the profile.
+/// block (`sim.gate.counted.detects_per_block`, as both a series and a
+/// histogram — note this counts *detections*, which can exceed the
+/// number of faults retired), the per-block timing histogram
+/// (`sim.gate.counted.block_nanos`), and per-worker timeline telemetry.
+/// Tracing never perturbs the profile.
 ///
 /// # Errors
 ///
@@ -368,6 +381,7 @@ pub fn simulate_counted_obs(
         if live.is_empty() {
             break;
         }
+        let block_start = obs.is_enabled().then(std::time::Instant::now);
         obs.incr("sim.gate.counted.blocks");
         obs.push("sim.gate.counted.live_per_block", live.len() as f64);
         let found = setup.block_detections(block, &live, workers, obs, "sim.gate.counted");
@@ -390,6 +404,13 @@ pub fn simulate_counted_obs(
         }
         live.retain(|&fi| detections[fi].len() < n_cap);
         obs.push("sim.gate.counted.detects_per_block", credited as f64);
+        obs.observe("sim.gate.counted.detects_per_block", credited as f64);
+        if let Some(start) = block_start {
+            obs.observe(
+                "sim.gate.counted.block_nanos",
+                start.elapsed().as_nanos() as f64,
+            );
+        }
     }
 
     obs.add(

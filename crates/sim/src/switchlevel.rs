@@ -420,8 +420,11 @@ impl SwitchSimulator {
     ///
     /// When the recorder is enabled, the run is traced under the
     /// `sim.switch` scope: a span over the whole detection pass, counters
-    /// for faults / vectors / detections, and per-worker item tallies
-    /// from the parallel layer. Tracing never changes the record.
+    /// for faults / vectors / detections, the first-detection-index
+    /// histogram `sim.switch.first_detect_index` (how early faults fall
+    /// — deterministic percentiles at any thread count), and per-worker
+    /// timeline telemetry from the parallel layer. Tracing never
+    /// changes the record.
     ///
     /// # Errors
     ///
@@ -457,6 +460,11 @@ impl SwitchSimulator {
             "sim.switch.detected",
             first_detect.iter().filter(|d| d.is_some()).count() as u64,
         );
+        if obs.is_enabled() {
+            for idx in first_detect.iter().flatten() {
+                obs.observe("sim.switch.first_detect_index", *idx as f64);
+            }
+        }
         Ok(DetectionRecord::new(first_detect, vectors.len()))
     }
 

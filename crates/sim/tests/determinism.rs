@@ -249,3 +249,69 @@ fn tracing_does_not_perturb_either_simulator() {
 fn switch_level_is_thread_count_invariant_on_c432_class() {
     assert_switch_invariant(&generators::c432_class(), 24, 29);
 }
+
+#[test]
+fn histogram_percentiles_are_thread_count_invariant() {
+    // Histograms over *deterministic* values (per-block detection
+    // credits, first-detect vector indices) merge commutatively, so
+    // their buckets — and hence every percentile — must be identical
+    // for 1, 2, and 4 workers even though each worker observes a
+    // scheduling-dependent subset. Timing histograms
+    // (`*.block_nanos`, `*.chunk_nanos`) carry no such guarantee and
+    // are deliberately not compared here.
+    let netlist = generators::c432_class();
+    let faults = stuck_at::enumerate(&netlist).collapse();
+    let vectors = random_vectors(netlist.inputs().len(), 256, 33);
+    let mut gate_ref = None;
+    for t in [1usize, 2, 4] {
+        let obs = Recorder::enabled();
+        ppsfp::simulate_obs(&netlist, faults.faults(), &vectors, threads(t), &obs)
+            .expect("traced PPSFP");
+        let report = obs.report("t");
+        let hist = report
+            .hist("sim.gate.detects_per_block")
+            .expect("detects histogram")
+            .clone();
+        assert!(hist.count > 0, "histogram must see every block");
+        assert_eq!(hist.invalid, 0);
+        match &gate_ref {
+            None => gate_ref = Some(hist),
+            Some(r) => {
+                assert_eq!(hist.buckets, r.buckets, "buckets with {t} workers");
+                assert_eq!(hist.count, r.count, "count with {t} workers");
+                assert_eq!(hist.min, r.min, "min with {t} workers");
+                assert_eq!(hist.max, r.max, "max with {t} workers");
+                assert_eq!(hist.p50(), r.p50(), "p50 with {t} workers");
+                assert_eq!(hist.p90(), r.p90(), "p90 with {t} workers");
+                assert_eq!(hist.p99(), r.p99(), "p99 with {t} workers");
+            }
+        }
+    }
+
+    let sw = switch::expand(&netlist).expect("switch expansion");
+    let sim = SwitchSimulator::new(sw, SwitchConfig::default());
+    let sw_faults = switch_faults_sample(&sim);
+    let sw_vectors = random_vectors(netlist.inputs().len(), 24, 29);
+    let mut switch_ref = None;
+    for t in [1usize, 2, 4] {
+        let obs = Recorder::enabled();
+        sim.detect_obs(
+            &sw_faults,
+            &sw_vectors,
+            DetectionMode::Voltage,
+            threads(t),
+            &obs,
+        )
+        .expect("traced switch-level");
+        let report = obs.report("t");
+        let hist = report
+            .hist("sim.switch.first_detect_index")
+            .expect("first-detect histogram")
+            .clone();
+        assert!(hist.count > 0, "at least one fault must be detected");
+        match &switch_ref {
+            None => switch_ref = Some(hist),
+            Some(r) => assert_eq!(&hist, r, "first-detect histogram with {t} workers"),
+        }
+    }
+}

@@ -46,8 +46,21 @@ cargo run --release -q -p dlp-bench --bin validate_trace -- \
 
 # DL-vs-n gate: the n-detection bench must complete and regenerate
 # BENCH_ndetect.json; it asserts internally that the measured DL(n) is
-# monotone non-increasing on its prefix schedule.
+# monotone non-increasing on its prefix schedule. The regenerated file
+# must conform to the versioned BenchReport schema.
 echo "== ndetect: DL vs n table (writes BENCH_ndetect.json)"
 cargo run --release -q -p dlp-bench --bin ndetect_dl > /dev/null
+cargo run --release -q -p dlp-bench --bin validate_trace -- \
+    --bench BENCH_ndetect.json
+
+# Performance regression gate (DESIGN.md §11): first prove the gate can
+# detect at all (a synthetic 2x slowdown must fail, an unchanged
+# baseline must pass), then compare this machine's calibration-normalized
+# hot-path costs against the committed baseline. Drift in [1.5x, 2x) is
+# warn-only; >= 2x fails.
+echo "== perf: regression-gate self-test, then compare against baselines/"
+cargo run --release -q -p dlp-bench --bin perf_regress -- --self-test
+cargo run --release -q -p dlp-bench --bin perf_regress -- \
+    --baseline baselines/perf_baseline.json
 
 echo "All checks passed."
