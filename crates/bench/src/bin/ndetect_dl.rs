@@ -20,10 +20,10 @@ use dlp_bench::pipeline::{self, PAPER_YIELD};
 use dlp_core::ndetect::fit_ndetect_growth;
 use dlp_core::obs::BenchReport;
 use dlp_core::par::ThreadCount;
-use dlp_core::{PipelineError, Ppm, Stage};
+use dlp_core::{PipelineError, Ppm, RunBudget, Stage};
 use dlp_extract::defects::DefectStatistics;
 use dlp_extract::faults::OpenLevelModel;
-use dlp_ndetect::{build_schedule, NDetectConfig};
+use dlp_ndetect::{build_schedule_resumable, NDetectConfig};
 use dlp_sim::switchlevel::{DetectionMode, SwitchConfig, SwitchSimulator};
 use dlp_sim::stuck_at;
 use dlp_circuit::switch;
@@ -42,10 +42,20 @@ fn run() -> Result<(), PipelineError> {
     let sa = stuck_at::enumerate(netlist).collapse();
 
     // Build the incremental n-detect schedule for the largest target;
-    // every smaller target's test set is one of its prefixes.
+    // every smaller target's test set is one of its prefixes. The build
+    // honours the DLP_BUDGET_* knobs: a tripped budget is a stage-tagged
+    // error carrying a resume checkpoint.
+    let budget = RunBudget::from_env()?;
     let schedule = {
         let _span = obs.span("ndetect.build");
-        build_schedule(netlist, sa.faults(), MAX_N, &NDetectConfig::default())?
+        build_schedule_resumable(
+            netlist,
+            sa.faults(),
+            MAX_N,
+            &NDetectConfig::default(),
+            &budget,
+            None,
+        )?
     };
     obs.add("ndetect.vectors", schedule.vectors.len() as u64);
     obs.add("ndetect.pool_selected", schedule.pool_selected as u64);

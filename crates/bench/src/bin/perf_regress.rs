@@ -245,7 +245,39 @@ fn self_test() -> Result<bool, PipelineError> {
         if detected { "detected" } else { "NOT DETECTED" },
         slowed.flagged().len()
     );
-    Ok(clean && detected)
+
+    // (c)/(d) Coverage drift, both directions: a timed workload absent
+    // from either side must be reported by name and stay non-fatal —
+    // silent coverage loss would hide regressions, a hard failure would
+    // block every baseline predating a new workload.
+    let dropped = current
+        .entries
+        .iter()
+        .find(|e| e.unit == TIMED_UNIT && e.label != CALIBRATION_LABEL)
+        .map(|e| e.label.clone())
+        .ok_or_else(|| pipeline_err("self-test needs at least one timed workload"))?;
+    let mut pruned = current.clone();
+    pruned.entries.retain(|e| e.label != dropped);
+    let stale_baseline = regress::compare(&pruned, &current)
+        .map_err(|e| pipeline_err(&e.to_string()))?;
+    let names_new = stale_baseline.passed()
+        && stale_baseline.missing_in_baseline == [dropped.clone()]
+        && stale_baseline.missing_in_current.is_empty();
+    println!(
+        "self-test: workload absent from the baseline {} ({dropped:?} flagged, non-fatal)",
+        if names_new { "is named" } else { "NOT NAMED" },
+    );
+    let shrunk_current = regress::compare(&current, &pruned)
+        .map_err(|e| pipeline_err(&e.to_string()))?;
+    let names_lost = shrunk_current.passed()
+        && shrunk_current.missing_in_current == [dropped.clone()]
+        && shrunk_current.missing_in_baseline.is_empty();
+    println!(
+        "self-test: workload no longer measured {} ({dropped:?} flagged, non-fatal)",
+        if names_lost { "is named" } else { "NOT NAMED" },
+    );
+
+    Ok(clean && detected && names_new && names_lost)
 }
 
 fn pipeline_err(msg: &str) -> PipelineError {

@@ -7,7 +7,7 @@ use dlp_circuit::{generators, switch, Netlist};
 use dlp_core::obs::{Recorder, RunReport, TraceSetting};
 use dlp_core::par::ThreadCount;
 use dlp_core::weighted::FaultWeights;
-use dlp_core::{Diagnostics, PipelineError, Stage};
+use dlp_core::{Diagnostics, PipelineError, RunBudget, Stage};
 use dlp_extract::defects::DefectStatistics;
 use dlp_extract::extractor;
 use dlp_extract::faults::{FaultSet, OpenLevelModel};
@@ -167,10 +167,16 @@ pub struct SimulationRun {
 
 /// Runs ATPG and both simulators for an extraction.
 ///
+/// The gate-level pass honours the `DLP_BUDGET_MS` / `DLP_BUDGET_MB` /
+/// `DLP_CANCEL_AFTER` environment knobs (see `dlp_core::budget`): a
+/// tripped budget surfaces as a stage-tagged interruption carrying a
+/// resume checkpoint rather than a partial result.
+///
 /// # Errors
 ///
 /// A stage-tagged [`PipelineError`] when the netlist cannot be expanded
-/// to switch level or the fault list cannot be lowered onto it.
+/// to switch level, the fault list cannot be lowered onto it, a
+/// `DLP_BUDGET_*` variable is set to garbage, or the run budget trips.
 pub fn simulate(extraction: &Extraction, seed: u64) -> Result<SimulationRun, PipelineError> {
     simulate_obs(extraction, seed, Recorder::noop())
 }
@@ -223,7 +229,16 @@ pub fn simulate_obs(
     obs.add("atpg.redundant", redundant.len() as u64);
 
     let threads = ThreadCount::from_env().map_err(dlp_core::ModelError::from)?;
-    let record_t = ppsfp::simulate_obs(netlist, &testable, &atpg.vectors, threads, obs)?;
+    let budget = RunBudget::from_env()?;
+    let record_t = ppsfp::simulate_resumable(
+        netlist,
+        &testable,
+        &atpg.vectors,
+        threads,
+        obs,
+        &budget,
+        None,
+    )?;
 
     let sw = switch::expand(netlist)
         .map_err(|e| PipelineError::from(e).context("expanding to switch level"))?;

@@ -42,6 +42,24 @@ pub enum ModelError {
     },
     /// The `DLP_THREADS` override is not a positive thread count.
     BadThreadCount(crate::par::ParError),
+    /// The run budget tripped before any work could start (e.g. the
+    /// memory estimate already exceeds the limit).
+    Budget(crate::budget::BudgetExceeded),
+    /// The run budget tripped mid-simulation; `checkpoint` captures the
+    /// completed prefix, and resuming from it reproduces the
+    /// uninterrupted run bit-identically.
+    Interrupted {
+        /// What tripped, with shard-level progress attached.
+        budget: crate::budget::BudgetExceeded,
+        /// Resume state for [`crate::montecarlo::simulate_fallout_resumable`].
+        checkpoint: Box<crate::montecarlo::McCheckpoint>,
+    },
+    /// A supplied resume checkpoint is inconsistent with this run's
+    /// inputs (more progress recorded than the run has work).
+    BadCheckpoint {
+        /// What is inconsistent.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -76,11 +94,26 @@ impl fmt::Display for ModelError {
                 )
             }
             ModelError::BadThreadCount(e) => e.fmt(f),
+            ModelError::Budget(b) => b.fmt(f),
+            ModelError::Interrupted { budget, .. } => {
+                write!(f, "{budget}; a resume checkpoint was captured")
+            }
+            ModelError::BadCheckpoint { what } => {
+                write!(f, "resume checkpoint is unusable: {what}")
+            }
         }
     }
 }
 
-impl Error for ModelError {}
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Budget(b) => Some(b),
+            ModelError::Interrupted { budget, .. } => Some(budget),
+            _ => None,
+        }
+    }
+}
 
 impl From<crate::par::ParError> for ModelError {
     fn from(e: crate::par::ParError) -> Self {

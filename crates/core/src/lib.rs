@@ -23,7 +23,11 @@
 //!   simulation and Monte-Carlo hot paths (`DLP_THREADS` override,
 //!   deterministic chunked work distribution),
 //! * [`obs`] — the observability layer: stage spans, counters, gauges,
-//!   and the JSON `RunReport` behind the `DLP_TRACE` contract.
+//!   and the JSON `RunReport` behind the `DLP_TRACE` contract,
+//! * [`budget`] — cooperative run budgets (wall-clock deadline, memory
+//!   estimate, explicit [`CancelToken`]) checked at chunk boundaries,
+//! * [`ckpt`] — versioned, checksummed checkpoint envelopes and the
+//!   atomic write-temp-then-rename helper every artifact writer uses.
 //!
 //! All quantities are dimensionless: yields, coverages and defect levels in
 //! `[0, 1]` (use [`Ppm`] for parts-per-million display), susceptibilities
@@ -47,6 +51,8 @@
 #![warn(missing_docs)]
 
 pub mod agrawal;
+pub mod budget;
+pub mod ckpt;
 pub mod coverage;
 mod error;
 pub mod fit;
@@ -62,6 +68,8 @@ pub mod weighted;
 pub mod williams_brown;
 pub mod yield_model;
 
+pub use budget::{BudgetExceeded, BudgetReason, CancelToken, RunBudget};
+pub use ckpt::CkptError;
 pub use error::ModelError;
 pub use pipeline::{Diagnostic, Diagnostics, PipelineError, Stage};
 pub use ppm::Ppm;

@@ -8,7 +8,9 @@
 //! counted. The estimate must converge to eq. 3 — a strong end-to-end
 //! validation of the model implementation that needs no external data.
 
-use crate::obs::Recorder;
+use crate::budget::{BudgetExceeded, RunBudget};
+use crate::ckpt::{self, CkptError, KeyHasher};
+use crate::obs::{Json, Recorder};
 use crate::par::{self, ThreadCount};
 use crate::weighted::FaultWeights;
 use crate::ModelError;
@@ -64,6 +66,145 @@ impl FalloutEstimate {
         } else {
             self.escapes as f64 / self.shipped as f64
         }
+    }
+}
+
+/// Resume state of an interrupted Monte-Carlo fallout run.
+///
+/// One entry per completed RNG shard, in shard order: because shard `s`
+/// always draws from the split stream `s`, "RNG stream position" is
+/// simply the number of completed shards — no generator state needs to
+/// be serialised. Produced by [`simulate_fallout_resumable`] inside
+/// [`ModelError::Interrupted`]; feed it back via the `resume` parameter
+/// to continue bit-identically.
+#[derive(Clone, PartialEq, Eq)]
+pub struct McCheckpoint {
+    /// `(good, shipped, escapes)` for each completed leading shard.
+    pub tallies: Vec<(usize, usize, usize)>,
+}
+
+impl std::fmt::Debug for McCheckpoint {
+    // One tally per completed shard — thousands for large die counts —
+    // so a derived Debug would flood any error message that embeds the
+    // checkpoint; only the aggregate is shown.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (good, shipped, escapes) = self.tallies.iter().fold(
+            (0usize, 0usize, 0usize),
+            |(g, s, e), &(tg, ts, te)| (g + tg, s + ts, e + te),
+        );
+        f.debug_struct("McCheckpoint")
+            .field("completed_shards", &self.tallies.len())
+            .field("good", &good)
+            .field("shipped", &shipped)
+            .field("escapes", &escapes)
+            .finish()
+    }
+}
+
+/// The envelope `kind` of Monte-Carlo checkpoints.
+pub const MC_CKPT_KIND: &str = "mc.fallout";
+
+impl McCheckpoint {
+    /// The checkpoint key binding this run's inputs: per-fault strike
+    /// probabilities, detection mask, die count, and seed.
+    pub fn key(weights: &FaultWeights, detected: &[bool], config: &MonteCarloConfig) -> u64 {
+        let mut h = KeyHasher::new();
+        h.write_usize(weights.len());
+        for j in 0..weights.len() {
+            h.write_f64(weights.probability(j));
+        }
+        h.write_usize(detected.len());
+        for &d in detected {
+            h.write_bool(d);
+        }
+        h.write_usize(config.dies);
+        h.write_u64(config.seed);
+        h.finish()
+    }
+
+    /// The checkpoint payload: `{"tallies": [[good, shipped, escapes], ...]}`.
+    pub fn to_payload(&self) -> Json {
+        let tallies = self
+            .tallies
+            .iter()
+            .map(|&(g, s, e)| {
+                Json::Array(vec![
+                    Json::Number(g as f64),
+                    Json::Number(s as f64),
+                    Json::Number(e as f64),
+                ])
+            })
+            .collect();
+        Json::Object(vec![("tallies".to_string(), Json::Array(tallies))])
+    }
+
+    /// Decodes a payload produced by [`McCheckpoint::to_payload`].
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Malformed`] if the payload does not have the
+    /// expected shape (non-array tallies, non-integer counts).
+    pub fn from_payload(payload: &Json) -> Result<McCheckpoint, CkptError> {
+        let tallies = payload
+            .get("tallies")
+            .and_then(Json::as_array)
+            .ok_or(CkptError::Malformed {
+                what: "missing tallies array",
+            })?;
+        let mut out = Vec::with_capacity(tallies.len());
+        for row in tallies {
+            let row = row.as_array().filter(|r| r.len() == 3).ok_or({
+                CkptError::Malformed {
+                    what: "tally row is not a 3-element array",
+                }
+            })?;
+            let mut counts = [0usize; 3];
+            for (slot, v) in counts.iter_mut().zip(row) {
+                *slot = v
+                    .as_f64()
+                    .filter(|x| *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53))
+                    .map(|x| x as usize)
+                    .ok_or(CkptError::Malformed {
+                        what: "tally count is not a non-negative integer",
+                    })?;
+            }
+            out.push((counts[0], counts[1], counts[2]));
+        }
+        Ok(McCheckpoint { tallies: out })
+    }
+
+    /// Seals and atomically writes this checkpoint for the given inputs.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Io`] if the atomic write fails.
+    pub fn save_to(
+        &self,
+        path: &str,
+        weights: &FaultWeights,
+        detected: &[bool],
+        config: &MonteCarloConfig,
+    ) -> Result<(), CkptError> {
+        let key = McCheckpoint::key(weights, detected, config);
+        ckpt::save(path, MC_CKPT_KIND, key, &self.to_payload())
+    }
+
+    /// Loads and fully verifies a checkpoint written by
+    /// [`McCheckpoint::save_to`] against the given inputs.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CkptError`]: unreadable file, corrupt envelope, wrong
+    /// version/kind/key, checksum mismatch, or malformed payload.
+    pub fn load_from(
+        path: &str,
+        weights: &FaultWeights,
+        detected: &[bool],
+        config: &MonteCarloConfig,
+    ) -> Result<McCheckpoint, CkptError> {
+        let key = McCheckpoint::key(weights, detected, config);
+        let payload = ckpt::load(path, MC_CKPT_KIND, key)?;
+        McCheckpoint::from_payload(&payload)
     }
 }
 
@@ -143,6 +284,37 @@ pub fn simulate_fallout_obs(
     threads: ThreadCount,
     obs: &Recorder,
 ) -> Result<FalloutEstimate, ModelError> {
+    simulate_fallout_resumable(weights, detected, config, threads, obs, &RunBudget::unlimited(), None)
+}
+
+/// [`simulate_fallout_obs`] with cooperative budget checks at shard
+/// boundaries and checkpoint/resume.
+///
+/// With `resume = Some(checkpoint)`, the tallies of the checkpoint's
+/// completed leading shards are replayed (the `mc.shard_escapes`
+/// histogram included) and only the remaining shards are simulated, so
+/// the result — estimate *and* deterministic trace content — is
+/// bit-identical to an uninterrupted run at any thread count.
+///
+/// # Errors
+///
+/// - [`ModelError::BadFitData`] / [`ModelError::BadThreadCount`] as
+///   [`simulate_fallout`];
+/// - [`ModelError::BadCheckpoint`] if `resume` records more shards than
+///   this run has;
+/// - [`ModelError::Budget`] if the up-front memory estimate already
+///   exceeds the budget (nothing was simulated);
+/// - [`ModelError::Interrupted`] if the budget tripped at a shard
+///   boundary — the embedded [`McCheckpoint`] resumes the run.
+pub fn simulate_fallout_resumable(
+    weights: &FaultWeights,
+    detected: &[bool],
+    config: &MonteCarloConfig,
+    threads: ThreadCount,
+    obs: &Recorder,
+    budget: &RunBudget,
+    resume: Option<&McCheckpoint>,
+) -> Result<FalloutEstimate, ModelError> {
     let _span = obs.span("montecarlo");
     if detected.len() != weights.len() {
         return Err(ModelError::BadFitData("detection mask length mismatch"));
@@ -150,61 +322,104 @@ pub fn simulate_fallout_obs(
     if config.dies == 0 {
         return Err(ModelError::BadFitData("zero dies requested"));
     }
+    let shard_count = config.dies.div_ceil(SHARD_DIES);
+    // The stage's dominant allocations: per-fault probabilities and the
+    // shard descriptors (the per-chunk result slots are the same size).
+    let estimated_bytes = (weights.len() * std::mem::size_of::<f64>()
+        + shard_count
+            * (std::mem::size_of::<(u64, usize)>()
+                + std::mem::size_of::<(usize, usize, usize)>())) as u64;
+    if let Err(reason) = budget.check_memory(estimated_bytes) {
+        return Err(ModelError::Budget(BudgetExceeded {
+            reason,
+            completed: 0,
+            total: shard_count as u64,
+        }));
+    }
+    let done = resume.map_or(&[][..], |c| c.tallies.as_slice());
+    if done.len() > shard_count {
+        return Err(ModelError::BadCheckpoint {
+            what: "checkpoint records more shards than this run has",
+        });
+    }
     let probabilities: Vec<f64> = (0..weights.len()).map(|j| weights.probability(j)).collect();
 
     // Shard descriptors: (stream index, dies in shard). The last shard
     // takes the remainder.
-    let shards: Vec<(u64, usize)> = (0..config.dies.div_ceil(SHARD_DIES))
+    let shards: Vec<(u64, usize)> = (0..shard_count)
         .map(|s| (s as u64, SHARD_DIES.min(config.dies - s * SHARD_DIES)))
         .collect();
     obs.add("mc.shards", shards.len() as u64);
     obs.add("mc.dies", config.dies as u64);
     obs.add("mc.faults", weights.len() as u64);
-    let parts = par::map_chunks_counted(threads.get(), &shards, shards.len(), obs, "mc", |_, shard| {
-        let mut good = 0usize;
-        let mut shipped = 0usize;
-        let mut escapes = 0usize;
-        for &(stream, dies) in shard {
-            let mut rng = crate::rng::Xorshift64Star::split(config.seed, stream);
-            for _ in 0..dies {
-                let mut any_fault = false;
-                let mut any_detected = false;
-                for (j, &p) in probabilities.iter().enumerate() {
-                    if rng.next_f64() < p {
-                        any_fault = true;
-                        if detected[j] {
-                            any_detected = true;
-                            // Faster: once scrapped the die's remaining
-                            // faults cannot change the outcome, but we keep
-                            // rolling so the shard's RNG stream stays
-                            // aligned per die count — determinism over
-                            // micro-optimisation here.
+    let simulated = par::map_chunks_budgeted(
+        threads.get(),
+        &shards[done.len()..],
+        shards.len() - done.len(),
+        obs,
+        "mc",
+        budget,
+        |_, shard| {
+            let mut good = 0usize;
+            let mut shipped = 0usize;
+            let mut escapes = 0usize;
+            for &(stream, dies) in shard {
+                let mut rng = crate::rng::Xorshift64Star::split(config.seed, stream);
+                for _ in 0..dies {
+                    let mut any_fault = false;
+                    let mut any_detected = false;
+                    for (j, &p) in probabilities.iter().enumerate() {
+                        if rng.next_f64() < p {
+                            any_fault = true;
+                            if detected[j] {
+                                any_detected = true;
+                                // Faster: once scrapped the die's remaining
+                                // faults cannot change the outcome, but we keep
+                                // rolling so the shard's RNG stream stays
+                                // aligned per die count — determinism over
+                                // micro-optimisation here.
+                            }
+                        }
+                    }
+                    if !any_fault {
+                        good += 1;
+                    }
+                    if !any_detected {
+                        shipped += 1;
+                        if any_fault {
+                            escapes += 1;
                         }
                     }
                 }
-                if !any_fault {
-                    good += 1;
-                }
-                if !any_detected {
-                    shipped += 1;
-                    if any_fault {
-                        escapes += 1;
-                    }
-                }
             }
-        }
-        (good, shipped, escapes)
-    });
+            (good, shipped, escapes)
+        },
+    );
+    let (parts, interrupted) = match simulated {
+        Ok(parts) => (parts, None),
+        Err(par::Interrupted { prefix, budget }) => (prefix, Some(budget)),
+    };
     let mut good = 0usize;
     let mut shipped = 0usize;
     let mut escapes = 0usize;
-    for (g, s, e) in parts {
+    // Replayed checkpoint tallies first, then freshly simulated shards:
+    // together a contiguous leading run in shard order, so the
+    // per-shard escape histogram is deterministic for every thread
+    // count and identical whether or not the run was ever interrupted.
+    for &(g, s, e) in done.iter().chain(&parts) {
         good += g;
         shipped += s;
         escapes += e;
-        // `parts` is in chunk order, so this per-shard escape histogram
-        // is deterministic for every thread count.
         obs.observe("mc.shard_escapes", e as f64);
+    }
+    if let Some(mut budget) = interrupted {
+        budget.completed += done.len() as u64;
+        budget.total = shards.len() as u64;
+        let tallies = done.iter().copied().chain(parts).collect();
+        return Err(ModelError::Interrupted {
+            budget,
+            checkpoint: Box::new(McCheckpoint { tallies }),
+        });
     }
     obs.add("mc.good", good as u64);
     obs.add("mc.shipped", shipped as u64);
@@ -359,6 +574,232 @@ mod tests {
         let w = weights(3, 0.9);
         assert!(simulate_fallout(&w, &[true], &MonteCarloConfig::default()).is_err());
         assert!(simulate_fallout(&w, &[true; 3], &MonteCarloConfig { dies: 0, seed: 1 }).is_err());
+    }
+
+    /// Deterministic trace content of a run: everything except timing.
+    #[allow(clippy::type_complexity)]
+    fn trace_fingerprint(obs: &Recorder) -> (Vec<(String, u64)>, Option<(u64, Vec<(f64, u64)>)>) {
+        let report = obs.report("mc");
+        let counters = report
+            .counters
+            .iter()
+            .filter(|(n, _)| {
+                n.starts_with("mc.")
+                    && !n.contains("worker")
+                    && !n.contains("nanos")
+                    && !n.contains("wall")
+                    && !n.contains("slot")
+            })
+            .cloned()
+            .collect();
+        let hist = report
+            .hist("mc.shard_escapes")
+            .map(|h| (h.count, h.buckets.to_vec()));
+        (counters, hist)
+    }
+
+    #[test]
+    fn interrupt_and_resume_is_bit_identical() {
+        let w = weights(8, 0.7);
+        let d = vec![true, true, false, true, false, false, true, true];
+        let cfg = MonteCarloConfig {
+            dies: 5 * SHARD_DIES + 123, // 6 shards
+            seed: 0xFEED,
+        };
+        let uninterrupted_obs = Recorder::enabled();
+        let reference = simulate_fallout_obs(
+            &w,
+            &d,
+            &cfg,
+            ThreadCount::fixed(1).unwrap(),
+            &uninterrupted_obs,
+        )
+        .unwrap();
+        let reference_trace = trace_fingerprint(&uninterrupted_obs);
+        for kill in [1u64, 2, 4, 5] {
+            for t in [1usize, 2, 4] {
+                let threads = ThreadCount::fixed(t).unwrap();
+                let budget = RunBudget::unlimited().cancel_after_checks(kill);
+                let err = simulate_fallout_resumable(
+                    &w,
+                    &d,
+                    &cfg,
+                    threads,
+                    Recorder::noop(),
+                    &budget,
+                    None,
+                )
+                .expect_err("fuse below shard count must interrupt");
+                let (budget_info, checkpoint) = match err {
+                    ModelError::Interrupted { budget, checkpoint } => (budget, checkpoint),
+                    other => panic!("kill={kill} t={t}: expected Interrupted, got {other:?}"),
+                };
+                assert_eq!(budget_info.completed, kill, "kill={kill} t={t}");
+                assert_eq!(budget_info.total, 6);
+                assert_eq!(checkpoint.tallies.len(), kill as usize);
+                // Round-trip the checkpoint through its sealed envelope.
+                let sealed = crate::ckpt::seal(
+                    MC_CKPT_KIND,
+                    McCheckpoint::key(&w, &d, &cfg),
+                    &checkpoint.to_payload(),
+                );
+                let payload =
+                    crate::ckpt::open(&sealed, MC_CKPT_KIND, McCheckpoint::key(&w, &d, &cfg))
+                        .unwrap();
+                let restored = McCheckpoint::from_payload(&payload).unwrap();
+                assert_eq!(restored, *checkpoint);
+                // Resume at a possibly different thread count.
+                let resume_obs = Recorder::enabled();
+                let resumed = simulate_fallout_resumable(
+                    &w,
+                    &d,
+                    &cfg,
+                    threads,
+                    &resume_obs,
+                    &RunBudget::unlimited(),
+                    Some(&restored),
+                )
+                .unwrap();
+                assert_eq!(resumed, reference, "kill={kill} t={t}");
+                assert_eq!(
+                    trace_fingerprint(&resume_obs),
+                    reference_trace,
+                    "kill={kill} t={t}: deterministic trace content must replay"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn double_interrupt_then_resume_still_matches() {
+        let w = weights(6, 0.8);
+        let d = vec![true, false, true, true, false, true];
+        let cfg = MonteCarloConfig {
+            dies: 4 * SHARD_DIES, // 4 shards
+            seed: 7,
+        };
+        let reference =
+            simulate_fallout_with(&w, &d, &cfg, ThreadCount::fixed(2).unwrap()).unwrap();
+        let threads = ThreadCount::fixed(2).unwrap();
+        let kill = |n: u64, resume: Option<&McCheckpoint>| {
+            simulate_fallout_resumable(
+                &w,
+                &d,
+                &cfg,
+                threads,
+                Recorder::noop(),
+                &RunBudget::unlimited().cancel_after_checks(n),
+                resume,
+            )
+        };
+        let first = match kill(1, None) {
+            Err(ModelError::Interrupted { checkpoint, .. }) => checkpoint,
+            other => panic!("expected first interrupt, got {other:?}"),
+        };
+        let second = match kill(2, Some(&first)) {
+            Err(ModelError::Interrupted { budget, checkpoint }) => {
+                assert_eq!(budget.completed, 3, "1 replayed + 2 fresh shards");
+                checkpoint
+            }
+            other => panic!("expected second interrupt, got {other:?}"),
+        };
+        assert_eq!(second.tallies.len(), 3);
+        assert_eq!(second.tallies[..1], first.tallies[..]);
+        let finished = simulate_fallout_resumable(
+            &w,
+            &d,
+            &cfg,
+            threads,
+            Recorder::noop(),
+            &RunBudget::unlimited(),
+            Some(&second),
+        )
+        .unwrap();
+        assert_eq!(finished, reference);
+    }
+
+    #[test]
+    fn resume_rejects_oversized_and_foreign_checkpoints() {
+        let w = weights(4, 0.9);
+        let d = vec![true; 4];
+        let cfg = MonteCarloConfig {
+            dies: SHARD_DIES, // 1 shard
+            seed: 1,
+        };
+        let oversized = McCheckpoint {
+            tallies: vec![(1, 1, 0); 5],
+        };
+        assert!(matches!(
+            simulate_fallout_resumable(
+                &w,
+                &d,
+                &cfg,
+                ThreadCount::fixed(1).unwrap(),
+                Recorder::noop(),
+                &RunBudget::unlimited(),
+                Some(&oversized),
+            ),
+            Err(ModelError::BadCheckpoint { .. })
+        ));
+        // A checkpoint sealed for different inputs fails on its key.
+        let other_cfg = MonteCarloConfig {
+            dies: SHARD_DIES,
+            seed: 2,
+        };
+        let sealed = crate::ckpt::seal(
+            MC_CKPT_KIND,
+            McCheckpoint::key(&w, &d, &other_cfg),
+            &McCheckpoint { tallies: vec![] }.to_payload(),
+        );
+        assert!(matches!(
+            crate::ckpt::open(&sealed, MC_CKPT_KIND, McCheckpoint::key(&w, &d, &cfg)),
+            Err(crate::ckpt::CkptError::KeyMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn memory_budget_gates_up_front() {
+        let w = weights(4, 0.9);
+        let d = vec![true; 4];
+        let cfg = MonteCarloConfig::default();
+        let err = simulate_fallout_resumable(
+            &w,
+            &d,
+            &cfg,
+            ThreadCount::fixed(1).unwrap(),
+            Recorder::noop(),
+            &RunBudget::unlimited().with_memory_limit(16),
+            None,
+        )
+        .expect_err("a 16-byte budget cannot hold the shard table");
+        match err {
+            ModelError::Budget(b) => {
+                assert_eq!(b.completed, 0);
+                assert!(matches!(b.reason, crate::budget::BudgetReason::Memory { .. }));
+            }
+            other => panic!("expected Budget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mc_checkpoint_payload_rejects_malformed_shapes() {
+        for bad in [
+            "{}",
+            "{\"tallies\":3.0}",
+            "{\"tallies\":[[1.0,2.0]]}",
+            "{\"tallies\":[[1.0,2.0,-3.0]]}",
+            "{\"tallies\":[[1.0,2.0,3.5]]}",
+            "{\"tallies\":[\"x\"]}",
+        ] {
+            let payload = Json::parse(bad).unwrap();
+            assert!(
+                matches!(
+                    McCheckpoint::from_payload(&payload),
+                    Err(CkptError::Malformed { .. })
+                ),
+                "{bad} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -169,10 +169,51 @@ impl BenchReport {
         self.entry(label).map(|e| e.value)
     }
 
-    /// Serialises the report as pretty-printed JSON.
+    /// The report's integrity checksum: 64-bit FNV-1a (as 16 hex
+    /// digits) over a canonical rendering of the name, environment, and
+    /// entries. Stable across write/parse cycles, so a loaded report
+    /// can be verified against the checksum recorded in its file.
+    pub fn checksum(&self) -> String {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| {
+                Json::Object(vec![
+                    ("label".to_string(), Json::String(e.label.clone())),
+                    ("unit".to_string(), Json::String(e.unit.clone())),
+                    ("value".to_string(), Json::Number(e.value)),
+                    (
+                        "samples".to_string(),
+                        Json::Array(e.samples.iter().copied().map(Json::Number).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        let canonical = Json::Object(vec![
+            ("name".to_string(), Json::String(self.name.clone())),
+            (
+                "env".to_string(),
+                Json::Object(vec![
+                    ("threads".to_string(), Json::Number(self.env.threads as f64)),
+                    ("cpus".to_string(), Json::Number(self.env.cpus as f64)),
+                    ("git_rev".to_string(), Json::String(self.env.git_rev.clone())),
+                ]),
+            ),
+            ("entries".to_string(), Json::Array(entries)),
+        ]);
+        format!(
+            "{:016x}",
+            crate::ckpt::fnv64(crate::ckpt::render(&canonical).as_bytes())
+        )
+    }
+
+    /// Serialises the report as pretty-printed JSON, with the
+    /// [`checksum`](Self::checksum) recorded so loaders can detect
+    /// corruption.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"schema_version\": {BENCH_SCHEMA_VERSION},\n"));
+        out.push_str(&format!("  \"checksum\": {},\n", json_string(&self.checksum())));
         out.push_str(&format!("  \"name\": {},\n", json_string(&self.name)));
         out.push_str(&format!(
             "  \"env\": {{ \"threads\": {}, \"cpus\": {}, \"git_rev\": {} }},\n",
@@ -272,16 +313,48 @@ impl BenchReport {
                 samples,
             });
         }
-        Ok(BenchReport { name, env, entries })
+        let report = BenchReport { name, env, entries };
+        // Reports written before the checksum existed (e.g. a committed
+        // baseline) carry no checksum field and stay loadable; when the
+        // field is present it must verify.
+        if let Some(recorded) = doc.get("checksum") {
+            let recorded = recorded
+                .as_str()
+                .ok_or_else(|| schema_err("malformed checksum"))?;
+            if recorded != report.checksum() {
+                return Err(schema_err("bench checksum mismatch"));
+            }
+        }
+        Ok(report)
     }
 
-    /// Writes [`to_json`](Self::to_json) to `path`.
+    /// Writes [`to_json`](Self::to_json) to `path` atomically
+    /// (write-temp-then-rename via [`crate::ckpt::atomic_write`]), so a
+    /// crash mid-write can never leave a half-written report.
     ///
     /// # Errors
     ///
-    /// Any I/O error from creating or writing the file.
+    /// Any I/O error from creating, writing, or renaming the file.
     pub fn write_to(&self, path: &str) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json())
+        crate::ckpt::atomic_write(path, &self.to_json())
+    }
+
+    /// Reads and verifies a report previously written by
+    /// [`write_to`](Self::write_to): the file must exist, be UTF-8,
+    /// parse under the versioned schema, and — when a checksum is
+    /// recorded — hash to it.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ckpt::CkptError::Io`] if the file cannot be read,
+    /// [`crate::ckpt::CkptError::Json`] for parse/schema/checksum
+    /// failures.
+    pub fn load(path: &str) -> Result<BenchReport, crate::ckpt::CkptError> {
+        let text = std::fs::read_to_string(path).map_err(|e| crate::ckpt::CkptError::Io {
+            path: path.to_string(),
+            error: e.to_string(),
+        })?;
+        BenchReport::from_json(&text).map_err(crate::ckpt::CkptError::from)
     }
 }
 
@@ -295,6 +368,60 @@ mod tests {
         assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
         assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
         assert!(median(&[]).is_nan());
+    }
+
+    #[test]
+    fn checksum_detects_entry_tampering_but_tolerates_absence() {
+        let mut report = BenchReport::new("x");
+        report.record("a", "ns/iter", 120.0);
+        let text = report.to_json();
+        assert!(text.contains("\"checksum\""));
+        // A value flip inside an entry must fail the checksum.
+        let tampered = text.replace("120.0", "125.0");
+        assert_ne!(tampered, text);
+        let err = BenchReport::from_json(&tampered).expect_err("tamper detected");
+        assert_eq!(err.message, "bench checksum mismatch");
+        // A checksum-free report (pre-checksum baseline) still loads.
+        let legacy: String = text
+            .lines()
+            .filter(|l| !l.contains("\"checksum\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = BenchReport::from_json(&legacy).expect("legacy loads");
+        assert_eq!(parsed, report);
+        // A non-string checksum is malformed, not a panic.
+        let bad = text.replace(
+            &format!("\"checksum\": \"{}\"", report.checksum()),
+            "\"checksum\": 3",
+        );
+        let err = BenchReport::from_json(&bad).expect_err("typed error");
+        assert_eq!(err.message, "malformed checksum");
+    }
+
+    #[test]
+    fn atomic_write_and_load_round_trip() {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/tmp")
+            .join(format!("dlp_bench_rt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create test dir");
+        let path = dir.join("BENCH_test.json");
+        let path = path.to_str().expect("utf-8 path");
+        let mut report = BenchReport::new("atomic");
+        report.record_samples("w", "ns/iter", &[3.0, 1.0, 2.0]);
+        report.write_to(path).expect("atomic write");
+        assert_eq!(BenchReport::load(path).expect("verified load"), report);
+        // Corrupt the file on disk: load is a typed error.
+        let text = std::fs::read_to_string(path).expect("read");
+        std::fs::write(path, &text[..text.len() / 2]).expect("truncate");
+        assert!(matches!(
+            BenchReport::load(path),
+            Err(crate::ckpt::CkptError::Json(_))
+        ));
+        assert!(matches!(
+            BenchReport::load("/nonexistent/nowhere.json"),
+            Err(crate::ckpt::CkptError::Io { .. })
+        ));
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 
     #[test]

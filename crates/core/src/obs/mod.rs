@@ -731,13 +731,31 @@ impl RunReport {
         openmetrics::render(self)
     }
 
-    /// Writes [`to_json`](Self::to_json) to `path`.
+    /// Writes [`to_json`](Self::to_json) to `path` atomically
+    /// (write-temp-then-rename via [`crate::ckpt::atomic_write`]), so a
+    /// crash mid-write can never leave a half-written trace.
     ///
     /// # Errors
     ///
-    /// Any I/O error from creating or writing the file.
+    /// Any I/O error from creating, writing, or renaming the file.
     pub fn write_to(&self, path: &str) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json())
+        crate::ckpt::atomic_write(path, &self.to_json())
+    }
+
+    /// Reads and verifies a report previously written by
+    /// [`write_to`](Self::write_to): the file must exist, be UTF-8, and
+    /// parse as a run report.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ckpt::CkptError::Io`] if the file cannot be read,
+    /// [`crate::ckpt::CkptError::Json`] if it does not parse.
+    pub fn load(path: &str) -> Result<RunReport, crate::ckpt::CkptError> {
+        let text = std::fs::read_to_string(path).map_err(|e| crate::ckpt::CkptError::Io {
+            path: path.to_string(),
+            error: e.to_string(),
+        })?;
+        RunReport::from_json(&text).map_err(crate::ckpt::CkptError::from)
     }
 }
 

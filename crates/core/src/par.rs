@@ -25,6 +25,8 @@ use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use crate::budget::{BudgetExceeded, BudgetReason, RunBudget};
+
 /// The environment variable that overrides the worker count.
 pub const THREADS_ENV: &str = "DLP_THREADS";
 
@@ -294,40 +296,116 @@ where
     R: Send,
     F: Fn(usize, &[T]) -> R + Sync,
 {
+    let unlimited = crate::budget::RunBudget::unlimited();
+    match map_chunks_budgeted(threads, items, chunks, obs, scope, &unlimited, f) {
+        Ok(out) => out,
+        Err(_) => unreachable!("an unlimited budget can never interrupt a region"),
+    }
+}
+
+/// A parallel region stopped by its [`RunBudget`] at a chunk boundary.
+///
+/// `prefix` holds the results of the chunks that completed — always a
+/// *contiguous leading run* `0..prefix.len()` of the region's chunk
+/// order, so a caller can checkpoint it and later resume from chunk
+/// `prefix.len()` with bit-identical results.
+#[derive(Debug)]
+pub struct Interrupted<R> {
+    /// Results of the completed leading chunks, in chunk order.
+    pub prefix: Vec<R>,
+    /// What tripped, with chunk-level progress attached.
+    pub budget: crate::budget::BudgetExceeded,
+}
+
+/// [`map_chunks_counted`] with cooperative budget checks at chunk
+/// boundaries.
+///
+/// The budget is checked once before each chunk *claim* (on every
+/// worker). When a check trips, no further chunks are claimed; chunks
+/// already in flight complete, so the finished results always form a
+/// contiguous leading prefix of the chunk order, returned inside
+/// [`Interrupted`]. A trip that lands after every chunk was already
+/// claimed is *not* an interruption — the region completes and returns
+/// `Ok`, because there is nothing left to skip.
+///
+/// With the deterministic check-count fuse
+/// ([`RunBudget::cancel_after_checks`]), a region interrupted with
+/// `n` remaining checks completes exactly `min(n, chunks)` chunks —
+/// independent of the worker count — because every successful check is
+/// followed by exactly one chunk claim, and claims hand out chunk
+/// indices in order. This is what makes the chaos harness's
+/// kill-and-resume sweeps reproducible at any `DLP_THREADS`.
+///
+/// # Errors
+///
+/// [`Interrupted`] carrying the completed prefix and the
+/// [`BudgetExceeded`] that stopped the region.
+pub fn map_chunks_budgeted<T, R, F>(
+    threads: usize,
+    items: &[T],
+    chunks: usize,
+    obs: &crate::obs::Recorder,
+    scope: &str,
+    budget: &RunBudget,
+    f: F,
+) -> Result<Vec<R>, Interrupted<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
     use std::time::Instant;
 
     let bounds = chunk_bounds(items.len(), chunks);
     let n = bounds.len();
     let recording = obs.is_enabled();
+    let interrupted = |prefix: Vec<R>, reason: BudgetReason| {
+        let completed = prefix.len() as u64;
+        Err(Interrupted {
+            prefix,
+            budget: BudgetExceeded {
+                reason,
+                completed,
+                total: n as u64,
+            },
+        })
+    };
     if threads <= 1 || n <= 1 {
         let region_start = recording.then(Instant::now);
         let mut stats = WorkerStats::default();
-        let out = bounds
-            .iter()
-            .enumerate()
-            .map(|(i, &(lo, hi))| {
-                let chunk_start = recording.then(Instant::now);
-                let r = f(i, &items[lo..hi]);
-                if let Some(start) = chunk_start {
-                    let nanos = elapsed_nanos(start);
-                    stats.busy_nanos = stats.busy_nanos.saturating_add(nanos);
-                    stats.chunks += 1;
-                    stats.items += (hi - lo) as u64;
-                    stats.chunk_hist.observe(nanos as f64);
-                }
-                r
-            })
-            .collect();
+        let mut out = Vec::with_capacity(n);
+        let mut tripped = None;
+        for (i, &(lo, hi)) in bounds.iter().enumerate() {
+            if let Err(reason) = budget.check() {
+                tripped = Some(reason);
+                break;
+            }
+            let chunk_start = recording.then(Instant::now);
+            let r = f(i, &items[lo..hi]);
+            if let Some(start) = chunk_start {
+                let nanos = elapsed_nanos(start);
+                stats.busy_nanos = stats.busy_nanos.saturating_add(nanos);
+                stats.chunks += 1;
+                stats.items += (hi - lo) as u64;
+                stats.chunk_hist.observe(nanos as f64);
+            }
+            out.push(r);
+        }
         if let Some(start) = region_start {
             if n > 0 {
                 record_region(obs, scope, elapsed_nanos(start), 1, &[stats]);
             }
         }
-        return out;
+        return match tripped {
+            None => Ok(out),
+            Some(reason) => interrupted(out, reason),
+        };
     }
     let workers = threads.min(n);
     let region_start = recording.then(Instant::now);
     let next = AtomicUsize::new(0);
+    let trip_flag = std::sync::atomic::AtomicBool::new(false);
+    let trip_reason: Mutex<Option<BudgetReason>> = Mutex::new(None);
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let stats_slots: Vec<Mutex<WorkerStats>> =
         (0..workers).map(|_| Mutex::new(WorkerStats::default())).collect();
@@ -338,9 +416,23 @@ where
             let bounds = &bounds;
             let f = &f;
             let stats_slots = &stats_slots;
+            let trip_flag = &trip_flag;
+            let trip_reason = &trip_reason;
             thread_scope.spawn(move || {
                 let mut stats = WorkerStats::default();
                 loop {
+                    // A check *must* precede every claim: the fuse
+                    // determinism contract counts one successful check
+                    // per claimed chunk. Once any worker trips, the
+                    // rest stand down without consuming checks.
+                    if trip_flag.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Err(reason) = budget.check() {
+                        trip_flag.store(true, Ordering::Relaxed);
+                        lock_or_recover(trip_reason).get_or_insert(reason);
+                        break;
+                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
@@ -371,14 +463,39 @@ where
             .collect();
         record_region(obs, scope, wall, workers, &stats);
     }
-    slots
+    let mut results: Vec<Option<R>> = slots
         .into_iter()
-        .map(|slot| {
-            lock_or_recover(&slot)
-                .take()
-                .unwrap_or_else(|| unreachable!("scoped worker exited without storing its chunk"))
-        })
-        .collect()
+        .map(|slot| lock_or_recover(&slot).take())
+        .collect();
+    let reason = lock_or_recover(&trip_reason).take();
+    let prefix_len = results.iter().take_while(|r| r.is_some()).count();
+    if prefix_len == n {
+        // Every chunk completed; a trip after the last claim is moot.
+        return Ok(results
+            .into_iter()
+            .map(|r| {
+                r.unwrap_or_else(|| unreachable!("scoped worker exited without storing its chunk"))
+            })
+            .collect());
+    }
+    match reason {
+        Some(reason) => {
+            debug_assert!(
+                results[prefix_len..].iter().all(Option::is_none),
+                "completed chunks must form a contiguous prefix"
+            );
+            let prefix = results
+                .drain(..prefix_len)
+                .map(|r| {
+                    r.unwrap_or_else(|| {
+                        unreachable!("prefix scan counted a chunk that is not there")
+                    })
+                })
+                .collect();
+            interrupted(prefix, reason)
+        }
+        None => unreachable!("scoped worker exited without storing its chunk"),
+    }
 }
 
 #[cfg(test)]
@@ -535,5 +652,103 @@ mod tests {
         let items: Vec<u8> = vec![0; 37];
         let indices = map_chunks(4, &items, 5, |ci, _| ci);
         assert_eq!(indices, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn budgeted_map_with_unlimited_budget_matches_plain() {
+        let items: Vec<u64> = (0..300).collect();
+        let reference = map_chunks(1, &items, 8, |ci, c| (ci, c.iter().sum::<u64>()));
+        for threads in [1usize, 2, 4] {
+            let got = map_chunks_budgeted(
+                threads,
+                &items,
+                8,
+                crate::obs::Recorder::noop(),
+                "b",
+                &RunBudget::unlimited(),
+                |ci, c| (ci, c.iter().sum::<u64>()),
+            );
+            assert_eq!(got.ok(), Some(reference.clone()), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fuse_interrupts_with_a_thread_count_invariant_prefix() {
+        let items: Vec<u64> = (0..640).collect();
+        let chunks = 16;
+        let full = map_chunks(1, &items, chunks, |_, c| c.iter().sum::<u64>());
+        for kill in [0u64, 1, 3, 7, 15] {
+            for threads in [1usize, 2, 4] {
+                let budget = RunBudget::unlimited().cancel_after_checks(kill);
+                let out = map_chunks_budgeted(
+                    threads,
+                    &items,
+                    chunks,
+                    crate::obs::Recorder::noop(),
+                    "b",
+                    &budget,
+                    |_, c| c.iter().sum::<u64>(),
+                );
+                let interrupted = out.expect_err("fuse below chunk count must interrupt");
+                assert_eq!(
+                    interrupted.prefix.len(),
+                    kill as usize,
+                    "kill={kill} threads={threads}: prefix length is the fuse value"
+                );
+                assert_eq!(
+                    interrupted.prefix,
+                    full[..kill as usize],
+                    "kill={kill} threads={threads}: prefix must match the full run"
+                );
+                assert_eq!(interrupted.budget.completed, kill);
+                assert_eq!(interrupted.budget.total, chunks as u64);
+                assert_eq!(interrupted.budget.reason, BudgetReason::Cancelled);
+            }
+        }
+    }
+
+    #[test]
+    fn late_trips_do_not_interrupt_a_completed_region() {
+        let items: Vec<u64> = (0..64).collect();
+        let chunks = 4;
+        // Enough checks to claim every chunk: the region completes even
+        // though trailing worker checks trip on the exhausted fuse.
+        for threads in [1usize, 2, 4] {
+            let budget = RunBudget::unlimited().cancel_after_checks(chunks as u64);
+            let out = map_chunks_budgeted(
+                threads,
+                &items,
+                chunks,
+                crate::obs::Recorder::noop(),
+                "b",
+                &budget,
+                |_, c| c.len(),
+            );
+            let out = out.unwrap_or_else(|_| panic!("threads={threads}: all chunks claimed"));
+            assert_eq!(out, vec![16, 16, 16, 16]);
+        }
+    }
+
+    #[test]
+    fn cancel_token_interrupts_before_the_first_chunk() {
+        let token = crate::budget::CancelToken::new();
+        token.cancel();
+        let budget = RunBudget::unlimited().with_cancel(&token);
+        let items: Vec<u8> = vec![1; 100];
+        for threads in [1usize, 4] {
+            let err = map_chunks_budgeted(
+                threads,
+                &items,
+                8,
+                crate::obs::Recorder::noop(),
+                "b",
+                &budget,
+                |_, c| c.len(),
+            )
+            .expect_err("a cancelled token stops the region up front");
+            assert!(err.prefix.is_empty());
+            assert_eq!(err.budget.completed, 0);
+            assert_eq!(err.budget.reason, BudgetReason::Cancelled);
+        }
     }
 }

@@ -36,6 +36,9 @@ pub enum Stage {
     Model,
     /// Harness orchestration itself (`dlp-bench`).
     Bench,
+    /// Durable artifacts: checkpoints, reports, baselines (`dlp-core`'s
+    /// [`crate::ckpt`] layer).
+    Artifact,
 }
 
 impl fmt::Display for Stage {
@@ -48,6 +51,7 @@ impl fmt::Display for Stage {
             Stage::Simulation => "simulation",
             Stage::Model => "model",
             Stage::Bench => "bench",
+            Stage::Artifact => "artifact",
         })
     }
 }
@@ -114,6 +118,21 @@ impl PipelineError {
     pub fn message(&self) -> &str {
         &self.message
     }
+
+    /// The [`crate::budget::BudgetExceeded`] behind this error, if the
+    /// run was interrupted by its budget rather than genuinely failing.
+    /// Walks the source chain, so per-stage wrappers (`SimError`,
+    /// `NDetectError`, `ModelError`) are looked through.
+    pub fn budget(&self) -> Option<&crate::budget::BudgetExceeded> {
+        let mut cursor: Option<&(dyn Error + 'static)> = self.source();
+        while let Some(err) = cursor {
+            if let Some(b) = err.downcast_ref::<crate::budget::BudgetExceeded>() {
+                return Some(b);
+            }
+            cursor = err.source();
+        }
+        None
+    }
 }
 
 impl fmt::Display for PipelineError {
@@ -133,6 +152,18 @@ impl Error for PipelineError {
 impl From<ModelError> for PipelineError {
     fn from(e: ModelError) -> Self {
         PipelineError::with_source(Stage::Model, e)
+    }
+}
+
+impl From<crate::ckpt::CkptError> for PipelineError {
+    fn from(e: crate::ckpt::CkptError) -> Self {
+        PipelineError::with_source(Stage::Artifact, e)
+    }
+}
+
+impl From<crate::budget::BudgetConfigError> for PipelineError {
+    fn from(e: crate::budget::BudgetConfigError) -> Self {
+        PipelineError::with_source(Stage::Bench, e)
     }
 }
 

@@ -8,16 +8,21 @@
 use dlp_atpg::generate::{generate_tests, AtpgConfig};
 use dlp_circuit::switch::SwitchNodeId;
 use dlp_circuit::{bench, generators, switch, NodeId};
-use dlp_core::montecarlo::{simulate_fallout, MonteCarloConfig};
+use dlp_core::montecarlo::{
+    simulate_fallout, simulate_fallout_resumable, McCheckpoint, MonteCarloConfig, MC_CKPT_KIND,
+};
+use dlp_core::obs::{Json, Recorder};
 use dlp_core::par::ThreadCount;
 use dlp_core::weighted::FaultWeights;
-use dlp_core::{fit, PipelineError, Stage};
+use dlp_core::{ckpt, fit, PipelineError, RunBudget, Stage};
 use dlp_extract::defects::{DefectClass, DefectStatistics, Mechanism};
 use dlp_extract::extractor::{self, ExtractionConfig};
 use dlp_extract::faults::{FaultKind, FaultSet, OpenLevelModel, RealisticFault};
 use dlp_geometry::Layer;
 use dlp_layout::chip::{ChipLayout, ElecNet};
 use dlp_layout::tech::Technology;
+use dlp_ndetect::ckpt::NDetectCheckpoint;
+use dlp_sim::ckpt::SimCheckpoint;
 use dlp_sim::switchlevel::{SwitchConfig, SwitchFault, SwitchSimulator};
 use dlp_sim::{ppsfp, stuck_at};
 
@@ -225,6 +230,12 @@ pub fn corpus() -> Vec<Case> {
             "a weighted coverage query with a NaN fault weight",
             sim_nonfinite_weight
         ),
+        case!(
+            "sim-resume-foreign-checkpoint",
+            Simulation,
+            "a resume checkpoint shaped for a different fault list",
+            sim_resume_foreign_checkpoint
+        ),
         // -- atpg ---------------------------------------------------------
         case!(
             "atpg-foreign-fault",
@@ -237,6 +248,12 @@ pub fn corpus() -> Vec<Case> {
             Atpg,
             "an n-detect schedule requested for target n = 0",
             atpg_ndetect_zero_target
+        ),
+        case!(
+            "ndetect-resume-impossible-progress",
+            Atpg,
+            "a resume checkpoint claiming progress past the final target",
+            ndetect_resume_impossible_progress
         ),
         // -- model --------------------------------------------------------
         case!(
@@ -292,6 +309,74 @@ pub fn corpus() -> Vec<Case> {
             Model,
             "a Sousa-model fit on a (NaN, NaN) data point",
             model_fit_nan_point
+        ),
+        case!(
+            "model-resume-excess-shards",
+            Model,
+            "a resume checkpoint recording more shards than the run has",
+            model_resume_excess_shards
+        ),
+        // -- artifacts ----------------------------------------------------
+        case!(
+            "artifact-ckpt-truncated",
+            Artifact,
+            "a checkpoint file cut off mid-envelope",
+            artifact_ckpt_truncated
+        ),
+        case!(
+            "artifact-ckpt-bit-flipped",
+            Artifact,
+            "a payload byte flipped after sealing",
+            artifact_ckpt_bit_flipped
+        ),
+        case!(
+            "artifact-ckpt-checksum-garbage",
+            Artifact,
+            "a recorded checksum that matches no payload",
+            artifact_ckpt_checksum_garbage
+        ),
+        case!(
+            "artifact-ckpt-version-from-the-future",
+            Artifact,
+            "an envelope stamped with a newer format version",
+            artifact_ckpt_version_from_the_future
+        ),
+        case!(
+            "artifact-ckpt-wrong-stage",
+            Artifact,
+            "a checkpoint resumed into a stage that did not write it",
+            artifact_ckpt_wrong_stage
+        ),
+        case!(
+            "artifact-ckpt-foreign-inputs",
+            Artifact,
+            "a checkpoint keyed to different run inputs",
+            artifact_ckpt_foreign_inputs
+        ),
+        case!(
+            "artifact-ckpt-payload-malformed",
+            Artifact,
+            "an intact envelope whose payload has another shape",
+            artifact_ckpt_payload_malformed
+        ),
+        case!(
+            "artifact-ckpt-missing-file",
+            Artifact,
+            "a resume path that does not exist",
+            artifact_ckpt_missing_file
+        ),
+        // -- budgets ------------------------------------------------------
+        case!(
+            "budget-ms-garbage",
+            Bench,
+            "a non-numeric DLP_BUDGET_MS-style setting",
+            budget_ms_garbage
+        ),
+        case!(
+            "budget-cancel-after-zero",
+            Bench,
+            "a DLP_CANCEL_AFTER-style setting of 0 checks",
+            budget_cancel_after_zero
         ),
     ]
 }
@@ -590,6 +675,29 @@ fn sim_nonfinite_weight() -> Result<(), PipelineError> {
     Ok(())
 }
 
+fn sim_resume_foreign_checkpoint() -> Result<(), PipelineError> {
+    let c17 = generators::c17();
+    let faults = stuck_at::enumerate(&c17).collapse();
+    // Shaped for a single tracked fault; this run tracks the full
+    // collapsed list.
+    let foreign = SimCheckpoint {
+        n_cap: 1,
+        next_block: 0,
+        vectors_len: 1,
+        detections: vec![Vec::new()],
+    };
+    ppsfp::simulate_resumable(
+        &c17,
+        faults.faults(),
+        &[vec![false; 5]],
+        ThreadCount::Auto,
+        Recorder::noop(),
+        &RunBudget::unlimited(),
+        Some(&foreign),
+    )?;
+    Ok(())
+}
+
 // -- atpg -----------------------------------------------------------------
 
 fn atpg_foreign_fault() -> Result<(), PipelineError> {
@@ -610,6 +718,29 @@ fn atpg_ndetect_zero_target() -> Result<(), PipelineError> {
         faults.faults(),
         0,
         &dlp_ndetect::NDetectConfig::default(),
+    )?;
+    Ok(())
+}
+
+fn ndetect_resume_impossible_progress() -> Result<(), PipelineError> {
+    let c17 = generators::c17();
+    let faults = stuck_at::enumerate(&c17).collapse();
+    let bogus = NDetectCheckpoint {
+        next_target: 99,
+        vectors: Vec::new(),
+        len_at: Vec::new(),
+        counts: vec![0; faults.len()],
+        selected: Vec::new(),
+        pool_selected: 0,
+        hopeless: vec![false; faults.len()],
+    };
+    dlp_ndetect::build_schedule_resumable(
+        &c17,
+        faults.faults(),
+        3,
+        &dlp_ndetect::NDetectConfig::default(),
+        &RunBudget::unlimited(),
+        Some(&bogus),
     )?;
     Ok(())
 }
@@ -669,5 +800,110 @@ fn model_fit_insufficient_points() -> Result<(), PipelineError> {
 
 fn model_fit_nan_point() -> Result<(), PipelineError> {
     fit::fit_sousa(0.75, &[(0.1, 0.2), (f64::NAN, f64::NAN), (0.9, 0.02)])?;
+    Ok(())
+}
+
+fn model_resume_excess_shards() -> Result<(), PipelineError> {
+    let w = FaultWeights::new(vec![0.05; 4])?;
+    // 100 dies fit in at most 100 shards; 101 completed shards is
+    // impossible progress.
+    let excess = McCheckpoint {
+        tallies: vec![(0, 0, 0); 101],
+    };
+    simulate_fallout_resumable(
+        &w,
+        &[true; 4],
+        &MonteCarloConfig {
+            dies: 100,
+            ..MonteCarloConfig::default()
+        },
+        ThreadCount::Auto,
+        Recorder::noop(),
+        &RunBudget::unlimited(),
+        Some(&excess),
+    )?;
+    Ok(())
+}
+
+// -- artifacts ------------------------------------------------------------
+
+/// A well-formed sealed envelope for the corruption cases to deface.
+fn sealed_sample() -> String {
+    ckpt::seal(
+        "inject.sample",
+        0xD1CE,
+        &Json::Object(vec![("progress".to_string(), Json::Number(7.0))]),
+    )
+}
+
+fn artifact_ckpt_truncated() -> Result<(), PipelineError> {
+    let sealed = sealed_sample();
+    ckpt::open(&sealed[..sealed.len() / 2], "inject.sample", 0xD1CE)?;
+    Ok(())
+}
+
+fn artifact_ckpt_bit_flipped() -> Result<(), PipelineError> {
+    // 7 -> 6 is a single-bit flip in the payload's digit byte.
+    let flipped = sealed_sample().replace("\"progress\":7.0", "\"progress\":6.0");
+    ckpt::open(&flipped, "inject.sample", 0xD1CE)?;
+    Ok(())
+}
+
+fn artifact_ckpt_checksum_garbage() -> Result<(), PipelineError> {
+    let payload = Json::Object(vec![("progress".to_string(), Json::Number(7.0))]);
+    let real = format!("{:016x}", ckpt::fnv64(ckpt::render(&payload).as_bytes()));
+    let garbled =
+        ckpt::seal("inject.sample", 0xD1CE, &payload).replace(&real, "deadbeefdeadbeef");
+    ckpt::open(&garbled, "inject.sample", 0xD1CE)?;
+    Ok(())
+}
+
+fn artifact_ckpt_version_from_the_future() -> Result<(), PipelineError> {
+    let newer = sealed_sample().replace("\"ckpt_version\":1,", "\"ckpt_version\":999,");
+    ckpt::open(&newer, "inject.sample", 0xD1CE)?;
+    Ok(())
+}
+
+fn artifact_ckpt_wrong_stage() -> Result<(), PipelineError> {
+    ckpt::open(&sealed_sample(), dlp_sim::ckpt::SIM_CKPT_KIND, 0xD1CE)?;
+    Ok(())
+}
+
+fn artifact_ckpt_foreign_inputs() -> Result<(), PipelineError> {
+    ckpt::open(&sealed_sample(), "inject.sample", 0xD1CE ^ 1)?;
+    Ok(())
+}
+
+fn artifact_ckpt_payload_malformed() -> Result<(), PipelineError> {
+    // The envelope itself is intact — version, kind, key, and checksum
+    // all verify — but the payload belongs to no Monte-Carlo run.
+    let payload = Json::Object(vec![(
+        "tallies".to_string(),
+        Json::String("nope".to_string()),
+    )]);
+    let sealed = ckpt::seal(MC_CKPT_KIND, 0xD1CE, &payload);
+    McCheckpoint::from_payload(&ckpt::open(&sealed, MC_CKPT_KIND, 0xD1CE)?)?;
+    Ok(())
+}
+
+fn artifact_ckpt_missing_file() -> Result<(), PipelineError> {
+    // Inside the workspace target/ tree; nothing ever creates it.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/tmp/dlp-inject-no-such-checkpoint.json"
+    );
+    ckpt::load(path, "inject.sample", 0xD1CE)?;
+    Ok(())
+}
+
+// -- budgets --------------------------------------------------------------
+
+fn budget_ms_garbage() -> Result<(), PipelineError> {
+    RunBudget::from_settings(Some("soon"), None, None)?;
+    Ok(())
+}
+
+fn budget_cancel_after_zero() -> Result<(), PipelineError> {
+    RunBudget::from_settings(None, None, Some("0"))?;
     Ok(())
 }

@@ -16,6 +16,11 @@
 //! * [`harness`] — runs each case under `std::panic::catch_unwind` and
 //!   classifies the outcome: the case passes only if the stage returned a
 //!   typed error tagged with the expected [`Stage`](dlp_core::Stage).
+//! * [`chaos`] — seeded randomized sweeps over the crash-safety layer:
+//!   kill the long stages at chunk boundaries and demand bit-identical
+//!   resumes from their checkpoints at worker counts 1/2/4, then
+//!   truncate and bit-flip the checkpoint files and demand typed errors.
+//!   Driven as a release gate by the `chaos` binary.
 //!
 //! The integration test `tests/adversarial.rs` drives the whole corpus
 //! under `cargo test`; adding a new failure mode means adding one case
@@ -31,8 +36,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod corpus;
 pub mod harness;
 
+pub use chaos::{run_chaos, ChaosReport};
 pub use corpus::{corpus, Case};
 pub use harness::{verify, verify_all, Outcome, Report};

@@ -29,8 +29,8 @@ fn every_corrupted_input_yields_a_typed_error() {
 fn corpus_is_broad_enough() {
     let cases = corpus();
     assert!(
-        cases.len() >= 12,
-        "corpus shrank to {} cases; keep at least 12",
+        cases.len() >= 40,
+        "corpus shrank to {} cases; keep at least 40",
         cases.len()
     );
     let names: HashSet<&str> = cases.iter().map(|c| c.name).collect();
@@ -43,6 +43,8 @@ fn corpus_is_broad_enough() {
         Stage::Simulation,
         Stage::Atpg,
         Stage::Model,
+        Stage::Bench,
+        Stage::Artifact,
     ] {
         assert!(
             stages.contains(&required),

@@ -14,10 +14,12 @@
 use dlp_atpg::podem::{Podem, PodemOutcome};
 use dlp_circuit::Netlist;
 use dlp_core::rng::Xorshift64Star;
+use dlp_core::{BudgetExceeded, RunBudget};
 use dlp_sim::detection::random_vectors;
 use dlp_sim::ppsfp::{self, MAX_DETECTION_CAP};
 use dlp_sim::stuck_at::StuckAtFault;
 
+use crate::ckpt::NDetectCheckpoint;
 use crate::NDetectError;
 
 /// Builder configuration. The defaults match the ATPG crate's random
@@ -120,10 +122,95 @@ pub fn build_schedule(
     max_n: usize,
     config: &NDetectConfig,
 ) -> Result<NDetectSchedule, NDetectError> {
+    build_schedule_resumable(netlist, faults, max_n, config, &RunBudget::unlimited(), None)
+}
+
+/// Validates a resume checkpoint against this build's shape and returns
+/// the target to continue from.
+fn restore_checkpoint(
+    ckpt: &NDetectCheckpoint,
+    fault_count: usize,
+    pool_len: usize,
+    n_in: usize,
+    max_n: usize,
+) -> Result<usize, NDetectError> {
+    let bad = |what: &'static str| NDetectError::BadCheckpoint { what };
+    if ckpt.next_target == 0 || ckpt.next_target > max_n {
+        return Err(bad("next target is outside the build's range"));
+    }
+    if ckpt.len_at.len() != ckpt.next_target - 1 {
+        return Err(bad("prefix lengths do not match the completed targets"));
+    }
+    if ckpt.counts.len() != fault_count || ckpt.hopeless.len() != fault_count {
+        return Err(bad("fault count differs from the build's"));
+    }
+    if ckpt.selected.len() != pool_len {
+        return Err(bad("pool size differs from the build's"));
+    }
+    if ckpt.pool_selected != ckpt.selected.iter().filter(|&&s| s).count()
+        || ckpt.pool_selected > ckpt.vectors.len()
+    {
+        return Err(bad("pool-selection bookkeeping is inconsistent"));
+    }
+    if !ckpt.len_at.windows(2).all(|w| w[0] <= w[1])
+        || ckpt.len_at.last().is_some_and(|&l| l > ckpt.vectors.len())
+    {
+        return Err(bad("prefix lengths are not a monotone prefix chain"));
+    }
+    if ckpt.vectors.iter().any(|v| v.len() != n_in) {
+        return Err(bad("a vector's width differs from the circuit's inputs"));
+    }
+    Ok(ckpt.next_target)
+}
+
+/// [`build_schedule`] under a cooperative [`RunBudget`], resumable from
+/// an [`NDetectCheckpoint`].
+///
+/// The budget is checked once per target (the schedule's natural unit
+/// of progress: prefix test sets). On a trip the error carries a
+/// checkpoint holding the satisfied-target prefix; passing it back as
+/// `resume` (same netlist, faults, target, and config) continues the
+/// build and reproduces the uninterrupted schedule bit-identically —
+/// the builder is serial and deterministic, so thread count never
+/// enters the picture.
+///
+/// # Errors
+///
+/// As [`build_schedule`], plus [`NDetectError::Budget`] if the memory
+/// estimate already exceeds the budget, [`NDetectError::Interrupted`]
+/// (carrying the checkpoint) if the budget trips at a target boundary,
+/// and [`NDetectError::BadCheckpoint`] if `resume` is inconsistent with
+/// this build's inputs.
+pub fn build_schedule_resumable(
+    netlist: &Netlist,
+    faults: &[StuckAtFault],
+    max_n: usize,
+    config: &NDetectConfig,
+    budget: &RunBudget,
+    resume: Option<&NDetectCheckpoint>,
+) -> Result<NDetectSchedule, NDetectError> {
     if max_n == 0 || max_n > MAX_DETECTION_CAP {
         return Err(NDetectError::BadTarget { n: max_n });
     }
     let n_in = netlist.inputs().len();
+
+    // Up-front footprint estimate: the pool itself plus the capped pool
+    // profile (faults × max_n detection indices).
+    let estimate = (config.pool_size as u64)
+        .saturating_mul(n_in as u64)
+        .saturating_add(
+            (faults.len() as u64)
+                .saturating_mul(max_n as u64)
+                .saturating_mul(8),
+        );
+    if let Err(reason) = budget.check_memory(estimate) {
+        return Err(NDetectError::Budget(BudgetExceeded {
+            reason,
+            completed: 0,
+            total: max_n as u64,
+        }));
+    }
+
     let pool = random_vectors(n_in, config.pool_size, config.pool_seed);
 
     // Pool detection structure, capped at max_n entries per fault — all a
@@ -141,18 +228,45 @@ pub fn build_schedule(
     }
 
     let engine = Podem::new(netlist, config.backtrack_limit);
-    let mut vectors: Vec<Vec<bool>> = Vec::new();
-    let mut len_at: Vec<usize> = Vec::with_capacity(max_n);
+    let start_n = match resume {
+        Some(ckpt) => restore_checkpoint(ckpt, faults.len(), pool.len(), n_in, max_n)?,
+        None => 1,
+    };
+    let mut vectors: Vec<Vec<bool>> = resume.map_or_else(Vec::new, |c| c.vectors.clone());
+    let mut len_at: Vec<usize> = resume.map_or_else(
+        || Vec::with_capacity(max_n),
+        |c| c.len_at.clone(),
+    );
     // counts[j]: detections of fault j by the chosen sequence so far.
     // Pool picks credit their recorded pairs; top-ups credit through a
     // truth simulation — both only ever undercount the real sequence, so
     // the schedule can only over-satisfy its targets, never miss them.
-    let mut counts: Vec<usize> = vec![0; faults.len()];
-    let mut selected: Vec<bool> = vec![false; pool.len()];
-    let mut pool_selected = 0usize;
-    let mut hopeless: Vec<bool> = vec![false; faults.len()];
+    let mut counts: Vec<usize> = resume.map_or_else(|| vec![0; faults.len()], |c| c.counts.clone());
+    let mut selected: Vec<bool> =
+        resume.map_or_else(|| vec![false; pool.len()], |c| c.selected.clone());
+    let mut pool_selected = resume.map_or(0usize, |c| c.pool_selected);
+    let mut hopeless: Vec<bool> =
+        resume.map_or_else(|| vec![false; faults.len()], |c| c.hopeless.clone());
 
-    for n in 1..=max_n {
+    for n in start_n..=max_n {
+        if let Err(reason) = budget.check() {
+            return Err(NDetectError::Interrupted {
+                budget: BudgetExceeded {
+                    reason,
+                    completed: (n - 1) as u64,
+                    total: max_n as u64,
+                },
+                checkpoint: Box::new(NDetectCheckpoint {
+                    next_target: n,
+                    vectors,
+                    len_at,
+                    counts,
+                    selected,
+                    pool_selected,
+                    hopeless,
+                }),
+            });
+        }
         // Phase 1: greedy forward selection from the pool.
         loop {
             let mut best: Option<(usize, usize)> = None; // (gain, index)
@@ -355,6 +469,199 @@ mod tests {
         for &(j, c) in &schedule.below_target {
             assert!(j < faults.len());
             assert!(c < 2);
+        }
+    }
+
+    #[test]
+    fn interrupt_and_resume_reproduces_the_schedule() {
+        let nl = generators::ripple_adder(3);
+        let faults = stuck_at::enumerate(&nl).collapse();
+        let cfg = NDetectConfig {
+            pool_size: 128,
+            ..Default::default()
+        };
+        let max_n = 4;
+        let reference = build_schedule(&nl, faults.faults(), max_n, &cfg).unwrap();
+
+        for kill in 0..max_n as u64 {
+            let budget = RunBudget::unlimited().cancel_after_checks(kill);
+            let err = build_schedule_resumable(&nl, faults.faults(), max_n, &cfg, &budget, None)
+                .expect_err("fuse below the target count must interrupt");
+            let (info, ckpt) = match err {
+                NDetectError::Interrupted { budget, checkpoint } => (budget, checkpoint),
+                other => panic!("kill={kill}: expected Interrupted, got {other:?}"),
+            };
+            assert_eq!(info.completed, kill, "kill={kill}");
+            assert_eq!(info.total, max_n as u64);
+            assert_eq!(ckpt.next_target, kill as usize + 1);
+            assert_eq!(ckpt.len_at.len(), kill as usize);
+            // Round-trip through the sealed on-disk envelope.
+            let key = NDetectCheckpoint::key(&nl, faults.faults(), max_n, &cfg);
+            let sealed =
+                dlp_core::ckpt::seal(crate::ckpt::NDETECT_CKPT_KIND, key, &ckpt.to_payload());
+            let payload =
+                dlp_core::ckpt::open(&sealed, crate::ckpt::NDETECT_CKPT_KIND, key).unwrap();
+            let restored = NDetectCheckpoint::from_payload(&payload).unwrap();
+            assert_eq!(restored, *ckpt);
+            let resumed = build_schedule_resumable(
+                &nl,
+                faults.faults(),
+                max_n,
+                &cfg,
+                &RunBudget::unlimited(),
+                Some(&restored),
+            )
+            .unwrap();
+            assert_eq!(resumed, reference, "kill={kill}");
+        }
+    }
+
+    #[test]
+    fn double_interrupt_then_resume_still_matches() {
+        let c17 = generators::c17();
+        let faults = stuck_at::enumerate(&c17).collapse();
+        let cfg = NDetectConfig {
+            pool_size: 64,
+            ..Default::default()
+        };
+        let reference = build_schedule(&c17, faults.faults(), 3, &cfg).unwrap();
+        let first = build_schedule_resumable(
+            &c17,
+            faults.faults(),
+            3,
+            &cfg,
+            &RunBudget::unlimited().cancel_after_checks(1),
+            None,
+        )
+        .expect_err("first fuse");
+        let NDetectError::Interrupted { checkpoint, .. } = first else {
+            panic!("expected Interrupted");
+        };
+        let second = build_schedule_resumable(
+            &c17,
+            faults.faults(),
+            3,
+            &cfg,
+            &RunBudget::unlimited().cancel_after_checks(1),
+            Some(&checkpoint),
+        )
+        .expect_err("second fuse");
+        let NDetectError::Interrupted { budget, checkpoint } = second else {
+            panic!("expected Interrupted");
+        };
+        assert_eq!(budget.completed, 2, "progress accumulates across resumes");
+        let finished = build_schedule_resumable(
+            &c17,
+            faults.faults(),
+            3,
+            &cfg,
+            &RunBudget::unlimited(),
+            Some(&checkpoint),
+        )
+        .unwrap();
+        assert_eq!(finished, reference);
+    }
+
+    #[test]
+    fn resume_rejects_inconsistent_checkpoints() {
+        let c17 = generators::c17();
+        let faults = stuck_at::enumerate(&c17).collapse();
+        let cfg = NDetectConfig {
+            pool_size: 64,
+            ..Default::default()
+        };
+        let n_faults = faults.len();
+        let run = |ckpt: &NDetectCheckpoint| {
+            build_schedule_resumable(
+                &c17,
+                faults.faults(),
+                3,
+                &cfg,
+                &RunBudget::unlimited(),
+                Some(ckpt),
+            )
+        };
+        let good = NDetectCheckpoint {
+            next_target: 1,
+            vectors: Vec::new(),
+            len_at: Vec::new(),
+            counts: vec![0; n_faults],
+            selected: vec![false; 64],
+            pool_selected: 0,
+            hopeless: vec![false; n_faults],
+        };
+        assert!(run(&good).is_ok(), "an empty target-1 checkpoint resumes");
+        for (label, bad) in [
+            ("target zero", NDetectCheckpoint { next_target: 0, ..good.clone() }),
+            ("target range", NDetectCheckpoint { next_target: 4, ..good.clone() }),
+            ("prefix count", NDetectCheckpoint { len_at: vec![0], ..good.clone() }),
+            (
+                "fault count",
+                NDetectCheckpoint {
+                    counts: vec![0; n_faults + 1],
+                    ..good.clone()
+                },
+            ),
+            (
+                "pool size",
+                NDetectCheckpoint {
+                    selected: vec![false; 63],
+                    ..good.clone()
+                },
+            ),
+            (
+                "pool bookkeeping",
+                NDetectCheckpoint {
+                    pool_selected: 1,
+                    ..good.clone()
+                },
+            ),
+            (
+                "prefix chain",
+                NDetectCheckpoint {
+                    next_target: 2,
+                    len_at: vec![5],
+                    ..good.clone()
+                },
+            ),
+            (
+                "vector width",
+                NDetectCheckpoint {
+                    next_target: 2,
+                    len_at: vec![1],
+                    vectors: vec![vec![true; 4]],
+                    ..good.clone()
+                },
+            ),
+        ] {
+            assert!(
+                matches!(run(&bad), Err(NDetectError::BadCheckpoint { .. })),
+                "{label} inconsistency must be a typed error"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_budget_gates_up_front() {
+        use dlp_core::BudgetReason;
+
+        let c17 = generators::c17();
+        let faults = stuck_at::enumerate(&c17).collapse();
+        let err = build_schedule_resumable(
+            &c17,
+            faults.faults(),
+            2,
+            &NDetectConfig::default(),
+            &RunBudget::unlimited().with_memory_limit(16),
+            None,
+        )
+        .expect_err("a 16-byte budget cannot fit the pool");
+        match err {
+            NDetectError::Budget(b) => {
+                assert_eq!(b.completed, 0);
+                assert!(matches!(b.reason, BudgetReason::Memory { .. }));
+            }
+            other => panic!("expected Budget, got {other:?}"),
         }
     }
 

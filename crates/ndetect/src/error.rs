@@ -19,6 +19,24 @@ pub enum NDetectError {
     Sim(SimError),
     /// Test generation rejected its inputs.
     Atpg(AtpgError),
+    /// The run budget tripped before any target could be attempted
+    /// (e.g. the memory estimate already exceeds the limit).
+    Budget(dlp_core::BudgetExceeded),
+    /// The run budget tripped at a target boundary; `checkpoint`
+    /// captures the satisfied-target prefix, and resuming from it
+    /// reproduces the uninterrupted schedule bit-identically.
+    Interrupted {
+        /// What tripped, with target-level progress attached.
+        budget: dlp_core::BudgetExceeded,
+        /// Resume state for [`crate::builder::build_schedule_resumable`].
+        checkpoint: Box<crate::ckpt::NDetectCheckpoint>,
+    },
+    /// A supplied resume checkpoint is inconsistent with this build's
+    /// inputs (wrong shape or impossible progress).
+    BadCheckpoint {
+        /// What is inconsistent.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for NDetectError {
@@ -31,6 +49,13 @@ impl fmt::Display for NDetectError {
             ),
             NDetectError::Sim(e) => write!(f, "fault simulation: {e}"),
             NDetectError::Atpg(e) => write!(f, "test generation: {e}"),
+            NDetectError::Budget(b) => b.fmt(f),
+            NDetectError::Interrupted { budget, .. } => {
+                write!(f, "{budget}; a resume checkpoint was captured")
+            }
+            NDetectError::BadCheckpoint { what } => {
+                write!(f, "resume checkpoint is unusable: {what}")
+            }
         }
     }
 }
@@ -40,7 +65,9 @@ impl Error for NDetectError {
         match self {
             NDetectError::Sim(e) => Some(e),
             NDetectError::Atpg(e) => Some(e),
-            NDetectError::BadTarget { .. } => None,
+            NDetectError::Budget(b) => Some(b),
+            NDetectError::Interrupted { budget, .. } => Some(budget),
+            _ => None,
         }
     }
 }

@@ -41,7 +41,8 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod ckpt;
 mod error;
 
-pub use builder::{build_schedule, NDetectConfig, NDetectSchedule};
+pub use builder::{build_schedule, build_schedule_resumable, NDetectConfig, NDetectSchedule};
 pub use error::NDetectError;

@@ -46,6 +46,24 @@ pub enum SimError {
     },
     /// The `DLP_THREADS` override is not a positive thread count.
     BadThreadCount(dlp_core::par::ParError),
+    /// The run budget tripped before any block could be simulated (e.g.
+    /// the memory estimate already exceeds the limit).
+    Budget(dlp_core::BudgetExceeded),
+    /// The run budget tripped at a block boundary; `checkpoint` captures
+    /// the completed prefix, and resuming from it reproduces the
+    /// uninterrupted run bit-identically.
+    Interrupted {
+        /// What tripped, with block-level progress attached.
+        budget: dlp_core::BudgetExceeded,
+        /// Resume state for the `*_resumable` simulation entry points.
+        checkpoint: Box<crate::ckpt::SimCheckpoint>,
+    },
+    /// A supplied resume checkpoint is inconsistent with this run's
+    /// inputs (wrong shape, wrong cap, or impossible progress).
+    BadCheckpoint {
+        /// What is inconsistent.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -74,11 +92,26 @@ impl fmt::Display for SimError {
                 crate::ppsfp::MAX_DETECTION_CAP
             ),
             SimError::BadThreadCount(e) => e.fmt(f),
+            SimError::Budget(b) => b.fmt(f),
+            SimError::Interrupted { budget, .. } => {
+                write!(f, "{budget}; a resume checkpoint was captured")
+            }
+            SimError::BadCheckpoint { what } => {
+                write!(f, "resume checkpoint is unusable: {what}")
+            }
         }
     }
 }
 
-impl Error for SimError {}
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Budget(b) => Some(b),
+            SimError::Interrupted { budget, .. } => Some(budget),
+            _ => None,
+        }
+    }
+}
 
 impl From<dlp_core::par::ParError> for SimError {
     fn from(e: dlp_core::par::ParError) -> Self {

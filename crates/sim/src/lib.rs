@@ -15,7 +15,9 @@
 //! * [`transition`] — two-pattern gate-delay (transition) fault simulation
 //!   (the paper's other "more sophisticated" test technique),
 //! * [`detection`] — shared bookkeeping: first-detection records and
-//!   coverage curves.
+//!   coverage curves,
+//! * [`ckpt`] — sealed resume checkpoints for the interruptible
+//!   (budgeted) PPSFP entry points.
 //!
 //! # Example
 //!
@@ -35,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ckpt;
 pub mod detection;
 mod error;
 pub mod ppsfp;

@@ -9,7 +9,9 @@
 use dlp_circuit::{GateKind, Netlist, NodeId};
 use dlp_core::obs::Recorder;
 use dlp_core::par::{self, ThreadCount};
+use dlp_core::{BudgetExceeded, RunBudget};
 
+use crate::ckpt::SimCheckpoint;
 use crate::detection::{DetectionProfile, DetectionRecord};
 use crate::SimError;
 use crate::stuck_at::{FaultSite, StuckAtFault};
@@ -247,51 +249,56 @@ pub fn simulate_obs(
     threads: ThreadCount,
     obs: &Recorder,
 ) -> Result<DetectionRecord, SimError> {
-    let _span = obs.span("sim.gate");
-    let setup = SimSetup::new(netlist, faults, vectors)?;
-    let workers = threads.get();
-    obs.add("sim.gate.faults", faults.len() as u64);
-    obs.add("sim.gate.vectors", vectors.len() as u64);
-    let mut first_detect: Vec<Option<usize>> = vec![None; faults.len()];
-    let mut live: Vec<usize> = (0..faults.len()).collect();
+    // First-detect is the counted engine with a cap of 1: the rank-1
+    // index of each fault *is* its first detection, a fault retires on
+    // its first credit, and the per-block credit count equals the
+    // per-block retirement count — so both the record and the trace are
+    // exactly what the dedicated first-detect loop produced.
+    let profile = run_counted(
+        "sim.gate",
+        netlist,
+        faults,
+        vectors,
+        1,
+        threads,
+        obs,
+        &RunBudget::unlimited(),
+        None,
+    )?;
+    Ok(profile.first_detect_record())
+}
 
-    for (block_idx, block) in vectors.chunks(64).enumerate() {
-        if live.is_empty() {
-            break;
-        }
-        let block_start = obs.is_enabled().then(std::time::Instant::now);
-        obs.incr("sim.gate.blocks");
-        obs.push("sim.gate.live_per_block", live.len() as f64);
-        let detections = setup.block_detections(block, &live, workers, obs, "sim.gate");
-
-        // Deterministic merge: the difference word is already masked to the
-        // block's used patterns, so the first set bit gives the earliest
-        // detecting pattern *globally* — `block_idx * 64` plus the bit
-        // index — never a worker-local offset.
-        let live_before = live.len();
-        for (fi, diff) in detections.into_iter().flatten() {
-            let first_bit = diff.trailing_zeros() as usize;
-            first_detect[fi] = Some(block_idx * 64 + first_bit);
-        }
-        live.retain(|&fi| first_detect[fi].is_none());
-        let detects = (live_before - live.len()) as f64;
-        obs.push("sim.gate.detects_per_block", detects);
-        // The histogram twin of the series: deterministic percentiles
-        // at any thread count (bucket adds commute).
-        obs.observe("sim.gate.detects_per_block", detects);
-        if let Some(start) = block_start {
-            obs.observe(
-                "sim.gate.block_nanos",
-                start.elapsed().as_nanos() as f64,
-            );
-        }
-    }
-
-    obs.add(
-        "sim.gate.detected",
-        first_detect.iter().filter(|d| d.is_some()).count() as u64,
-    );
-    Ok(DetectionRecord::new(first_detect, vectors.len()))
+/// [`simulate_obs`] under a cooperative [`RunBudget`], resumable from a
+/// [`SimCheckpoint`].
+///
+/// The budget is checked once per 64-pattern block, in the serial outer
+/// loop, so the set of possible interruption points is identical at
+/// every thread count. On a trip the error carries a checkpoint holding
+/// the completed-block prefix; passing it back as `resume` (same
+/// netlist, faults, and vectors) continues the run and reproduces the
+/// uninterrupted record — and its deterministic trace content —
+/// bit-identically at any `DLP_THREADS`.
+///
+/// # Errors
+///
+/// As [`simulate_obs`], plus [`SimError::Budget`] if the memory
+/// estimate already exceeds the budget, [`SimError::Interrupted`]
+/// (carrying the checkpoint) if the budget trips at a block boundary,
+/// and [`SimError::BadCheckpoint`] if `resume` is inconsistent with
+/// this run's inputs.
+pub fn simulate_resumable(
+    netlist: &Netlist,
+    faults: &[StuckAtFault],
+    vectors: &[Vec<bool>],
+    threads: ThreadCount,
+    obs: &Recorder,
+    budget: &RunBudget,
+    resume: Option<&SimCheckpoint>,
+) -> Result<DetectionRecord, SimError> {
+    let profile = run_counted(
+        "sim.gate", netlist, faults, vectors, 1, threads, obs, budget, resume,
+    )?;
+    Ok(profile.first_detect_record())
 }
 
 /// Count-capped simulation: like [`simulate`], but each fault stays live
@@ -366,25 +373,221 @@ pub fn simulate_counted_obs(
     threads: ThreadCount,
     obs: &Recorder,
 ) -> Result<DetectionProfile, SimError> {
-    let _span = obs.span("sim.gate.counted");
+    run_counted(
+        "sim.gate.counted",
+        netlist,
+        faults,
+        vectors,
+        n_cap,
+        threads,
+        obs,
+        &RunBudget::unlimited(),
+        None,
+    )
+}
+
+/// [`simulate_counted_obs`] under a cooperative [`RunBudget`],
+/// resumable from a [`SimCheckpoint`].
+///
+/// Budget and resume semantics are exactly those of
+/// [`simulate_resumable`]: one check per freshly simulated block in the
+/// serial outer loop, interruption surfaces a checkpoint, and resuming
+/// reproduces the uninterrupted profile bit-identically at any
+/// `DLP_THREADS`.
+///
+/// # Errors
+///
+/// As [`simulate_counted_obs`], plus [`SimError::Budget`],
+/// [`SimError::Interrupted`], and [`SimError::BadCheckpoint`] as for
+/// [`simulate_resumable`].
+#[allow(clippy::too_many_arguments)] // mirrors run_counted; a knob struct would hide the contract
+pub fn simulate_counted_resumable(
+    netlist: &Netlist,
+    faults: &[StuckAtFault],
+    vectors: &[Vec<bool>],
+    n_cap: usize,
+    threads: ThreadCount,
+    obs: &Recorder,
+    budget: &RunBudget,
+    resume: Option<&SimCheckpoint>,
+) -> Result<DetectionProfile, SimError> {
+    run_counted(
+        "sim.gate.counted",
+        netlist,
+        faults,
+        vectors,
+        n_cap,
+        threads,
+        obs,
+        budget,
+        resume,
+    )
+}
+
+/// Per-scope trace names, built once per run instead of per block.
+struct ScopeNames {
+    blocks: String,
+    live: String,
+    detects: String,
+    nanos: String,
+}
+
+impl ScopeNames {
+    fn new(scope: &str) -> ScopeNames {
+        ScopeNames {
+            blocks: format!("{scope}.blocks"),
+            live: format!("{scope}.live_per_block"),
+            detects: format!("{scope}.detects_per_block"),
+            nanos: format!("{scope}.block_nanos"),
+        }
+    }
+}
+
+/// Validates a resume checkpoint against this run's shape and replays
+/// the deterministic trace content of its completed blocks (block
+/// counter, live/detect series, detection histogram — not timing, which
+/// is never part of the determinism contract). Returns the restored
+/// detection state and the first block left to simulate.
+fn restore_checkpoint(
+    ckpt: &SimCheckpoint,
+    fault_count: usize,
+    vectors_len: usize,
+    n_cap: usize,
+    obs: &Recorder,
+    names: &ScopeNames,
+) -> Result<(Vec<Vec<usize>>, usize), SimError> {
+    let bad = |what: &'static str| SimError::BadCheckpoint { what };
+    if ckpt.n_cap != n_cap {
+        return Err(bad("detection cap differs from the run's"));
+    }
+    if ckpt.vectors_len != vectors_len {
+        return Err(bad("vector count differs from the run's"));
+    }
+    if ckpt.detections.len() != fault_count {
+        return Err(bad("fault count differs from the run's"));
+    }
+    let total_blocks = vectors_len.div_ceil(64);
+    if ckpt.next_block > total_blocks {
+        return Err(bad("records more blocks than the run has"));
+    }
+    let completed_vectors = (ckpt.next_block * 64).min(vectors_len);
+    // credits[b] / leavers[b]: detections credited in block `b`, and
+    // faults whose cap-th detection (which retires them) is in `b`.
+    let mut credits = vec![0u64; ckpt.next_block];
+    let mut leavers = vec![0usize; ckpt.next_block];
+    for d in &ckpt.detections {
+        if d.len() > n_cap {
+            return Err(bad("a fault exceeds the detection cap"));
+        }
+        if !d.windows(2).all(|w| w[0] < w[1]) {
+            return Err(bad("detection indices are not strictly increasing"));
+        }
+        if d.last().is_some_and(|&i| i >= completed_vectors) {
+            return Err(bad("a detection index is outside the completed blocks"));
+        }
+        for &idx in d {
+            credits[idx / 64] += 1;
+        }
+        if d.len() == n_cap {
+            leavers[d[n_cap - 1] / 64] += 1;
+        }
+    }
+    let mut live_count = fault_count;
+    for b in 0..ckpt.next_block {
+        if live_count == 0 {
+            // The real run breaks out once every fault has retired; a
+            // checkpoint claiming further blocks was never written by it.
+            return Err(bad("records blocks past an exhausted live set"));
+        }
+        obs.incr(&names.blocks);
+        obs.push(&names.live, live_count as f64);
+        obs.push(&names.detects, credits[b] as f64);
+        obs.observe(&names.detects, credits[b] as f64);
+        live_count -= leavers[b];
+    }
+    Ok((ckpt.detections.clone(), ckpt.next_block))
+}
+
+/// Shared engine of both simulation modes: count-capped detection
+/// (first-detect is the cap-1 instance) with cooperative budget checks
+/// and optional resume.
+///
+/// Exactly one budget check guards each freshly simulated block, in the
+/// serial outer loop — so the set of possible interruption points, and
+/// the checkpoint captured at each, is identical at every worker count.
+#[allow(clippy::too_many_arguments)]
+fn run_counted(
+    scope: &'static str,
+    netlist: &Netlist,
+    faults: &[StuckAtFault],
+    vectors: &[Vec<bool>],
+    n_cap: usize,
+    threads: ThreadCount,
+    obs: &Recorder,
+    budget: &RunBudget,
+    resume: Option<&SimCheckpoint>,
+) -> Result<DetectionProfile, SimError> {
+    let _span = obs.span(scope);
     if n_cap == 0 || n_cap > MAX_DETECTION_CAP {
         return Err(SimError::BadDetectionCap { cap: n_cap });
     }
     let setup = SimSetup::new(netlist, faults, vectors)?;
     let workers = threads.get();
-    obs.add("sim.gate.counted.faults", faults.len() as u64);
-    obs.add("sim.gate.counted.vectors", vectors.len() as u64);
-    let mut detections: Vec<Vec<usize>> = vec![Vec::new(); faults.len()];
-    let mut live: Vec<usize> = (0..faults.len()).collect();
+    let total_blocks = vectors.len().div_ceil(64);
 
-    for (block_idx, block) in vectors.chunks(64).enumerate() {
+    // Up-front footprint estimate: the detection profile's worst case
+    // (faults × n_cap indices) plus the good-circuit words and each
+    // worker's scratch copy.
+    let estimate = (faults.len() as u64)
+        .saturating_mul(n_cap as u64)
+        .saturating_mul(8)
+        .saturating_add(
+            (netlist.node_count() as u64)
+                .saturating_mul(8)
+                .saturating_mul(workers as u64 + 1),
+        );
+    if let Err(reason) = budget.check_memory(estimate) {
+        return Err(SimError::Budget(BudgetExceeded {
+            reason,
+            completed: 0,
+            total: total_blocks as u64,
+        }));
+    }
+
+    let names = ScopeNames::new(scope);
+    obs.add(&format!("{scope}.faults"), faults.len() as u64);
+    obs.add(&format!("{scope}.vectors"), vectors.len() as u64);
+    let (mut detections, start_block) = match resume {
+        Some(ckpt) => restore_checkpoint(ckpt, faults.len(), vectors.len(), n_cap, obs, &names)?,
+        None => (vec![Vec::new(); faults.len()], 0),
+    };
+    let mut live: Vec<usize> = (0..faults.len())
+        .filter(|&fi| detections[fi].len() < n_cap)
+        .collect();
+
+    for (block_idx, block) in vectors.chunks(64).enumerate().skip(start_block) {
         if live.is_empty() {
             break;
         }
+        if let Err(reason) = budget.check() {
+            return Err(SimError::Interrupted {
+                budget: BudgetExceeded {
+                    reason,
+                    completed: block_idx as u64,
+                    total: total_blocks as u64,
+                },
+                checkpoint: Box::new(SimCheckpoint {
+                    n_cap,
+                    next_block: block_idx,
+                    vectors_len: vectors.len(),
+                    detections,
+                }),
+            });
+        }
         let block_start = obs.is_enabled().then(std::time::Instant::now);
-        obs.incr("sim.gate.counted.blocks");
-        obs.push("sim.gate.counted.live_per_block", live.len() as f64);
-        let found = setup.block_detections(block, &live, workers, obs, "sim.gate.counted");
+        obs.incr(&names.blocks);
+        obs.push(&names.live, live.len() as f64);
+        let found = setup.block_detections(block, &live, workers, obs, scope);
 
         // Count-merge determinism rule: the masked difference word is a
         // pure function of (fault, block), and its set bits are consumed
@@ -403,18 +606,15 @@ pub fn simulate_counted_obs(
             }
         }
         live.retain(|&fi| detections[fi].len() < n_cap);
-        obs.push("sim.gate.counted.detects_per_block", credited as f64);
-        obs.observe("sim.gate.counted.detects_per_block", credited as f64);
+        obs.push(&names.detects, credited as f64);
+        obs.observe(&names.detects, credited as f64);
         if let Some(start) = block_start {
-            obs.observe(
-                "sim.gate.counted.block_nanos",
-                start.elapsed().as_nanos() as f64,
-            );
+            obs.observe(&names.nanos, start.elapsed().as_nanos() as f64);
         }
     }
 
     obs.add(
-        "sim.gate.counted.detected",
+        &format!("{scope}.detected"),
         detections.iter().filter(|d| !d.is_empty()).count() as u64,
     );
     Ok(DetectionProfile::new(detections, n_cap, vectors.len()))
@@ -721,6 +921,410 @@ mod tests {
                 what: "node"
             })
         );
+    }
+
+    /// The deterministic slice of a simulation trace: counters, series,
+    /// and the detection histogram — everything except timing and
+    /// worker telemetry, which the determinism contract excludes.
+    #[allow(clippy::type_complexity)]
+    fn trace_fingerprint(
+        obs: &Recorder,
+        scope: &str,
+    ) -> (
+        Vec<(String, u64)>,
+        Vec<(String, Vec<f64>)>,
+        Option<(u64, Vec<(f64, u64)>)>,
+    ) {
+        let report = obs.report(scope);
+        let counters = report
+            .counters
+            .iter()
+            .filter(|(n, _)| {
+                n.starts_with(scope)
+                    && !n.contains("worker")
+                    && !n.contains("nanos")
+                    && !n.contains("wall")
+                    && !n.contains("slot")
+            })
+            .cloned()
+            .collect();
+        let series = report
+            .series
+            .iter()
+            .filter(|(n, _)| n.ends_with("live_per_block") || n.ends_with("detects_per_block"))
+            .cloned()
+            .collect();
+        let hist = report
+            .hist(&format!("{scope}.detects_per_block"))
+            .map(|h| (h.count, h.buckets.to_vec()));
+        (counters, series, hist)
+    }
+
+    #[test]
+    fn counted_interrupt_and_resume_is_bit_identical() {
+        use dlp_core::obs::Recorder;
+        use dlp_core::par::ThreadCount;
+        use dlp_core::RunBudget;
+
+        let nl = generators::c432_class();
+        let faults = stuck_at::enumerate(&nl).collapse();
+        let vectors = random_vectors(36, 256, 33);
+        let n_cap = 2;
+        let reference_obs = Recorder::enabled();
+        let reference = simulate_counted_obs(
+            &nl,
+            faults.faults(),
+            &vectors,
+            n_cap,
+            ThreadCount::fixed(1).unwrap(),
+            &reference_obs,
+        )
+        .unwrap();
+        let reference_trace = trace_fingerprint(&reference_obs, "sim.gate.counted");
+        // Blocks the uninterrupted run actually simulated (it may break
+        // early once every fault reaches the cap).
+        let simulated = reference_obs
+            .report("sim.gate.counted")
+            .counter("sim.gate.counted.blocks")
+            .unwrap();
+        assert!(simulated >= 2, "need at least two blocks to interrupt");
+
+        for kill in 0..simulated {
+            for t in [1usize, 2, 4] {
+                let threads = ThreadCount::fixed(t).unwrap();
+                let budget = RunBudget::unlimited().cancel_after_checks(kill);
+                let err = simulate_counted_resumable(
+                    &nl,
+                    faults.faults(),
+                    &vectors,
+                    n_cap,
+                    threads,
+                    Recorder::noop(),
+                    &budget,
+                    None,
+                )
+                .expect_err("fuse below the block count must interrupt");
+                let (info, ckpt) = match err {
+                    SimError::Interrupted { budget, checkpoint } => (budget, checkpoint),
+                    other => panic!("kill={kill} t={t}: expected Interrupted, got {other:?}"),
+                };
+                assert_eq!(info.completed, kill, "kill={kill} t={t}");
+                assert_eq!(info.total, 4);
+                assert_eq!(ckpt.next_block, kill as usize);
+                // Round-trip through the sealed on-disk envelope.
+                let sealed = dlp_core::ckpt::seal(
+                    crate::ckpt::SIM_CKPT_KIND,
+                    SimCheckpoint::key(&nl, faults.faults(), &vectors, n_cap),
+                    &ckpt.to_payload(),
+                );
+                let payload = dlp_core::ckpt::open(
+                    &sealed,
+                    crate::ckpt::SIM_CKPT_KIND,
+                    SimCheckpoint::key(&nl, faults.faults(), &vectors, n_cap),
+                )
+                .unwrap();
+                let restored = SimCheckpoint::from_payload(&payload).unwrap();
+                assert_eq!(restored, *ckpt);
+                // Resume and compare against the uninterrupted run.
+                let resume_obs = Recorder::enabled();
+                let resumed = simulate_counted_resumable(
+                    &nl,
+                    faults.faults(),
+                    &vectors,
+                    n_cap,
+                    threads,
+                    &resume_obs,
+                    &RunBudget::unlimited(),
+                    Some(&restored),
+                )
+                .unwrap();
+                assert_eq!(resumed, reference, "kill={kill} t={t}");
+                assert_eq!(
+                    trace_fingerprint(&resume_obs, "sim.gate.counted"),
+                    reference_trace,
+                    "kill={kill} t={t}: resumed trace must match"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_detect_interrupt_and_resume_is_bit_identical() {
+        use dlp_core::obs::Recorder;
+        use dlp_core::par::ThreadCount;
+        use dlp_core::RunBudget;
+
+        let nl = generators::c432_class();
+        let faults = stuck_at::enumerate(&nl).collapse();
+        let vectors = random_vectors(36, 192, 5);
+        let reference_obs = Recorder::enabled();
+        let reference = simulate_obs(
+            &nl,
+            faults.faults(),
+            &vectors,
+            ThreadCount::fixed(1).unwrap(),
+            &reference_obs,
+        )
+        .unwrap();
+        let reference_trace = trace_fingerprint(&reference_obs, "sim.gate");
+        let simulated = reference_obs
+            .report("sim.gate")
+            .counter("sim.gate.blocks")
+            .unwrap();
+
+        for kill in 1..simulated {
+            for t in [1usize, 2, 4] {
+                let threads = ThreadCount::fixed(t).unwrap();
+                let budget = RunBudget::unlimited().cancel_after_checks(kill);
+                let err = simulate_resumable(
+                    &nl,
+                    faults.faults(),
+                    &vectors,
+                    threads,
+                    Recorder::noop(),
+                    &budget,
+                    None,
+                )
+                .expect_err("fuse below the block count must interrupt");
+                let ckpt = match err {
+                    SimError::Interrupted { checkpoint, .. } => checkpoint,
+                    other => panic!("kill={kill} t={t}: expected Interrupted, got {other:?}"),
+                };
+                let resume_obs = Recorder::enabled();
+                let resumed = simulate_resumable(
+                    &nl,
+                    faults.faults(),
+                    &vectors,
+                    threads,
+                    &resume_obs,
+                    &RunBudget::unlimited(),
+                    Some(&ckpt),
+                )
+                .unwrap();
+                assert_eq!(resumed, reference, "kill={kill} t={t}");
+                assert_eq!(
+                    trace_fingerprint(&resume_obs, "sim.gate"),
+                    reference_trace,
+                    "kill={kill} t={t}: resumed trace must match"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn double_interrupt_then_resume_still_matches() {
+        use dlp_core::obs::Recorder;
+        use dlp_core::par::ThreadCount;
+        use dlp_core::RunBudget;
+
+        let nl = generators::c432_class();
+        let faults = stuck_at::enumerate(&nl).collapse();
+        let vectors = random_vectors(36, 256, 33);
+        let threads = ThreadCount::fixed(2).unwrap();
+        let reference =
+            simulate_counted(&nl, faults.faults(), &vectors, 2).unwrap();
+        // First interrupt after 1 block, second after 1 more.
+        let first = simulate_counted_resumable(
+            &nl,
+            faults.faults(),
+            &vectors,
+            2,
+            threads,
+            Recorder::noop(),
+            &RunBudget::unlimited().cancel_after_checks(1),
+            None,
+        )
+        .expect_err("first fuse");
+        let SimError::Interrupted { checkpoint, .. } = first else {
+            panic!("expected Interrupted");
+        };
+        let second = simulate_counted_resumable(
+            &nl,
+            faults.faults(),
+            &vectors,
+            2,
+            threads,
+            Recorder::noop(),
+            &RunBudget::unlimited().cancel_after_checks(1),
+            Some(&checkpoint),
+        )
+        .expect_err("second fuse");
+        let SimError::Interrupted { budget, checkpoint } = second else {
+            panic!("expected Interrupted");
+        };
+        assert_eq!(budget.completed, 2, "progress accumulates across resumes");
+        assert_eq!(checkpoint.next_block, 2);
+        let finished = simulate_counted_resumable(
+            &nl,
+            faults.faults(),
+            &vectors,
+            2,
+            threads,
+            Recorder::noop(),
+            &RunBudget::unlimited(),
+            Some(&checkpoint),
+        )
+        .unwrap();
+        assert_eq!(finished, reference);
+    }
+
+    #[test]
+    fn resume_rejects_inconsistent_checkpoints() {
+        use dlp_core::obs::Recorder;
+        use dlp_core::par::ThreadCount;
+        use dlp_core::RunBudget;
+
+        let c17 = generators::c17();
+        let faults = stuck_at::enumerate(&c17).collapse();
+        let vectors = random_vectors(5, 128, 7);
+        let n_faults = faults.len();
+        let threads = ThreadCount::fixed(1).unwrap();
+        let run = |ckpt: &SimCheckpoint| {
+            simulate_counted_resumable(
+                &c17,
+                faults.faults(),
+                &vectors,
+                2,
+                threads,
+                Recorder::noop(),
+                &RunBudget::unlimited(),
+                Some(ckpt),
+            )
+        };
+        let good = SimCheckpoint {
+            n_cap: 2,
+            next_block: 1,
+            vectors_len: 128,
+            detections: vec![Vec::new(); n_faults],
+        };
+        assert!(run(&good).is_ok(), "an empty one-block checkpoint resumes");
+        for (label, bad) in [
+            ("cap", SimCheckpoint { n_cap: 3, ..good.clone() }),
+            ("vectors", SimCheckpoint { vectors_len: 64, ..good.clone() }),
+            (
+                "faults",
+                SimCheckpoint {
+                    detections: vec![Vec::new(); n_faults + 1],
+                    ..good.clone()
+                },
+            ),
+            ("blocks", SimCheckpoint { next_block: 3, ..good.clone() }),
+            (
+                "index range",
+                SimCheckpoint {
+                    detections: {
+                        let mut d = vec![Vec::new(); n_faults];
+                        d[0] = vec![64]; // not within the 1 completed block
+                        d
+                    },
+                    ..good.clone()
+                },
+            ),
+            (
+                "ordering",
+                SimCheckpoint {
+                    detections: {
+                        let mut d = vec![Vec::new(); n_faults];
+                        d[0] = vec![5, 5];
+                        d
+                    },
+                    ..good.clone()
+                },
+            ),
+            (
+                "over cap",
+                SimCheckpoint {
+                    detections: {
+                        let mut d = vec![Vec::new(); n_faults];
+                        d[0] = vec![1, 2, 3];
+                        d
+                    },
+                    ..good.clone()
+                },
+            ),
+            (
+                "exhausted live set",
+                SimCheckpoint {
+                    next_block: 2,
+                    detections: vec![vec![0, 1]; n_faults],
+                    ..good.clone()
+                },
+            ),
+        ] {
+            assert!(
+                matches!(run(&bad), Err(SimError::BadCheckpoint { .. })),
+                "{label} inconsistency must be a typed error"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_budget_gates_up_front() {
+        use dlp_core::obs::Recorder;
+        use dlp_core::par::ThreadCount;
+        use dlp_core::{BudgetReason, RunBudget};
+
+        let c17 = generators::c17();
+        let faults = stuck_at::enumerate(&c17).collapse();
+        let vectors = random_vectors(5, 64, 7);
+        let err = simulate_counted_resumable(
+            &c17,
+            faults.faults(),
+            &vectors,
+            2,
+            ThreadCount::fixed(1).unwrap(),
+            Recorder::noop(),
+            &RunBudget::unlimited().with_memory_limit(16),
+            None,
+        )
+        .expect_err("a 16-byte budget cannot fit any simulation");
+        match err {
+            SimError::Budget(b) => {
+                assert_eq!(b.completed, 0);
+                assert!(matches!(b.reason, BudgetReason::Memory { .. }));
+            }
+            other => panic!("expected Budget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_file_round_trip_binds_the_inputs() {
+        use std::path::PathBuf;
+
+        let dir: PathBuf = [
+            env!("CARGO_MANIFEST_DIR"),
+            "..",
+            "..",
+            "target",
+            "tmp",
+            concat!("sim_ckpt_", env!("CARGO_PKG_NAME")),
+        ]
+        .iter()
+        .collect();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("ppsfp_{}.ckpt", std::process::id()));
+        let path = path.to_str().unwrap();
+
+        let c17 = generators::c17();
+        let faults = stuck_at::enumerate(&c17).collapse();
+        let vectors = random_vectors(5, 128, 7);
+        let ckpt = SimCheckpoint {
+            n_cap: 2,
+            next_block: 1,
+            vectors_len: 128,
+            detections: vec![Vec::new(); faults.len()],
+        };
+        ckpt.save_to(path, &c17, faults.faults(), &vectors).unwrap();
+        let loaded =
+            SimCheckpoint::load_from(path, &c17, faults.faults(), &vectors, 2).unwrap();
+        assert_eq!(loaded, ckpt);
+        // A different cap derives a different key: the stale file must
+        // be rejected, not silently reinterpreted.
+        assert!(matches!(
+            SimCheckpoint::load_from(path, &c17, faults.faults(), &vectors, 3),
+            Err(dlp_core::CkptError::KeyMismatch { .. })
+        ));
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

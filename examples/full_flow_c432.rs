@@ -18,9 +18,9 @@
 //! number the flow prints.
 
 use dlp::bench::pipeline;
-use dlp::core::montecarlo::{simulate_fallout_obs, MonteCarloConfig};
+use dlp::core::montecarlo::{simulate_fallout_resumable, MonteCarloConfig};
 use dlp::core::par::ThreadCount;
-use dlp::core::{fit, sousa::SousaModel};
+use dlp::core::{fit, sousa::SousaModel, RunBudget};
 use dlp::extract::defects::DefectStatistics;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -84,7 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|d| d.is_some())
         .collect();
-    let mc = simulate_fallout_obs(
+    let mc = simulate_fallout_resumable(
         &extraction.weights,
         &detected,
         &MonteCarloConfig {
@@ -93,6 +93,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         ThreadCount::from_env()?,
         &obs,
+        &RunBudget::from_env()?,
+        None,
     )?;
     let theta_full = run
         .record_theta

@@ -63,4 +63,11 @@ cargo run --release -q -p dlp-bench --bin perf_regress -- --self-test
 cargo run --release -q -p dlp-bench --bin perf_regress -- \
     --baseline baselines/perf_baseline.json
 
+# Chaos gate (DESIGN.md §12): the adversarial corpus plus seeded
+# randomized sweeps — kill each long stage at chunk boundaries and
+# demand a bit-identical resume from its checkpoint at 1/2/4 workers,
+# then truncate/bit-flip the checkpoint files and demand typed errors.
+echo "== chaos: kill/resume and artifact-corruption sweeps"
+cargo run --release -q -p dlp-inject --bin chaos
+
 echo "All checks passed."
