@@ -163,6 +163,13 @@ fn measure() -> Result<BenchReport, PipelineError> {
 }
 
 fn print_comparison(cmp: &regress::Comparison) {
+    if let Some((base, cur)) = cmp.cpu_mismatch {
+        eprintln!(
+            "warning: baseline was recorded on {base} CPU(s), this machine has {cur} — \
+             thread-scaling numbers are not comparable; \
+             rewrite the baseline here with --write-baseline"
+        );
+    }
     let rows: Vec<Vec<String>> = cmp
         .findings
         .iter()
@@ -277,7 +284,23 @@ fn self_test() -> Result<bool, PipelineError> {
         if names_lost { "is named" } else { "NOT NAMED" },
     );
 
-    Ok(clean && detected && names_new && names_lost)
+    // (e) Environment drift: a baseline recorded with a different CPU
+    // count must be flagged (the committed 0.6x parallel "speedup" was
+    // a single-CPU-container artifact) and stay non-fatal — calibration
+    // cancels core speed, not core count.
+    let mut other_env = current.clone();
+    other_env.env.cpus = current.env.cpus + 1;
+    let drifted = regress::compare(&other_env, &current)
+        .map_err(|e| pipeline_err(&e.to_string()))?;
+    let cpus_named = drifted.passed()
+        && drifted.cpu_mismatch == Some((current.env.cpus + 1, current.env.cpus));
+    println!(
+        "self-test: baseline from a {}-CPU machine {} (non-fatal)",
+        current.env.cpus + 1,
+        if cpus_named { "is flagged" } else { "NOT FLAGGED" },
+    );
+
+    Ok(clean && detected && names_new && names_lost && cpus_named)
 }
 
 fn pipeline_err(msg: &str) -> PipelineError {

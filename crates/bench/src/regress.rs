@@ -100,6 +100,14 @@ pub struct Comparison {
     /// Timed workloads in the baseline that were not measured now
     /// (non-fatal, but reported — silent coverage loss hides regressions).
     pub missing_in_current: Vec<String>,
+    /// `(baseline, current)` CPU counts when they differ (non-fatal).
+    ///
+    /// Calibration cancels core *speed*, not core *count*: a baseline
+    /// recorded on a single-CPU container makes any multi-threaded
+    /// "speedup" (or slowdown) on real hardware an artifact of the
+    /// environment, not the code — the committed 0.6x parallel
+    /// "speedup" was exactly this.
+    pub cpu_mismatch: Option<(usize, usize)>,
 }
 
 impl Comparison {
@@ -200,10 +208,13 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport) -> Result<Comparis
         .filter(|e| current.entry(&e.label).is_none())
         .map(|e| e.label.clone())
         .collect();
+    let cpu_mismatch = (baseline.env.cpus != current.env.cpus)
+        .then_some((baseline.env.cpus, current.env.cpus));
     Ok(Comparison {
         findings,
         missing_in_baseline,
         missing_in_current,
+        cpu_mismatch,
     })
 }
 
@@ -279,6 +290,18 @@ mod tests {
         assert_eq!(cmp.missing_in_baseline, vec!["w/new".to_string()]);
         assert_eq!(cmp.missing_in_current, vec!["w/old".to_string()]);
         assert!(cmp.passed());
+    }
+
+    #[test]
+    fn differing_cpu_counts_are_flagged_not_fatal() {
+        let base = report(&[(CALIBRATION_LABEL, 100.0), ("w/a", 1000.0)]);
+        let mut cur = base.clone();
+        cur.env.cpus = base.env.cpus + 7;
+        let cmp = compare(&base, &cur).expect("comparable");
+        assert_eq!(cmp.cpu_mismatch, Some((base.env.cpus, base.env.cpus + 7)));
+        assert!(cmp.passed(), "a cpus mismatch warns, it does not fail");
+        let same = compare(&base, &base).expect("comparable");
+        assert_eq!(same.cpu_mismatch, None);
     }
 
     #[test]

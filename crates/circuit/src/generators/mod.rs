@@ -7,6 +7,15 @@
 //! * [`c432_class`] — a 36-input / 7-output 27-channel interrupt controller
 //!   of the same class as ISCAS-85 `c432` (see `DESIGN.md` for the
 //!   substitution rationale),
+//! * the ISCAS-85-class family analogues — [`c1355_class`]
+//!   (error-correcting XOR network), [`c2670_class`] (ALU + interrupt
+//!   controller), [`c5315_class`] (dual-datapath ALU), [`c6288_class`]
+//!   (16x16 array multiplier), [`c7552_class`] (triple-core
+//!   adder/comparator/parity datapath) — plus the parameterized
+//!   [`array_multiplier`],
+//! * [`tiled_multiplier`] — `n` identical multiplier tiles XOR-folded
+//!   into 16 outputs, scaling the collapsed fault universe linearly to
+//!   10^6+ while keeping per-fault cones bounded,
 //! * arithmetic and datapath blocks ([`ripple_adder`], [`comparator`],
 //!   [`alu_slice`]),
 //! * regular structures ([`decoder`], [`parity_tree`], [`mux_tree`]),
@@ -16,14 +25,21 @@
 //! All generators return frozen, validated [`Netlist`]s.
 
 mod arith;
+mod blocks;
 mod interrupt;
+mod iscas;
 mod random;
 mod regular;
+mod tiled;
 
 pub use arith::{alu_slice, comparator, ripple_adder};
 pub use interrupt::c432_class;
+pub use iscas::{
+    array_multiplier, c1355_class, c2670_class, c5315_class, c6288_class, c7552_class,
+};
 pub use random::{random_logic, RandomLogicConfig};
 pub use regular::{decoder, mux_tree, parity_tree};
+pub use tiled::{multiplier_tile, tiled_multiplier, TILE_INPUTS, TILE_WIDTH};
 
 use crate::must::MustExt;
 use crate::{bench, Netlist};

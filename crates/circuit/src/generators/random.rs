@@ -28,14 +28,22 @@ impl Default for RandomLogicConfig {
 
 /// Generates a random combinational netlist.
 ///
-/// Gates draw 1–4 fanins from a sliding recency window (biasing toward
-/// recent signals keeps depth and fanout realistic instead of degenerating
-/// into a flat OR of inputs). The generator is deterministic in the seed.
+/// Non-inverter gates draw an arity uniformly from 2–4 — independently of
+/// the gate kind — and take their fanins from a sliding recency window
+/// (biasing toward recent signals keeps depth and fanout realistic instead
+/// of degenerating into a flat OR of inputs). Every gate gets exactly its
+/// drawn arity in distinct signals; when the recency window cannot supply
+/// them the whole signal pool is searched, and a pool that is *still* too
+/// small is a typed error rather than a silently narrower gate. The
+/// generator is deterministic in the seed.
 ///
 /// # Errors
 ///
 /// [`NetlistError::BadShape`] if `inputs == 0`, `gates == 0`, or `outputs`
-/// exceeds `gates`.
+/// exceeds `gates`; also when the signal pool cannot supply a drawn arity
+/// in distinct signals (possible only for `inputs < 4`, where the first
+/// gates may draw a wider fanin than the pool holds — such shapes build or
+/// fail deterministically per seed).
 ///
 /// # Example
 ///
@@ -88,10 +96,13 @@ pub fn random_logic(config: &RandomLogicConfig) -> Result<Netlist, NetlistError>
     for g in 0..config.gates {
         let r = next();
         let kind = KINDS[(r % 8) as usize];
+        // Arity from bits 8.. of the draw — independent of the kind bits
+        // 0..3. (A shift-precedence typo, `r >> (8 % 3)`, once sourced the
+        // arity from bits 2..4 of the same word, correlating it with kind.)
         let arity = if matches!(kind, GateKind::Not) {
             1
         } else {
-            2 + (r >> (8 % 3)) as usize % 3
+            2 + ((r >> 8) % 3) as usize
         };
         // Recency window: last 3*inputs signals.
         let window = pool.len().min(3 * config.inputs);
@@ -105,21 +116,24 @@ pub fn random_logic(config: &RandomLogicConfig) -> Result<Netlist, NetlistError>
                 fanin.push(pick);
             }
         }
-        while fanin.len() < arity {
-            // Window exhausted of distinct signals (tiny configs): walk the
-            // whole pool deterministically.
-            let pick = pool[fanin.len() % pool.len()];
-            if !fanin.contains(&pick) {
-                fanin.push(pick);
-            } else {
+        // Window exhausted of distinct signals (tiny configs): walk the
+        // whole pool, newest first, for signals not drawn yet.
+        for &pick in pool.iter().rev() {
+            if fanin.len() == arity {
                 break;
             }
+            if !fanin.contains(&pick) {
+                fanin.push(pick);
+            }
         }
-        let kind = if fanin.len() == 1 {
-            GateKind::Not
-        } else {
-            kind
-        };
+        if fanin.len() < arity {
+            // The pool itself has fewer distinct signals than the drawn
+            // arity — shrinking the gate here would silently violate the
+            // declared-arity contract the property tests enforce.
+            return Err(NetlistError::BadShape(
+                "signal pool cannot supply the drawn gate arity",
+            ));
+        }
         let id = nl.add_gate(format!("g{g}"), kind, fanin)?;
         pool.push(id);
     }
@@ -166,8 +180,10 @@ mod tests {
 
     #[test]
     fn tiny_configs_work() {
+        // Four inputs supply any drawn arity from the first gate onward,
+        // so this shape builds for every seed.
         let nl = random_logic(&RandomLogicConfig {
-            inputs: 1,
+            inputs: 4,
             gates: 3,
             outputs: 1,
             seed: 1,
@@ -177,20 +193,53 @@ mod tests {
     }
 
     #[test]
+    fn starved_pool_is_a_typed_error_not_a_narrow_gate() {
+        // One input cannot supply a 2..4-fanin gate; some seed in a short
+        // sweep must hit a non-inverter first draw and surface the typed
+        // error (never a gate with fewer fanins than drawn).
+        let mut starved = 0;
+        for seed in 0..16u64 {
+            match random_logic(&RandomLogicConfig {
+                inputs: 1,
+                gates: 3,
+                outputs: 1,
+                seed,
+            }) {
+                Ok(nl) => {
+                    for id in nl.node_ids() {
+                        assert!(nl.fanin(id).len() <= 1, "1-input pool grew a wide gate");
+                    }
+                }
+                Err(NetlistError::BadShape(msg)) => {
+                    assert!(msg.contains("arity"), "{msg}");
+                    starved += 1;
+                }
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        assert!(starved > 0, "sweep never exercised the starved-pool error");
+    }
+
+    #[test]
     fn never_panics_and_validates_across_shapes() {
         // Deterministic sweep over the shape space the old property test
-        // sampled: every config must build, validate, and evaluate.
+        // sampled: every config with >= 4 inputs must build, validate, and
+        // evaluate; narrower ones either build or fail with the typed
+        // starved-pool error — never panic.
         for seed in 0..40u64 {
             let inputs = 1 + (seed as usize * 7) % 19;
             let gates = 1 + (seed as usize * 13) % 119;
             let outputs = gates.min(4);
-            let nl = random_logic(&RandomLogicConfig {
+            let nl = match random_logic(&RandomLogicConfig {
                 inputs,
                 gates,
                 outputs,
                 seed,
-            })
-            .unwrap();
+            }) {
+                Ok(nl) => nl,
+                Err(NetlistError::BadShape(_)) if inputs < 4 => continue,
+                Err(other) => panic!("unexpected error {other:?}"),
+            };
             assert!(nl.validate().is_ok());
             assert_eq!(nl.gate_count(), gates);
             // Evaluation must not panic.

@@ -1,0 +1,188 @@
+//! Tiled synthetic circuits that scale the fault universe to millions
+//! while keeping every fault cheap to simulate.
+//!
+//! [`tiled_multiplier`] instantiates `n` structurally identical 8x8
+//! array-multiplier tiles over a shared pool of 64 primary inputs (each
+//! tile reads a deterministic permutation of the pool) and folds the
+//! tiles' product bits into 16 global outputs through balanced XOR
+//! trees. XOR folding masks nothing, so every tile-internal fault stays
+//! observable, and a fault's evaluation cone is bounded by its tile's
+//! remainder plus one logarithmic fold path — independent of `n`. That
+//! is what lets parts-per-second throughput stay flat while the
+//! collapsed fault count grows linearly to 10^6 and beyond.
+//!
+//! Because every tile is emitted by the same
+//! [`Emit::multiplier`](super::blocks::Emit) routine that builds
+//! [`multiplier_tile`], a laid-out template tile is structurally
+//! identical to each instance — the basis of the tiled critical-area
+//! replication in `dlp-layout`/`dlp-extract`.
+
+use super::blocks::Emit;
+use crate::must::MustExt;
+use crate::{GateKind, Netlist, NodeId};
+
+/// Operand width of one tile (an 8x8 multiplier, ~340 gates).
+pub const TILE_WIDTH: usize = 8;
+
+/// Number of shared primary inputs feeding the tiles.
+pub const TILE_INPUTS: usize = 64;
+
+/// The standalone template tile: an 8x8 array multiplier with its own
+/// 16 inputs, structurally identical to every tile instance inside
+/// [`tiled_multiplier`].
+pub fn multiplier_tile() -> Netlist {
+    let mut nl = super::array_multiplier(TILE_WIDTH);
+    nl.set_name("multiplier_tile");
+    nl
+}
+
+/// Operand selections of tile `t`: indices into the shared input pool.
+/// `a` draws even pool slots, `b` odd ones, so the two operands of any
+/// partial-product gate are always distinct signals; the strides are
+/// coprime to the pool half so each operand's bits are distinct too.
+fn tile_operands(t: usize) -> ([usize; TILE_WIDTH], [usize; TILE_WIDTH]) {
+    let mut a = [0usize; TILE_WIDTH];
+    let mut b = [0usize; TILE_WIDTH];
+    for j in 0..TILE_WIDTH {
+        a[j] = 2 * ((3 * t + 5 * j) % (TILE_INPUTS / 2));
+        b[j] = 2 * ((5 * t + 7 * j) % (TILE_INPUTS / 2)) + 1;
+    }
+    (a, b)
+}
+
+/// Builds the `n`-tile multiplier array: 64 shared inputs, `n`
+/// structurally identical 8x8 multiplier tiles, 16 XOR-folded outputs.
+///
+/// The collapsed stuck-at universe grows by ~1.5k faults per tile;
+/// ~700 tiles pass 10^6.
+///
+/// # Panics
+///
+/// Panics if `tiles == 0`.
+pub fn tiled_multiplier(tiles: usize) -> Netlist {
+    assert!(tiles >= 1, "need at least one tile");
+    let mut nl = Netlist::new(format!("tiledmul{tiles}"));
+    let pool: Vec<NodeId> = (0..TILE_INPUTS)
+        .map(|i| nl.add_input(format!("x{i}")).must())
+        .collect();
+    let mut e = Emit::new(&mut nl, "t0_");
+    // Column-major per product bit: fold[k] collects bit k of every tile.
+    let mut fold: Vec<Vec<NodeId>> = (0..2 * TILE_WIDTH)
+        .map(|_| Vec::with_capacity(tiles))
+        .collect();
+    for t in 0..tiles {
+        e.set_prefix(format!("t{t}_"));
+        let (ai, bi) = tile_operands(t);
+        let a: Vec<NodeId> = ai.iter().map(|&i| pool[i]).collect();
+        let b: Vec<NodeId> = bi.iter().map(|&i| pool[i]).collect();
+        for (k, bit) in e.multiplier(&a, &b).into_iter().enumerate() {
+            fold[k].push(bit);
+        }
+    }
+    e.set_prefix("f");
+    let outs: Vec<NodeId> = fold
+        .iter()
+        .map(|column| e.tree(GateKind::Xor, column))
+        .collect();
+    for o in outs {
+        nl.mark_output(o);
+    }
+    nl.freeze();
+    nl.validate().must();
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Native-math model of the whole array: XOR of all tiles' products.
+    fn reference(tiles: usize, pool: u64) -> u16 {
+        let mut folded = 0u32;
+        for t in 0..tiles {
+            let (ai, bi) = tile_operands(t);
+            let gather = |idx: &[usize; TILE_WIDTH]| -> u32 {
+                idx.iter()
+                    .enumerate()
+                    .map(|(j, &i)| (((pool >> i) & 1) as u32) << j)
+                    .sum()
+            };
+            folded ^= gather(&ai) * gather(&bi);
+        }
+        folded as u16
+    }
+
+    #[test]
+    fn tiled_multiplier_matches_native_math() {
+        for tiles in [1usize, 2, 5, 12] {
+            let nl = tiled_multiplier(tiles);
+            assert_eq!(nl.inputs().len(), TILE_INPUTS);
+            assert_eq!(nl.outputs().len(), 2 * TILE_WIDTH);
+            let mut state = 0xA5A5_5A5A_DEAD_C0DEu64;
+            for trial in 0..24 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let words: Vec<u64> = (0..TILE_INPUTS)
+                    .map(|i| if state >> i & 1 == 1 { 1u64 } else { 0 })
+                    .collect();
+                let out = nl.eval_words(&words);
+                let got: u16 = out
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &w)| ((w & 1) as u16) << k)
+                    .sum();
+                assert_eq!(
+                    got,
+                    reference(tiles, state),
+                    "tiles = {tiles}, trial = {trial}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tile_operands_are_distinct_signals() {
+        for t in 0..64 {
+            let (a, b) = tile_operands(t);
+            for j in 0..TILE_WIDTH {
+                assert_eq!(a[j] % 2, 0);
+                assert_eq!(b[j] % 2, 1);
+                for k in j + 1..TILE_WIDTH {
+                    assert_ne!(a[j], a[k], "tile {t} operand a");
+                    assert_ne!(b[j], b[k], "tile {t} operand b");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tile_template_matches_instance_structure() {
+        // The template and a 1-tile array differ only in input wiring
+        // and the (trivial) fold, not in gate composition.
+        let template = multiplier_tile();
+        let one = tiled_multiplier(1);
+        assert_eq!(template.gate_count(), one.gate_count());
+        let kinds = |nl: &Netlist| {
+            let mut m = std::collections::BTreeMap::new();
+            for id in nl.node_ids() {
+                if !nl.fanin(id).is_empty() {
+                    *m.entry(format!("{:?}", nl.kind(id))).or_insert(0usize) += 1;
+                }
+            }
+            m
+        };
+        assert_eq!(kinds(&template), kinds(&one));
+    }
+
+    #[test]
+    fn growth_is_linear_in_tiles() {
+        let g1 = tiled_multiplier(1).gate_count();
+        let g9 = tiled_multiplier(9).gate_count();
+        let per_tile = (g9 - g1) / 8;
+        assert!(
+            (250..=450).contains(&per_tile),
+            "per-tile gate count {per_tile} out of range"
+        );
+    }
+}

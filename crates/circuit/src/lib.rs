@@ -53,4 +53,4 @@ pub mod transform;
 
 pub use error::NetlistError;
 pub use kind::GateKind;
-pub use netlist::{Netlist, NodeId};
+pub use netlist::{ConeScratch, Netlist, NodeId};

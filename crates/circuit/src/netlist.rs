@@ -80,6 +80,10 @@ pub struct Netlist {
     nodes: Vec<Node>,
     inputs: Vec<NodeId>,
     outputs: Vec<NodeId>,
+    // Output membership by node index — `is_output` sits in fault
+    // simulators' innermost cone loops, where scanning `outputs` is
+    // O(|outputs|) per node and dominates at scale.
+    output_flags: Vec<bool>,
     by_name: HashMap<String, NodeId>,
     // Derived, rebuilt lazily on structural change.
     fanouts: Vec<Vec<NodeId>>,
@@ -94,6 +98,7 @@ impl Netlist {
             nodes: Vec::new(),
             inputs: Vec::new(),
             outputs: Vec::new(),
+            output_flags: Vec::new(),
             by_name: HashMap::new(),
             fanouts: Vec::new(),
             levels: Vec::new(),
@@ -103,6 +108,12 @@ impl Netlist {
     /// The netlist's name (used in reports and layout cell prefixes).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Renames the netlist (generators that wrap a parameterized core
+    /// under a benchmark-family name).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
     }
 
     /// Declares a primary input.
@@ -173,7 +184,11 @@ impl Netlist {
     /// Marks a node as a primary output. A node may be marked only once;
     /// repeated marks are ignored.
     pub fn mark_output(&mut self, id: NodeId) {
-        if !self.outputs.contains(&id) {
+        if self.output_flags.len() <= id.index() {
+            self.output_flags.resize(id.index() + 1, false);
+        }
+        if !self.output_flags[id.index()] {
+            self.output_flags[id.index()] = true;
             self.outputs.push(id);
         }
     }
@@ -223,9 +238,10 @@ impl Netlist {
         &self.nodes[id.index()].fanin
     }
 
-    /// True if the node is a primary output.
+    /// True if the node is a primary output. O(1).
+    #[inline]
     pub fn is_output(&self, id: NodeId) -> bool {
-        self.outputs.contains(&id)
+        self.output_flags.get(id.index()).copied().unwrap_or(false)
     }
 
     /// Finalises derived structures (fanout lists and levels). Called
@@ -355,22 +371,66 @@ impl Netlist {
     ///
     /// Panics if the netlist is stale; see [`fanout`](Netlist::fanout).
     pub fn fanout_cone(&self, seed: NodeId) -> Vec<NodeId> {
+        self.fanout_cone_with(seed, &mut ConeScratch::new())
+    }
+
+    /// [`fanout_cone`](Netlist::fanout_cone) with caller-owned scratch
+    /// state. Repeated cone queries (a fault simulator precomputing one
+    /// cone per fault site) reuse the scratch's visited marks instead of
+    /// zeroing a node-count array per call, so the cost per cone is
+    /// proportional to the cone, not the netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist is stale; see [`fanout`](Netlist::fanout).
+    pub fn fanout_cone_with(&self, seed: NodeId, scratch: &mut ConeScratch) -> Vec<NodeId> {
         let (fanouts, _) = self.frozen();
-        let mut in_cone = vec![false; self.nodes.len()];
-        let mut stack = vec![seed];
-        in_cone[seed.index()] = true;
-        while let Some(n) = stack.pop() {
+        let epoch = scratch.begin(self.nodes.len());
+        let mut cone = vec![seed];
+        scratch.mark[seed.index()] = epoch;
+        let mut head = 0;
+        while head < cone.len() {
+            let n = cone[head];
+            head += 1;
             for &s in &fanouts[n.index()] {
-                if !in_cone[s.index()] {
-                    in_cone[s.index()] = true;
-                    stack.push(s);
+                if scratch.mark[s.index()] != epoch {
+                    scratch.mark[s.index()] = epoch;
+                    cone.push(s);
                 }
             }
         }
-        (0..self.nodes.len() as u32)
-            .map(NodeId)
-            .filter(|n| in_cone[n.index()])
-            .collect()
+        cone.sort_unstable();
+        cone
+    }
+}
+
+/// Reusable visited-marks for [`Netlist::fanout_cone_with`]: an epoch
+/// counter makes "clearing" the marks between queries free. One scratch
+/// serves netlists of any size (it grows on demand) but is not shareable
+/// across threads — give each worker its own.
+#[derive(Debug, Default)]
+pub struct ConeScratch {
+    mark: Vec<u32>,
+    epoch: u32,
+}
+
+impl ConeScratch {
+    /// An empty scratch; storage is allocated by the first query.
+    pub fn new() -> ConeScratch {
+        ConeScratch::default()
+    }
+
+    /// Starts a query over `nodes` nodes and returns the fresh epoch.
+    fn begin(&mut self, nodes: usize) -> u32 {
+        if self.mark.len() < nodes {
+            self.mark.resize(nodes, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.mark.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
     }
 }
 

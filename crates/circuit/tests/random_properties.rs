@@ -1,0 +1,112 @@
+//! Property tests for the seeded random-netlist generator.
+//!
+//! Two historical bugs motivate these: a shift-precedence typo that drew
+//! the gate arity from the same low bits as the gate kind (correlating
+//! and biasing both), and a window-exhausted fallback that silently
+//! emitted gates with fewer fanins than the drawn arity. The properties
+//! here — declared arity with distinct fanins on every gate, and a
+//! roughly uniform 2/3/4 arity histogram independent of kind — fail if
+//! either regresses.
+
+use dlp_circuit::generators::{random_logic, RandomLogicConfig};
+use dlp_circuit::GateKind;
+
+/// The seed sweep: enough shapes and seeds that the histogram is tight.
+fn sweep() -> Vec<RandomLogicConfig> {
+    (0..24u64)
+        .map(|seed| RandomLogicConfig {
+            inputs: 8 + (seed as usize % 5),
+            gates: 150 + (seed as usize * 11) % 120,
+            outputs: 4,
+            seed: 1 + seed * 17,
+        })
+        .collect()
+}
+
+#[test]
+fn every_gate_has_its_declared_arity_with_distinct_fanins() {
+    for cfg in sweep() {
+        let nl = random_logic(&cfg).expect("sweep shapes have >= 4 inputs");
+        for id in nl.node_ids() {
+            let fanin = nl.fanin(id);
+            if fanin.is_empty() {
+                continue; // primary input
+            }
+            match nl.kind(id) {
+                GateKind::Not | GateKind::Buf => assert_eq!(
+                    fanin.len(),
+                    1,
+                    "inverter arity on {} of seed {}",
+                    nl.node_name(id),
+                    cfg.seed
+                ),
+                _ => assert!(
+                    (2..=4).contains(&fanin.len()),
+                    "gate {} of seed {} has arity {}",
+                    nl.node_name(id),
+                    cfg.seed,
+                    fanin.len()
+                ),
+            }
+            for (i, a) in fanin.iter().enumerate() {
+                for b in &fanin[i + 1..] {
+                    assert_ne!(a, b, "duplicate fanin on {}", nl.node_name(id));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn arity_histogram_is_roughly_uniform_and_kind_independent() {
+    // Counts indexed by [kind bucket][arity - 2]; the kind buckets are
+    // inverting (NAND/NOR/NOT-class) vs non-inverting, which the old
+    // correlated draw skewed against each other.
+    let mut by_arity = [0usize; 3];
+    let mut inverting = [0usize; 3];
+    let mut total_wide = 0usize;
+    for cfg in sweep() {
+        let nl = random_logic(&cfg).expect("sweep shapes have >= 4 inputs");
+        for id in nl.node_ids() {
+            let fanin = nl.fanin(id);
+            if fanin.len() < 2 {
+                continue;
+            }
+            let a = fanin.len() - 2;
+            by_arity[a] += 1;
+            total_wide += 1;
+            if matches!(nl.kind(id), GateKind::Nand | GateKind::Nor | GateKind::Xnor) {
+                inverting[a] += 1;
+            }
+        }
+    }
+    // Roughly uniform: each arity within 20% of the ideal third. The old
+    // `r >> 2` draw put arity 2 at ~50% and arity 4 at ~25%.
+    let ideal = total_wide as f64 / 3.0;
+    for (i, &n) in by_arity.iter().enumerate() {
+        let ratio = n as f64 / ideal;
+        assert!(
+            (0.8..=1.2).contains(&ratio),
+            "arity {} count {} vs ideal {:.0} (histogram {:?})",
+            i + 2,
+            n,
+            ideal,
+            by_arity
+        );
+    }
+    // Kind-independence: the inverting-kind share of each arity bucket
+    // matches the overall inverting share to within 10 points. With the
+    // correlated draw, kind bits 0..2 leaked into the arity, so the
+    // shares diverged structurally, not statistically.
+    let overall = inverting.iter().sum::<usize>() as f64 / total_wide as f64;
+    for (i, (&inv, &all)) in inverting.iter().zip(by_arity.iter()).enumerate() {
+        let share = inv as f64 / all as f64;
+        assert!(
+            (share - overall).abs() < 0.10,
+            "arity {} inverting share {:.3} vs overall {:.3}",
+            i + 2,
+            share,
+            overall
+        );
+    }
+}

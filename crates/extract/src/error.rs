@@ -35,6 +35,14 @@ pub enum ExtractError {
     RailBridgeWithoutLevel(String),
     /// Defect sampling was asked for a layer with no extra-material class.
     NoExtraMaterialClass(Layer),
+    /// A stuck-at site references a node or input pin outside the
+    /// netlist handed to the weight distribution.
+    StuckAtSiteOutOfRange {
+        /// Index of the out-of-range node/gate.
+        gate: usize,
+    },
+    /// Tiled weight replication needs a non-empty template site list.
+    EmptyTemplate,
     /// The `DLP_THREADS` override is not a positive thread count.
     BadThreadCount(dlp_core::par::ParError),
 }
@@ -65,6 +73,12 @@ impl fmt::Display for ExtractError {
             }
             ExtractError::NoExtraMaterialClass(layer) => {
                 write!(f, "no extra-material defect class on layer {layer}")
+            }
+            ExtractError::StuckAtSiteOutOfRange { gate } => {
+                write!(f, "stuck-at site references node {gate} outside the netlist")
+            }
+            ExtractError::EmptyTemplate => {
+                write!(f, "tiled weights need a non-empty template stuck-at list")
             }
             ExtractError::BadThreadCount(e) => e.fmt(f),
         }

@@ -15,7 +15,10 @@
 //! * [`extractor`] — the end-to-end extraction pass,
 //! * [`report`] — weight breakdowns per family and layer,
 //! * [`sampling`] — Monte Carlo defect injection cross-checking the
-//!   critical-area analysis.
+//!   critical-area analysis,
+//! * [`sharded`] — critical-area weight distribution onto stuck-at
+//!   universes and tiled template replication (the million-fault scale
+//!   path; see `DESIGN.md` §13).
 //!
 //! # Example
 //!
@@ -42,5 +45,6 @@ pub mod extractor;
 pub mod faults;
 pub mod report;
 pub mod sampling;
+pub mod sharded;
 
 pub use error::ExtractError;

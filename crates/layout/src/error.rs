@@ -23,6 +23,8 @@ pub enum LayoutError {
     /// The technology's design rules are mutually inconsistent
     /// (see [`crate::tech::Technology::validate`]).
     BadTechnology,
+    /// A tiled layout was asked for zero instances.
+    EmptyArray,
 }
 
 impl fmt::Display for LayoutError {
@@ -34,6 +36,7 @@ impl fmt::Display for LayoutError {
                 write!(f, "floorplan too small: {overflow} cells left over")
             }
             LayoutError::BadTechnology => write!(f, "inconsistent technology design rules"),
+            LayoutError::EmptyArray => write!(f, "tiled layout needs at least one instance"),
         }
     }
 }

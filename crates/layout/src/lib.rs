@@ -42,5 +42,6 @@ pub mod grid;
 pub mod place;
 pub mod svg;
 pub mod tech;
+pub mod tiled;
 
 pub use error::LayoutError;

@@ -1,0 +1,133 @@
+//! Tiled chip layouts: one placed-and-routed template tile, replicated.
+//!
+//! Monolithic place-and-route is superlinear in gate count — the
+//! PathFinder router's rip-up negotiation makes chips beyond a few
+//! thousand gates impractically slow, and a million-fault circuit is
+//! two orders of magnitude past that. A [`TiledLayout`] sidesteps the
+//! wall the way real regular designs do: the template tile is laid out
+//! once, and the chip is modelled as `instances` structurally identical
+//! copies on a square grid. Per-tile geometry (and therefore per-tile
+//! critical area) is exact; what is approximated is the inter-tile
+//! routing context, which the generators keep deliberately thin (a
+//! fanout-1 fold network per product bit — see
+//! `dlp_circuit::generators::tiled_multiplier`).
+//!
+//! Downstream, `dlp_extract::sharded::TiledWeights` extracts the
+//! template once and replicates its weight profile across every
+//! instance, so layout + extraction cost and peak memory are the
+//! template's, independent of the instance count.
+
+use dlp_circuit::Netlist;
+use dlp_geometry::{Layer, Rect};
+
+use crate::chip::ChipLayout;
+use crate::error::LayoutError;
+use crate::tech::Technology;
+
+/// A template chip layout replicated `instances` times on a square
+/// grid.
+#[derive(Debug, Clone)]
+pub struct TiledLayout {
+    template: ChipLayout,
+    instances: usize,
+}
+
+impl TiledLayout {
+    /// Lays out `template` once and records the replication count.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::EmptyArray`] for zero instances; otherwise
+    /// whatever [`ChipLayout::generate`] raises for the template.
+    pub fn generate(
+        template: &Netlist,
+        instances: usize,
+        tech: &Technology,
+    ) -> Result<TiledLayout, LayoutError> {
+        if instances == 0 {
+            return Err(LayoutError::EmptyArray);
+        }
+        Ok(TiledLayout {
+            template: ChipLayout::generate(template, tech)?,
+            instances,
+        })
+    }
+
+    /// The laid-out template tile.
+    pub fn template(&self) -> &ChipLayout {
+        &self.template
+    }
+
+    /// Number of replicated instances.
+    pub fn instances(&self) -> usize {
+        self.instances
+    }
+
+    /// Grid columns: the smallest square arrangement.
+    pub fn grid_columns(&self) -> usize {
+        (self.instances as f64).sqrt().ceil() as usize
+    }
+
+    /// Bounding box of the whole array (template tiles abutted on the
+    /// square grid).
+    pub fn bbox(&self) -> Rect {
+        let tile = self.template.bbox();
+        let cols = self.grid_columns();
+        let rows = self.instances.div_ceil(cols);
+        Rect::new(
+            tile.x0(),
+            tile.y0(),
+            tile.x0() + tile.width() * cols as i64,
+            tile.y0() + tile.height() * rows as i64,
+        )
+    }
+
+    /// Total conductor area per layer: the template's, times the
+    /// instance count.
+    pub fn conductor_area(&self, layer: Layer) -> i64 {
+        self.template.conductor_area(layer) * self.instances as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlp_circuit::generators;
+
+    #[test]
+    fn replicates_the_template_geometry() {
+        let nl = generators::c17();
+        let tiled = TiledLayout::generate(&nl, 9, &Default::default()).unwrap();
+        assert_eq!(tiled.instances(), 9);
+        assert_eq!(tiled.grid_columns(), 3);
+        let single = TiledLayout::generate(&nl, 1, &Default::default()).unwrap();
+        assert_eq!(
+            tiled.conductor_area(Layer::Metal1),
+            9 * single.conductor_area(Layer::Metal1)
+        );
+        // 3×3 grid: the array bbox is the tile's, scaled 3× each way.
+        let tile = single.template().bbox();
+        let array = tiled.bbox();
+        assert_eq!(array.width(), 3 * tile.width());
+        assert_eq!(array.height(), 3 * tile.height());
+    }
+
+    #[test]
+    fn non_square_counts_round_up_rows() {
+        let nl = generators::c17();
+        let tiled = TiledLayout::generate(&nl, 5, &Default::default()).unwrap();
+        // 5 instances: 3 columns, 2 rows.
+        assert_eq!(tiled.grid_columns(), 3);
+        let tile = tiled.template().bbox();
+        assert_eq!(tiled.bbox().height(), 2 * tile.height());
+    }
+
+    #[test]
+    fn zero_instances_is_a_typed_error() {
+        let nl = generators::c17();
+        assert!(matches!(
+            TiledLayout::generate(&nl, 0, &Default::default()),
+            Err(LayoutError::EmptyArray)
+        ));
+    }
+}

@@ -64,6 +64,8 @@ pub enum SimError {
         /// What is inconsistent.
         what: &'static str,
     },
+    /// A sharded simulation was asked for zero faults per shard.
+    BadShardSize,
 }
 
 impl fmt::Display for SimError {
@@ -98,6 +100,9 @@ impl fmt::Display for SimError {
             }
             SimError::BadCheckpoint { what } => {
                 write!(f, "resume checkpoint is unusable: {what}")
+            }
+            SimError::BadShardSize => {
+                write!(f, "sharded simulation needs at least one fault per shard")
             }
         }
     }

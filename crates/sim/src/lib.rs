@@ -8,6 +8,9 @@
 //!   faults) with equivalence collapsing,
 //! * [`ppsfp`] — 64-way parallel-pattern single-fault-propagation stuck-at
 //!   simulation producing `T(k)` curves,
+//! * [`sharded`] — bounded-memory PPSFP over fixed-size fault shards,
+//!   bit-identical to the unsharded record at every shard size and
+//!   thread count (the million-fault scale path),
 //! * [`switchlevel`] — a strength-based switch-level simulator with charge
 //!   retention and an I_DDQ observation mode, simulating bridging faults,
 //!   transistor stuck-opens/ons and floating (open-interconnect) inputs —
@@ -41,6 +44,7 @@ pub mod ckpt;
 pub mod detection;
 mod error;
 pub mod ppsfp;
+pub mod sharded;
 pub mod stuck_at;
 pub mod switchlevel;
 pub mod transition;

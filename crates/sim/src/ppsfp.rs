@@ -73,13 +73,17 @@ impl<'a> SimSetup<'a> {
         validate_faults(netlist, faults)?;
         // Precompute fanout cones (sorted in topological order because
         // node IDs are topological) for each distinct fault seed node.
+        // One shared scratch keeps this O(Σ cone) instead of
+        // O(seeds × nodes) — the difference between seconds and minutes
+        // on million-fault shard streams.
+        let mut scratch = dlp_circuit::ConeScratch::new();
         let mut cones: std::collections::HashMap<NodeId, Vec<NodeId>> =
             std::collections::HashMap::new();
         for f in faults {
             let seed = cone_seed(f);
             cones
                 .entry(seed)
-                .or_insert_with(|| netlist.fanout_cone(seed));
+                .or_insert_with(|| netlist.fanout_cone_with(seed, &mut scratch));
         }
         Ok(SimSetup {
             netlist,
@@ -516,7 +520,7 @@ fn restore_checkpoint(
 /// serial outer loop — so the set of possible interruption points, and
 /// the checkpoint captured at each, is identical at every worker count.
 #[allow(clippy::too_many_arguments)]
-fn run_counted(
+pub(crate) fn run_counted(
     scope: &'static str,
     netlist: &Netlist,
     faults: &[StuckAtFault],
@@ -536,8 +540,15 @@ fn run_counted(
     let total_blocks = vectors.len().div_ceil(64);
 
     // Up-front footprint estimate: the detection profile's worst case
-    // (faults × n_cap indices) plus the good-circuit words and each
-    // worker's scratch copy.
+    // (faults × n_cap indices) plus the good-circuit words, each
+    // worker's scratch copy, and the precomputed cone cache (measured,
+    // not guessed — it dominates on large fault lists, which is what
+    // the sharded driver bounds by splitting the list).
+    let cone_bytes: u64 = setup
+        .cones
+        .values()
+        .map(|c| 4 * c.len() as u64)
+        .sum();
     let estimate = (faults.len() as u64)
         .saturating_mul(n_cap as u64)
         .saturating_mul(8)
@@ -545,7 +556,8 @@ fn run_counted(
             (netlist.node_count() as u64)
                 .saturating_mul(8)
                 .saturating_mul(workers as u64 + 1),
-        );
+        )
+        .saturating_add(cone_bytes);
     if let Err(reason) = budget.check_memory(estimate) {
         return Err(SimError::Budget(BudgetExceeded {
             reason,

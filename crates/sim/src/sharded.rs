@@ -1,0 +1,277 @@
+//! Sharded PPSFP: bounded-memory first-detect simulation of fault lists
+//! too large for one [`ppsfp`](crate::ppsfp) setup.
+//!
+//! The plain simulator precomputes one fanout cone per distinct fault
+//! site before the first block runs. On a million-fault circuit that
+//! cone cache is hundreds of megabytes — far beyond the detection
+//! record it exists to produce. The sharded driver instead slices the
+//! fault list into fixed-size shards and runs each through the counted
+//! engine in turn, so peak memory is proportional to the shard size
+//! while the merged record is *bit-identical* to the unsharded one:
+//! a fault's first-detect index is a pure function of (fault, vectors)
+//! and never depends on which other faults share its setup.
+//!
+//! Budget semantics differ deliberately from the resumable entry
+//! points: the budget is checked once per shard in the serial outer
+//! loop (plus each shard's own up-front memory gate, which now includes
+//! the measured cone-cache bytes), and a trip surfaces as
+//! [`SimError::Budget`] with shard-level progress — sharded runs trade
+//! block-level checkpoints for bounded memory. Size the budget for the
+//! whole run, or fall back to the unsharded resumable path when a
+//! resume checkpoint matters more than the footprint.
+
+use dlp_circuit::Netlist;
+use dlp_core::obs::Recorder;
+use dlp_core::par::ThreadCount;
+use dlp_core::{BudgetExceeded, RunBudget};
+
+use crate::detection::DetectionRecord;
+use crate::ppsfp::run_counted;
+use crate::stuck_at::StuckAtFault;
+use crate::SimError;
+
+/// Default faults per shard: large enough that the per-shard fault-free
+/// evaluation (one per 64-pattern block) amortises, small enough that
+/// the cone cache of a shard stays in the tens of megabytes even when
+/// every cone spans a few hundred nodes.
+pub const DEFAULT_SHARD_FAULTS: usize = 32_768;
+
+/// Simulates `faults` against `vectors` in shards of `shard_faults`,
+/// reporting first detections; workers resolved from `DLP_THREADS`.
+///
+/// The record equals [`crate::ppsfp::simulate`]'s bit for bit, at every
+/// shard size and thread count.
+///
+/// # Errors
+///
+/// See [`simulate_sharded_obs`].
+pub fn simulate_sharded(
+    netlist: &Netlist,
+    faults: &[StuckAtFault],
+    vectors: &[Vec<bool>],
+    shard_faults: usize,
+) -> Result<DetectionRecord, SimError> {
+    simulate_sharded_obs(
+        netlist,
+        faults,
+        vectors,
+        shard_faults,
+        ThreadCount::from_env()?,
+        Recorder::noop(),
+        &RunBudget::unlimited(),
+    )
+}
+
+/// [`simulate_sharded`] with explicit workers, an observability
+/// [`Recorder`], and a cooperative [`RunBudget`].
+///
+/// Traced under the `sim.sharded` scope: a span over the whole run,
+/// counters for shards / faults / detected, and the per-shard fault
+/// count series (`sim.sharded.faults_per_shard`). Each shard's inner
+/// run adds its own `sim.gate` telemetry, accumulated across shards.
+///
+/// # Errors
+///
+/// As [`crate::ppsfp::simulate`] for validation failures (reported with
+/// shard-local fault indices translated back to the caller's), plus
+/// [`SimError::BadShardSize`] for a zero `shard_faults` and
+/// [`SimError::Budget`] when the budget trips — `completed` / `total`
+/// count shards, not blocks.
+pub fn simulate_sharded_obs(
+    netlist: &Netlist,
+    faults: &[StuckAtFault],
+    vectors: &[Vec<bool>],
+    shard_faults: usize,
+    threads: ThreadCount,
+    obs: &Recorder,
+    budget: &RunBudget,
+) -> Result<DetectionRecord, SimError> {
+    if shard_faults == 0 {
+        return Err(SimError::BadShardSize);
+    }
+    let _span = obs.span("sim.sharded");
+    let total_shards = faults.len().div_ceil(shard_faults).max(1);
+    obs.add("sim.sharded.faults", faults.len() as u64);
+    let mut first_detect: Vec<Option<usize>> = Vec::with_capacity(faults.len());
+    for (shard_idx, shard) in faults.chunks(shard_faults.min(faults.len().max(1))).enumerate() {
+        if let Err(reason) = budget.check() {
+            return Err(SimError::Budget(BudgetExceeded {
+                reason,
+                completed: shard_idx as u64,
+                total: total_shards as u64,
+            }));
+        }
+        obs.incr("sim.sharded.shards");
+        obs.push("sim.sharded.faults_per_shard", shard.len() as f64);
+        let profile = run_counted(
+            "sim.gate", netlist, shard, vectors, 1, threads, obs, budget, None,
+        )
+        .map_err(|e| lift_shard_error(e, shard_idx, shard_faults, total_shards))?;
+        first_detect.extend(
+            profile
+                .first_detect_record()
+                .first_detect()
+                .iter()
+                .copied(),
+        );
+    }
+    obs.add(
+        "sim.sharded.detected",
+        first_detect.iter().filter(|d| d.is_some()).count() as u64,
+    );
+    Ok(DetectionRecord::new(first_detect, vectors.len()))
+}
+
+/// Maps a shard-local failure onto the caller's frame: fault indices
+/// shift by the shard base, and a mid-shard budget interruption (whose
+/// checkpoint is meaningless outside the shard) collapses to a plain
+/// budget error with shard-level progress.
+fn lift_shard_error(
+    e: SimError,
+    shard_idx: usize,
+    shard_faults: usize,
+    total_shards: usize,
+) -> SimError {
+    match e {
+        SimError::FaultOutOfRange { fault, what } => SimError::FaultOutOfRange {
+            fault: shard_idx * shard_faults + fault,
+            what,
+        },
+        SimError::Budget(b) | SimError::Interrupted { budget: b, .. } => {
+            SimError::Budget(BudgetExceeded {
+                reason: b.reason,
+                completed: shard_idx as u64,
+                total: total_shards as u64,
+            })
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detection::random_vectors;
+    use crate::{ppsfp, stuck_at};
+    use dlp_circuit::generators;
+
+    #[test]
+    fn matches_unsharded_at_every_shard_size() {
+        let nl = generators::c432_class();
+        let faults = stuck_at::enumerate(&nl).collapse();
+        let vectors = random_vectors(36, 192, 5);
+        let reference = ppsfp::simulate(&nl, faults.faults(), &vectors).unwrap();
+        for shard in [1, 7, 64, faults.len(), faults.len() + 100] {
+            let sharded = simulate_sharded(&nl, faults.faults(), &vectors, shard).unwrap();
+            assert_eq!(sharded, reference, "shard size {shard}");
+        }
+    }
+
+    #[test]
+    fn empty_fault_list_is_an_empty_record() {
+        let nl = generators::c17();
+        let vectors = random_vectors(5, 64, 1);
+        let record = simulate_sharded(&nl, &[], &vectors, 8).unwrap();
+        assert_eq!(record.fault_count(), 0);
+        assert_eq!(record.vector_count(), 64);
+    }
+
+    #[test]
+    fn zero_shard_size_is_a_typed_error() {
+        let nl = generators::c17();
+        let faults = stuck_at::enumerate(&nl).collapse();
+        let vectors = random_vectors(5, 8, 1);
+        assert_eq!(
+            simulate_sharded(&nl, faults.faults(), &vectors, 0),
+            Err(SimError::BadShardSize)
+        );
+    }
+
+    #[test]
+    fn fault_indices_in_errors_are_global() {
+        use crate::stuck_at::FaultSite;
+        use dlp_circuit::NodeId;
+
+        let nl = generators::c17();
+        let mut faults = stuck_at::enumerate(&nl).collapse().faults().to_vec();
+        faults.push(StuckAtFault {
+            site: FaultSite::Stem(NodeId::from_index(nl.node_count())),
+            stuck_at_one: true,
+        });
+        let bad_index = faults.len() - 1;
+        let vectors = random_vectors(5, 8, 1);
+        // Shard size 4: the offender lands in a later shard; its reported
+        // index must still be in the caller's frame.
+        let err = simulate_sharded(&nl, &faults, &vectors, 4).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::FaultOutOfRange {
+                fault: bad_index,
+                what: "node"
+            }
+        );
+    }
+
+    #[test]
+    fn budget_trips_report_shard_progress() {
+        use dlp_core::BudgetReason;
+
+        let nl = generators::c432_class();
+        let faults = stuck_at::enumerate(&nl).collapse();
+        let vectors = random_vectors(36, 128, 9);
+        // Fuse after 3 budget checks: the outer loop checks once per
+        // shard and the inner engine once per block, so a small fuse
+        // trips somewhere mid-run and must surface as shard progress,
+        // never as a shard-local checkpoint.
+        let budget = RunBudget::unlimited().cancel_after_checks(3);
+        let err = simulate_sharded_obs(
+            &nl,
+            faults.faults(),
+            &vectors,
+            64,
+            ThreadCount::fixed(1).unwrap(),
+            Recorder::noop(),
+            &budget,
+        )
+        .unwrap_err();
+        match err {
+            SimError::Budget(b) => {
+                assert!(matches!(b.reason, BudgetReason::Cancelled));
+                assert_eq!(b.total, faults.len().div_ceil(64) as u64);
+                assert!(b.completed < b.total);
+            }
+            other => panic!("expected Budget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sharded_trace_counts_shards_and_faults() {
+        let nl = generators::c17();
+        let faults = stuck_at::enumerate(&nl).collapse();
+        let vectors = random_vectors(5, 64, 7);
+        let obs = Recorder::enabled();
+        let record = simulate_sharded_obs(
+            &nl,
+            faults.faults(),
+            &vectors,
+            4,
+            ThreadCount::fixed(1).unwrap(),
+            &obs,
+            &RunBudget::unlimited(),
+        )
+        .unwrap();
+        let report = obs.report("sim.sharded");
+        assert_eq!(
+            report.counter("sim.sharded.shards"),
+            Some(faults.len().div_ceil(4) as u64)
+        );
+        assert_eq!(
+            report.counter("sim.sharded.faults"),
+            Some(faults.len() as u64)
+        );
+        assert_eq!(
+            report.counter("sim.sharded.detected"),
+            Some(record.detected_count() as u64)
+        );
+    }
+}

@@ -53,6 +53,16 @@ cargo run --release -q -p dlp-bench --bin ndetect_dl > /dev/null
 cargo run --release -q -p dlp-bench --bin validate_trace -- \
     --bench BENCH_ndetect.json
 
+# Scale-path gate (DESIGN.md §13): the scale_sweep flow — template
+# layout → extraction → tiled weight distribution → sharded PPSFP →
+# DL(T) — on its smallest member, writing BENCH_scale_sweep_smoke.json
+# (the committed full-family report stays put) and validating it
+# against the BenchReport schema.
+echo "== scale: scale_sweep smoke (smallest family member)"
+cargo run --release -q -p dlp-bench --bin scale_sweep -- --smoke > /dev/null
+cargo run --release -q -p dlp-bench --bin validate_trace -- \
+    --bench BENCH_scale_sweep_smoke.json
+
 # Performance regression gate (DESIGN.md §11): first prove the gate can
 # detect at all (a synthetic 2x slowdown must fail, an unchanged
 # baseline must pass), then compare this machine's calibration-normalized
