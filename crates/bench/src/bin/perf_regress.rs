@@ -16,7 +16,13 @@
 //! perf_regress --write-baseline  # measure and (re)write the baseline
 //! perf_regress --self-test       # verify the gate's own detection power
 //! perf_regress --baseline <path> # compare against a specific baseline
+//! perf_regress --current <path>  # gate a report file instead of measuring
 //! ```
+//!
+//! `--current` turns the binary into a pure file-vs-file comparator:
+//! any versioned [`BenchReport`] that carries the calibration entry
+//! (e.g. `BENCH_serve.json` from `serve_load`) can be gated against its
+//! own committed baseline without re-measuring here.
 //!
 //! `--self-test` measures once, then (a) compares the measurement
 //! against itself — must pass with unit ratios — and (b) compares it
@@ -191,6 +197,12 @@ fn print_comparison(cmp: &regress::Comparison) {
         &["workload", "base ns", "now ns", "normalized", "verdict"],
         &rows,
     );
+    for label in &cmp.low_confidence {
+        eprintln!(
+            "warning: {label} was compared without repeat samples on at least one side — \
+             its verdict is low-confidence"
+        );
+    }
     for label in &cmp.missing_in_baseline {
         eprintln!("warning: {label} is not in the baseline (rewrite it with --write-baseline)");
     }
@@ -314,6 +326,7 @@ fn pipeline_err(msg: &str) -> PipelineError {
 fn run() -> Result<bool, PipelineError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut baseline_path = default_baseline_path();
+    let mut current_path: Option<String> = None;
     let mut write_baseline = false;
     let mut want_self_test = false;
     let mut it = args.iter();
@@ -327,10 +340,18 @@ fn run() -> Result<bool, PipelineError> {
                     .ok_or_else(|| pipeline_err("--baseline needs a path"))?
                     .clone();
             }
+            "--current" => {
+                current_path = Some(
+                    it.next()
+                        .ok_or_else(|| pipeline_err("--current needs a path"))?
+                        .clone(),
+                );
+            }
             other => {
                 return Err(pipeline_err(&format!(
                     "unknown argument {other:?} \
-                     (expected --write-baseline, --self-test, or --baseline <path>)"
+                     (expected --write-baseline, --self-test, --baseline <path>, \
+                      or --current <path>)"
                 )));
             }
         }
@@ -357,7 +378,15 @@ fn run() -> Result<bool, PipelineError> {
     })?;
     let baseline = BenchReport::from_json(&text)
         .map_err(|e| pipeline_err(&format!("baseline {baseline_path}: {e}")))?;
-    let current = measure()?;
+    let current = match &current_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| pipeline_err(&format!("cannot read current report {path}: {e}")))?;
+            BenchReport::from_json(&text)
+                .map_err(|e| pipeline_err(&format!("current report {path}: {e}")))?
+        }
+        None => measure()?,
+    };
     let cmp = regress::compare(&baseline, &current)
         .map_err(|e| pipeline_err(&e.to_string()))?;
     println!(

@@ -17,7 +17,9 @@
 //!
 //! Bench mode checks a `BENCH_*.json` file against the versioned
 //! [`BenchReport`] schema (schema_version, env, entries), so the bench
-//! writers cannot silently drift back to ad-hoc maps.
+//! writers cannot silently drift back to ad-hoc maps, and warns (without
+//! failing) when the recorded `env.git_rev` does not match the current
+//! checkout or carries the `-dirty` worktree marker.
 
 use std::process::ExitCode;
 
@@ -271,6 +273,24 @@ fn check_bench(text: &str) -> Result<String, String> {
     let report = BenchReport::from_json(text).map_err(|e| e.to_string())?;
     if report.entries.is_empty() {
         return Err("bench report has no entries".to_string());
+    }
+    // Stale-metadata watchdog (non-fatal): the recorded revision should
+    // match the checkout being validated, and a dirty marker means the
+    // numbers came from a modified worktree.
+    if let Some(current) = dlp_core::obs::BenchEnv::current_git_rev() {
+        if report.env.git_rev != current {
+            eprintln!(
+                "validate_trace: warning: report records git_rev {} but the checkout is at {} — \
+                 regenerate the report, its numbers describe another tree",
+                report.env.git_rev, current
+            );
+        }
+    }
+    if report.env.git_rev.ends_with("-dirty") {
+        eprintln!(
+            "validate_trace: warning: report was written from a modified worktree ({})",
+            report.env.git_rev
+        );
     }
     Ok(format!(
         "{} ({} entries, git_rev {})",

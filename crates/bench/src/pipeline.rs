@@ -197,6 +197,26 @@ pub fn simulate_obs(
     seed: u64,
     obs: &Recorder,
 ) -> Result<SimulationRun, PipelineError> {
+    let threads = ThreadCount::from_env().map_err(dlp_core::ModelError::from)?;
+    let budget = RunBudget::from_env()?;
+    simulate_budgeted(extraction, seed, threads, &budget, obs)
+}
+
+/// [`simulate_obs`] with an explicit worker count and [`RunBudget`]
+/// instead of the `DLP_THREADS` / `DLP_BUDGET_*` environment knobs —
+/// for embedders (the projection service) that manage budgets per
+/// request rather than per process.
+///
+/// # Errors
+///
+/// See [`simulate`].
+pub fn simulate_budgeted(
+    extraction: &Extraction,
+    seed: u64,
+    threads: ThreadCount,
+    budget: &RunBudget,
+    obs: &Recorder,
+) -> Result<SimulationRun, PipelineError> {
     let netlist = &extraction.netlist;
     let sa = stuck_at::enumerate(netlist).collapse();
     let atpg = {
@@ -228,15 +248,13 @@ pub fn simulate_obs(
     obs.add("atpg.random_prefix", atpg.random_prefix_len as u64);
     obs.add("atpg.redundant", redundant.len() as u64);
 
-    let threads = ThreadCount::from_env().map_err(dlp_core::ModelError::from)?;
-    let budget = RunBudget::from_env()?;
     let record_t = ppsfp::simulate_resumable(
         netlist,
         &testable,
         &atpg.vectors,
         threads,
         obs,
-        &budget,
+        budget,
         None,
     )?;
 

@@ -11,8 +11,11 @@
 //! Noise handling: when an entry carries raw samples, the **minimum**
 //! sample is used instead of the median — the best observed time is the
 //! least contaminated estimate of a workload's true cost (interference
-//! only ever adds time). On top of that the thresholds are deliberately
-//! loose: drift below [`WARN_RATIO`] passes silently, drift in
+//! only ever adds time). A timed entry with *no* samples has no noise
+//! floor at all, so any comparison touching one is flagged as
+//! low-confidence ([`Comparison::low_confidence`]) rather than silently
+//! trusted. On top of that the thresholds are deliberately loose: drift
+//! below [`WARN_RATIO`] passes silently, drift in
 //! `[WARN_RATIO, FAIL_RATIO)` is reported but non-fatal, and only a
 //! normalized slowdown of [`FAIL_RATIO`] or worse fails the gate.
 
@@ -108,6 +111,11 @@ pub struct Comparison {
     /// environment, not the code — the committed 0.6x parallel
     /// "speedup" was exactly this.
     pub cpu_mismatch: Option<(usize, usize)>,
+    /// Compared workloads where at least one side carried no raw
+    /// samples (non-fatal, but reported): a single-shot wall time has
+    /// no noise floor, so its verdict is low-confidence and a flap
+    /// should be read as measurement noise before code drift.
+    pub low_confidence: Vec<String>,
 }
 
 impl Comparison {
@@ -180,12 +188,16 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport) -> Result<Comparis
         |e: &&BenchEntry| e.unit == TIMED_UNIT && e.label != CALIBRATION_LABEL;
     let mut findings = Vec::new();
     let mut missing_in_baseline = Vec::new();
+    let mut low_confidence = Vec::new();
     for entry in current.entries.iter().filter(timed) {
         let Some(base) = baseline.entry(&entry.label).filter(|e| e.unit == TIMED_UNIT)
         else {
             missing_in_baseline.push(entry.label.clone());
             continue;
         };
+        if base.samples.is_empty() || entry.samples.is_empty() {
+            low_confidence.push(entry.label.clone());
+        }
         let baseline_ns = best_ns(base);
         let current_ns = best_ns(entry);
         let ratio = if baseline_ns > 0.0 {
@@ -215,6 +227,7 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport) -> Result<Comparis
         missing_in_baseline,
         missing_in_current,
         cpu_mismatch,
+        low_confidence,
     })
 }
 
@@ -335,6 +348,28 @@ mod tests {
         );
         let err = RegressError::MissingCalibration { which: "baseline" };
         assert!(err.to_string().contains("calibration"));
+    }
+
+    #[test]
+    fn empty_samples_entries_are_flagged_low_confidence() {
+        // A single-shot wall time (record(), no samples) on either side
+        // must be named as low-confidence, not silently compared as if
+        // it had a noise floor.
+        let mut base = report(&[(CALIBRATION_LABEL, 100.0)]);
+        base.record("w/oneshot", TIMED_UNIT, 1000.0);
+        let mut cur = report(&[(CALIBRATION_LABEL, 100.0)]);
+        cur.record_samples("w/oneshot", TIMED_UNIT, &[1000.0, 1010.0]);
+        let cmp = compare(&base, &cur).expect("comparable");
+        assert_eq!(cmp.low_confidence, vec!["w/oneshot".to_string()]);
+        // The entry is still compared (its headline value is the best
+        // available estimate), just not trusted silently.
+        assert_eq!(cmp.findings.len(), 1);
+        // Empty samples on the current side flag too.
+        let cmp = compare(&cur, &base).expect("comparable");
+        assert_eq!(cmp.low_confidence, vec!["w/oneshot".to_string()]);
+        // Sampled entries on both sides do not.
+        let cmp = compare(&cur, &cur).expect("comparable");
+        assert!(cmp.low_confidence.is_empty());
     }
 
     #[test]

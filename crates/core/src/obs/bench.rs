@@ -57,6 +57,29 @@ impl BenchEnv {
             git_rev: git_rev().unwrap_or_else(|| "unknown".to_string()),
         }
     }
+
+    /// The repository revision *as of now*: the abbreviated `HEAD`
+    /// commit with `"-dirty"` appended when the worktree has
+    /// uncommitted modifications; `None` outside a checkout.
+    ///
+    /// Reports must derive their recorded revision at *write* time, not
+    /// capture time — a long-lived report written after a commit would
+    /// otherwise pin the previous commit's hash (the committed
+    /// `BENCH_scale_sweep.json` did exactly that).
+    pub fn current_git_rev() -> Option<String> {
+        let mut rev = git_rev()?;
+        if worktree_dirty() == Some(true) {
+            rev.push_str("-dirty");
+        }
+        Some(rev)
+    }
+
+    /// Re-derives [`git_rev`](BenchEnv::git_rev) from the repository as
+    /// of now (see [`BenchEnv::current_git_rev`]); keeps `"unknown"`
+    /// outside a checkout.
+    pub fn refresh_git_rev(&mut self) {
+        self.git_rev = BenchEnv::current_git_rev().unwrap_or_else(|| "unknown".to_string());
+    }
 }
 
 /// Best-effort abbreviated git revision: walks up from the current
@@ -85,6 +108,21 @@ fn git_rev() -> Option<String> {
         return None;
     }
     Some(full[..12].to_string())
+}
+
+/// Best-effort worktree-modification check via `git status --porcelain`
+/// (the one question the `.git` files alone cannot answer); `None` when
+/// git is unavailable or the command fails — absence of evidence never
+/// marks a report dirty.
+fn worktree_dirty() -> Option<bool> {
+    let out = std::process::Command::new("git")
+        .args(["status", "--porcelain", "--untracked-files=no"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    Some(!out.stdout.is_empty())
 }
 
 /// One measured quantity in a [`BenchReport`].
@@ -332,11 +370,19 @@ impl BenchReport {
     /// (write-temp-then-rename via [`crate::ckpt::atomic_write`]), so a
     /// crash mid-write can never leave a half-written report.
     ///
+    /// `env.git_rev` is re-derived at write time (with a `"-dirty"`
+    /// marker when the worktree is modified): a report captured before
+    /// a commit and written after it would otherwise record the stale
+    /// revision. The in-memory report is left untouched; the checksum
+    /// in the file covers the refreshed revision.
+    ///
     /// # Errors
     ///
     /// Any I/O error from creating, writing, or renaming the file.
     pub fn write_to(&self, path: &str) -> std::io::Result<()> {
-        crate::ckpt::atomic_write(path, &self.to_json())
+        let mut fresh = self.clone();
+        fresh.env.refresh_git_rev();
+        crate::ckpt::atomic_write(path, &fresh.to_json())
     }
 
     /// Reads and verifies a report previously written by
@@ -409,7 +455,15 @@ mod tests {
         let mut report = BenchReport::new("atomic");
         report.record_samples("w", "ns/iter", &[3.0, 1.0, 2.0]);
         report.write_to(path).expect("atomic write");
-        assert_eq!(BenchReport::load(path).expect("verified load"), report);
+        let loaded = BenchReport::load(path).expect("verified load");
+        // write_to refreshes env.git_rev (possibly adding "-dirty"), so
+        // compare everything else exactly and the revision by prefix.
+        assert_eq!(loaded.name, report.name);
+        assert_eq!(loaded.entries, report.entries);
+        assert_eq!(loaded.env.threads, report.env.threads);
+        assert_eq!(loaded.env.cpus, report.env.cpus);
+        let rev = loaded.env.git_rev.trim_end_matches("-dirty");
+        assert!(rev == "unknown" || rev.len() == 12, "{}", loaded.env.git_rev);
         // Corrupt the file on disk: load is a typed error.
         let text = std::fs::read_to_string(path).expect("read");
         std::fs::write(path, &text[..text.len() / 2]).expect("truncate");
@@ -494,5 +548,30 @@ mod tests {
         assert!(env.cpus >= 1);
         assert!(env.threads >= 1);
         assert!(!env.git_rev.is_empty());
+    }
+
+    #[test]
+    fn written_rev_is_derived_at_write_time() {
+        // A report written inside a checkout must record the *current*
+        // HEAD (modulo the dirty marker), even when the report object
+        // was constructed earlier with a doctored revision.
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/tmp")
+            .join(format!("dlp_bench_rev_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create test dir");
+        let path = dir.join("BENCH_rev.json");
+        let path = path.to_str().expect("utf-8 path");
+        let mut report = BenchReport::new("rev");
+        report.env.git_rev = "stale0stale0".to_string();
+        report.write_to(path).expect("atomic write");
+        let loaded = BenchReport::load(path).expect("verified load");
+        assert_ne!(loaded.env.git_rev, "stale0stale0");
+        assert_eq!(
+            loaded.env.git_rev,
+            BenchEnv::current_git_rev().unwrap_or_else(|| "unknown".to_string())
+        );
+        // The in-memory report is untouched.
+        assert_eq!(report.env.git_rev, "stale0stale0");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 }

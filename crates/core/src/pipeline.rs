@@ -39,6 +39,9 @@ pub enum Stage {
     /// Durable artifacts: checkpoints, reports, baselines (`dlp-core`'s
     /// [`crate::ckpt`] layer).
     Artifact,
+    /// The projection service: HTTP handling and the response cache
+    /// (`dlp-serve`).
+    Serve,
 }
 
 impl fmt::Display for Stage {
@@ -52,6 +55,7 @@ impl fmt::Display for Stage {
             Stage::Model => "model",
             Stage::Bench => "bench",
             Stage::Artifact => "artifact",
+            Stage::Serve => "serve",
         })
     }
 }

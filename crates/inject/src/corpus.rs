@@ -22,6 +22,10 @@ use dlp_geometry::Layer;
 use dlp_layout::chip::{ChipLayout, ElecNet};
 use dlp_layout::tech::Technology;
 use dlp_ndetect::ckpt::NDetectCheckpoint;
+use dlp_serve::cache::ArtifactCache;
+use dlp_serve::http::parse_request;
+use dlp_serve::service::{netlist_for, route};
+use dlp_serve::ServeError;
 use dlp_sim::ckpt::SimCheckpoint;
 use dlp_sim::switchlevel::{SwitchConfig, SwitchFault, SwitchSimulator};
 use dlp_sim::{ppsfp, stuck_at};
@@ -377,6 +381,61 @@ pub fn corpus() -> Vec<Case> {
             Bench,
             "a DLP_CANCEL_AFTER-style setting of 0 checks",
             budget_cancel_after_zero
+        ),
+        // -- serving ------------------------------------------------------
+        case!(
+            "serve-malformed-request-line",
+            Serve,
+            "a request line with no target or version",
+            serve_malformed_request_line
+        ),
+        case!(
+            "serve-unsupported-method",
+            Serve,
+            "a POST against the read-only API",
+            serve_unsupported_method
+        ),
+        case!(
+            "serve-request-line-too-long",
+            Serve,
+            "a request line past the 8 KiB limit",
+            serve_request_line_too_long
+        ),
+        case!(
+            "serve-oversized-header-block",
+            Serve,
+            "a header block past the 16 KiB limit",
+            serve_oversized_header_block
+        ),
+        case!(
+            "serve-truncated-body",
+            Serve,
+            "a Content-Length promising more bytes than arrive",
+            serve_truncated_body
+        ),
+        case!(
+            "serve-bad-content-length",
+            Serve,
+            "a Content-Length that is not a base-10 integer",
+            serve_bad_content_length
+        ),
+        case!(
+            "serve-unknown-endpoint",
+            Serve,
+            "a path outside the service's routing table",
+            serve_unknown_endpoint
+        ),
+        case!(
+            "serve-unknown-circuit",
+            Serve,
+            "a circuit name outside the served catalogue",
+            serve_unknown_circuit
+        ),
+        case!(
+            "serve-corrupted-cache-envelope",
+            Serve,
+            "a sealed response artifact defaced on disk",
+            serve_corrupted_cache_envelope
         ),
     ]
 }
@@ -906,4 +965,79 @@ fn budget_ms_garbage() -> Result<(), PipelineError> {
 fn budget_cancel_after_zero() -> Result<(), PipelineError> {
     RunBudget::from_settings(None, None, Some("0"))?;
     Ok(())
+}
+
+// -- serving --------------------------------------------------------------
+
+/// Drives the service's HTTP parser with raw wire bytes; any rejection
+/// must surface as a [`Stage::Serve`]-tagged error.
+fn serve_parse(raw: &[u8]) -> Result<(), PipelineError> {
+    parse_request(raw).map_err(ServeError::from)?;
+    Ok(())
+}
+
+fn serve_malformed_request_line() -> Result<(), PipelineError> {
+    serve_parse(b"GET\r\n\r\n")
+}
+
+fn serve_unsupported_method() -> Result<(), PipelineError> {
+    serve_parse(b"POST /v1/dl HTTP/1.1\r\n\r\n")
+}
+
+fn serve_request_line_too_long() -> Result<(), PipelineError> {
+    let raw = format!(
+        "GET /{} HTTP/1.1\r\n\r\n",
+        "a".repeat(dlp_serve::http::MAX_REQUEST_LINE)
+    );
+    serve_parse(raw.as_bytes())
+}
+
+fn serve_oversized_header_block() -> Result<(), PipelineError> {
+    let mut raw = b"GET /healthz HTTP/1.1\r\n".to_vec();
+    for i in 0..64 {
+        raw.extend_from_slice(format!("X-Pad-{i}: {}\r\n", "v".repeat(512)).as_bytes());
+    }
+    raw.extend_from_slice(b"\r\n");
+    serve_parse(&raw)
+}
+
+fn serve_truncated_body() -> Result<(), PipelineError> {
+    serve_parse(b"GET /healthz HTTP/1.1\r\nContent-Length: 64\r\n\r\nshort")
+}
+
+fn serve_bad_content_length() -> Result<(), PipelineError> {
+    serve_parse(b"GET /healthz HTTP/1.1\r\nContent-Length: many\r\n\r\n")
+}
+
+fn serve_unknown_endpoint() -> Result<(), PipelineError> {
+    route("/v1/defects")?;
+    Ok(())
+}
+
+fn serve_unknown_circuit() -> Result<(), PipelineError> {
+    netlist_for("c6288")?;
+    Ok(())
+}
+
+fn serve_corrupted_cache_envelope() -> Result<(), PipelineError> {
+    let dir = std::env::temp_dir().join(format!(
+        "dlp_inject_serve_cache_{}",
+        std::process::id()
+    ));
+    let result = (|| {
+        let cache = ArtifactCache::new(&dir).map_err(ServeError::from)?;
+        let key = 0xC0FFEE;
+        let body = Json::Object(vec![("dl".to_string(), Json::Number(0.25))]);
+        cache.store(key, &body)?;
+        // Flip a payload byte after sealing: the checksum no longer
+        // matches, so the strict probe must reject the artifact.
+        let path = cache.path_for(key);
+        let sealed = std::fs::read_to_string(&path).map_err(ServeError::from)?;
+        std::fs::write(&path, sealed.replace("\"dl\"", "\"dL\""))
+            .map_err(ServeError::from)?;
+        cache.open_strict(key).map_err(ServeError::from)?;
+        Ok(())
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    result
 }

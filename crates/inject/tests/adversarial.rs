@@ -45,6 +45,7 @@ fn corpus_is_broad_enough() {
         Stage::Model,
         Stage::Bench,
         Stage::Artifact,
+        Stage::Serve,
     ] {
         assert!(
             stages.contains(&required),

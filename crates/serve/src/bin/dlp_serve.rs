@@ -1,0 +1,78 @@
+//! The projection-service daemon.
+//!
+//! ```text
+//! dlp-serve [--addr HOST:PORT] [--cache-dir DIR] [--threads N] [--budget-ms MS]
+//! ```
+//!
+//! Binds the address (default `127.0.0.1:7117`; port 0 picks an
+//! ephemeral port), prints the bound address on stdout, and serves
+//! until killed. `--budget-ms` caps the wall clock one cache miss may
+//! spend in the pipeline; over budget answers `503`.
+
+use std::process::ExitCode;
+
+use dlp_core::par::ThreadCount;
+use dlp_serve::server::{serve, ServerConfig};
+use dlp_serve::service::ServiceConfig;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: dlp-serve [--addr HOST:PORT] [--cache-dir DIR] [--threads N] [--budget-ms MS]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7117".to_string();
+    let mut cache_dir = "serve-cache".to_string();
+    let mut threads: Option<String> = None;
+    let mut budget_ms: Option<u64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else {
+            return usage();
+        };
+        match flag.as_str() {
+            "--addr" => addr = value,
+            "--cache-dir" => cache_dir = value,
+            "--threads" => threads = Some(value),
+            "--budget-ms" => match value.parse() {
+                Ok(ms) => budget_ms = Some(ms),
+                Err(_) => {
+                    eprintln!("dlp-serve: --budget-ms {value:?} is not an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => return usage(),
+        }
+    }
+
+    let threads = match ThreadCount::from_setting(threads.as_deref()) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dlp-serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let config = ServerConfig {
+        addr,
+        service: ServiceConfig {
+            cache_dir,
+            threads,
+            miss_budget_ms: budget_ms,
+        },
+    };
+    match serve(&config) {
+        Ok(handle) => {
+            println!("dlp-serve: listening on {}", handle.addr());
+            handle.wait();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("dlp-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

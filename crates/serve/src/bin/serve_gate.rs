@@ -1,0 +1,139 @@
+//! CI gate for the projection service.
+//!
+//! Starts `dlp-serve` on an ephemeral port with a fresh cache
+//! directory, then proves the service contract end to end over real
+//! sockets:
+//!
+//! 1. a cold `/v1/dl` request recomputes (exactly one pipeline
+//!    execution),
+//! 2. the same request again replays **byte-identical** bytes from the
+//!    cache,
+//! 3. the sibling `/v1/faults` artifact was sealed by the same miss (no
+//!    second recompute),
+//! 4. client mistakes map to their statuses (404 / 400),
+//! 5. `/metrics` scrapes as a valid OpenMetrics exposition carrying the
+//!    cache counters.
+//!
+//! Exits nonzero on the first violated expectation.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+
+use dlp_core::obs::openmetrics;
+use dlp_core::par::ThreadCount;
+use dlp_serve::server::{serve, ServerConfig};
+use dlp_serve::service::ServiceConfig;
+
+/// One blocking HTTP/1.1 exchange; returns `(status, body)`.
+fn http_get(addr: SocketAddr, target: &str) -> Result<(u16, String), String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .write_all(format!("GET {target} HTTP/1.1\r\nHost: gate\r\n\r\n").as_bytes())
+        .map_err(|e| format!("send {target}: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("recv {target}: {e}"))?;
+    let status: u16 = raw
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| format!("{target}: malformed status line in {raw:?}"))?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .ok_or_else(|| format!("{target}: no header/body separator"))?;
+    Ok((status, body))
+}
+
+fn expect_status(
+    addr: SocketAddr,
+    target: &str,
+    want: u16,
+) -> Result<String, String> {
+    let (status, body) = http_get(addr, target)?;
+    if status != want {
+        return Err(format!("{target}: expected status {want}, got {status} ({body})"));
+    }
+    Ok(body)
+}
+
+fn run() -> Result<(), String> {
+    let cache_dir = std::env::temp_dir().join(format!("dlp_serve_gate_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let threads = ThreadCount::from_env().map_err(|e| e.to_string())?;
+    let handle = serve(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        service: ServiceConfig {
+            cache_dir: cache_dir.to_string_lossy().into_owned(),
+            threads,
+            miss_budget_ms: None,
+        },
+    })
+    .map_err(|e| e.to_string())?;
+    let addr = handle.addr();
+    println!("serve_gate: listening on {addr}");
+
+    let result = (|| {
+        expect_status(addr, "/healthz", 200)?;
+
+        // Miss, then hit: byte-identical bodies, exactly one recompute.
+        let miss = expect_status(addr, "/v1/dl?circuit=c17&seed=1", 200)?;
+        let obs = handle.service().obs();
+        if obs.counter_value("serve.recompute") != Some(1) {
+            return Err(format!(
+                "cold request should recompute exactly once, counted {:?}",
+                obs.counter_value("serve.recompute")
+            ));
+        }
+        let hit = expect_status(addr, "/v1/dl?circuit=c17&seed=1", 200)?;
+        if miss != hit {
+            return Err(format!(
+                "hit must replay the miss byte-for-byte\nmiss: {miss}\nhit:  {hit}"
+            ));
+        }
+        if obs.counter_value("serve.cache.hit") != Some(1) {
+            return Err("the second request should have been a cache hit".to_string());
+        }
+
+        // The miss sealed the sibling artifacts: the fault report for
+        // the same circuit answers without another pipeline execution.
+        expect_status(addr, "/v1/faults?circuit=c17", 200)?;
+        if obs.counter_value("serve.recompute") != Some(1) {
+            return Err("the sibling /v1/faults artifact should already be sealed".to_string());
+        }
+
+        // Client mistakes are typed, not 500s.
+        expect_status(addr, "/v1/nope", 404)?;
+        expect_status(addr, "/v1/dl?circuit=does_not_exist", 404)?;
+        expect_status(addr, "/v1/dl", 400)?;
+        expect_status(addr, "/v1/dln?circuit=c17&n=99", 400)?;
+
+        // The exposition must satisfy the in-tree OpenMetrics validator
+        // and carry the cache counters this gate just exercised.
+        let metrics = expect_status(addr, "/metrics", 200)?;
+        openmetrics::validate(&metrics).map_err(|e| format!("/metrics is invalid: {e}"))?;
+        for needle in ["serve.cache.hit", "serve.cache.miss", "serve.request_seconds"] {
+            if !metrics.contains(needle) {
+                return Err(format!("/metrics does not expose {needle}"));
+            }
+        }
+        Ok(())
+    })();
+
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    result.map(|()| println!("serve_gate: OK — miss/hit byte-identity, typed errors, metrics"))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("serve_gate: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! The content-addressed artifact cache behind every projection
+//! endpoint.
+//!
+//! A response body is a deterministic function of its cache key — the
+//! endpoint, the netlist fingerprint, the seed / n-detect target, the
+//! defect-model parameters, and the engine version (see
+//! [`crate::service`] for the key recipe). So the cache can promise the
+//! strongest property a cache can have: **a hit replays the exact bytes
+//! a miss would have computed.** Artifacts are stored as sealed
+//! [`dlp_core::ckpt`] envelopes (kind [`CACHE_KIND`]), written with
+//! [`dlp_core::ckpt::atomic_write`] so a crash mid-store leaves either
+//! the old artifact or the new one, never a torn file.
+//!
+//! Corruption is *not* an error: an envelope that fails its checksum,
+//! kind, key, or version check is reported as a typed miss
+//! ([`CacheLookup::Miss`] carrying the [`CkptError`]) and recomputed —
+//! a damaged cache degrades to a cold one.
+//!
+//! Eviction policy: **none, by design.** Every artifact is re-derivable
+//! from its key, artifacts are small (a few KB of JSON), and the
+//! catalogue of circuits × seeds a deployment serves is finite, so the
+//! directory is bounded by usage. Operators reclaim space with
+//! [`ArtifactCache::clear`] (or `rm` — every file is self-describing
+//! and independently sealed).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use dlp_core::ckpt::{self, CkptError};
+use dlp_core::obs::{Json, Recorder};
+
+use crate::error::ServeError;
+
+/// The envelope kind every cached response artifact is sealed under.
+pub const CACHE_KIND: &str = "serve.response";
+
+/// Bumped whenever the projection pipeline changes in a way that can
+/// alter response bytes; part of every cache key, so stale artifacts
+/// from an older engine can never be replayed.
+pub const ENGINE_VERSION: u64 = 1;
+
+/// The outcome of a cache probe.
+#[derive(Debug)]
+pub enum CacheLookup {
+    /// The sealed artifact was present and intact; the payload's
+    /// canonical rendering — byte-identical to what the original miss
+    /// returned.
+    Hit(String),
+    /// No usable artifact. `None` means the file does not exist (a cold
+    /// miss); `Some(err)` means an envelope was present but failed
+    /// verification (a *typed* miss — the corruption is reported, then
+    /// recomputed over).
+    Miss(Option<CkptError>),
+}
+
+/// A directory of sealed response artifacts plus the per-key recompute
+/// locks that give the cache its single-flight property.
+pub struct ArtifactCache {
+    dir: PathBuf,
+    /// One recompute mutex per hot key. Entries are never removed: the
+    /// map is bounded by the number of distinct keys served, and an
+    /// `Arc<Mutex<()>>` is a few dozen bytes.
+    locks: Mutex<HashMap<u64, Arc<Mutex<()>>>>,
+}
+
+impl ArtifactCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error if the directory cannot be created.
+    pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<ArtifactCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ArtifactCache {
+            dir,
+            locks: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The artifact path for a key: `<dir>/serve-<key as 16 hex>.json`.
+    pub fn path_for(&self, key: u64) -> String {
+        self.dir
+            .join(format!("serve-{key:016x}.json"))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    /// Probes the cache without computing anything.
+    pub fn lookup(&self, key: u64) -> CacheLookup {
+        let path = self.path_for(key);
+        if !std::path::Path::new(&path).exists() {
+            return CacheLookup::Miss(None);
+        }
+        match ckpt::load(&path, CACHE_KIND, key) {
+            Ok(payload) => match payload.get("body") {
+                Some(body) => CacheLookup::Hit(ckpt::render(body)),
+                None => CacheLookup::Miss(Some(CkptError::Malformed {
+                    what: "cached artifact payload has no body field",
+                })),
+            },
+            Err(e) => CacheLookup::Miss(Some(e)),
+        }
+    }
+
+    /// Seals and atomically stores a response body, returning the same
+    /// canonical rendering a later [`CacheLookup::Hit`] will replay.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Cache`] if the envelope cannot be written.
+    pub fn store(&self, key: u64, body: &Json) -> Result<String, ServeError> {
+        let rendered = ckpt::render(body);
+        let payload = Json::Object(vec![("body".to_string(), body.clone())]);
+        ckpt::save(&self.path_for(key), CACHE_KIND, key, &payload)?;
+        Ok(rendered)
+    }
+
+    /// Loads and verifies the sealed artifact for `key`, surfacing the
+    /// verification error instead of degrading it to a miss — for tests
+    /// and the fault-injection corpus, which assert on the *typed*
+    /// failure a corrupted envelope produces.
+    ///
+    /// # Errors
+    ///
+    /// The [`CkptError`] from [`dlp_core::ckpt::load`].
+    pub fn open_strict(&self, key: u64) -> Result<Json, CkptError> {
+        ckpt::load(&self.path_for(key), CACHE_KIND, key)
+    }
+
+    /// The hit-or-recompute path every endpoint goes through.
+    ///
+    /// On a hit the sealed artifact's bytes are replayed. On a miss,
+    /// exactly one caller recomputes per key — concurrent requests for
+    /// the same key serialize on a per-key mutex, and the losers of the
+    /// race re-probe the cache after the winner stores (the
+    /// single-flight property the cache-race test pins down). Returns
+    /// the body and whether it was served from cache.
+    ///
+    /// Counters on `obs`: `serve.cache.hit`, `serve.cache.miss`,
+    /// `serve.cache.corrupt` (typed misses), `serve.recompute` (actual
+    /// pipeline executions — at most one per key under any concurrency).
+    ///
+    /// # Errors
+    ///
+    /// Whatever `compute` fails with, or [`ServeError::Cache`] if the
+    /// recomputed artifact cannot be stored.
+    pub fn get_or_compute(
+        &self,
+        key: u64,
+        obs: &Recorder,
+        compute: impl FnOnce() -> Result<Json, ServeError>,
+    ) -> Result<(String, bool), ServeError> {
+        match self.lookup(key) {
+            CacheLookup::Hit(body) => {
+                obs.incr("serve.cache.hit");
+                return Ok((body, true));
+            }
+            CacheLookup::Miss(Some(_)) => {
+                obs.incr("serve.cache.miss");
+                obs.incr("serve.cache.corrupt");
+            }
+            CacheLookup::Miss(None) => obs.incr("serve.cache.miss"),
+        }
+        let lock = self.lock_for(key);
+        let _guard = lock.lock().unwrap_or_else(|p| p.into_inner());
+        // Double-check under the lock: if another request already
+        // recomputed this key, replay its bytes instead of computing
+        // again.
+        if let CacheLookup::Hit(body) = self.lookup(key) {
+            return Ok((body, true));
+        }
+        obs.incr("serve.recompute");
+        let body = compute()?;
+        let rendered = self.store(key, &body)?;
+        Ok((rendered, false))
+    }
+
+    /// Deletes every artifact file, returning how many were removed.
+    /// The per-key locks are kept — in-flight recomputes are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-walk or unlink errors.
+    pub fn clear(&self) -> std::io::Result<usize> {
+        let mut removed = 0;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("serve-") && name.ends_with(".json") {
+                std::fs::remove_file(entry.path())?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    fn lock_for(&self, key: u64) -> Arc<Mutex<()>> {
+        let mut locks = self.locks.lock().unwrap_or_else(|p| p.into_inner());
+        Arc::clone(locks.entry(key).or_default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dlp_serve_cache_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn body() -> Json {
+        Json::Object(vec![
+            ("circuit".to_string(), Json::String("c17".to_string())),
+            ("dl".to_string(), Json::Number(0.125)),
+        ])
+    }
+
+    #[test]
+    fn store_then_lookup_replays_identical_bytes() {
+        let cache = ArtifactCache::new(tmp_dir("roundtrip")).expect("cache dir");
+        let stored = cache.store(7, &body()).expect("store");
+        match cache.lookup(7) {
+            CacheLookup::Hit(replayed) => assert_eq!(replayed, stored),
+            other => panic!("expected a hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absent_artifacts_are_cold_misses() {
+        let cache = ArtifactCache::new(tmp_dir("cold")).expect("cache dir");
+        assert!(matches!(cache.lookup(1), CacheLookup::Miss(None)));
+    }
+
+    #[test]
+    fn corrupted_envelopes_are_typed_misses() {
+        let cache = ArtifactCache::new(tmp_dir("corrupt")).expect("cache dir");
+        cache.store(9, &body()).expect("store");
+        let path = cache.path_for(9);
+        let text = std::fs::read_to_string(&path).expect("read");
+        std::fs::write(&path, text.replace("0.125", "0.625")).expect("corrupt");
+        match cache.lookup(9) {
+            CacheLookup::Miss(Some(e)) => {
+                assert!(matches!(e, CkptError::ChecksumMismatch { .. }), "{e}")
+            }
+            other => panic!("expected a typed miss, got {other:?}"),
+        }
+        // And open_strict surfaces the same failure as an error.
+        assert!(cache.open_strict(9).is_err());
+    }
+
+    #[test]
+    fn wrong_key_artifacts_never_replay() {
+        let cache = ArtifactCache::new(tmp_dir("key")).expect("cache dir");
+        cache.store(3, &body()).expect("store");
+        let other = cache.path_for(4);
+        std::fs::copy(cache.path_for(3), other).expect("copy");
+        assert!(matches!(cache.lookup(4), CacheLookup::Miss(Some(_))));
+    }
+
+    #[test]
+    fn get_or_compute_counts_and_replays() {
+        let cache = ArtifactCache::new(tmp_dir("counts")).expect("cache dir");
+        let obs = Recorder::enabled();
+        let (first, hit) = cache
+            .get_or_compute(5, &obs, || Ok(body()))
+            .expect("compute");
+        assert!(!hit);
+        let (second, hit) = cache
+            .get_or_compute(5, &obs, || panic!("must not recompute a hit"))
+            .expect("replay");
+        assert!(hit);
+        assert_eq!(first, second);
+        assert_eq!(obs.counter_value("serve.cache.miss"), Some(1));
+        assert_eq!(obs.counter_value("serve.cache.hit"), Some(1));
+        assert_eq!(obs.counter_value("serve.recompute"), Some(1));
+    }
+
+    #[test]
+    fn clear_removes_only_artifacts() {
+        let dir = tmp_dir("clear");
+        let cache = ArtifactCache::new(&dir).expect("cache dir");
+        cache.store(1, &body()).expect("store");
+        cache.store(2, &body()).expect("store");
+        std::fs::write(dir.join("unrelated.txt"), "keep me").expect("write");
+        assert_eq!(cache.clear().expect("clear"), 2);
+        assert!(dir.join("unrelated.txt").exists());
+        assert!(matches!(cache.lookup(1), CacheLookup::Miss(None)));
+    }
+}

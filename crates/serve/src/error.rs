@@ -1,0 +1,192 @@
+//! The service's typed error, and its mapping onto HTTP statuses and
+//! the workspace-wide [`PipelineError`].
+
+use std::error::Error;
+use std::fmt;
+
+use dlp_core::{CkptError, PipelineError, Stage};
+
+use crate::http::HttpError;
+
+/// Everything that can go wrong between an accepted connection and a
+/// response. Every variant maps to a definite HTTP status via
+/// [`ServeError::status`], so the connection handler can always answer
+/// with a well-formed error body instead of dropping the socket.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The request never parsed; see [`HttpError`].
+    Http(HttpError),
+    /// The path matched no endpoint.
+    UnknownEndpoint {
+        /// The path that was requested.
+        path: String,
+    },
+    /// A required query parameter was absent.
+    MissingParam {
+        /// The parameter name.
+        name: &'static str,
+    },
+    /// A query parameter was present but unusable.
+    BadParam {
+        /// The parameter name.
+        name: &'static str,
+        /// What was wrong with it.
+        what: String,
+    },
+    /// The requested circuit is not in the served catalogue.
+    UnknownCircuit {
+        /// The circuit name that was requested.
+        name: String,
+    },
+    /// The artifact cache failed in a way that is not a typed miss
+    /// (e.g. the sealed envelope could not be written).
+    Cache(CkptError),
+    /// The projection pipeline failed while computing a miss.
+    Compute(Box<PipelineError>),
+    /// A transport or filesystem error outside the cache.
+    Io(std::io::Error),
+}
+
+impl ServeError {
+    /// The HTTP status code and reason phrase this error maps to.
+    ///
+    /// Client mistakes are 4xx; a compute failure whose root cause is a
+    /// tripped [`dlp_core::BudgetExceeded`] is `503 Service Unavailable`
+    /// (the request was valid, the server declined to spend more on
+    /// it); everything else server-side is a 500.
+    pub fn status(&self) -> (u16, &'static str) {
+        match self {
+            ServeError::Http(e) => e.status(),
+            ServeError::UnknownEndpoint { .. } | ServeError::UnknownCircuit { .. } => {
+                (404, "Not Found")
+            }
+            ServeError::MissingParam { .. } | ServeError::BadParam { .. } => (400, "Bad Request"),
+            ServeError::Compute(e) if e.budget().is_some() => (503, "Service Unavailable"),
+            ServeError::Cache(_) | ServeError::Compute(_) | ServeError::Io(_) => {
+                (500, "Internal Server Error")
+            }
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Http(e) => write!(f, "{e}"),
+            ServeError::UnknownEndpoint { path } => {
+                write!(f, "no such endpoint {path:?}")
+            }
+            ServeError::MissingParam { name } => {
+                write!(f, "missing required query parameter {name:?}")
+            }
+            ServeError::BadParam { name, what } => {
+                write!(f, "bad query parameter {name:?}: {what}")
+            }
+            ServeError::UnknownCircuit { name } => {
+                write!(f, "unknown circuit {name:?}; see /v1/circuits")
+            }
+            ServeError::Cache(e) => write!(f, "artifact cache failure: {e}"),
+            ServeError::Compute(e) => write!(f, "projection failed: {e}"),
+            ServeError::Io(e) => write!(f, "i/o failure: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Http(e) => Some(e),
+            ServeError::Cache(e) => Some(e),
+            ServeError::Compute(e) => Some(e.as_ref()),
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HttpError> for ServeError {
+    fn from(e: HttpError) -> Self {
+        ServeError::Http(e)
+    }
+}
+
+impl From<CkptError> for ServeError {
+    fn from(e: CkptError) -> Self {
+        ServeError::Cache(e)
+    }
+}
+
+impl From<PipelineError> for ServeError {
+    fn from(e: PipelineError) -> Self {
+        ServeError::Compute(Box::new(e))
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<ServeError> for PipelineError {
+    fn from(e: ServeError) -> Self {
+        PipelineError::with_source(Stage::Serve, e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlp_core::budget::{BudgetExceeded, BudgetReason};
+    use dlp_core::ModelError;
+
+    #[test]
+    fn statuses_are_stable() {
+        assert_eq!(
+            ServeError::UnknownEndpoint {
+                path: "/nope".into()
+            }
+            .status()
+            .0,
+            404
+        );
+        assert_eq!(
+            ServeError::UnknownCircuit { name: "c9".into() }.status().0,
+            404
+        );
+        assert_eq!(ServeError::MissingParam { name: "seed" }.status().0, 400);
+        assert_eq!(
+            ServeError::BadParam {
+                name: "n",
+                what: "not a number".into()
+            }
+            .status()
+            .0,
+            400
+        );
+        let compute = ServeError::from(PipelineError::from(ModelError::BadFitData("x")));
+        assert_eq!(compute.status().0, 500);
+    }
+
+    #[test]
+    fn tripped_budgets_are_503() {
+        let exceeded = BudgetExceeded {
+            reason: BudgetReason::Deadline {
+                limit_ms: 10,
+                elapsed_ms: 25,
+            },
+            completed: 1,
+            total: 4,
+        };
+        let inner = PipelineError::with_source(Stage::Simulation, exceeded);
+        assert_eq!(ServeError::from(inner).status().0, 503);
+    }
+
+    #[test]
+    fn converts_into_a_serve_stage_pipeline_error() {
+        let e = PipelineError::from(ServeError::MissingParam { name: "circuit" });
+        assert_eq!(e.stage(), Stage::Serve);
+        assert!(e.to_string().contains("circuit"));
+    }
+}

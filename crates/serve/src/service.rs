@@ -1,0 +1,594 @@
+//! Endpoint routing and the cache-backed projection handlers.
+//!
+//! ## Endpoints
+//!
+//! | Path           | Query                  | Body                                   |
+//! |----------------|------------------------|----------------------------------------|
+//! | `/v1/dl`       | `circuit`, `seed`      | DL(T) at the full generated test set   |
+//! | `/v1/dln`      | `circuit`, `n`         | DL(n) under an n-detect schedule       |
+//! | `/v1/curve`    | `circuit`, `seed`      | `(k, T, θ, Γ, DL)` coverage samples    |
+//! | `/v1/faults`   | `circuit`              | extracted realistic-fault report       |
+//! | `/v1/circuits` | —                      | the served circuit catalogue           |
+//! | `/metrics`     | —                      | OpenMetrics exposition of the service  |
+//! | `/healthz`     | —                      | liveness probe                         |
+//!
+//! ## The cache-key contract
+//!
+//! Every cacheable response is addressed by a [`KeyHasher`] digest over,
+//! in order: the endpoint name, the netlist fingerprint (structure and
+//! names, via [`dlp_sim::ckpt::hash_netlist`]), the request seed, the
+//! n-detect target, the defect-model parameters (the `Debug` rendering
+//! of [`DefectStatistics::maly_cmos`]), [`ENGINE_VERSION`], and the
+//! crate version. Anything that can change response bytes is in the
+//! key; anything in the key that changes makes old artifacts
+//! unreachable rather than wrong.
+//!
+//! One pipeline execution feeds three endpoints: a miss on `/v1/dl` or
+//! `/v1/curve` runs extraction + simulation once and seals the `dl`,
+//! `curve`, *and* `faults` artifacts for that `(circuit, seed)`, so the
+//! natural exploration order (project, then inspect the curve) pays for
+//! the pipeline once.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::time::{Duration, Instant};
+
+use dlp_bench::pipeline::{self, PAPER_YIELD};
+use dlp_circuit::{generators, switch, Netlist};
+use dlp_core::ckpt::KeyHasher;
+use dlp_core::obs::{Json, Recorder};
+use dlp_core::par::ThreadCount;
+use dlp_core::{PipelineError, Ppm, RunBudget};
+use dlp_extract::defects::DefectStatistics;
+use dlp_extract::faults::OpenLevelModel;
+use dlp_ndetect::{build_schedule_resumable, NDetectConfig};
+use dlp_sim::stuck_at;
+use dlp_sim::switchlevel::{DetectionMode, SwitchConfig, SwitchSimulator};
+
+use crate::cache::{ArtifactCache, ENGINE_VERSION};
+use crate::error::ServeError;
+use crate::http::{Request, Response, CONTENT_TYPE_OPENMETRICS};
+
+/// Circuits the service will project, by API name.
+pub const CIRCUITS: &[&str] = &["c17", "c432"];
+
+/// Largest accepted n-detect target (matches the `ndetect_dl` study).
+pub const MAX_N: usize = 8;
+
+/// The endpoints the router recognizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `/v1/dl` — DL(T) projection.
+    Dl,
+    /// `/v1/dln` — DL(n) under an n-detect schedule.
+    Dln,
+    /// `/v1/curve` — coverage-curve samples.
+    Curve,
+    /// `/v1/faults` — extracted-fault report.
+    Faults,
+    /// `/v1/circuits` — the served catalogue.
+    Circuits,
+    /// `/metrics` — OpenMetrics exposition.
+    Metrics,
+    /// `/healthz` — liveness probe.
+    Health,
+}
+
+/// Maps a request path to an endpoint.
+///
+/// # Errors
+///
+/// [`ServeError::UnknownEndpoint`] for any other path.
+pub fn route(path: &str) -> Result<Endpoint, ServeError> {
+    match path {
+        "/v1/dl" => Ok(Endpoint::Dl),
+        "/v1/dln" => Ok(Endpoint::Dln),
+        "/v1/curve" => Ok(Endpoint::Curve),
+        "/v1/faults" => Ok(Endpoint::Faults),
+        "/v1/circuits" => Ok(Endpoint::Circuits),
+        "/metrics" => Ok(Endpoint::Metrics),
+        "/healthz" => Ok(Endpoint::Health),
+        _ => Err(ServeError::UnknownEndpoint {
+            path: path.to_string(),
+        }),
+    }
+}
+
+/// The netlist behind an API circuit name.
+///
+/// # Errors
+///
+/// [`ServeError::UnknownCircuit`] when the name is not in [`CIRCUITS`].
+pub fn netlist_for(name: &str) -> Result<Netlist, ServeError> {
+    match name {
+        "c17" => Ok(generators::c17()),
+        "c432" => Ok(generators::c432_class()),
+        _ => Err(ServeError::UnknownCircuit {
+            name: name.to_string(),
+        }),
+    }
+}
+
+/// Splits a raw query string into `(name, value)` pairs. No percent
+/// decoding — every value the API accepts is `[A-Za-z0-9_]+`.
+pub fn query_params(query: Option<&str>) -> Vec<(String, String)> {
+    let Some(query) = query else {
+        return Vec::new();
+    };
+    query
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((name, value)) => (name.to_string(), value.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect()
+}
+
+fn required<'a>(
+    params: &'a [(String, String)],
+    name: &'static str,
+) -> Result<&'a str, ServeError> {
+    params
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+        .ok_or(ServeError::MissingParam { name })
+}
+
+fn u64_param(
+    params: &[(String, String)],
+    name: &'static str,
+    default: u64,
+) -> Result<u64, ServeError> {
+    match params.iter().find(|(k, _)| k == name) {
+        None => Ok(default),
+        Some((_, v)) => v.parse().map_err(|_| ServeError::BadParam {
+            name,
+            what: format!("{v:?} is not a base-10 unsigned integer"),
+        }),
+    }
+}
+
+/// The content-addressed key of one response artifact. Public so tests
+/// and the fault-injection corpus can address artifacts directly; see
+/// the module docs for the contract.
+pub fn artifact_key(endpoint: &str, netlist: &Netlist, seed: u64, n: u64) -> u64 {
+    let mut h = KeyHasher::new();
+    h.write_bytes(endpoint.as_bytes());
+    dlp_sim::ckpt::hash_netlist(&mut h, netlist);
+    h.write_u64(seed);
+    h.write_u64(n);
+    h.write_bytes(format!("{:?}", DefectStatistics::maly_cmos()).as_bytes());
+    h.write_u64(ENGINE_VERSION);
+    h.write_bytes(env!("CARGO_PKG_VERSION").as_bytes());
+    h.finish()
+}
+
+/// Configuration for a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Directory the artifact cache lives in.
+    pub cache_dir: String,
+    /// Worker count for the simulation stages of a miss.
+    pub threads: ThreadCount,
+    /// Wall-clock budget for one miss recompute; `None` is unlimited.
+    /// A tripped budget answers `503`, never a partial projection.
+    pub miss_budget_ms: Option<u64>,
+}
+
+/// The projection service: stateless request handling over an
+/// [`ArtifactCache`], with a live [`Recorder`] feeding `/metrics`.
+pub struct Service {
+    cache: ArtifactCache,
+    obs: Recorder,
+    threads: ThreadCount,
+    miss_budget_ms: Option<u64>,
+    in_flight: AtomicI64,
+}
+
+impl Service {
+    /// Opens the cache directory and builds a service.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the cache directory cannot be created.
+    pub fn new(config: &ServiceConfig) -> Result<Service, ServeError> {
+        Ok(Service {
+            cache: ArtifactCache::new(&config.cache_dir)?,
+            obs: Recorder::enabled(),
+            threads: config.threads,
+            miss_budget_ms: config.miss_budget_ms,
+            in_flight: AtomicI64::new(0),
+        })
+    }
+
+    /// The service's artifact cache (tests address artifacts directly).
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.cache
+    }
+
+    /// The service's live recorder (tests assert on counters).
+    pub fn obs(&self) -> &Recorder {
+        &self.obs
+    }
+
+    /// Handles one parsed request. Never fails: a [`ServeError`] is
+    /// rendered as its mapped status with a JSON error body. Also
+    /// maintains the `/metrics` signals: `serve.requests`,
+    /// `serve.errors`, the `serve.request_seconds` latency histogram,
+    /// and the `serve.in_flight` gauge.
+    pub fn handle(&self, req: &Request) -> Response {
+        let started = Instant::now();
+        let depth = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        self.obs.gauge("serve.in_flight", depth as f64);
+        let response = match self.respond(req) {
+            Ok(response) => response,
+            Err(e) => {
+                self.obs.incr("serve.errors");
+                let (status, reason) = e.status();
+                Response::error(status, reason, &e.to_string())
+            }
+        };
+        self.obs.incr("serve.requests");
+        self.obs
+            .observe("serve.request_seconds", started.elapsed().as_secs_f64());
+        let depth = self.in_flight.fetch_sub(1, Ordering::SeqCst) - 1;
+        self.obs.gauge("serve.in_flight", depth as f64);
+        response
+    }
+
+    /// Renders a request that failed HTTP parsing — same error-body
+    /// shape and metrics as [`Service::handle`], without a [`Request`].
+    pub fn reject(&self, e: &crate::http::HttpError) -> Response {
+        self.obs.incr("serve.requests");
+        self.obs.incr("serve.errors");
+        let (status, reason) = e.status();
+        Response::error(status, reason, &e.to_string())
+    }
+
+    fn respond(&self, req: &Request) -> Result<Response, ServeError> {
+        let endpoint = route(req.path())?;
+        let params = query_params(req.query());
+        match endpoint {
+            Endpoint::Health => Ok(Response::ok_json(render_obj(vec![(
+                "status",
+                Json::String("ok".to_string()),
+            )]))),
+            Endpoint::Circuits => Ok(Response::ok_json(render_obj(vec![(
+                "circuits",
+                Json::Array(
+                    CIRCUITS
+                        .iter()
+                        .map(|c| Json::String((*c).to_string()))
+                        .collect(),
+                ),
+            )]))),
+            Endpoint::Metrics => Ok(Response {
+                status: 200,
+                reason: "OK",
+                content_type: CONTENT_TYPE_OPENMETRICS,
+                body: self.obs.report("serve").to_openmetrics().into_bytes(),
+            }),
+            Endpoint::Dl | Endpoint::Curve | Endpoint::Faults => {
+                let circuit = required(&params, "circuit")?;
+                let seed = u64_param(&params, "seed", 0)?;
+                self.projection(endpoint, circuit, seed)
+            }
+            Endpoint::Dln => {
+                let circuit = required(&params, "circuit")?;
+                let n = u64_param(&params, "n", 1)?;
+                if !(1..=MAX_N as u64).contains(&n) {
+                    return Err(ServeError::BadParam {
+                        name: "n",
+                        what: format!("{n} is outside the supported range 1..={MAX_N}"),
+                    });
+                }
+                self.dln(circuit, n as usize)
+            }
+        }
+    }
+
+    /// The shared handler behind `/v1/dl`, `/v1/curve`, `/v1/faults`.
+    fn projection(
+        &self,
+        endpoint: Endpoint,
+        circuit: &str,
+        seed: u64,
+    ) -> Result<Response, ServeError> {
+        let netlist = netlist_for(circuit)?;
+        let dl_key = artifact_key("dl", &netlist, seed, 0);
+        let curve_key = artifact_key("curve", &netlist, seed, 0);
+        // The fault report depends only on the circuit.
+        let faults_key = artifact_key("faults", &netlist, 0, 0);
+        let want = match endpoint {
+            Endpoint::Dl => dl_key,
+            Endpoint::Curve => curve_key,
+            _ => faults_key,
+        };
+        let (body, _hit) = self.cache.get_or_compute(want, &self.obs, || {
+            let (dl, curve, faults) = self
+                .compute_projection(circuit, &netlist, seed)
+                .map_err(ServeError::from)?;
+            // One execution feeds all three endpoints: seal the sibling
+            // artifacts before returning the requested one.
+            for (key, sibling) in [(dl_key, &dl), (curve_key, &curve), (faults_key, &faults)]
+            {
+                if key != want {
+                    self.cache.store(key, sibling)?;
+                }
+            }
+            Ok(match endpoint {
+                Endpoint::Dl => dl,
+                Endpoint::Curve => curve,
+                _ => faults,
+            })
+        })?;
+        Ok(Response::ok_json(body))
+    }
+
+    fn dln(&self, circuit: &str, n: usize) -> Result<Response, ServeError> {
+        let netlist = netlist_for(circuit)?;
+        let key = artifact_key("dln", &netlist, 0, n as u64);
+        let (body, _hit) = self.cache.get_or_compute(key, &self.obs, || {
+            self.compute_dln(circuit, &netlist, n)
+                .map_err(ServeError::from)
+        })?;
+        Ok(Response::ok_json(body))
+    }
+
+    fn miss_budget(&self) -> RunBudget {
+        match self.miss_budget_ms {
+            Some(ms) => RunBudget::unlimited().with_deadline(Duration::from_millis(ms)),
+            None => RunBudget::unlimited(),
+        }
+    }
+
+    /// Extraction + ATPG + both simulators, once; returns the
+    /// `(dl, curve, faults)` bodies in artifact form.
+    fn compute_projection(
+        &self,
+        circuit: &str,
+        netlist: &Netlist,
+        seed: u64,
+    ) -> Result<(Json, Json, Json), PipelineError> {
+        let stats = DefectStatistics::maly_cmos();
+        let extraction = pipeline::extract_netlist_obs(netlist.clone(), &stats, &self.obs)?;
+        let budget = self.miss_budget();
+        let run = pipeline::simulate_budgeted(&extraction, seed, self.threads, &budget, &self.obs)?;
+        let samples = pipeline::curve_samples(&extraction, &run)?;
+
+        let k = run.vectors.len();
+        let w = extraction.faults.weights();
+        let t = run.record_t.coverage_after(k);
+        let theta = run.record_theta.weighted_coverage_after(k, &w)?;
+        let gamma = run.record_theta.coverage_after(k);
+        let dl = extraction
+            .weights
+            .defect_level(theta)
+            .map_err(|e| PipelineError::from(e).context("DL at full test length"))?;
+
+        let dl_body = object(vec![
+            ("circuit", Json::String(circuit.to_string())),
+            ("seed", Json::Number(seed as f64)),
+            ("yield", Json::Number(PAPER_YIELD)),
+            ("vectors", Json::Number(k as f64)),
+            ("random_prefix", Json::Number(run.random_prefix as f64)),
+            ("redundant", Json::Number(run.redundant as f64)),
+            ("t", Json::Number(t)),
+            ("theta", Json::Number(theta)),
+            ("gamma", Json::Number(gamma)),
+            ("dl", Json::Number(dl)),
+            ("dl_ppm", Json::Number(Ppm::from_fraction(dl).value())),
+        ]);
+        let curve_body = object(vec![
+            ("circuit", Json::String(circuit.to_string())),
+            ("seed", Json::Number(seed as f64)),
+            ("yield", Json::Number(PAPER_YIELD)),
+            (
+                "samples",
+                Json::Array(
+                    samples
+                        .iter()
+                        .map(|&(k, t, theta, gamma, dl)| {
+                            object(vec![
+                                ("k", Json::Number(k as f64)),
+                                ("t", Json::Number(t)),
+                                ("theta", Json::Number(theta)),
+                                ("gamma", Json::Number(gamma)),
+                                ("dl", Json::Number(dl)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        let faults_body = object(vec![
+            ("circuit", Json::String(circuit.to_string())),
+            ("gates", Json::Number(netlist.gate_count() as f64)),
+            ("faults", Json::Number(extraction.faults.len() as f64)),
+            (
+                "bridge_weight",
+                Json::Number(extraction.faults.bridge_weight()),
+            ),
+            ("open_weight", Json::Number(extraction.faults.open_weight())),
+            (
+                "diagnostics",
+                Json::Number(extraction.diagnostics.len() as f64),
+            ),
+        ]);
+        Ok((dl_body, curve_body, faults_body))
+    }
+
+    /// DL(n): incremental n-detect schedule + one switch-level pass,
+    /// the `ndetect_dl` study's measurement at a single target.
+    fn compute_dln(
+        &self,
+        circuit: &str,
+        netlist: &Netlist,
+        n: usize,
+    ) -> Result<Json, PipelineError> {
+        let stats = DefectStatistics::maly_cmos();
+        let extraction = pipeline::extract_netlist_obs(netlist.clone(), &stats, &self.obs)?;
+        let budget = self.miss_budget();
+        let sa = stuck_at::enumerate(netlist).collapse();
+        let schedule = build_schedule_resumable(
+            netlist,
+            sa.faults(),
+            n,
+            &NDetectConfig::default(),
+            &budget,
+            None,
+        )?;
+        let sw = switch::expand(netlist)
+            .map_err(|e| PipelineError::from(e).context("expanding to switch level"))?;
+        let sim = SwitchSimulator::new(sw, SwitchConfig::default());
+        let lowered = extraction.faults.to_switch_faults(
+            netlist,
+            sim.netlist(),
+            &OpenLevelModel::default(),
+        )?;
+        let record = sim.detect_obs(
+            &lowered,
+            &schedule.vectors,
+            DetectionMode::Voltage,
+            self.threads,
+            &self.obs,
+        )?;
+        let k = schedule.len_at[n - 1];
+        let theta = record.weighted_coverage_after(k, &extraction.faults.weights())?;
+        let dl = extraction
+            .weights
+            .defect_level(theta)
+            .map_err(|e| PipelineError::from(e).context(format!("DL at n = {n}")))?;
+        Ok(object(vec![
+            ("circuit", Json::String(circuit.to_string())),
+            ("n", Json::Number(n as f64)),
+            ("yield", Json::Number(PAPER_YIELD)),
+            ("test_len", Json::Number(k as f64)),
+            (
+                "below_target",
+                Json::Number(schedule.below_target.len() as f64),
+            ),
+            ("theta", Json::Number(theta)),
+            ("dl", Json::Number(dl)),
+            ("dl_ppm", Json::Number(Ppm::from_fraction(dl).value())),
+        ]))
+    }
+}
+
+fn object(fields: Vec<(&str, Json)>) -> Json {
+    Json::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn render_obj(fields: Vec<(&str, Json)>) -> String {
+    dlp_core::ckpt::render(&object(fields))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn router_covers_the_api() {
+        assert_eq!(route("/v1/dl").expect("dl"), Endpoint::Dl);
+        assert_eq!(route("/v1/dln").expect("dln"), Endpoint::Dln);
+        assert_eq!(route("/v1/curve").expect("curve"), Endpoint::Curve);
+        assert_eq!(route("/v1/faults").expect("faults"), Endpoint::Faults);
+        assert_eq!(route("/v1/circuits").expect("circuits"), Endpoint::Circuits);
+        assert_eq!(route("/metrics").expect("metrics"), Endpoint::Metrics);
+        assert_eq!(route("/healthz").expect("healthz"), Endpoint::Health);
+        assert!(matches!(
+            route("/v1/nope"),
+            Err(ServeError::UnknownEndpoint { .. })
+        ));
+        assert!(matches!(
+            route("/v1/dl/extra"),
+            Err(ServeError::UnknownEndpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn query_parsing_is_order_preserving_and_tolerant() {
+        let params = query_params(Some("circuit=c17&seed=42&flag"));
+        assert_eq!(
+            params,
+            vec![
+                ("circuit".to_string(), "c17".to_string()),
+                ("seed".to_string(), "42".to_string()),
+                ("flag".to_string(), String::new()),
+            ]
+        );
+        assert!(query_params(None).is_empty());
+        assert!(query_params(Some("")).is_empty());
+    }
+
+    #[test]
+    fn catalogue_rejects_unknown_circuits() {
+        for name in CIRCUITS {
+            assert!(netlist_for(name).is_ok(), "{name} should be served");
+        }
+        assert!(matches!(
+            netlist_for("c9999"),
+            Err(ServeError::UnknownCircuit { .. })
+        ));
+    }
+
+    #[test]
+    fn keys_separate_every_dimension() {
+        let c17 = generators::c17();
+        let c432 = generators::c432_class();
+        let base = artifact_key("dl", &c17, 0, 0);
+        assert_ne!(base, artifact_key("curve", &c17, 0, 0), "endpoint");
+        assert_ne!(base, artifact_key("dl", &c432, 0, 0), "netlist");
+        assert_ne!(base, artifact_key("dl", &c17, 1, 0), "seed");
+        assert_ne!(base, artifact_key("dl", &c17, 0, 1), "n");
+        assert_eq!(base, artifact_key("dl", &c17, 0, 0), "stable");
+    }
+
+    #[test]
+    fn bad_params_are_typed() {
+        let tmp = std::env::temp_dir().join(format!("dlp_serve_params_{}", std::process::id()));
+        let service = Service::new(&ServiceConfig {
+            cache_dir: tmp.to_string_lossy().into_owned(),
+            threads: ThreadCount::fixed(1).expect("one thread"),
+            miss_budget_ms: None,
+        })
+        .expect("service");
+        let req = |target: &str| crate::http::Request {
+            method: "GET".to_string(),
+            target: target.to_string(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(service.handle(&req("/healthz")).status, 200);
+        assert_eq!(service.handle(&req("/v1/nope")).status, 404);
+        assert_eq!(service.handle(&req("/v1/dl")).status, 400, "missing circuit");
+        assert_eq!(
+            service.handle(&req("/v1/dl?circuit=c9999")).status,
+            404,
+            "unknown circuit"
+        );
+        assert_eq!(
+            service.handle(&req("/v1/dl?circuit=c17&seed=banana")).status,
+            400,
+            "bad seed"
+        );
+        assert_eq!(
+            service.handle(&req("/v1/dln?circuit=c17&n=0")).status,
+            400,
+            "n below range"
+        );
+        assert_eq!(
+            service.handle(&req("/v1/dln?circuit=c17&n=9")).status,
+            400,
+            "n above range"
+        );
+        assert_eq!(service.obs().counter_value("serve.errors"), Some(6));
+        assert_eq!(service.obs().counter_value("serve.requests"), Some(7));
+    }
+}

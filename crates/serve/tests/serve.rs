@@ -1,0 +1,182 @@
+//! End-to-end contracts of the projection service, driven on the cheap
+//! c17 circuit so the full pipeline runs in debug-mode test time:
+//!
+//! - **single-flight**: two concurrent misses for one key produce
+//!   exactly one recompute and byte-identical responses;
+//! - **hit/miss identity**: a hit replays the miss byte-for-byte;
+//! - **thread determinism**: services pinned to 1 and 4 simulation
+//!   threads produce identical bytes for every endpoint;
+//! - **corruption**: a damaged cache envelope is a typed miss that
+//!   recomputes to the original bytes (and `open_strict` surfaces the
+//!   typed error);
+//! - **sibling sealing**: one `/v1/dl` miss also seals `/v1/curve` and
+//!   `/v1/faults`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use dlp_core::par::ThreadCount;
+use dlp_serve::cache::CacheLookup;
+use dlp_serve::http::Request;
+use dlp_serve::service::{artifact_key, netlist_for, Service, ServiceConfig};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dlp_serve_it_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn service(tag: &str, threads: usize) -> Service {
+    Service::new(&ServiceConfig {
+        cache_dir: tmp_dir(tag).to_string_lossy().into_owned(),
+        threads: ThreadCount::fixed(threads).expect("thread count"),
+        miss_budget_ms: None,
+    })
+    .expect("service")
+}
+
+fn get(target: &str) -> Request {
+    Request {
+        method: "GET".to_string(),
+        target: target.to_string(),
+        headers: Vec::new(),
+        body: Vec::new(),
+    }
+}
+
+fn body_text(service: &Service, target: &str) -> String {
+    let response = service.handle(&get(target));
+    assert_eq!(
+        response.status,
+        200,
+        "{target}: {}",
+        String::from_utf8_lossy(&response.body)
+    );
+    String::from_utf8(response.body).expect("utf-8 body")
+}
+
+#[test]
+fn concurrent_misses_recompute_exactly_once_with_identical_bytes() {
+    let service = Arc::new(service("race", 1));
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                scope.spawn(move || body_text(&service, "/v1/dl?circuit=c17&seed=3"))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    assert_eq!(bodies[0], bodies[1], "racing requests must agree byte-for-byte");
+    assert_eq!(
+        service.obs().counter_value("serve.recompute"),
+        Some(1),
+        "exactly one of the two racing misses may execute the pipeline"
+    );
+    assert_eq!(service.obs().counter_value("serve.cache.miss"), Some(2));
+}
+
+#[test]
+fn hits_replay_misses_byte_for_byte() {
+    let service = service("hit", 1);
+    let miss = body_text(&service, "/v1/dl?circuit=c17&seed=5");
+    let hit = body_text(&service, "/v1/dl?circuit=c17&seed=5");
+    assert_eq!(miss, hit);
+    assert_eq!(service.obs().counter_value("serve.cache.hit"), Some(1));
+    assert_eq!(service.obs().counter_value("serve.recompute"), Some(1));
+    // The body is well-formed JSON with the projection fields.
+    let parsed = dlp_core::obs::Json::parse(&hit).expect("valid JSON");
+    assert_eq!(
+        parsed.get("circuit").and_then(|c| c.as_str().map(String::from)),
+        Some("c17".to_string())
+    );
+    for field in ["theta", "dl", "dl_ppm", "vectors"] {
+        assert!(
+            parsed.get(field).and_then(|v| v.as_f64()).is_some(),
+            "missing numeric field {field}"
+        );
+    }
+}
+
+#[test]
+fn responses_are_identical_across_simulation_thread_counts() {
+    let one = service("t1", 1);
+    let four = service("t4", 4);
+    for target in [
+        "/v1/dl?circuit=c17&seed=2",
+        "/v1/curve?circuit=c17&seed=2",
+        "/v1/faults?circuit=c17",
+        "/v1/dln?circuit=c17&n=2",
+    ] {
+        assert_eq!(
+            body_text(&one, target),
+            body_text(&four, target),
+            "{target} must not depend on the worker count"
+        );
+    }
+}
+
+#[test]
+fn one_dl_miss_seals_the_sibling_artifacts() {
+    let service = service("siblings", 1);
+    let _ = body_text(&service, "/v1/dl?circuit=c17&seed=7");
+    assert_eq!(service.obs().counter_value("serve.recompute"), Some(1));
+    let _ = body_text(&service, "/v1/curve?circuit=c17&seed=7");
+    let _ = body_text(&service, "/v1/faults?circuit=c17");
+    assert_eq!(
+        service.obs().counter_value("serve.recompute"),
+        Some(1),
+        "curve and faults must be served from the artifacts the dl miss sealed"
+    );
+}
+
+#[test]
+fn corrupted_artifacts_are_typed_misses_that_recompute_to_the_same_bytes() {
+    let service = service("corrupt", 1);
+    let original = body_text(&service, "/v1/dl?circuit=c17&seed=9");
+
+    // Damage the sealed envelope's payload on disk.
+    let netlist = netlist_for("c17").expect("catalogue circuit");
+    let key = artifact_key("dl", &netlist, 9, 0);
+    let path = service.cache().path_for(key);
+    let sealed = std::fs::read_to_string(&path).expect("artifact exists");
+    std::fs::write(&path, sealed.replace("\"circuit\":\"c17\"", "\"circuit\":\"c18\""))
+        .expect("corrupt artifact");
+
+    // The strict probe surfaces the typed error...
+    let err = service.cache().open_strict(key).expect_err("must fail verification");
+    assert!(
+        matches!(err, dlp_core::CkptError::ChecksumMismatch { .. }),
+        "expected a checksum mismatch, got {err}"
+    );
+    // ...while the serving path degrades it to a typed miss.
+    assert!(matches!(service.cache().lookup(key), CacheLookup::Miss(Some(_))));
+
+    let recomputed = body_text(&service, "/v1/dl?circuit=c17&seed=9");
+    assert_eq!(original, recomputed, "recompute must reproduce the original bytes");
+    assert_eq!(service.obs().counter_value("serve.cache.corrupt"), Some(1));
+    assert_eq!(service.obs().counter_value("serve.recompute"), Some(2));
+}
+
+#[test]
+fn metrics_exposition_validates_after_traffic() {
+    let service = service("metrics", 1);
+    let _ = body_text(&service, "/v1/faults?circuit=c17");
+    let _ = service.handle(&get("/v1/nope"));
+    let response = service.handle(&get("/metrics"));
+    assert_eq!(response.status, 200);
+    let text = String::from_utf8(response.body).expect("utf-8");
+    dlp_core::obs::openmetrics::validate(&text).expect("valid OpenMetrics");
+    for needle in [
+        "serve.requests",
+        "serve.errors",
+        "serve.cache.miss",
+        "serve.request_seconds",
+        "serve.in_flight",
+    ] {
+        assert!(text.contains(needle), "/metrics does not expose {needle}");
+    }
+}

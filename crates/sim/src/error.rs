@@ -58,6 +58,16 @@ pub enum SimError {
         /// Resume state for the `*_resumable` simulation entry points.
         checkpoint: Box<crate::ckpt::SimCheckpoint>,
     },
+    /// The run budget tripped during a sharded simulation; `checkpoint`
+    /// captures the completed-shard prefix (plus the interrupted
+    /// shard's block-level state), and resuming from it reproduces the
+    /// uninterrupted run bit-identically.
+    ShardedInterrupted {
+        /// What tripped, with shard-level progress attached.
+        budget: dlp_core::BudgetExceeded,
+        /// Resume state for [`crate::sharded::simulate_sharded_resumable`].
+        checkpoint: Box<crate::sharded::ShardedCheckpoint>,
+    },
     /// A supplied resume checkpoint is inconsistent with this run's
     /// inputs (wrong shape, wrong cap, or impossible progress).
     BadCheckpoint {
@@ -98,6 +108,9 @@ impl fmt::Display for SimError {
             SimError::Interrupted { budget, .. } => {
                 write!(f, "{budget}; a resume checkpoint was captured")
             }
+            SimError::ShardedInterrupted { budget, .. } => {
+                write!(f, "{budget}; a sharded resume checkpoint was captured")
+            }
             SimError::BadCheckpoint { what } => {
                 write!(f, "resume checkpoint is unusable: {what}")
             }
@@ -113,6 +126,7 @@ impl Error for SimError {
         match self {
             SimError::Budget(b) => Some(b),
             SimError::Interrupted { budget, .. } => Some(budget),
+            SimError::ShardedInterrupted { budget, .. } => Some(budget),
             _ => None,
         }
     }

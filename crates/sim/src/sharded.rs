@@ -11,20 +11,31 @@
 //! a fault's first-detect index is a pure function of (fault, vectors)
 //! and never depends on which other faults share its setup.
 //!
-//! Budget semantics differ deliberately from the resumable entry
-//! points: the budget is checked once per shard in the serial outer
-//! loop (plus each shard's own up-front memory gate, which now includes
-//! the measured cone-cache bytes), and a trip surfaces as
-//! [`SimError::Budget`] with shard-level progress — sharded runs trade
-//! block-level checkpoints for bounded memory. Size the budget for the
-//! whole run, or fall back to the unsharded resumable path when a
-//! resume checkpoint matters more than the footprint.
+//! Budget semantics: the budget is checked once per shard in the serial
+//! outer loop (plus each shard's own up-front memory gate and per-block
+//! checks inside the counted engine). Through
+//! [`simulate_sharded_resumable`] a trip surfaces as
+//! [`SimError::ShardedInterrupted`] carrying a [`ShardedCheckpoint`] —
+//! the completed-shard first-detect prefix plus the interrupted shard's
+//! own block-level [`SimCheckpoint`] — and resuming from it reproduces
+//! the uninterrupted record bit-identically. The plain
+//! [`simulate_sharded`] / [`simulate_sharded_obs`] entry points keep
+//! their original contract and collapse a trip into
+//! [`SimError::Budget`] with shard-level progress.
+//!
+//! On disk a sharded checkpoint is a sealed [`dlp_core::ckpt`] envelope
+//! of kind [`SHARDED_CKPT_KIND`] whose key digests the netlist
+//! structure, the *full* fault universe, the vector set, and the shard
+//! size — so a checkpoint can never be resumed against different
+//! inputs or a different shard decomposition.
 
 use dlp_circuit::Netlist;
-use dlp_core::obs::Recorder;
+use dlp_core::ckpt::{self, CkptError, KeyHasher};
+use dlp_core::obs::{Json, Recorder};
 use dlp_core::par::ThreadCount;
 use dlp_core::{BudgetExceeded, RunBudget};
 
+use crate::ckpt::{hash_faults, hash_netlist, SimCheckpoint};
 use crate::detection::DetectionRecord;
 use crate::ppsfp::run_counted;
 use crate::stuck_at::StuckAtFault;
@@ -35,6 +46,198 @@ use crate::SimError;
 /// the cone cache of a shard stays in the tens of megabytes even when
 /// every cone spans a few hundred nodes.
 pub const DEFAULT_SHARD_FAULTS: usize = 32_768;
+
+/// The envelope `kind` of sharded PPSFP checkpoints.
+pub const SHARDED_CKPT_KIND: &str = "sim.sharded";
+
+/// Resume state of an interrupted sharded PPSFP run.
+///
+/// Captures the merged first-detect prefix of every *completed* shard
+/// plus, when the trip happened mid-shard, the interrupted shard's own
+/// block-level [`SimCheckpoint`] wrapped alongside — so a resume loses
+/// no completed shard and at most the interrupted shard's current
+/// 64-pattern block.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ShardedCheckpoint {
+    /// The shard size the run was started with.
+    pub shard_faults: usize,
+    /// The first shard that has *not* been fully simulated.
+    pub next_shard: usize,
+    /// The run's total vector count (shape check on resume).
+    pub vectors_len: usize,
+    /// First-detect indices for every fault in the completed shards,
+    /// in fault-universe order.
+    pub first_detect: Vec<Option<usize>>,
+    /// Block-level state of shard `next_shard` when the budget tripped
+    /// inside it; `None` when the trip happened at a shard boundary.
+    pub inner: Option<SimCheckpoint>,
+}
+
+impl std::fmt::Debug for ShardedCheckpoint {
+    // The prefix scales with the fault universe; a derived Debug would
+    // dump it into any error message embedding the checkpoint, so only
+    // aggregate sizes are shown.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCheckpoint")
+            .field("shard_faults", &self.shard_faults)
+            .field("next_shard", &self.next_shard)
+            .field("vectors_len", &self.vectors_len)
+            .field("completed_faults", &self.first_detect.len())
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+impl ShardedCheckpoint {
+    /// The checkpoint key binding the run's inputs: netlist structure,
+    /// the full fault universe, the vector set, and the shard size.
+    pub fn key(
+        netlist: &Netlist,
+        faults: &[StuckAtFault],
+        vectors: &[Vec<bool>],
+        shard_faults: usize,
+    ) -> u64 {
+        let mut h = KeyHasher::new();
+        hash_netlist(&mut h, netlist);
+        hash_faults(&mut h, faults);
+        h.write_usize(vectors.len());
+        for v in vectors {
+            h.write_usize(v.len());
+            for &bit in v {
+                h.write_bool(bit);
+            }
+        }
+        h.write_usize(shard_faults);
+        h.finish()
+    }
+
+    /// The checkpoint payload: `{"shard_faults":…,"next_shard":…,
+    /// "vectors_len":…,"first_detect":[…, null, …],"inner":{…}|null}`.
+    pub fn to_payload(&self) -> Json {
+        let first_detect = self
+            .first_detect
+            .iter()
+            .map(|d| match d {
+                Some(i) => Json::Number(*i as f64),
+                None => Json::Null,
+            })
+            .collect();
+        Json::Object(vec![
+            (
+                "shard_faults".to_string(),
+                Json::Number(self.shard_faults as f64),
+            ),
+            (
+                "next_shard".to_string(),
+                Json::Number(self.next_shard as f64),
+            ),
+            (
+                "vectors_len".to_string(),
+                Json::Number(self.vectors_len as f64),
+            ),
+            ("first_detect".to_string(), Json::Array(first_detect)),
+            (
+                "inner".to_string(),
+                match &self.inner {
+                    Some(inner) => inner.to_payload(),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Decodes a payload produced by [`ShardedCheckpoint::to_payload`].
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Malformed`] if the payload does not have the
+    /// expected shape (missing fields, non-integer indices).
+    pub fn from_payload(payload: &Json) -> Result<ShardedCheckpoint, CkptError> {
+        let field = |name: &'static str, what: &'static str| {
+            payload
+                .get(name)
+                .and_then(Json::as_f64)
+                .filter(|v| *v >= 0.0 && v.fract() == 0.0 && *v <= 2f64.powi(53))
+                .map(|v| v as usize)
+                .ok_or(CkptError::Malformed { what })
+        };
+        let shard_faults = field("shard_faults", "missing or non-integer shard_faults")?;
+        let next_shard = field("next_shard", "missing or non-integer next_shard")?;
+        let vectors_len = field("vectors_len", "missing or non-integer vectors_len")?;
+        let rows = payload
+            .get("first_detect")
+            .and_then(Json::as_array)
+            .ok_or(CkptError::Malformed {
+                what: "missing first_detect array",
+            })?;
+        let mut first_detect = Vec::with_capacity(rows.len());
+        for v in rows {
+            first_detect.push(match v {
+                Json::Null => None,
+                other => Some(
+                    other
+                        .as_f64()
+                        .filter(|x| *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53))
+                        .map(|x| x as usize)
+                        .ok_or(CkptError::Malformed {
+                            what: "first_detect entry is not null or a non-negative integer",
+                        })?,
+                ),
+            });
+        }
+        let inner = match payload.get("inner") {
+            Some(Json::Null) => None,
+            Some(obj) => Some(SimCheckpoint::from_payload(obj)?),
+            None => {
+                return Err(CkptError::Malformed {
+                    what: "missing inner field",
+                })
+            }
+        };
+        Ok(ShardedCheckpoint {
+            shard_faults,
+            next_shard,
+            vectors_len,
+            first_detect,
+            inner,
+        })
+    }
+
+    /// Seals and atomically writes this checkpoint for the given inputs.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Io`] if the atomic write fails.
+    pub fn save_to(
+        &self,
+        path: &str,
+        netlist: &Netlist,
+        faults: &[StuckAtFault],
+        vectors: &[Vec<bool>],
+    ) -> Result<(), CkptError> {
+        let key = ShardedCheckpoint::key(netlist, faults, vectors, self.shard_faults);
+        ckpt::save(path, SHARDED_CKPT_KIND, key, &self.to_payload())
+    }
+
+    /// Loads and fully verifies a checkpoint written by
+    /// [`ShardedCheckpoint::save_to`] against the given inputs.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CkptError`]: unreadable file, corrupt envelope, wrong
+    /// version/kind/key, checksum mismatch, or malformed payload.
+    pub fn load_from(
+        path: &str,
+        netlist: &Netlist,
+        faults: &[StuckAtFault],
+        vectors: &[Vec<bool>],
+        shard_faults: usize,
+    ) -> Result<ShardedCheckpoint, CkptError> {
+        let key = ShardedCheckpoint::key(netlist, faults, vectors, shard_faults);
+        let payload = ckpt::load(path, SHARDED_CKPT_KIND, key)?;
+        ShardedCheckpoint::from_payload(&payload)
+    }
+}
 
 /// Simulates `faults` against `vectors` in shards of `shard_faults`,
 /// reporting first detections; workers resolved from `DLP_THREADS`.
@@ -76,7 +279,8 @@ pub fn simulate_sharded(
 /// shard-local fault indices translated back to the caller's), plus
 /// [`SimError::BadShardSize`] for a zero `shard_faults` and
 /// [`SimError::Budget`] when the budget trips — `completed` / `total`
-/// count shards, not blocks.
+/// count shards, not blocks. Callers who need to keep the completed
+/// shards across a trip use [`simulate_sharded_resumable`].
 pub fn simulate_sharded_obs(
     netlist: &Netlist,
     faults: &[StuckAtFault],
@@ -86,27 +290,149 @@ pub fn simulate_sharded_obs(
     obs: &Recorder,
     budget: &RunBudget,
 ) -> Result<DetectionRecord, SimError> {
+    simulate_sharded_resumable(netlist, faults, vectors, shard_faults, threads, obs, budget, None)
+        .map_err(|e| match e {
+            SimError::ShardedInterrupted { budget, .. } => SimError::Budget(budget),
+            other => other,
+        })
+}
+
+/// [`simulate_sharded_obs`] with resume support: a budget trip surfaces
+/// as [`SimError::ShardedInterrupted`] carrying a [`ShardedCheckpoint`]
+/// instead of discarding the completed shards, and passing that
+/// checkpoint back as `resume` continues the run — the final record is
+/// bit-identical to the uninterrupted one at every shard size and
+/// thread count.
+///
+/// # Errors
+///
+/// As [`simulate_sharded_obs`], except a budget trip is
+/// [`SimError::ShardedInterrupted`] (shard-level progress in its
+/// `budget` field), plus [`SimError::BadCheckpoint`] when `resume` is
+/// inconsistent with this run's inputs.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_sharded_resumable(
+    netlist: &Netlist,
+    faults: &[StuckAtFault],
+    vectors: &[Vec<bool>],
+    shard_faults: usize,
+    threads: ThreadCount,
+    obs: &Recorder,
+    budget: &RunBudget,
+    resume: Option<&ShardedCheckpoint>,
+) -> Result<DetectionRecord, SimError> {
     if shard_faults == 0 {
         return Err(SimError::BadShardSize);
     }
-    let _span = obs.span("sim.sharded");
     let total_shards = faults.len().div_ceil(shard_faults).max(1);
+    let (start_shard, mut first_detect, mut inner_resume) = match resume {
+        None => (0, Vec::with_capacity(faults.len()), None),
+        Some(ckpt) => {
+            if ckpt.shard_faults != shard_faults {
+                return Err(SimError::BadCheckpoint {
+                    what: "shard size differs from the checkpointed run",
+                });
+            }
+            if ckpt.vectors_len != vectors.len() {
+                return Err(SimError::BadCheckpoint {
+                    what: "vector count differs from the checkpointed run",
+                });
+            }
+            if ckpt.next_shard > total_shards {
+                return Err(SimError::BadCheckpoint {
+                    what: "next_shard is past the end of the fault universe",
+                });
+            }
+            let expected = (ckpt.next_shard * shard_faults).min(faults.len());
+            if ckpt.first_detect.len() != expected {
+                return Err(SimError::BadCheckpoint {
+                    what: "completed-shard prefix length is impossible",
+                });
+            }
+            if let Some(inner) = &ckpt.inner {
+                let shard_len = faults
+                    .len()
+                    .saturating_sub(ckpt.next_shard * shard_faults)
+                    .min(shard_faults);
+                if inner.n_cap != 1
+                    || inner.vectors_len != vectors.len()
+                    || inner.detections.len() != shard_len
+                {
+                    return Err(SimError::BadCheckpoint {
+                        what: "inner shard checkpoint does not match the interrupted shard",
+                    });
+                }
+            }
+            let mut prefix = Vec::with_capacity(faults.len());
+            prefix.extend(ckpt.first_detect.iter().copied());
+            (ckpt.next_shard, prefix, ckpt.inner.clone())
+        }
+    };
+
+    let _span = obs.span("sim.sharded");
     obs.add("sim.sharded.faults", faults.len() as u64);
-    let mut first_detect: Vec<Option<usize>> = Vec::with_capacity(faults.len());
-    for (shard_idx, shard) in faults.chunks(shard_faults.min(faults.len().max(1))).enumerate() {
+    let chunk = shard_faults.min(faults.len().max(1));
+    for (shard_idx, shard) in faults
+        .chunks(chunk)
+        .enumerate()
+        .skip(start_shard)
+    {
         if let Err(reason) = budget.check() {
-            return Err(SimError::Budget(BudgetExceeded {
+            return Err(interrupted(
                 reason,
-                completed: shard_idx as u64,
-                total: total_shards as u64,
-            }));
+                shard_idx,
+                total_shards,
+                shard_faults,
+                vectors.len(),
+                first_detect,
+                None,
+            ));
         }
         obs.incr("sim.sharded.shards");
         obs.push("sim.sharded.faults_per_shard", shard.len() as f64);
-        let profile = run_counted(
-            "sim.gate", netlist, shard, vectors, 1, threads, obs, budget, None,
-        )
-        .map_err(|e| lift_shard_error(e, shard_idx, shard_faults, total_shards))?;
+        let shard_resume = inner_resume.take();
+        let profile = match run_counted(
+            "sim.gate",
+            netlist,
+            shard,
+            vectors,
+            1,
+            threads,
+            obs,
+            budget,
+            shard_resume.as_ref(),
+        ) {
+            Ok(profile) => profile,
+            Err(SimError::FaultOutOfRange { fault, what }) => {
+                return Err(SimError::FaultOutOfRange {
+                    fault: shard_idx * shard_faults + fault,
+                    what,
+                })
+            }
+            Err(SimError::Budget(b)) => {
+                return Err(interrupted(
+                    b.reason,
+                    shard_idx,
+                    total_shards,
+                    shard_faults,
+                    vectors.len(),
+                    first_detect,
+                    None,
+                ))
+            }
+            Err(SimError::Interrupted { budget: b, checkpoint }) => {
+                return Err(interrupted(
+                    b.reason,
+                    shard_idx,
+                    total_shards,
+                    shard_faults,
+                    vectors.len(),
+                    first_detect,
+                    Some(*checkpoint),
+                ))
+            }
+            Err(other) => return Err(other),
+        };
         first_detect.extend(
             profile
                 .first_detect_record()
@@ -122,29 +448,30 @@ pub fn simulate_sharded_obs(
     Ok(DetectionRecord::new(first_detect, vectors.len()))
 }
 
-/// Maps a shard-local failure onto the caller's frame: fault indices
-/// shift by the shard base, and a mid-shard budget interruption (whose
-/// checkpoint is meaningless outside the shard) collapses to a plain
-/// budget error with shard-level progress.
-fn lift_shard_error(
-    e: SimError,
-    shard_idx: usize,
-    shard_faults: usize,
+/// Builds the [`SimError::ShardedInterrupted`] for a trip at (or
+/// inside) shard `next_shard`, with shard-level progress in the budget.
+fn interrupted(
+    reason: dlp_core::BudgetReason,
+    next_shard: usize,
     total_shards: usize,
+    shard_faults: usize,
+    vectors_len: usize,
+    first_detect: Vec<Option<usize>>,
+    inner: Option<SimCheckpoint>,
 ) -> SimError {
-    match e {
-        SimError::FaultOutOfRange { fault, what } => SimError::FaultOutOfRange {
-            fault: shard_idx * shard_faults + fault,
-            what,
+    SimError::ShardedInterrupted {
+        budget: BudgetExceeded {
+            reason,
+            completed: next_shard as u64,
+            total: total_shards as u64,
         },
-        SimError::Budget(b) | SimError::Interrupted { budget: b, .. } => {
-            SimError::Budget(BudgetExceeded {
-                reason: b.reason,
-                completed: shard_idx as u64,
-                total: total_shards as u64,
-            })
-        }
-        other => other,
+        checkpoint: Box::new(ShardedCheckpoint {
+            shard_faults,
+            next_shard,
+            vectors_len,
+            first_detect,
+            inner,
+        }),
     }
 }
 
@@ -273,5 +600,190 @@ mod tests {
             report.counter("sim.sharded.detected"),
             Some(record.detected_count() as u64)
         );
+    }
+
+    /// Resumes an interrupted run from every kill point and demands the
+    /// merged record equal the uninterrupted one bit for bit.
+    #[test]
+    fn interrupt_resume_is_bit_identical_at_shard_boundaries() {
+        let nl = generators::c432_class();
+        let faults = stuck_at::enumerate(&nl).collapse();
+        let vectors = random_vectors(36, 128, 9);
+        let reference = ppsfp::simulate(&nl, faults.faults(), &vectors).unwrap();
+        let threads = ThreadCount::fixed(1).unwrap();
+        for fuse in [1u64, 2, 3, 5, 8, 13] {
+            let budget = RunBudget::unlimited().cancel_after_checks(fuse);
+            let first = simulate_sharded_resumable(
+                &nl,
+                faults.faults(),
+                &vectors,
+                64,
+                threads,
+                Recorder::noop(),
+                &budget,
+                None,
+            );
+            let ckpt = match first {
+                Err(SimError::ShardedInterrupted { budget, checkpoint }) => {
+                    assert_eq!(budget.completed, checkpoint.next_shard as u64);
+                    assert_eq!(budget.total, faults.len().div_ceil(64) as u64);
+                    *checkpoint
+                }
+                Ok(record) => {
+                    // Fuse outlasted the run: nothing to resume.
+                    assert_eq!(record, reference, "fuse {fuse}");
+                    continue;
+                }
+                Err(other) => panic!("expected ShardedInterrupted, got {other:?}"),
+            };
+            let resumed = simulate_sharded_resumable(
+                &nl,
+                faults.faults(),
+                &vectors,
+                64,
+                threads,
+                Recorder::noop(),
+                &RunBudget::unlimited(),
+                Some(&ckpt),
+            )
+            .unwrap();
+            assert_eq!(resumed, reference, "fuse {fuse}");
+        }
+    }
+
+    /// The sealed envelope round-trips through disk and rejects resume
+    /// against mismatched inputs.
+    #[test]
+    fn checkpoint_envelope_round_trips_and_binds_inputs() {
+        let nl = generators::c432_class();
+        let faults = stuck_at::enumerate(&nl).collapse();
+        let vectors = random_vectors(36, 128, 9);
+        let budget = RunBudget::unlimited().cancel_after_checks(4);
+        let err = simulate_sharded_resumable(
+            &nl,
+            faults.faults(),
+            &vectors,
+            64,
+            ThreadCount::fixed(1).unwrap(),
+            Recorder::noop(),
+            &budget,
+            None,
+        )
+        .unwrap_err();
+        let ckpt = match err {
+            SimError::ShardedInterrupted { checkpoint, .. } => *checkpoint,
+            other => panic!("expected ShardedInterrupted, got {other:?}"),
+        };
+        let dir = std::env::temp_dir().join(format!("dlp_sharded_ckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sharded.ckpt");
+        let path = path.to_str().unwrap();
+        ckpt.save_to(path, &nl, faults.faults(), &vectors).unwrap();
+        let restored =
+            ShardedCheckpoint::load_from(path, &nl, faults.faults(), &vectors, 64).unwrap();
+        assert_eq!(restored, ckpt);
+        // A different shard size keys differently: typed rejection.
+        assert!(matches!(
+            ShardedCheckpoint::load_from(path, &nl, faults.faults(), &vectors, 32),
+            Err(CkptError::KeyMismatch { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Inconsistent resume state is a typed `BadCheckpoint`, never a
+    /// wrong answer.
+    #[test]
+    fn mismatched_resume_state_is_rejected() {
+        let nl = generators::c17();
+        let faults = stuck_at::enumerate(&nl).collapse();
+        let vectors = random_vectors(5, 64, 1);
+        let reference = ppsfp::simulate(&nl, faults.faults(), &vectors).unwrap();
+        // A genuine shard-0-complete checkpoint: its prefix is the real
+        // first-detect data, so the clean resume below stays bit-exact.
+        let good = ShardedCheckpoint {
+            shard_faults: 4,
+            next_shard: 1,
+            vectors_len: 64,
+            first_detect: reference.first_detect()[..4].to_vec(),
+            inner: None,
+        };
+        let run = |ckpt: &ShardedCheckpoint, shard: usize| {
+            simulate_sharded_resumable(
+                &nl,
+                faults.faults(),
+                &vectors,
+                shard,
+                ThreadCount::fixed(1).unwrap(),
+                Recorder::noop(),
+                &RunBudget::unlimited(),
+                Some(ckpt),
+            )
+        };
+        // The good checkpoint resumes cleanly.
+        assert_eq!(run(&good, 4).unwrap(), reference);
+        // Wrong shard size.
+        assert!(matches!(
+            run(&good, 8),
+            Err(SimError::BadCheckpoint { .. })
+        ));
+        // Wrong vector count.
+        let mut bad = good.clone();
+        bad.vectors_len = 32;
+        assert!(matches!(run(&bad, 4), Err(SimError::BadCheckpoint { .. })));
+        // Impossible prefix length.
+        let mut bad = good.clone();
+        bad.first_detect.push(None);
+        assert!(matches!(run(&bad, 4), Err(SimError::BadCheckpoint { .. })));
+        // next_shard past the end.
+        let mut bad = good.clone();
+        bad.next_shard = faults.len();
+        bad.first_detect = vec![None; faults.len()];
+        assert!(matches!(run(&bad, 4), Err(SimError::BadCheckpoint { .. })));
+        // Inner checkpoint with the wrong shape.
+        let mut bad = good;
+        bad.inner = Some(SimCheckpoint {
+            n_cap: 2,
+            next_block: 0,
+            vectors_len: 64,
+            detections: vec![vec![]; 4],
+        });
+        assert!(matches!(run(&bad, 4), Err(SimError::BadCheckpoint { .. })));
+    }
+
+    #[test]
+    fn payload_round_trips_and_rejects_malformed_shapes() {
+        let ckpt = ShardedCheckpoint {
+            shard_faults: 8,
+            next_shard: 2,
+            vectors_len: 64,
+            first_detect: vec![Some(3), None, Some(17), None],
+            inner: Some(SimCheckpoint {
+                n_cap: 1,
+                next_block: 1,
+                vectors_len: 64,
+                detections: vec![vec![5], vec![]],
+            }),
+        };
+        let restored = ShardedCheckpoint::from_payload(&ckpt.to_payload()).unwrap();
+        assert_eq!(restored, ckpt);
+        for bad in [
+            "{}",
+            "{\"shard_faults\":8.0,\"next_shard\":0.0,\"vectors_len\":8.0,\"inner\":null}",
+            "{\"shard_faults\":8.0,\"next_shard\":0.0,\"vectors_len\":8.0,\
+             \"first_detect\":[-1.0],\"inner\":null}",
+            "{\"shard_faults\":8.0,\"next_shard\":0.0,\"vectors_len\":8.0,\
+             \"first_detect\":[]}",
+            "{\"shard_faults\":8.0,\"next_shard\":0.0,\"vectors_len\":8.0,\
+             \"first_detect\":[],\"inner\":3.0}",
+        ] {
+            let payload = Json::parse(bad).expect("test fixture parses");
+            assert!(
+                matches!(
+                    ShardedCheckpoint::from_payload(&payload),
+                    Err(CkptError::Malformed { .. })
+                ),
+                "{bad} must be rejected"
+            );
+        }
     }
 }

@@ -11,7 +11,8 @@ cd "$(dirname "$0")/.."
 
 echo "== clippy: deny unwrap/expect in library code"
 for crate in dlp-geometry dlp-circuit dlp-core dlp-sim dlp-layout \
-             dlp-extract dlp-atpg dlp-ndetect dlp-bench dlp-inject dlp; do
+             dlp-extract dlp-atpg dlp-ndetect dlp-bench dlp-serve \
+             dlp-inject dlp; do
     echo "   $crate"
     cargo clippy -p "$crate" --lib -q -- \
         -D warnings \
@@ -79,5 +80,20 @@ cargo run --release -q -p dlp-bench --bin perf_regress -- \
 # then truncate/bit-flip the checkpoint files and demand typed errors.
 echo "== chaos: kill/resume and artifact-corruption sweeps"
 cargo run --release -q -p dlp-inject --bin chaos
+
+# Service gate (DESIGN.md §14): boot dlp-serve on an ephemeral port and
+# drive the miss -> hit -> /metrics sequence end to end — byte-identical
+# replay, sibling sealing, typed 4xx rejections, and an exposition that
+# passes the in-tree OpenMetrics validator. Then the latency smoke:
+# serve_load regenerates BENCH_serve.json, fails unless the warm-hit p99
+# beats the best cold miss by >= 20x, and the report must conform to the
+# BenchReport schema and stay within the committed baseline.
+echo "== serve: end-to-end cache gate, then latency smoke (writes BENCH_serve.json)"
+cargo run --release -q -p dlp-serve --bin serve_gate
+cargo run --release -q -p dlp-serve --bin serve_load -- --smoke
+cargo run --release -q -p dlp-bench --bin validate_trace -- \
+    --bench BENCH_serve.json
+cargo run --release -q -p dlp-bench --bin perf_regress -- \
+    --baseline baselines/serve_baseline.json --current BENCH_serve.json
 
 echo "All checks passed."
