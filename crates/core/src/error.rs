@@ -60,6 +60,20 @@ pub enum ModelError {
         /// What is inconsistent.
         what: &'static str,
     },
+    /// A fallout-distribution specification is malformed: a cluster
+    /// parameter that is non-positive or non-finite, a NaN mixing
+    /// weight, a zero hierarchy level — anything that would make the
+    /// compound Monte-Carlo model meaningless.
+    BadDistribution {
+        /// The distribution being constructed, e.g. `"negative-binomial"`.
+        distribution: &'static str,
+        /// The offending parameter name, e.g. `"alpha"`.
+        parameter: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Human-readable description of the valid range.
+        range: &'static str,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -100,6 +114,17 @@ impl fmt::Display for ModelError {
             }
             ModelError::BadCheckpoint { what } => {
                 write!(f, "resume checkpoint is unusable: {what}")
+            }
+            ModelError::BadDistribution {
+                distribution,
+                parameter,
+                value,
+                range,
+            } => {
+                write!(
+                    f,
+                    "{distribution} distribution: {parameter} = {value} is outside {range}"
+                )
             }
         }
     }
@@ -191,6 +216,16 @@ mod tests {
             limit: 1e-3,
         };
         assert!(e.to_string().contains("unreachable"));
+        let e = ModelError::BadDistribution {
+            distribution: "negative-binomial",
+            parameter: "alpha",
+            value: -2.0,
+            range: "(0, ∞)",
+        };
+        assert_eq!(
+            e.to_string(),
+            "negative-binomial distribution: alpha = -2 is outside (0, ∞)"
+        );
     }
 
     #[test]

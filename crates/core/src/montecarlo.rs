@@ -7,11 +7,25 @@
 //! detected fault are scrapped, and the shipped-defective ratio is
 //! counted. The estimate must converge to eq. 3 — a strong end-to-end
 //! validation of the model implementation that needs no external data.
+//!
+//! ## Compound (mixed-Poisson) fallout
+//!
+//! Real fabrication defects cluster: the per-die defect count is not
+//! Poisson but a *mixed* Poisson, where each die's expected count is
+//! scaled by a random multiplier (gamma mixing gives Stapper's
+//! negative-binomial yield). The engine supports this through the
+//! [`DieMix`] hook: before a die's per-fault dice are rolled, the hook
+//! supplies a weight multiplier `g`, and fault `j` then strikes with
+//! probability `1 − e^(−w_j · g)`. The independent-Poisson model is the
+//! [`UnitMix`] instance (`g ≡ 1`, consuming no randomness), which makes
+//! [`simulate_fallout`] *bit-identical* to the historical engine. The
+//! clustered and hierarchical mixes live in the `dlp-yield` crate.
 
 use crate::budget::{BudgetExceeded, RunBudget};
 use crate::ckpt::{self, CkptError, KeyHasher};
 use crate::obs::{Json, Recorder};
 use crate::par::{self, ThreadCount};
+use crate::rng::Xorshift64Star;
 use crate::weighted::FaultWeights;
 use crate::ModelError;
 
@@ -37,6 +51,49 @@ impl Default for MonteCarloConfig {
             dies: 100_000,
             seed: 0x5EED,
         }
+    }
+}
+
+/// Per-die weight-multiplier hook for compound (mixed-Poisson) fallout.
+///
+/// The engine calls [`DieMix::multiplier`] once per die, *before* the
+/// per-fault dice are rolled, handing it the run's master seed, the
+/// global die index, and the die's shard RNG stream. The returned `g`
+/// scales every fault weight: fault `j` strikes with probability
+/// `1 − e^(−w_j · g)`.
+///
+/// Implementations must be deterministic functions of
+/// `(seed, die, rng state)` — the engine's thread-count invariance and
+/// checkpoint/resume guarantees only hold if the multiplier depends on
+/// nothing else. Die-level mixing should draw from `rng` (the shard
+/// stream); wafer- or lot-level mixing shared across dies must instead
+/// derive its own sub-stream from `seed` and the die index, since a
+/// wafer can straddle shard boundaries.
+pub trait DieMix: Sync {
+    /// Folds the mix's identity and parameters into a checkpoint key, so
+    /// a resume checkpoint written under one distribution can never be
+    /// replayed under another. [`UnitMix`] writes nothing — legacy
+    /// Poisson checkpoint keys stay valid.
+    fn write_key(&self, h: &mut KeyHasher);
+
+    /// The weight multiplier for the die with global index `die`.
+    /// `rng` is positioned at the die's first draw; whatever the hook
+    /// consumes shifts the die's subsequent per-fault draws (still
+    /// deterministic — the stream is a pure function of `(seed, shard)`).
+    fn multiplier(&self, seed: u64, die: u64, rng: &mut Xorshift64Star) -> f64;
+}
+
+/// The independent-Poisson mix: every die's multiplier is exactly `1`,
+/// no randomness is consumed, and no key bytes are written — the
+/// historical engine, bit for bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnitMix;
+
+impl DieMix for UnitMix {
+    fn write_key(&self, _h: &mut KeyHasher) {}
+
+    fn multiplier(&self, _seed: u64, _die: u64, _rng: &mut Xorshift64Star) -> f64 {
+        1.0
     }
 }
 
@@ -108,6 +165,19 @@ impl McCheckpoint {
     /// The checkpoint key binding this run's inputs: per-fault strike
     /// probabilities, detection mask, die count, and seed.
     pub fn key(weights: &FaultWeights, detected: &[bool], config: &MonteCarloConfig) -> u64 {
+        McCheckpoint::key_mixed(weights, detected, config, &UnitMix)
+    }
+
+    /// [`McCheckpoint::key`] for a compound run: the [`DieMix`]'s
+    /// identity and parameters are folded in after the base inputs, so a
+    /// clustered checkpoint never resumes a Poisson run (or vice versa).
+    /// For [`UnitMix`] this equals [`McCheckpoint::key`] exactly.
+    pub fn key_mixed(
+        weights: &FaultWeights,
+        detected: &[bool],
+        config: &MonteCarloConfig,
+        mix: &dyn DieMix,
+    ) -> u64 {
         let mut h = KeyHasher::new();
         h.write_usize(weights.len());
         for j in 0..weights.len() {
@@ -119,6 +189,7 @@ impl McCheckpoint {
         }
         h.write_usize(config.dies);
         h.write_u64(config.seed);
+        mix.write_key(&mut h);
         h.finish()
     }
 
@@ -315,6 +386,35 @@ pub fn simulate_fallout_resumable(
     budget: &RunBudget,
     resume: Option<&McCheckpoint>,
 ) -> Result<FalloutEstimate, ModelError> {
+    simulate_fallout_mixed_resumable(weights, detected, config, &UnitMix, threads, obs, budget, resume)
+}
+
+/// [`simulate_fallout_resumable`] with a [`DieMix`] hook — the compound
+/// (mixed-Poisson) production line. Each die's fault weights are scaled
+/// by `mix.multiplier(...)` before its per-fault dice are rolled.
+///
+/// All engine guarantees carry over unchanged: the counted outcome (and
+/// the deterministic trace content) is bit-identical at every thread
+/// count, budget checks run at shard boundaries, and an interrupted run
+/// resumes bit-identically from the embedded [`McCheckpoint`] — provided
+/// the same `mix` is supplied (bind checkpoints to it via
+/// [`McCheckpoint::key_mixed`]). With [`UnitMix`] this *is*
+/// [`simulate_fallout_resumable`], bit for bit.
+///
+/// # Errors
+///
+/// See [`simulate_fallout_resumable`].
+#[allow(clippy::too_many_arguments)] // the resumable engine's full surface
+pub fn simulate_fallout_mixed_resumable(
+    weights: &FaultWeights,
+    detected: &[bool],
+    config: &MonteCarloConfig,
+    mix: &dyn DieMix,
+    threads: ThreadCount,
+    obs: &Recorder,
+    budget: &RunBudget,
+    resume: Option<&McCheckpoint>,
+) -> Result<FalloutEstimate, ModelError> {
     let _span = obs.span("montecarlo");
     if detected.len() != weights.len() {
         return Err(ModelError::BadFitData("detection mask length mismatch"));
@@ -343,6 +443,7 @@ pub fn simulate_fallout_resumable(
         });
     }
     let probabilities: Vec<f64> = (0..weights.len()).map(|j| weights.probability(j)).collect();
+    let raw_weights = weights.weights();
 
     // Shard descriptors: (stream index, dies in shard). The last shard
     // takes the remainder.
@@ -365,10 +466,20 @@ pub fn simulate_fallout_resumable(
             let mut escapes = 0usize;
             for &(stream, dies) in shard {
                 let mut rng = crate::rng::Xorshift64Star::split(config.seed, stream);
-                for _ in 0..dies {
+                let first_die = stream * SHARD_DIES as u64;
+                for i in 0..dies {
+                    let g = mix.multiplier(config.seed, first_die + i as u64, &mut rng);
                     let mut any_fault = false;
                     let mut any_detected = false;
                     for (j, &p) in probabilities.iter().enumerate() {
+                        // `g == 1.0` takes the precomputed probability —
+                        // the exact float the historical Poisson engine
+                        // compared against, so UnitMix stays bit-identical.
+                        let p = if g == 1.0 {
+                            p
+                        } else {
+                            1.0 - (-raw_weights[j] * g).exp()
+                        };
                         if rng.next_f64() < p {
                             any_fault = true;
                             if detected[j] {
@@ -574,6 +685,125 @@ mod tests {
         let w = weights(3, 0.9);
         assert!(simulate_fallout(&w, &[true], &MonteCarloConfig::default()).is_err());
         assert!(simulate_fallout(&w, &[true; 3], &MonteCarloConfig { dies: 0, seed: 1 }).is_err());
+    }
+
+    /// A deterministic non-unit mix for engine tests: doubles every
+    /// odd-indexed die's weights and burns one shard-stream draw per die.
+    struct DoubleOddDies;
+
+    impl DieMix for DoubleOddDies {
+        fn write_key(&self, h: &mut KeyHasher) {
+            h.write_bytes(b"test.double-odd");
+        }
+
+        fn multiplier(&self, _seed: u64, die: u64, rng: &mut Xorshift64Star) -> f64 {
+            let _ = rng.next_f64(); // variable stream consumption is allowed
+            if die % 2 == 1 {
+                2.0
+            } else {
+                1.0
+            }
+        }
+    }
+
+    #[test]
+    fn unit_mix_keys_and_results_match_the_legacy_engine() {
+        let w = weights(6, 0.8);
+        let d = vec![true, false, true, true, false, true];
+        let cfg = MonteCarloConfig {
+            dies: 2 * SHARD_DIES + 77,
+            seed: 0xD1E5,
+        };
+        assert_eq!(
+            McCheckpoint::key(&w, &d, &cfg),
+            McCheckpoint::key_mixed(&w, &d, &cfg, &UnitMix),
+            "UnitMix must not perturb legacy checkpoint keys"
+        );
+        assert_ne!(
+            McCheckpoint::key(&w, &d, &cfg),
+            McCheckpoint::key_mixed(&w, &d, &cfg, &DoubleOddDies),
+            "a non-unit mix must move the key"
+        );
+        let legacy = simulate_fallout_with(&w, &d, &cfg, ThreadCount::fixed(1).unwrap()).unwrap();
+        let mixed = simulate_fallout_mixed_resumable(
+            &w,
+            &d,
+            &cfg,
+            &UnitMix,
+            ThreadCount::fixed(1).unwrap(),
+            Recorder::noop(),
+            &RunBudget::unlimited(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(mixed, legacy);
+    }
+
+    #[test]
+    fn mixed_engine_is_deterministic_across_thread_counts_and_resume() {
+        let w = weights(7, 0.7);
+        let d = vec![true, true, false, true, false, true, true];
+        let cfg = MonteCarloConfig {
+            dies: 3 * SHARD_DIES + 11, // 4 shards
+            seed: 0xC1C1,
+        };
+        let reference = simulate_fallout_mixed_resumable(
+            &w,
+            &d,
+            &cfg,
+            &DoubleOddDies,
+            ThreadCount::fixed(1).unwrap(),
+            Recorder::noop(),
+            &RunBudget::unlimited(),
+            None,
+        )
+        .unwrap();
+        let unit = simulate_fallout_with(&w, &d, &cfg, ThreadCount::fixed(1).unwrap()).unwrap();
+        assert_ne!(reference, unit, "doubling weights must change the outcome");
+        for t in [2usize, 4] {
+            let got = simulate_fallout_mixed_resumable(
+                &w,
+                &d,
+                &cfg,
+                &DoubleOddDies,
+                ThreadCount::fixed(t).unwrap(),
+                Recorder::noop(),
+                &RunBudget::unlimited(),
+                None,
+            )
+            .unwrap();
+            assert_eq!(got, reference, "threads={t}");
+        }
+        // Kill at every shard boundary, resume, and demand bit-identity.
+        for kill in [1u64, 2, 3] {
+            let err = simulate_fallout_mixed_resumable(
+                &w,
+                &d,
+                &cfg,
+                &DoubleOddDies,
+                ThreadCount::fixed(2).unwrap(),
+                Recorder::noop(),
+                &RunBudget::unlimited().cancel_after_checks(kill),
+                None,
+            )
+            .expect_err("fuse below shard count must interrupt");
+            let checkpoint = match err {
+                ModelError::Interrupted { checkpoint, .. } => checkpoint,
+                other => panic!("kill={kill}: expected Interrupted, got {other:?}"),
+            };
+            let resumed = simulate_fallout_mixed_resumable(
+                &w,
+                &d,
+                &cfg,
+                &DoubleOddDies,
+                ThreadCount::fixed(4).unwrap(),
+                Recorder::noop(),
+                &RunBudget::unlimited(),
+                Some(&checkpoint),
+            )
+            .unwrap();
+            assert_eq!(resumed, reference, "kill={kill}");
+        }
     }
 
     /// Deterministic trace content of a run: everything except timing.

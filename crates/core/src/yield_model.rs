@@ -80,6 +80,51 @@ pub fn lambda_for_yield(y: f64) -> Result<f64, ModelError> {
     Ok(-y.ln())
 }
 
+/// The λ that produces a target negative-binomial yield:
+/// `λ = α (Y^(−1/α) − 1)`, the closed-form inverse of
+/// [`negative_binomial`]. As α → ∞ this converges to `−ln Y`.
+///
+/// # Errors
+///
+/// [`ModelError::OutOfDomain`] unless `y ∈ (0, 1]` and `alpha > 0`.
+pub fn nb_lambda_for_yield(y: f64, alpha: f64) -> Result<f64, ModelError> {
+    if !(y > 0.0 && y <= 1.0) {
+        return Err(ModelError::OutOfDomain {
+            parameter: "yield",
+            value: y,
+            range: "(0, 1]",
+        });
+    }
+    let alpha = check_positive("clustering parameter", alpha)?;
+    Ok(alpha * (y.powf(-1.0 / alpha) - 1.0))
+}
+
+/// Defect level under negative-binomial fallout, generalising the
+/// paper's eq. 3. For any mixed-Poisson model the shipped-part defect
+/// level is `DL = 1 − Y(λ) / Y(θλ)` — the fraction of dies that pass a
+/// test screening the θ-weighted share of the defect exposure but still
+/// carry a defect. With Poisson statistics this collapses to eq. 3,
+/// `1 − Y^(1−θ)`; with clustering it is strictly smaller, because bad
+/// dies concentrate their defects and are easier to catch.
+///
+/// # Errors
+///
+/// [`ModelError::OutOfDomain`] if `lambda < 0`, `alpha ≤ 0`, or
+/// `theta ∉ [0, 1]`.
+pub fn nb_defect_level(lambda: f64, theta: f64, alpha: f64) -> Result<f64, ModelError> {
+    if !(0.0..=1.0).contains(&theta) {
+        return Err(ModelError::OutOfDomain {
+            parameter: "theta",
+            value: theta,
+            range: "[0, 1]",
+        });
+    }
+    let full = negative_binomial(lambda, alpha)?;
+    let tested = negative_binomial(theta * lambda, alpha)?;
+    // tested >= full > 0 for finite lambda, so the ratio is in (0, 1].
+    Ok(1.0 - full / tested)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +163,48 @@ mod tests {
         let l = lambda_from_layers([(1.0, 0.1), (2.0, 0.05), (0.5, 0.2)]);
         assert!((l - 0.3).abs() < 1e-12);
         assert_eq!(lambda_from_layers(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn nb_lambda_round_trips_and_limits_to_poisson() {
+        for alpha in [0.3, 1.0, 4.0, 50.0] {
+            let lambda = nb_lambda_for_yield(0.75, alpha).unwrap();
+            assert!(
+                (negative_binomial(lambda, alpha).unwrap() - 0.75).abs() < 1e-12,
+                "alpha={alpha}"
+            );
+        }
+        let poisson_lambda = lambda_for_yield(0.75).unwrap();
+        let nb_lambda = nb_lambda_for_yield(0.75, 1e8).unwrap();
+        assert!((poisson_lambda - nb_lambda).abs() < 1e-6);
+        assert!(nb_lambda_for_yield(0.75, 0.0).is_err());
+        assert!(nb_lambda_for_yield(0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn nb_defect_level_limits_and_ordering() {
+        // alpha -> infinity recovers eq. 3: DL = 1 - Y^(1-theta).
+        let y = 0.75;
+        let theta = 0.9;
+        let lambda = lambda_for_yield(y).unwrap();
+        let eq3 = 1.0 - y.powf(1.0 - theta);
+        let nb = nb_defect_level(lambda, theta, 1e8).unwrap();
+        assert!((nb - eq3).abs() < 1e-6);
+        // At a fixed *yield* (lambda recalibrated per alpha), clustering
+        // lowers the shipped defect level.
+        let mut last = eq3;
+        for alpha in [50.0, 4.0, 1.0, 0.3] {
+            let lambda = nb_lambda_for_yield(y, alpha).unwrap();
+            let dl = nb_defect_level(lambda, theta, alpha).unwrap();
+            assert!(dl < last, "alpha={alpha}: {dl} !< {last}");
+            last = dl;
+        }
+        // Boundaries: perfect test -> DL 0; no test -> DL = 1 - Y.
+        assert_eq!(nb_defect_level(0.5, 1.0, 2.0).unwrap(), 0.0);
+        let dl0 = nb_defect_level(0.5, 0.0, 2.0).unwrap();
+        assert!((dl0 - (1.0 - negative_binomial(0.5, 2.0).unwrap())).abs() < 1e-12);
+        assert!(nb_defect_level(0.5, 1.5, 2.0).is_err());
+        assert!(nb_defect_level(0.5, f64::NAN, 2.0).is_err());
     }
 
     #[test]

@@ -24,8 +24,9 @@ use dlp_layout::tech::Technology;
 use dlp_ndetect::ckpt::NDetectCheckpoint;
 use dlp_serve::cache::ArtifactCache;
 use dlp_serve::http::parse_request;
-use dlp_serve::service::{netlist_for, route};
+use dlp_serve::service::{fallout_param, netlist_for, query_params, route};
 use dlp_serve::ServeError;
+use dlp_yield::Fallout;
 use dlp_sim::ckpt::SimCheckpoint;
 use dlp_sim::switchlevel::{SwitchConfig, SwitchFault, SwitchSimulator};
 use dlp_sim::{ppsfp, stuck_at};
@@ -320,6 +321,30 @@ pub fn corpus() -> Vec<Case> {
             "a resume checkpoint recording more shards than the run has",
             model_resume_excess_shards
         ),
+        case!(
+            "model-distribution-alpha-zero",
+            Model,
+            "a negative-binomial fallout model with cluster parameter 0",
+            model_distribution_alpha_zero
+        ),
+        case!(
+            "model-distribution-alpha-nan",
+            Model,
+            "a negative-binomial fallout model with cluster parameter NaN",
+            model_distribution_alpha_nan
+        ),
+        case!(
+            "model-distribution-empty-wafer",
+            Model,
+            "a hierarchical fallout model with zero dies per wafer",
+            model_distribution_empty_wafer
+        ),
+        case!(
+            "model-distribution-lot-alpha-infinite",
+            Model,
+            "a hierarchical fallout model with an infinite lot alpha",
+            model_distribution_lot_alpha_infinite
+        ),
         // -- artifacts ----------------------------------------------------
         case!(
             "artifact-ckpt-truncated",
@@ -430,6 +455,18 @@ pub fn corpus() -> Vec<Case> {
             Serve,
             "a circuit name outside the served catalogue",
             serve_unknown_circuit
+        ),
+        case!(
+            "serve-unknown-distribution",
+            Serve,
+            "a dist= query value naming no fallout family",
+            serve_unknown_distribution
+        ),
+        case!(
+            "serve-negative-cluster-parameter",
+            Serve,
+            "a dist=nb request with a negative alpha",
+            serve_negative_cluster_parameter
         ),
         case!(
             "serve-corrupted-cache-envelope",
@@ -884,6 +921,26 @@ fn model_resume_excess_shards() -> Result<(), PipelineError> {
     Ok(())
 }
 
+fn model_distribution_alpha_zero() -> Result<(), PipelineError> {
+    Fallout::negative_binomial(0.0)?;
+    Ok(())
+}
+
+fn model_distribution_alpha_nan() -> Result<(), PipelineError> {
+    Fallout::negative_binomial(f64::NAN)?;
+    Ok(())
+}
+
+fn model_distribution_empty_wafer() -> Result<(), PipelineError> {
+    Fallout::hierarchical(2.0, 8.0, 20.0, 0, 25)?;
+    Ok(())
+}
+
+fn model_distribution_lot_alpha_infinite() -> Result<(), PipelineError> {
+    Fallout::hierarchical(2.0, 8.0, f64::INFINITY, 400, 25)?;
+    Ok(())
+}
+
 // -- artifacts ------------------------------------------------------------
 
 /// A well-formed sealed envelope for the corruption cases to deface.
@@ -1015,7 +1072,19 @@ fn serve_unknown_endpoint() -> Result<(), PipelineError> {
 }
 
 fn serve_unknown_circuit() -> Result<(), PipelineError> {
-    netlist_for("c6288")?;
+    // c9999 must stay out of the catalogue for good — c6288 was used
+    // here until the scale class made it a served circuit.
+    netlist_for("c9999")?;
+    Ok(())
+}
+
+fn serve_unknown_distribution() -> Result<(), PipelineError> {
+    fallout_param(&query_params(Some("circuit=c17&dist=weibull")))?;
+    Ok(())
+}
+
+fn serve_negative_cluster_parameter() -> Result<(), PipelineError> {
+    fallout_param(&query_params(Some("circuit=c17&dist=nb&alpha=-3")))?;
     Ok(())
 }
 

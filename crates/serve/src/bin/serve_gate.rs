@@ -10,8 +10,14 @@
 //!    cache,
 //! 3. the sibling `/v1/faults` artifact was sealed by the same miss (no
 //!    second recompute),
-//! 4. client mistakes map to their statuses (404 / 400),
-//! 5. `/metrics` scrapes as a valid OpenMetrics exposition carrying the
+//! 4. a clustered-distribution request (`dist=nb`) recomputes under its
+//!    own cache key, differs from the Poisson body, and then replays
+//!    byte-identically,
+//! 5. a scale-class member (c1355) projects through the template path,
+//!    and `/v1/dln` refuses it with a 400,
+//! 6. client mistakes — including garbage distribution parameters —
+//!    map to their statuses (404 / 400),
+//! 7. `/metrics` scrapes as a valid OpenMetrics exposition carrying the
 //!    cache counters.
 //!
 //! Exits nonzero on the first violated expectation.
@@ -105,11 +111,50 @@ fn run() -> Result<(), String> {
             return Err("the sibling /v1/faults artifact should already be sealed".to_string());
         }
 
+        // A clustered distribution is a distinct artifact: new key,
+        // one more recompute, a different body, then byte-stable hits.
+        let nb_miss = expect_status(addr, "/v1/dl?circuit=c17&seed=1&dist=nb&alpha=2", 200)?;
+        if obs.counter_value("serve.recompute") != Some(2) {
+            return Err("the nb-distribution request must recompute under its own key".to_string());
+        }
+        if nb_miss == miss {
+            return Err("nb and poisson projections must differ".to_string());
+        }
+        if !nb_miss.contains("nb(alpha=2)") {
+            return Err(format!("nb body should name its distribution: {nb_miss}"));
+        }
+        let nb_hit = expect_status(addr, "/v1/dl?circuit=c17&seed=1&dist=nb&alpha=2", 200)?;
+        if nb_miss != nb_hit {
+            return Err("the nb hit must replay the miss byte-for-byte".to_string());
+        }
+
+        // A scale-class member projects through the template path...
+        let scale = expect_status(addr, "/v1/dl?circuit=c1355&seed=1", 200)?;
+        if !scale.contains("\"class\":\"scale\"") {
+            return Err(format!("c1355 should be served as scale class: {scale}"));
+        }
+        let scale_hit = expect_status(addr, "/v1/dl?circuit=c1355&seed=1", 200)?;
+        if scale != scale_hit {
+            return Err("the scale hit must replay the miss byte-for-byte".to_string());
+        }
+        // ...and the catalogue advertises both classes.
+        let circuits = expect_status(addr, "/v1/circuits", 200)?;
+        for needle in ["\"c17\"", "\"c1355\"", "\"full\"", "\"scale\""] {
+            if !circuits.contains(needle) {
+                return Err(format!("/v1/circuits does not list {needle}: {circuits}"));
+            }
+        }
+
         // Client mistakes are typed, not 500s.
         expect_status(addr, "/v1/nope", 404)?;
         expect_status(addr, "/v1/dl?circuit=does_not_exist", 404)?;
         expect_status(addr, "/v1/dl", 400)?;
         expect_status(addr, "/v1/dln?circuit=c17&n=99", 400)?;
+        expect_status(addr, "/v1/dl?circuit=c17&dist=weibull", 400)?;
+        expect_status(addr, "/v1/dl?circuit=c17&dist=nb&alpha=0", 400)?;
+        expect_status(addr, "/v1/dl?circuit=c17&dist=nb&alpha=NaN", 400)?;
+        expect_status(addr, "/v1/dl?circuit=c17&dist=hier&dies_per_wafer=0", 400)?;
+        expect_status(addr, "/v1/dln?circuit=c1355&n=1", 400)?;
 
         // The exposition must satisfy the in-tree OpenMetrics validator
         // and carry the cache counters this gate just exercised.

@@ -37,8 +37,10 @@ pub const CACHE_KIND: &str = "serve.response";
 
 /// Bumped whenever the projection pipeline changes in a way that can
 /// alter response bytes; part of every cache key, so stale artifacts
-/// from an older engine can never be replayed.
-pub const ENGINE_VERSION: u64 = 1;
+/// from an older engine can never be replayed. Version 2: response
+/// bodies carry the fallout distribution (`dist`, `lambda`) and the
+/// catalogue gained the scale-class members.
+pub const ENGINE_VERSION: u64 = 2;
 
 /// The outcome of a cache probe.
 #[derive(Debug)]

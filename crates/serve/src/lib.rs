@@ -40,4 +40,7 @@ pub use cache::{ArtifactCache, CacheLookup, CACHE_KIND, ENGINE_VERSION};
 pub use error::ServeError;
 pub use http::{parse_request, Request, Response};
 pub use server::{serve, ServerConfig, ServerHandle};
-pub use service::{artifact_key, netlist_for, route, Service, ServiceConfig};
+pub use service::{
+    artifact_key, circuit_class, fallout_param, netlist_for, route, CircuitClass, Service,
+    ServiceConfig,
+};

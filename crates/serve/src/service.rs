@@ -2,57 +2,121 @@
 //!
 //! ## Endpoints
 //!
-//! | Path           | Query                  | Body                                   |
-//! |----------------|------------------------|----------------------------------------|
-//! | `/v1/dl`       | `circuit`, `seed`      | DL(T) at the full generated test set   |
-//! | `/v1/dln`      | `circuit`, `n`         | DL(n) under an n-detect schedule       |
-//! | `/v1/curve`    | `circuit`, `seed`      | `(k, T, θ, Γ, DL)` coverage samples    |
-//! | `/v1/faults`   | `circuit`              | extracted realistic-fault report       |
-//! | `/v1/circuits` | —                      | the served circuit catalogue           |
-//! | `/metrics`     | —                      | OpenMetrics exposition of the service  |
-//! | `/healthz`     | —                      | liveness probe                         |
+//! | Path           | Query                            | Body                                   |
+//! |----------------|----------------------------------|----------------------------------------|
+//! | `/v1/dl`       | `circuit`, `seed`, `dist`, …     | DL(T) at the full generated test set   |
+//! | `/v1/dln`      | `circuit`, `n`                   | DL(n) under an n-detect schedule       |
+//! | `/v1/curve`    | `circuit`, `seed`, `dist`, …     | `(k, T, θ, Γ, DL)` coverage samples    |
+//! | `/v1/faults`   | `circuit`                        | extracted-fault report                 |
+//! | `/v1/circuits` | —                                | the served catalogue, with classes     |
+//! | `/metrics`     | —                                | OpenMetrics exposition of the service  |
+//! | `/healthz`     | —                                | liveness probe                         |
+//!
+//! `dist` selects the fallout distribution the DL projection assumes
+//! (see [`fallout_param`]): `poisson` (default), `nb` with `alpha`, or
+//! `hier` with `die_alpha`/`wafer_alpha`/`lot_alpha`/`dies_per_wafer`/
+//! `wafers_per_lot`. All distributions are calibrated to the paper's
+//! fixed yield, so responses compare the *same* line under different
+//! clustering assumptions.
+//!
+//! The catalogue spans two compute classes ([`CircuitClass`]): the
+//! small members run the full layout + extraction + ATPG + dual-sim
+//! pipeline; the ISCAS-85-class analogues beyond monolithic
+//! place-and-route reach are served through the tiled template path of
+//! DESIGN.md §13 (kind-proxy critical-area weights from a cached
+//! c432-class template, sharded PPSFP under a seeded random test set).
 //!
 //! ## The cache-key contract
 //!
 //! Every cacheable response is addressed by a [`KeyHasher`] digest over,
 //! in order: the endpoint name, the netlist fingerprint (structure and
 //! names, via [`dlp_sim::ckpt::hash_netlist`]), the request seed, the
-//! n-detect target, the defect-model parameters (the `Debug` rendering
-//! of [`DefectStatistics::maly_cmos`]), [`ENGINE_VERSION`], and the
-//! crate version. Anything that can change response bytes is in the
-//! key; anything in the key that changes makes old artifacts
-//! unreachable rather than wrong.
+//! n-detect target, the fallout distribution (via
+//! [`dlp_core::montecarlo::DieMix::write_key`] — the same bytes that
+//! bind Monte-Carlo checkpoints to their distribution), the
+//! defect-model parameters (the `Debug` rendering of
+//! [`DefectStatistics::maly_cmos`]), [`ENGINE_VERSION`], and the crate
+//! version. Anything that can change response bytes is in the key;
+//! anything in the key that changes makes old artifacts unreachable
+//! rather than wrong.
 //!
 //! One pipeline execution feeds three endpoints: a miss on `/v1/dl` or
 //! `/v1/curve` runs extraction + simulation once and seals the `dl`,
-//! `curve`, *and* `faults` artifacts for that `(circuit, seed)`, so the
-//! natural exploration order (project, then inspect the curve) pays for
-//! the pipeline once.
+//! `curve`, *and* `faults` artifacts for that `(circuit, seed, dist)`
+//! (the fault report is distribution-independent and sealed under the
+//! default key), so the natural exploration order (project, then
+//! inspect the curve) pays for the pipeline once.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use dlp_bench::pipeline::{self, PAPER_YIELD};
-use dlp_circuit::{generators, switch, Netlist};
+use dlp_circuit::{generators, switch, GateKind, Netlist, NodeId};
 use dlp_core::ckpt::KeyHasher;
 use dlp_core::obs::{Json, Recorder};
 use dlp_core::par::ThreadCount;
-use dlp_core::{PipelineError, Ppm, RunBudget};
+use dlp_core::{PipelineError, Ppm, RunBudget, Stage};
 use dlp_extract::defects::DefectStatistics;
 use dlp_extract::faults::OpenLevelModel;
+use dlp_extract::sharded::TiledWeights;
 use dlp_ndetect::{build_schedule_resumable, NDetectConfig};
+use dlp_sim::detection::random_vectors;
+use dlp_sim::sharded::{simulate_sharded_obs, DEFAULT_SHARD_FAULTS};
 use dlp_sim::stuck_at;
 use dlp_sim::switchlevel::{DetectionMode, SwitchConfig, SwitchSimulator};
+use dlp_yield::dist::Fallout;
 
 use crate::cache::{ArtifactCache, ENGINE_VERSION};
 use crate::error::ServeError;
 use crate::http::{Request, Response, CONTENT_TYPE_OPENMETRICS};
 
-/// Circuits the service will project, by API name.
-pub const CIRCUITS: &[&str] = &["c17", "c432"];
+/// How the service computes a circuit's projection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitClass {
+    /// The full pipeline: layout, realistic-fault extraction, ATPG,
+    /// and both simulators.
+    Full,
+    /// The tiled template path (DESIGN.md §13): kind-proxy
+    /// critical-area weights expanded from the cached c432-class
+    /// template, sharded PPSFP under a seeded random test set.
+    Scale,
+}
+
+impl CircuitClass {
+    /// The API rendering: `"full"` or `"scale"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CircuitClass::Full => "full",
+            CircuitClass::Scale => "scale",
+        }
+    }
+}
+
+/// Circuits the service will project, by API name, with the compute
+/// class each is served under.
+pub const CIRCUITS: &[(&str, CircuitClass)] = &[
+    ("c17", CircuitClass::Full),
+    ("c432", CircuitClass::Full),
+    ("c1355", CircuitClass::Scale),
+    ("c2670", CircuitClass::Scale),
+    ("c5315", CircuitClass::Scale),
+    ("c6288", CircuitClass::Scale),
+    ("c7552", CircuitClass::Scale),
+];
 
 /// Largest accepted n-detect target (matches the `ndetect_dl` study).
 pub const MAX_N: usize = 8;
+
+/// Applied test length for scale-class members — the `scale_sweep`
+/// bench's `VECTORS`, enough for the random-pattern-easy family to
+/// saturate while keeping a cold miss bounded.
+pub const SCALE_VECTORS: usize = 256;
+
+/// Default negative-binomial cluster parameter when `dist=nb` is
+/// requested without an explicit `alpha` (Stapper's mid-range).
+pub const DEFAULT_NB_ALPHA: f64 = 2.0;
 
 /// The endpoints the router recognizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,10 +166,30 @@ pub fn netlist_for(name: &str) -> Result<Netlist, ServeError> {
     match name {
         "c17" => Ok(generators::c17()),
         "c432" => Ok(generators::c432_class()),
+        "c1355" => Ok(generators::c1355_class()),
+        "c2670" => Ok(generators::c2670_class()),
+        "c5315" => Ok(generators::c5315_class()),
+        "c6288" => Ok(generators::c6288_class()),
+        "c7552" => Ok(generators::c7552_class()),
         _ => Err(ServeError::UnknownCircuit {
             name: name.to_string(),
         }),
     }
+}
+
+/// The compute class of a served circuit.
+///
+/// # Errors
+///
+/// [`ServeError::UnknownCircuit`] when the name is not in [`CIRCUITS`].
+pub fn circuit_class(name: &str) -> Result<CircuitClass, ServeError> {
+    CIRCUITS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, class)| *class)
+        .ok_or_else(|| ServeError::UnknownCircuit {
+            name: name.to_string(),
+        })
 }
 
 /// Splits a raw query string into `(name, value)` pairs. No percent
@@ -149,19 +233,119 @@ fn u64_param(
     }
 }
 
+fn f64_param(
+    params: &[(String, String)],
+    name: &'static str,
+    default: f64,
+) -> Result<f64, ServeError> {
+    match params.iter().find(|(k, _)| k == name) {
+        None => Ok(default),
+        // `parse::<f64>` accepts "NaN"/"inf"/negatives; the distribution
+        // constructors reject those with a typed BadDistribution, which
+        // the caller maps to a 400.
+        Some((_, v)) => v.parse().map_err(|_| ServeError::BadParam {
+            name,
+            what: format!("{v:?} is not a number"),
+        }),
+    }
+}
+
+/// Parses the fallout-distribution selection from the query string:
+/// `dist=poisson` (the default), `dist=nb` with `alpha`, or `dist=hier`
+/// with `die_alpha`/`wafer_alpha`/`lot_alpha`/`dies_per_wafer`/
+/// `wafers_per_lot` (defaults: [`dlp_yield::Hierarchical`]'s production
+/// parameters 2/8/20/400/25).
+///
+/// # Errors
+///
+/// [`ServeError::BadParam`] for an unknown `dist` or any parameter the
+/// distribution constructors reject (non-positive or non-finite α,
+/// zero group sizes) — every garbage value answers 400, never a panic
+/// or a silently-defaulted projection.
+pub fn fallout_param(params: &[(String, String)]) -> Result<Fallout, ServeError> {
+    let dist = params
+        .iter()
+        .find(|(k, _)| k == "dist")
+        .map(|(_, v)| v.as_str())
+        .unwrap_or("poisson");
+    match dist {
+        "poisson" => Ok(Fallout::poisson()),
+        "nb" => {
+            let alpha = f64_param(params, "alpha", DEFAULT_NB_ALPHA)?;
+            Fallout::negative_binomial(alpha).map_err(|e| ServeError::BadParam {
+                name: "alpha",
+                what: e.to_string(),
+            })
+        }
+        "hier" => {
+            let die_alpha = f64_param(params, "die_alpha", 2.0)?;
+            let wafer_alpha = f64_param(params, "wafer_alpha", 8.0)?;
+            let lot_alpha = f64_param(params, "lot_alpha", 20.0)?;
+            let dies_per_wafer = u64_param(params, "dies_per_wafer", 400)?;
+            let wafers_per_lot = u64_param(params, "wafers_per_lot", 25)?;
+            Fallout::hierarchical(
+                die_alpha,
+                wafer_alpha,
+                lot_alpha,
+                dies_per_wafer,
+                wafers_per_lot,
+            )
+            .map_err(|e| ServeError::BadParam {
+                name: "dist",
+                what: e.to_string(),
+            })
+        }
+        other => Err(ServeError::BadParam {
+            name: "dist",
+            what: format!("{other:?} is not one of poisson, nb, hier"),
+        }),
+    }
+}
+
 /// The content-addressed key of one response artifact. Public so tests
 /// and the fault-injection corpus can address artifacts directly; see
 /// the module docs for the contract.
-pub fn artifact_key(endpoint: &str, netlist: &Netlist, seed: u64, n: u64) -> u64 {
+pub fn artifact_key(
+    endpoint: &str,
+    netlist: &Netlist,
+    seed: u64,
+    n: u64,
+    fallout: &Fallout,
+) -> u64 {
     let mut h = KeyHasher::new();
     h.write_bytes(endpoint.as_bytes());
     dlp_sim::ckpt::hash_netlist(&mut h, netlist);
     h.write_u64(seed);
     h.write_u64(n);
+    fallout.dist().write_key(&mut h);
     h.write_bytes(format!("{:?}", DefectStatistics::maly_cmos()).as_bytes());
     h.write_u64(ENGINE_VERSION);
     h.write_bytes(env!("CARGO_PKG_VERSION").as_bytes());
     h.finish()
+}
+
+/// Kind-proxy site map for scale-class members (the `scale_sweep`
+/// semantics): every gate maps to the first template gate of the same
+/// [`GateKind`], primary inputs and unknown kinds to `None` (template
+/// average weight).
+fn kind_map(template: &Netlist, member: &Netlist) -> Box<dyn Fn(NodeId) -> Option<NodeId>> {
+    let mut rep: HashMap<GateKind, NodeId> = HashMap::new();
+    for id in template.node_ids() {
+        if !template.fanin(id).is_empty() {
+            rep.entry(template.kind(id)).or_insert(id);
+        }
+    }
+    let kinds: Vec<Option<NodeId>> = member
+        .node_ids()
+        .map(|id| {
+            if member.fanin(id).is_empty() {
+                None
+            } else {
+                rep.get(&member.kind(id)).copied()
+            }
+        })
+        .collect();
+    Box::new(move |n: NodeId| kinds.get(n.index()).copied().flatten())
 }
 
 /// Configuration for a [`Service`].
@@ -176,6 +360,14 @@ pub struct ServiceConfig {
     pub miss_budget_ms: Option<u64>,
 }
 
+/// The c432-class template layout + extraction the scale-class members
+/// borrow their critical-area weight profile from — extracted once per
+/// process, on the first scale-class miss.
+struct ScaleTemplate {
+    netlist: Netlist,
+    tiled: TiledWeights,
+}
+
 /// The projection service: stateless request handling over an
 /// [`ArtifactCache`], with a live [`Recorder`] feeding `/metrics`.
 pub struct Service {
@@ -184,6 +376,7 @@ pub struct Service {
     threads: ThreadCount,
     miss_budget_ms: Option<u64>,
     in_flight: AtomicI64,
+    scale: OnceLock<Result<ScaleTemplate, String>>,
 }
 
 impl Service {
@@ -199,6 +392,7 @@ impl Service {
             threads: config.threads,
             miss_budget_ms: config.miss_budget_ms,
             in_flight: AtomicI64::new(0),
+            scale: OnceLock::new(),
         })
     }
 
@@ -259,7 +453,12 @@ impl Service {
                 Json::Array(
                     CIRCUITS
                         .iter()
-                        .map(|c| Json::String((*c).to_string()))
+                        .map(|(name, class)| {
+                            object(vec![
+                                ("name", Json::String((*name).to_string())),
+                                ("class", Json::String(class.as_str().to_string())),
+                            ])
+                        })
                         .collect(),
                 ),
             )]))),
@@ -272,7 +471,8 @@ impl Service {
             Endpoint::Dl | Endpoint::Curve | Endpoint::Faults => {
                 let circuit = required(&params, "circuit")?;
                 let seed = u64_param(&params, "seed", 0)?;
-                self.projection(endpoint, circuit, seed)
+                let fallout = fallout_param(&params)?;
+                self.projection(endpoint, circuit, seed, &fallout)
             }
             Endpoint::Dln => {
                 let circuit = required(&params, "circuit")?;
@@ -294,21 +494,28 @@ impl Service {
         endpoint: Endpoint,
         circuit: &str,
         seed: u64,
+        fallout: &Fallout,
     ) -> Result<Response, ServeError> {
         let netlist = netlist_for(circuit)?;
-        let dl_key = artifact_key("dl", &netlist, seed, 0);
-        let curve_key = artifact_key("curve", &netlist, seed, 0);
-        // The fault report depends only on the circuit.
-        let faults_key = artifact_key("faults", &netlist, 0, 0);
+        let class = circuit_class(circuit)?;
+        let dl_key = artifact_key("dl", &netlist, seed, 0, fallout);
+        let curve_key = artifact_key("curve", &netlist, seed, 0, fallout);
+        // The fault report depends only on the circuit — never on the
+        // seed or the fallout distribution.
+        let faults_key = artifact_key("faults", &netlist, 0, 0, &Fallout::poisson());
         let want = match endpoint {
             Endpoint::Dl => dl_key,
             Endpoint::Curve => curve_key,
             _ => faults_key,
         };
         let (body, _hit) = self.cache.get_or_compute(want, &self.obs, || {
-            let (dl, curve, faults) = self
-                .compute_projection(circuit, &netlist, seed)
-                .map_err(ServeError::from)?;
+            let (dl, curve, faults) = match class {
+                CircuitClass::Full => self.compute_projection(circuit, &netlist, seed, fallout),
+                CircuitClass::Scale => {
+                    self.compute_scale_projection(circuit, &netlist, seed, fallout)
+                }
+            }
+            .map_err(ServeError::from)?;
             // One execution feeds all three endpoints: seal the sibling
             // artifacts before returning the requested one.
             for (key, sibling) in [(dl_key, &dl), (curve_key, &curve), (faults_key, &faults)]
@@ -328,7 +535,18 @@ impl Service {
 
     fn dln(&self, circuit: &str, n: usize) -> Result<Response, ServeError> {
         let netlist = netlist_for(circuit)?;
-        let key = artifact_key("dln", &netlist, 0, n as u64);
+        if circuit_class(circuit)? == CircuitClass::Scale {
+            // The n-detect schedule needs the full ATPG + switch-level
+            // stack, which is exactly what the scale path avoids.
+            return Err(ServeError::BadParam {
+                name: "circuit",
+                what: format!(
+                    "{circuit} is served by the scale path; /v1/dln covers \
+                     full-pipeline circuits only"
+                ),
+            });
+        }
+        let key = artifact_key("dln", &netlist, 0, n as u64, &Fallout::poisson());
         let (body, _hit) = self.cache.get_or_compute(key, &self.obs, || {
             self.compute_dln(circuit, &netlist, n)
                 .map_err(ServeError::from)
@@ -345,11 +563,18 @@ impl Service {
 
     /// Extraction + ATPG + both simulators, once; returns the
     /// `(dl, curve, faults)` bodies in artifact form.
+    ///
+    /// Under the default Poisson fallout the DL numbers come from the
+    /// historical `FaultWeights::defect_level` path, bit-identical to
+    /// every release before the distribution existed; the clustered
+    /// models evaluate `DL = 1 − Y(λ)/Y(θλ)` at the λ their own yield
+    /// law calibrates to [`PAPER_YIELD`].
     fn compute_projection(
         &self,
         circuit: &str,
         netlist: &Netlist,
         seed: u64,
+        fallout: &Fallout,
     ) -> Result<(Json, Json, Json), PipelineError> {
         let stats = DefectStatistics::maly_cmos();
         let extraction = pipeline::extract_netlist_obs(netlist.clone(), &stats, &self.obs)?;
@@ -362,14 +587,29 @@ impl Service {
         let t = run.record_t.coverage_after(k);
         let theta = run.record_theta.weighted_coverage_after(k, &w)?;
         let gamma = run.record_theta.coverage_after(k);
-        let dl = extraction
-            .weights
-            .defect_level(theta)
-            .map_err(|e| PipelineError::from(e).context("DL at full test length"))?;
+        let lambda = fallout
+            .dist()
+            .lambda_for_yield(PAPER_YIELD)
+            .map_err(|e| PipelineError::from(e).context("fixed-yield calibration"))?;
+        let legacy_poisson = matches!(fallout, Fallout::Poisson(_));
+        let dl = if legacy_poisson {
+            extraction
+                .weights
+                .defect_level(theta)
+                .map_err(|e| PipelineError::from(e).context("DL at full test length"))?
+        } else {
+            fallout
+                .dist()
+                .defect_level(lambda, theta)
+                .map_err(|e| PipelineError::from(e).context("DL at full test length"))?
+        };
 
         let dl_body = object(vec![
             ("circuit", Json::String(circuit.to_string())),
+            ("class", Json::String("full".to_string())),
             ("seed", Json::Number(seed as f64)),
+            ("dist", Json::String(fallout.label())),
+            ("lambda", Json::Number(lambda)),
             ("yield", Json::Number(PAPER_YIELD)),
             ("vectors", Json::Number(k as f64)),
             ("random_prefix", Json::Number(run.random_prefix as f64)),
@@ -380,30 +620,36 @@ impl Service {
             ("dl", Json::Number(dl)),
             ("dl_ppm", Json::Number(Ppm::from_fraction(dl).value())),
         ]);
+        let mut curve_rows = Vec::with_capacity(samples.len());
+        for &(k, t, theta, gamma, dl) in &samples {
+            let dl = if legacy_poisson {
+                dl
+            } else {
+                fallout
+                    .dist()
+                    .defect_level(lambda, theta)
+                    .map_err(|e| PipelineError::from(e).context(format!("curve DL at k = {k}")))?
+            };
+            curve_rows.push(object(vec![
+                ("k", Json::Number(k as f64)),
+                ("t", Json::Number(t)),
+                ("theta", Json::Number(theta)),
+                ("gamma", Json::Number(gamma)),
+                ("dl", Json::Number(dl)),
+            ]));
+        }
         let curve_body = object(vec![
             ("circuit", Json::String(circuit.to_string())),
+            ("class", Json::String("full".to_string())),
             ("seed", Json::Number(seed as f64)),
+            ("dist", Json::String(fallout.label())),
+            ("lambda", Json::Number(lambda)),
             ("yield", Json::Number(PAPER_YIELD)),
-            (
-                "samples",
-                Json::Array(
-                    samples
-                        .iter()
-                        .map(|&(k, t, theta, gamma, dl)| {
-                            object(vec![
-                                ("k", Json::Number(k as f64)),
-                                ("t", Json::Number(t)),
-                                ("theta", Json::Number(theta)),
-                                ("gamma", Json::Number(gamma)),
-                                ("dl", Json::Number(dl)),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
+            ("samples", Json::Array(curve_rows)),
         ]);
         let faults_body = object(vec![
             ("circuit", Json::String(circuit.to_string())),
+            ("class", Json::String("full".to_string())),
             ("gates", Json::Number(netlist.gate_count() as f64)),
             ("faults", Json::Number(extraction.faults.len() as f64)),
             (
@@ -414,6 +660,146 @@ impl Service {
             (
                 "diagnostics",
                 Json::Number(extraction.diagnostics.len() as f64),
+            ),
+        ]);
+        Ok((dl_body, curve_body, faults_body))
+    }
+
+    /// The lazily-extracted c432-class template every scale-class miss
+    /// shares. Extraction failure is remembered (the error string is
+    /// cached) so a broken template fails fast instead of re-running
+    /// layout per request.
+    fn scale_template(&self) -> Result<&ScaleTemplate, PipelineError> {
+        let slot = self.scale.get_or_init(|| {
+            let stats = DefectStatistics::maly_cmos();
+            let extraction =
+                pipeline::extract_netlist_obs(generators::c432_class(), &stats, &self.obs)
+                    .map_err(|e| e.to_string())?;
+            let sites = stuck_at::enumerate(&extraction.netlist).collapse();
+            let tiled =
+                TiledWeights::new(&extraction.netlist, &extraction.faults, sites.faults())
+                    .map_err(|e| e.to_string())?;
+            Ok(ScaleTemplate {
+                netlist: extraction.netlist,
+                tiled,
+            })
+        });
+        slot.as_ref().map_err(|msg| {
+            PipelineError::new(
+                Stage::Extraction,
+                format!("scale template unavailable: {msg}"),
+            )
+        })
+    }
+
+    /// The scale-class path (DESIGN.md §13): critical-area weights
+    /// expanded from the cached template by gate kind, one sharded
+    /// PPSFP pass over the collapsed stuck-at universe under a seeded
+    /// random test set. No switch-level stage runs, so `t` and `gamma`
+    /// both report the plain stuck-at coverage and θ is the
+    /// weight-normalized coverage of the same record.
+    fn compute_scale_projection(
+        &self,
+        circuit: &str,
+        netlist: &Netlist,
+        seed: u64,
+        fallout: &Fallout,
+    ) -> Result<(Json, Json, Json), PipelineError> {
+        let template = self.scale_template()?;
+        let sites = stuck_at::enumerate(netlist).collapse();
+        let map = kind_map(&template.netlist, netlist);
+        let w = template
+            .tiled
+            .expand(netlist, sites.faults(), &map)
+            .map_err(|e| PipelineError::from(e).context(format!("{circuit} weights")))?;
+        let lambda = fallout
+            .dist()
+            .lambda_for_yield(PAPER_YIELD)
+            .map_err(|e| PipelineError::from(e).context("fixed-yield calibration"))?;
+        let vectors = random_vectors(netlist.inputs().len(), SCALE_VECTORS, seed);
+        let budget = self.miss_budget();
+        let record = simulate_sharded_obs(
+            netlist,
+            sites.faults(),
+            &vectors,
+            DEFAULT_SHARD_FAULTS,
+            self.threads,
+            &self.obs,
+            &budget,
+        )
+        .map_err(|e| PipelineError::from(e).context(format!("simulating {circuit}")))?;
+
+        let k = vectors.len();
+        let t = record.coverage_after(k);
+        let theta = record
+            .weighted_coverage_after(k, &w)
+            .map_err(|e| PipelineError::from(e).context(format!("θ of {circuit}")))?;
+        let dl = fallout
+            .dist()
+            .defect_level(lambda, theta)
+            .map_err(|e| PipelineError::from(e).context("DL at full test length"))?;
+
+        let dl_body = object(vec![
+            ("circuit", Json::String(circuit.to_string())),
+            ("class", Json::String("scale".to_string())),
+            ("seed", Json::Number(seed as f64)),
+            ("dist", Json::String(fallout.label())),
+            ("lambda", Json::Number(lambda)),
+            ("yield", Json::Number(PAPER_YIELD)),
+            ("vectors", Json::Number(k as f64)),
+            ("t", Json::Number(t)),
+            ("theta", Json::Number(theta)),
+            ("gamma", Json::Number(t)),
+            ("dl", Json::Number(dl)),
+            ("dl_ppm", Json::Number(Ppm::from_fraction(dl).value())),
+        ]);
+
+        // Log-spaced curve samples over the applied test set, like the
+        // full path's `curve_samples`.
+        let mut curve_rows = Vec::new();
+        let mut at = 1usize;
+        let mut lengths = Vec::new();
+        while at < k {
+            lengths.push(at);
+            at = (at * 2).max(at + 1);
+        }
+        lengths.push(k);
+        for k_at in lengths {
+            let t_at = record.coverage_after(k_at);
+            let theta_at = record
+                .weighted_coverage_after(k_at, &w)
+                .map_err(|e| PipelineError::from(e).context(format!("θ at k = {k_at}")))?;
+            let dl_at = fallout
+                .dist()
+                .defect_level(lambda, theta_at)
+                .map_err(|e| PipelineError::from(e).context(format!("curve DL at k = {k_at}")))?;
+            curve_rows.push(object(vec![
+                ("k", Json::Number(k_at as f64)),
+                ("t", Json::Number(t_at)),
+                ("theta", Json::Number(theta_at)),
+                ("gamma", Json::Number(t_at)),
+                ("dl", Json::Number(dl_at)),
+            ]));
+        }
+        let curve_body = object(vec![
+            ("circuit", Json::String(circuit.to_string())),
+            ("class", Json::String("scale".to_string())),
+            ("seed", Json::Number(seed as f64)),
+            ("dist", Json::String(fallout.label())),
+            ("lambda", Json::Number(lambda)),
+            ("yield", Json::Number(PAPER_YIELD)),
+            ("samples", Json::Array(curve_rows)),
+        ]);
+
+        let faults_body = object(vec![
+            ("circuit", Json::String(circuit.to_string())),
+            ("class", Json::String("scale".to_string())),
+            ("gates", Json::Number(netlist.gate_count() as f64)),
+            ("faults", Json::Number(sites.len() as f64)),
+            ("template", Json::String("c432_class".to_string())),
+            (
+                "template_gates",
+                Json::Number(template.netlist.gate_count() as f64),
             ),
         ]);
         Ok((dl_body, curve_body, faults_body))
@@ -529,11 +915,16 @@ mod tests {
 
     #[test]
     fn catalogue_rejects_unknown_circuits() {
-        for name in CIRCUITS {
+        for (name, class) in CIRCUITS {
             assert!(netlist_for(name).is_ok(), "{name} should be served");
+            assert_eq!(circuit_class(name).expect("class"), *class);
         }
         assert!(matches!(
             netlist_for("c9999"),
+            Err(ServeError::UnknownCircuit { .. })
+        ));
+        assert!(matches!(
+            circuit_class("c9999"),
             Err(ServeError::UnknownCircuit { .. })
         ));
     }
@@ -542,12 +933,67 @@ mod tests {
     fn keys_separate_every_dimension() {
         let c17 = generators::c17();
         let c432 = generators::c432_class();
-        let base = artifact_key("dl", &c17, 0, 0);
-        assert_ne!(base, artifact_key("curve", &c17, 0, 0), "endpoint");
-        assert_ne!(base, artifact_key("dl", &c432, 0, 0), "netlist");
-        assert_ne!(base, artifact_key("dl", &c17, 1, 0), "seed");
-        assert_ne!(base, artifact_key("dl", &c17, 0, 1), "n");
-        assert_eq!(base, artifact_key("dl", &c17, 0, 0), "stable");
+        let p = Fallout::poisson();
+        let base = artifact_key("dl", &c17, 0, 0, &p);
+        assert_ne!(base, artifact_key("curve", &c17, 0, 0, &p), "endpoint");
+        assert_ne!(base, artifact_key("dl", &c432, 0, 0, &p), "netlist");
+        assert_ne!(base, artifact_key("dl", &c17, 1, 0, &p), "seed");
+        assert_ne!(base, artifact_key("dl", &c17, 0, 1, &p), "n");
+        assert_eq!(base, artifact_key("dl", &c17, 0, 0, &p), "stable");
+        let nb2 = Fallout::negative_binomial(2.0).expect("alpha 2");
+        let nb3 = Fallout::negative_binomial(3.0).expect("alpha 3");
+        let hier = Fallout::hierarchical(2.0, 8.0, 20.0, 400, 25).expect("hier");
+        assert_ne!(base, artifact_key("dl", &c17, 0, 0, &nb2), "distribution");
+        assert_ne!(
+            artifact_key("dl", &c17, 0, 0, &nb2),
+            artifact_key("dl", &c17, 0, 0, &nb3),
+            "cluster parameter"
+        );
+        assert_ne!(
+            artifact_key("dl", &c17, 0, 0, &nb2),
+            artifact_key("dl", &c17, 0, 0, &hier),
+            "distribution family"
+        );
+    }
+
+    #[test]
+    fn fallout_parsing_covers_the_three_families() {
+        let parse = |q: &str| fallout_param(&query_params(Some(q)));
+        assert_eq!(parse("circuit=c17").expect("default"), Fallout::poisson());
+        assert_eq!(
+            parse("dist=poisson").expect("poisson"),
+            Fallout::poisson()
+        );
+        assert_eq!(
+            parse("dist=nb&alpha=0.5").expect("nb 0.5").label(),
+            "nb(alpha=0.5)"
+        );
+        assert_eq!(parse("dist=nb").expect("nb default").label(), "nb(alpha=2)");
+        assert_eq!(
+            parse("dist=hier").expect("hier default").label(),
+            "hier(die=2,wafer=8,lot=20,dpw=400,wpl=25)"
+        );
+        assert_eq!(
+            parse("dist=hier&die_alpha=1&dies_per_wafer=64")
+                .expect("hier custom")
+                .label(),
+            "hier(die=1,wafer=8,lot=20,dpw=64,wpl=25)"
+        );
+        for bad in [
+            "dist=weibull",
+            "dist=nb&alpha=0",
+            "dist=nb&alpha=-1",
+            "dist=nb&alpha=NaN",
+            "dist=nb&alpha=inf",
+            "dist=nb&alpha=banana",
+            "dist=hier&wafer_alpha=NaN",
+            "dist=hier&dies_per_wafer=0",
+        ] {
+            assert!(
+                matches!(parse(bad), Err(ServeError::BadParam { .. })),
+                "{bad} must be a typed 400"
+            );
+        }
     }
 
     #[test]
@@ -588,7 +1034,38 @@ mod tests {
             400,
             "n above range"
         );
-        assert_eq!(service.obs().counter_value("serve.errors"), Some(6));
-        assert_eq!(service.obs().counter_value("serve.requests"), Some(7));
+        assert_eq!(
+            service.handle(&req("/v1/dl?circuit=c17&dist=weibull")).status,
+            400,
+            "unknown distribution"
+        );
+        assert_eq!(
+            service
+                .handle(&req("/v1/dl?circuit=c17&dist=nb&alpha=0"))
+                .status,
+            400,
+            "non-positive alpha"
+        );
+        assert_eq!(
+            service
+                .handle(&req("/v1/dl?circuit=c17&dist=nb&alpha=NaN"))
+                .status,
+            400,
+            "non-finite alpha"
+        );
+        assert_eq!(
+            service
+                .handle(&req("/v1/dl?circuit=c17&dist=hier&dies_per_wafer=0"))
+                .status,
+            400,
+            "empty wafer"
+        );
+        assert_eq!(
+            service.handle(&req("/v1/dln?circuit=c1355&n=1")).status,
+            400,
+            "dln on a scale-class member"
+        );
+        assert_eq!(service.obs().counter_value("serve.errors"), Some(11));
+        assert_eq!(service.obs().counter_value("serve.requests"), Some(12));
     }
 }

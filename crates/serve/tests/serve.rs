@@ -140,7 +140,7 @@ fn corrupted_artifacts_are_typed_misses_that_recompute_to_the_same_bytes() {
 
     // Damage the sealed envelope's payload on disk.
     let netlist = netlist_for("c17").expect("catalogue circuit");
-    let key = artifact_key("dl", &netlist, 9, 0);
+    let key = artifact_key("dl", &netlist, 9, 0, &dlp_yield::Fallout::poisson());
     let path = service.cache().path_for(key);
     let sealed = std::fs::read_to_string(&path).expect("artifact exists");
     std::fs::write(&path, sealed.replace("\"circuit\":\"c17\"", "\"circuit\":\"c18\""))

@@ -11,8 +11,8 @@ cd "$(dirname "$0")/.."
 
 echo "== clippy: deny unwrap/expect in library code"
 for crate in dlp-geometry dlp-circuit dlp-core dlp-sim dlp-layout \
-             dlp-extract dlp-atpg dlp-ndetect dlp-bench dlp-serve \
-             dlp-inject dlp; do
+             dlp-extract dlp-atpg dlp-ndetect dlp-yield dlp-bench \
+             dlp-serve dlp-inject dlp; do
     echo "   $crate"
     cargo clippy -p "$crate" --lib -q -- \
         -D warnings \
@@ -63,6 +63,19 @@ echo "== scale: scale_sweep smoke (smallest family member)"
 cargo run --release -q -p dlp-bench --bin scale_sweep -- --smoke > /dev/null
 cargo run --release -q -p dlp-bench --bin validate_trace -- \
     --bench BENCH_scale_sweep_smoke.json
+
+# Clustered-yield gate (DESIGN.md §15): the yield_cluster study on c17 —
+# per-distribution fixed-yield calibration, eq. 11 fits, and a
+# Monte-Carlo cross-check of every analytic DL (the bin hard-errors if
+# simulation and closed form disagree, or if clustering fails to lower
+# DL at fixed yield). The smoke report must conform to the BenchReport
+# schema and its MC timings stay within the committed baseline.
+echo "== yield: clustered-fallout smoke (writes BENCH_yield_smoke.json)"
+cargo run --release -q -p dlp-bench --bin yield_cluster -- --smoke > /dev/null
+cargo run --release -q -p dlp-bench --bin validate_trace -- \
+    --bench BENCH_yield_smoke.json
+cargo run --release -q -p dlp-bench --bin perf_regress -- \
+    --baseline baselines/yield_baseline.json --current BENCH_yield_smoke.json
 
 # Performance regression gate (DESIGN.md §11): first prove the gate can
 # detect at all (a synthetic 2x slowdown must fail, an unchanged

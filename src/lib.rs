@@ -18,6 +18,7 @@
 //! | [`sim`] | `dlp-sim` | PPSFP stuck-at and switch-level fault simulation |
 //! | [`atpg`] | `dlp-atpg` | PODEM with FAN-style guidance, the random+deterministic pipeline |
 //! | [`ndetect`] | `dlp-ndetect` | n-detection test-set schedules (greedy pool + per-rank PODEM top-ups) |
+//! | [`yield`](dlp_yield) | `dlp-yield` | clustered-defect fallout distributions (Poisson, negative-binomial, hierarchical) and DL under non-Poisson statistics |
 //! | [`bench`] | `dlp-bench` | the shared experimental pipeline behind the paper's figures, with `DLP_TRACE` run reports |
 //!
 //! # Quickstart
@@ -49,3 +50,4 @@ pub use dlp_geometry as geometry;
 pub use dlp_layout as layout;
 pub use dlp_ndetect as ndetect;
 pub use dlp_sim as sim;
+pub use dlp_yield as r#yield;
