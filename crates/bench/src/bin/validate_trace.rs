@@ -3,8 +3,9 @@
 //! Usage:
 //!
 //! ```text
-//! validate_trace <report.json>          # run-report mode
-//! validate_trace --bench <bench.json>   # bench-report schema mode
+//! validate_trace <report.json>               # run-report mode
+//! validate_trace --bench <bench.json>        # bench-report schema mode
+//! validate_trace --serve-trace <traces.json> # flight-recorder dump mode
 //! ```
 //!
 //! Run-report mode parses the report with the in-tree JSON parser and
@@ -20,6 +21,13 @@
 //! writers cannot silently drift back to ad-hoc maps, and warns (without
 //! failing) when the recorded `env.git_rev` does not match the current
 //! checkout or carries the `-dirty` worktree marker.
+//!
+//! Serve-trace mode checks a `GET /v1/traces` flight-recorder dump
+//! (`TRACE_serve_gate.json` in CI): unique well-formed trace ids, a
+//! single `request` root per trace, parent links that resolve, children
+//! contained in their parents (start and duration), the required stage
+//! spans on every recomputing trace, and a span tree that explains at
+//! least 90% of each recomputing request's wall time.
 
 use std::process::ExitCode;
 
@@ -300,13 +308,158 @@ fn check_bench(text: &str) -> Result<String, String> {
     ))
 }
 
+/// One span row lifted out of a trace's JSON for containment checks.
+struct SpanRow {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    start: u64,
+    nanos: u64,
+}
+
+fn span_rows(trace: &Json) -> Result<Vec<SpanRow>, String> {
+    let spans = trace
+        .get("spans")
+        .and_then(Json::as_array)
+        .ok_or("trace has no spans array")?;
+    if spans.is_empty() {
+        return Err("trace has an empty span tree".to_string());
+    }
+    spans
+        .iter()
+        .map(|s| {
+            let field = |name: &str| {
+                s.get(name)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("span has no numeric {name}"))
+            };
+            Ok(SpanRow {
+                id: field("id")? as u64,
+                parent: s.get("parent").and_then(Json::as_f64).map(|p| p as u64),
+                name: s
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("span has no name")?
+                    .to_string(),
+                start: field("start_nanos")? as u64,
+                nanos: field("nanos")? as u64,
+            })
+        })
+        .collect()
+}
+
+/// Stage spans every recomputing (cache-miss) request must carry.
+const REQUIRED_SERVE_SPANS: &[&str] = &["route", "cache.probe", "recompute", "seal", "write"];
+
+fn check_one_trace(trace: &Json) -> Result<(bool, String), String> {
+    let trace_id = trace
+        .get("trace_id")
+        .and_then(Json::as_str)
+        .ok_or("trace has no trace_id")?;
+    if trace_id.len() != 16 || !trace_id.chars().all(|c| c.is_ascii_hexdigit()) {
+        return Err(format!("trace_id {trace_id:?} is not 16 hex digits"));
+    }
+    let spans = span_rows(trace)?;
+    let roots: Vec<&SpanRow> = spans.iter().filter(|s| s.parent.is_none()).collect();
+    if roots.len() != 1 || roots[0].name != "request" {
+        return Err(format!(
+            "{trace_id}: expected exactly one root span named \"request\", \
+             found {} root(s)",
+            roots.len()
+        ));
+    }
+    let root = roots[0];
+    for span in &spans {
+        let Some(parent_id) = span.parent else {
+            continue;
+        };
+        let parent = spans
+            .iter()
+            .find(|s| s.id == parent_id)
+            .ok_or_else(|| format!("{trace_id}: span {} has a dangling parent", span.id))?;
+        if span.nanos > parent.nanos {
+            return Err(format!(
+                "{trace_id}: child {:?} ({} ns) outlasts its parent {:?} ({} ns)",
+                span.name, span.nanos, parent.name, parent.nanos
+            ));
+        }
+        if span.start < parent.start {
+            return Err(format!(
+                "{trace_id}: child {:?} starts before its parent {:?}",
+                span.name, parent.name
+            ));
+        }
+    }
+    let recomputed = spans.iter().any(|s| s.name == "recompute");
+    if recomputed {
+        for name in REQUIRED_SERVE_SPANS {
+            if !spans.iter().any(|s| s.name == *name) {
+                return Err(format!("{trace_id}: recomputing trace has no {name:?} span"));
+            }
+        }
+        let recompute_id = spans
+            .iter()
+            .find(|s| s.name == "recompute")
+            .map(|s| s.id)
+            .unwrap_or_default();
+        if !spans.iter().any(|s| s.parent == Some(recompute_id)) {
+            return Err(format!(
+                "{trace_id}: the recompute span adopted no pipeline stage spans"
+            ));
+        }
+        let covered: u64 = spans
+            .iter()
+            .filter(|s| s.parent == Some(root.id))
+            .map(|s| s.nanos)
+            .sum();
+        if (covered as f64) < 0.9 * root.nanos as f64 {
+            return Err(format!(
+                "{trace_id}: the span tree explains only {covered} of {} root nanos",
+                root.nanos
+            ));
+        }
+    }
+    Ok((recomputed, trace_id.to_string()))
+}
+
+fn check_serve_trace(text: &str) -> Result<String, String> {
+    let dump = Json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let traces = dump
+        .get("traces")
+        .and_then(Json::as_array)
+        .ok_or("dump has no traces array")?;
+    if traces.is_empty() {
+        return Err("dump has no traces".to_string());
+    }
+    let mut ids = Vec::new();
+    let mut recomputes = 0usize;
+    for trace in traces {
+        let (recomputed, id) = check_one_trace(trace)?;
+        if ids.contains(&id) {
+            return Err(format!("trace id {id} appears twice"));
+        }
+        ids.push(id);
+        recomputes += usize::from(recomputed);
+    }
+    if recomputes == 0 {
+        return Err("no trace in the dump recomputed — the gate should have \
+                    driven at least one cold miss"
+            .to_string());
+    }
+    Ok(format!(
+        "{} traces, {recomputes} with recompute span trees",
+        traces.len()
+    ))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (bench_mode, path) = match args.as_slice() {
-        [path] => (false, path.clone()),
-        [flag, path] if flag == "--bench" => (true, path.clone()),
+    let (mode, path) = match args.as_slice() {
+        [path] => ("run", path.clone()),
+        [flag, path] if flag == "--bench" => ("bench", path.clone()),
+        [flag, path] if flag == "--serve-trace" => ("serve", path.clone()),
         _ => {
-            eprintln!("usage: validate_trace [--bench] <report.json>");
+            eprintln!("usage: validate_trace [--bench | --serve-trace] <report.json>");
             return ExitCode::from(2);
         }
     };
@@ -317,8 +470,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if bench_mode {
-        return match check_bench(&text) {
+    if mode != "run" {
+        let checked = if mode == "bench" {
+            check_bench(&text)
+        } else {
+            check_serve_trace(&text)
+        };
+        return match checked {
             Ok(summary) => {
                 println!("validate_trace: {path} OK — {summary}");
                 ExitCode::SUCCESS

@@ -155,16 +155,23 @@ fn render_into(value: &Json, out: &mut String) {
     }
 }
 
-/// Writes `contents` to `path` atomically: write to `path.tmp<pid>`,
-/// flush to disk, then rename over the target. A crash at any point
-/// leaves either the previous file or no file — never a torn one.
+/// Writes `contents` to `path` atomically: write to a unique temp file
+/// beside the target, flush to disk, then rename over the target. A
+/// crash at any point leaves either the previous file or no file —
+/// never a torn one. The temp name carries both the pid and a process-
+/// wide counter: two *threads* writing the same target concurrently
+/// (e.g. racing misses sealing a shared sibling artifact) each get
+/// their own temp file, so one writer's rename can never strand or
+/// truncate the other's.
 ///
 /// # Errors
 ///
 /// Any I/O error from create/write/sync/rename; the temp file is
 /// removed on failure.
 pub fn atomic_write(path: &str, contents: &str) -> std::io::Result<()> {
-    let tmp = format!("{path}.tmp{}", std::process::id());
+    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = format!("{path}.tmp{}.{seq}", std::process::id());
     let write_result = (|| {
         let mut file = std::fs::File::create(&tmp)?;
         file.write_all(contents.as_bytes())?;

@@ -70,11 +70,13 @@ pub mod bench;
 pub mod hist;
 pub mod json;
 pub mod openmetrics;
+pub mod trace;
 
 pub use bench::{BenchEntry, BenchEnv, BenchReport, BENCH_SCHEMA_VERSION};
 pub use hist::{HistEntry, Histogram};
 pub use json::{Json, JsonError};
 pub use openmetrics::OmError;
+pub use trace::{FlightRecorder, TraceContext, TraceOutcome, TraceRecord};
 
 use hist::Histogram as Hist;
 use json::{json_number, json_string};
@@ -412,11 +414,90 @@ impl Recorder {
         }
     }
 
-    fn record_span(&self, name: &'static str, nanos: u64) {
+    /// Adds one completed execution of `nanos` to the named span's
+    /// totals — the dynamic-name twin of [`span`](Self::span), for
+    /// callers (trace merging, [`trace::TraceContext::attach`]) that
+    /// measured the interval themselves.
+    pub fn add_span(&self, name: &str, nanos: u64) {
+        self.add_span_runs(name, nanos, 1);
+    }
+
+    fn add_span_runs(&self, name: &str, nanos: u64, count: u64) {
+        if !self.enabled {
+            return;
+        }
         let mut state = lock_or_recover(&self.state);
         let stats = state.spans.entry(name.to_string()).or_default();
         stats.nanos = stats.nanos.saturating_add(nanos);
-        stats.count += 1;
+        stats.count = stats.count.saturating_add(count);
+    }
+
+    fn record_span(&self, name: &'static str, nanos: u64) {
+        self.add_span(name, nanos);
+    }
+
+    /// Folds everything `other` recorded into this recorder: counters
+    /// and span totals add, histograms merge bucket-wise, series
+    /// points append (dropped tallies carried over), gauges last-write
+    /// win. Addition commutes, so merging per-request recorders in any
+    /// completion order yields the same totals direct recording would
+    /// have — the property that keeps the service's `/metrics` stable
+    /// across worker counts.
+    ///
+    /// A no-op when either side is disabled. `other` is snapshotted
+    /// under its own lock before this recorder's lock is taken, so the
+    /// two locks are never held at once.
+    pub fn merge_from(&self, other: &Recorder) {
+        if !self.enabled || !other.enabled {
+            return;
+        }
+        let report = other.report("");
+        let series: Vec<(String, Vec<f64>, u64)> = {
+            let state = lock_or_recover(&other.state);
+            state
+                .series
+                .iter()
+                .map(|(n, s)| (n.clone(), s.points.clone(), s.dropped))
+                .collect()
+        };
+        for s in &report.spans {
+            self.add_span_runs(&s.name, s.nanos, s.count);
+        }
+        for (name, value) in &report.counters {
+            // The dropped-points tally is synthesised at report time
+            // from the series buffers, whose `dropped` counts are
+            // carried over below — merging the synthetic counter too
+            // would double-count.
+            if name == "obs.series_dropped_points" {
+                continue;
+            }
+            self.add(name, *value);
+        }
+        for (name, value) in &report.gauges {
+            self.gauge(name, *value);
+        }
+        let hists: Vec<(String, Hist)> = {
+            let state = lock_or_recover(&other.state);
+            state
+                .hists
+                .iter()
+                .map(|(n, h)| (n.clone(), h.clone()))
+                .collect()
+        };
+        for (name, h) in &hists {
+            self.merge_hist(name, h);
+        }
+        let mut state = lock_or_recover(&self.state);
+        for (name, points, dropped) in series {
+            let buf = state
+                .series
+                .entry(name)
+                .or_insert_with(SeriesBuf::new);
+            for p in points {
+                buf.push(p);
+            }
+            buf.dropped = buf.dropped.saturating_add(dropped);
+        }
     }
 
     /// Snapshots everything recorded so far into a [`RunReport`].
@@ -885,6 +966,82 @@ mod tests {
             direct.report("a").hist("h"),
             merged.report("b").hist("h")
         );
+    }
+
+    #[test]
+    fn merge_from_matches_direct_recording() {
+        // Record the same activity directly and via two per-request
+        // recorders merged in, and demand identical reports.
+        let direct = Recorder::enabled();
+        let merged = Recorder::enabled();
+        for part in 0..2u64 {
+            let child = Recorder::enabled();
+            for obs in [&direct, &child] {
+                obs.add("requests", 1 + part);
+                obs.add_span("stage", 100 * (part + 1));
+                obs.observe("latency", 2.0 * (part as f64 + 1.0));
+                obs.push("points", part as f64);
+            }
+            merged.merge_from(&child);
+        }
+        direct.gauge("g", 7.0);
+        merged.gauge("g", 7.0);
+        assert_eq!(direct.report("x"), merged.report("x"));
+    }
+
+    #[test]
+    fn merge_from_is_commutative_for_counters_and_hists() {
+        let a = Recorder::enabled();
+        a.add("c", 3);
+        a.observe("h", 1.0);
+        let b = Recorder::enabled();
+        b.add("c", 5);
+        b.observe("h", 900.0);
+        let ab = Recorder::enabled();
+        ab.merge_from(&a);
+        ab.merge_from(&b);
+        let ba = Recorder::enabled();
+        ba.merge_from(&b);
+        ba.merge_from(&a);
+        let (rab, rba) = (ab.report("m"), ba.report("m"));
+        assert_eq!(rab.counter("c"), Some(8));
+        assert_eq!(rab.counter("c"), rba.counter("c"));
+        assert_eq!(rab.hist("h"), rba.hist("h"));
+        assert_eq!(rab.span_nanos("x"), None);
+    }
+
+    #[test]
+    fn merge_from_disabled_sides_is_a_noop() {
+        let target = Recorder::enabled();
+        target.add("c", 1);
+        target.merge_from(Recorder::noop());
+        assert_eq!(target.counter_value("c"), Some(1));
+        let noop = Recorder::disabled();
+        let busy = Recorder::enabled();
+        busy.add("c", 9);
+        noop.merge_from(&busy);
+        assert_eq!(noop.counter_value("c"), None);
+    }
+
+    #[test]
+    fn merge_from_carries_series_drop_accounting_once() {
+        // A child that decimated its series must not double-report the
+        // dropped points after merging.
+        let child = Recorder::enabled();
+        for i in 0..(2 * SERIES_CAP) {
+            child.push("s", i as f64);
+        }
+        let child_dropped = child
+            .report("c")
+            .counter("obs.series_dropped_points")
+            .unwrap_or(0);
+        assert!(child_dropped > 0);
+        let target = Recorder::enabled();
+        target.merge_from(&child);
+        let merged = target.report("t");
+        let merged_dropped = merged.counter("obs.series_dropped_points").unwrap_or(0);
+        let retained = merged.series("s").map_or(0, <[f64]>::len);
+        assert_eq!(merged_dropped as usize + retained, 2 * SERIES_CAP);
     }
 
     #[test]

@@ -68,6 +68,57 @@ fn sample_value(v: f64) -> String {
     }
 }
 
+/// Splits a metric name shaped `base{k=v,...}` into its base name and
+/// label pairs, so recorders can emit labeled metrics (e.g.
+/// `serve.request_seconds{endpoint=dl,cache=hit}`) through the
+/// plain-string `Recorder` API. Returns `None` — the whole name is
+/// treated as one opaque `name` label — unless the shape is exact: a
+/// single trailing `{...}` group on a non-empty base, every key a
+/// valid, non-reserved (`name`/`le`/`span`), non-duplicate label name,
+/// and every value non-empty and free of characters that would collide
+/// with the rendered label syntax.
+fn split_labeled_name(name: &str) -> Option<(&str, Vec<(&str, &str)>)> {
+    let open = name.find('{')?;
+    if !name.ends_with('}') || open == 0 {
+        return None;
+    }
+    let base = &name[..open];
+    let body = &name[open + 1..name.len() - 1];
+    if body.is_empty() || body.contains(['{', '}']) {
+        return None;
+    }
+    let mut pairs: Vec<(&str, &str)> = Vec::new();
+    for part in body.split(',') {
+        let (k, v) = part.split_once('=')?;
+        if !is_valid_label_name(k) || matches!(k, "name" | "le" | "span") {
+            return None;
+        }
+        if v.is_empty() || v.contains(['"', '\\', '\n', '=', ',']) {
+            return None;
+        }
+        if pairs.iter().any(|&(pk, _)| pk == k) {
+            return None;
+        }
+        pairs.push((k, v));
+    }
+    Some((base, pairs))
+}
+
+/// The rendered label body for a (possibly `{k=v}`-labeled) metric
+/// name: `name="base"` plus one label per embedded pair.
+fn name_labels(name: &str) -> String {
+    match split_labeled_name(name) {
+        Some((base, pairs)) => {
+            let mut out = format!("name=\"{}\"", escape_label(base));
+            for (k, v) in pairs {
+                out.push_str(&format!(",{k}=\"{}\"", escape_label(v)));
+            }
+            out
+        }
+        None => format!("name=\"{}\"", escape_label(name)),
+    }
+}
+
 /// Renders `report` as OpenMetrics text (see the module docs for the
 /// family schema).
 pub(crate) fn render(report: &RunReport) -> String {
@@ -94,18 +145,15 @@ pub(crate) fn render(report: &RunReport) -> String {
     if !report.counters.is_empty() {
         out.push_str("# TYPE dlp_counter counter\n");
         for (n, v) in &report.counters {
-            out.push_str(&format!(
-                "dlp_counter_total{{name=\"{}\"}} {v}\n",
-                escape_label(n)
-            ));
+            out.push_str(&format!("dlp_counter_total{{{}}} {v}\n", name_labels(n)));
         }
     }
     if !report.gauges.is_empty() {
         out.push_str("# TYPE dlp_gauge gauge\n");
         for (n, v) in &report.gauges {
             out.push_str(&format!(
-                "dlp_gauge{{name=\"{}\"}} {}\n",
-                escape_label(n),
+                "dlp_gauge{{{}}} {}\n",
+                name_labels(n),
                 sample_value(*v)
             ));
         }
@@ -114,8 +162,8 @@ pub(crate) fn render(report: &RunReport) -> String {
         out.push_str("# TYPE dlp_series_points gauge\n");
         for (n, vs) in &report.series {
             out.push_str(&format!(
-                "dlp_series_points{{name=\"{}\"}} {}\n",
-                escape_label(n),
+                "dlp_series_points{{{}}} {}\n",
+                name_labels(n),
                 vs.len()
             ));
         }
@@ -123,22 +171,22 @@ pub(crate) fn render(report: &RunReport) -> String {
     if !report.hists.is_empty() {
         out.push_str("# TYPE dlp_hist histogram\n");
         for h in &report.hists {
-            let name = escape_label(&h.name);
+            let labels = name_labels(&h.name);
             let mut cum = 0u64;
             for &(bound, count) in &h.buckets {
                 cum += count;
                 out.push_str(&format!(
-                    "dlp_hist_bucket{{name=\"{name}\",le=\"{}\"}} {cum}\n",
+                    "dlp_hist_bucket{{{labels},le=\"{}\"}} {cum}\n",
                     sample_value(bound)
                 ));
             }
             out.push_str(&format!(
-                "dlp_hist_bucket{{name=\"{name}\",le=\"+Inf\"}} {}\n",
+                "dlp_hist_bucket{{{labels},le=\"+Inf\"}} {}\n",
                 h.count
             ));
-            out.push_str(&format!("dlp_hist_count{{name=\"{name}\"}} {}\n", h.count));
+            out.push_str(&format!("dlp_hist_count{{{labels}}} {}\n", h.count));
             out.push_str(&format!(
-                "dlp_hist_sum{{name=\"{name}\"}} {}\n",
+                "dlp_hist_sum{{{labels}}} {}\n",
                 sample_value(h.sum)
             ));
         }
@@ -503,6 +551,58 @@ mod tests {
         let text = Recorder::enabled().report("empty").to_openmetrics();
         assert_eq!(text, "# EOF\n");
         validate(&text).expect("bare EOF is a valid exposition");
+    }
+
+    #[test]
+    fn embedded_labels_become_real_labels() {
+        let obs = Recorder::enabled();
+        obs.add("serve.requests{endpoint=dl,cache=hit}", 3);
+        obs.observe("serve.request_seconds{endpoint=dl,cache=miss}", 0.25);
+        obs.observe("serve.request_seconds{endpoint=dl,cache=hit}", 0.01);
+        obs.gauge("load{zone=a}", 1.5);
+        let text = obs.report("labeled").to_openmetrics();
+        validate(&text).expect("labeled exposition validates");
+        assert!(text.contains(
+            "dlp_counter_total{name=\"serve.requests\",endpoint=\"dl\",cache=\"hit\"} 3"
+        ));
+        assert!(text.contains(
+            "dlp_hist_count{name=\"serve.request_seconds\",endpoint=\"dl\",cache=\"miss\"} 1"
+        ));
+        assert!(text
+            .contains("dlp_hist_bucket{name=\"serve.request_seconds\",endpoint=\"dl\",cache=\"hit\",le=\"+Inf\"} 1"));
+        assert!(text.contains("dlp_gauge{name=\"load\",zone=\"a\"} 1.5"));
+    }
+
+    #[test]
+    fn malformed_embedded_labels_stay_opaque() {
+        // Names that merely resemble the labeled shape must round-trip
+        // as one escaped `name` value, not as broken label syntax.
+        let cases = [
+            "plain{",             // unterminated
+            "{endpoint=dl}",      // empty base
+            "x{}",                // empty body
+            "x{endpoint}",        // no value
+            "x{le=1}",            // reserved key
+            "x{name=y}",          // reserved key
+            "x{a=1,a=2}",         // duplicate key
+            "x{9bad=1}",          // invalid key
+            "x{a=}",              // empty value
+            "x{a=b\"c}",          // quote in value
+            "x{a=b}{c=d}",        // second group
+        ];
+        let obs = Recorder::enabled();
+        for (i, name) in cases.iter().enumerate() {
+            obs.add(name, i as u64 + 1);
+            obs.observe(&format!("h.{name}"), 1.0);
+        }
+        let text = obs.report("opaque").to_openmetrics();
+        validate(&text).expect("opaque fallback still validates");
+        for name in cases {
+            assert!(
+                text.contains(&format!("name=\"{}\"", escape_label(name))),
+                "{name} should render as an opaque name label"
+            );
+        }
     }
 
     #[test]

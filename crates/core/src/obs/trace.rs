@@ -1,0 +1,808 @@
+//! Request-scoped tracing: per-request span trees, a deterministic
+//! trace-id derivation, and the bounded flight recorder behind
+//! `dlp-serve`'s `/v1/traces`.
+//!
+//! A [`Recorder`] aggregates spans *by name* — perfect for a whole run,
+//! useless for answering "where did request #4173 spend its time?".
+//! A [`TraceContext`] complements it: one per request, carrying
+//!
+//! * a **trace id** derived with [`derive_trace_id`] from the request
+//!   target and a per-service sequence number — stable across worker
+//!   counts (no clocks, no randomness), unique within a service;
+//! * a **span tree** (parent/child ids, offsets from the request start)
+//!   built by RAII guards from [`TraceContext::span`];
+//! * a private child [`Recorder`] ([`TraceContext::obs`]) the request's
+//!   pipeline stages record into, so concurrent requests never
+//!   contaminate each other's counters.
+//!
+//! [`TraceContext::finish`] closes the tree, adopts the child
+//! recorder's stage-span aggregates as tree leaves (under the
+//! `recompute` node when one exists — that is where pipeline stages
+//! run), and returns a [`TraceRecord`] plus the child recorder. The
+//! caller merges the child into the service-global recorder with
+//! [`Recorder::merge_from`]; because counters add and histogram
+//! buckets add, the merged totals equal what direct recording would
+//! have produced, for any completion order — the property that keeps
+//! `/metrics` thread-count-invariant.
+//!
+//! The [`FlightRecorder`] retains completed [`TraceRecord`]s under a
+//! fixed capacity: the K slowest successes plus the K most recent
+//! errored requests, O(capacity) memory no matter how long the service
+//! runs.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use super::{Json, Recorder};
+use crate::ckpt::KeyHasher;
+
+/// Derives a request's trace id from its raw target and the service's
+/// request sequence number. Deterministic — two services replaying the
+/// same request sequence derive the same ids regardless of
+/// `DLP_THREADS` — and unique within a service because `seq` is.
+pub fn derive_trace_id(target: &str, seq: u64) -> u64 {
+    let mut h = KeyHasher::new();
+    h.write_bytes(b"serve.trace");
+    h.write_bytes(target.as_bytes());
+    h.write_u64(seq);
+    h.finish()
+}
+
+/// The canonical rendering of a trace id: 16 lowercase hex digits.
+pub fn trace_id_hex(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// One closed span in a finished trace: its id, parent, and offsets
+/// from the request start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpanEntry {
+    /// Span id — the index of the node in creation order; the root is 0.
+    pub id: u64,
+    /// Parent span id; `None` only for the root `request` span.
+    pub parent: Option<u64>,
+    /// Span name (`route`, `cache.probe`, `recompute`, …).
+    pub name: String,
+    /// Nanoseconds from the request start to the span start.
+    pub start_nanos: u64,
+    /// The span's duration in nanoseconds.
+    pub nanos: u64,
+}
+
+struct TraceNode {
+    name: String,
+    parent: Option<u64>,
+    start_nanos: u64,
+    /// `None` while the span is still open.
+    nanos: Option<u64>,
+}
+
+struct TraceState {
+    nodes: Vec<TraceNode>,
+    /// Indices of currently-open nodes, innermost last. New spans become
+    /// children of the top.
+    stack: Vec<usize>,
+}
+
+/// What a request resolved to, for [`TraceContext::finish`].
+#[derive(Debug, Clone)]
+pub struct TraceOutcome<'a> {
+    /// Stable endpoint label (`dl`, `metrics`, `invalid`, …).
+    pub endpoint: &'a str,
+    /// The raw request target.
+    pub target: &'a str,
+    /// The `circuit` query parameter, when present.
+    pub circuit: Option<&'a str>,
+    /// The `dist` query parameter, when present.
+    pub dist: Option<&'a str>,
+    /// The HTTP status answered.
+    pub status: u16,
+    /// Cache disposition: `hit`, `miss`, `corrupt`, or `none`.
+    pub cache: &'a str,
+    /// Response body size in bytes.
+    pub bytes: u64,
+    /// The error message, for non-2xx outcomes.
+    pub error: Option<String>,
+}
+
+/// Per-request trace state: the span tree under construction plus the
+/// request's private [`Recorder`].
+///
+/// `Sync`: the tree sits behind a mutex, so a miss that fans out to
+/// worker threads may record concurrently.
+#[derive(Debug)]
+pub struct TraceContext {
+    trace_id: u64,
+    seq: u64,
+    start: Instant,
+    obs: Recorder,
+    state: Mutex<TraceState>,
+}
+
+impl std::fmt::Debug for TraceState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceState")
+            .field("nodes", &self.nodes.len())
+            .field("open", &self.stack.len())
+            .finish()
+    }
+}
+
+fn lock_or_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn elapsed_nanos(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+impl TraceContext {
+    /// Opens a trace: the root `request` span starts now.
+    pub fn new(trace_id: u64, seq: u64) -> TraceContext {
+        TraceContext {
+            trace_id,
+            seq,
+            start: Instant::now(),
+            obs: Recorder::enabled(),
+            state: Mutex::new(TraceState {
+                nodes: vec![TraceNode {
+                    name: "request".to_string(),
+                    parent: None,
+                    start_nanos: 0,
+                    nanos: None,
+                }],
+                stack: vec![0],
+            }),
+        }
+    }
+
+    /// This request's trace id.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// The request's private recorder. Pipeline stages record here;
+    /// the caller merges it into the global recorder after
+    /// [`finish`](Self::finish).
+    pub fn obs(&self) -> &Recorder {
+        &self.obs
+    }
+
+    /// Opens a named child span of the innermost open span. The guard
+    /// closes it on drop, recording both the tree node and the
+    /// name-aggregated span in the request recorder.
+    pub fn span(&self, name: &'static str) -> TraceSpan<'_> {
+        let start_nanos = elapsed_nanos(self.start);
+        let idx = {
+            let mut state = lock_or_recover(&self.state);
+            let parent = state.stack.last().map(|&i| i as u64);
+            let idx = state.nodes.len();
+            state.nodes.push(TraceNode {
+                name: name.to_string(),
+                parent,
+                start_nanos,
+                nanos: None,
+            });
+            state.stack.push(idx);
+            idx
+        };
+        TraceSpan {
+            ctx: self,
+            idx,
+            _obs: self.obs.span(name),
+        }
+    }
+
+    /// Attaches an already-measured span (e.g. HTTP parsing, timed
+    /// before the context existed) as a closed child of the innermost
+    /// open span, ending now.
+    pub fn attach(&self, name: &str, nanos: u64) {
+        let end = elapsed_nanos(self.start);
+        let mut state = lock_or_recover(&self.state);
+        let parent = state.stack.last().map(|&i| i as u64);
+        state.nodes.push(TraceNode {
+            name: name.to_string(),
+            parent,
+            start_nanos: end.saturating_sub(nanos),
+            nanos: Some(nanos),
+        });
+        drop(state);
+        self.obs.add_span(name, nanos);
+    }
+
+    /// Closes the trace: ends every still-open span (including the
+    /// root), adopts the recorder's stage-span aggregates as leaves of
+    /// the `recompute` node (or of the root when the request never
+    /// recomputed), and returns the finished [`TraceRecord`] together
+    /// with the request recorder for the caller to merge globally.
+    ///
+    /// Adopted leaves carry aggregate durations clamped to their
+    /// parent's duration, so the tree invariant (child nanos ≤ parent
+    /// nanos) holds even for stages whose executions overlap on worker
+    /// threads.
+    pub fn finish(self, outcome: &TraceOutcome<'_>) -> (TraceRecord, Recorder) {
+        let total = elapsed_nanos(self.start);
+        let state = self
+            .state
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut nodes = state.nodes;
+        for node in &mut nodes {
+            if node.nanos.is_none() {
+                node.nanos = Some(total.saturating_sub(node.start_nanos));
+            }
+        }
+        // Contain every child in its parent. Attached intervals can be
+        // timed *before* the context existed (the transport's HTTP
+        // parse), so their raw durations may exceed the root's; parents
+        // precede children in creation order, so one forward pass
+        // clamps against already-clamped parents.
+        for i in 0..nodes.len() {
+            let Some(parent) = nodes[i].parent else {
+                continue;
+            };
+            let parent = parent as usize;
+            let p_start = nodes[parent].start_nanos;
+            let p_end = p_start.saturating_add(nodes[parent].nanos.unwrap_or(0));
+            let start = nodes[i].start_nanos.clamp(p_start, p_end);
+            let nanos = nodes[i]
+                .nanos
+                .unwrap_or(0)
+                .min(p_end.saturating_sub(start));
+            nodes[i].start_nanos = start;
+            nodes[i].nanos = Some(nanos);
+        }
+        let tree_names: BTreeSet<String> = nodes.iter().map(|n| n.name.clone()).collect();
+        let under = nodes
+            .iter()
+            .position(|n| n.name == "recompute")
+            .unwrap_or(0);
+        let under_parent = under as u64;
+        let under_start = nodes[under].start_nanos;
+        let under_nanos = nodes[under].nanos.unwrap_or(total);
+        let report = self.obs.report("");
+        for span in &report.spans {
+            if tree_names.contains(&span.name) {
+                continue;
+            }
+            nodes.push(TraceNode {
+                name: span.name.clone(),
+                parent: Some(under_parent),
+                start_nanos: under_start,
+                nanos: Some(span.nanos.min(under_nanos)),
+            });
+        }
+        let spans = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| TraceSpanEntry {
+                id: i as u64,
+                parent: n.parent,
+                name: n.name.clone(),
+                start_nanos: n.start_nanos,
+                nanos: n.nanos.unwrap_or(0),
+            })
+            .collect();
+        let record = TraceRecord {
+            trace_id: self.trace_id,
+            seq: self.seq,
+            endpoint: outcome.endpoint.to_string(),
+            target: outcome.target.to_string(),
+            circuit: outcome.circuit.map(str::to_string),
+            dist: outcome.dist.map(str::to_string),
+            status: outcome.status,
+            cache: outcome.cache.to_string(),
+            bytes: outcome.bytes,
+            nanos: total,
+            error: outcome.error.clone(),
+            spans,
+            counters: report.counters,
+        };
+        (record, self.obs)
+    }
+}
+
+/// RAII guard from [`TraceContext::span`]; closes the tree node (and
+/// the recorder aggregate, via the inner [`super::Span`]) on drop.
+#[derive(Debug)]
+pub struct TraceSpan<'a> {
+    ctx: &'a TraceContext,
+    idx: usize,
+    _obs: super::Span<'a>,
+}
+
+impl Drop for TraceSpan<'_> {
+    fn drop(&mut self) {
+        let end = elapsed_nanos(self.ctx.start);
+        let mut state = lock_or_recover(&self.ctx.state);
+        if let Some(node) = state.nodes.get_mut(self.idx) {
+            node.nanos = Some(end.saturating_sub(node.start_nanos));
+        }
+        if let Some(pos) = state.stack.iter().rposition(|&i| i == self.idx) {
+            state.stack.remove(pos);
+        }
+    }
+}
+
+/// One finished request trace: identity, outcome, the span tree, and
+/// the request's counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// The trace id (see [`derive_trace_id`]).
+    pub trace_id: u64,
+    /// The service-local request sequence number.
+    pub seq: u64,
+    /// Stable endpoint label.
+    pub endpoint: String,
+    /// Raw request target.
+    pub target: String,
+    /// The `circuit` query parameter, when present.
+    pub circuit: Option<String>,
+    /// The `dist` query parameter, when present.
+    pub dist: Option<String>,
+    /// HTTP status answered.
+    pub status: u16,
+    /// Cache disposition: `hit`, `miss`, `corrupt`, or `none`.
+    pub cache: String,
+    /// Response body bytes.
+    pub bytes: u64,
+    /// Request wall time in nanoseconds (the root span's duration).
+    pub nanos: u64,
+    /// Error message for non-2xx outcomes.
+    pub error: Option<String>,
+    /// The span tree, root first, ids dense in creation order.
+    pub spans: Vec<TraceSpanEntry>,
+    /// The request recorder's counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl TraceRecord {
+    /// Total nanoseconds across spans with this name (0 when absent).
+    pub fn span_nanos(&self, name: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.nanos)
+            .sum()
+    }
+
+    /// The named counter's value (0 when never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    fn opt_str(v: &Option<String>) -> Json {
+        match v {
+            Some(s) => Json::String(s.clone()),
+            None => Json::Null,
+        }
+    }
+
+    /// The full trace as JSON: identity, outcome, the span tree, and
+    /// the per-request counters — the `/v1/traces` element shape.
+    pub fn to_json(&self) -> Json {
+        let spans = self
+            .spans
+            .iter()
+            .map(|s| {
+                Json::Object(vec![
+                    ("id".to_string(), Json::Number(s.id as f64)),
+                    (
+                        "parent".to_string(),
+                        s.parent.map_or(Json::Null, |p| Json::Number(p as f64)),
+                    ),
+                    ("name".to_string(), Json::String(s.name.clone())),
+                    (
+                        "start_nanos".to_string(),
+                        Json::Number(s.start_nanos as f64),
+                    ),
+                    ("nanos".to_string(), Json::Number(s.nanos as f64)),
+                ])
+            })
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .map(|(n, v)| (n.clone(), Json::Number(*v as f64)))
+            .collect();
+        Json::Object(vec![
+            (
+                "trace_id".to_string(),
+                Json::String(trace_id_hex(self.trace_id)),
+            ),
+            ("seq".to_string(), Json::Number(self.seq as f64)),
+            ("endpoint".to_string(), Json::String(self.endpoint.clone())),
+            ("target".to_string(), Json::String(self.target.clone())),
+            ("circuit".to_string(), Self::opt_str(&self.circuit)),
+            ("dist".to_string(), Self::opt_str(&self.dist)),
+            ("status".to_string(), Json::Number(f64::from(self.status))),
+            ("cache".to_string(), Json::String(self.cache.clone())),
+            ("bytes".to_string(), Json::Number(self.bytes as f64)),
+            ("nanos".to_string(), Json::Number(self.nanos as f64)),
+            ("error".to_string(), Self::opt_str(&self.error)),
+            ("spans".to_string(), Json::Array(spans)),
+            ("counters".to_string(), Json::Object(counters)),
+        ])
+    }
+
+    /// The compact one-line shape of the structured access log:
+    /// identity and outcome plus per-stage nanosecond totals (span
+    /// durations summed by name, the root excluded — its wall time is
+    /// the `nanos` field).
+    pub fn to_access_json(&self) -> Json {
+        let mut stages: BTreeMap<&str, u64> = BTreeMap::new();
+        for s in &self.spans {
+            if s.parent.is_some() {
+                let slot = stages.entry(s.name.as_str()).or_insert(0);
+                *slot = slot.saturating_add(s.nanos);
+            }
+        }
+        Json::Object(vec![
+            (
+                "trace_id".to_string(),
+                Json::String(trace_id_hex(self.trace_id)),
+            ),
+            ("endpoint".to_string(), Json::String(self.endpoint.clone())),
+            ("target".to_string(), Json::String(self.target.clone())),
+            ("circuit".to_string(), Self::opt_str(&self.circuit)),
+            ("dist".to_string(), Self::opt_str(&self.dist)),
+            ("cache".to_string(), Json::String(self.cache.clone())),
+            ("status".to_string(), Json::Number(f64::from(self.status))),
+            ("bytes".to_string(), Json::Number(self.bytes as f64)),
+            ("nanos".to_string(), Json::Number(self.nanos as f64)),
+            ("error".to_string(), Self::opt_str(&self.error)),
+            (
+                "stages".to_string(),
+                Json::Object(
+                    stages
+                        .into_iter()
+                        .map(|(n, v)| (n.to_string(), Json::Number(v as f64)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[derive(Default)]
+struct FlightState {
+    /// Successful requests, unordered; bounded at `capacity` by
+    /// replace-the-fastest.
+    slowest: Vec<TraceRecord>,
+    /// Errored requests (status >= 400), oldest first; bounded at
+    /// `capacity` by dropping the oldest.
+    errors: VecDeque<TraceRecord>,
+    recorded: u64,
+    dropped: u64,
+}
+
+/// A bounded store of finished [`TraceRecord`]s: retains the
+/// `capacity` slowest successful requests plus the `capacity` most
+/// recent errored ones — the requests worth looking at after the fact
+/// — in O(capacity) memory. Capacity 0 disables recording entirely.
+pub struct FlightRecorder {
+    capacity: usize,
+    state: Mutex<FlightState>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = lock_or_recover(&self.state);
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity)
+            .field("recorded", &state.recorded)
+            .field("retained", &(state.slowest.len() + state.errors.len()))
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// A flight recorder retaining up to `capacity` slow traces plus
+    /// `capacity` errored traces.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            capacity,
+            state: Mutex::new(FlightState::default()),
+        }
+    }
+
+    /// A recorder that retains nothing ([`record`](Self::record) is a
+    /// no-op).
+    pub fn disabled() -> FlightRecorder {
+        FlightRecorder::new(0)
+    }
+
+    /// Whether this recorder retains anything.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many traces are currently retained.
+    pub fn len(&self) -> usize {
+        let state = lock_or_recover(&self.state);
+        state.slowest.len() + state.errors.len()
+    }
+
+    /// Whether no traces are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Offers a finished trace. Errored requests (status >= 400) go to
+    /// the error ring (oldest evicted at capacity); successes displace
+    /// the fastest retained success once the success list is full.
+    pub fn record(&self, record: TraceRecord) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut state = lock_or_recover(&self.state);
+        state.recorded += 1;
+        if record.status >= 400 {
+            state.errors.push_back(record);
+            while state.errors.len() > self.capacity {
+                state.errors.pop_front();
+                state.dropped += 1;
+            }
+            return;
+        }
+        if state.slowest.len() < self.capacity {
+            state.slowest.push(record);
+            return;
+        }
+        let fastest = state
+            .slowest
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| r.nanos)
+            .map(|(i, _)| i);
+        if let Some(i) = fastest {
+            if state.slowest[i].nanos < record.nanos {
+                state.slowest[i] = record;
+            }
+        }
+        // Exactly one trace was dropped: either the displaced retained
+        // one or the new one.
+        state.dropped += 1;
+    }
+
+    /// Every retained trace, sorted by request sequence number.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        let state = lock_or_recover(&self.state);
+        let mut out: Vec<TraceRecord> = state
+            .slowest
+            .iter()
+            .chain(state.errors.iter())
+            .cloned()
+            .collect();
+        out.sort_by_key(|r| r.seq);
+        out
+    }
+
+    /// The `/v1/traces` document: capacity, totals, and the retained
+    /// traces (sorted by sequence number, truncated to `limit`).
+    pub fn dump(&self, limit: Option<usize>) -> Json {
+        let (recorded, dropped) = {
+            let state = lock_or_recover(&self.state);
+            (state.recorded, state.dropped)
+        };
+        let mut traces = self.snapshot();
+        if let Some(limit) = limit {
+            traces.truncate(limit);
+        }
+        Json::Object(vec![
+            (
+                "name".to_string(),
+                Json::String("serve.traces".to_string()),
+            ),
+            ("capacity".to_string(), Json::Number(self.capacity as f64)),
+            ("recorded".to_string(), Json::Number(recorded as f64)),
+            ("dropped".to_string(), Json::Number(dropped as f64)),
+            (
+                "traces".to_string(),
+                Json::Array(traces.iter().map(TraceRecord::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(status: u16) -> TraceOutcome<'static> {
+        TraceOutcome {
+            endpoint: "dl",
+            target: "/v1/dl?circuit=c17",
+            circuit: Some("c17"),
+            dist: None,
+            status,
+            cache: "miss",
+            bytes: 42,
+            error: None,
+        }
+    }
+
+    fn record_with(seq: u64, status: u16, nanos: u64) -> TraceRecord {
+        TraceRecord {
+            trace_id: derive_trace_id("/t", seq),
+            seq,
+            endpoint: "dl".to_string(),
+            target: "/t".to_string(),
+            circuit: None,
+            dist: None,
+            status,
+            cache: "none".to_string(),
+            bytes: 0,
+            nanos,
+            error: None,
+            spans: Vec::new(),
+            counters: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn trace_ids_are_deterministic_and_separate() {
+        assert_eq!(derive_trace_id("/a", 1), derive_trace_id("/a", 1));
+        assert_ne!(derive_trace_id("/a", 1), derive_trace_id("/a", 2));
+        assert_ne!(derive_trace_id("/a", 1), derive_trace_id("/b", 1));
+        assert_eq!(trace_id_hex(0xab), "00000000000000ab");
+    }
+
+    #[test]
+    fn span_tree_nests_with_coherent_offsets() {
+        let ctx = TraceContext::new(7, 0);
+        {
+            let _route = ctx.span("route");
+        }
+        {
+            let _outer = ctx.span("recompute");
+            let _inner = ctx.span("sim");
+        }
+        ctx.attach("http.parse", 5);
+        let (record, _obs) = ctx.finish(&outcome(200));
+        assert_eq!(record.trace_id, 7);
+        assert_eq!(record.spans[0].name, "request");
+        assert_eq!(record.spans[0].parent, None);
+        let by_name = |name: &str| {
+            record
+                .spans
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("span {name}"))
+        };
+        // route and recompute are children of the root; sim nests
+        // inside recompute.
+        assert_eq!(by_name("route").parent, Some(0));
+        let recompute = by_name("recompute");
+        assert_eq!(recompute.parent, Some(0));
+        let sim = by_name("sim");
+        assert_eq!(sim.parent, Some(recompute.id));
+        assert!(sim.start_nanos >= recompute.start_nanos);
+        assert!(sim.nanos <= recompute.nanos);
+        assert!(recompute.nanos <= record.nanos);
+        // The attached span is a closed child of the root.
+        let parse = by_name("http.parse");
+        assert_eq!(parse.parent, Some(0));
+        assert_eq!(parse.nanos, 5);
+        // Tree spans also fed the request recorder's aggregates.
+        assert_eq!(record.counter("nope"), 0);
+        assert!(record.span_nanos("recompute") >= record.span_nanos("sim"));
+    }
+
+    #[test]
+    fn finish_adopts_recorder_stage_spans_under_recompute() {
+        let ctx = TraceContext::new(1, 0);
+        {
+            let _r = ctx.span("recompute");
+            // A pipeline stage that only the aggregate recorder saw.
+            ctx.obs().add_span("extract", 3);
+        }
+        let (record, _obs) = ctx.finish(&outcome(200));
+        let recompute = record
+            .spans
+            .iter()
+            .find(|s| s.name == "recompute")
+            .expect("recompute span");
+        let extract = record
+            .spans
+            .iter()
+            .find(|s| s.name == "extract")
+            .expect("adopted extract span");
+        assert_eq!(extract.parent, Some(recompute.id));
+        assert_eq!(extract.start_nanos, recompute.start_nanos);
+        assert!(extract.nanos <= recompute.nanos, "clamped to the parent");
+    }
+
+    #[test]
+    fn finish_closes_spans_left_open() {
+        let ctx = TraceContext::new(2, 5);
+        let guard = ctx.span("route");
+        std::mem::forget(guard);
+        let (record, _obs) = ctx.finish(&outcome(200));
+        let route = record.spans.iter().find(|s| s.name == "route").expect("route");
+        assert!(route.nanos <= record.nanos);
+        assert_eq!(record.seq, 5);
+    }
+
+    #[test]
+    fn record_json_renders_and_parses() {
+        let ctx = TraceContext::new(0xfeed, 3);
+        {
+            let _s = ctx.span("route");
+        }
+        let (record, _obs) = ctx.finish(&outcome(404));
+        let text = crate::ckpt::render(&record.to_json());
+        let doc = Json::parse(&text).expect("trace json parses");
+        assert_eq!(
+            doc.get("trace_id").and_then(Json::as_str),
+            Some("000000000000feed")
+        );
+        assert_eq!(doc.get("status").and_then(Json::as_f64), Some(404.0));
+        assert_eq!(doc.get("dist"), Some(&Json::Null));
+        let spans = doc.get("spans").and_then(Json::as_array).expect("spans");
+        assert_eq!(spans.len(), record.spans.len());
+        // The access-log line parses too and aggregates stage nanos.
+        let line = crate::ckpt::render(&record.to_access_json());
+        let doc = Json::parse(&line).expect("access line parses");
+        assert!(doc
+            .get("stages")
+            .and_then(|s| s.get("route"))
+            .and_then(Json::as_f64)
+            .is_some());
+    }
+
+    #[test]
+    fn flight_recorder_retains_slowest_and_recent_errors() {
+        let flight = FlightRecorder::new(2);
+        assert!(flight.is_enabled());
+        for (seq, status, nanos) in [
+            (0, 200, 5),
+            (1, 200, 10),
+            (2, 200, 1),  // fastest: dropped
+            (3, 200, 7),  // displaces the 5ns trace
+            (4, 404, 1),
+            (5, 500, 1),
+            (6, 400, 1),  // evicts the oldest error (seq 4)
+        ] {
+            flight.record(record_with(seq, status, nanos));
+        }
+        let kept: Vec<u64> = flight.snapshot().iter().map(|r| r.seq).collect();
+        assert_eq!(kept, vec![1, 3, 5, 6]);
+        let dump = flight.dump(None);
+        assert_eq!(dump.get("recorded").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(dump.get("dropped").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(
+            dump.get("traces").and_then(Json::as_array).map(<[Json]>::len),
+            Some(4)
+        );
+        // A limit truncates the dump but not the store.
+        let limited = flight.dump(Some(1));
+        assert_eq!(
+            limited.get("traces").and_then(Json::as_array).map(<[Json]>::len),
+            Some(1)
+        );
+        assert_eq!(flight.len(), 4);
+    }
+
+    #[test]
+    fn disabled_flight_recorder_records_nothing() {
+        let flight = FlightRecorder::disabled();
+        assert!(!flight.is_enabled());
+        flight.record(record_with(0, 200, 99));
+        flight.record(record_with(1, 500, 99));
+        assert!(flight.is_empty());
+        assert_eq!(
+            flight.dump(None).get("traces").and_then(Json::as_array),
+            Some(&[][..])
+        );
+    }
+}

@@ -22,9 +22,12 @@ use dlp_geometry::Layer;
 use dlp_layout::chip::{ChipLayout, ElecNet};
 use dlp_layout::tech::Technology;
 use dlp_ndetect::ckpt::NDetectCheckpoint;
+use dlp_serve::accesslog::{AccessLog, AccessLogConfig};
 use dlp_serve::cache::ArtifactCache;
 use dlp_serve::http::parse_request;
-use dlp_serve::service::{fallout_param, netlist_for, query_params, route};
+use dlp_serve::service::{
+    fallout_param, netlist_for, query_params, route, traces_limit_param, Service, ServiceConfig,
+};
 use dlp_serve::ServeError;
 use dlp_yield::Fallout;
 use dlp_sim::ckpt::SimCheckpoint;
@@ -473,6 +476,30 @@ pub fn corpus() -> Vec<Case> {
             Serve,
             "a sealed response artifact defaced on disk",
             serve_corrupted_cache_envelope
+        ),
+        case!(
+            "serve-traces-limit-garbage",
+            Serve,
+            "a /v1/traces limit that is not an integer",
+            serve_traces_limit_garbage
+        ),
+        case!(
+            "serve-traces-limit-oversized",
+            Serve,
+            "a /v1/traces limit far past the supported range",
+            serve_traces_limit_oversized
+        ),
+        case!(
+            "serve-traces-recorder-disabled",
+            Serve,
+            "a trace dump against a zero-capacity flight recorder",
+            serve_traces_recorder_disabled
+        ),
+        case!(
+            "serve-access-log-unwritable",
+            Serve,
+            "an access-log path in a directory that does not exist",
+            serve_access_log_unwritable
         ),
     ]
 }
@@ -1109,4 +1136,46 @@ fn serve_corrupted_cache_envelope() -> Result<(), PipelineError> {
     })();
     let _ = std::fs::remove_dir_all(&dir);
     result
+}
+
+fn serve_traces_limit_garbage() -> Result<(), PipelineError> {
+    traces_limit_param(&query_params(Some("limit=banana")))?;
+    Ok(())
+}
+
+fn serve_traces_limit_oversized() -> Result<(), PipelineError> {
+    traces_limit_param(&query_params(Some("limit=999999999")))?;
+    Ok(())
+}
+
+fn serve_traces_recorder_disabled() -> Result<(), PipelineError> {
+    let dir = std::env::temp_dir().join(format!(
+        "dlp_inject_serve_traces_{}",
+        std::process::id()
+    ));
+    let result = (|| {
+        let service = Service::new(&ServiceConfig {
+            cache_dir: dir.to_string_lossy().into_owned(),
+            threads: ThreadCount::fixed(1).map_err(|e| {
+                PipelineError::new(Stage::Serve, format!("thread count: {e}"))
+            })?,
+            miss_budget_ms: None,
+            flight_capacity: 0,
+            access_log: AccessLogConfig::Off,
+        })
+        .map_err(PipelineError::from)?;
+        service.dump_traces(None).map_err(PipelineError::from)?;
+        Ok(())
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn serve_access_log_unwritable() -> Result<(), PipelineError> {
+    let path = std::env::temp_dir()
+        .join(format!("dlp_inject_no_such_dir_{}", std::process::id()))
+        .join("sub")
+        .join("access.log");
+    AccessLog::open(&AccessLogConfig::Path(path.to_string_lossy().into_owned()))?;
+    Ok(())
 }

@@ -2,22 +2,31 @@
 //!
 //! ```text
 //! dlp-serve [--addr HOST:PORT] [--cache-dir DIR] [--threads N] [--budget-ms MS]
+//!           [--access-log PATH] [--flight-capacity N]
 //! ```
 //!
 //! Binds the address (default `127.0.0.1:7117`; port 0 picks an
 //! ephemeral port), prints the bound address on stdout, and serves
 //! until killed. `--budget-ms` caps the wall clock one cache miss may
 //! spend in the pipeline; over budget answers `503`.
+//!
+//! The access log defaults to stderr (one canonical-JSON line per
+//! request); `--access-log PATH` appends to a file instead, and an
+//! unopenable path is a startup error, not a silent drop.
+//! `--flight-capacity N` sizes the slow/error flight recorder behind
+//! `GET /v1/traces` (0 disables it; the endpoint then answers `409`).
 
 use std::process::ExitCode;
 
 use dlp_core::par::ThreadCount;
+use dlp_serve::accesslog::AccessLogConfig;
 use dlp_serve::server::{serve, ServerConfig};
-use dlp_serve::service::ServiceConfig;
+use dlp_serve::service::{ServiceConfig, DEFAULT_FLIGHT_CAPACITY};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: dlp-serve [--addr HOST:PORT] [--cache-dir DIR] [--threads N] [--budget-ms MS]"
+        "usage: dlp-serve [--addr HOST:PORT] [--cache-dir DIR] [--threads N] [--budget-ms MS] \
+         [--access-log PATH] [--flight-capacity N]"
     );
     ExitCode::from(2)
 }
@@ -27,6 +36,8 @@ fn main() -> ExitCode {
     let mut cache_dir = "serve-cache".to_string();
     let mut threads: Option<String> = None;
     let mut budget_ms: Option<u64> = None;
+    let mut access_log = AccessLogConfig::Stderr;
+    let mut flight_capacity = DEFAULT_FLIGHT_CAPACITY;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -41,6 +52,14 @@ fn main() -> ExitCode {
                 Ok(ms) => budget_ms = Some(ms),
                 Err(_) => {
                     eprintln!("dlp-serve: --budget-ms {value:?} is not an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--access-log" => access_log = AccessLogConfig::Path(value),
+            "--flight-capacity" => match value.parse() {
+                Ok(n) => flight_capacity = n,
+                Err(_) => {
+                    eprintln!("dlp-serve: --flight-capacity {value:?} is not an integer");
                     return ExitCode::from(2);
                 }
             },
@@ -62,6 +81,8 @@ fn main() -> ExitCode {
             cache_dir,
             threads,
             miss_budget_ms: budget_ms,
+            flight_capacity,
+            access_log,
         },
     };
     match serve(&config) {

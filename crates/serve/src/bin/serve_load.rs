@@ -143,6 +143,10 @@ fn run(smoke: bool) -> Result<(), String> {
             cache_dir: cache_dir.to_string_lossy().into_owned(),
             threads,
             miss_budget_ms: None,
+            // Tracing stays ON for the benchmark: the 20x warm-hit gate
+            // below is also the overhead gate for the flight recorder.
+            flight_capacity: dlp_serve::service::DEFAULT_FLIGHT_CAPACITY,
+            access_log: dlp_serve::AccessLogConfig::Off,
         },
     })
     .map_err(|e| e.to_string())?;

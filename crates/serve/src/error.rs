@@ -46,6 +46,9 @@ pub enum ServeError {
     Compute(Box<PipelineError>),
     /// A transport or filesystem error outside the cache.
     Io(std::io::Error),
+    /// A trace dump was requested but the flight recorder is disabled
+    /// (capacity 0).
+    TracingDisabled,
 }
 
 impl ServeError {
@@ -62,6 +65,7 @@ impl ServeError {
                 (404, "Not Found")
             }
             ServeError::MissingParam { .. } | ServeError::BadParam { .. } => (400, "Bad Request"),
+            ServeError::TracingDisabled => (409, "Conflict"),
             ServeError::Compute(e) if e.budget().is_some() => (503, "Service Unavailable"),
             ServeError::Cache(_) | ServeError::Compute(_) | ServeError::Io(_) => {
                 (500, "Internal Server Error")
@@ -89,6 +93,9 @@ impl fmt::Display for ServeError {
             ServeError::Cache(e) => write!(f, "artifact cache failure: {e}"),
             ServeError::Compute(e) => write!(f, "projection failed: {e}"),
             ServeError::Io(e) => write!(f, "i/o failure: {e}"),
+            ServeError::TracingDisabled => {
+                write!(f, "the flight recorder is disabled (capacity 0)")
+            }
         }
     }
 }
@@ -167,6 +174,7 @@ mod tests {
         );
         let compute = ServeError::from(PipelineError::from(ModelError::BadFitData("x")));
         assert_eq!(compute.status().0, 500);
+        assert_eq!(ServeError::TracingDisabled.status().0, 409);
     }
 
     #[test]

@@ -339,6 +339,34 @@ impl Response {
         }
     }
 
+    /// An error response whose JSON body carries the request's trace id
+    /// alongside the message — `{"error": message, "trace_id": "…"}` —
+    /// so a client-observed failure can be correlated with its
+    /// access-log line and flight-recorder entry.
+    pub fn error_traced(
+        status: u16,
+        reason: &'static str,
+        message: &str,
+        trace_id: u64,
+    ) -> Response {
+        let body = dlp_core::ckpt::render(&dlp_core::obs::Json::Object(vec![
+            (
+                "error".to_string(),
+                dlp_core::obs::Json::String(message.to_string()),
+            ),
+            (
+                "trace_id".to_string(),
+                dlp_core::obs::Json::String(dlp_core::obs::trace::trace_id_hex(trace_id)),
+            ),
+        ]));
+        Response {
+            status,
+            reason,
+            content_type: CONTENT_TYPE_JSON,
+            body: body.into_bytes(),
+        }
+    }
+
     /// Serializes status line, headers, and body to the wire.
     ///
     /// # Errors
@@ -474,6 +502,16 @@ mod tests {
         assert_eq!(
             String::from_utf8(resp.body).expect("utf-8"),
             "{\"error\":\"no such endpoint\"}"
+        );
+    }
+
+    #[test]
+    fn traced_error_responses_carry_the_trace_id() {
+        let resp = Response::error_traced(404, "Not Found", "no such endpoint", 0xab);
+        assert_eq!(resp.status, 404);
+        assert_eq!(
+            String::from_utf8(resp.body).expect("utf-8"),
+            "{\"error\":\"no such endpoint\",\"trace_id\":\"00000000000000ab\"}"
         );
     }
 }

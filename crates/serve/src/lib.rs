@@ -19,7 +19,11 @@
 //!   recompute locks; see the module docs for the eviction policy.
 //! - [`service`] — routing, the cache-key contract, and the projection
 //!   handlers; `/metrics` exposes the live [`dlp_core::obs::Recorder`]
-//!   as an OpenMetrics exposition.
+//!   as an OpenMetrics exposition. Every request runs under a
+//!   [`dlp_core::obs::TraceContext`] whose span tree lands in the
+//!   flight recorder behind `/v1/traces`.
+//! - [`accesslog`] — one canonical-JSON line per finished request,
+//!   on stderr or an append-only file.
 //! - [`server`] — a `TcpListener` accept loop feeding a fixed worker
 //!   pool, with clean startup/shutdown for tests and the CI gate.
 //!
@@ -30,17 +34,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accesslog;
 pub mod cache;
 pub mod error;
 pub mod http;
 pub mod server;
 pub mod service;
 
+pub use accesslog::{AccessLog, AccessLogConfig};
 pub use cache::{ArtifactCache, CacheLookup, CACHE_KIND, ENGINE_VERSION};
 pub use error::ServeError;
 pub use http::{parse_request, Request, Response};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use service::{
-    artifact_key, circuit_class, fallout_param, netlist_for, route, CircuitClass, Service,
-    ServiceConfig,
+    artifact_key, circuit_class, endpoint_label, fallout_param, netlist_for, route,
+    traces_limit_param, CircuitClass, Service, ServiceConfig,
 };

@@ -66,9 +66,12 @@ impl ServerHandle {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        self.service.shutdown_dump();
     }
 
-    /// Stops accepting, drains queued connections, joins every thread.
+    /// Stops accepting, drains queued connections, joins every thread,
+    /// then flushes the flight recorder to the access log so slow and
+    /// errored traces survive the shutdown.
     pub fn stop(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // The listener blocks in accept(); a throwaway connection wakes
@@ -80,14 +83,18 @@ impl ServerHandle {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        self.service.shutdown_dump();
     }
 }
 
 fn handle_connection(service: &Service, stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let mut reader = BufReader::new(stream);
-    let response = match http::read_request(&mut reader) {
-        Ok(req) => service.handle(&req),
+    let parse_start = std::time::Instant::now();
+    let parsed = http::read_request(&mut reader);
+    let parse_nanos = u64::try_from(parse_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let response = match parsed {
+        Ok(req) => service.handle_traced(&req, Some(parse_nanos)),
         Err(e) => service.reject(&e),
     };
     let mut stream = reader.into_inner();
@@ -175,6 +182,8 @@ mod tests {
                 cache_dir: dir.to_string_lossy().into_owned(),
                 threads: ThreadCount::fixed(1).expect("one thread"),
                 miss_budget_ms: None,
+                flight_capacity: 8,
+                access_log: crate::accesslog::AccessLogConfig::Off,
             },
         }
     }

@@ -9,6 +9,7 @@
 //! | `/v1/curve`    | `circuit`, `seed`, `dist`, …     | `(k, T, θ, Γ, DL)` coverage samples    |
 //! | `/v1/faults`   | `circuit`                        | extracted-fault report                 |
 //! | `/v1/circuits` | —                                | the served catalogue, with classes     |
+//! | `/v1/traces`   | `limit`                          | flight-recorder dump of slow/error traces |
 //! | `/metrics`     | —                                | OpenMetrics exposition of the service  |
 //! | `/healthz`     | —                                | liveness probe                         |
 //!
@@ -46,16 +47,30 @@
 //! (the fault report is distribution-independent and sealed under the
 //! default key), so the natural exploration order (project, then
 //! inspect the curve) pays for the pipeline once.
+//!
+//! ## Per-request tracing
+//!
+//! Every request runs under a [`TraceContext`] (DESIGN.md §16): a
+//! deterministically derived trace id, a span tree covering
+//! `http.parse` → `route` → `cache.probe` → (miss) `recompute` with
+//! the pipeline's stage spans attached → `seal` → `write`, and a
+//! private recorder whose counters/histograms merge into the service's
+//! global recorder when the request completes — so `/metrics` totals
+//! are identical to direct recording for any completion order. The
+//! finished [`dlp_core::obs::TraceRecord`] goes to the access log and
+//! the flight recorder behind `/v1/traces`; every 4xx/5xx body carries
+//! the trace id for correlation.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use dlp_bench::pipeline::{self, PAPER_YIELD};
 use dlp_circuit::{generators, switch, GateKind, Netlist, NodeId};
 use dlp_core::ckpt::KeyHasher;
-use dlp_core::obs::{Json, Recorder};
+use dlp_core::obs::trace::derive_trace_id;
+use dlp_core::obs::{FlightRecorder, Json, Recorder, TraceContext, TraceOutcome};
 use dlp_core::par::ThreadCount;
 use dlp_core::{PipelineError, Ppm, RunBudget, Stage};
 use dlp_extract::defects::DefectStatistics;
@@ -68,6 +83,7 @@ use dlp_sim::stuck_at;
 use dlp_sim::switchlevel::{DetectionMode, SwitchConfig, SwitchSimulator};
 use dlp_yield::dist::Fallout;
 
+use crate::accesslog::{AccessLog, AccessLogConfig};
 use crate::cache::{ArtifactCache, ENGINE_VERSION};
 use crate::error::ServeError;
 use crate::http::{Request, Response, CONTENT_TYPE_OPENMETRICS};
@@ -118,6 +134,15 @@ pub const SCALE_VECTORS: usize = 256;
 /// requested without an explicit `alpha` (Stapper's mid-range).
 pub const DEFAULT_NB_ALPHA: f64 = 2.0;
 
+/// Default flight-recorder retention: up to this many slowest
+/// successful traces plus this many most-recent errored ones.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 64;
+
+/// Largest accepted `limit` on `/v1/traces` — a dump can never be
+/// asked to render more traces than a generously sized recorder could
+/// retain.
+pub const MAX_TRACES_LIMIT: usize = 4096;
+
 /// The endpoints the router recognizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Endpoint {
@@ -131,10 +156,45 @@ pub enum Endpoint {
     Faults,
     /// `/v1/circuits` — the served catalogue.
     Circuits,
+    /// `/v1/traces` — flight-recorder dump.
+    Traces,
     /// `/metrics` — OpenMetrics exposition.
     Metrics,
     /// `/healthz` — liveness probe.
     Health,
+}
+
+/// The stable label an endpoint carries in metric names, access-log
+/// lines, and trace records.
+pub fn endpoint_label(endpoint: Endpoint) -> &'static str {
+    match endpoint {
+        Endpoint::Dl => "dl",
+        Endpoint::Dln => "dln",
+        Endpoint::Curve => "curve",
+        Endpoint::Faults => "faults",
+        Endpoint::Circuits => "circuits",
+        Endpoint::Traces => "traces",
+        Endpoint::Metrics => "metrics",
+        Endpoint::Health => "healthz",
+    }
+}
+
+/// The cache disposition a finished request reports, read from its
+/// per-request recorder. Corruption wins over a hit (the corrupt
+/// artifact was recomputed), a hit over a miss (sibling sealing can
+/// record a miss counter on a request that was ultimately served from
+/// cache — never the reverse).
+fn cache_label(obs: &Recorder) -> &'static str {
+    let count = |name| obs.counter_value(name).unwrap_or(0);
+    if count("serve.cache.corrupt") > 0 {
+        "corrupt"
+    } else if count("serve.cache.hit") > 0 {
+        "hit"
+    } else if count("serve.cache.miss") > 0 {
+        "miss"
+    } else {
+        "none"
+    }
 }
 
 /// Maps a request path to an endpoint.
@@ -149,6 +209,7 @@ pub fn route(path: &str) -> Result<Endpoint, ServeError> {
         "/v1/curve" => Ok(Endpoint::Curve),
         "/v1/faults" => Ok(Endpoint::Faults),
         "/v1/circuits" => Ok(Endpoint::Circuits),
+        "/v1/traces" => Ok(Endpoint::Traces),
         "/metrics" => Ok(Endpoint::Metrics),
         "/healthz" => Ok(Endpoint::Health),
         _ => Err(ServeError::UnknownEndpoint {
@@ -302,6 +363,35 @@ pub fn fallout_param(params: &[(String, String)]) -> Result<Fallout, ServeError>
     }
 }
 
+/// Parses the optional `limit` query parameter of `/v1/traces`:
+/// `None` means "everything retained".
+///
+/// # Errors
+///
+/// [`ServeError::BadParam`] when `limit` is not an integer, is zero
+/// (an empty dump is never what the caller meant), or exceeds
+/// [`MAX_TRACES_LIMIT`].
+pub fn traces_limit_param(
+    params: &[(String, String)],
+) -> Result<Option<usize>, ServeError> {
+    match params.iter().find(|(k, _)| k == "limit") {
+        None => Ok(None),
+        Some((_, v)) => {
+            let limit: usize = v.parse().map_err(|_| ServeError::BadParam {
+                name: "limit",
+                what: format!("{v:?} is not a base-10 unsigned integer"),
+            })?;
+            if limit == 0 || limit > MAX_TRACES_LIMIT {
+                return Err(ServeError::BadParam {
+                    name: "limit",
+                    what: format!("{limit} is outside the supported range 1..={MAX_TRACES_LIMIT}"),
+                });
+            }
+            Ok(Some(limit))
+        }
+    }
+}
+
 /// The content-addressed key of one response artifact. Public so tests
 /// and the fault-injection corpus can address artifacts directly; see
 /// the module docs for the contract.
@@ -358,6 +448,12 @@ pub struct ServiceConfig {
     /// Wall-clock budget for one miss recompute; `None` is unlimited.
     /// A tripped budget answers `503`, never a partial projection.
     pub miss_budget_ms: Option<u64>,
+    /// Flight-recorder retention (slowest successes + recent errors,
+    /// each bounded here); `0` disables trace retention and makes
+    /// `/v1/traces` answer `409`.
+    pub flight_capacity: usize,
+    /// Where the per-request access log goes.
+    pub access_log: AccessLogConfig,
 }
 
 /// The c432-class template layout + extraction the scale-class members
@@ -376,15 +472,22 @@ pub struct Service {
     threads: ThreadCount,
     miss_budget_ms: Option<u64>,
     in_flight: AtomicI64,
+    /// Monotonic request sequence; with the raw target it derives the
+    /// deterministic trace id.
+    seq: AtomicU64,
+    flight: FlightRecorder,
+    access_log: AccessLog,
     scale: OnceLock<Result<ScaleTemplate, String>>,
 }
 
 impl Service {
-    /// Opens the cache directory and builds a service.
+    /// Opens the cache directory and the access log, and builds a
+    /// service.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Io`] if the cache directory cannot be created.
+    /// [`ServeError::Io`] if the cache directory cannot be created or
+    /// the access-log file cannot be opened.
     pub fn new(config: &ServiceConfig) -> Result<Service, ServeError> {
         Ok(Service {
             cache: ArtifactCache::new(&config.cache_dir)?,
@@ -392,6 +495,9 @@ impl Service {
             threads: config.threads,
             miss_budget_ms: config.miss_budget_ms,
             in_flight: AtomicI64::new(0),
+            seq: AtomicU64::new(0),
+            flight: FlightRecorder::new(config.flight_capacity),
+            access_log: AccessLog::open(&config.access_log)?,
             scale: OnceLock::new(),
         })
     }
@@ -406,73 +512,185 @@ impl Service {
         &self.obs
     }
 
+    /// The flight recorder behind `/v1/traces` (tests inspect retained
+    /// traces directly).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// The `/v1/traces` document.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::TracingDisabled`] when the flight recorder was
+    /// configured with capacity 0.
+    pub fn dump_traces(&self, limit: Option<usize>) -> Result<Json, ServeError> {
+        if !self.flight.is_enabled() {
+            return Err(ServeError::TracingDisabled);
+        }
+        Ok(self.flight.dump(limit))
+    }
+
+    /// Writes the flight recorder's full dump to the access log — the
+    /// server calls this on clean shutdown so the retained slow/error
+    /// traces outlive the process without any signal handling.
+    pub fn shutdown_dump(&self) {
+        if self.flight.is_enabled() && self.access_log.is_enabled() && !self.flight.is_empty()
+        {
+            self.access_log.write_json(&self.flight.dump(None));
+        }
+    }
+
     /// Handles one parsed request. Never fails: a [`ServeError`] is
-    /// rendered as its mapped status with a JSON error body. Also
-    /// maintains the `/metrics` signals: `serve.requests`,
-    /// `serve.errors`, the `serve.request_seconds` latency histogram,
-    /// and the `serve.in_flight` gauge.
+    /// rendered as its mapped status with a JSON error body carrying
+    /// the trace id. Also maintains the `/metrics` signals:
+    /// `serve.requests`, `serve.errors`, the `serve.request_seconds`
+    /// latency histograms (plain and per-endpoint × cache), and the
+    /// `serve.in_flight` gauge.
     pub fn handle(&self, req: &Request) -> Response {
+        self.handle_traced(req, None)
+    }
+
+    /// [`handle`](Self::handle) with the transport's measured HTTP
+    /// parse time attached to the trace as an `http.parse` span.
+    pub fn handle_traced(&self, req: &Request, parse_nanos: Option<u64>) -> Response {
         let started = Instant::now();
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        let ctx = TraceContext::new(derive_trace_id(&req.target, seq), seq);
+        if let Some(nanos) = parse_nanos {
+            ctx.attach("http.parse", nanos);
+        }
         let depth = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
         self.obs.gauge("serve.in_flight", depth as f64);
-        let response = match self.respond(req) {
-            Ok(response) => response,
+        let (response, endpoint, error) = match self.respond(req, &ctx) {
+            Ok((response, endpoint)) => (response, endpoint, None),
             Err(e) => {
-                self.obs.incr("serve.errors");
+                ctx.obs().incr("serve.errors");
                 let (status, reason) = e.status();
-                Response::error(status, reason, &e.to_string())
+                let endpoint = route(req.path()).map_or("invalid", endpoint_label);
+                (
+                    Response::error_traced(status, reason, &e.to_string(), ctx.trace_id()),
+                    endpoint,
+                    Some(e.to_string()),
+                )
             }
         };
-        self.obs.incr("serve.requests");
-        self.obs
-            .observe("serve.request_seconds", started.elapsed().as_secs_f64());
+        ctx.obs().incr("serve.requests");
+        let cache = cache_label(ctx.obs());
+        let elapsed = started.elapsed().as_secs_f64();
+        ctx.obs().observe("serve.request_seconds", elapsed);
+        ctx.obs().observe(
+            &format!("serve.request_seconds{{endpoint={endpoint},cache={cache}}}"),
+            elapsed,
+        );
+        let params = query_params(req.query());
+        let lookup = |name: &str| {
+            params
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.as_str())
+        };
+        let (record, request_obs) = ctx.finish(&TraceOutcome {
+            endpoint,
+            target: &req.target,
+            circuit: lookup("circuit"),
+            dist: lookup("dist"),
+            status: response.status,
+            cache,
+            bytes: response.body.len() as u64,
+            error,
+        });
+        self.obs.merge_from(&request_obs);
         let depth = self.in_flight.fetch_sub(1, Ordering::SeqCst) - 1;
         self.obs.gauge("serve.in_flight", depth as f64);
+        self.access_log.write_record(&record);
+        self.flight.record(record);
         response
     }
 
     /// Renders a request that failed HTTP parsing — same error-body
     /// shape and metrics as [`Service::handle`], without a [`Request`].
+    /// The trace still exists (endpoint `invalid`, target
+    /// `<unparsed>`), so even a malformed request leaves an access-log
+    /// line and a flight-recorder entry.
     pub fn reject(&self, e: &crate::http::HttpError) -> Response {
-        self.obs.incr("serve.requests");
-        self.obs.incr("serve.errors");
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        let ctx = TraceContext::new(derive_trace_id("<unparsed>", seq), seq);
+        ctx.obs().incr("serve.requests");
+        ctx.obs().incr("serve.errors");
         let (status, reason) = e.status();
-        Response::error(status, reason, &e.to_string())
+        let response = Response::error_traced(status, reason, &e.to_string(), ctx.trace_id());
+        let (record, request_obs) = ctx.finish(&TraceOutcome {
+            endpoint: "invalid",
+            target: "<unparsed>",
+            circuit: None,
+            dist: None,
+            status,
+            cache: "none",
+            bytes: response.body.len() as u64,
+            error: Some(e.to_string()),
+        });
+        self.obs.merge_from(&request_obs);
+        self.access_log.write_record(&record);
+        self.flight.record(record);
+        response
     }
 
-    fn respond(&self, req: &Request) -> Result<Response, ServeError> {
-        let endpoint = route(req.path())?;
+    fn respond(
+        &self,
+        req: &Request,
+        ctx: &TraceContext,
+    ) -> Result<(Response, &'static str), ServeError> {
+        let endpoint = {
+            let _route = ctx.span("route");
+            route(req.path())?
+        };
         let params = query_params(req.query());
-        match endpoint {
-            Endpoint::Health => Ok(Response::ok_json(render_obj(vec![(
-                "status",
-                Json::String("ok".to_string()),
-            )]))),
-            Endpoint::Circuits => Ok(Response::ok_json(render_obj(vec![(
-                "circuits",
-                Json::Array(
-                    CIRCUITS
-                        .iter()
-                        .map(|(name, class)| {
-                            object(vec![
-                                ("name", Json::String((*name).to_string())),
-                                ("class", Json::String(class.as_str().to_string())),
-                            ])
-                        })
-                        .collect(),
-                ),
-            )]))),
-            Endpoint::Metrics => Ok(Response {
-                status: 200,
-                reason: "OK",
-                content_type: CONTENT_TYPE_OPENMETRICS,
-                body: self.obs.report("serve").to_openmetrics().into_bytes(),
-            }),
+        let response = match endpoint {
+            Endpoint::Health => {
+                let _write = ctx.span("write");
+                Response::ok_json(render_obj(vec![(
+                    "status",
+                    Json::String("ok".to_string()),
+                )]))
+            }
+            Endpoint::Circuits => {
+                let _write = ctx.span("write");
+                Response::ok_json(render_obj(vec![(
+                    "circuits",
+                    Json::Array(
+                        CIRCUITS
+                            .iter()
+                            .map(|(name, class)| {
+                                object(vec![
+                                    ("name", Json::String((*name).to_string())),
+                                    ("class", Json::String(class.as_str().to_string())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                )]))
+            }
+            Endpoint::Traces => {
+                let limit = traces_limit_param(&params)?;
+                let dump = self.dump_traces(limit)?;
+                let _write = ctx.span("write");
+                Response::ok_json(dlp_core::ckpt::render(&dump))
+            }
+            Endpoint::Metrics => {
+                let _write = ctx.span("write");
+                Response {
+                    status: 200,
+                    reason: "OK",
+                    content_type: CONTENT_TYPE_OPENMETRICS,
+                    body: self.obs.report("serve").to_openmetrics().into_bytes(),
+                }
+            }
             Endpoint::Dl | Endpoint::Curve | Endpoint::Faults => {
                 let circuit = required(&params, "circuit")?;
                 let seed = u64_param(&params, "seed", 0)?;
                 let fallout = fallout_param(&params)?;
-                self.projection(endpoint, circuit, seed, &fallout)
+                self.projection(endpoint, circuit, seed, &fallout, ctx)?
             }
             Endpoint::Dln => {
                 let circuit = required(&params, "circuit")?;
@@ -483,9 +701,10 @@ impl Service {
                         what: format!("{n} is outside the supported range 1..={MAX_N}"),
                     });
                 }
-                self.dln(circuit, n as usize)
+                self.dln(circuit, n as usize, ctx)?
             }
-        }
+        };
+        Ok((response, endpoint_label(endpoint)))
     }
 
     /// The shared handler behind `/v1/dl`, `/v1/curve`, `/v1/faults`.
@@ -495,6 +714,7 @@ impl Service {
         circuit: &str,
         seed: u64,
         fallout: &Fallout,
+        ctx: &TraceContext,
     ) -> Result<Response, ServeError> {
         let netlist = netlist_for(circuit)?;
         let class = circuit_class(circuit)?;
@@ -508,16 +728,20 @@ impl Service {
             Endpoint::Curve => curve_key,
             _ => faults_key,
         };
-        let (body, _hit) = self.cache.get_or_compute(want, &self.obs, || {
+        let (body, _hit) = self.cache.get_or_compute(want, ctx, || {
+            let obs = ctx.obs();
             let (dl, curve, faults) = match class {
-                CircuitClass::Full => self.compute_projection(circuit, &netlist, seed, fallout),
+                CircuitClass::Full => {
+                    self.compute_projection(circuit, &netlist, seed, fallout, obs)
+                }
                 CircuitClass::Scale => {
-                    self.compute_scale_projection(circuit, &netlist, seed, fallout)
+                    self.compute_scale_projection(circuit, &netlist, seed, fallout, obs)
                 }
             }
             .map_err(ServeError::from)?;
             // One execution feeds all three endpoints: seal the sibling
             // artifacts before returning the requested one.
+            let _seal = ctx.span("seal");
             for (key, sibling) in [(dl_key, &dl), (curve_key, &curve), (faults_key, &faults)]
             {
                 if key != want {
@@ -530,10 +754,11 @@ impl Service {
                 _ => faults,
             })
         })?;
+        let _write = ctx.span("write");
         Ok(Response::ok_json(body))
     }
 
-    fn dln(&self, circuit: &str, n: usize) -> Result<Response, ServeError> {
+    fn dln(&self, circuit: &str, n: usize, ctx: &TraceContext) -> Result<Response, ServeError> {
         let netlist = netlist_for(circuit)?;
         if circuit_class(circuit)? == CircuitClass::Scale {
             // The n-detect schedule needs the full ATPG + switch-level
@@ -547,10 +772,11 @@ impl Service {
             });
         }
         let key = artifact_key("dln", &netlist, 0, n as u64, &Fallout::poisson());
-        let (body, _hit) = self.cache.get_or_compute(key, &self.obs, || {
-            self.compute_dln(circuit, &netlist, n)
+        let (body, _hit) = self.cache.get_or_compute(key, ctx, || {
+            self.compute_dln(circuit, &netlist, n, ctx.obs())
                 .map_err(ServeError::from)
         })?;
+        let _write = ctx.span("write");
         Ok(Response::ok_json(body))
     }
 
@@ -575,11 +801,12 @@ impl Service {
         netlist: &Netlist,
         seed: u64,
         fallout: &Fallout,
+        obs: &Recorder,
     ) -> Result<(Json, Json, Json), PipelineError> {
         let stats = DefectStatistics::maly_cmos();
-        let extraction = pipeline::extract_netlist_obs(netlist.clone(), &stats, &self.obs)?;
+        let extraction = pipeline::extract_netlist_obs(netlist.clone(), &stats, obs)?;
         let budget = self.miss_budget();
-        let run = pipeline::simulate_budgeted(&extraction, seed, self.threads, &budget, &self.obs)?;
+        let run = pipeline::simulate_budgeted(&extraction, seed, self.threads, &budget, obs)?;
         let samples = pipeline::curve_samples(&extraction, &run)?;
 
         let k = run.vectors.len();
@@ -669,12 +896,11 @@ impl Service {
     /// shares. Extraction failure is remembered (the error string is
     /// cached) so a broken template fails fast instead of re-running
     /// layout per request.
-    fn scale_template(&self) -> Result<&ScaleTemplate, PipelineError> {
+    fn scale_template(&self, obs: &Recorder) -> Result<&ScaleTemplate, PipelineError> {
         let slot = self.scale.get_or_init(|| {
             let stats = DefectStatistics::maly_cmos();
-            let extraction =
-                pipeline::extract_netlist_obs(generators::c432_class(), &stats, &self.obs)
-                    .map_err(|e| e.to_string())?;
+            let extraction = pipeline::extract_netlist_obs(generators::c432_class(), &stats, obs)
+                .map_err(|e| e.to_string())?;
             let sites = stuck_at::enumerate(&extraction.netlist).collapse();
             let tiled =
                 TiledWeights::new(&extraction.netlist, &extraction.faults, sites.faults())
@@ -704,8 +930,9 @@ impl Service {
         netlist: &Netlist,
         seed: u64,
         fallout: &Fallout,
+        obs: &Recorder,
     ) -> Result<(Json, Json, Json), PipelineError> {
-        let template = self.scale_template()?;
+        let template = self.scale_template(obs)?;
         let sites = stuck_at::enumerate(netlist).collapse();
         let map = kind_map(&template.netlist, netlist);
         let w = template
@@ -724,7 +951,7 @@ impl Service {
             &vectors,
             DEFAULT_SHARD_FAULTS,
             self.threads,
-            &self.obs,
+            obs,
             &budget,
         )
         .map_err(|e| PipelineError::from(e).context(format!("simulating {circuit}")))?;
@@ -812,9 +1039,10 @@ impl Service {
         circuit: &str,
         netlist: &Netlist,
         n: usize,
+        obs: &Recorder,
     ) -> Result<Json, PipelineError> {
         let stats = DefectStatistics::maly_cmos();
-        let extraction = pipeline::extract_netlist_obs(netlist.clone(), &stats, &self.obs)?;
+        let extraction = pipeline::extract_netlist_obs(netlist.clone(), &stats, obs)?;
         let budget = self.miss_budget();
         let sa = stuck_at::enumerate(netlist).collapse();
         let schedule = build_schedule_resumable(
@@ -838,7 +1066,7 @@ impl Service {
             &schedule.vectors,
             DetectionMode::Voltage,
             self.threads,
-            &self.obs,
+            obs,
         )?;
         let k = schedule.len_at[n - 1];
         let theta = record.weighted_coverage_after(k, &extraction.faults.weights())?;
@@ -886,6 +1114,7 @@ mod tests {
         assert_eq!(route("/v1/curve").expect("curve"), Endpoint::Curve);
         assert_eq!(route("/v1/faults").expect("faults"), Endpoint::Faults);
         assert_eq!(route("/v1/circuits").expect("circuits"), Endpoint::Circuits);
+        assert_eq!(route("/v1/traces").expect("traces"), Endpoint::Traces);
         assert_eq!(route("/metrics").expect("metrics"), Endpoint::Metrics);
         assert_eq!(route("/healthz").expect("healthz"), Endpoint::Health);
         assert!(matches!(
@@ -1003,6 +1232,8 @@ mod tests {
             cache_dir: tmp.to_string_lossy().into_owned(),
             threads: ThreadCount::fixed(1).expect("one thread"),
             miss_budget_ms: None,
+            flight_capacity: 32,
+            access_log: crate::accesslog::AccessLogConfig::Off,
         })
         .expect("service");
         let req = |target: &str| crate::http::Request {
@@ -1067,5 +1298,26 @@ mod tests {
         );
         assert_eq!(service.obs().counter_value("serve.errors"), Some(11));
         assert_eq!(service.obs().counter_value("serve.requests"), Some(12));
+        // Every error left a trace: same count in the flight recorder
+        // (plus the healthz success, which the recorder also retains
+        // while below capacity).
+        assert_eq!(service.flight().len(), 12);
+    }
+
+    #[test]
+    fn traces_limit_parses_and_rejects_garbage() {
+        let parse = |q: Option<&str>| traces_limit_param(&query_params(q));
+        assert_eq!(parse(None).expect("absent"), None);
+        assert_eq!(parse(Some("limit=1")).expect("one"), Some(1));
+        assert_eq!(
+            parse(Some("limit=4096")).expect("max"),
+            Some(MAX_TRACES_LIMIT)
+        );
+        for bad in ["limit=banana", "limit=0", "limit=4097", "limit=999999999"] {
+            assert!(
+                matches!(parse(Some(bad)), Err(ServeError::BadParam { .. })),
+                "{bad} must be a typed 400"
+            );
+        }
     }
 }

@@ -16,6 +16,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use dlp_core::par::ThreadCount;
+use dlp_serve::accesslog::AccessLogConfig;
 use dlp_serve::cache::CacheLookup;
 use dlp_serve::http::Request;
 use dlp_serve::service::{artifact_key, netlist_for, Service, ServiceConfig};
@@ -31,6 +32,8 @@ fn service(tag: &str, threads: usize) -> Service {
         cache_dir: tmp_dir(tag).to_string_lossy().into_owned(),
         threads: ThreadCount::fixed(threads).expect("thread count"),
         miss_budget_ms: None,
+        flight_capacity: 32,
+        access_log: AccessLogConfig::Off,
     })
     .expect("service")
 }
@@ -115,6 +118,131 @@ fn responses_are_identical_across_simulation_thread_counts() {
             body_text(&one, target),
             body_text(&four, target),
             "{target} must not depend on the worker count"
+        );
+    }
+    // The non-timing trace content is deterministic too: same ids,
+    // labels, and span tree shape regardless of the simulation thread
+    // count (trace ids depend only on the target and sequence number).
+    let project = |service: &Service| -> Vec<_> {
+        service
+            .flight()
+            .snapshot()
+            .into_iter()
+            .map(|r| {
+                let name_of = |id: u64| {
+                    r.spans
+                        .iter()
+                        .find(|s| s.id == id)
+                        .map(|s| s.name.clone())
+                        .unwrap_or_default()
+                };
+                let mut tree: Vec<(String, String)> = r
+                    .spans
+                    .iter()
+                    .map(|s| (s.parent.map(name_of).unwrap_or_default(), s.name.clone()))
+                    .collect();
+                tree.sort();
+                (r.trace_id, r.seq, r.endpoint, r.cache, r.status, tree)
+            })
+            .collect()
+    };
+    assert_eq!(
+        project(&one),
+        project(&four),
+        "deterministic trace content must not depend on the worker count"
+    );
+}
+
+#[test]
+fn concurrent_requests_keep_isolated_traces_and_additive_counters() {
+    let service = Arc::new(service("iso", 1));
+    // Seed one sealed artifact sequentially, then race two hits on it
+    // against two distinct-seed misses.
+    let sealed = body_text(&service, "/v1/dl?circuit=c17&seed=21");
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = [
+            "/v1/dl?circuit=c17&seed=21",
+            "/v1/dl?circuit=c17&seed=21",
+            "/v1/dl?circuit=c17&seed=22",
+            "/v1/dl?circuit=c17&seed=23",
+        ]
+        .into_iter()
+        .map(|target| {
+            let service = Arc::clone(&service);
+            scope.spawn(move || body_text(&service, target))
+        })
+        .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    assert_eq!(bodies[0], sealed);
+    assert_eq!(bodies[1], sealed);
+
+    let records = service.flight().snapshot();
+    assert_eq!(records.len(), 5, "every request leaves exactly one trace");
+    let mut ids: Vec<u64> = records.iter().map(|r| r.trace_id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 5, "trace ids must be unique");
+
+    for r in &records {
+        let roots = r.spans.iter().filter(|s| s.parent.is_none()).count();
+        assert_eq!(roots, 1, "trace {} must have exactly one root", r.seq);
+        assert_eq!(r.spans[0].name, "request");
+        assert_eq!(r.counter("serve.requests"), 1, "no cross-request bleed");
+        match r.cache.as_str() {
+            "hit" => {
+                assert_eq!(
+                    r.counter("serve.recompute"),
+                    0,
+                    "a hit must not absorb a concurrent miss's recompute"
+                );
+                assert!(
+                    !r.spans.iter().any(|s| s.name == "recompute"),
+                    "a hit trace must not carry a recompute span"
+                );
+            }
+            "miss" => {
+                assert_eq!(r.counter("serve.recompute"), 1);
+                assert!(
+                    r.spans.iter().any(|s| s.name == "extract"),
+                    "a miss trace must adopt the pipeline stage spans"
+                );
+                // The root's direct children account for the request:
+                // the span tree explains at least 90% of the wall time.
+                let root = &r.spans[0];
+                let covered: u64 = r
+                    .spans
+                    .iter()
+                    .filter(|s| s.parent == Some(root.id))
+                    .map(|s| s.nanos)
+                    .sum();
+                assert!(
+                    covered as f64 >= 0.9 * root.nanos as f64,
+                    "trace {}: children cover {covered} of {} root nanos",
+                    r.seq,
+                    root.nanos
+                );
+            }
+            other => panic!("unexpected cache disposition {other}"),
+        }
+    }
+    assert_eq!(records.iter().filter(|r| r.cache == "hit").count(), 2);
+    assert_eq!(records.iter().filter(|r| r.cache == "miss").count(), 3);
+
+    // The global recorder is exactly the sum of the per-request
+    // recorders: merged counters equal the per-trace counter sums.
+    let global = service.obs().report("iso");
+    for (name, value) in &global.counters {
+        if name == "obs.series_dropped_points" {
+            continue;
+        }
+        let summed: u64 = records.iter().map(|r| r.counter(name)).sum();
+        assert_eq!(
+            *value, summed,
+            "{name}: global merge must equal the per-request sum"
         );
     }
 }

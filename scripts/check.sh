@@ -96,13 +96,20 @@ cargo run --release -q -p dlp-inject --bin chaos
 
 # Service gate (DESIGN.md §14): boot dlp-serve on an ephemeral port and
 # drive the miss -> hit -> /metrics sequence end to end — byte-identical
-# replay, sibling sealing, typed 4xx rejections, and an exposition that
-# passes the in-tree OpenMetrics validator. Then the latency smoke:
-# serve_load regenerates BENCH_serve.json, fails unless the warm-hit p99
-# beats the best cold miss by >= 20x, and the report must conform to the
-# BenchReport schema and stay within the committed baseline.
+# replay, sibling sealing, typed 4xx rejections with trace ids, and an
+# exposition that passes the in-tree OpenMetrics validator. The gate
+# writes the /v1/traces flight-recorder dump to TRACE_serve_gate.json;
+# validate_trace --serve-trace then proves the span-tree contract of
+# DESIGN.md §16 (one request root, contained children, required stage
+# spans, >= 90% wall-time coverage). Then the latency smoke: serve_load
+# regenerates BENCH_serve.json with tracing enabled, fails unless the
+# warm-hit p99 beats the best cold miss by >= 20x, and the report must
+# conform to the BenchReport schema and stay within the committed
+# baseline.
 echo "== serve: end-to-end cache gate, then latency smoke (writes BENCH_serve.json)"
 cargo run --release -q -p dlp-serve --bin serve_gate
+cargo run --release -q -p dlp-bench --bin validate_trace -- \
+    --serve-trace TRACE_serve_gate.json
 cargo run --release -q -p dlp-serve --bin serve_load -- --smoke
 cargo run --release -q -p dlp-bench --bin validate_trace -- \
     --bench BENCH_serve.json
